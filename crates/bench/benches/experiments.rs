@@ -1,0 +1,57 @@
+//! One benchmark per paper table/figure: times the analysis that regenerates
+//! each artifact on a shared small study (the study itself is built once).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use topple_bench::small_study;
+use topple_core::{bias, category, consistency, coverage, listeval, movement, psl_dev, temporal};
+use topple_lists::ListSource;
+
+fn heat_k(study: &topple_core::Study) -> usize {
+    let mags = study.magnitudes();
+    mags[mags.len().saturating_sub(2)].1
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let s = small_study();
+    let k = heat_k(s);
+    c.bench_function("table1_coverage", |b| b.iter(|| black_box(coverage::table1(s))));
+    c.bench_function("table2_psl", |b| b.iter(|| black_box(psl_dev::table2(s))));
+    let mut g = c.benchmark_group("slow_tables");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(2));
+    g.bench_function("table3_logit", |b| b.iter(|| black_box(category::table3(s, k))));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let s = small_study();
+    let k = heat_k(s);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(2));
+    g.bench_function("fig1_intra_cf", |b| {
+        b.iter(|| black_box(consistency::intra_cloudflare_final(s, k)))
+    });
+    g.bench_function("fig2_list_eval", |b| b.iter(|| black_box(listeval::figure2(s, k))));
+    g.bench_function("fig3_temporal", |b| b.iter(|| black_box(temporal::figure3(s, k))));
+    g.bench_function("fig4_platform", |b| b.iter(|| black_box(bias::figure4(s, k))));
+    g.bench_function("fig5_movement", |b| {
+        b.iter(|| {
+            black_box(movement::figure5(s, ListSource::Alexa));
+            black_box(movement::figure5(s, ListSource::Crux));
+        })
+    });
+    g.bench_function("fig6_intra_chrome", |b| b.iter(|| black_box(consistency::intra_chrome(s, k))));
+    g.bench_function("fig7_country", |b| b.iter(|| black_box(bias::figure7(s, k))));
+    g.bench_function("fig8_full_suite", |b| {
+        b.iter(|| black_box(consistency::intra_cloudflare_full(s, k)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

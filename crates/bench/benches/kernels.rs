@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the statistical and parsing kernels every experiment
+//! leans on: correlation, set similarity, PSL extraction, alias sampling, and
+//! the logistic-regression fit behind Table 3.
+
+use std::collections::HashSet;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use topple_bench::noise_vector;
+use topple_psl::{DomainName, PublicSuffixList};
+use topple_sim::alias::AliasTable;
+use topple_sim::rng::{substream, Stream};
+use topple_stats::corr::{kendall_tau_b, pearson, spearman};
+use topple_stats::logit::{fit_with_intercept, LogitOptions};
+use topple_stats::sets::jaccard;
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("correlation");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let x = noise_vector(n, 1);
+        let y = noise_vector(n, 2);
+        g.bench_with_input(BenchmarkId::new("spearman", n), &n, |b, _| {
+            b.iter(|| spearman(black_box(&x), black_box(&y)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("pearson", n), &n, |b, _| {
+            b.iter(|| pearson(black_box(&x), black_box(&y)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("kendall_tau_b", n), &n, |b, _| {
+            b.iter(|| kendall_tau_b(black_box(&x), black_box(&y)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jaccard");
+    for &n in &[1_000usize, 100_000] {
+        let a: HashSet<u64> = (0..n as u64).collect();
+        let b: HashSet<u64> = ((n / 2) as u64..(n + n / 2) as u64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| jaccard(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_psl(c: &mut Criterion) {
+    let psl = PublicSuffixList::builtin();
+    let names: Vec<DomainName> = [
+        "example.com",
+        "www.example.co.uk",
+        "a.b.c.shop.example.com.br",
+        "city.kawasaki.jp",
+        "deep.sub.foo.ck",
+        "alice.github.io",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+    c.bench_function("psl/registrable_domain_x6", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(psl.registrable_domain(black_box(n)));
+            }
+        })
+    });
+    c.bench_function("psl/parse_builtin", |b| {
+        b.iter(|| PublicSuffixList::parse(black_box(topple_psl::BUILTIN_PSL_TEXT)).unwrap())
+    });
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=100_000).map(|i| 1.0 / i as f64).collect();
+    c.bench_function("alias/build_100k", |b| b.iter(|| AliasTable::new(black_box(&weights))));
+    let table = AliasTable::new(&weights);
+    let mut rng = substream(7, Stream::Traffic, 0);
+    c.bench_function("alias/sample", |b| b.iter(|| black_box(table.sample(&mut rng))));
+}
+
+fn bench_logit(c: &mut Criterion) {
+    // A Table 3-shaped problem: 10k observations, one binary predictor.
+    let n = 10_000;
+    let noise = noise_vector(n, 3);
+    let flags = noise_vector(n, 4);
+    let predictor: Vec<f64> = flags.iter().map(|&v| f64::from(u8::from(v < 0.1))).collect();
+    let y: Vec<f64> = predictor
+        .iter()
+        .zip(&noise)
+        .map(|(&p, &u)| f64::from(u8::from(u < 0.3 + 0.2 * p)))
+        .collect();
+    c.bench_function("logit/fit_10k_one_predictor", |b| {
+        b.iter(|| {
+            fit_with_intercept(black_box(&[predictor.clone()]), black_box(&y), LogitOptions::default())
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_correlation, bench_jaccard, bench_psl, bench_alias, bench_logit);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The real benchmark targets live in `benches/`; this library exposes the
+//! fixture builders they share so that expensive setup (worlds, studies) is
+//! constructed once per target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use topple_core::Study;
+use topple_sim::{World, WorldConfig};
+
+/// Seed used by every benchmark fixture (stable numbers across runs).
+pub const BENCH_SEED: u64 = 0xB_EEF;
+
+/// A lazily-built small study shared by the per-figure benchmarks.
+pub fn small_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(WorldConfig::small(BENCH_SEED)).expect("bench study"))
+}
+
+/// A lazily-built tiny world for simulation kernels.
+pub fn tiny_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::tiny(BENCH_SEED)).expect("bench world"))
+}
+
+/// Deterministic pseudo-random `f64` vector for statistics kernels.
+pub fn noise_vector(n: usize, salt: u64) -> Vec<f64> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ salt;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(noise_vector(8, 1).len(), 8);
+        assert!(noise_vector(8, 1).iter().all(|v| (0.0..1.0).contains(v)));
+        assert_ne!(noise_vector(8, 1), noise_vector(8, 2));
+        let w = tiny_world();
+        assert_eq!(w.sites.len(), 400);
+    }
+}

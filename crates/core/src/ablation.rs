@@ -1,0 +1,197 @@
+//! Ablations of the methodology's design choices (DESIGN.md §4 extensions).
+//!
+//! The paper asserts several methodological choices without showing the
+//! counterfactual; these functions measure them:
+//!
+//! * **PSL normalization** (§4.2): "Without normalization, all correlations
+//!   are lower and this appears to be a strictly worse alternative."
+//! * **Tranco window length**: the 30-day window trades freshness for
+//!   stability; sweep it.
+//! * **CrUX privacy threshold**: privacy cuts list size — how fast does
+//!   accuracy degrade as the threshold rises?
+
+use std::collections::HashSet;
+
+use topple_lists::{normalize_ranked, tranco, ListSource};
+use topple_psl::DomainName;
+use topple_stats::sets::jaccard;
+use topple_vantage::CfMetric;
+
+use crate::methodology::against_cloudflare;
+use crate::study::Study;
+
+/// Jaccard with and without PSL normalization, per list.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizationAblation {
+    /// The list.
+    pub source: ListSource,
+    /// Jaccard with PSL normalization (the paper's method).
+    pub normalized: f64,
+    /// Jaccard comparing the raw published names directly.
+    pub raw: f64,
+}
+
+/// Measures the effect of PSL normalization on the Figure 2 comparison at
+/// magnitude `k`, against the all-requests metric.
+pub fn normalization(study: &Study, k: usize) -> Vec<NormalizationAblation> {
+    let metric = CfMetric::final_seven()[0];
+    let cf_domains = study.cf_monthly_domains(metric);
+    ListSource::ALL
+        .iter()
+        .map(|&source| {
+            let norm = study.normalized(source);
+            let normalized = against_cloudflare(study, norm, &cf_domains, k).similarity.jaccard;
+
+            // Raw variant: take the list's top-k published names verbatim
+            // and skip the PSL grouping step. The cf_ray probe still works
+            // (it is a network fact about the zone, independent of list
+            // processing), but the published strings — FQDNs, origins — are
+            // intersected with Cloudflare's domain names as-is.
+            let raw_names: Vec<String> = match source {
+                ListSource::Alexa => collect_raw(study.alexa_daily.last().expect("days"), k),
+                ListSource::Umbrella => {
+                    collect_raw(study.umbrella_daily.last().expect("days"), k)
+                }
+                ListSource::Majestic => collect_raw(&study.majestic, k),
+                ListSource::Secrank => collect_raw(&study.secrank, k),
+                ListSource::Tranco => collect_raw(&study.tranco, k),
+                ListSource::Trexa => collect_raw(&study.trexa, k),
+                ListSource::Crux => {
+                    study.crux.names_within(k as u32).map(str::to_owned).collect()
+                }
+            };
+            let raw_cf: Vec<String> = raw_names
+                .into_iter()
+                .filter(|n| {
+                    // Probe the host behind the published name.
+                    let host = n.split_once("://").map(|(_, rest)| rest).unwrap_or(n);
+                    host.parse::<DomainName>()
+                        .ok()
+                        .and_then(|d| study.world.psl.registrable_domain(&d).or(Some(d)))
+                        .map(|d| study.world.is_cloudflare(&d))
+                        .unwrap_or(false)
+                })
+                .collect();
+            let n = raw_cf.len();
+            let cf_set: HashSet<&str> =
+                cf_domains.iter().take(n).map(|d| d.as_str()).collect();
+            let raw_set: HashSet<&str> = raw_cf.iter().map(String::as_str).collect();
+            let raw = if n == 0 { 0.0 } else { jaccard(&raw_set, &cf_set) };
+            NormalizationAblation { source, normalized, raw }
+        })
+        .collect()
+}
+
+fn collect_raw(list: &topple_lists::RankedList, k: usize) -> Vec<String> {
+    list.top_names(k).map(str::to_owned).collect()
+}
+
+/// Accuracy of Tranco rebuilt over trailing windows of different lengths.
+pub fn tranco_window(study: &Study, windows: &[usize], k: usize) -> Vec<(usize, f64)> {
+    let metric = CfMetric::final_seven()[0];
+    let cf_domains = study.cf_monthly_domains(metric);
+    let n_days = study.alexa_daily.len();
+    windows
+        .iter()
+        .map(|&w| {
+            let w = w.min(n_days);
+            let mut inputs: Vec<&topple_lists::RankedList> = Vec::new();
+            inputs.extend(study.alexa_daily[n_days - w..].iter());
+            inputs.extend(study.umbrella_daily[n_days - w..].iter());
+            for _ in 0..w {
+                inputs.push(&study.majestic);
+            }
+            let list = tranco::build(&inputs, study.world.sites.len());
+            let norm = normalize_ranked(&study.world.psl, &list);
+            let ji = against_cloudflare(study, &norm, &cf_domains, k).similarity.jaccard;
+            (w, ji)
+        })
+        .collect()
+}
+
+/// CrUX accuracy and size as the privacy threshold rises.
+pub fn crux_threshold(study: &Study, thresholds: &[u32], k: usize) -> Vec<(u32, usize, f64)> {
+    let metric = CfMetric::final_seven()[0];
+    let cf_domains = study.cf_monthly_domains(metric);
+    let magnitudes: Vec<usize> =
+        study.magnitudes().iter().map(|&(_, m)| m).collect();
+    thresholds
+        .iter()
+        .map(|&t| {
+            // Rebuild the public list at threshold t.
+            let ranked = study.chrome.global_completed_list(t);
+            let mut entries = Vec::new();
+            for (pos, (origin, _)) in ranked.iter().enumerate() {
+                let Some(&bucket) = magnitudes.iter().find(|&&m| pos < m) else { break };
+                entries.push(topple_lists::BucketedEntry {
+                    name: topple_vantage::ChromeVantage::origin_text(&study.world, *origin),
+                    bucket: bucket as u32,
+                });
+            }
+            let list = topple_lists::BucketedList { source: ListSource::Crux, entries };
+            let len = list.len();
+            let norm = topple_lists::normalize_bucketed(&study.world.psl, &list);
+            let ji = against_cloudflare(study, &norm, &cf_domains, k).similarity.jaccard;
+            (t, len, ji)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::WorldConfig;
+
+    fn study() -> Study {
+        Study::run(WorldConfig::small(301)).unwrap()
+    }
+
+    #[test]
+    fn normalization_helps_name_shaped_lists() {
+        // §4.2's claim: skipping normalization lowers correlations, most
+        // dramatically for Umbrella (FQDNs) and CrUX (origins).
+        let s = study();
+        let k = s.world.sites.len() / 10;
+        let rows = normalization(&s, k);
+        for row in &rows {
+            assert!(
+                row.normalized >= row.raw - 0.05,
+                "{}: normalization should not hurt ({:.3} vs raw {:.3})",
+                row.source,
+                row.normalized,
+                row.raw
+            );
+        }
+        let umbrella = rows.iter().find(|r| r.source == ListSource::Umbrella).unwrap();
+        assert!(
+            umbrella.normalized > umbrella.raw + 0.05,
+            "Umbrella must benefit materially: {:.3} vs {:.3}",
+            umbrella.normalized,
+            umbrella.raw
+        );
+    }
+
+    #[test]
+    fn longer_tranco_windows_do_not_hurt() {
+        let s = study();
+        let k = s.world.sites.len() / 10;
+        let sweep = tranco_window(&s, &[1, 7, 28], k);
+        assert_eq!(sweep.len(), 3);
+        let first = sweep.first().unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(last >= first - 0.05, "28-day window ({last:.3}) vs 1-day ({first:.3})");
+    }
+
+    #[test]
+    fn privacy_threshold_shrinks_the_list() {
+        let s = study();
+        let k = s.world.sites.len() / 10;
+        let sweep = crux_threshold(&s, &[1, 3, 10, 30], k);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "higher threshold must not grow the list");
+        }
+        // At an absurd threshold the list collapses.
+        let harsh = crux_threshold(&s, &[10_000], k);
+        assert_eq!(harsh[0].1, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! List-comparison primitives: Jaccard on top-k sets, Spearman on ranks of
+//! the intersection (Section 4.3–4.4).
+
+use std::collections::{HashMap, HashSet};
+
+use topple_psl::DomainName;
+use topple_stats::corr::{spearman, Spearman};
+use topple_stats::sets::jaccard;
+
+/// Jaccard index of two domain slices treated as unordered sets.
+pub fn jaccard_domains(a: &[&DomainName], b: &[&DomainName]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(|d| d.as_str()).collect();
+    let sb: HashSet<&str> = b.iter().map(|d| d.as_str()).collect();
+    jaccard(&sa, &sb)
+}
+
+/// Spearman rank correlation over the intersection of two rankings.
+///
+/// `a` and `b` are best-first orderings; ranks are positions within each
+/// ordering. Only domains present in both contribute (the paper's
+/// "operates on only their intersection"). Returns `None` when the
+/// intersection is too small (< 3) or degenerate.
+pub fn spearman_intersection(a: &[&DomainName], b: &[&DomainName]) -> Option<Spearman> {
+    let pos_a: HashMap<&str, f64> =
+        a.iter().enumerate().map(|(i, d)| (d.as_str(), i as f64 + 1.0)).collect();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, d) in b.iter().enumerate() {
+        if let Some(&ra) = pos_a.get(d.as_str()) {
+            xs.push(ra);
+            ys.push(i as f64 + 1.0);
+        }
+    }
+    spearman(&xs, &ys).ok()
+}
+
+/// Both similarity measures for one comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ListSimilarity {
+    /// Jaccard index of the sets.
+    pub jaccard: f64,
+    /// Spearman correlation of the intersection's ranks (None when
+    /// uncomputable — tiny intersection or a bucketed list).
+    pub spearman: Option<Spearman>,
+    /// Size of the intersection.
+    pub intersection: usize,
+}
+
+/// Computes Jaccard and Spearman between two best-first domain rankings.
+pub fn similarity(a: &[&DomainName], b: &[&DomainName]) -> ListSimilarity {
+    let sa: HashSet<&str> = a.iter().map(|d| d.as_str()).collect();
+    let sb: HashSet<&str> = b.iter().map(|d| d.as_str()).collect();
+    let inter = sa.intersection(&sb).count();
+    ListSimilarity {
+        jaccard: jaccard(&sa, &sb),
+        spearman: spearman_intersection(a, b),
+        intersection: inter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doms(names: &[&str]) -> Vec<DomainName> {
+        names.iter().map(|n| n.parse().unwrap()).collect()
+    }
+
+    fn refs(d: &[DomainName]) -> Vec<&DomainName> {
+        d.iter().collect()
+    }
+
+    #[test]
+    fn jaccard_of_identical_rankings() {
+        let a = doms(&["a.com", "b.com", "c.com"]);
+        assert_eq!(jaccard_domains(&refs(&a), &refs(&a)), 1.0);
+    }
+
+    #[test]
+    fn spearman_of_same_order_is_one() {
+        let a = doms(&["a.com", "b.com", "c.com", "d.com", "e.com"]);
+        let s = spearman_intersection(&refs(&a), &refs(&a)).unwrap();
+        assert!((s.rho - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn spearman_of_reversed_order_is_minus_one() {
+        let a = doms(&["a.com", "b.com", "c.com", "d.com"]);
+        let mut rev = a.clone();
+        rev.reverse();
+        let s = spearman_intersection(&refs(&a), &refs(&rev)).unwrap();
+        assert!((s.rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ignores_non_intersecting() {
+        // b shares only 4 of a's domains, in the same relative order, plus
+        // noise entries that must not affect the result.
+        let a = doms(&["a.com", "b.com", "c.com", "d.com"]);
+        let b = doms(&["x.com", "a.com", "y.com", "b.com", "c.com", "z.com", "d.com"]);
+        let s = spearman_intersection(&refs(&a), &refs(&b)).unwrap();
+        assert!((s.rho - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 4);
+    }
+
+    #[test]
+    fn tiny_intersection_yields_none() {
+        let a = doms(&["a.com", "b.com"]);
+        let b = doms(&["a.com", "x.com"]);
+        assert!(spearman_intersection(&refs(&a), &refs(&b)).is_none());
+    }
+
+    #[test]
+    fn similarity_combines_both() {
+        let a = doms(&["a.com", "b.com", "c.com", "d.com"]);
+        let b = doms(&["b.com", "a.com", "c.com", "e.com"]);
+        let sim = similarity(&refs(&a), &refs(&b));
+        assert_eq!(sim.intersection, 3);
+        assert!((sim.jaccard - 3.0 / 5.0).abs() < 1e-12);
+        assert!(sim.spearman.is_some());
+    }
+}

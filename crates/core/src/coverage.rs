@@ -1,0 +1,68 @@
+//! Table 1: Cloudflare coverage of top lists — the percent of each list's
+//! top-k (normalized) domains that the cf_ray probe confirms are served by
+//! the CDN.
+
+use topple_lists::ListSource;
+
+use crate::study::Study;
+
+/// Coverage of one list at each magnitude.
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// The list.
+    pub source: ListSource,
+    /// `(magnitude label, magnitude, percent Cloudflare-served)`.
+    pub cells: Vec<(&'static str, usize, f64)>,
+}
+
+/// Computes Table 1 for every list at the world's scaled magnitudes.
+pub fn table1(study: &Study) -> Vec<CoverageRow> {
+    let magnitudes = study.magnitudes();
+    ListSource::ALL
+        .iter()
+        .map(|&source| {
+            let list = study.normalized(source);
+            let cells = magnitudes
+                .iter()
+                .map(|&(label, k)| {
+                    let top = list.top_domains(k);
+                    let total = top.len();
+                    let cf = top.iter().filter(|d| study.world.is_cloudflare(d)).count();
+                    let pct = if total == 0 { 0.0 } else { 100.0 * cf as f64 / total as f64 };
+                    (label, k, pct)
+                })
+                .collect();
+            CoverageRow { source, cells }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::WorldConfig;
+
+    #[test]
+    fn coverage_is_percentage() {
+        let s = Study::run(WorldConfig::tiny(231)).unwrap();
+        let rows = table1(&s);
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(!row.cells.is_empty());
+            for &(_, _, pct) in &row.cells {
+                assert!((0.0..=100.0).contains(&pct), "{}: {pct}", row.source);
+            }
+        }
+    }
+
+    #[test]
+    fn most_lists_have_nonzero_coverage() {
+        let s = Study::run(WorldConfig::small(232)).unwrap();
+        let rows = table1(&s);
+        let with_coverage = rows
+            .iter()
+            .filter(|r| r.cells.iter().any(|&(_, _, p)| p > 5.0))
+            .count();
+        assert!(with_coverage >= 5, "only {with_coverage} lists saw CF sites");
+    }
+}

@@ -1,0 +1,149 @@
+//! List-manipulation experiments (extension; paper §2 / Le Pochat et al.).
+//!
+//! Top lists are attack targets: ranking an attacker's domain makes it look
+//! reputable to systems that whitelist "popular" sites \[26\]. Tranco's Dowdall
+//! aggregation raises the cost — an attacker who captures one provider for
+//! one day gains little. This module quantifies that defence inside the
+//! framework: forge the head of one provider's daily snapshots for a chosen
+//! number of days and measure the rank the attacker attains in the
+//! aggregated list.
+
+use topple_lists::{tranco, RankedList};
+
+use crate::study::Study;
+
+/// The forged domain injected by the attacker.
+pub const ATTACKER_DOMAIN: &str = "attacker-controlled.example";
+
+/// Result of one attack scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Days of the window on which the attacker controlled the input list.
+    pub days_controlled: usize,
+    /// Rank forced on the controlled input (1 = head).
+    pub injected_rank: u32,
+    /// Rank attained in the aggregated Tranco-style list, if it charted.
+    pub attained_rank: Option<u32>,
+}
+
+/// Injects `domain` at `rank` into a cloned list (shifting everything at or
+/// below that rank down by one).
+pub fn inject(list: &RankedList, domain: &str, rank: u32) -> RankedList {
+    assert!(rank >= 1, "ranks are 1-based");
+    let mut names: Vec<String> = Vec::with_capacity(list.len() + 1);
+    let pos = (rank as usize - 1).min(list.len());
+    for e in list.entries.iter().take(pos) {
+        names.push(e.name.clone());
+    }
+    names.push(domain.to_owned());
+    for e in list.entries.iter().skip(pos) {
+        if e.name != domain {
+            names.push(e.name.clone());
+        }
+    }
+    RankedList::from_sorted_names(list.source, names)
+}
+
+/// Runs the Tranco capture experiment: the attacker controls the Alexa daily
+/// snapshot (injecting [`ATTACKER_DOMAIN`] at `injected_rank`) for the first
+/// `days_controlled` days of the window, and the aggregate is rebuilt from
+/// otherwise-authentic inputs.
+pub fn tranco_capture(
+    study: &Study,
+    days_controlled: usize,
+    injected_rank: u32,
+) -> AttackOutcome {
+    let n_days = study.alexa_daily.len();
+    let days_controlled = days_controlled.min(n_days);
+    let forged: Vec<RankedList> = study
+        .alexa_daily
+        .iter()
+        .enumerate()
+        .map(|(d, list)| {
+            if d < days_controlled {
+                inject(list, ATTACKER_DOMAIN, injected_rank)
+            } else {
+                list.clone()
+            }
+        })
+        .collect();
+    let umbrella_domains: Vec<RankedList> = study
+        .umbrella_daily
+        .iter()
+        .map(|l| topple_lists::normalize_ranked(&study.world.psl, l).to_ranked_list())
+        .collect();
+    let mut inputs: Vec<&RankedList> = Vec::new();
+    inputs.extend(forged.iter());
+    inputs.extend(umbrella_domains.iter());
+    for _ in 0..n_days {
+        inputs.push(&study.majestic);
+    }
+    let aggregated = tranco::build(&inputs, study.world.sites.len());
+    let attained_rank =
+        aggregated.entries.iter().find(|e| e.name == ATTACKER_DOMAIN).map(|e| e.rank);
+    AttackOutcome { days_controlled, injected_rank, attained_rank }
+}
+
+/// Sweeps attack durations and returns the attained Tranco rank per scenario.
+pub fn capture_sweep(study: &Study, durations: &[usize], injected_rank: u32) -> Vec<AttackOutcome> {
+    durations.iter().map(|&d| tranco_capture(study, d, injected_rank)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_lists::ListSource;
+    use topple_sim::WorldConfig;
+
+    #[test]
+    fn inject_places_domain_at_rank() {
+        let base = RankedList::from_sorted_names(
+            ListSource::Alexa,
+            vec!["a.com".into(), "b.com".into(), "c.com".into()],
+        );
+        let forged = inject(&base, "evil.example", 2);
+        let names: Vec<&str> = forged.top_names(4).collect();
+        assert_eq!(names, vec!["a.com", "evil.example", "b.com", "c.com"]);
+        // Injection at a rank beyond the end appends.
+        let tail = inject(&base, "evil.example", 99);
+        assert_eq!(tail.entries.last().unwrap().name, "evil.example");
+        // Injecting an already-present domain doesn't duplicate it.
+        let again = inject(&forged, "evil.example", 1);
+        let count = again.entries.iter().filter(|e| e.name == "evil.example").count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn sustained_control_beats_single_day() {
+        let s = Study::run(WorldConfig::tiny(501)).unwrap();
+        let outcomes = capture_sweep(&s, &[1, 7], 1);
+        let one_day = outcomes[0].attained_rank.expect("charted");
+        let week = outcomes[1].attained_rank.expect("charted");
+        assert!(
+            week < one_day,
+            "a week of control (rank {week}) must beat one day (rank {one_day})"
+        );
+    }
+
+    #[test]
+    fn single_day_capture_does_not_reach_the_head() {
+        // The Dowdall defence: rank 1 on one of seven Alexa days lands well
+        // below rank 1 in the aggregate.
+        let s = Study::run(WorldConfig::tiny(502)).unwrap();
+        let outcome = tranco_capture(&s, 1, 1);
+        let attained = outcome.attained_rank.expect("charted");
+        assert!(attained > 3, "one-day capture attained rank {attained}");
+    }
+
+    #[test]
+    fn full_window_control_reaches_the_head_region() {
+        // Even with every Alexa day at rank 1, two authentic providers still
+        // out-vote the attacker for the very top; landing in the top handful
+        // is the ceiling of a single-provider capture.
+        let s = Study::run(WorldConfig::tiny(503)).unwrap();
+        let n_days = s.alexa_daily.len();
+        let outcome = tranco_capture(&s, n_days, 1);
+        let attained = outcome.attained_rank.expect("charted");
+        assert!(attained <= 10, "full-window capture attained only rank {attained}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's core evaluation methodology (Section 4.3): compare each top
+//! list against Cloudflare metrics *on the subset of Cloudflare-served
+//! sites*, head-to-head at equal sizes.
+//!
+//! For a top list `L` and magnitude `k`: take `L`'s top-`k` normalized
+//! domains, keep the `n ≤ k` of them that the `cf_ray` probe confirms are
+//! Cloudflare-served, and compare that ranked subset against the top-`n`
+//! Cloudflare domains under the metric being evaluated.
+
+use topple_lists::NormalizedList;
+use topple_psl::DomainName;
+
+use crate::compare::{similarity, ListSimilarity};
+use crate::study::Study;
+
+/// Result of evaluating one list against one Cloudflare metric at one
+/// magnitude.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluation {
+    /// Jaccard + Spearman of the head-to-head comparison.
+    pub similarity: ListSimilarity,
+    /// How many of the list's top-k domains were Cloudflare-served (the `n`
+    /// of the head-to-head).
+    pub cf_subset_size: usize,
+    /// The magnitude `k` evaluated.
+    pub magnitude: usize,
+}
+
+/// Filters a normalized list's top-`k` to Cloudflare-served domains, in list
+/// order (the paper's cf_ray HEAD-probe step).
+pub fn cf_subset<'a>(study: &Study, list: &'a NormalizedList, k: usize) -> Vec<&'a DomainName> {
+    list.top_domains(k)
+        .into_iter()
+        .filter(|d| study.world.is_cloudflare(d))
+        .collect()
+}
+
+/// Evaluates a normalized top list against one ranked Cloudflare metric
+/// (best-first domains) at magnitude `k`.
+pub fn against_cloudflare(
+    study: &Study,
+    list: &NormalizedList,
+    cf_ranked: &[DomainName],
+    k: usize,
+) -> Evaluation {
+    let subset = cf_subset(study, list, k);
+    let n = subset.len();
+    let cf_top: Vec<&DomainName> = cf_ranked.iter().take(n).collect();
+    let mut sim = similarity(&subset, &cf_top);
+    if !list.ordered {
+        // Rank-magnitude lists (CrUX) cannot be rank-correlated (Section 4.4).
+        sim.spearman = None;
+    }
+    Evaluation { similarity: sim, cf_subset_size: n, magnitude: k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_lists::ListSource;
+    use topple_sim::WorldConfig;
+    use topple_vantage::CfMetric;
+
+    fn study() -> Study {
+        Study::run(WorldConfig::tiny(211)).unwrap()
+    }
+
+    #[test]
+    fn subset_contains_only_cf_domains() {
+        let s = study();
+        let list = s.normalized(ListSource::Tranco);
+        let subset = cf_subset(&s, list, 100);
+        assert!(!subset.is_empty());
+        for d in &subset {
+            assert!(s.world.is_cloudflare(d));
+        }
+    }
+
+    #[test]
+    fn head_to_head_sizes_match() {
+        let s = study();
+        let metric = CfMetric::final_seven()[0];
+        let cf = s.cf_monthly_domains(metric);
+        let list = s.normalized(ListSource::Umbrella);
+        let ev = against_cloudflare(&s, list, &cf, 100);
+        assert_eq!(ev.magnitude, 100);
+        assert!(ev.cf_subset_size <= 100);
+        assert!(ev.similarity.jaccard >= 0.0 && ev.similarity.jaccard <= 1.0);
+    }
+
+    #[test]
+    fn crux_never_gets_spearman() {
+        let s = study();
+        let metric = CfMetric::final_seven()[0];
+        let cf = s.cf_monthly_domains(metric);
+        let ev = against_cloudflare(&s, s.normalized(ListSource::Crux), &cf, 400);
+        assert!(ev.similarity.spearman.is_none());
+    }
+
+    #[test]
+    fn perfect_list_scores_one() {
+        // Evaluating the CF metric against itself must give JI = 1, rho = 1.
+        let s = study();
+        let metric = CfMetric::final_seven()[0];
+        let cf = s.cf_monthly_domains(metric);
+        let k = 50.min(cf.len());
+        // Build a synthetic normalized list from the CF ranking itself.
+        let ranked = topple_lists::RankedList::from_sorted_names(
+            ListSource::Tranco,
+            cf.iter().take(k).map(|d| d.as_str().to_owned()).collect(),
+        );
+        let norm = topple_lists::normalize_ranked(&s.world.psl, &ranked);
+        let ev = against_cloudflare(&s, &norm, &cf, k);
+        assert!((ev.similarity.jaccard - 1.0).abs() < 1e-12);
+        let rho = ev.similarity.spearman.unwrap().rho;
+        assert!((rho - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Figure 5: rank-magnitude movement between Cloudflare buckets and list
+//! buckets (Section 5.3).
+//!
+//! Cloudflare buckets come from the two page-load bookend metrics (all HTTP
+//! requests and root-page loads); only domains both bookends place into the
+//! same bucket are analyzed. For each such domain also present in a top list,
+//! the flow `cloudflare bucket → list bucket` is recorded. "Overranked" means
+//! the list put the domain into a more-popular (smaller) bucket than
+//! Cloudflare did.
+
+use std::collections::HashMap;
+
+use topple_lists::{ListSource, NormalizedList};
+use topple_psl::DomainName;
+use topple_vantage::{CfAgg, CfFilter, CfMetric};
+
+use crate::study::Study;
+
+/// Rank-magnitude movement of one list against the Cloudflare bookends.
+#[derive(Debug, Clone)]
+pub struct MovementReport {
+    /// The list analyzed.
+    pub source: ListSource,
+    /// Bucket sizes, ascending (scaled 1K/10K/100K/1M).
+    pub magnitudes: Vec<usize>,
+    /// Flow counts: `flows[cf_bucket_idx][list_bucket_idx]`; the extra final
+    /// column counts domains in the CF bucket but absent from the list.
+    pub flows: Vec<Vec<usize>>,
+    /// Per list bucket: `(bucket, measured domains, % overranked, % overranked
+    /// by ≥ 2 orders of magnitude)`.
+    pub overranking: Vec<BucketOverranking>,
+}
+
+/// Overranking summary for one list bucket.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketOverranking {
+    /// The list bucket magnitude.
+    pub magnitude: usize,
+    /// Domains in the list bucket that Cloudflare measured (bookend-agreed).
+    pub measured: usize,
+    /// Share whose Cloudflare bucket is less popular than the list bucket.
+    pub overranked: f64,
+    /// Share overranked by two or more orders of magnitude.
+    pub overranked_two_plus: f64,
+}
+
+/// Index of the smallest magnitude `m` with `position < m`, or `None` when
+/// beyond the largest.
+fn bucket_of(position: usize, magnitudes: &[usize]) -> Option<usize> {
+    magnitudes.iter().position(|&m| position < m)
+}
+
+/// Computes the bookend-agreed Cloudflare bucket per domain.
+fn cloudflare_buckets(study: &Study, magnitudes: &[usize]) -> HashMap<String, usize> {
+    let all = study.cf_monthly_domains(CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw });
+    let root = study.cf_monthly_domains(CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw });
+    let bucket_map = |ranking: &[DomainName]| -> HashMap<String, usize> {
+        ranking
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, d)| bucket_of(pos, magnitudes).map(|b| (d.as_str().to_owned(), b)))
+            .collect()
+    };
+    let a = bucket_map(&all);
+    let b = bucket_map(&root);
+    a.into_iter().filter(|(d, bucket)| b.get(d) == Some(bucket)).collect()
+}
+
+/// Computes the movement report for one list.
+pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
+    let magnitudes: Vec<usize> = study.magnitudes().iter().map(|&(_, k)| k).collect();
+    let cf_buckets = cloudflare_buckets(study, &magnitudes);
+    let list = study.normalized(source);
+    let list_buckets = list_bucket_map(list, &magnitudes);
+
+    let nb = magnitudes.len();
+    let mut flows = vec![vec![0usize; nb + 1]; nb];
+    for (domain, &cfb) in &cf_buckets {
+        match list_buckets.get(domain.as_str()) {
+            Some(&lb) => flows[cfb][lb] += 1,
+            None => flows[cfb][nb] += 1,
+        }
+    }
+
+    // Overranking per list bucket: among bookend-measured domains the list
+    // placed in bucket lb, how many did Cloudflare place deeper?
+    let mut overranking = Vec::with_capacity(nb);
+    for lb in 0..nb {
+        let mut measured = 0usize;
+        let mut over = 0usize;
+        let mut over2 = 0usize;
+        for (domain, &lbu) in &list_buckets {
+            if lbu != lb {
+                continue;
+            }
+            if let Some(&cfb) = cf_buckets.get(*domain) {
+                measured += 1;
+                if cfb > lb {
+                    over += 1;
+                }
+                if cfb >= lb + 2 {
+                    over2 += 1;
+                }
+            }
+        }
+        overranking.push(BucketOverranking {
+            magnitude: magnitudes[lb],
+            measured,
+            overranked: if measured > 0 { 100.0 * over as f64 / measured as f64 } else { 0.0 },
+            overranked_two_plus: if measured > 0 {
+                100.0 * over2 as f64 / measured as f64
+            } else {
+                0.0
+            },
+        });
+    }
+
+    MovementReport { source, magnitudes, flows, overranking }
+}
+
+/// Bucket index per domain for a normalized list. For ordered lists the
+/// bucket comes from the position; CrUX buckets are already published.
+fn list_bucket_map<'a>(
+    list: &'a NormalizedList,
+    magnitudes: &[usize],
+) -> HashMap<&'a str, usize> {
+    if list.ordered {
+        list.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, (d, _))| bucket_of(pos, magnitudes).map(|b| (d.as_str(), b)))
+            .collect()
+    } else {
+        list.entries
+            .iter()
+            .filter_map(|(d, bucket)| {
+                magnitudes.iter().position(|&m| m == *bucket as usize).map(|b| (d.as_str(), b))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::WorldConfig;
+
+    #[test]
+    fn bucket_of_boundaries() {
+        let mags = [100, 1_000, 10_000];
+        assert_eq!(bucket_of(0, &mags), Some(0));
+        assert_eq!(bucket_of(99, &mags), Some(0));
+        assert_eq!(bucket_of(100, &mags), Some(1));
+        assert_eq!(bucket_of(9_999, &mags), Some(2));
+        assert_eq!(bucket_of(10_000, &mags), None);
+    }
+
+    #[test]
+    fn flows_are_consistent() {
+        let s = crate::study::Study::run(WorldConfig::small(261)).unwrap();
+        for src in [ListSource::Alexa, ListSource::Crux] {
+            let rep = figure5(&s, src);
+            // Every bookend-agreed CF domain lands in exactly one flow cell.
+            let total_flows: usize = rep.flows.iter().flatten().sum();
+            let mags: Vec<usize> = s.magnitudes().iter().map(|&(_, k)| k).collect();
+            let cf = cloudflare_buckets(&s, &mags);
+            assert_eq!(total_flows, cf.len());
+            for b in &rep.overranking {
+                assert!((0.0..=100.0).contains(&b.overranked));
+                assert!(b.overranked_two_plus <= b.overranked + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn alexa_overranks_more_than_crux() {
+        let s = crate::study::Study::run(WorldConfig::small(262)).unwrap();
+        let alexa = figure5(&s, ListSource::Alexa);
+        let crux = figure5(&s, ListSource::Crux);
+        // Compare overranking at the second-smallest magnitude (the paper's
+        // top-10K analysis), where both lists have measurable mass.
+        let pick = |r: &MovementReport| {
+            r.overranking
+                .iter()
+                .find(|b| b.measured >= 10)
+                .map(|b| b.overranked)
+        };
+        if let (Some(a), Some(c)) = (pick(&alexa), pick(&crux)) {
+            assert!(
+                a >= c,
+                "Alexa should overrank at least as much as CrUX: {a:.1}% vs {c:.1}%"
+            );
+        }
+    }
+}

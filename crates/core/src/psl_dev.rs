@@ -1,0 +1,106 @@
+//! Table 2: percent of raw list entries deviating from their PSL-registrable
+//! domain, per magnitude.
+//!
+//! Domain-aggregated lists (Alexa, Majestic, Secrank, Tranco, Trexa) deviate
+//! little; Umbrella (FQDNs) and CrUX (origins) deviate heavily — which is why
+//! the normalization step matters and why it can only *under*state those two
+//! lists' accuracy (Section 4.2).
+
+use topple_lists::{normalize_bucketed, normalize_ranked, BucketedList, ListSource, RankedList};
+
+use crate::study::Study;
+
+/// Deviation of one list at each magnitude.
+#[derive(Debug, Clone)]
+pub struct DeviationRow {
+    /// The list.
+    pub source: ListSource,
+    /// `(magnitude label, magnitude, percent of raw entries deviating)`.
+    pub cells: Vec<(&'static str, usize, f64)>,
+}
+
+fn ranked_deviation(study: &Study, list: &RankedList, k: usize) -> f64 {
+    let truncated = RankedList {
+        source: list.source,
+        entries: list.entries.iter().take(k).cloned().collect(),
+    };
+    normalize_ranked(&study.world.psl, &truncated).deviation_percent()
+}
+
+fn bucketed_deviation(study: &Study, list: &BucketedList, k: usize) -> f64 {
+    let truncated = BucketedList {
+        source: list.source,
+        entries: list.entries.iter().filter(|e| e.bucket as usize <= k).cloned().collect(),
+    };
+    normalize_bucketed(&study.world.psl, &truncated).deviation_percent()
+}
+
+/// Computes Table 2 for every list at the world's scaled magnitudes.
+pub fn table2(study: &Study) -> Vec<DeviationRow> {
+    let magnitudes = study.magnitudes();
+    ListSource::ALL
+        .iter()
+        .map(|&source| {
+            let cells = magnitudes
+                .iter()
+                .map(|&(label, k)| {
+                    let pct = match source {
+                        ListSource::Alexa => {
+                            ranked_deviation(study, study.alexa_daily.last().expect("nonempty"), k)
+                        }
+                        ListSource::Umbrella => ranked_deviation(
+                            study,
+                            study.umbrella_daily.last().expect("nonempty"),
+                            k,
+                        ),
+                        ListSource::Majestic => ranked_deviation(study, &study.majestic, k),
+                        ListSource::Secrank => ranked_deviation(study, &study.secrank, k),
+                        ListSource::Tranco => ranked_deviation(study, &study.tranco, k),
+                        ListSource::Trexa => ranked_deviation(study, &study.trexa, k),
+                        ListSource::Crux => bucketed_deviation(study, &study.crux, k),
+                    };
+                    (label, k, pct)
+                })
+                .collect();
+            DeviationRow { source, cells }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::WorldConfig;
+
+    #[test]
+    fn shape_matches_paper() {
+        let s = Study::run(WorldConfig::small(241)).unwrap();
+        let rows = table2(&s);
+        let get = |src: ListSource| -> f64 {
+            rows.iter()
+                .find(|r| r.source == src)
+                .unwrap()
+                .cells
+                .last()
+                .unwrap()
+                .2
+        };
+        // Domain-aggregated lists deviate little…
+        for src in [ListSource::Alexa, ListSource::Majestic, ListSource::Secrank, ListSource::Trexa] {
+            assert!(get(src) < 20.0, "{src} deviates {:.1}%", get(src));
+        }
+        // …Umbrella (FQDNs) and CrUX (origins) deviate heavily.
+        assert!(get(ListSource::Umbrella) > 40.0, "Umbrella {:.1}%", get(ListSource::Umbrella));
+        assert!(get(ListSource::Crux) > 40.0, "CrUX {:.1}%", get(ListSource::Crux));
+    }
+
+    #[test]
+    fn values_are_percentages() {
+        let s = Study::run(WorldConfig::tiny(242)).unwrap();
+        for row in table2(&s) {
+            for (_, _, pct) in row.cells {
+                assert!((0.0..=100.0).contains(&pct));
+            }
+        }
+    }
+}

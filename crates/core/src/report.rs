@@ -1,0 +1,111 @@
+//! Plain-text rendering of tables and heatmaps for the experiment binaries.
+
+/// Formats a numeric table with row and column headers.
+///
+/// NaN cells print as `–` (the paper's "not statistically significant /
+/// not computable" marker).
+pub fn table(title: &str, cols: &[String], rows: &[String], values: &[Vec<f64>], precision: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let row_w = rows.iter().map(|r| r.len()).max().unwrap_or(4).max(4);
+    let col_w = cols
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(6)
+        .max(precision + 4);
+    out.push_str(&format!("{:row_w$}", ""));
+    for c in cols {
+        out.push_str(&format!(" {c:>col_w$}"));
+    }
+    out.push('\n');
+    for (r, row_vals) in rows.iter().zip(values) {
+        out.push_str(&format!("{r:<row_w$}"));
+        for &v in row_vals {
+            if v.is_nan() {
+                out.push_str(&format!(" {:>col_w$}", "–"));
+            } else {
+                out.push_str(&format!(" {v:>col_w$.precision$}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a heatmap: a table plus a unicode shade per cell for quick visual
+/// inspection in a terminal.
+pub fn heatmap(title: &str, labels: &[String], values: &[Vec<f64>], precision: usize) -> String {
+    let mut out = table(title, labels, labels, values, precision);
+    out.push('\n');
+    let shades = [' ', '░', '▒', '▓', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for row in values {
+        for &v in row {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    let span = (hi - lo).max(1e-12);
+    for row in values {
+        out.push_str("  ");
+        for &v in row {
+            if v.is_nan() {
+                out.push('·');
+            } else {
+                let t = ((v - lo) / span * (shades.len() - 1) as f64).round() as usize;
+                out.push(shades[t.min(shades.len() - 1)]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a daily series block (Figure 3 style): one row per list, one
+/// column per day.
+pub fn series(title: &str, names: &[String], days: usize, values: &[Vec<f64>]) -> String {
+    let cols: Vec<String> = (1..=days).map(|d| format!("d{d:02}")).collect();
+    table(title, &cols, names, values, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_nan_as_dash() {
+        let t = table(
+            "T",
+            &["a".into(), "b".into()],
+            &["r1".into()],
+            &[vec![1.234, f64::NAN]],
+            2,
+        );
+        assert!(t.contains("1.23"));
+        assert!(t.contains('–'));
+        assert!(t.starts_with("T\n"));
+    }
+
+    #[test]
+    fn heatmap_has_shade_rows() {
+        let h = heatmap(
+            "H",
+            &["x".into(), "y".into()],
+            &[vec![0.0, 1.0], vec![1.0, 0.0]],
+            2,
+        );
+        assert!(h.contains('█'));
+        assert!(h.lines().count() >= 6);
+    }
+
+    #[test]
+    fn series_headers_are_days() {
+        let s = series("S", &["alexa".into()], 3, &[vec![0.1, 0.2, 0.3]]);
+        assert!(s.contains("d01"));
+        assert!(s.contains("d03"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Study orchestration: run the world once, feed every vantage, build every
+//! list, and cache what the experiments need.
+
+use std::collections::HashMap;
+
+use topple_lists::{
+    alexa, crux, majestic, normalize_bucketed, normalize_ranked, secrank, tranco, trexa, umbrella,
+    BucketedList, ListSource, NormalizedList, RankedList,
+};
+use topple_psl::DomainName;
+use topple_sim::{Resolver, World, WorldConfig, WorldError};
+use topple_vantage::{
+    CdnVantage, CfMetric, ChromeVantage, CrawlerVantage, DnsVantage, PanelVantage, ScoreVec,
+};
+
+/// How many Alexa picks per Tranco pick in the Trexa interleave.
+const TREXA_ALEXA_WEIGHT: usize = 2;
+
+/// A fully-materialized study: the world, every vantage's accumulated view,
+/// and every top list.
+pub struct Study {
+    /// The simulated world.
+    pub world: World,
+    /// The Cloudflare-style CDN vantage.
+    pub cdn: CdnVantage,
+    /// Chrome telemetry.
+    pub chrome: ChromeVantage,
+    /// The Umbrella resolver.
+    pub umbrella_dns: DnsVantage,
+    /// The Chinese resolver behind Secrank.
+    pub china_dns: DnsVantage,
+    /// The extension panel.
+    pub panel: PanelVantage,
+    /// The link-graph crawl.
+    pub crawl: CrawlerVantage,
+    /// Daily Alexa lists (trailing-window construction).
+    pub alexa_daily: Vec<RankedList>,
+    /// Daily Umbrella lists.
+    pub umbrella_daily: Vec<RankedList>,
+    /// The Majestic list (crawl-derived; essentially static within a month).
+    pub majestic: RankedList,
+    /// The Secrank list (monthly voting).
+    pub secrank: RankedList,
+    /// The Tranco list (Dowdall over the whole window).
+    pub tranco: RankedList,
+    /// The Trexa list.
+    pub trexa: RankedList,
+    /// The CrUX bucketed list.
+    pub crux: BucketedList,
+    /// Month-representative normalized lists, one per source.
+    normalized: HashMap<ListSource, NormalizedList>,
+}
+
+impl Study {
+    /// Runs the full pipeline at the given configuration.
+    ///
+    /// Day *traffic generation* is parallelized across worker threads (days
+    /// are RNG-independent); ingestion is sequential and ordered so that
+    /// vantages with day-indexed state stay consistent.
+    pub fn run(config: WorldConfig) -> Result<Study, WorldError> {
+        let world = World::generate(config)?;
+        let n_days = world.config.days.len();
+        let list_len = world.sites.len();
+
+        let mut cdn = CdnVantage::new(&world);
+        let mut chrome = ChromeVantage::new(&world);
+        let mut umbrella_dns = DnsVantage::new(Resolver::Umbrella);
+        let mut china_dns = DnsVantage::new(Resolver::ChinaVoting);
+        let mut panel = PanelVantage::new(&world);
+
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(6);
+        let mut day = 0usize;
+        while day < n_days {
+            let batch = (day..(day + workers).min(n_days)).collect::<Vec<_>>();
+            let traffics = crossbeam::thread::scope(|s| {
+                let world = &world;
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&d| s.spawn(move |_| world.simulate_day(d)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("day simulation panicked")).collect::<Vec<_>>()
+            })
+            .expect("thread scope failed");
+            for t in &traffics {
+                cdn.ingest_day(&world, t);
+                chrome.ingest_day(&world, t);
+                umbrella_dns.ingest_day(&world, t);
+                china_dns.ingest_day(&world, t);
+                panel.ingest_day(&world, t);
+            }
+            day += batch.len();
+        }
+
+        // The crawl is time-independent within the window.
+        let crawl = CrawlerVantage::crawl(&world, 25, usize::MAX);
+
+        // Daily lists.
+        let alexa_daily: Vec<RankedList> = (0..n_days)
+            .map(|d| alexa::build_daily(&world, &panel, d, n_days, list_len))
+            .collect();
+        // Umbrella daily snapshots fold a short trailing window (see the
+        // builder's docs for the scale rationale).
+        let umbrella_daily: Vec<RankedList> = (0..n_days)
+            .map(|d| umbrella::build_daily(&world, &umbrella_dns, d, 3, list_len))
+            .collect();
+        let majestic = majestic::build(&world, &crawl, list_len);
+        let secrank = secrank::build(&world, &china_dns, n_days, list_len);
+
+        // Tranco: Dowdall over every daily snapshot of its three inputs
+        // (Majestic's list is stable, so each day contributes the same one).
+        // Real Tranco aggregates at pay-level-domain granularity, so
+        // Umbrella's FQDN entries are PSL-filtered first.
+        let umbrella_domains: Vec<RankedList> = umbrella_daily
+            .iter()
+            .map(|l| normalize_ranked(&world.psl, l).to_ranked_list())
+            .collect();
+        let mut tranco_inputs: Vec<&RankedList> = Vec::new();
+        tranco_inputs.extend(alexa_daily.iter());
+        tranco_inputs.extend(umbrella_domains.iter());
+        for _ in 0..n_days {
+            tranco_inputs.push(&majestic);
+        }
+        let tranco = tranco::build(&tranco_inputs, list_len);
+        let alexa_month = alexa_daily.last().expect("window is non-empty");
+        let trexa = trexa::build(&tranco, alexa_month, TREXA_ALEXA_WEIGHT, list_len);
+
+        let magnitudes: Vec<usize> =
+            world.config.rank_magnitudes().iter().map(|&(_, k)| k).collect();
+        let crux = crux::build(&world, &chrome, &magnitudes);
+
+        // Month-representative normalized lists.
+        let mut normalized = HashMap::new();
+        normalized.insert(ListSource::Alexa, normalize_ranked(&world.psl, alexa_month));
+        normalized.insert(
+            ListSource::Umbrella,
+            normalize_ranked(&world.psl, &umbrella::build_monthly(&world, &umbrella_dns, list_len)),
+        );
+        normalized.insert(ListSource::Majestic, normalize_ranked(&world.psl, &majestic));
+        normalized.insert(ListSource::Secrank, normalize_ranked(&world.psl, &secrank));
+        normalized.insert(ListSource::Tranco, normalize_ranked(&world.psl, &tranco));
+        normalized.insert(ListSource::Trexa, normalize_ranked(&world.psl, &trexa));
+        normalized.insert(ListSource::Crux, normalize_bucketed(&world.psl, &crux));
+
+        Ok(Study {
+            world,
+            cdn,
+            chrome,
+            umbrella_dns,
+            china_dns,
+            panel,
+            crawl,
+            alexa_daily,
+            umbrella_daily,
+            majestic,
+            secrank,
+            tranco,
+            trexa,
+            crux,
+            normalized,
+        })
+    }
+
+    /// The month-representative normalized list for a source.
+    pub fn normalized(&self, source: ListSource) -> &NormalizedList {
+        &self.normalized[&source]
+    }
+
+    /// The scaled rank magnitudes of this study's world.
+    pub fn magnitudes(&self) -> Vec<(&'static str, usize)> {
+        self.world.config.rank_magnitudes()
+    }
+
+    /// Ranked Cloudflare domains for a metric score vector (best first).
+    pub fn cf_ranked_domains(&self, scores: &ScoreVec) -> Vec<&DomainName> {
+        topple_vantage::ranked_sites(scores)
+            .into_iter()
+            .map(|(site, _)| &self.world.sites[site.index()].domain)
+            .collect()
+    }
+
+    /// Ranked Cloudflare domains for a monthly metric.
+    pub fn cf_monthly_domains(&self, metric: CfMetric) -> Vec<DomainName> {
+        let scores = self.cdn.monthly(metric);
+        topple_vantage::ranked_sites(&scores)
+            .into_iter()
+            .map(|(site, _)| self.world.sites[site.index()].domain.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_runs_on_tiny_world() {
+        let s = Study::run(WorldConfig::tiny(201)).unwrap();
+        assert_eq!(s.alexa_daily.len(), 7);
+        assert_eq!(s.umbrella_daily.len(), 7);
+        assert!(!s.majestic.is_empty());
+        assert!(!s.tranco.is_empty());
+        assert!(!s.trexa.is_empty());
+        assert!(!s.crux.is_empty());
+        assert_eq!(s.cdn.days(), 7);
+        for src in ListSource::ALL {
+            assert!(!s.normalized(src).is_empty(), "{src} normalized empty");
+        }
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let a = Study::run(WorldConfig::tiny(202)).unwrap();
+        let b = Study::run(WorldConfig::tiny(202)).unwrap();
+        assert_eq!(a.tranco, b.tranco);
+        assert_eq!(a.secrank, b.secrank);
+        assert_eq!(a.crux.to_csv(), b.crux.to_csv());
+        let m = CfMetric::final_seven()[0];
+        assert_eq!(a.cf_monthly_domains(m), b.cf_monthly_domains(m));
+    }
+
+    #[test]
+    fn cf_domains_are_cloudflare_served() {
+        let s = Study::run(WorldConfig::tiny(203)).unwrap();
+        for m in CfMetric::final_seven() {
+            for d in s.cf_monthly_domains(m).iter().take(50) {
+                assert!(s.world.is_cloudflare(d), "{d} in CF metric but not CF-served");
+            }
+        }
+    }
+}

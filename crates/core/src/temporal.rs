@@ -1,0 +1,127 @@
+//! Figure 3: daily correlation between top lists and the all-HTTP-requests
+//! metric over the measurement window (Section 5.4).
+//!
+//! Daily snapshots are used where the list has them (Alexa, Umbrella); the
+//! slow-moving lists (Majestic, Secrank, Tranco, Trexa, CrUX) are fixed
+//! within the month, exactly as their real counterparts effectively are.
+
+use topple_lists::{normalize_bucketed, normalize_ranked, ListSource};
+use topple_psl::DomainName;
+use topple_stats::timeseries::{dominant_period, weekday_split, WeekdaySplit};
+
+use crate::methodology::against_cloudflare;
+use crate::study::Study;
+
+/// Daily similarity series for one list.
+#[derive(Debug, Clone)]
+pub struct TemporalSeries {
+    /// The list.
+    pub source: ListSource,
+    /// Daily Jaccard indices vs all-HTTP-requests.
+    pub jaccard: Vec<f64>,
+    /// Daily Spearman ρ (NaN where uncomputable; all-NaN for CrUX).
+    pub spearman: Vec<f64>,
+    /// Weekend flags per day.
+    pub weekend: Vec<bool>,
+}
+
+impl TemporalSeries {
+    /// Weekday/weekend contrast of the Jaccard series.
+    pub fn jaccard_split(&self) -> Option<WeekdaySplit> {
+        weekday_split(&self.jaccard, &self.weekend).ok()
+    }
+
+    /// Dominant period of the Jaccard series (weekly periodicity shows as 7).
+    pub fn jaccard_period(&self) -> Option<(usize, f64)> {
+        dominant_period(&self.jaccard, self.jaccard.len().saturating_sub(2).min(10)).ok()
+    }
+}
+
+/// Computes daily series for every list at magnitude `k`.
+pub fn figure3(study: &Study, k: usize) -> Vec<TemporalSeries> {
+    let n_days = study.world.config.days.len();
+    let weekend: Vec<bool> =
+        study.world.config.days.iter().map(|d| d.weekday().is_weekend()).collect();
+
+    ListSource::ALL
+        .iter()
+        .map(|&source| {
+            let mut jaccard = Vec::with_capacity(n_days);
+            let mut spearman = Vec::with_capacity(n_days);
+            for day in 0..n_days {
+                // The day's reference: CF all-HTTP-requests ranking.
+                let scores = study.cdn.daily_all_requests(day);
+                let cf_ranked: Vec<DomainName> =
+                    study.cf_ranked_domains(scores).into_iter().cloned().collect();
+                // The day's list snapshot.
+                let norm = match source {
+                    ListSource::Alexa => normalize_ranked(&study.world.psl, &study.alexa_daily[day]),
+                    ListSource::Umbrella => {
+                        normalize_ranked(&study.world.psl, &study.umbrella_daily[day])
+                    }
+                    ListSource::Majestic => normalize_ranked(&study.world.psl, &study.majestic),
+                    ListSource::Secrank => normalize_ranked(&study.world.psl, &study.secrank),
+                    ListSource::Tranco => normalize_ranked(&study.world.psl, &study.tranco),
+                    ListSource::Trexa => normalize_ranked(&study.world.psl, &study.trexa),
+                    ListSource::Crux => normalize_bucketed(&study.world.psl, &study.crux),
+                };
+                let ev = against_cloudflare(study, &norm, &cf_ranked, k);
+                jaccard.push(ev.similarity.jaccard);
+                spearman.push(ev.similarity.spearman.map(|s| s.rho).unwrap_or(f64::NAN));
+            }
+            TemporalSeries { source, jaccard, spearman, weekend: weekend.clone() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::WorldConfig;
+
+    #[test]
+    fn series_cover_every_day() {
+        let s = Study::run(WorldConfig::tiny(271)).unwrap();
+        let series = figure3(&s, 40);
+        assert_eq!(series.len(), 7);
+        for ts in &series {
+            assert_eq!(ts.jaccard.len(), 7);
+            assert!(ts.jaccard.iter().all(|v| (0.0..=1.0).contains(v)));
+            if ts.source == ListSource::Crux {
+                assert!(ts.spearman.iter().all(|v| v.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn list_ordering_stable_over_days() {
+        // The paper: daily variation rarely changes which list is best.
+        let s = Study::run(WorldConfig::small(272)).unwrap();
+        let k = s.world.sites.len() / 10;
+        let series = figure3(&s, k);
+        let crux = series.iter().find(|t| t.source == ListSource::Crux).unwrap();
+        let secrank = series.iter().find(|t| t.source == ListSource::Secrank).unwrap();
+        let days_crux_wins = crux
+            .jaccard
+            .iter()
+            .zip(&secrank.jaccard)
+            .filter(|(c, s)| c > s)
+            .count();
+        assert!(
+            days_crux_wins * 10 >= crux.jaccard.len() * 9,
+            "CrUX should beat Secrank on ~every day ({days_crux_wins}/{})",
+            crux.jaccard.len()
+        );
+    }
+
+    #[test]
+    fn splits_computable_on_full_window() {
+        let s = Study::run(WorldConfig { n_sites: 800, n_clients: 500, ..WorldConfig::small(273) })
+            .unwrap();
+        let series = figure3(&s, 80);
+        for ts in series {
+            let split = ts.jaccard_split().unwrap();
+            assert!(split.weekday_mean.is_finite() && split.weekend_mean.is_finite());
+        }
+    }
+}

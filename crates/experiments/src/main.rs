@@ -1,0 +1,133 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! topple-experiments [--scale tiny|small|medium|paper] [--seed N] <what>
+//!   what: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 all
+//! ```
+//!
+//! Output is plain text: the same rows/series the paper reports, produced
+//! from the synthetic world (see DESIGN.md for the substitution rationale and
+//! EXPERIMENTS.md for paper-vs-measured).
+
+use std::process::ExitCode;
+
+use topple_core::Study;
+use topple_lists::ListSource;
+use topple_sim::WorldConfig;
+
+mod render;
+
+fn usage() -> &'static str {
+    "usage: topple-experiments [--scale tiny|small|medium|paper] [--seed N] \
+     <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablate|attack|intext|attribution|all>"
+}
+
+fn main() -> ExitCode {
+    let mut scale = "medium".to_owned();
+    let mut seed = 20220201u64;
+    let mut what: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next() {
+                Some(v) => scale = v,
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if what.is_none() && !other.starts_with('-') => what = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(what) = what else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let config = match scale.as_str() {
+        "tiny" => WorldConfig::tiny(seed),
+        "small" => WorldConfig::small(seed),
+        "medium" => WorldConfig::medium(seed),
+        "paper" => WorldConfig::paper(seed),
+        other => {
+            eprintln!("unknown scale `{other}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "# world: {} sites, {} clients, {} days, seed {} (scale {scale})",
+        config.n_sites,
+        config.n_clients,
+        config.days.len(),
+        config.seed,
+    );
+    let t0 = std::time::Instant::now();
+    let study = match Study::run(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("# study ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let run = |name: &str| -> bool {
+        match name {
+            "table1" => print!("{}", render::table1(&study)),
+            "table2" => print!("{}", render::table2(&study)),
+            "table3" => print!("{}", render::table3(&study)),
+            "fig1" => print!("{}", render::fig1(&study)),
+            "fig2" => print!("{}", render::fig2(&study)),
+            "fig3" => print!("{}", render::fig3(&study)),
+            "fig4" => print!("{}", render::fig4(&study)),
+            "fig5" => {
+                print!("{}", render::fig5(&study, ListSource::Alexa));
+                print!("{}", render::fig5(&study, ListSource::Crux));
+            }
+            "fig6" => print!("{}", render::fig6(&study)),
+            "fig7" => print!("{}", render::fig7(&study)),
+            "fig8" => print!("{}", render::fig8(&study)),
+            "ablate" => print!("{}", render::ablations(&study)),
+            "attack" => print!("{}", render::attack(&study)),
+            "intext" => print!("{}", render::intext_numbers(&study)),
+            "attribution" => print!("{}", render::attribution(&study)),
+            _ => return false,
+        }
+        true
+    };
+
+    let ok = match what.as_str() {
+        "all" => {
+            for name in [
+                "table1", "table2", "fig1", "fig8", "fig2", "fig3", "fig5", "fig6", "fig4",
+                "fig7", "table3",
+            ] {
+                assert!(run(name));
+                println!();
+            }
+            true
+        }
+        other => run(other),
+    };
+    if !ok {
+        eprintln!("unknown experiment `{what}`\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,392 @@
+//! Renders each study artifact as the paper's corresponding table/figure.
+
+use topple_core::report;
+use topple_core::study::Study;
+use topple_core::{ablation, bias, category, consistency, coverage, intext, listeval, manipulation, movement, psl_dev, temporal};
+use topple_lists::ListSource;
+
+/// Magnitude used for heatmap-style figures: the scaled "100K" (second
+/// largest), matching the paper's primary analysis depth.
+fn heat_k(study: &Study) -> usize {
+    let mags = study.magnitudes();
+    mags[mags.len().saturating_sub(2)].1
+}
+
+/// Magnitude for the Chrome-cell analyses (Figures 4, 6, 7): the scaled
+/// "10K". Per-(country, platform) telemetry cells hold far fewer origins
+/// than the global magnitudes; comparing deeper than the cells are saturates
+/// every set and hides the bias signal.
+fn cell_k(study: &Study) -> usize {
+    let mags = study.magnitudes();
+    mags[mags.len().saturating_sub(3).min(mags.len() - 1)].1
+}
+
+/// Table 1 — Cloudflare coverage of top lists.
+pub fn table1(study: &Study) -> String {
+    let rows = coverage::table1(study);
+    let cols: Vec<String> = rows[0].cells.iter().map(|&(l, k, _)| format!("{l}({k})")).collect();
+    let names: Vec<String> = rows.iter().map(|r| r.source.name().to_owned()).collect();
+    let values: Vec<Vec<f64>> =
+        rows.iter().map(|r| r.cells.iter().map(|&(_, _, p)| p).collect()).collect();
+    report::table(
+        "Table 1: Cloudflare coverage of top lists (% of top-k served by the CDN)",
+        &cols,
+        &names,
+        &values,
+        2,
+    )
+}
+
+/// Table 2 — percent of domains deviating from the PSL.
+pub fn table2(study: &Study) -> String {
+    let rows = psl_dev::table2(study);
+    let cols: Vec<String> = rows[0].cells.iter().map(|&(l, k, _)| format!("{l}({k})")).collect();
+    let names: Vec<String> = rows.iter().map(|r| r.source.name().to_owned()).collect();
+    let values: Vec<Vec<f64>> =
+        rows.iter().map(|r| r.cells.iter().map(|&(_, _, p)| p).collect()).collect();
+    report::table(
+        "Table 2: % of list entries deviating from the Public Suffix List",
+        &cols,
+        &names,
+        &values,
+        2,
+    )
+}
+
+/// Table 3 — odds of website inclusion by category.
+pub fn table3(study: &Study) -> String {
+    let k = heat_k(study);
+    let cols = category::table3(study, k);
+    let col_names: Vec<String> = cols.iter().map(|c| c.source.name().to_owned()).collect();
+    let row_names: Vec<String> =
+        cols[0].rows.iter().map(|r| r.category.name().to_owned()).collect();
+    // Transpose: rows = categories, columns = lists; insignificant -> NaN (–).
+    let values: Vec<Vec<f64>> = (0..row_names.len())
+        .map(|ri| {
+            cols.iter()
+                .map(|c| {
+                    let r = c.rows[ri];
+                    if r.significant {
+                        r.odds_ratio
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    report::table(
+        &format!(
+            "Table 3: odds of inclusion by category (CF top {k}, day 1; \
+             '–' = not significant at p<0.01 Bonferroni-corrected ×{})",
+            topple_sim::Category::COUNT
+        ),
+        &col_names,
+        &row_names,
+        &values,
+        2,
+    )
+}
+
+fn consistency_block(title: &str, m: &consistency::ConsistencyMatrix) -> String {
+    let mut out = String::new();
+    out.push_str(&report::heatmap(
+        &format!("{title} — Jaccard index (top {})", m.k),
+        &m.labels,
+        &m.jaccard,
+        2,
+    ));
+    out.push('\n');
+    out.push_str(&report::heatmap(
+        &format!("{title} — Spearman correlation"),
+        &m.labels,
+        &m.spearman,
+        2,
+    ));
+    let (lo, hi) = m.jaccard_range();
+    out.push_str(&format!("\nintra-metric Jaccard band: {lo:.2}–{hi:.2}\n"));
+    out
+}
+
+/// Figure 1 — intra-Cloudflare consistency of the final seven metrics.
+pub fn fig1(study: &Study) -> String {
+    let m = consistency::intra_cloudflare_final(study, heat_k(study));
+    consistency_block("Figure 1: intra-Cloudflare metric consistency (month)", &m)
+}
+
+/// Figure 8 — all 21 filter-aggregation combinations, single day.
+pub fn fig8(study: &Study) -> String {
+    let m = consistency::intra_cloudflare_full(study, heat_k(study));
+    consistency_block("Figure 8: all 21 Cloudflare filter-aggregations (day 1)", &m)
+}
+
+/// Figure 6 — intra-Chrome metric consistency.
+pub fn fig6(study: &Study) -> String {
+    let m = consistency::intra_chrome(study, cell_k(study));
+    consistency_block("Figure 6: intra-Chrome metric consistency", &m)
+}
+
+/// Figure 2 — top lists against the seven Cloudflare metrics.
+pub fn fig2(study: &Study) -> String {
+    let k = heat_k(study);
+    let ev = listeval::figure2(study, k);
+    let metric_labels: Vec<String> = ev.metrics.iter().map(|m| m.label()).collect();
+    let list_labels: Vec<String> = ev.lists.iter().map(|l| l.name().to_owned()).collect();
+    let mut out = report::table(
+        &format!("Figure 2a: lists vs Cloudflare metrics — Jaccard (top {k})"),
+        &metric_labels,
+        &list_labels,
+        &ev.jaccard,
+        2,
+    );
+    out.push('\n');
+    out.push_str(&report::table(
+        "Figure 2b: lists vs Cloudflare metrics — Spearman ('–' = bucketed CrUX)",
+        &metric_labels,
+        &list_labels,
+        &ev.spearman,
+        2,
+    ));
+    out.push_str("\nJI range per list across metrics (Section 5.1):\n");
+    for (src, lo, hi) in ev.jaccard_ranges() {
+        out.push_str(&format!("  {:<9} {lo:.2}–{hi:.2}\n", src.name()));
+    }
+    out.push_str("\nBootstrap 95% CI on mean daily JI vs all-requests (resampling days):\n");
+    for &src in &ev.lists {
+        let ci = listeval::mean_ji_ci(study, src, k);
+        out.push_str(&format!(
+            "  {:<9} {:.3} [{:.3}, {:.3}]\n",
+            src.name(),
+            ci.estimate,
+            ci.lo,
+            ci.hi
+        ));
+    }
+    out.push_str("\nAccuracy ordering agreement between metrics (Spearman of JI rows):\n");
+    let agreement = ev.metric_agreement();
+    let mut min_rho = f64::INFINITY;
+    for (i, row) in agreement.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j && v.is_finite() {
+                min_rho = min_rho.min(v);
+            }
+        }
+    }
+    out.push_str(&format!("  minimum pairwise rho = {min_rho:.3}\n"));
+    out
+}
+
+/// Figure 3 — daily similarity series.
+pub fn fig3(study: &Study) -> String {
+    let k = heat_k(study);
+    let series = temporal::figure3(study, k);
+    let names: Vec<String> = series.iter().map(|s| s.source.name().to_owned()).collect();
+    let days = series[0].jaccard.len();
+    let ji: Vec<Vec<f64>> = series.iter().map(|s| s.jaccard.clone()).collect();
+    let rho: Vec<Vec<f64>> = series.iter().map(|s| s.spearman.clone()).collect();
+    let mut out = report::series(
+        &format!("Figure 3a: daily Jaccard vs all-HTTP-requests (top {k})"),
+        &names,
+        days,
+        &ji,
+    );
+    out.push('\n');
+    out.push_str(&report::series(
+        "Figure 3b: daily Spearman vs all-HTTP-requests",
+        &names,
+        days,
+        &rho,
+    ));
+    out.push_str("\nList stability at the same depth (mean daily top-k retention / rank churn):\n");
+    for (name, days) in [("Alexa", &study.alexa_daily), ("Umbrella", &study.umbrella_daily)] {
+        let rep = topple_lists::stability(days, k);
+        out.push_str(&format!(
+            "  {:<9} retention {:.3}  rank churn {:.1}\n",
+            name,
+            rep.mean_retention(),
+            rep.mean_rank_churn()
+        ));
+    }
+    out.push_str("\nPeriodicity (dominant lag of JI series) and weekday/weekend split:\n");
+    for s in &series {
+        let period = s.jaccard_period().map(|(l, a)| format!("lag {l} (ac {a:.2})"));
+        let split = s
+            .jaccard_split()
+            .map(|sp| format!("weekday {:.3} vs weekend {:.3}", sp.weekday_mean, sp.weekend_mean));
+        out.push_str(&format!(
+            "  {:<9} {}  {}\n",
+            s.source.name(),
+            period.unwrap_or_else(|| "–".into()),
+            split.unwrap_or_else(|| "–".into())
+        ));
+    }
+    out
+}
+
+/// Figure 5 — rank-magnitude movement for one list.
+pub fn fig5(study: &Study, source: ListSource) -> String {
+    let rep = movement::figure5(study, source);
+    let mut cols: Vec<String> = rep.magnitudes.iter().map(|m| format!("→{m}")).collect();
+    cols.push("→absent".into());
+    let rows: Vec<String> = rep.magnitudes.iter().map(|m| format!("CF {m}")).collect();
+    let values: Vec<Vec<f64>> =
+        rep.flows.iter().map(|r| r.iter().map(|&c| c as f64).collect()).collect();
+    let mut out = report::table(
+        &format!("Figure 5: rank-magnitude movement, Cloudflare → {}", source.name()),
+        &cols,
+        &rows,
+        &values,
+        0,
+    );
+    out.push_str("\nOverranking per list bucket (Section 5.3):\n");
+    for b in &rep.overranking {
+        out.push_str(&format!(
+            "  {} top {:>7}: {:>5} measured, {:>5.1}% overranked, {:>4.1}% by ≥2 magnitudes\n",
+            source.name(),
+            b.magnitude,
+            b.measured,
+            b.overranked,
+            b.overranked_two_plus
+        ));
+    }
+    out
+}
+
+/// Figure 4 — performance by client platform.
+pub fn fig4(study: &Study) -> String {
+    let k = cell_k(study);
+    let f = bias::figure4(study, k);
+    let cols: Vec<String> = f.platforms.iter().map(|p| p.name().to_owned()).collect();
+    let rows: Vec<String> = f.lists.iter().map(|l| l.name().to_owned()).collect();
+    let ji: Vec<Vec<f64>> =
+        f.cells.iter().map(|r| r.iter().map(|c| c.jaccard).collect()).collect();
+    let rho: Vec<Vec<f64>> =
+        f.cells.iter().map(|r| r.iter().map(|c| c.spearman).collect()).collect();
+    let mut out = report::table(
+        &format!("Figure 4a: Jaccard vs Chrome by platform (top {k}, averaged over countries)"),
+        &cols,
+        &rows,
+        &ji,
+        3,
+    );
+    out.push('\n');
+    out.push_str(&report::table(
+        "Figure 4b: Spearman vs Chrome by platform",
+        &cols,
+        &rows,
+        &rho,
+        3,
+    ));
+    out
+}
+
+/// Figure 7 — performance by client country.
+pub fn fig7(study: &Study) -> String {
+    let k = cell_k(study);
+    let f = bias::figure7(study, k);
+    let cols: Vec<String> = f.countries.iter().map(|c| c.code().to_owned()).collect();
+    let rows: Vec<String> = f.lists.iter().map(|l| l.name().to_owned()).collect();
+    let ji: Vec<Vec<f64>> =
+        f.cells.iter().map(|r| r.iter().map(|c| c.jaccard).collect()).collect();
+    let rho: Vec<Vec<f64>> =
+        f.cells.iter().map(|r| r.iter().map(|c| c.spearman).collect()).collect();
+    let mut out = report::table(
+        &format!("Figure 7a: Jaccard vs Chrome by country (top {k}, averaged over platforms)"),
+        &cols,
+        &rows,
+        &ji,
+        3,
+    );
+    out.push('\n');
+    out.push_str(&report::table(
+        "Figure 7b: Spearman vs Chrome by country",
+        &cols,
+        &rows,
+        &rho,
+        3,
+    ));
+    out
+}
+
+/// Ablations of methodological choices (not a paper artifact; DESIGN.md §4).
+pub fn ablations(study: &Study) -> String {
+    let k = heat_k(study);
+    let mut out = String::new();
+    out.push_str(&format!("Ablation A: PSL normalization on/off (JI vs all-requests, top {k})\n"));
+    for row in ablation::normalization(study, k) {
+        out.push_str(&format!(
+            "  {:<9} normalized {:.3}   raw names {:.3}\n",
+            row.source.name(),
+            row.normalized,
+            row.raw
+        ));
+    }
+    out.push_str("\nAblation B: Tranco aggregation window (days -> JI)\n");
+    for (w, ji) in ablation::tranco_window(study, &[1, 3, 7, 14, 28], k) {
+        out.push_str(&format!("  {w:>2} days: {ji:.3}\n"));
+    }
+    out.push_str("\nAblation C: CrUX privacy threshold (threshold -> list size, JI)\n");
+    for (t, len, ji) in ablation::crux_threshold(study, &[1, 2, 3, 5, 10, 25], k) {
+        out.push_str(&format!("  >={t:>3} unique clients: {len:>7} origins, JI {ji:.3}\n"));
+    }
+    out
+}
+
+/// Manipulation-resistance experiment (extension; paper §2 / Tranco \[18\]).
+pub fn attack(study: &Study) -> String {
+    let n_days = study.alexa_daily.len();
+    let durations = [1usize, 3, 7, 14, 28]
+        .into_iter()
+        .filter(|&d| d <= n_days)
+        .collect::<Vec<_>>();
+    let mut out = String::from(
+        "Attack: forge rank 1 of the Alexa daily snapshot for d days; rank attained in Tranco\n",
+    );
+    for o in manipulation::capture_sweep(study, &durations, 1) {
+        out.push_str(&format!(
+            "  {:>2} day(s) of control -> Tranco rank {}\n",
+            o.days_controlled,
+            o.attained_rank.map(|r| r.to_string()).unwrap_or_else(|| "unlisted".into())
+        ));
+    }
+    out.push_str("(Aggregation forces sustained — therefore expensive — control.)\n");
+    out
+}
+
+/// Section 3.2's in-text redundancy numbers, paper vs measured.
+pub fn intext_numbers(study: &Study) -> String {
+    let k = heat_k(study);
+    let mut out = format!("Section 3.2 redundancy pairs (day 1, top {k}): paper vs measured\n");
+    for p in intext::section_3_2(study, k) {
+        out.push_str(&format!(
+            "  {:<24} vs {:<24} rho {:.2} (paper {:.2})  JI {:.2} (paper {:.2})\n    — {}\n",
+            p.a.label(),
+            p.b.label(),
+            p.rho,
+            p.paper_rho,
+            p.ji,
+            p.paper_ji,
+            p.claim
+        ));
+    }
+    out
+}
+
+/// Mechanism attribution (extension; paper §7's open question). Runs its own
+/// small counterfactual worlds derived from the study's seed.
+pub fn attribution(study: &Study) -> String {
+    use topple_core::attribution::mechanism_attribution;
+    let base = topple_sim::WorldConfig::small(study.world.config.seed);
+    let mut out = String::from(
+        "Mechanism attribution (small-scale counterfactual worlds; mean Figure-2 JI):\n",
+    );
+    out.push_str(&format!("  {:<34} {:>7} {:>9} {:>7}\n", "scenario", "Alexa", "Umbrella", "CrUX"));
+    for row in mechanism_attribution(base) {
+        out.push_str(&format!(
+            "  {:<34} {:>7.3} {:>9.3} {:>7.3}\n",
+            row.scenario, row.alexa_ji, row.umbrella_ji, row.crux_ji
+        ));
+    }
+    out.push_str("(The counterfactual the real study could not run: §7's 'why do these biases arise'.)\n");
+    out
+}

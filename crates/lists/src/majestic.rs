@@ -1,0 +1,103 @@
+//! The Majestic-style list: domains ranked by distinct referring domains.
+//!
+//! "The Majestic Million is calculated based on the number of backlinks that
+//! each site has" \[21\] — specifically distinct referring *subnets/domains*,
+//! with raw backlink count as tiebreaker. Link counts reflect who publishes
+//! hyperlinks, not who browses, which is the mechanism behind Majestic's
+//! institutional skew in Table 3.
+
+use topple_sim::World;
+use topple_vantage::CrawlerVantage;
+
+use crate::model::{ListSource, RankedList};
+
+/// Builds the Majestic-style list from a crawl.
+pub fn build(world: &World, crawl: &CrawlerVantage, max_len: usize) -> RankedList {
+    let refs = crawl.referring_domains();
+    let backlinks = crawl.backlinks();
+    let mut scored: Vec<(usize, f64, u32)> = refs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r > 0.0)
+        .map(|(i, &r)| (i, r, backlinks[i]))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then(b.2.cmp(&a.2))
+            .then_with(|| world.sites[a.0].domain.cmp(&world.sites[b.0].domain))
+    });
+    scored.truncate(max_len);
+    RankedList::from_sorted_names(
+        ListSource::Majestic,
+        scored.into_iter().map(|(i, _, _)| world.sites[i].domain.as_str().to_owned()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::{Category, WorldConfig};
+
+    fn setup() -> (World, CrawlerVantage) {
+        let w = World::generate(WorldConfig::small(101)).unwrap();
+        let c = CrawlerVantage::crawl(&w, 20, usize::MAX);
+        (w, c)
+    }
+
+    #[test]
+    fn only_linked_sites_listed() {
+        let (w, c) = setup();
+        let l = build(&w, &c, usize::MAX);
+        assert!(!l.is_empty());
+        assert!(l.len() < w.sites.len(), "unlinked sites must be absent");
+    }
+
+    #[test]
+    fn head_is_institution_heavy() {
+        let (w, c) = setup();
+        let l = build(&w, &c, usize::MAX);
+        let head_k = 100.min(l.len());
+        let inst = l
+            .top_names(head_k)
+            .filter(|n| {
+                let d = n.parse().unwrap();
+                matches!(
+                    w.site_by_domain(&d).unwrap().category,
+                    Category::Government | Category::News | Category::Education | Category::Science
+                )
+            })
+            .count();
+        let universe_share: f64 = [
+            Category::Government,
+            Category::News,
+            Category::Education,
+            Category::Science,
+        ]
+        .iter()
+        .map(|c| c.universe_share())
+        .sum();
+        assert!(
+            inst as f64 / head_k as f64 > universe_share,
+            "institutions should be overrepresented: {inst}/{head_k} vs base {universe_share:.3}"
+        );
+    }
+
+    #[test]
+    fn adult_sites_scarce() {
+        let (w, c) = setup();
+        let l = build(&w, &c, usize::MAX);
+        let head_k = 200.min(l.len());
+        let adult = l
+            .top_names(head_k)
+            .filter(|n| {
+                let d = n.parse().unwrap();
+                w.site_by_domain(&d).unwrap().category == Category::Adult
+            })
+            .count();
+        assert!(
+            (adult as f64 / head_k as f64) < Category::Adult.universe_share(),
+            "adult sites should be underrepresented: {adult}/{head_k}"
+        );
+    }
+}

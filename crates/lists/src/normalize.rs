@@ -1,0 +1,251 @@
+//! PSL-based list normalization (Section 4.2).
+//!
+//! Lists rank different objects — registrable domains (Alexa, Majestic,
+//! Secrank, Tranco, Trexa), FQDNs (Umbrella), web origins (CrUX). To compare
+//! them, every entry is reduced to its PSL-defined registrable domain and
+//! each domain keeps the *smallest* (most popular) rank among its entries.
+//!
+//! The fraction of entries whose raw name differs from their registrable
+//! domain is the "deviation" reported in Table 2.
+
+use std::collections::HashMap;
+
+use topple_psl::{DomainName, PublicSuffixList};
+
+use crate::model::{BucketedList, ListSource, RankedList, TopList};
+
+/// A list normalized to registrable domains.
+#[derive(Debug, Clone)]
+pub struct NormalizedList {
+    /// Which methodology produced the list.
+    pub source: ListSource,
+    /// `(domain, value)` sorted ascending by value. For rank-ordered sources
+    /// the value is the min rank; for bucketed sources it is the min bucket.
+    pub entries: Vec<(DomainName, u32)>,
+    /// Whether `value` is an individual rank (true) or a bucket size (false).
+    pub ordered: bool,
+    /// Raw entries inspected.
+    pub raw_len: usize,
+    /// Raw entries whose name deviated from its registrable domain.
+    pub deviating: usize,
+}
+
+impl NormalizedList {
+    /// Percent of raw entries deviating from the PSL-registrable form
+    /// (Table 2's statistic).
+    pub fn deviation_percent(&self) -> f64 {
+        if self.raw_len == 0 {
+            0.0
+        } else {
+            100.0 * self.deviating as f64 / self.raw_len as f64
+        }
+    }
+
+    /// Domains within the top `k`: for ordered lists the first `k` by rank;
+    /// for bucketed lists everything with bucket ≤ `k`.
+    pub fn top_domains(&self, k: usize) -> Vec<&DomainName> {
+        if self.ordered {
+            self.entries.iter().take(k).map(|(d, _)| d).collect()
+        } else {
+            self.entries
+                .iter()
+                .filter(|(_, b)| *b as usize <= k)
+                .map(|(d, _)| d)
+                .collect()
+        }
+    }
+
+    /// `(domain, rank)` pairs within the top `k` (ordered lists only).
+    pub fn top_ranked(&self, k: usize) -> &[(DomainName, u32)] {
+        debug_assert!(self.ordered, "rank access on a bucketed list");
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Re-materializes the normalized list as a ranked list of registrable
+    /// domains (ranks re-assigned 1..n in normalized order).
+    ///
+    /// This models list publishers that PSL-filter their output — the real
+    /// Tranco aggregates its inputs at the pay-level-domain granularity,
+    /// which is why Table 2 shows it deviating 0% from the PSL.
+    pub fn to_ranked_list(&self) -> RankedList {
+        RankedList::from_sorted_names(
+            self.source,
+            self.entries.iter().map(|(d, _)| d.as_str().to_owned()).collect(),
+        )
+    }
+
+    /// Number of normalized entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the normalized list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Extracts the host from a raw list entry (strips an origin's scheme/port).
+fn entry_host(raw: &str) -> Option<DomainName> {
+    if let Some((_scheme, rest)) = raw.split_once("://") {
+        let host = rest.split(['/', ':']).next().unwrap_or(rest);
+        DomainName::new(host).ok()
+    } else {
+        DomainName::new(raw).ok()
+    }
+}
+
+fn normalize_entries<'a>(
+    psl: &PublicSuffixList,
+    raw: impl Iterator<Item = (&'a str, u32)>,
+) -> (Vec<(DomainName, u32)>, usize, usize) {
+    let mut best: HashMap<DomainName, u32> = HashMap::new();
+    let mut raw_len = 0usize;
+    let mut deviating = 0usize;
+    for (name, value) in raw {
+        raw_len += 1;
+        let Some(host) = entry_host(name) else {
+            // Unparseable entries (rare; e.g. raw IPs) count as deviating and
+            // are dropped, as the paper's domain grouping would do.
+            deviating += 1;
+            continue;
+        };
+        // The grouping key: registrable domain, or the host itself when it is
+        // already a public suffix (e.g. the literal name `com` on Umbrella).
+        // An entry "deviates" when the listed host is not itself a
+        // registrable domain (subdomain FQDNs, bare public suffixes). An
+        // origin whose host IS the apex (https://example.com) does not
+        // deviate — the paper's Table 2 measures name-shape, not scheme.
+        let (key, deviates) = match psl.registrable_domain(&host) {
+            Some(reg) => {
+                let dev = reg != host;
+                (reg, dev)
+            }
+            None => (host, true),
+        };
+        if deviates {
+            deviating += 1;
+        }
+        best.entry(key).and_modify(|v| *v = (*v).min(value)).or_insert(value);
+    }
+    let mut entries: Vec<(DomainName, u32)> = best.into_iter().collect();
+    entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    (entries, raw_len, deviating)
+}
+
+/// Normalizes a ranked list.
+pub fn normalize_ranked(psl: &PublicSuffixList, list: &RankedList) -> NormalizedList {
+    let (entries, raw_len, deviating) =
+        normalize_entries(psl, list.entries.iter().map(|e| (e.name.as_str(), e.rank)));
+    NormalizedList { source: list.source, entries, ordered: true, raw_len, deviating }
+}
+
+/// Normalizes a bucketed list.
+pub fn normalize_bucketed(psl: &PublicSuffixList, list: &BucketedList) -> NormalizedList {
+    let (entries, raw_len, deviating) =
+        normalize_entries(psl, list.entries.iter().map(|e| (e.name.as_str(), e.bucket)));
+    NormalizedList { source: list.source, entries, ordered: false, raw_len, deviating }
+}
+
+/// Normalizes either format.
+pub fn normalize(psl: &PublicSuffixList, list: &TopList) -> NormalizedList {
+    match list {
+        TopList::Ranked(l) => normalize_ranked(psl, l),
+        TopList::Bucketed(l) => normalize_bucketed(psl, l),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BucketedEntry;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::builtin()
+    }
+
+    fn ranked(names: &[&str]) -> RankedList {
+        RankedList::from_sorted_names(
+            ListSource::Umbrella,
+            names.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn groups_by_registrable_domain_with_min_rank() {
+        let l = ranked(&["cdn.example.com", "example.com", "www.example.com", "other.net"]);
+        let n = normalize_ranked(&psl(), &l);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.entries[0].0.as_str(), "example.com");
+        assert_eq!(n.entries[0].1, 1); // min rank of the group
+        assert_eq!(n.entries[1].0.as_str(), "other.net");
+        assert_eq!(n.entries[1].1, 4);
+    }
+
+    #[test]
+    fn deviation_counts_subdomains_and_suffixes() {
+        // cdn.example.com deviates; example.com does not; `com` (a public
+        // suffix) deviates; www.example.com deviates.
+        let l = ranked(&["cdn.example.com", "example.com", "com", "www.example.com"]);
+        let n = normalize_ranked(&psl(), &l);
+        assert_eq!(n.raw_len, 4);
+        assert_eq!(n.deviating, 3);
+        assert!((n.deviation_percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn origins_are_stripped_and_deviate() {
+        let b = BucketedList {
+            source: ListSource::Crux,
+            entries: vec![
+                BucketedEntry { name: "https://example.com".into(), bucket: 100 },
+                BucketedEntry { name: "https://www.example.com".into(), bucket: 1000 },
+                BucketedEntry { name: "https://shop.other.co.uk".into(), bucket: 1000 },
+            ],
+        };
+        let n = normalize_bucketed(&psl(), &b);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.entries[0].0.as_str(), "example.com");
+        assert_eq!(n.entries[0].1, 100); // min bucket
+        assert_eq!(n.entries[1].0.as_str(), "other.co.uk");
+        // Subdomain-host origins deviate; the apex-host origin does not.
+        assert_eq!(n.deviating, 2);
+    }
+
+    #[test]
+    fn domain_lists_deviate_little() {
+        let l = RankedList::from_sorted_names(
+            ListSource::Alexa,
+            vec!["a.com".into(), "b.co.uk".into(), "c.de".into()],
+        );
+        let n = normalize_ranked(&psl(), &l);
+        assert_eq!(n.deviating, 0);
+        assert_eq!(n.deviation_percent(), 0.0);
+    }
+
+    #[test]
+    fn top_domains_ordered_vs_bucketed() {
+        let l = ranked(&["a.com", "b.com", "c.com"]);
+        let n = normalize_ranked(&psl(), &l);
+        assert_eq!(n.top_domains(2).len(), 2);
+        let b = BucketedList {
+            source: ListSource::Crux,
+            entries: vec![
+                BucketedEntry { name: "https://a.com".into(), bucket: 10 },
+                BucketedEntry { name: "https://b.com".into(), bucket: 100 },
+            ],
+        };
+        let nb = normalize_bucketed(&psl(), &b);
+        assert_eq!(nb.top_domains(10).len(), 1);
+        assert_eq!(nb.top_domains(100).len(), 2);
+    }
+
+    #[test]
+    fn unparseable_entries_drop_but_count() {
+        let l = ranked(&["good.com", "bad name!.com"]);
+        let n = normalize_ranked(&psl(), &l);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.raw_len, 2);
+        assert_eq!(n.deviating, 1);
+    }
+}

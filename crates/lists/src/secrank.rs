@@ -1,0 +1,128 @@
+//! The Secrank-style list: voting over resolver logs (Xie et al. \[34\]).
+//!
+//! In the published design, each client IP "votes" for domains based on its
+//! request volume and frequency of access, and IPs are weighted by the
+//! diversity of domains they query and their total volume, making the list
+//! stable and manipulation-resistant. We implement the same structure —
+//! per-IP trust × per-domain vote, summed — in a documented simplified form:
+//!
+//! * `trust(ip) = ln(1 + distinct_domains) / (1 + ln(1 + total_queries))` —
+//!   diverse IPs earn trust; single-purpose heavy hitters (monitoring rigs,
+//!   open proxies) are damped.
+//! * `vote(ip, d) = √queries(ip, d) × (days_active(ip, d) / window)` —
+//!   sustained, repeated interest beats volume spikes.
+//!
+//! The vantage is a Chinese resolver, so the list inherits a strong
+//! geographic skew — exactly the paper's finding.
+
+use std::collections::HashMap;
+
+use topple_sim::{SiteId, World};
+use topple_vantage::DnsVantage;
+
+use crate::model::{ListSource, RankedList};
+
+/// Builds the Secrank-style list from the China resolver's monthly votes.
+///
+/// `window_days` is the number of ingested days (for frequency weighting).
+pub fn build(world: &World, resolver: &DnsVantage, window_days: usize, max_len: usize) -> RankedList {
+    let votes = resolver.votes();
+    // Pass 1: per-IP totals for trust computation.
+    let mut ip_domains: HashMap<u32, u32> = HashMap::new();
+    let mut ip_queries: HashMap<u32, u64> = HashMap::new();
+    for ((ip, _site), cell) in votes {
+        *ip_domains.entry(*ip).or_default() += 1;
+        *ip_queries.entry(*ip).or_default() += u64::from(cell.queries);
+    }
+    let trust: HashMap<u32, f64> = ip_domains
+        .iter()
+        .map(|(ip, &d)| {
+            let q = ip_queries[ip] as f64;
+            (*ip, (1.0 + f64::from(d)).ln() / (1.0 + (1.0 + q).ln()))
+        })
+        .collect();
+
+    // Pass 2: weighted votes per domain. Accumulate in sorted key order —
+    // floating-point addition is not associative, and HashMap iteration
+    // order varies per instance, so an unsorted fold would make the list
+    // nondeterministic in the last ulp (and therefore in tie ordering).
+    let window = window_days.max(1) as f64;
+    let mut ordered: Vec<(&(u32, SiteId), &topple_vantage::dns::VoteCell)> =
+        votes.iter().collect();
+    ordered.sort_by_key(|(k, _)| **k);
+    let mut scores: HashMap<SiteId, f64> = HashMap::new();
+    for ((ip, site), cell) in ordered {
+        let days_active = f64::from(cell.day_mask.count_ones());
+        let vote = (f64::from(cell.queries)).sqrt() * (days_active / window);
+        *scores.entry(*site).or_default() += trust[ip] * vote;
+    }
+
+    let mut scored: Vec<(SiteId, f64)> = scores.into_iter().collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then_with(|| world.sites[a.0.index()].domain.cmp(&world.sites[b.0.index()].domain))
+    });
+    scored.truncate(max_len);
+    RankedList::from_sorted_names(
+        ListSource::Secrank,
+        scored
+            .into_iter()
+            .map(|(site, _)| world.sites[site.index()].domain.as_str().to_owned())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::{Country, Resolver, WorldConfig};
+
+    fn setup() -> (World, DnsVantage) {
+        let w = World::generate(WorldConfig::small(111)).unwrap();
+        let mut v = DnsVantage::new(Resolver::ChinaVoting);
+        for d in 0..5 {
+            let t = w.simulate_day(d);
+            v.ingest_day(&w, &t);
+        }
+        (w, v)
+    }
+
+    #[test]
+    fn list_is_china_skewed() {
+        let (w, v) = setup();
+        let l = build(&w, &v, 5, usize::MAX);
+        assert!(!l.is_empty());
+        let k = 100.min(l.len());
+        let china_home = l
+            .top_names(k)
+            .filter(|n| {
+                let d = n.parse().unwrap();
+                w.site_by_domain(&d).unwrap().home_country == Country::China
+            })
+            .count();
+        assert!(
+            china_home as f64 / k as f64 > 0.5,
+            "Secrank head should be Chinese-home-heavy: {china_home}/{k}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (w, v) = setup();
+        let a = build(&w, &v, 5, 500);
+        let b = build(&w, &v, 5, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sustained_interest_beats_spikes() {
+        // Construct a synthetic vote table via a real vantage is complex;
+        // instead verify the frequency term monotonically: more active days,
+        // higher vote, all else equal.
+        let vote = |queries: f64, days: f64, window: f64| queries.sqrt() * (days / window);
+        assert!(vote(16.0, 5.0, 28.0) > vote(16.0, 1.0, 28.0));
+        // A single-day spike of 100 queries loses to 10 queries on 10 days.
+        assert!(vote(100.0, 1.0, 28.0) < vote(10.0, 10.0, 28.0));
+    }
+}

@@ -1,0 +1,122 @@
+//! List stability metrics (Scheitle et al. \[27\], Section 2/5.4 background).
+//!
+//! The prior work the paper builds on formalized *stability* — how much a
+//! list changes day over day — as a first-class property of top lists, and
+//! found the commercial lists wanting. These helpers quantify it for any
+//! sequence of daily snapshots: head-set churn, and the rank displacement of
+//! entries that persist.
+
+use std::collections::HashMap;
+
+use crate::model::RankedList;
+
+/// Stability of one list sequence at depth `k`.
+#[derive(Debug, Clone)]
+pub struct StabilityReport {
+    /// Depth analyzed.
+    pub k: usize,
+    /// Per-day-pair share of the top-k retained (1.0 = identical heads).
+    pub daily_retention: Vec<f64>,
+    /// Per-day-pair mean absolute rank change among retained entries.
+    pub daily_rank_churn: Vec<f64>,
+}
+
+impl StabilityReport {
+    /// Mean retention across the window.
+    pub fn mean_retention(&self) -> f64 {
+        mean(&self.daily_retention)
+    }
+
+    /// Mean rank churn across the window.
+    pub fn mean_rank_churn(&self) -> f64 {
+        mean(&self.daily_rank_churn)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Computes stability of consecutive daily snapshots at depth `k`.
+///
+/// Returns a report with one entry per adjacent day pair; sequences shorter
+/// than two days yield empty vectors.
+pub fn stability(days: &[RankedList], k: usize) -> StabilityReport {
+    let mut daily_retention = Vec::new();
+    let mut daily_rank_churn = Vec::new();
+    for pair in days.windows(2) {
+        let prev: HashMap<&str, u32> =
+            pair[0].entries.iter().take(k).map(|e| (e.name.as_str(), e.rank)).collect();
+        let cur: Vec<(&str, u32)> =
+            pair[1].entries.iter().take(k).map(|e| (e.name.as_str(), e.rank)).collect();
+        let denom = prev.len().max(cur.len()).max(1);
+        let mut kept = 0usize;
+        let mut churn_sum = 0.0;
+        for (name, rank) in &cur {
+            if let Some(&old) = prev.get(name) {
+                kept += 1;
+                churn_sum += (f64::from(*rank) - f64::from(old)).abs();
+            }
+        }
+        daily_retention.push(kept as f64 / denom as f64);
+        daily_rank_churn.push(if kept > 0 { churn_sum / kept as f64 } else { f64::NAN });
+    }
+    StabilityReport { k, daily_retention, daily_rank_churn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ListSource;
+
+    fn list(names: &[&str]) -> RankedList {
+        RankedList::from_sorted_names(ListSource::Alexa, names.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn identical_days_are_fully_stable() {
+        let a = list(&["a", "b", "c"]);
+        let days = vec![a.clone(), a.clone(), a];
+        let r = stability(&days, 3);
+        assert_eq!(r.daily_retention, vec![1.0, 1.0]);
+        assert_eq!(r.daily_rank_churn, vec![0.0, 0.0]);
+        assert_eq!(r.mean_retention(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_days_are_fully_unstable() {
+        let days = vec![list(&["a", "b"]), list(&["c", "d"])];
+        let r = stability(&days, 2);
+        assert_eq!(r.daily_retention, vec![0.0]);
+        assert!(r.daily_rank_churn[0].is_nan());
+    }
+
+    #[test]
+    fn rank_churn_measures_displacement() {
+        let days = vec![list(&["a", "b", "c"]), list(&["c", "b", "a"])];
+        let r = stability(&days, 3);
+        assert_eq!(r.daily_retention, vec![1.0]);
+        // a: 1->3 (2), b: 2->2 (0), c: 3->1 (2) => mean 4/3.
+        assert!((r.daily_rank_churn[0] - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_truncates_analysis() {
+        let days = vec![list(&["a", "b", "x"]), list(&["a", "b", "y"])];
+        let r = stability(&days, 2);
+        assert_eq!(r.daily_retention, vec![1.0]); // x/y churn is below depth 2
+        let r3 = stability(&days, 3);
+        assert!((r3.daily_retention[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_sequences_yield_empty_reports() {
+        let r = stability(&[list(&["a"])], 1);
+        assert!(r.daily_retention.is_empty());
+        assert!(r.mean_retention().is_nan());
+    }
+}

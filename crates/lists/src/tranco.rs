@@ -1,0 +1,85 @@
+//! The Tranco aggregation (Le Pochat et al., NDSS 2019 \[18\]).
+//!
+//! Tranco combines daily Alexa, Umbrella, and Majestic snapshots over a
+//! 30-day window with the **Dowdall rule**: every appearance of a name at
+//! rank *r* contributes `1/r`, and names are re-ranked by total score. The
+//! aggregation smooths daily churn and raises manipulation cost, but — as the
+//! paper shows — it inherits and averages its inputs' biases rather than
+//! fixing them.
+
+use std::collections::HashMap;
+
+use crate::model::{ListSource, RankedList};
+
+/// Aggregates input lists with the Dowdall rule into a Tranco-style list.
+///
+/// `inputs` holds every (list, day) snapshot in the window, from any mix of
+/// providers. Names are aggregated exactly as published (no normalization —
+/// real Tranco contains Umbrella's FQDN entries verbatim).
+pub fn build(inputs: &[&RankedList], max_len: usize) -> RankedList {
+    let mut scores: HashMap<&str, f64> = HashMap::new();
+    for list in inputs {
+        for e in &list.entries {
+            *scores.entry(e.name.as_str()).or_default() += 1.0 / f64::from(e.rank);
+        }
+    }
+    let mut scored: Vec<(&str, f64)> = scores.into_iter().collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(b.0)));
+    scored.truncate(max_len);
+    RankedList::from_sorted_names(
+        ListSource::Tranco,
+        scored.into_iter().map(|(n, _)| n.to_owned()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(names: &[&str]) -> RankedList {
+        RankedList::from_sorted_names(ListSource::Alexa, names.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn dowdall_scores_sum_reciprocal_ranks() {
+        // a: rank 1 in both lists -> 2.0; b: rank 2 + rank 3 -> 0.8333;
+        // c: rank 3 + rank 2 -> 0.8333 (tie, broken alphabetically: b first).
+        let l1 = list(&["a.com", "b.com", "c.com"]);
+        let l2 = list(&["a.com", "c.com", "b.com"]);
+        let t = build(&[&l1, &l2], 10);
+        let names: Vec<&str> = t.top_names(3).collect();
+        assert_eq!(names, vec!["a.com", "b.com", "c.com"]);
+    }
+
+    #[test]
+    fn appearing_in_more_snapshots_wins() {
+        // x at rank 5 in three lists (3 × 0.2 = 0.6) beats y at rank 2 in one
+        // list (0.5): persistence beats a single good day.
+        let mk = |names: &[&str]| list(names);
+        let l1 = mk(&["f1.com", "f2.com", "f3.com", "f4.com", "x.com"]);
+        let l2 = mk(&["f5.com", "f6.com", "f7.com", "f8.com", "x.com"]);
+        let l3 = mk(&["f9.com", "y.com", "f10.com", "f11.com", "x.com"]);
+        let t = build(&[&l1, &l2, &l3], 100);
+        let rank_of = |t: &RankedList, n: &str| {
+            t.entries.iter().find(|e| e.name == n).map(|e| e.rank).unwrap()
+        };
+        assert!(rank_of(&t, "x.com") < rank_of(&t, "y.com"));
+    }
+
+    #[test]
+    fn stability_under_single_day_churn() {
+        // Swapping two tail entries on one of 10 days barely moves the output.
+        let base = list(&["a.com", "b.com", "c.com", "d.com", "e.com"]);
+        let churned = list(&["a.com", "b.com", "c.com", "e.com", "d.com"]);
+        let mut days: Vec<&RankedList> = vec![&base; 9];
+        days.push(&churned);
+        let t = build(&days, 10);
+        assert_eq!(t.top_names(5).collect::<Vec<_>>(), vec!["a.com", "b.com", "c.com", "d.com", "e.com"]);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_list() {
+        let t = build(&[], 10);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! The Trexa interleave (Zeber et al. \[35\]).
+//!
+//! Trexa "interleaves Tranco and Alexa rankings (i.e., additionally weighting
+//! towards Alexa)" to better match observed user browsing. We implement the
+//! interleave as a weighted merge: for every one Tranco pick, `alexa_weight`
+//! Alexa picks are taken (skipping duplicates), preserving each source's
+//! internal order.
+
+use std::collections::HashSet;
+
+use crate::model::{ListSource, RankedList};
+
+/// Interleaves `tranco` and `alexa` with `alexa_weight` Alexa picks per
+/// Tranco pick (the reference construction weights toward Alexa; 2 is used
+/// throughout this workspace).
+pub fn build(tranco: &RankedList, alexa: &RankedList, alexa_weight: usize, max_len: usize) -> RankedList {
+    assert!(alexa_weight >= 1, "alexa_weight must be at least 1");
+    let mut names: Vec<String> = Vec::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut ai = alexa.entries.iter();
+    let mut ti = tranco.entries.iter();
+    'outer: loop {
+        // `alexa_weight` picks from Alexa…
+        let mut advanced = false;
+        for _ in 0..alexa_weight {
+            for e in ai.by_ref() {
+                if seen.insert(e.name.as_str()) {
+                    names.push(e.name.clone());
+                    advanced = true;
+                    break;
+                }
+            }
+            if names.len() >= max_len {
+                break 'outer;
+            }
+        }
+        // …then one from Tranco.
+        for e in ti.by_ref() {
+            if seen.insert(e.name.as_str()) {
+                names.push(e.name.clone());
+                advanced = true;
+                break;
+            }
+        }
+        if names.len() >= max_len || !advanced {
+            break;
+        }
+    }
+    names.truncate(max_len);
+    RankedList::from_sorted_names(ListSource::Trexa, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(src: ListSource, names: &[&str]) -> RankedList {
+        RankedList::from_sorted_names(src, names.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn interleaves_with_alexa_weight() {
+        let alexa = list(ListSource::Alexa, &["a1", "a2", "a3", "a4"]);
+        let tranco = list(ListSource::Tranco, &["t1", "t2"]);
+        let t = build(&tranco, &alexa, 2, 100);
+        assert_eq!(t.top_names(6).collect::<Vec<_>>(), vec!["a1", "a2", "t1", "a3", "a4", "t2"]);
+    }
+
+    #[test]
+    fn skips_duplicates() {
+        let alexa = list(ListSource::Alexa, &["x", "y", "z"]);
+        let tranco = list(ListSource::Tranco, &["x", "w"]);
+        let t = build(&tranco, &alexa, 2, 100);
+        let names: Vec<&str> = t.top_names(10).collect();
+        assert_eq!(names, vec!["x", "y", "w", "z"]);
+        // No duplicates anywhere.
+        let set: HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn exhausts_both_sources() {
+        let alexa = list(ListSource::Alexa, &["a"]);
+        let tranco = list(ListSource::Tranco, &["t1", "t2", "t3"]);
+        let t = build(&tranco, &alexa, 2, 100);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let alexa = list(ListSource::Alexa, &["a1", "a2", "a3", "a4", "a5"]);
+        let tranco = list(ListSource::Tranco, &["t1", "t2", "t3"]);
+        let t = build(&tranco, &alexa, 2, 4);
+        assert_eq!(t.len(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the list data model, normalization, and the
+//! aggregation algorithms.
+
+use proptest::prelude::*;
+use topple_lists::{normalize_ranked, tranco, trexa, ListSource, RankedList};
+use topple_psl::PublicSuffixList;
+
+/// Strategy: a ranked list of unique plausible names (domains + FQDNs).
+fn name_list() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set("[a-z]{1,6}(\\.[a-z]{1,6}){0,2}\\.(com|net|org|co\\.uk)", 1..40)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip(names in name_list()) {
+        let l = RankedList::from_sorted_names(ListSource::Alexa, names);
+        let back = RankedList::from_csv(ListSource::Alexa, &l.to_csv()).unwrap();
+        prop_assert_eq!(back, l);
+    }
+
+    #[test]
+    fn normalization_is_idempotent(names in name_list()) {
+        let psl = PublicSuffixList::builtin();
+        let l = RankedList::from_sorted_names(ListSource::Umbrella, names);
+        let once = normalize_ranked(&psl, &l);
+        let twice = normalize_ranked(&psl, &once.to_ranked_list());
+        // Re-normalizing a normalized list changes nothing and deviates 0%.
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(twice.deviation_percent(), 0.0);
+        let a: Vec<&str> = once.entries.iter().map(|(d, _)| d.as_str()).collect();
+        let b: Vec<&str> = twice.entries.iter().map(|(d, _)| d.as_str()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalization_never_grows(names in name_list()) {
+        let psl = PublicSuffixList::builtin();
+        let l = RankedList::from_sorted_names(ListSource::Umbrella, names);
+        let n = normalize_ranked(&psl, &l);
+        prop_assert!(n.len() <= l.len());
+        prop_assert!(n.deviating <= n.raw_len);
+        // Normalized values are sorted ascending.
+        for w in n.entries.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn tranco_contains_exactly_the_union(a in name_list(), b in name_list()) {
+        let la = RankedList::from_sorted_names(ListSource::Alexa, a.clone());
+        let lb = RankedList::from_sorted_names(ListSource::Majestic, b.clone());
+        let t = tranco::build(&[&la, &lb], usize::MAX);
+        let union: std::collections::HashSet<&str> =
+            a.iter().chain(b.iter()).map(String::as_str).collect();
+        prop_assert_eq!(t.len(), union.len());
+        for e in &t.entries {
+            prop_assert!(union.contains(e.name.as_str()));
+        }
+        // Rank-1 everywhere dominates: the name ranked first in both lists
+        // (if shared) must come first.
+        if a.first() == b.first() {
+            prop_assert_eq!(t.entries[0].name.as_str(), a[0].as_str());
+        }
+    }
+
+    #[test]
+    fn tranco_is_input_order_invariant(a in name_list(), b in name_list()) {
+        let la = RankedList::from_sorted_names(ListSource::Alexa, a);
+        let lb = RankedList::from_sorted_names(ListSource::Majestic, b);
+        let t1 = tranco::build(&[&la, &lb], usize::MAX);
+        let t2 = tranco::build(&[&lb, &la], usize::MAX);
+        prop_assert_eq!(t1.entries, t2.entries);
+    }
+
+    #[test]
+    fn trexa_has_no_duplicates_and_covers_both(a in name_list(), b in name_list()) {
+        let alexa = RankedList::from_sorted_names(ListSource::Alexa, a.clone());
+        let tr = RankedList::from_sorted_names(ListSource::Tranco, b.clone());
+        let t = trexa::build(&tr, &alexa, 2, usize::MAX);
+        let names: Vec<&str> = t.entries.iter().map(|e| e.name.as_str()).collect();
+        let set: std::collections::HashSet<&str> = names.iter().copied().collect();
+        prop_assert_eq!(set.len(), names.len(), "duplicates in Trexa output");
+        let union: std::collections::HashSet<&str> =
+            a.iter().chain(b.iter()).map(String::as_str).collect();
+        prop_assert_eq!(set.len(), union.len(), "Trexa must cover the union");
+    }
+}

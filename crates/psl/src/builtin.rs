@@ -1,0 +1,164 @@
+//! The built-in suffix set used by the simulated world.
+//!
+//! The real Mozilla PSL has thousands of entries; the synthetic world only mints
+//! domains under the suffixes below, so this subset is *complete* with respect to
+//! the simulation while staying realistic in structure (second-level country
+//! suffixes, wildcard + exception rules, and private registry suffixes).
+
+use crate::PublicSuffixList;
+
+/// PSL rule text embedded in the crate (same file format as the real list).
+pub const BUILTIN_PSL_TEXT: &str = "\
+// ===BEGIN ICANN DOMAINS===
+// Generic top-level domains
+com
+net
+org
+info
+biz
+io
+co
+me
+tv
+cc
+xyz
+online
+site
+shop
+app
+dev
+news
+blog
+// United States
+us
+gov
+edu
+mil
+// Brazil
+br
+com.br
+net.br
+org.br
+gov.br
+edu.br
+// Germany
+de
+// Egypt
+eg
+com.eg
+gov.eg
+edu.eg
+// United Kingdom
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+net.uk
+// Indonesia
+id
+co.id
+or.id
+ac.id
+go.id
+web.id
+// India
+in
+co.in
+net.in
+org.in
+gov.in
+ac.in
+// Japan
+jp
+co.jp
+ne.jp
+or.jp
+ac.jp
+go.jp
+kawasaki.jp
+*.kawasaki.jp
+!city.kawasaki.jp
+// Nigeria
+ng
+com.ng
+gov.ng
+edu.ng
+// South Africa
+za
+co.za
+org.za
+gov.za
+ac.za
+// China
+cn
+com.cn
+net.cn
+org.cn
+gov.cn
+edu.cn
+ac.cn
+// Cook Islands (wildcard + exception, exercised by tests)
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+pages.dev
+netlify.app
+web.app
+// ===END PRIVATE DOMAINS===
+";
+
+impl PublicSuffixList {
+    /// Returns the embedded suffix set described in [`BUILTIN_PSL_TEXT`].
+    ///
+    /// Parsing the embedded text cannot fail; the unit tests below and the
+    /// crate's property tests guard that invariant.
+    pub fn builtin() -> PublicSuffixList {
+        PublicSuffixList::parse(BUILTIN_PSL_TEXT).expect("embedded PSL text is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DomainName, PublicSuffixList};
+
+    fn reg(l: &PublicSuffixList, s: &str) -> Option<String> {
+        l.registrable_domain(&s.parse::<DomainName>().unwrap()).map(|d| d.as_str().to_owned())
+    }
+
+    #[test]
+    fn builtin_parses() {
+        let l = PublicSuffixList::builtin();
+        assert!(l.len() > 60);
+    }
+
+    #[test]
+    fn country_suffixes() {
+        let l = PublicSuffixList::builtin();
+        assert_eq!(reg(&l, "shop.example.com.br"), Some("example.com.br".into()));
+        assert_eq!(reg(&l, "www.example.co.jp"), Some("example.co.jp".into()));
+        assert_eq!(reg(&l, "example.de"), Some("example.de".into()));
+        assert_eq!(reg(&l, "m.example.co.za"), Some("example.co.za".into()));
+        assert_eq!(reg(&l, "api.example.gov.cn"), Some("example.gov.cn".into()));
+    }
+
+    #[test]
+    fn private_suffixes_split_tenants() {
+        let l = PublicSuffixList::builtin();
+        assert_eq!(reg(&l, "alice.github.io"), Some("alice.github.io".into()));
+        assert_eq!(reg(&l, "bob.github.io"), Some("bob.github.io".into()));
+        assert_eq!(reg(&l, "github.io"), None);
+    }
+
+    #[test]
+    fn wildcard_and_exception() {
+        let l = PublicSuffixList::builtin();
+        assert_eq!(reg(&l, "www.ck"), Some("www.ck".into()));
+        assert_eq!(reg(&l, "shop.foo.ck"), Some("shop.foo.ck".into()));
+        assert_eq!(reg(&l, "city.kawasaki.jp"), Some("city.kawasaki.jp".into()));
+        assert_eq!(reg(&l, "x.other.kawasaki.jp"), Some("x.other.kawasaki.jp".into()));
+    }
+}

@@ -1,0 +1,140 @@
+//! Error types for domain, origin, and PSL parsing.
+
+use std::fmt;
+
+/// Error produced when validating a [`crate::DomainName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The name was empty (or consisted only of a trailing dot).
+    Empty,
+    /// The whole name exceeded 253 octets.
+    NameTooLong {
+        /// Observed length in bytes after normalization.
+        len: usize,
+    },
+    /// A single label exceeded 63 octets.
+    LabelTooLong {
+        /// The offending label.
+        label: String,
+    },
+    /// A label was empty (consecutive dots or a leading dot).
+    EmptyLabel,
+    /// A label contained a byte outside the LDH (letter/digit/hyphen) set.
+    InvalidCharacter {
+        /// The offending character.
+        ch: char,
+    },
+    /// A label began or ended with a hyphen.
+    HyphenEdge {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "domain name is empty"),
+            DomainError::NameTooLong { len } => {
+                write!(f, "domain name is {len} bytes, exceeding the 253-byte limit")
+            }
+            DomainError::LabelTooLong { label } => {
+                write!(f, "label `{label}` exceeds the 63-byte limit")
+            }
+            DomainError::EmptyLabel => write!(f, "domain name contains an empty label"),
+            DomainError::InvalidCharacter { ch } => {
+                write!(f, "domain name contains invalid character {ch:?}")
+            }
+            DomainError::HyphenEdge { label } => {
+                write!(f, "label `{label}` begins or ends with a hyphen")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// Error produced when parsing an [`crate::Origin`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OriginError {
+    /// The origin did not contain a `://` scheme separator.
+    MissingScheme,
+    /// The scheme was not `http` or `https`.
+    UnsupportedScheme {
+        /// The scheme as written.
+        scheme: String,
+    },
+    /// The host part failed domain validation.
+    InvalidHost(DomainError),
+    /// The port was present but not a valid non-zero 16-bit integer.
+    InvalidPort {
+        /// The port as written.
+        port: String,
+    },
+    /// The origin contained a path, query, or fragment component.
+    TrailingComponents,
+}
+
+impl fmt::Display for OriginError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OriginError::MissingScheme => write!(f, "origin is missing a `scheme://` prefix"),
+            OriginError::UnsupportedScheme { scheme } => {
+                write!(f, "unsupported origin scheme `{scheme}` (expected http or https)")
+            }
+            OriginError::InvalidHost(e) => write!(f, "invalid origin host: {e}"),
+            OriginError::InvalidPort { port } => write!(f, "invalid origin port `{port}`"),
+            OriginError::TrailingComponents => {
+                write!(f, "origin must not contain a path, query, or fragment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OriginError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OriginError::InvalidHost(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when parsing Public Suffix List rule text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PslParseError {
+    /// A rule line failed domain validation once its `!`/`*.` markers were stripped.
+    InvalidRule {
+        /// 1-based line number within the input.
+        line: usize,
+        /// The underlying domain error.
+        source: DomainError,
+    },
+    /// A wildcard appeared somewhere other than the leftmost label.
+    MisplacedWildcard {
+        /// 1-based line number within the input.
+        line: usize,
+    },
+}
+
+impl fmt::Display for PslParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PslParseError::InvalidRule { line, source } => {
+                write!(f, "invalid PSL rule on line {line}: {source}")
+            }
+            PslParseError::MisplacedWildcard { line } => {
+                write!(f, "wildcard label must be leftmost (line {line})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PslParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PslParseError::InvalidRule { source, .. } => Some(source),
+            PslParseError::MisplacedWildcard { .. } => None,
+        }
+    }
+}

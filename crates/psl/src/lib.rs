@@ -1,0 +1,45 @@
+//! Domain names, web origins, and a Public Suffix List (PSL) engine.
+//!
+//! Top lists rank heterogeneous objects: Alexa/Majestic/Tranco rank *registrable
+//! domains*, Cisco Umbrella ranks *fully-qualified domain names*, and the Chrome
+//! UX Report ranks *web origins*. Comparing them fairly requires normalizing every
+//! entry to its PSL-defined registrable domain (Section 4.2 of the paper). This
+//! crate provides the pieces that normalization is built from:
+//!
+//! * [`DomainName`] — a validated, lowercased DNS name with label accessors.
+//! * [`Origin`] — a `scheme://host[:port]` web origin as aggregated by CrUX.
+//! * [`PublicSuffixList`] — a from-scratch implementation of the
+//!   [PSL algorithm](https://publicsuffix.org/list/) including wildcard (`*.ck`)
+//!   and exception (`!www.ck`) rules, with [`PublicSuffixList::registrable_domain`]
+//!   performing eTLD+1 extraction.
+//!
+//! The crate ships a synthetic-but-realistic built-in suffix set
+//! ([`PublicSuffixList::builtin`]) covering the country-code suffixes used by the
+//! simulated world (see `topple-sim`), so the whole workspace runs offline.
+//!
+//! # Example
+//!
+//! ```
+//! use topple_psl::{DomainName, PublicSuffixList};
+//!
+//! let psl = PublicSuffixList::builtin();
+//! let name: DomainName = "news.shard.example.co.uk".parse().unwrap();
+//! let reg = psl.registrable_domain(&name).unwrap();
+//! assert_eq!(reg.as_str(), "example.co.uk");
+//! assert_eq!(psl.public_suffix(&name).unwrap().as_str(), "co.uk");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builtin;
+mod domain;
+mod error;
+mod origin;
+mod rules;
+
+pub use builtin::BUILTIN_PSL_TEXT;
+pub use domain::DomainName;
+pub use error::{DomainError, OriginError, PslParseError};
+pub use origin::{Origin, Scheme};
+pub use rules::{PublicSuffixList, Rule, RuleKind};

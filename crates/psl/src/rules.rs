@@ -1,0 +1,339 @@
+//! The Public Suffix List rule engine.
+//!
+//! Implements the matching algorithm from <https://publicsuffix.org/list/>:
+//!
+//! 1. Match the domain against all rules; a rule matches when the domain ends
+//!    with the rule's labels (a `*` label matches exactly one label).
+//! 2. If an exception rule (`!`) matches, the public suffix is the exception's
+//!    labels minus the leftmost one.
+//! 3. Otherwise the *prevailing* rule is the matching rule with the most labels;
+//!    if no rule matches, the implicit rule `*` prevails (the TLD is public).
+//! 4. The registrable domain is the public suffix plus one more label.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{DomainName, PslParseError};
+
+/// How a rule matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// A plain rule: the suffix itself is public.
+    Normal,
+    /// A wildcard rule `*.suffix`: every direct child of the suffix is public.
+    Wildcard,
+    /// An exception rule `!name`: cancels a wildcard for this exact name.
+    Exception,
+}
+
+/// One parsed Public Suffix List rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The rule's suffix with `!` and `*.` markers stripped.
+    pub suffix: DomainName,
+    /// The rule's kind.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// Number of labels this rule spans when prevailing (wildcards span one
+    /// more label than their written suffix).
+    pub fn effective_labels(&self) -> usize {
+        match self.kind {
+            RuleKind::Wildcard => self.suffix.label_count() + 1,
+            _ => self.suffix.label_count(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            RuleKind::Normal => write!(f, "{}", self.suffix),
+            RuleKind::Wildcard => write!(f, "*.{}", self.suffix),
+            RuleKind::Exception => write!(f, "!{}", self.suffix),
+        }
+    }
+}
+
+/// An immutable, queryable Public Suffix List.
+///
+/// Lookup is O(labels) per query: rules are indexed by their stripped suffix, and
+/// a query walks the candidate suffixes of the name from shortest to longest.
+#[derive(Debug, Clone, Default)]
+pub struct PublicSuffixList {
+    /// Rules keyed by their stripped suffix string.
+    by_suffix: HashMap<String, RuleEntry>,
+}
+
+/// Collapsed per-suffix rule flags (a suffix can carry a normal and a wildcard
+/// rule simultaneously, e.g. `ck` + `*.ck`).
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleEntry {
+    normal: bool,
+    wildcard: bool,
+    exception: bool,
+}
+
+impl PublicSuffixList {
+    /// Creates an empty list. With no rules every TLD is treated as a public
+    /// suffix via the implicit `*` rule, per the PSL specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses rules from PSL file text (one rule per line, `//` comments,
+    /// blank lines ignored). Section markers (`===BEGIN ICANN DOMAINS===`) live
+    /// inside comments and need no special handling.
+    pub fn parse(text: &str) -> Result<Self, PslParseError> {
+        let mut list = PublicSuffixList::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            // Rules end at the first whitespace per the spec.
+            let rule_text = line.split_whitespace().next().unwrap_or("");
+            list.insert_rule_text(rule_text, idx + 1)?;
+        }
+        Ok(list)
+    }
+
+    /// Adds one rule in PSL text form (`example`, `*.example`, or `!sub.example`).
+    pub fn insert(&mut self, rule_text: &str) -> Result<(), PslParseError> {
+        self.insert_rule_text(rule_text, 0)
+    }
+
+    fn insert_rule_text(&mut self, rule_text: &str, line: usize) -> Result<(), PslParseError> {
+        let (kind, stripped) = if let Some(rest) = rule_text.strip_prefix('!') {
+            (RuleKind::Exception, rest)
+        } else if let Some(rest) = rule_text.strip_prefix("*.") {
+            (RuleKind::Wildcard, rest)
+        } else {
+            (RuleKind::Normal, rule_text)
+        };
+        if stripped.contains('*') {
+            return Err(PslParseError::MisplacedWildcard { line });
+        }
+        let suffix =
+            DomainName::new(stripped).map_err(|source| PslParseError::InvalidRule { line, source })?;
+        let entry = self.by_suffix.entry(suffix.as_str().to_owned()).or_default();
+        match kind {
+            RuleKind::Normal => entry.normal = true,
+            RuleKind::Wildcard => entry.wildcard = true,
+            RuleKind::Exception => entry.exception = true,
+        }
+        Ok(())
+    }
+
+    /// Number of stored rules (counting normal/wildcard/exception separately).
+    pub fn len(&self) -> usize {
+        self.by_suffix
+            .values()
+            .map(|e| usize::from(e.normal) + usize::from(e.wildcard) + usize::from(e.exception))
+            .sum()
+    }
+
+    /// Whether the list holds no explicit rules.
+    pub fn is_empty(&self) -> bool {
+        self.by_suffix.is_empty()
+    }
+
+    /// Iterates over all stored rules in unspecified order.
+    pub fn rules(&self) -> impl Iterator<Item = Rule> + '_ {
+        self.by_suffix.iter().flat_map(|(suffix, entry)| {
+            let suffix = DomainName::from_normalized(suffix.clone());
+            let mut out = Vec::with_capacity(3);
+            if entry.normal {
+                out.push(Rule { suffix: suffix.clone(), kind: RuleKind::Normal });
+            }
+            if entry.wildcard {
+                out.push(Rule { suffix: suffix.clone(), kind: RuleKind::Wildcard });
+            }
+            if entry.exception {
+                out.push(Rule { suffix, kind: RuleKind::Exception });
+            }
+            out
+        })
+    }
+
+    /// The number of labels in `name`'s public suffix.
+    ///
+    /// Always at least 1 (the implicit `*` rule makes every TLD public).
+    fn public_suffix_labels(&self, name: &DomainName) -> usize {
+        let total = name.label_count();
+        let mut best = 1; // implicit `*` rule
+        let text = name.as_str();
+        // Byte offsets where each label starts, left to right.
+        let mut suffix_starts: Vec<usize> = Vec::with_capacity(total);
+        suffix_starts.push(0);
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'.' {
+                suffix_starts.push(i + 1);
+            }
+        }
+        debug_assert_eq!(suffix_starts.len(), total);
+        // Walk candidate suffixes from shortest (the TLD) to the full name.
+        for (labels_from_right, &start) in suffix_starts.iter().rev().enumerate() {
+            let labels = labels_from_right + 1;
+            let candidate = &text[start..];
+            if let Some(entry) = self.by_suffix.get(candidate) {
+                if entry.exception {
+                    // An exception's public suffix is the rule minus its leftmost
+                    // label; exceptions take priority over every other match.
+                    return labels - 1;
+                }
+                if entry.normal {
+                    best = best.max(labels);
+                }
+                // `*.candidate` spans one extra label and only matches when the
+                // name actually has a label to fill the wildcard.
+                if entry.wildcard && total > labels {
+                    best = best.max(labels + 1);
+                }
+            }
+        }
+        best.min(total)
+    }
+
+    /// Returns `name`'s public suffix (eTLD), e.g. `co.uk` for `a.example.co.uk`.
+    pub fn public_suffix(&self, name: &DomainName) -> Option<DomainName> {
+        let n = self.public_suffix_labels(name);
+        name.suffix(n)
+    }
+
+    /// Returns `name`'s registrable domain (eTLD+1), or `None` when the name is
+    /// itself a public suffix (e.g. `com`, `co.uk`).
+    ///
+    /// This is the normalization unit used to compare top lists (Section 4.2).
+    pub fn registrable_domain(&self, name: &DomainName) -> Option<DomainName> {
+        let n = self.public_suffix_labels(name);
+        if name.label_count() <= n {
+            return None;
+        }
+        name.suffix(n + 1)
+    }
+
+    /// Whether `name` is exactly a public suffix.
+    pub fn is_public_suffix(&self, name: &DomainName) -> bool {
+        self.public_suffix_labels(name) >= name.label_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> PublicSuffixList {
+        PublicSuffixList::parse(
+            "// test rules\n\
+             com\n\
+             uk\n\
+             co.uk\n\
+             jp\n\
+             // wildcard region\n\
+             *.ck\n\
+             !www.ck\n\
+             *.kawasaki.jp\n\
+             !city.kawasaki.jp\n\
+             blogspot.com\n",
+        )
+        .unwrap()
+    }
+
+    fn reg(l: &PublicSuffixList, s: &str) -> Option<String> {
+        l.registrable_domain(&s.parse().unwrap()).map(|d| d.as_str().to_owned())
+    }
+
+    #[test]
+    fn normal_rules() {
+        let l = list();
+        assert_eq!(reg(&l, "example.com"), Some("example.com".into()));
+        assert_eq!(reg(&l, "a.b.example.com"), Some("example.com".into()));
+        assert_eq!(reg(&l, "example.co.uk"), Some("example.co.uk".into()));
+        assert_eq!(reg(&l, "www.example.co.uk"), Some("example.co.uk".into()));
+        assert_eq!(reg(&l, "com"), None);
+        assert_eq!(reg(&l, "co.uk"), None);
+    }
+
+    #[test]
+    fn implicit_star_rule() {
+        let l = list();
+        // `zz` has no rule: the TLD itself is public.
+        assert_eq!(reg(&l, "example.zz"), Some("example.zz".into()));
+        assert_eq!(reg(&l, "a.example.zz"), Some("example.zz".into()));
+        assert_eq!(reg(&l, "zz"), None);
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        let l = list();
+        assert_eq!(reg(&l, "foo.ck"), None); // *.ck makes foo.ck a public suffix
+        assert_eq!(reg(&l, "bar.foo.ck"), Some("bar.foo.ck".into()));
+        assert_eq!(reg(&l, "a.bar.foo.ck"), Some("bar.foo.ck".into()));
+    }
+
+    #[test]
+    fn exception_rules() {
+        let l = list();
+        assert_eq!(reg(&l, "www.ck"), Some("www.ck".into()));
+        assert_eq!(reg(&l, "a.www.ck"), Some("www.ck".into()));
+        assert_eq!(reg(&l, "city.kawasaki.jp"), Some("city.kawasaki.jp".into()));
+        assert_eq!(reg(&l, "sub.city.kawasaki.jp"), Some("city.kawasaki.jp".into()));
+        assert_eq!(reg(&l, "example.kawasaki.jp"), None);
+        assert_eq!(reg(&l, "sub.example.kawasaki.jp"), Some("sub.example.kawasaki.jp".into()));
+    }
+
+    #[test]
+    fn private_suffixes() {
+        let l = list();
+        assert_eq!(reg(&l, "myblog.blogspot.com"), Some("myblog.blogspot.com".into()));
+        assert_eq!(reg(&l, "blogspot.com"), None);
+    }
+
+    #[test]
+    fn is_public_suffix_checks() {
+        let l = list();
+        assert!(l.is_public_suffix(&"com".parse().unwrap()));
+        assert!(l.is_public_suffix(&"co.uk".parse().unwrap()));
+        assert!(l.is_public_suffix(&"foo.ck".parse().unwrap()));
+        assert!(!l.is_public_suffix(&"www.ck".parse().unwrap()));
+        assert!(!l.is_public_suffix(&"example.com".parse().unwrap()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            PublicSuffixList::parse("a.*.b"),
+            Err(PslParseError::MisplacedWildcard { line: 1 })
+        ));
+        assert!(matches!(
+            PublicSuffixList::parse("bad domain"),
+            // whitespace splits the rule, so `bad` parses fine; force a bad char
+            Ok(_)
+        ));
+        assert!(matches!(
+            PublicSuffixList::parse("b%d"),
+            Err(PslParseError::InvalidRule { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn len_and_rules_roundtrip() {
+        let l = list();
+        assert_eq!(l.len(), 9);
+        let mut texts: Vec<String> = l.rules().map(|r| r.to_string()).collect();
+        texts.sort();
+        assert!(texts.contains(&"*.ck".to_string()));
+        assert!(texts.contains(&"!www.ck".to_string()));
+        assert!(texts.contains(&"co.uk".to_string()));
+    }
+
+    #[test]
+    fn empty_list_uses_implicit_rule() {
+        let l = PublicSuffixList::new();
+        assert!(l.is_empty());
+        assert_eq!(reg(&l, "example.com"), Some("example.com".into()));
+        assert_eq!(reg(&l, "a.example.co.uk"), Some("co.uk".into()));
+    }
+}

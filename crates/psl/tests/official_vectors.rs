@@ -1,0 +1,117 @@
+//! A subset of the official `checkPublicSuffix` test vectors from
+//! <https://github.com/publicsuffix/list/blob/master/tests/test_psl.txt>,
+//! restricted to rules present in the built-in suffix set, plus the
+//! structural cases (null/mixed case/leading dot/unlisted TLDs) that the
+//! official suite checks.
+
+use topple_psl::{DomainName, PublicSuffixList};
+
+/// `checkPublicSuffix(input, expected_registrable_domain)`.
+fn check(psl: &PublicSuffixList, input: &str, expected: Option<&str>) {
+    match DomainName::new(input) {
+        Ok(domain) => {
+            let got = psl.registrable_domain(&domain);
+            assert_eq!(
+                got.as_ref().map(|d| d.as_str()),
+                expected,
+                "checkPublicSuffix({input:?}) failed"
+            );
+        }
+        Err(_) => {
+            assert_eq!(expected, None, "{input:?} failed to parse but expected {expected:?}");
+        }
+    }
+}
+
+#[test]
+fn official_style_vectors() {
+    let psl = PublicSuffixList::builtin();
+    let cases: &[(&str, Option<&str>)] = &[
+        // Mixed case.
+        ("COM", None),
+        ("example.COM", Some("example.com")),
+        ("WwW.example.COM", Some("example.com")),
+        // Leading dot — invalid input.
+        (".com", None),
+        (".example", None),
+        (".example.com", None),
+        // Unlisted TLD (implicit * rule).
+        ("example", None),
+        ("example.example", Some("example.example")),
+        ("b.example.example", Some("example.example")),
+        ("a.b.example.example", Some("example.example")),
+        // TLD with only one rule.
+        ("biz", None),
+        ("domain.biz", Some("domain.biz")),
+        ("b.domain.biz", Some("domain.biz")),
+        ("a.b.domain.biz", Some("domain.biz")),
+        // TLD with some two-level rules.
+        ("com", None),
+        ("example.com", Some("example.com")),
+        ("b.example.com", Some("example.com")),
+        ("a.b.example.com", Some("example.com")),
+        ("uk.com", Some("uk.com")), // uk.com is not a public suffix here
+        // More complex suffixes.
+        ("jp", None),
+        ("test.jp", Some("test.jp")),
+        ("www.test.jp", Some("test.jp")),
+        ("ac.jp", None),
+        ("test.ac.jp", Some("test.ac.jp")),
+        ("www.test.ac.jp", Some("test.ac.jp")),
+        ("kawasaki.jp", None),
+        ("test.kawasaki.jp", None), // *.kawasaki.jp
+        ("www.test.kawasaki.jp", Some("www.test.kawasaki.jp")),
+        ("city.kawasaki.jp", Some("city.kawasaki.jp")), // exception rule
+        ("www.city.kawasaki.jp", Some("city.kawasaki.jp")),
+        // UK.
+        ("uk", None),
+        ("test.uk", Some("test.uk")),
+        ("www.test.uk", Some("test.uk")),
+        ("co.uk", None),
+        ("test.co.uk", Some("test.co.uk")),
+        ("www.test.co.uk", Some("test.co.uk")),
+        // US.
+        ("us", None),
+        ("test.us", Some("test.us")),
+        ("www.test.us", Some("test.us")),
+        // China.
+        ("cn", None),
+        ("test.cn", Some("test.cn")),
+        ("www.test.cn", Some("test.cn")),
+        ("com.cn", None),
+        ("test.com.cn", Some("test.com.cn")),
+        ("www.test.com.cn", Some("test.com.cn")),
+        // Brazil.
+        ("br", None),
+        ("test.br", Some("test.br")),
+        ("www.test.br", Some("test.br")),
+        ("com.br", None),
+        ("test.com.br", Some("test.com.br")),
+        ("www.test.com.br", Some("test.com.br")),
+        // Private registry suffixes.
+        ("github.io", None),
+        ("tenant.github.io", Some("tenant.github.io")),
+        ("www.tenant.github.io", Some("tenant.github.io")),
+        ("blogspot.com", None),
+        ("myblog.blogspot.com", Some("myblog.blogspot.com")),
+        // Cook Islands wildcard + exception.
+        ("ck", None),
+        ("test.ck", None), // *.ck
+        ("b.test.ck", Some("b.test.ck")),
+        ("a.b.test.ck", Some("b.test.ck")),
+        ("www.ck", Some("www.ck")), // !www.ck
+        ("www.www.ck", Some("www.ck")),
+    ];
+    for &(input, expected) in cases {
+        check(&psl, input, expected);
+    }
+}
+
+#[test]
+fn punycode_vectors() {
+    // IDN labels appear in lists in punycode form only.
+    let psl = PublicSuffixList::builtin();
+    check(&psl, "xn--85x722f.com", Some("xn--85x722f.com"));
+    check(&psl, "www.xn--85x722f.com", Some("xn--85x722f.com"));
+    check(&psl, "xn--55qx5d.cn", Some("xn--55qx5d.cn"));
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for domain parsing and the PSL algorithm.
+
+use proptest::prelude::*;
+use topple_psl::{DomainName, Origin, PublicSuffixList};
+
+/// Strategy producing syntactically valid LDH labels.
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?").expect("valid regex")
+}
+
+/// Strategy producing valid domain names of 1..=5 labels.
+fn domain() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label(), 1..=5).prop_map(|ls| ls.join("."))
+}
+
+proptest! {
+    #[test]
+    fn valid_domains_roundtrip(name in domain()) {
+        let d = DomainName::new(&name).expect("generated names are valid");
+        prop_assert_eq!(d.as_str(), name.to_lowercase());
+        // Reparsing the display form is the identity.
+        let d2: DomainName = d.to_string().parse().unwrap();
+        prop_assert_eq!(&d2, &d);
+        // Label arithmetic is consistent.
+        prop_assert_eq!(d.label_count(), d.labels().count());
+        let full = d.suffix(d.label_count());
+        prop_assert_eq!(full.as_ref(), Some(&d));
+    }
+
+    #[test]
+    fn uppercase_and_trailing_dot_normalize(name in domain()) {
+        let upper = format!("{}.", name.to_uppercase());
+        let a = DomainName::new(&name).unwrap();
+        let b = DomainName::new(&upper).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parent_reduces_label_count(name in domain()) {
+        let d = DomainName::new(&name).unwrap();
+        match d.parent() {
+            Some(p) => {
+                prop_assert_eq!(p.label_count(), d.label_count() - 1);
+                prop_assert!(d.is_within(&p) || d.label_count() == 1);
+            }
+            None => prop_assert_eq!(d.label_count(), 1),
+        }
+    }
+
+    #[test]
+    fn registrable_domain_is_idempotent(name in domain()) {
+        let psl = PublicSuffixList::builtin();
+        let d = DomainName::new(&name).unwrap();
+        if let Some(reg) = psl.registrable_domain(&d) {
+            // The registrable domain of a registrable domain is itself.
+            let again = psl.registrable_domain(&reg);
+            prop_assert_eq!(again.as_ref(), Some(&reg));
+            // And the original name is within it.
+            prop_assert!(d.is_within(&reg));
+            // Its public suffix has exactly one label fewer.
+            let ps = psl.public_suffix(&reg).unwrap();
+            prop_assert_eq!(ps.label_count() + 1, reg.label_count());
+        } else {
+            // Names with no registrable domain are themselves public suffixes.
+            prop_assert!(psl.is_public_suffix(&d));
+        }
+    }
+
+    #[test]
+    fn subdomains_share_registrable_domain(name in domain(), extra in label()) {
+        let psl = PublicSuffixList::builtin();
+        let d = DomainName::new(&name).unwrap();
+        if let (Some(reg), Ok(sub)) = (psl.registrable_domain(&d), d.prepend(&extra)) {
+            prop_assert_eq!(psl.registrable_domain(&sub), Some(reg));
+        }
+    }
+
+    #[test]
+    fn origins_roundtrip(host in domain(), https in any::<bool>(), port in proptest::option::of(1u16..)) {
+        let d = DomainName::new(&host).unwrap();
+        let scheme = if https { topple_psl::Scheme::Https } else { topple_psl::Scheme::Http };
+        let o = Origin::new(scheme, d.clone(), port);
+        let back: Origin = o.to_string().parse().unwrap();
+        prop_assert_eq!(&back, &o);
+        prop_assert_eq!(back.host(), &d);
+    }
+
+    #[test]
+    fn garbage_never_panics(s in "\\PC{0,40}") {
+        // Parsing arbitrary junk must return an error, never panic.
+        let _ = DomainName::new(&s);
+        let _ = s.parse::<Origin>();
+        let _ = PublicSuffixList::parse(&s);
+    }
+}

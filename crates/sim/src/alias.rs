@@ -1,0 +1,163 @@
+//! Walker's alias method for O(1) sampling from large discrete distributions.
+//!
+//! The traffic generator draws hundreds of thousands of site visits per
+//! simulated day from ~100 K-entry popularity distributions conditioned on
+//! (country, platform class, weekday). The alias method makes each draw two
+//! RNG calls and one table lookup.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A prebuilt alias table over `0..n` with probabilities proportional to the
+/// construction weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        // Partition indices into under- and over-full buckets.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Donate mass from l to fill s up to 1.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are within floating-point noise of 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        let n = self.prob.len();
+        let i = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{substream, Stream};
+
+    #[test]
+    fn matches_expected_frequencies() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = substream(1, Stream::Traffic, 0);
+        let n = 400_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "index {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_zero_weights() {
+        let weights = [0.0, 1.0, 0.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = substream(2, Stream::Traffic, 0);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight index {s}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = substream(3, Stream::Traffic, 0);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn heavily_skewed_distribution() {
+        // A Zipf-like head/tail split: index 0 gets ~91% of the mass.
+        let mut weights = vec![1000.0];
+        weights.extend(std::iter::repeat(1.0).take(99));
+        let table = AliasTable::new(&weights);
+        let mut rng = substream(4, Stream::Traffic, 0);
+        let n = 100_000;
+        let head = (0..n).filter(|_| table.sample(&mut rng) == 0).count();
+        let expected = 1000.0 / 1099.0;
+        assert!((head as f64 / n as f64 - expected).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

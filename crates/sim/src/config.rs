@@ -1,0 +1,199 @@
+//! World configuration and scale presets.
+
+use crate::date::Date;
+
+/// Parameters of the synthetic web ecosystem.
+///
+/// The defaults model the paper's setting at a laptop-tractable scale; see
+/// `DESIGN.md` §2 for the scale-substitution rationale. All experiments state
+/// which preset they ran at.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Number of websites in the universe (the paper's ~1 M+, scaled).
+    pub n_sites: usize,
+    /// Number of simulated clients.
+    pub n_clients: usize,
+    /// Measurement window (default: February 1–28, 2022).
+    pub days: Vec<Date>,
+    /// Zipf exponent of ground-truth site popularity.
+    pub zipf_exponent: f64,
+    /// Log-space σ of multiplicative popularity noise.
+    pub popularity_noise: f64,
+    /// Baseline probability that a site is served by the Cloudflare-style CDN.
+    pub cloudflare_share: f64,
+    /// Mean page loads per client per day (log-normal across clients).
+    pub mean_loads_per_day: f64,
+    /// Fraction of Chrome users who opted into telemetry/history sync.
+    pub chrome_optin_rate: f64,
+    /// Fraction of desktop clients carrying the Alexa-style panel extension.
+    pub alexa_panel_rate: f64,
+    /// CrUX privacy threshold: minimum unique opted-in clients per origin and
+    /// country before the origin may appear in a per-country list.
+    pub crux_privacy_threshold: u32,
+    /// Fraction of sites that are third-party infrastructure zones
+    /// (analytics, ads, CDNs) fetched by other sites' pages.
+    pub infrastructure_share: f64,
+    /// Bias-mechanism toggles for counterfactual worlds (all on by default).
+    pub mechanisms: Mechanisms,
+}
+
+/// Switches for the individual bias mechanisms, enabling counterfactual
+/// "what if this mechanism didn't exist" worlds (`topple-core::attribution`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mechanisms {
+    /// Alexa Certify score inflation.
+    pub certify: bool,
+    /// Private browsing (hides traffic from panels and telemetry).
+    pub private_browsing: bool,
+    /// Panel demographic aversion to sensitive categories.
+    pub panel_aversion: bool,
+    /// Per-zone DNS TTL heterogeneity at the resolvers.
+    pub dns_ttl_distortion: bool,
+}
+
+impl Default for Mechanisms {
+    fn default() -> Self {
+        Mechanisms {
+            certify: true,
+            private_browsing: true,
+            panel_aversion: true,
+            dns_ttl_distortion: true,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Tiny world for unit and property tests (sub-second generation).
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            n_sites: 400,
+            n_clients: 300,
+            days: Date::new(2022, 2, 1).iter_days(7).collect(),
+            ..WorldConfig::base()
+        }
+    }
+
+    /// Small world for examples and integration tests (a few seconds).
+    pub fn small(seed: u64) -> Self {
+        WorldConfig { seed, n_sites: 4_000, n_clients: 2_000, ..WorldConfig::base() }
+    }
+
+    /// Medium world: the default for benchmark runs.
+    pub fn medium(seed: u64) -> Self {
+        WorldConfig { seed, n_sites: 20_000, n_clients: 8_000, ..WorldConfig::base() }
+    }
+
+    /// Full experiment scale used by `topple-experiments` (minutes).
+    pub fn paper(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            n_sites: 100_000,
+            n_clients: 30_000,
+            mean_loads_per_day: 40.0,
+            ..WorldConfig::base()
+        }
+    }
+
+    fn base() -> Self {
+        WorldConfig {
+            seed: 0,
+            n_sites: 0,
+            n_clients: 0,
+            days: Date::study_window(),
+            zipf_exponent: 1.03,
+            popularity_noise: 0.35,
+            cloudflare_share: 0.25,
+            mean_loads_per_day: 30.0,
+            chrome_optin_rate: 0.35,
+            alexa_panel_rate: 0.02,
+            crux_privacy_threshold: 3,
+            infrastructure_share: 0.004,
+            mechanisms: Mechanisms::default(),
+        }
+    }
+
+    /// The paper's rank magnitudes {1K, 10K, 100K, 1M} mapped onto this
+    /// world's universe size: `n/1000`, `n/100`, `n/10`, `n`.
+    ///
+    /// Returns `(label, k)` pairs, skipping magnitudes that would round to
+    /// fewer than 10 sites.
+    pub fn rank_magnitudes(&self) -> Vec<(&'static str, usize)> {
+        let n = self.n_sites;
+        [("1K", n / 1000), ("10K", n / 100), ("100K", n / 10), ("1M", n)]
+            .into_iter()
+            .filter(|&(_, k)| k >= 10)
+            .collect()
+    }
+
+    /// Sanity-checks parameter ranges; called by `World::generate`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_sites < 10 {
+            return Err(format!("n_sites must be ≥ 10, got {}", self.n_sites));
+        }
+        if self.n_clients < 10 {
+            return Err(format!("n_clients must be ≥ 10, got {}", self.n_clients));
+        }
+        if self.days.is_empty() {
+            return Err("days must be non-empty".into());
+        }
+        for (name, v) in [
+            ("cloudflare_share", self.cloudflare_share),
+            ("chrome_optin_rate", self.chrome_optin_rate),
+            ("alexa_panel_rate", self.alexa_panel_rate),
+            ("infrastructure_share", self.infrastructure_share),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.zipf_exponent <= 0.0 || self.mean_loads_per_day <= 0.0 {
+            return Err("zipf_exponent and mean_loads_per_day must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            WorldConfig::tiny(1),
+            WorldConfig::small(1),
+            WorldConfig::medium(1),
+            WorldConfig::paper(1),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn magnitudes_scale_with_universe() {
+        let cfg = WorldConfig::paper(1);
+        assert_eq!(
+            cfg.rank_magnitudes(),
+            vec![("1K", 100), ("10K", 1_000), ("100K", 10_000), ("1M", 100_000)]
+        );
+        let tiny = WorldConfig::tiny(1);
+        // 400 sites: 1K bucket would be 0 sites and 10K bucket 4; both skipped.
+        assert_eq!(tiny.rank_magnitudes(), vec![("100K", 40), ("1M", 400)]);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut cfg = WorldConfig::tiny(1);
+        cfg.cloudflare_share = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = WorldConfig::tiny(1);
+        cfg.n_sites = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = WorldConfig::tiny(1);
+        cfg.days.clear();
+        assert!(cfg.validate().is_err());
+    }
+}

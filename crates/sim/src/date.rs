@@ -1,0 +1,204 @@
+//! Minimal Gregorian calendar support for the measurement window.
+//!
+//! The study window is February 1–28, 2022 (Section 4.1). We only need day
+//! arithmetic, weekday computation, and month iteration — not a full datetime
+//! stack — so this module implements exactly that.
+
+use std::fmt;
+
+/// Day of week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weekday {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl Weekday {
+    /// Whether this is Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Sat | Weekday::Sun)
+    }
+
+    /// Short English name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Weekday::Mon => "Mon",
+            Weekday::Tue => "Tue",
+            Weekday::Wed => "Wed",
+            Weekday::Thu => "Thu",
+            Weekday::Fri => "Fri",
+            Weekday::Sat => "Sat",
+            Weekday::Sun => "Sun",
+        }
+    }
+}
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year, e.g. 2022.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Constructs a date, panicking on out-of-range components.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        let d = Date { year, month, day };
+        assert!(day >= 1 && day <= d.days_in_month(), "day out of range: {day}");
+        d
+    }
+
+    /// Whether `year` is a Gregorian leap year.
+    pub fn is_leap_year(year: i32) -> bool {
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    }
+
+    /// Number of days in this date's month.
+    pub fn days_in_month(self) -> u8 {
+        match self.month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if Date::is_leap_year(self.year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => unreachable!("month validated at construction"),
+        }
+    }
+
+    /// Day of week via Zeller's congruence.
+    pub fn weekday(self) -> Weekday {
+        let (mut y, mut m) = (self.year, self.month as i32);
+        if m < 3 {
+            m += 12;
+            y -= 1;
+        }
+        let k = y % 100;
+        let j = y / 100;
+        let q = self.day as i32;
+        // h: 0 = Saturday, 1 = Sunday, 2 = Monday, ...
+        let h = (q + (13 * (m + 1)) / 5 + k + k / 4 + j / 4 + 5 * j).rem_euclid(7);
+        match h {
+            0 => Weekday::Sat,
+            1 => Weekday::Sun,
+            2 => Weekday::Mon,
+            3 => Weekday::Tue,
+            4 => Weekday::Wed,
+            5 => Weekday::Thu,
+            6 => Weekday::Fri,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The next calendar day.
+    pub fn succ(self) -> Date {
+        if self.day < self.days_in_month() {
+            Date { day: self.day + 1, ..self }
+        } else if self.month < 12 {
+            Date { year: self.year, month: self.month + 1, day: 1 }
+        } else {
+            Date { year: self.year + 1, month: 1, day: 1 }
+        }
+    }
+
+    /// Iterates `count` consecutive days starting at `self`.
+    pub fn iter_days(self, count: usize) -> impl Iterator<Item = Date> {
+        let mut cur = self;
+        (0..count).map(move |_| {
+            let out = cur;
+            cur = cur.succ();
+            out
+        })
+    }
+
+    /// The paper's measurement window: February 1–28, 2022.
+    pub fn study_window() -> Vec<Date> {
+        Date::new(2022, 2, 1).iter_days(28).collect()
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_weekdays() {
+        // February 1, 2022 was a Tuesday; Feb 28 a Monday.
+        assert_eq!(Date::new(2022, 2, 1).weekday(), Weekday::Tue);
+        assert_eq!(Date::new(2022, 2, 28).weekday(), Weekday::Mon);
+        // Y2K: January 1, 2000 was a Saturday.
+        assert_eq!(Date::new(2000, 1, 1).weekday(), Weekday::Sat);
+        // Unix epoch: January 1, 1970 was a Thursday.
+        assert_eq!(Date::new(1970, 1, 1).weekday(), Weekday::Thu);
+    }
+
+    #[test]
+    fn weekend_flags() {
+        assert!(Date::new(2022, 2, 5).weekday().is_weekend()); // Saturday
+        assert!(Date::new(2022, 2, 6).weekday().is_weekend()); // Sunday
+        assert!(!Date::new(2022, 2, 7).weekday().is_weekend()); // Monday
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Date::is_leap_year(2000));
+        assert!(!Date::is_leap_year(1900));
+        assert!(Date::is_leap_year(2024));
+        assert!(!Date::is_leap_year(2022));
+        assert_eq!(Date::new(2024, 2, 1).days_in_month(), 29);
+        assert_eq!(Date::new(2022, 2, 1).days_in_month(), 28);
+    }
+
+    #[test]
+    fn succ_rolls_over() {
+        assert_eq!(Date::new(2022, 2, 28).succ(), Date::new(2022, 3, 1));
+        assert_eq!(Date::new(2022, 12, 31).succ(), Date::new(2023, 1, 1));
+        assert_eq!(Date::new(2022, 2, 10).succ(), Date::new(2022, 2, 11));
+    }
+
+    #[test]
+    fn study_window_shape() {
+        let w = Date::study_window();
+        assert_eq!(w.len(), 28);
+        assert_eq!(w[0], Date::new(2022, 2, 1));
+        assert_eq!(w[27], Date::new(2022, 2, 28));
+        assert_eq!(w.iter().filter(|d| d.weekday().is_weekend()).count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn rejects_feb_30() {
+        Date::new(2022, 2, 30);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Date::new(2022, 2, 3).to_string(), "2022-02-03");
+    }
+}

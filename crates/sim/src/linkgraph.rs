@@ -1,0 +1,209 @@
+//! The synthetic hyperlink graph.
+//!
+//! Majestic ranks sites by *backlinks* — distinct referring domains — and the
+//! paper finds that link counts correlate only weakly with traffic and skew
+//! hard toward institutions (government, news, travel) while missing adult,
+//! gambling, and abuse content. The generator encodes exactly those
+//! mechanisms: link targets are sampled by `popularity^α × link_propensity`,
+//! so a mid-traffic government portal out-collects a high-traffic adult site.
+//!
+//! Storage is CSR (compressed sparse rows) over source sites, which the
+//! crawler vantage walks edge-by-edge.
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::ids::SiteId;
+use crate::rng::{poisson, substream, Stream};
+use crate::site::Site;
+
+/// The link graph in CSR form plus per-target counts.
+#[derive(Debug, Clone)]
+pub struct LinkGraph {
+    /// CSR row offsets: out-edges of site `s` are `targets[offsets[s]..offsets[s+1]]`.
+    offsets: Vec<u32>,
+    /// Flattened out-link targets.
+    targets: Vec<u32>,
+}
+
+/// Sub-linear exponent tying link volume to popularity: links accrue with
+/// popularity but much less than proportionally.
+const POPULARITY_EXPONENT: f64 = 0.45;
+
+impl LinkGraph {
+    /// Generates the graph for a site universe.
+    ///
+    /// `mean_outlinks` is the Poisson mean of distinct outbound links per
+    /// *public* site (non-public sites neither give nor effectively receive
+    /// public links).
+    pub fn generate(seed: u64, sites: &[Site], mean_outlinks: f64) -> Self {
+        let n = sites.len();
+        let mut rng = substream(seed, Stream::LinkGraph, 0);
+        // Target attractiveness: sub-linear in popularity, scaled by the
+        // category's link propensity; non-public sites are near-invisible.
+        let weights: Vec<f64> = sites
+            .iter()
+            .map(|s| {
+                let vis = if s.public_web { 1.0 } else { 0.02 };
+                s.weight.powf(POPULARITY_EXPONENT) * s.category.link_propensity() * vis
+            })
+            .collect();
+        let table = AliasTable::new(&weights);
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets: Vec<u32> = Vec::with_capacity((n as f64 * mean_outlinks) as usize);
+        offsets.push(0u32);
+        for site in sites {
+            if site.public_web {
+                // Bigger sites host more pages and thus more outbound links.
+                let scale = (site.weight.powf(0.25)).clamp(0.4, 4.0);
+                let degree = poisson(&mut rng, mean_outlinks * scale);
+                for _ in 0..degree {
+                    let mut t = table.sample(&mut rng);
+                    // Avoid trivial self-links.
+                    if t == site.id.0 {
+                        t = table.sample(&mut rng);
+                    }
+                    if t != site.id.0 {
+                        targets.push(t);
+                    }
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let _ = rng.random::<u64>();
+        LinkGraph { offsets, targets }
+    }
+
+    /// Number of sites the graph covers.
+    pub fn site_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed edges (with multiplicity).
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-links of a site (with multiplicity — one entry per linking page).
+    pub fn out_links(&self, s: SiteId) -> &[u32] {
+        let lo = self.offsets[s.index()] as usize;
+        let hi = self.offsets[s.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Full-graph in-degree (backlink pages) per site.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.site_count()];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Full-graph count of distinct referring domains per site.
+    pub fn referring_domains(&self) -> Vec<u32> {
+        let n = self.site_count();
+        let mut counts = vec![0u32; n];
+        let mut seen: Vec<u32> = vec![u32::MAX; n]; // last source seen per target
+        for s in 0..n {
+            let lo = self.offsets[s] as usize;
+            let hi = self.offsets[s + 1] as usize;
+            for &t in &self.targets[lo..hi] {
+                if seen[t as usize] != s as u32 {
+                    seen[t as usize] = s as u32;
+                    counts[t as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig::tiny(77)).unwrap()
+    }
+
+    #[test]
+    fn csr_shape_is_consistent() {
+        let w = tiny_world();
+        let g = &w.link_graph;
+        assert_eq!(g.site_count(), w.sites.len());
+        let total: usize = (0..w.sites.len()).map(|i| g.out_links(SiteId(i as u32)).len()).sum();
+        assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn no_self_links() {
+        let w = tiny_world();
+        for (i, _) in w.sites.iter().enumerate() {
+            for &t in w.link_graph.out_links(SiteId(i as u32)) {
+                assert_ne!(t as usize, i, "self-link at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn referring_domains_bounded_by_in_degree() {
+        let w = tiny_world();
+        let refs = w.link_graph.referring_domains();
+        let degs = w.link_graph.in_degrees();
+        for (r, d) in refs.iter().zip(&degs) {
+            assert!(r <= d);
+        }
+    }
+
+    #[test]
+    fn institutions_outcollect_grey_content() {
+        // Aggregate in-degree per category: government should beat adult by a
+        // wide margin per site even though adult sites get more traffic.
+        use crate::taxonomy::Category;
+        let w = World::generate(WorldConfig::small(3)).unwrap();
+        let refs = w.link_graph.referring_domains();
+        let mean_for = |cat: Category| {
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for s in &w.sites {
+                if s.category == cat {
+                    sum += refs[s.id.index()] as f64;
+                    n += 1.0;
+                }
+            }
+            if n == 0.0 {
+                0.0
+            } else {
+                sum / n
+            }
+        };
+        let gov = mean_for(Category::Government);
+        let adult = mean_for(Category::Adult);
+        assert!(
+            gov > adult * 3.0,
+            "government sites should be link-rich: gov={gov:.2}, adult={adult:.2}"
+        );
+    }
+
+    #[test]
+    fn non_public_sites_rarely_linked() {
+        let w = World::generate(WorldConfig::small(4)).unwrap();
+        let refs = w.link_graph.referring_domains();
+        let (mut pub_sum, mut pub_n, mut priv_sum, mut priv_n) = (0.0, 0.0, 0.0, 0.0);
+        for s in &w.sites {
+            if s.public_web {
+                pub_sum += refs[s.id.index()] as f64;
+                pub_n += 1.0;
+            } else {
+                priv_sum += refs[s.id.index()] as f64;
+                priv_n += 1.0;
+            }
+        }
+        assert!(priv_n > 0.0, "tiny world should include non-public sites");
+        assert!(pub_sum / pub_n > 5.0 * (priv_sum / priv_n).max(0.01));
+    }
+}

@@ -1,0 +1,246 @@
+//! Synthetic domain-name generation.
+//!
+//! Mints unique, realistic registrable domains under the built-in PSL:
+//! global sites draw from generic TLDs, locally-focused sites from their home
+//! country's suffixes, and a small share lands on private registry suffixes
+//! (`*.github.io`-style tenants). Uniqueness is guaranteed by a collision set
+//! with a numeric-suffix fallback.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use topple_psl::DomainName;
+
+use crate::taxonomy::{Category, Country};
+
+const ADJECTIVES: &[&str] = &[
+    "swift", "bright", "quiet", "brave", "lunar", "solar", "amber", "cobalt", "crimson", "emerald",
+    "golden", "iron", "jade", "mellow", "noble", "onyx", "pearl", "rapid", "scarlet", "teal",
+    "urban", "vivid", "wild", "young", "zesty", "arc", "bold", "calm", "deep", "early",
+    "fresh", "grand", "happy", "ideal", "jolly", "keen", "lively", "magic", "nimble", "open",
+    "prime", "quick", "royal", "sunny", "tidy", "ultra", "vast", "warm", "alpha", "beta",
+];
+
+const NOUNS: &[&str] = &[
+    "river", "forest", "market", "harbor", "studio", "garden", "bridge", "castle", "desert",
+    "engine", "falcon", "glacier", "hollow", "island", "jungle", "kernel", "lantern", "meadow",
+    "nebula", "orchid", "prairie", "quartz", "ridge", "summit", "tiger", "umbrella", "valley",
+    "willow", "xenon", "yarrow", "zephyr", "anchor", "beacon", "canyon", "dolphin", "ember",
+    "fjord", "grove", "harvest", "iris", "jasper", "knoll", "lagoon", "mosaic", "north",
+    "opal", "pixel", "quill", "raven", "spruce",
+];
+
+const CATEGORY_HINTS: &[(&str, &[&str])] = &[
+    ("news", &["daily", "times", "herald", "press", "wire", "report"]),
+    ("shop", &["store", "mart", "deals", "cart", "bazaar", "outlet"]),
+    ("tech", &["labs", "cloud", "stack", "byte", "code", "data"]),
+    ("game", &["play", "arcade", "quest", "arena", "guild", "pixelgames"]),
+];
+
+/// Per-country TLD pools (suffixes must exist in the built-in PSL).
+fn country_tlds(c: Country) -> &'static [&'static str] {
+    match c {
+        Country::Brazil => &["com.br", "net.br", "org.br", "br"],
+        Country::Germany => &["de"],
+        Country::Egypt => &["com.eg", "eg"],
+        Country::UnitedKingdom => &["co.uk", "org.uk", "uk"],
+        Country::Indonesia => &["co.id", "web.id", "id"],
+        Country::India => &["co.in", "in", "org.in"],
+        Country::Japan => &["co.jp", "ne.jp", "or.jp", "jp"],
+        Country::Nigeria => &["com.ng", "ng"],
+        Country::UnitedStates => &["com", "us", "org", "net"],
+        Country::SouthAfrica => &["co.za", "za"],
+        Country::China => &["com.cn", "cn", "net.cn"],
+        Country::Rest => &["com", "net", "org", "io"],
+    }
+}
+
+const GENERIC_TLDS: &[&str] =
+    &["com", "net", "org", "io", "co", "info", "xyz", "online", "site", "app", "dev", "me"];
+
+const PRIVATE_SUFFIXES: &[&str] = &["github.io", "blogspot.com", "pages.dev", "netlify.app"];
+
+fn gov_tld(c: Country) -> &'static str {
+    match c {
+        Country::Brazil => "gov.br",
+        Country::Egypt => "gov.eg",
+        Country::UnitedKingdom => "gov.uk",
+        Country::Indonesia => "go.id",
+        Country::India => "gov.in",
+        Country::Japan => "go.jp",
+        Country::Nigeria => "gov.ng",
+        Country::SouthAfrica => "gov.za",
+        Country::China => "gov.cn",
+        _ => "gov",
+    }
+}
+
+fn edu_tld(c: Country) -> &'static str {
+    match c {
+        Country::Brazil => "edu.br",
+        Country::Egypt => "edu.eg",
+        Country::UnitedKingdom => "ac.uk",
+        Country::Indonesia => "ac.id",
+        Country::India => "ac.in",
+        Country::Japan => "ac.jp",
+        Country::Nigeria => "edu.ng",
+        Country::SouthAfrica => "ac.za",
+        Country::China => "edu.cn",
+        _ => "edu",
+    }
+}
+
+/// Stateful unique-name generator.
+#[derive(Debug)]
+pub struct NameGenerator {
+    used: HashSet<String>,
+    counter: u64,
+}
+
+impl NameGenerator {
+    /// Creates an empty generator.
+    pub fn new() -> Self {
+        NameGenerator { used: HashSet::new(), counter: 0 }
+    }
+
+    /// Number of names minted so far.
+    pub fn minted(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Mints a unique registrable domain for a site of the given category and
+    /// home country. `is_global` sites use generic TLDs; blogs sometimes land
+    /// on private registry suffixes.
+    pub fn mint(
+        &mut self,
+        rng: &mut SmallRng,
+        category: Category,
+        home: Country,
+        is_global: bool,
+    ) -> DomainName {
+        let label = self.pick_label(rng, category);
+        let suffix = self.pick_suffix(rng, category, home, is_global);
+        let base = format!("{label}.{suffix}");
+        let name = if self.used.contains(&base) {
+            loop {
+                self.counter += 1;
+                let candidate = format!("{label}{}.{suffix}", self.counter);
+                if !self.used.contains(&candidate) {
+                    break candidate;
+                }
+            }
+        } else {
+            base
+        };
+        self.used.insert(name.clone());
+        DomainName::new(&name).expect("generated names are valid by construction")
+    }
+
+    fn pick_label(&self, rng: &mut SmallRng, category: Category) -> String {
+        let adj = ADJECTIVES[rng.random_range(0..ADJECTIVES.len())];
+        let noun = NOUNS[rng.random_range(0..NOUNS.len())];
+        // A third of names get a category-flavoured word instead of the noun.
+        let hint = match category {
+            Category::News => Some("news"),
+            Category::Shopping => Some("shop"),
+            Category::Technology => Some("tech"),
+            Category::Gaming => Some("game"),
+            _ => None,
+        };
+        if let Some(key) = hint {
+            if rng.random::<f64>() < 0.35 {
+                let pool = CATEGORY_HINTS
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, words)| *words)
+                    .unwrap_or(NOUNS);
+                let w = pool[rng.random_range(0..pool.len())];
+                return format!("{adj}{w}");
+            }
+        }
+        if rng.random::<f64>() < 0.5 {
+            format!("{adj}{noun}")
+        } else {
+            format!("{adj}-{noun}")
+        }
+    }
+
+    fn pick_suffix(
+        &self,
+        rng: &mut SmallRng,
+        category: Category,
+        home: Country,
+        is_global: bool,
+    ) -> &'static str {
+        match category {
+            Category::Government => return gov_tld(home),
+            Category::Education => return edu_tld(home),
+            Category::Blog if rng.random::<f64>() < 0.3 => {
+                return PRIVATE_SUFFIXES[rng.random_range(0..PRIVATE_SUFFIXES.len())];
+            }
+            _ => {}
+        }
+        if is_global || rng.random::<f64>() < 0.25 {
+            GENERIC_TLDS[rng.random_range(0..GENERIC_TLDS.len())]
+        } else {
+            let pool = country_tlds(home);
+            pool[rng.random_range(0..pool.len())]
+        }
+    }
+}
+
+impl Default for NameGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{substream, Stream};
+    use topple_psl::PublicSuffixList;
+
+    #[test]
+    fn names_are_unique_and_valid() {
+        let mut rng = substream(5, Stream::Names, 0);
+        let mut gen = NameGenerator::new();
+        let psl = PublicSuffixList::builtin();
+        let mut seen = HashSet::new();
+        for i in 0..5_000 {
+            let cat = Category::ALL[i % Category::COUNT];
+            let home = Country::ALL[i % Country::COUNT];
+            let d = gen.mint(&mut rng, cat, home, i % 3 == 0);
+            assert!(seen.insert(d.as_str().to_owned()), "duplicate {d}");
+            // Every minted name is its own registrable domain under the PSL.
+            let reg = psl.registrable_domain(&d).unwrap();
+            assert_eq!(reg, d, "{d} is not a registrable domain");
+        }
+        assert_eq!(gen.minted(), 5_000);
+    }
+
+    #[test]
+    fn government_sites_use_gov_suffixes() {
+        let mut rng = substream(6, Stream::Names, 0);
+        let mut gen = NameGenerator::new();
+        for _ in 0..50 {
+            let d = gen.mint(&mut rng, Category::Government, Country::Japan, false);
+            assert!(d.as_str().ends_with(".go.jp"), "{d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_rng_stream() {
+        let mut a = NameGenerator::new();
+        let mut b = NameGenerator::new();
+        let mut ra = substream(9, Stream::Names, 3);
+        let mut rb = substream(9, Stream::Names, 3);
+        for i in 0..200 {
+            let cat = Category::ALL[i % Category::COUNT];
+            let da = a.mint(&mut ra, cat, Country::Brazil, false);
+            let db = b.mint(&mut rb, cat, Country::Brazil, false);
+            assert_eq!(da, db);
+        }
+    }
+}

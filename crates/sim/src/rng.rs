@@ -1,0 +1,175 @@
+//! Deterministic randomness: substream derivation and sampling primitives.
+//!
+//! Every random decision in the simulation derives from the world seed plus a
+//! purpose tag, so that (a) full runs are reproducible bit-for-bit and (b) days
+//! can be simulated independently — and therefore in parallel — without sharing
+//! RNG state.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain-separation tags for RNG substreams.
+///
+/// Adding a new consumer of randomness means adding a tag here, keeping every
+/// stream independent of insertion order elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Stream {
+    /// Site attribute generation.
+    Sites = 1,
+    /// Client population generation.
+    Clients = 2,
+    /// Hyperlink graph generation.
+    LinkGraph = 3,
+    /// Per-day traffic; combined with the day index.
+    Traffic = 4,
+    /// Domain name synthesis.
+    Names = 5,
+    /// Third-party dependency wiring.
+    ThirdParty = 6,
+}
+
+/// Derives an independent RNG for `(seed, stream, index)`.
+///
+/// Uses SplitMix64 over the packed key, which is a standard way to turn
+/// correlated integer keys into independent seeds.
+pub fn substream(seed: u64, stream: Stream, index: u64) -> SmallRng {
+    let mut z = seed ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    // Two SplitMix64 rounds.
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    SmallRng::seed_from_u64(z)
+}
+
+/// Standard-normal sample via Box–Muller.
+pub fn normal(rng: &mut SmallRng) -> f64 {
+    // Avoid ln(0) by flooring the uniform away from zero.
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample with the given log-space mean and standard deviation.
+pub fn log_normal(rng: &mut SmallRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Poisson sample. Uses Knuth's product method for small `lambda` and a
+/// normal approximation (continuity-corrected) for large `lambda`.
+pub fn poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerical guard; unreachable for lambda < 30
+            }
+        }
+    }
+    let x = lambda + lambda.sqrt() * normal(rng) + 0.5;
+    if x < 0.0 {
+        0
+    } else {
+        x as u64
+    }
+}
+
+/// Bernoulli trial.
+#[inline]
+pub fn chance(rng: &mut SmallRng, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+/// Zipf weights `(i+1)^(-s)` for `n` items, highest first, unnormalized.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substreams_are_deterministic_and_distinct() {
+        let mut a1 = substream(42, Stream::Sites, 0);
+        let mut a2 = substream(42, Stream::Sites, 0);
+        let mut b = substream(42, Stream::Clients, 0);
+        let mut c = substream(42, Stream::Sites, 1);
+        let va1: u64 = a1.random();
+        let va2: u64 = a2.random();
+        let vb: u64 = b.random();
+        let vc: u64 = c.random();
+        assert_eq!(va1, va2);
+        assert_ne!(va1, vb);
+        assert_ne!(va1, vc);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = substream(7, Stream::Traffic, 0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_moments_small_lambda() {
+        let mut rng = substream(9, Stream::Traffic, 1);
+        let lambda = 4.5;
+        let n = 100_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_moments_large_lambda() {
+        let mut rng = substream(9, Stream::Traffic, 2);
+        let lambda = 120.0;
+        let n = 50_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = substream(9, Stream::Traffic, 3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = substream(11, Stream::Traffic, 4);
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 2.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        // Median of log-normal = e^mu.
+        assert!((median - 2.0f64.exp()).abs() < 0.2, "median {median}");
+    }
+
+    #[test]
+    fn zipf_weights_shape() {
+        let w = zipf_weights(100, 1.0);
+        assert_eq!(w.len(), 100);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[9] - 0.1).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+}

@@ -1,0 +1,676 @@
+//! The simulation's categorical vocabulary: countries, platforms, browsers,
+//! and website categories, together with the structural parameters that drive
+//! the biases the paper observes.
+
+/// Client countries. The ten Chrome-designated high-fidelity countries plus
+/// China (Section 6.1) and a rest-of-world bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Country {
+    /// Brazil.
+    Brazil,
+    /// Germany.
+    Germany,
+    /// Egypt.
+    Egypt,
+    /// United Kingdom.
+    UnitedKingdom,
+    /// Indonesia.
+    Indonesia,
+    /// India.
+    India,
+    /// Japan.
+    Japan,
+    /// Nigeria.
+    Nigeria,
+    /// United States.
+    UnitedStates,
+    /// South Africa.
+    SouthAfrica,
+    /// China.
+    China,
+    /// Rest of world.
+    Rest,
+}
+
+impl Country {
+    /// All countries, in stable order.
+    pub const ALL: [Country; 12] = [
+        Country::Brazil,
+        Country::Germany,
+        Country::Egypt,
+        Country::UnitedKingdom,
+        Country::Indonesia,
+        Country::India,
+        Country::Japan,
+        Country::Nigeria,
+        Country::UnitedStates,
+        Country::SouthAfrica,
+        Country::China,
+        Country::Rest,
+    ];
+
+    /// The eleven countries evaluated in Section 6 (all but [`Country::Rest`]).
+    pub const EVALUATED: [Country; 11] = [
+        Country::Brazil,
+        Country::Germany,
+        Country::Egypt,
+        Country::UnitedKingdom,
+        Country::Indonesia,
+        Country::India,
+        Country::Japan,
+        Country::Nigeria,
+        Country::UnitedStates,
+        Country::SouthAfrica,
+        Country::China,
+    ];
+
+    /// Stable dense index for array-keyed lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of countries.
+    pub const COUNT: usize = 12;
+
+    /// ISO-3166-ish short code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::Brazil => "BR",
+            Country::Germany => "DE",
+            Country::Egypt => "EG",
+            Country::UnitedKingdom => "GB",
+            Country::Indonesia => "ID",
+            Country::India => "IN",
+            Country::Japan => "JP",
+            Country::Nigeria => "NG",
+            Country::UnitedStates => "US",
+            Country::SouthAfrica => "ZA",
+            Country::China => "CN",
+            Country::Rest => "XX",
+        }
+    }
+
+    /// Share of the simulated client population in this country.
+    ///
+    /// Loosely follows global Internet-user distribution; the exact values
+    /// matter less than the ordering (CN/US/IN large; EG/ZA small).
+    pub fn population_share(self) -> f64 {
+        match self {
+            Country::Brazil => 0.07,
+            Country::Germany => 0.05,
+            Country::Egypt => 0.03,
+            Country::UnitedKingdom => 0.05,
+            Country::Indonesia => 0.06,
+            Country::India => 0.14,
+            Country::Japan => 0.06,
+            Country::Nigeria => 0.04,
+            Country::UnitedStates => 0.18,
+            Country::SouthAfrica => 0.02,
+            Country::China => 0.16,
+            Country::Rest => 0.14,
+        }
+    }
+
+    /// Probability that a client in this country is a mobile-first user.
+    pub fn mobile_share(self) -> f64 {
+        match self {
+            Country::Brazil => 0.62,
+            Country::Germany => 0.42,
+            Country::Egypt => 0.68,
+            Country::UnitedKingdom => 0.46,
+            Country::Indonesia => 0.72,
+            Country::India => 0.76,
+            Country::Japan => 0.56,
+            Country::Nigeria => 0.80,
+            Country::UnitedStates => 0.48,
+            Country::SouthAfrica => 0.66,
+            Country::China => 0.64,
+            Country::Rest => 0.60,
+        }
+    }
+
+    /// How strongly browsing in this country concentrates on locally-focused
+    /// sites (0 = fully global tastes, 1 = fully local).
+    ///
+    /// Japan and China are modelled as strongly local ecosystems — the paper
+    /// finds all lists represent Japan poorly, and Secrank's Chinese vantage
+    /// generalizes badly outside China.
+    pub fn locality(self) -> f64 {
+        match self {
+            Country::Japan => 0.92,
+            Country::China => 0.93,
+            Country::Indonesia => 0.72,
+            Country::India => 0.62,
+            Country::Brazil => 0.68,
+            Country::Egypt => 0.70,
+            Country::Nigeria => 0.62,
+            Country::Germany => 0.58,
+            Country::UnitedKingdom => 0.42,
+            Country::UnitedStates => 0.38,
+            Country::SouthAfrica => 0.55,
+            Country::Rest => 0.55,
+        }
+    }
+
+    /// Probability that an *enterprise* client in this country routes DNS
+    /// through the Umbrella-style resolver (Cisco's base is US-centric).
+    pub fn umbrella_enterprise_rate(self) -> f64 {
+        match self {
+            Country::UnitedStates => 0.75,
+            Country::UnitedKingdom => 0.35,
+            Country::Germany => 0.30,
+            Country::Japan => 0.15,
+            Country::China => 0.01,
+            _ => 0.12,
+        }
+    }
+
+    /// Probability that a client in this country is an enterprise/managed
+    /// workstation (drives weekday periodicity and Umbrella's user base).
+    pub fn enterprise_rate(self) -> f64 {
+        match self {
+            Country::UnitedStates => 0.30,
+            Country::Germany => 0.30,
+            Country::UnitedKingdom => 0.28,
+            Country::Japan => 0.32,
+            _ => 0.15,
+        }
+    }
+}
+
+/// Client platform (operating system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Platform {
+    /// Desktop Windows — the Chrome team's representative desktop platform.
+    Windows,
+    /// Android — the representative mobile platform.
+    Android,
+    /// macOS desktop.
+    MacOs,
+    /// iOS mobile.
+    Ios,
+    /// Anything else (Linux desktops, smart TVs, consoles…).
+    Other,
+}
+
+impl Platform {
+    /// All platforms in stable order.
+    pub const ALL: [Platform; 5] =
+        [Platform::Windows, Platform::Android, Platform::MacOs, Platform::Ios, Platform::Other];
+
+    /// Stable dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of platforms.
+    pub const COUNT: usize = 5;
+
+    /// Whether this is a mobile platform.
+    pub fn is_mobile(self) -> bool {
+        matches!(self, Platform::Android | Platform::Ios)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Windows => "Windows",
+            Platform::Android => "Android",
+            Platform::MacOs => "macOS",
+            Platform::Ios => "iOS",
+            Platform::Other => "Other",
+        }
+    }
+}
+
+/// Web browser family. The paper's "top 5 browsers" filter keeps the five
+/// most popular families and drops the long tail plus automation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Browser {
+    /// Google Chrome.
+    Chrome,
+    /// Apple Safari.
+    Safari,
+    /// Mozilla Firefox.
+    Firefox,
+    /// Microsoft Edge.
+    Edge,
+    /// Samsung Internet.
+    Samsung,
+    /// Long-tail browsers (Opera, UC, Brave…).
+    OtherBrowser,
+    /// Non-browser automation: monitoring, scrapers, SDKs, bots.
+    Automation,
+}
+
+impl Browser {
+    /// All browser families in stable order.
+    pub const ALL: [Browser; 7] = [
+        Browser::Chrome,
+        Browser::Safari,
+        Browser::Firefox,
+        Browser::Edge,
+        Browser::Samsung,
+        Browser::OtherBrowser,
+        Browser::Automation,
+    ];
+
+    /// Stable dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of browser families.
+    pub const COUNT: usize = 7;
+
+    /// Whether the family is in the "top 5 most popular browsers" filter.
+    pub fn is_top5(self) -> bool {
+        matches!(
+            self,
+            Browser::Chrome | Browser::Safari | Browser::Firefox | Browser::Edge | Browser::Samsung
+        )
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Browser::Chrome => "Chrome",
+            Browser::Safari => "Safari",
+            Browser::Firefox => "Firefox",
+            Browser::Edge => "Edge",
+            Browser::Samsung => "Samsung Internet",
+            Browser::OtherBrowser => "Other",
+            Browser::Automation => "Automation",
+        }
+    }
+}
+
+/// Website category, mirroring the 21 categories of Table 3 (plus Technology
+/// and Finance to round out the taxonomy used by the world generator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Category {
+    /// Government services.
+    Government,
+    /// News and media.
+    News,
+    /// Education.
+    Education,
+    /// Science.
+    Science,
+    /// Community and social.
+    Community,
+    /// Business.
+    Business,
+    /// Gaming.
+    Gaming,
+    /// Children's content.
+    Kids,
+    /// Lifestyle.
+    Lifestyle,
+    /// Arts.
+    Arts,
+    /// Health.
+    Health,
+    /// Personal blogs.
+    Blog,
+    /// Sports.
+    Sports,
+    /// Travel.
+    Travel,
+    /// Shopping and e-commerce.
+    Shopping,
+    /// Automotive.
+    Cars,
+    /// Adult content.
+    Adult,
+    /// Abuse: spam, phishing, malware distribution.
+    Abuse,
+    /// Gambling.
+    Gambling,
+    /// Parked domains with no real content.
+    Parked,
+    /// Technology and developer services.
+    Technology,
+    /// Finance and banking.
+    Finance,
+}
+
+impl Category {
+    /// All categories in stable order.
+    pub const ALL: [Category; 22] = [
+        Category::Government,
+        Category::News,
+        Category::Education,
+        Category::Science,
+        Category::Community,
+        Category::Business,
+        Category::Gaming,
+        Category::Kids,
+        Category::Lifestyle,
+        Category::Arts,
+        Category::Health,
+        Category::Blog,
+        Category::Sports,
+        Category::Travel,
+        Category::Shopping,
+        Category::Cars,
+        Category::Adult,
+        Category::Abuse,
+        Category::Gambling,
+        Category::Parked,
+        Category::Technology,
+        Category::Finance,
+    ];
+
+    /// Number of categories (the paper's Bonferroni divisor is this count).
+    pub const COUNT: usize = 22;
+
+    /// Stable dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display name matching Table 3's abbreviations expanded.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Government => "Gov't",
+            Category::News => "News",
+            Category::Education => "Educ.",
+            Category::Science => "Science",
+            Category::Community => "Comm.",
+            Category::Business => "Bus.",
+            Category::Gaming => "Gaming",
+            Category::Kids => "Kids",
+            Category::Lifestyle => "Life",
+            Category::Arts => "Arts",
+            Category::Health => "Health",
+            Category::Blog => "Blog",
+            Category::Sports => "Sports",
+            Category::Travel => "Travel",
+            Category::Shopping => "Shop",
+            Category::Cars => "Cars",
+            Category::Adult => "Adult",
+            Category::Abuse => "Abuse",
+            Category::Gambling => "Gambl.",
+            Category::Parked => "Parked",
+            Category::Technology => "Tech",
+            Category::Finance => "Finance",
+        }
+    }
+
+    /// Share of the site universe in this category (sums to ~1).
+    pub fn universe_share(self) -> f64 {
+        match self {
+            Category::Government => 0.015,
+            Category::News => 0.045,
+            Category::Education => 0.03,
+            Category::Science => 0.02,
+            Category::Community => 0.06,
+            Category::Business => 0.095,
+            Category::Gaming => 0.045,
+            Category::Kids => 0.01,
+            Category::Lifestyle => 0.06,
+            Category::Arts => 0.035,
+            Category::Health => 0.035,
+            Category::Blog => 0.09,
+            Category::Sports => 0.03,
+            Category::Travel => 0.035,
+            Category::Shopping => 0.10,
+            Category::Cars => 0.02,
+            Category::Adult => 0.06,
+            Category::Abuse => 0.025,
+            Category::Gambling => 0.02,
+            Category::Parked => 0.065,
+            Category::Technology => 0.075,
+            Category::Finance => 0.03,
+        }
+    }
+
+    /// Relative propensity for other sites to hyperlink here (drives the
+    /// Majestic backlink skew: institutions are link-rich, grey content is
+    /// link-poor).
+    pub fn link_propensity(self) -> f64 {
+        match self {
+            Category::Government => 9.0,
+            Category::News => 5.0,
+            Category::Education => 3.5,
+            Category::Science => 3.0,
+            Category::Travel => 2.6,
+            Category::Technology => 2.0,
+            Category::Finance => 1.4,
+            Category::Health => 1.2,
+            Category::Business => 1.0,
+            Category::Community => 1.0,
+            Category::Arts => 0.9,
+            Category::Sports => 0.9,
+            Category::Lifestyle => 0.8,
+            Category::Blog => 0.7,
+            Category::Kids => 0.8,
+            Category::Cars => 0.8,
+            Category::Shopping => 0.7,
+            Category::Gaming => 0.7,
+            Category::Adult => 0.06,
+            Category::Gambling => 0.08,
+            Category::Abuse => 0.04,
+            Category::Parked => 0.01,
+        }
+    }
+
+    /// Fraction of visits to this category made in a private browsing window
+    /// (private-mode visits are invisible to browser-extension panels \[15\],
+    /// and Chrome telemetry also excludes incognito).
+    pub fn private_mode_share(self) -> f64 {
+        match self {
+            Category::Adult => 0.45,
+            Category::Gambling => 0.30,
+            Category::Abuse => 0.25,
+            Category::Health => 0.10,
+            _ => 0.03,
+        }
+    }
+
+    /// Whether extension-panel members systematically under-visit this
+    /// category (panel *selection* bias: the demographics that install
+    /// measurement extensions browse differently from the population).
+    pub fn panel_averse(self) -> bool {
+        matches!(self, Category::Adult | Category::Gambling | Category::Abuse)
+    }
+
+    /// Weekday activity multiplier (weekend = 2 − weekday within each visit
+    /// budget, so >1 means a work-hours category).
+    pub fn weekday_factor(self) -> f64 {
+        match self {
+            Category::Government => 1.35,
+            Category::Business => 1.30,
+            Category::Education => 1.30,
+            Category::Finance => 1.25,
+            Category::Science => 1.20,
+            Category::Technology => 1.15,
+            Category::News => 1.10,
+            Category::Health => 1.05,
+            Category::Gaming => 0.80,
+            Category::Adult => 0.85,
+            Category::Gambling => 0.85,
+            Category::Sports => 0.90,
+            Category::Lifestyle => 0.92,
+            Category::Arts => 0.95,
+            Category::Travel => 0.95,
+            _ => 1.0,
+        }
+    }
+
+    /// Probability that the site is crawlable and publicly hyperlinked (Chrome
+    /// telemetry excludes non-public domains; crawlers can only find linked
+    /// sites).
+    pub fn public_web_rate(self) -> f64 {
+        match self {
+            Category::Abuse => 0.45,
+            Category::Parked => 0.35,
+            Category::Adult => 0.88,
+            _ => 0.97,
+        }
+    }
+
+    /// Extra mobile affinity of visits to this category (multiplies the
+    /// client-platform mix; >1 means disproportionately mobile).
+    pub fn mobile_affinity(self) -> f64 {
+        match self {
+            Category::Community => 1.35,
+            Category::Shopping => 1.25,
+            Category::Lifestyle => 1.25,
+            Category::Gaming => 1.15,
+            Category::Sports => 1.10,
+            Category::Kids => 1.10,
+            Category::Adult => 1.10,
+            Category::Government => 0.60,
+            Category::Business => 0.65,
+            Category::Education => 0.70,
+            Category::Science => 0.65,
+            Category::Finance => 0.80,
+            Category::Technology => 0.75,
+            _ => 1.0,
+        }
+    }
+
+    /// Mean number of same-site subresource requests per page load. News and
+    /// shopping pages are heavy; parked pages are nearly empty. This is what
+    /// makes the paper's request-based metrics disagree with root-page loads.
+    pub fn subresource_mean(self) -> f64 {
+        match self {
+            Category::News => 38.0,
+            Category::Shopping => 30.0,
+            Category::Sports => 28.0,
+            Category::Lifestyle => 24.0,
+            Category::Arts => 20.0,
+            Category::Community => 18.0,
+            Category::Travel => 22.0,
+            Category::Cars => 20.0,
+            Category::Gaming => 16.0,
+            Category::Business => 14.0,
+            Category::Health => 14.0,
+            Category::Blog => 10.0,
+            Category::Adult => 16.0,
+            Category::Gambling => 14.0,
+            Category::Finance => 12.0,
+            Category::Technology => 12.0,
+            Category::Education => 10.0,
+            Category::Science => 9.0,
+            Category::Government => 8.0,
+            Category::Kids => 12.0,
+            Category::Abuse => 4.0,
+            Category::Parked => 1.5,
+        }
+    }
+
+    /// Intrinsic visit-popularity damping: parked pages and abuse
+    /// infrastructure attract almost no deliberate visits regardless of
+    /// where a Zipf draw would have placed them (typo traffic and victim
+    /// clicks only).
+    pub fn popularity_damping(self) -> f64 {
+        match self {
+            Category::Parked => 0.05,
+            Category::Abuse => 0.18,
+            _ => 1.0,
+        }
+    }
+
+    /// Mean dwell time in seconds for a completed page view.
+    pub fn dwell_mean_secs(self) -> f64 {
+        match self {
+            Category::Gaming => 240.0,
+            Category::Community => 210.0,
+            Category::Adult => 180.0,
+            Category::News => 90.0,
+            Category::Sports => 100.0,
+            Category::Arts => 110.0,
+            Category::Lifestyle => 100.0,
+            Category::Blog => 80.0,
+            Category::Shopping => 70.0,
+            Category::Travel => 85.0,
+            Category::Gambling => 150.0,
+            Category::Kids => 160.0,
+            Category::Health => 75.0,
+            Category::Education => 120.0,
+            Category::Science => 100.0,
+            Category::Finance => 60.0,
+            Category::Business => 55.0,
+            Category::Technology => 70.0,
+            Category::Government => 50.0,
+            Category::Cars => 70.0,
+            Category::Abuse => 15.0,
+            Category::Parked => 6.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_shares_sum_to_one() {
+        let total: f64 = Category::ALL.iter().map(|c| c.universe_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "category shares sum to {total}");
+    }
+
+    #[test]
+    fn country_shares_sum_to_one() {
+        let total: f64 = Country::ALL.iter().map(|c| c.population_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "country shares sum to {total}");
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, c) in Country::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, b) in Browser::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn top5_browser_filter() {
+        let top5: Vec<_> = Browser::ALL.iter().filter(|b| b.is_top5()).collect();
+        assert_eq!(top5.len(), 5);
+        assert!(!Browser::Automation.is_top5());
+        assert!(!Browser::OtherBrowser.is_top5());
+    }
+
+    #[test]
+    fn grey_categories_are_link_poor_and_private() {
+        assert!(Category::Adult.link_propensity() < 0.1);
+        assert!(Category::Government.link_propensity() > 5.0);
+        assert!(Category::Adult.private_mode_share() > 0.3);
+        assert!(Category::Adult.panel_averse() && !Category::News.panel_averse());
+        assert!(Category::Business.private_mode_share() < 0.1);
+    }
+
+    #[test]
+    fn weekday_factors_bracket_one() {
+        for c in Category::ALL {
+            let f = c.weekday_factor();
+            assert!(f > 0.5 && f < 1.5, "{c:?} factor {f}");
+        }
+    }
+
+    #[test]
+    fn evaluated_countries_exclude_rest() {
+        assert_eq!(Country::EVALUATED.len(), 11);
+        assert!(!Country::EVALUATED.contains(&Country::Rest));
+    }
+}

@@ -1,0 +1,419 @@
+//! The traffic engine: turns the world into per-day event streams.
+//!
+//! Each simulated day yields a [`DayTraffic`]: page loads (navigations with
+//! their same-site subresource expansion), third-party fetches to embedded
+//! infrastructure zones, and background DNS queries. Observer crates consume
+//! these streams; nothing downstream sees ground-truth weights.
+//!
+//! Day simulation derives its RNG from `(seed, day index)`, so days are
+//! independent and can be generated in any order or in parallel.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::date::Date;
+use crate::ids::{ClientId, SiteId};
+use crate::rng::{chance, log_normal, poisson, substream, Stream};
+use crate::world::World;
+
+/// One user-initiated page load and its same-site request expansion.
+#[derive(Debug, Clone)]
+pub struct PageLoad {
+    /// The browsing client.
+    pub client: ClientId,
+    /// The site navigated to.
+    pub site: SiteId,
+    /// Index into the site's `hosts` of the navigated FQDN.
+    pub host_idx: u8,
+    /// Whether the navigation landed on the root path `/`.
+    pub is_root_path: bool,
+    /// Whether the navigation followed a hyperlink (sends a `Referer`).
+    pub link_click: bool,
+    /// Whether the load happened in a private browsing window.
+    pub private_mode: bool,
+    /// Whether the load completed (reached First Contentful Paint).
+    pub completed: bool,
+    /// Dwell time in seconds (0 when not completed).
+    pub dwell_secs: u16,
+    /// Same-site subresource requests beyond the main HTML document.
+    pub own_requests: u16,
+    /// Of the `own_requests + 1` requests, how many returned non-200.
+    pub non200: u16,
+    /// TLS handshakes performed against the site (0 for plain-HTTP sites).
+    pub tls_handshakes: u16,
+    /// Whether the client's stub resolver had to query upstream for this
+    /// site's zone (first contact today).
+    pub dns_fresh: bool,
+}
+
+impl PageLoad {
+    /// Total same-site HTTP requests including the main document.
+    pub fn total_requests(&self) -> u32 {
+        u32::from(self.own_requests) + 1
+    }
+}
+
+/// A batch of subresource requests to a third-party infrastructure zone.
+#[derive(Debug, Clone)]
+pub struct ThirdPartyFetch {
+    /// The browsing client.
+    pub client: ClientId,
+    /// The third-party zone being fetched.
+    pub site: SiteId,
+    /// Index of the fetched service host within that zone.
+    pub host_idx: u8,
+    /// Number of HTTP requests in the batch.
+    pub requests: u16,
+    /// How many returned non-200.
+    pub non200: u16,
+    /// TLS handshakes (0 for plain-HTTP zones).
+    pub tls_handshakes: u16,
+    /// Stub-cache miss for the zone (first contact today).
+    pub dns_fresh: bool,
+    /// Whether the embedding page was in a private window.
+    pub private_mode: bool,
+}
+
+/// A background (non-browsing) DNS query made by a device or OS job.
+#[derive(Debug, Clone)]
+pub struct BackgroundQuery {
+    /// The querying client.
+    pub client: ClientId,
+    /// Index into [`World::background_names`].
+    pub name_idx: u16,
+}
+
+/// Everything that happened on one simulated day.
+#[derive(Debug, Clone)]
+pub struct DayTraffic {
+    /// Calendar day.
+    pub day: Date,
+    /// Index within the configured window.
+    pub day_index: usize,
+    /// User page loads.
+    pub page_loads: Vec<PageLoad>,
+    /// Third-party fetch batches.
+    pub third_party: Vec<ThirdPartyFetch>,
+    /// Background DNS queries.
+    pub background: Vec<BackgroundQuery>,
+}
+
+impl World {
+    /// Simulates one day of the configured window. Deterministic in
+    /// `(config.seed, day_index)` and independent across days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day_index` is outside the configured window.
+    pub fn simulate_day(&self, day_index: usize) -> DayTraffic {
+        let day = self.config.days[day_index];
+        let weekend = day.weekday().is_weekend();
+        let mut rng = substream(self.config.seed, Stream::Traffic, day_index as u64);
+
+        let mut page_loads = Vec::new();
+        let mut third_party = Vec::new();
+        let mut background = Vec::new();
+        // Per-day stub-resolver cache: (client, zone) pairs contacted today.
+        let mut stub_cache: HashSet<u64> = HashSet::new();
+        let cache_key = |c: ClientId, s: SiteId| (u64::from(c.0) << 32) | u64::from(s.0);
+
+        // Scratch: each client's sites visited so far today, for revisits.
+        let mut today: Vec<u32> = Vec::with_capacity(64);
+        for client in &self.clients {
+            let loads = poisson(&mut rng, f64::from(client.activity) * client.day_factor(weekend));
+            let mobile = client.platform.is_mobile();
+            let table = self.nav_tables.get(client.country, mobile, weekend);
+            today.clear();
+            for _ in 0..loads {
+                // Personal browsing is bursty: about a third of loads return
+                // to a site already visited today (mail, feeds, forums). This
+                // is what separates raw-count metrics from unique-visitor
+                // metrics on the server side.
+                let mut site_idx = if !today.is_empty() && chance(&mut rng, 0.35) {
+                    today[rng.random_range(0..today.len())] as usize
+                } else {
+                    table.sample(&mut rng) as usize
+                };
+                // Panel selection bias: extension panelists under-visit
+                // sensitive categories. Rejection-resampling (up to twice,
+                // 90% each) implements the demographic skew without touching
+                // the global traffic model: sensitive-category visits by
+                // panelists drop to a few percent of their population rate.
+                if client.alexa_panelist && self.config.mechanisms.panel_aversion {
+                    for _ in 0..2 {
+                        if self.sites[site_idx].category.panel_averse()
+                            && chance(&mut rng, 0.9)
+                        {
+                            site_idx = table.sample(&mut rng) as usize;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let site = &self.sites[site_idx];
+
+                let host_idx = site.nav_host(mobile, rng.random()) as u8;
+                let private_mode = chance(&mut rng, site.private_share);
+                let completed = chance(&mut rng, site.completion_rate);
+                let dwell_secs = if completed {
+                    log_normal(&mut rng, site.dwell_mu, 0.9).min(3600.0) as u16
+                } else {
+                    0
+                };
+                let own_requests =
+                    if completed { poisson(&mut rng, site.subresource_mean).min(2000) as u16 } else { poisson(&mut rng, 1.0).min(10) as u16 };
+                let total = u32::from(own_requests) + 1;
+                let non200 = poisson(&mut rng, f64::from(total) * site.error_rate)
+                    .min(u64::from(total)) as u16;
+                // Connection reuse: roughly one handshake per 8 requests.
+                let tls_handshakes = if site.https {
+                    (1 + poisson(&mut rng, f64::from(own_requests) / 8.0)) as u16
+                } else {
+                    0
+                };
+                let is_root_path = matches!(
+                    site.hosts[host_idx as usize].kind,
+                    crate::site::HostKind::Apex | crate::site::HostKind::Www
+                ) && chance(&mut rng, site.root_nav_share);
+                let link_click = chance(&mut rng, 0.72);
+                let dns_fresh = stub_cache.insert(cache_key(client.id, site.id));
+                if today.len() < 64 && !today.contains(&site.id.0) {
+                    today.push(site.id.0);
+                }
+
+                page_loads.push(PageLoad {
+                    client: client.id,
+                    site: site.id,
+                    host_idx,
+                    is_root_path,
+                    link_click,
+                    private_mode,
+                    completed,
+                    dwell_secs,
+                    own_requests,
+                    non200,
+                    tls_handshakes,
+                    dns_fresh,
+                });
+
+                // Third-party expansion (only completed loads execute embeds).
+                if completed {
+                    for &(dep, p) in &site.third_party {
+                        if chance(&mut rng, f64::from(p)) {
+                            let dep_site = &self.sites[dep.index()];
+                            let requests = (1 + poisson(&mut rng, 2.0)) as u16;
+                            let non200 = poisson(
+                                &mut rng,
+                                f64::from(requests) * dep_site.error_rate,
+                            )
+                            .min(u64::from(requests)) as u16;
+                            let tls = if dep_site.https { 1 } else { 0 };
+                            let fresh = stub_cache.insert(cache_key(client.id, dep));
+                            third_party.push(ThirdPartyFetch {
+                                client: client.id,
+                                site: dep,
+                                host_idx: dep_site.service_host(rng.random()) as u8,
+                                requests,
+                                non200,
+                                tls_handshakes: tls,
+                                dns_fresh: fresh,
+                                private_mode,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Background DNS noise: a few automatic queries per device-day.
+            let n_bg = poisson(&mut rng, 2.5);
+            let name_count = self.background_names.len() as u64;
+            for _ in 0..n_bg {
+                let name_idx = (rng.random::<u64>() % name_count) as u16;
+                background.push(BackgroundQuery { client: client.id, name_idx });
+            }
+        }
+
+        DayTraffic { day, day_index, page_loads, third_party, background }
+    }
+
+    /// Simulates every configured day sequentially, invoking `f` per day.
+    ///
+    /// Memory stays bounded at one day's traffic; for parallel consumption,
+    /// call [`World::simulate_day`] from worker threads instead (days are
+    /// independent).
+    pub fn for_each_day<F: FnMut(&DayTraffic)>(&self, mut f: F) {
+        for i in 0..self.config.days.len() {
+            let t = self.simulate_day(i);
+            f(&t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::taxonomy::Category;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(21)).unwrap()
+    }
+
+    #[test]
+    fn days_are_deterministic() {
+        let w = world();
+        let a = w.simulate_day(0);
+        let b = w.simulate_day(0);
+        assert_eq!(a.page_loads.len(), b.page_loads.len());
+        for (x, y) in a.page_loads.iter().zip(&b.page_loads) {
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.own_requests, y.own_requests);
+        }
+        assert_eq!(a.third_party.len(), b.third_party.len());
+    }
+
+    #[test]
+    fn days_are_independent_of_order() {
+        let w = world();
+        let d3_first = w.simulate_day(3);
+        let _ = w.simulate_day(1);
+        let d3_again = w.simulate_day(3);
+        assert_eq!(d3_first.page_loads.len(), d3_again.page_loads.len());
+    }
+
+    #[test]
+    fn volume_matches_activity_budget() {
+        let w = world();
+        let t = w.simulate_day(0);
+        let expected: f64 = w
+            .clients
+            .iter()
+            .map(|c| f64::from(c.activity) * c.day_factor(t.day.weekday().is_weekend()))
+            .sum();
+        let got = t.page_loads.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "expected ~{expected} loads, got {got}"
+        );
+    }
+
+    #[test]
+    fn event_invariants_hold() {
+        let w = world();
+        let t = w.simulate_day(2);
+        assert!(!t.page_loads.is_empty());
+        for pl in &t.page_loads {
+            let site = &w.sites[pl.site.index()];
+            assert!((pl.host_idx as usize) < site.hosts.len());
+            assert!(u32::from(pl.non200) <= pl.total_requests());
+            if !site.https {
+                assert_eq!(pl.tls_handshakes, 0);
+            } else {
+                assert!(pl.tls_handshakes >= 1);
+            }
+            if !pl.completed {
+                assert_eq!(pl.dwell_secs, 0);
+            }
+        }
+        for tp in &t.third_party {
+            let site = &w.sites[tp.site.index()];
+            assert!(site.is_infrastructure);
+            assert!((tp.host_idx as usize) < site.hosts.len());
+            assert!(tp.non200 <= tp.requests);
+            assert!(tp.requests >= 1);
+        }
+        for bg in &t.background {
+            assert!((bg.name_idx as usize) < w.background_names.len());
+        }
+    }
+
+    #[test]
+    fn dns_fresh_fires_exactly_once_per_zone_contact() {
+        // The stub cache is shared between navigations and third-party
+        // fetches: each (client, zone) pair contacted on a day produces
+        // exactly one fresh upstream query across both streams.
+        let w = world();
+        let t = w.simulate_day(0);
+        use std::collections::HashMap;
+        let mut fresh: HashMap<(ClientId, SiteId), u32> = HashMap::new();
+        let mut contacted: HashSet<(ClientId, SiteId)> = HashSet::new();
+        for pl in &t.page_loads {
+            contacted.insert((pl.client, pl.site));
+            *fresh.entry((pl.client, pl.site)).or_default() += u32::from(pl.dns_fresh);
+        }
+        for tp in &t.third_party {
+            contacted.insert((tp.client, tp.site));
+            *fresh.entry((tp.client, tp.site)).or_default() += u32::from(tp.dns_fresh);
+        }
+        for key in &contacted {
+            assert_eq!(fresh[key], 1, "exactly one fresh query for {key:?}");
+        }
+    }
+
+    #[test]
+    fn popular_sites_get_more_traffic() {
+        let w = world();
+        let mut counts = vec![0u32; w.sites.len()];
+        let t = w.simulate_day(0);
+        for pl in &t.page_loads {
+            counts[pl.site.index()] += 1;
+        }
+        // Head sites (by generation order ≈ base rank) should dominate tail.
+        let head: u32 = counts[..20].iter().sum();
+        let tail: u32 = counts[counts.len() - 20..].iter().sum();
+        assert!(head > tail * 5, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn weekend_shifts_category_mix() {
+        let w = World::generate(WorldConfig {
+            n_clients: 600,
+            ..WorldConfig::tiny(22)
+        })
+        .unwrap();
+        // Day 0 = Tue Feb 1; day 4 = Sat Feb 5.
+        let weekday = w.simulate_day(0);
+        let weekend = w.simulate_day(4);
+        let share = |t: &DayTraffic, cat: Category| {
+            let hits = t
+                .page_loads
+                .iter()
+                .filter(|p| w.sites[p.site.index()].category == cat)
+                .count();
+            hits as f64 / t.page_loads.len() as f64
+        };
+        // Business browsing concentrates on weekdays.
+        assert!(
+            share(&weekday, Category::Business) > share(&weekend, Category::Business),
+            "business share should drop on weekends"
+        );
+    }
+
+    #[test]
+    fn private_mode_tracks_category() {
+        let w = World::generate(WorldConfig { n_clients: 800, ..WorldConfig::tiny(23) }).unwrap();
+        let t = w.simulate_day(0);
+        let (mut adult_priv, mut adult_all, mut biz_priv, mut biz_all) = (0u32, 0u32, 0u32, 0u32);
+        for pl in &t.page_loads {
+            match w.sites[pl.site.index()].category {
+                Category::Adult => {
+                    adult_all += 1;
+                    adult_priv += u32::from(pl.private_mode);
+                }
+                Category::Business => {
+                    biz_all += 1;
+                    biz_priv += u32::from(pl.private_mode);
+                }
+                _ => {}
+            }
+        }
+        if adult_all > 20 && biz_all > 20 {
+            assert!(
+                f64::from(adult_priv) / f64::from(adult_all)
+                    > 3.0 * f64::from(biz_priv) / f64::from(biz_all)
+            );
+        }
+    }
+}

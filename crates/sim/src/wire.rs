@@ -1,0 +1,329 @@
+//! Binary log-record encoding for traffic events.
+//!
+//! Real vantage points exchange logs as flat records, not in-memory structs.
+//! This module defines a compact length-prefixed wire format for
+//! [`DayTraffic`] so observers can be run out-of-process, days can be
+//! archived to disk, and replays are byte-exact. The format is
+//! little-endian, versioned, and deliberately simple:
+//!
+//! ```text
+//! file   := header record*
+//! header := magic "TPL1" | day_index u32 | year i32 | month u8 | day u8 | counts u32×3
+//! record := tag u8 | body
+//!   tag 1 (page load)    : client u32 | site u32 | host u8 | flags u8 |
+//!                          dwell u16 | own_req u16 | non200 u16 | tls u16
+//!   tag 2 (third-party)  : client u32 | site u32 | host u8 | flags u8 |
+//!                          requests u16 | non200 u16 | tls u16
+//!   tag 3 (background)   : client u32 | name u16
+//! flags bits: 0 root-path, 1 link-click, 2 private, 3 completed, 4 dns-fresh
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::date::Date;
+use crate::ids::{ClientId, SiteId};
+use crate::traffic::{BackgroundQuery, DayTraffic, PageLoad, ThirdPartyFetch};
+
+const MAGIC: &[u8; 4] = b"TPL1";
+
+const TAG_PAGE_LOAD: u8 = 1;
+const TAG_THIRD_PARTY: u8 = 2;
+const TAG_BACKGROUND: u8 = 3;
+
+const FLAG_ROOT: u8 = 1 << 0;
+const FLAG_LINK: u8 = 1 << 1;
+const FLAG_PRIVATE: u8 = 1 << 2;
+const FLAG_COMPLETED: u8 = 1 << 3;
+const FLAG_DNS_FRESH: u8 = 1 << 4;
+
+/// Errors produced when decoding a day archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The magic prefix did not match.
+    BadMagic,
+    /// The buffer ended mid-record.
+    Truncated,
+    /// An unknown record tag was encountered.
+    UnknownTag(u8),
+    /// Header counts did not match the records present.
+    CountMismatch,
+    /// The header's calendar date was invalid.
+    BadDate,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad magic (not a TPL1 day archive)"),
+            WireError::Truncated => write!(f, "archive truncated mid-record"),
+            WireError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            WireError::CountMismatch => write!(f, "header counts disagree with records"),
+            WireError::BadDate => write!(f, "invalid calendar date in header"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a day of traffic into its wire form.
+pub fn encode_day(t: &DayTraffic) -> Bytes {
+    let cap = 18
+        + 4 * 3
+        + t.page_loads.len() * 19
+        + t.third_party.len() * 17
+        + t.background.len() * 7;
+    let mut buf = BytesMut::with_capacity(cap);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(t.day_index as u32);
+    buf.put_i32_le(t.day.year);
+    buf.put_u8(t.day.month);
+    buf.put_u8(t.day.day);
+    buf.put_u32_le(t.page_loads.len() as u32);
+    buf.put_u32_le(t.third_party.len() as u32);
+    buf.put_u32_le(t.background.len() as u32);
+
+    for pl in &t.page_loads {
+        buf.put_u8(TAG_PAGE_LOAD);
+        buf.put_u32_le(pl.client.0);
+        buf.put_u32_le(pl.site.0);
+        buf.put_u8(pl.host_idx);
+        let mut flags = 0u8;
+        if pl.is_root_path {
+            flags |= FLAG_ROOT;
+        }
+        if pl.link_click {
+            flags |= FLAG_LINK;
+        }
+        if pl.private_mode {
+            flags |= FLAG_PRIVATE;
+        }
+        if pl.completed {
+            flags |= FLAG_COMPLETED;
+        }
+        if pl.dns_fresh {
+            flags |= FLAG_DNS_FRESH;
+        }
+        buf.put_u8(flags);
+        buf.put_u16_le(pl.dwell_secs);
+        buf.put_u16_le(pl.own_requests);
+        buf.put_u16_le(pl.non200);
+        buf.put_u16_le(pl.tls_handshakes);
+    }
+    for tp in &t.third_party {
+        buf.put_u8(TAG_THIRD_PARTY);
+        buf.put_u32_le(tp.client.0);
+        buf.put_u32_le(tp.site.0);
+        buf.put_u8(tp.host_idx);
+        let mut flags = 0u8;
+        if tp.private_mode {
+            flags |= FLAG_PRIVATE;
+        }
+        if tp.dns_fresh {
+            flags |= FLAG_DNS_FRESH;
+        }
+        buf.put_u8(flags);
+        buf.put_u16_le(tp.requests);
+        buf.put_u16_le(tp.non200);
+        buf.put_u16_le(tp.tls_handshakes);
+    }
+    for bg in &t.background {
+        buf.put_u8(TAG_BACKGROUND);
+        buf.put_u32_le(bg.client.0);
+        buf.put_u16_le(bg.name_idx);
+    }
+    buf.freeze()
+}
+
+/// Decodes a day archive produced by [`encode_day`].
+pub fn decode_day(mut buf: &[u8]) -> Result<DayTraffic, WireError> {
+    if buf.remaining() < 18 || &buf[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    buf.advance(4);
+    let day_index = buf.get_u32_le() as usize;
+    let year = buf.get_i32_le();
+    let month = buf.get_u8();
+    let day_of_month = buf.get_u8();
+    if !(1..=12).contains(&month) || day_of_month == 0 {
+        return Err(WireError::BadDate);
+    }
+    let day = Date::new(year, month, day_of_month);
+    if day_of_month > day.days_in_month() {
+        return Err(WireError::BadDate);
+    }
+    let n_pl = buf.get_u32_le() as usize;
+    let n_tp = buf.get_u32_le() as usize;
+    let n_bg = buf.get_u32_le() as usize;
+
+    let mut page_loads = Vec::with_capacity(n_pl);
+    let mut third_party = Vec::with_capacity(n_tp);
+    let mut background = Vec::with_capacity(n_bg);
+
+    while buf.has_remaining() {
+        let tag = buf.get_u8();
+        match tag {
+            TAG_PAGE_LOAD => {
+                if buf.remaining() < 18 {
+                    return Err(WireError::Truncated);
+                }
+                let client = ClientId(buf.get_u32_le());
+                let site = SiteId(buf.get_u32_le());
+                let host_idx = buf.get_u8();
+                let flags = buf.get_u8();
+                page_loads.push(PageLoad {
+                    client,
+                    site,
+                    host_idx,
+                    is_root_path: flags & FLAG_ROOT != 0,
+                    link_click: flags & FLAG_LINK != 0,
+                    private_mode: flags & FLAG_PRIVATE != 0,
+                    completed: flags & FLAG_COMPLETED != 0,
+                    dns_fresh: flags & FLAG_DNS_FRESH != 0,
+                    dwell_secs: buf.get_u16_le(),
+                    own_requests: buf.get_u16_le(),
+                    non200: buf.get_u16_le(),
+                    tls_handshakes: buf.get_u16_le(),
+                });
+            }
+            TAG_THIRD_PARTY => {
+                if buf.remaining() < 16 {
+                    return Err(WireError::Truncated);
+                }
+                let client = ClientId(buf.get_u32_le());
+                let site = SiteId(buf.get_u32_le());
+                let host_idx = buf.get_u8();
+                let flags = buf.get_u8();
+                third_party.push(ThirdPartyFetch {
+                    client,
+                    site,
+                    host_idx,
+                    private_mode: flags & FLAG_PRIVATE != 0,
+                    dns_fresh: flags & FLAG_DNS_FRESH != 0,
+                    requests: buf.get_u16_le(),
+                    non200: buf.get_u16_le(),
+                    tls_handshakes: buf.get_u16_le(),
+                });
+            }
+            TAG_BACKGROUND => {
+                if buf.remaining() < 6 {
+                    return Err(WireError::Truncated);
+                }
+                background.push(BackgroundQuery {
+                    client: ClientId(buf.get_u32_le()),
+                    name_idx: buf.get_u16_le(),
+                });
+            }
+            other => return Err(WireError::UnknownTag(other)),
+        }
+    }
+    if page_loads.len() != n_pl || third_party.len() != n_tp || background.len() != n_bg {
+        return Err(WireError::CountMismatch);
+    }
+    Ok(DayTraffic { day, day_index, page_loads, third_party, background })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    fn sample_day() -> DayTraffic {
+        World::generate(WorldConfig::tiny(404)).unwrap().simulate_day(2)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let t = sample_day();
+        let encoded = encode_day(&t);
+        let decoded = decode_day(&encoded).unwrap();
+        assert_eq!(decoded.day, t.day);
+        assert_eq!(decoded.day_index, t.day_index);
+        assert_eq!(decoded.page_loads.len(), t.page_loads.len());
+        for (a, b) in decoded.page_loads.iter().zip(&t.page_loads) {
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.host_idx, b.host_idx);
+            assert_eq!(a.is_root_path, b.is_root_path);
+            assert_eq!(a.link_click, b.link_click);
+            assert_eq!(a.private_mode, b.private_mode);
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.dns_fresh, b.dns_fresh);
+            assert_eq!(a.dwell_secs, b.dwell_secs);
+            assert_eq!(a.own_requests, b.own_requests);
+            assert_eq!(a.non200, b.non200);
+            assert_eq!(a.tls_handshakes, b.tls_handshakes);
+        }
+        for (a, b) in decoded.third_party.iter().zip(&t.third_party) {
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.dns_fresh, b.dns_fresh);
+        }
+        for (a, b) in decoded.background.iter().zip(&t.background) {
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.name_idx, b.name_idx);
+        }
+    }
+
+    #[test]
+    fn vantages_see_identical_metrics_through_the_wire() {
+        // Encoding must be observationally transparent: metrics computed on
+        // the decoded stream equal metrics on the original.
+        let w = World::generate(WorldConfig::tiny(405)).unwrap();
+        let t = w.simulate_day(0);
+        let t2 = decode_day(&encode_day(&t)).unwrap();
+        assert_eq!(t.page_loads.len(), t2.page_loads.len());
+        let total_req: u32 = t.page_loads.iter().map(|p| p.total_requests()).sum();
+        let total_req2: u32 = t2.page_loads.iter().map(|p| p.total_requests()).sum();
+        assert_eq!(total_req, total_req2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode_day(b"NOPE").unwrap_err(), WireError::BadMagic);
+        assert_eq!(decode_day(b"").unwrap_err(), WireError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = sample_day();
+        let encoded = encode_day(&t);
+        // Chop mid-record.
+        let cut = encoded.len() - 3;
+        let err = decode_day(&encoded[..cut]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated | WireError::CountMismatch));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let t = DayTraffic {
+            day: Date::new(2022, 2, 1),
+            day_index: 0,
+            page_loads: vec![],
+            third_party: vec![],
+            background: vec![],
+        };
+        let mut bytes = encode_day(&t).to_vec();
+        bytes.push(99); // bogus tag
+        assert_eq!(decode_day(&bytes).unwrap_err(), WireError::UnknownTag(99));
+    }
+
+    #[test]
+    fn rejects_bad_date() {
+        let t = sample_day();
+        let mut bytes = encode_day(&t).to_vec();
+        bytes[12] = 13; // month byte
+        assert_eq!(decode_day(&bytes).unwrap_err(), WireError::BadDate);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let t = sample_day();
+        let encoded = encode_day(&t);
+        // Upper bound: 19 B per page load + 17 per third-party + 7 per
+        // background + header.
+        let bound = 18 + 12 + t.page_loads.len() * 19 + t.third_party.len() * 17 + t.background.len() * 7;
+        assert!(encoded.len() <= bound);
+    }
+}

@@ -1,0 +1,701 @@
+//! World generation: the complete synthetic web ecosystem.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use topple_psl::{DomainName, PublicSuffixList};
+
+use crate::alias::AliasTable;
+use crate::client::{Client, Resolver};
+use crate::config::WorldConfig;
+use crate::ids::{ClientId, SiteId};
+use crate::linkgraph::LinkGraph;
+use crate::namegen::NameGenerator;
+use crate::rng::{chance, log_normal, substream, zipf_weights, Stream};
+use crate::site::{HostKind, Site, SiteHost};
+use crate::taxonomy::{Browser, Category, Country, Platform};
+
+/// Error produced by world generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldError(pub String);
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "world generation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// Navigation alias tables indexed by (country, mobile?, weekend?).
+#[derive(Debug, Clone)]
+pub(crate) struct NavTables {
+    tables: Vec<AliasTable>, // COUNTRY_COUNT * 2 * 2
+}
+
+impl NavTables {
+    fn idx(country: Country, mobile: bool, weekend: bool) -> usize {
+        country.index() * 4 + usize::from(mobile) * 2 + usize::from(weekend)
+    }
+
+    pub(crate) fn get(&self, country: Country, mobile: bool, weekend: bool) -> &AliasTable {
+        &self.tables[Self::idx(country, mobile, weekend)]
+    }
+}
+
+/// The complete generated world: sites, clients, link graph, and samplers.
+#[derive(Debug)]
+pub struct World {
+    /// The configuration the world was generated from.
+    pub config: WorldConfig,
+    /// The Public Suffix List in force.
+    pub psl: PublicSuffixList,
+    /// All websites, in descending ground-truth base-rank order (site 0 drew
+    /// the largest Zipf weight before noise).
+    pub sites: Vec<Site>,
+    /// The client population.
+    pub clients: Vec<Client>,
+    /// The hyperlink graph.
+    pub link_graph: LinkGraph,
+    /// Non-website names queried by background jobs (TLD probes, NTP,
+    /// connectivity checks). These pollute DNS-derived lists.
+    pub background_names: Vec<DomainName>,
+    pub(crate) nav_tables: NavTables,
+    domain_index: HashMap<String, SiteId>,
+}
+
+impl World {
+    /// Generates a world from a configuration. Deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> Result<World, WorldError> {
+        config.validate().map_err(WorldError)?;
+        let psl = PublicSuffixList::builtin();
+        let sites = generate_sites(&config);
+        let clients = generate_clients(&config);
+        let link_graph = LinkGraph::generate(config.seed, &sites, 10.0);
+        let nav_tables = build_nav_tables(&sites);
+        let background_names = background_names();
+        let mut domain_index = HashMap::with_capacity(sites.len());
+        for s in &sites {
+            domain_index.insert(s.domain.as_str().to_owned(), s.id);
+        }
+        Ok(World { config, psl, sites, clients, link_graph, background_names, nav_tables, domain_index })
+    }
+
+    /// Looks up a site by registrable domain.
+    pub fn site_by_domain(&self, domain: &DomainName) -> Option<&Site> {
+        self.domain_index.get(domain.as_str()).map(|id| &self.sites[id.index()])
+    }
+
+    /// Whether a registrable domain is served by the Cloudflare-style CDN.
+    ///
+    /// This models the paper's `HTTP HEAD` probe for the `cf_ray` response
+    /// header (Section 4.3): the check is made against the *domain*, exactly
+    /// as the probe would observe it, without consulting popularity data.
+    pub fn is_cloudflare(&self, domain: &DomainName) -> bool {
+        self.site_by_domain(domain).map(|s| s.cloudflare).unwrap_or(false)
+    }
+
+    /// Ground-truth top-k site ids by true weight (for framework validation
+    /// tests only — no vantage or list construction may touch this).
+    pub fn ground_truth_top(&self, k: usize) -> Vec<SiteId> {
+        let mut ids: Vec<SiteId> = self.sites.iter().map(|s| s.id).collect();
+        ids.sort_by(|a, b| {
+            self.sites[b.index()]
+                .weight
+                .partial_cmp(&self.sites[a.index()].weight)
+                .expect("weights are finite")
+        });
+        ids.truncate(k);
+        ids
+    }
+}
+
+/// Generates the site universe in base-rank order.
+fn generate_sites(config: &WorldConfig) -> Vec<Site> {
+    let n = config.n_sites;
+    let mut rng = substream(config.seed, Stream::Sites, 0);
+    let mut name_rng = substream(config.seed, Stream::Names, 0);
+    let mut names = NameGenerator::new();
+
+    let cat_weights: Vec<f64> = Category::ALL.iter().map(|c| c.universe_share()).collect();
+    let cat_table = AliasTable::new(&cat_weights);
+    let country_weights: Vec<f64> = Country::ALL.iter().map(|c| c.population_share()).collect();
+    let country_table = AliasTable::new(&country_weights);
+
+    let base_weights = zipf_weights(n, config.zipf_exponent);
+    let mut sites = Vec::with_capacity(n);
+    for i in 0..n {
+        let category = Category::ALL[cat_table.sample(&mut rng) as usize];
+        let home_country = Country::ALL[country_table.sample(&mut rng) as usize];
+        // Strongly local ecosystems produce fewer globally-oriented sites.
+        let global_rate = 0.30 * (1.0 - home_country.locality()).max(0.15) / 0.45;
+        let is_global = chance(&mut rng, global_rate);
+        let domain = names.mint(&mut name_rng, category, home_country, is_global);
+
+        let weight = base_weights[i]
+            * category.popularity_damping()
+            * log_normal(&mut rng, 0.0, config.popularity_noise);
+        let country_mix = country_mix(home_country, is_global, &mut rng);
+
+        // Category mobile affinity with a little per-site jitter.
+        let mobile_affinity =
+            (category.mobile_affinity() * log_normal(&mut rng, 0.0, 0.15)).clamp(0.3, 1.8);
+
+        let https = chance(&mut rng, if matches!(category, Category::Parked | Category::Abuse) { 0.55 } else { 0.93 });
+
+        // CDN adoption: never the global top 10 (none of the web's top ten
+        // sites use Cloudflare), mild category skew elsewhere.
+        let cf_factor = match category {
+            Category::Technology | Category::Blog | Category::Gaming => 1.25,
+            Category::Adult | Category::Gambling => 1.15,
+            Category::Government | Category::Education => 0.45,
+            Category::Finance => 0.7,
+            _ => 1.0,
+        };
+        let cloudflare = i >= 10 && chance(&mut rng, (config.cloudflare_share * cf_factor).min(0.9));
+
+        let public_web = chance(&mut rng, category.public_web_rate());
+        let completion_rate = match category {
+            Category::Parked | Category::Abuse => 0.55,
+            _ => 0.82 + 0.12 * rng.random::<f64>(),
+        };
+        let subresource_mean =
+            (category.subresource_mean() * log_normal(&mut rng, 0.0, 0.35)).clamp(0.5, 150.0);
+        let error_rate = 0.02 + 0.08 * rng.random::<f64>();
+        let dwell_mu = category.dwell_mean_secs().ln() - 0.32; // median below mean
+        let private_noise = log_normal(&mut rng, 0.0, 0.2);
+        let private_share = if config.mechanisms.private_browsing {
+            (category.private_mode_share() * private_noise).min(0.95)
+        } else {
+            0.0
+        };
+        let root_nav_share = match category {
+            Category::News | Category::Blog | Category::Community => 0.25 + 0.15 * rng.random::<f64>(),
+            Category::Parked => 0.9,
+            _ => 0.40 + 0.25 * rng.random::<f64>(),
+        };
+
+        let hosts = build_hosts(&domain, category, &mut rng);
+        let is_infrastructure = chance(&mut rng, config.infrastructure_share)
+            && matches!(category, Category::Technology | Category::Business);
+        // Alexa Certify adoption: commercially-motivated mid-tail sites buy
+        // direct measurement and rank better than panel sampling would place
+        // them. Never the true giants (they don't need it).
+        let certify_rate = match category {
+            Category::Business | Category::Shopping | Category::News | Category::Travel => 0.08,
+            Category::Parked | Category::Abuse | Category::Adult => 0.0,
+            _ => 0.025,
+        };
+        // Draw unconditionally so counterfactual worlds (mechanism toggles)
+        // consume identical RNG streams and differ only in the mechanism.
+        let certify_drawn = chance(&mut rng, certify_rate);
+        let certify_factor = log_normal(&mut rng, 2.0, 0.7).clamp(2.0, 120.0);
+        let certify_boost = if config.mechanisms.certify && i >= 50 && certify_drawn {
+            certify_factor
+        } else {
+            1.0
+        };
+
+        sites.push(Site {
+            id: SiteId(i as u32),
+            domain,
+            category,
+            home_country,
+            is_global,
+            weight,
+            country_mix,
+            mobile_affinity,
+            https,
+            cloudflare,
+            public_web,
+            completion_rate,
+            subresource_mean,
+            error_rate,
+            dwell_mu,
+            private_share,
+            root_nav_share,
+            hosts,
+            third_party: Vec::new(),
+            is_infrastructure,
+            certify_boost,
+        });
+    }
+
+    // Force a handful of infrastructure zones among popular technology sites
+    // so that small worlds have them too.
+    let needed = (config.infrastructure_share * n as f64).ceil() as usize;
+    let have = sites.iter().filter(|s| s.is_infrastructure).count();
+    if have < needed.max(3) {
+        let mut added = have;
+        for i in 10..n {
+            if added >= needed.max(3) {
+                break;
+            }
+            if matches!(sites[i].category, Category::Technology | Category::Business)
+                && !sites[i].is_infrastructure
+            {
+                sites[i].is_infrastructure = true;
+                added += 1;
+            }
+        }
+    }
+
+    wire_third_parties(config, &mut sites);
+    sites
+}
+
+/// Audience mix over countries for a site.
+fn country_mix(home: Country, is_global: bool, rng: &mut SmallRng) -> [f64; Country::COUNT] {
+    let locality = if is_global { 0.06 } else { home.locality() };
+    let mut mix = [0.0; Country::COUNT];
+    for c in Country::ALL {
+        let base = c.population_share();
+        let mut v = (1.0 - locality) * base;
+        // Cross-border damping into strongly-local ecosystems: foreign sites
+        // reach China/Japan audiences weakly.
+        if c != home {
+            v *= 1.0 - 0.85 * c.locality().max(0.0).powi(2);
+            // The Chinese ecosystem is additionally walled off: most foreign
+            // sites are simply unreachable, so the resolver behind Secrank
+            // observes an almost purely domestic web.
+            if c == Country::China {
+                v *= 0.25;
+            }
+        }
+        // Per-site noise so mixes aren't identical within a class.
+        v *= log_normal(rng, 0.0, 0.25);
+        mix[c.index()] = v;
+    }
+    mix[home.index()] += locality;
+    let total: f64 = mix.iter().sum();
+    for v in &mut mix {
+        *v /= total;
+    }
+    mix
+}
+
+/// Builds the FQDN set of a site.
+fn build_hosts(domain: &DomainName, category: Category, rng: &mut SmallRng) -> Vec<SiteHost> {
+    let mut hosts = vec![SiteHost { name: domain.clone(), kind: HostKind::Apex }];
+    let push = |label: &str, kind: HostKind, hosts: &mut Vec<SiteHost>| {
+        if let Ok(name) = domain.prepend(label) {
+            hosts.push(SiteHost { name, kind });
+        }
+    };
+    if chance(rng, 0.85) {
+        push("www", HostKind::Www, &mut hosts);
+    }
+    if chance(rng, 0.35) {
+        push("m", HostKind::Mobile, &mut hosts);
+    }
+    for (label, p) in [("cdn", 0.35), ("static", 0.25), ("api", 0.30), ("img", 0.15)] {
+        if chance(rng, p) {
+            push(label, HostKind::Service, &mut hosts);
+        }
+    }
+    if category == Category::Shopping && chance(rng, 0.4) {
+        push("checkout", HostKind::Service, &mut hosts);
+    }
+    hosts
+}
+
+/// Wires third-party infrastructure dependencies into every non-infra site.
+fn wire_third_parties(config: &WorldConfig, sites: &mut [Site]) {
+    let infra: Vec<SiteId> = sites.iter().filter(|s| s.is_infrastructure).map(|s| s.id).collect();
+    if infra.is_empty() {
+        return;
+    }
+    let mut rng = substream(config.seed, Stream::ThirdParty, 0);
+    // Popular infrastructure wins embeds (analytics-market concentration).
+    let infra_weights: Vec<f64> =
+        infra.iter().map(|id| sites[id.index()].weight.powf(0.6)).collect();
+    let table = AliasTable::new(&infra_weights);
+    for i in 0..sites.len() {
+        if sites[i].is_infrastructure || sites[i].category == Category::Parked {
+            continue;
+        }
+        let deps = 1 + (rng.random::<f64>() * 4.0) as usize; // 1..=4
+        let mut chosen: Vec<(SiteId, f32)> = Vec::with_capacity(deps);
+        for _ in 0..deps {
+            let dep = infra[table.sample(&mut rng) as usize];
+            if dep.index() != i && !chosen.iter().any(|(d, _)| *d == dep) {
+                let p = 0.4 + 0.55 * rng.random::<f32>();
+                chosen.push((dep, p));
+            }
+        }
+        sites[i].third_party = chosen;
+    }
+}
+
+/// Generates the client population.
+fn generate_clients(config: &WorldConfig) -> Vec<Client> {
+    let mut rng = substream(config.seed, Stream::Clients, 0);
+    let country_weights: Vec<f64> = Country::ALL.iter().map(|c| c.population_share()).collect();
+    let country_table = AliasTable::new(&country_weights);
+
+    let mut clients = Vec::with_capacity(config.n_clients);
+    for i in 0..config.n_clients {
+        let country = Country::ALL[country_table.sample(&mut rng) as usize];
+        let mobile = chance(&mut rng, country.mobile_share());
+        let platform = if mobile {
+            if chance(&mut rng, ios_share(country)) {
+                Platform::Ios
+            } else {
+                Platform::Android
+            }
+        } else if chance(&mut rng, 0.12) {
+            Platform::MacOs
+        } else if chance(&mut rng, 0.06) {
+            Platform::Other
+        } else {
+            Platform::Windows
+        };
+        let browser = pick_browser(&mut rng, platform, country);
+        let enterprise = !mobile && chance(&mut rng, country.enterprise_rate());
+        let resolver = pick_resolver(&mut rng, country, enterprise, mobile);
+        let activity = log_normal(&mut rng, config.mean_loads_per_day.ln() - 0.25, 0.7)
+            .clamp(1.0, 400.0) as f32;
+        let ip = assign_ip(&mut rng, country, enterprise, i as u32);
+        let chrome_optin = browser == Browser::Chrome && chance(&mut rng, config.chrome_optin_rate);
+        // The panel is desktop-only and strongly geographically skewed: the
+        // partnered extensions are overwhelmingly installed in the US and
+        // western Europe, and essentially absent in China.
+        let geo_factor = match country {
+            Country::UnitedStates => 2.6,
+            Country::UnitedKingdom | Country::Germany => 1.6,
+            Country::China => 0.02,
+            Country::Japan => 0.4,
+            _ => 0.5,
+        };
+        let panel_rate = if platform.is_mobile() {
+            0.0
+        } else {
+            config.alexa_panel_rate * geo_factor * if enterprise { 0.7 } else { 1.4 }
+        };
+        let alexa_panelist = browser != Browser::Automation && chance(&mut rng, panel_rate);
+
+        clients.push(Client {
+            id: ClientId(i as u32),
+            country,
+            platform,
+            browser,
+            ip,
+            enterprise,
+            activity,
+            resolver,
+            chrome_optin,
+            alexa_panelist,
+        });
+    }
+    clients
+}
+
+fn ios_share(country: Country) -> f64 {
+    match country {
+        Country::UnitedStates => 0.52,
+        Country::Japan => 0.60,
+        Country::UnitedKingdom => 0.48,
+        Country::Germany => 0.36,
+        Country::China => 0.24,
+        Country::Brazil => 0.16,
+        Country::India => 0.05,
+        Country::Indonesia => 0.12,
+        Country::Nigeria => 0.06,
+        Country::Egypt => 0.10,
+        Country::SouthAfrica => 0.14,
+        Country::Rest => 0.20,
+    }
+}
+
+fn pick_browser(rng: &mut SmallRng, platform: Platform, country: Country) -> Browser {
+    // Small automation share on desktop platforms.
+    if !platform.is_mobile() && chance(rng, 0.04) {
+        return Browser::Automation;
+    }
+    let r: f64 = rng.random();
+    match platform {
+        Platform::Ios => {
+            if r < 0.72 {
+                Browser::Safari
+            } else if r < 0.94 {
+                Browser::Chrome
+            } else {
+                Browser::OtherBrowser
+            }
+        }
+        Platform::Android => {
+            if r < 0.66 {
+                Browser::Chrome
+            } else if r < 0.84 {
+                Browser::Samsung
+            } else if r < 0.92 {
+                Browser::Firefox
+            } else {
+                Browser::OtherBrowser
+            }
+        }
+        Platform::MacOs => {
+            if r < 0.42 {
+                Browser::Safari
+            } else if r < 0.84 {
+                Browser::Chrome
+            } else if r < 0.93 {
+                Browser::Firefox
+            } else {
+                Browser::OtherBrowser
+            }
+        }
+        _ => {
+            // Windows / Other desktop; China has a larger long-tail share.
+            let other = if country == Country::China { 0.22 } else { 0.08 };
+            if r < other {
+                Browser::OtherBrowser
+            } else if r < other + 0.58 {
+                Browser::Chrome
+            } else if r < other + 0.74 {
+                Browser::Edge
+            } else {
+                Browser::Firefox
+            }
+        }
+    }
+}
+
+fn pick_resolver(
+    rng: &mut SmallRng,
+    country: Country,
+    enterprise: bool,
+    mobile: bool,
+) -> Resolver {
+    if country == Country::China {
+        return if chance(rng, 0.72) { Resolver::ChinaVoting } else { Resolver::Isp };
+    }
+    // Umbrella's base is managed desktop fleets behind shared egress NAT;
+    // consumer desktops rarely and phones on mobile networks essentially
+    // never route through it. The NAT sharing saturates unique-client-IP
+    // counts for popular names, which is what destroys the list's
+    // fine-grained rank fidelity.
+    let p = if enterprise {
+        country.umbrella_enterprise_rate()
+    } else if mobile {
+        0.001
+    } else {
+        0.02
+    };
+    if chance(rng, p) {
+        Resolver::Umbrella
+    } else {
+        Resolver::Isp
+    }
+}
+
+/// Assigns a post-NAT IPv4 address: country-partitioned /8-style blocks;
+/// enterprise clients share egress IPs in pools of ~24.
+fn assign_ip(rng: &mut SmallRng, country: Country, enterprise: bool, client_idx: u32) -> u32 {
+    let block = (country.index() as u32 + 1) << 24;
+    if enterprise {
+        let org: u32 = rng.random_range(0..1 + client_idx / 24);
+        block | 0x0080_0000 | (org & 0x003F_FFFF)
+    } else {
+        block | (client_idx & 0x007F_FFFF)
+    }
+}
+
+/// Builds navigation alias tables for every (country, mobile, weekend) cell.
+fn build_nav_tables(sites: &[Site]) -> NavTables {
+    let mut tables = Vec::with_capacity(Country::COUNT * 4);
+    let mut weights = vec![0.0f64; sites.len()];
+    for country in Country::ALL {
+        for mobile in [false, true] {
+            for weekend in [false, true] {
+                for (i, s) in sites.iter().enumerate() {
+                    let platform_factor = if mobile {
+                        s.mobile_affinity
+                    } else {
+                        (2.0 - s.mobile_affinity).max(0.2)
+                    };
+                    let wf = s.category.weekday_factor();
+                    let day_factor = if weekend { 2.0 - wf } else { wf };
+                    let infra_damp = if s.is_infrastructure { 0.02 } else { 1.0 };
+                    weights[i] = s.weight
+                        * s.country_mix[country.index()]
+                        * platform_factor
+                        * day_factor
+                        * infra_damp;
+                }
+                tables.push(AliasTable::new(&weights));
+            }
+        }
+    }
+    NavTables { tables }
+}
+
+/// Non-website names queried by devices automatically (the noise floor of any
+/// DNS-derived top list: TLD probes, NTP pools, connectivity checks).
+fn background_names() -> Vec<DomainName> {
+    [
+        "com",
+        "net",
+        "org",
+        "pool.ntp.org",
+        "time.windows.com",
+        "connectivity-check.net",
+        "captive.apple.com",
+        "detectportal.firefox.com",
+        "updates.push.services.net",
+        "telemetry.os-vendor.com",
+        "crl.certauthority.com",
+        "ocsp.certauthority.com",
+    ]
+    .iter()
+    .map(|s| DomainName::new(s).expect("static names are valid"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::tiny(5)).unwrap();
+        let b = World::generate(WorldConfig::tiny(5)).unwrap();
+        assert_eq!(a.sites.len(), b.sites.len());
+        for (sa, sb) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(sa.domain, sb.domain);
+            assert_eq!(sa.category, sb.category);
+            assert!((sa.weight - sb.weight).abs() < 1e-12);
+            assert_eq!(sa.cloudflare, sb.cloudflare);
+        }
+        for (ca, cb) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(ca.country, cb.country);
+            assert_eq!(ca.ip, cb.ip);
+            assert_eq!(ca.browser, cb.browser);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldConfig::tiny(5)).unwrap();
+        let b = World::generate(WorldConfig::tiny(6)).unwrap();
+        let same = a
+            .sites
+            .iter()
+            .zip(&b.sites)
+            .filter(|(x, y)| x.domain == y.domain)
+            .count();
+        assert!(same < a.sites.len() / 2, "worlds too similar: {same} shared domains");
+    }
+
+    #[test]
+    fn domains_are_unique_and_indexed() {
+        let w = World::generate(WorldConfig::tiny(7)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in &w.sites {
+            assert!(seen.insert(s.domain.as_str().to_owned()));
+            assert_eq!(w.site_by_domain(&s.domain).unwrap().id, s.id);
+        }
+        assert!(w.site_by_domain(&DomainName::new("not-a-site.example").unwrap()).is_none());
+    }
+
+    #[test]
+    fn top_ten_never_cloudflare() {
+        let w = World::generate(WorldConfig::small(8)).unwrap();
+        for s in &w.sites[..10] {
+            assert!(!s.cloudflare, "top-10 site {} must not be on Cloudflare", s.domain);
+        }
+        // But a meaningful share of the rest is.
+        let share = w.sites.iter().filter(|s| s.cloudflare).count() as f64 / w.sites.len() as f64;
+        assert!(share > 0.15 && share < 0.40, "CF share {share}");
+    }
+
+    #[test]
+    fn country_mixes_sum_to_one() {
+        let w = World::generate(WorldConfig::tiny(9)).unwrap();
+        for s in &w.sites {
+            let total: f64 = s.country_mix.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: {total}", s.domain);
+            assert!(s.country_mix.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn local_sites_concentrate_at_home() {
+        let w = World::generate(WorldConfig::small(10)).unwrap();
+        for s in &w.sites {
+            if !s.is_global && s.home_country == Country::Japan {
+                assert!(
+                    s.country_mix[Country::Japan.index()] > 0.5,
+                    "Japanese local site {} mix {:?}",
+                    s.domain,
+                    s.country_mix[Country::Japan.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clients_have_sane_attributes() {
+        let w = World::generate(WorldConfig::small(11)).unwrap();
+        let chrome_optins = w.clients.iter().filter(|c| c.chrome_optin).count();
+        let panelists = w.clients.iter().filter(|c| c.alexa_panelist).count();
+        let umbrella = w.clients.iter().filter(|c| c.resolver == Resolver::Umbrella).count();
+        let china = w.clients.iter().filter(|c| c.resolver == Resolver::ChinaVoting).count();
+        assert!(chrome_optins > w.clients.len() / 20, "too few Chrome opt-ins");
+        assert!(panelists > 3, "panel empty");
+        assert!((panelists as f64) < w.clients.len() as f64 * 0.08, "panel too big");
+        assert!(umbrella > 0 && china > 0);
+        // Only Chrome users can opt into Chrome telemetry.
+        for c in &w.clients {
+            if c.chrome_optin {
+                assert_eq!(c.browser, Browser::Chrome);
+            }
+            if c.resolver == Resolver::ChinaVoting {
+                assert_eq!(c.country, Country::China);
+            }
+        }
+    }
+
+    #[test]
+    fn umbrella_user_base_is_us_enterprise_heavy() {
+        let w = World::generate(WorldConfig::medium(12)).unwrap();
+        let umbrella: Vec<_> =
+            w.clients.iter().filter(|c| c.resolver == Resolver::Umbrella).collect();
+        let us = umbrella.iter().filter(|c| c.country == Country::UnitedStates).count();
+        assert!(
+            us as f64 / umbrella.len() as f64 > 0.35,
+            "US share of Umbrella base too low: {}/{}",
+            us,
+            umbrella.len()
+        );
+    }
+
+    #[test]
+    fn enterprise_clients_share_ips() {
+        let w = World::generate(WorldConfig::medium(13)).unwrap();
+        use std::collections::HashSet;
+        let ent: Vec<u32> =
+            w.clients.iter().filter(|c| c.enterprise).map(|c| c.ip).collect();
+        let distinct: HashSet<u32> = ent.iter().copied().collect();
+        assert!(distinct.len() < ent.len(), "expected NAT sharing among enterprise clients");
+    }
+
+    #[test]
+    fn ground_truth_top_is_sorted() {
+        let w = World::generate(WorldConfig::tiny(14)).unwrap();
+        let top = w.ground_truth_top(50);
+        for pair in top.windows(2) {
+            assert!(w.sites[pair[0].index()].weight >= w.sites[pair[1].index()].weight);
+        }
+    }
+
+    #[test]
+    fn infrastructure_exists_and_is_wired() {
+        let w = World::generate(WorldConfig::small(15)).unwrap();
+        let infra = w.sites.iter().filter(|s| s.is_infrastructure).count();
+        assert!(infra >= 3);
+        let wired = w.sites.iter().filter(|s| !s.third_party.is_empty()).count();
+        assert!(wired > w.sites.len() / 2, "most sites should embed third parties");
+    }
+}

@@ -1,0 +1,186 @@
+//! Distributional checks on the generated world: the configured shares and
+//! shapes must actually materialize in the sampled population and traffic.
+
+use std::collections::HashMap;
+
+use topple_sim::{Browser, Category, Country, Platform, World, WorldConfig};
+
+fn world() -> World {
+    World::generate(WorldConfig::medium(7777)).unwrap()
+}
+
+#[test]
+fn client_countries_match_population_shares() {
+    let w = world();
+    let n = w.clients.len() as f64;
+    let mut counts: HashMap<Country, usize> = HashMap::new();
+    for c in &w.clients {
+        *counts.entry(c.country).or_default() += 1;
+    }
+    for country in Country::ALL {
+        let expected = country.population_share();
+        let observed = *counts.get(&country).unwrap_or(&0) as f64 / n;
+        // Binomial std-dev tolerance (4 sigma).
+        let sigma = (expected * (1.0 - expected) / n).sqrt();
+        assert!(
+            (observed - expected).abs() < 4.0 * sigma + 0.005,
+            "{country:?}: observed {observed:.4}, expected {expected:.4}"
+        );
+    }
+}
+
+#[test]
+fn site_categories_match_universe_shares() {
+    let w = world();
+    let n = w.sites.len() as f64;
+    let mut counts: HashMap<Category, usize> = HashMap::new();
+    for s in &w.sites {
+        *counts.entry(s.category).or_default() += 1;
+    }
+    for cat in Category::ALL {
+        let expected = cat.universe_share();
+        let observed = *counts.get(&cat).unwrap_or(&0) as f64 / n;
+        let sigma = (expected * (1.0 - expected) / n).sqrt();
+        assert!(
+            (observed - expected).abs() < 4.0 * sigma + 0.004,
+            "{cat:?}: observed {observed:.4}, expected {expected:.4}"
+        );
+    }
+}
+
+#[test]
+fn traffic_follows_zipf_shape() {
+    // Regress log(visits) on log(base rank) over the head of the catalogue;
+    // the slope should approximate -zipf_exponent.
+    let w = World::generate(WorldConfig { n_clients: 4_000, ..WorldConfig::small(7778) }).unwrap();
+    let mut visits = vec![0u32; w.sites.len()];
+    for d in 0..7 {
+        let t = w.simulate_day(d);
+        for pl in &t.page_loads {
+            visits[pl.site.index()] += 1;
+        }
+    }
+    // Sites are generated in base-rank order; average within log-spaced bins
+    // to suppress per-site noise.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut lo = 1usize;
+    while lo < 1000.min(w.sites.len()) {
+        let hi = (lo * 2).min(w.sites.len());
+        let mean_v: f64 =
+            visits[lo..hi].iter().map(|&v| f64::from(v)).sum::<f64>() / (hi - lo) as f64;
+        if mean_v > 0.0 {
+            xs.push(((lo + hi) as f64 / 2.0).ln());
+            ys.push(mean_v.ln());
+        }
+        lo = hi;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let slope: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.iter().map(|x| (x - mx) * (x - mx)).sum::<f64>();
+    let expected = -w.config.zipf_exponent;
+    assert!(
+        (slope - expected).abs() < 0.35,
+        "traffic slope {slope:.2} should approximate {expected:.2}"
+    );
+}
+
+#[test]
+fn browser_platform_constraints_hold() {
+    let w = world();
+    for c in &w.clients {
+        match c.platform {
+            Platform::Ios => assert!(
+                matches!(c.browser, Browser::Safari | Browser::Chrome | Browser::OtherBrowser),
+                "implausible iOS browser {:?}",
+                c.browser
+            ),
+            Platform::Android => assert!(
+                !matches!(c.browser, Browser::Safari | Browser::Edge | Browser::Automation),
+                "implausible Android browser {:?}",
+                c.browser
+            ),
+            _ => {}
+        }
+    }
+    // Chrome is the plurality browser overall.
+    let chrome = w.clients.iter().filter(|c| c.browser == Browser::Chrome).count();
+    assert!(chrome * 3 > w.clients.len(), "Chrome share too low: {chrome}/{}", w.clients.len());
+}
+
+#[test]
+fn mobile_shares_track_country_parameters() {
+    let w = world();
+    for country in [Country::India, Country::Germany] {
+        let clients: Vec<_> = w.clients.iter().filter(|c| c.country == country).collect();
+        if clients.len() < 100 {
+            continue;
+        }
+        let mobile =
+            clients.iter().filter(|c| c.platform.is_mobile()).count() as f64 / clients.len() as f64;
+        let expected = country.mobile_share();
+        assert!(
+            (mobile - expected).abs() < 0.08,
+            "{country:?}: mobile share {mobile:.2} vs configured {expected:.2}"
+        );
+    }
+}
+
+#[test]
+fn weekday_total_volume_is_periodic() {
+    let w = World::generate(WorldConfig { n_clients: 2_000, ..WorldConfig::small(7779) }).unwrap();
+    // Enterprise clients drop off on weekends; totals should dip.
+    let days: Vec<f64> = (0..14)
+        .map(|d| w.simulate_day(d).page_loads.len() as f64)
+        .collect();
+    let weekend_days: Vec<usize> = w
+        .config
+        .days
+        .iter()
+        .take(14)
+        .enumerate()
+        .filter(|(_, d)| d.weekday().is_weekend())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!weekend_days.is_empty());
+    let weekend_mean: f64 =
+        weekend_days.iter().map(|&i| days[i]).sum::<f64>() / weekend_days.len() as f64;
+    let weekday_mean: f64 = days
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !weekend_days.contains(i))
+        .map(|(_, v)| v)
+        .sum::<f64>()
+        / (days.len() - weekend_days.len()) as f64;
+    // Direction depends on the enterprise/consumer mix; just require a
+    // measurable, consistent weekly signal.
+    assert!(
+        (weekend_mean - weekday_mean).abs() / weekday_mean > 0.005,
+        "no weekly periodicity: weekday {weekday_mean:.0} vs weekend {weekend_mean:.0}"
+    );
+}
+
+#[test]
+fn certify_boosts_exist_but_are_rare_and_never_grey() {
+    let w = world();
+    let boosted: Vec<_> = w.sites.iter().filter(|s| s.certify_boost > 1.0).collect();
+    assert!(!boosted.is_empty(), "no certified sites generated");
+    assert!(
+        boosted.len() < w.sites.len() / 10,
+        "too many certified sites: {}",
+        boosted.len()
+    );
+    for s in &boosted {
+        assert!(
+            !matches!(s.category, Category::Adult | Category::Abuse | Category::Parked),
+            "{:?} site should not be certified",
+            s.category
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests over world generation and traffic invariants.
+
+use proptest::prelude::*;
+use topple_sim::{Date, World, WorldConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn worlds_generate_for_any_seed(seed in any::<u64>()) {
+        let w = World::generate(WorldConfig::tiny(seed)).unwrap();
+        prop_assert_eq!(w.sites.len(), 400);
+        prop_assert_eq!(w.clients.len(), 300);
+        // All site country mixes are distributions.
+        for s in &w.sites {
+            let total: f64 = s.country_mix.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+        // Domain index covers every site.
+        for s in &w.sites {
+            prop_assert!(w.site_by_domain(&s.domain).is_some());
+        }
+    }
+
+    #[test]
+    fn traffic_invariants_for_any_seed(seed in any::<u64>(), day in 0usize..7) {
+        let w = World::generate(WorldConfig::tiny(seed)).unwrap();
+        let t = w.simulate_day(day);
+        for pl in &t.page_loads {
+            prop_assert!(pl.site.index() < w.sites.len());
+            prop_assert!(pl.client.index() < w.clients.len());
+            prop_assert!((pl.host_idx as usize) < w.sites[pl.site.index()].hosts.len());
+            prop_assert!(u32::from(pl.non200) <= pl.total_requests());
+            if !pl.completed {
+                prop_assert_eq!(pl.dwell_secs, 0);
+            }
+        }
+        for tp in &t.third_party {
+            prop_assert!(w.sites[tp.site.index()].is_infrastructure);
+            prop_assert!(tp.requests >= 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_roundtrips(year in 1900i32..2100, month in 1u8..=12, day in 1u8..=28) {
+        let d = Date::new(year, month, day);
+        // succ() advances by exactly one day within a month.
+        let next = d.succ();
+        prop_assert!(next > d);
+        // Weekdays cycle with period 7.
+        let mut cur = d;
+        for _ in 0..7 {
+            cur = cur.succ();
+        }
+        prop_assert_eq!(cur.weekday(), d.weekday());
+    }
+
+    #[test]
+    fn iter_days_is_consecutive(year in 1980i32..2050, month in 1u8..=12, count in 1usize..40) {
+        let d = Date::new(year, month, 1);
+        let days: Vec<Date> = d.iter_days(count).collect();
+        prop_assert_eq!(days.len(), count);
+        for pair in days.windows(2) {
+            prop_assert_eq!(pair[0].succ(), pair[1]);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Nonparametric bootstrap confidence intervals.
+//!
+//! The paper reports point estimates of Jaccard and Spearman without
+//! uncertainty; with a simulator we can afford resampling. This module
+//! implements the percentile bootstrap over a caller-supplied statistic,
+//! plus a convenience resampler for paired data. Used by the framework's
+//! uncertainty extension (and handy on its own).
+
+use crate::{Result, StatsError};
+
+/// A deterministic SplitMix64 stream — the bootstrap must not depend on the
+/// simulation's RNG crates, and reproducibility matters more than quality
+/// here.
+#[derive(Debug, Clone)]
+pub struct BootstrapRng {
+    state: u64,
+}
+
+impl BootstrapRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        BootstrapRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates that produced a finite statistic.
+    pub replicates: usize,
+}
+
+/// Percentile bootstrap of a statistic over index resamples.
+///
+/// `statistic` receives a resampled index multiset of `0..n` and returns the
+/// statistic value (or `None` when undefined on that resample, e.g. zero
+/// variance); undefined replicates are skipped.
+pub fn bootstrap_ci<F>(
+    n: usize,
+    replicates: usize,
+    alpha: f64,
+    seed: u64,
+    mut statistic: F,
+) -> Result<BootstrapCi>
+where
+    F: FnMut(&[usize]) -> Option<f64>,
+{
+    if n < 2 {
+        return Err(StatsError::TooFewObservations { n, required: 2 });
+    }
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in (0,1)");
+    let identity: Vec<usize> = (0..n).collect();
+    let estimate = statistic(&identity).ok_or(StatsError::ZeroVariance)?;
+
+    let mut rng = BootstrapRng::new(seed);
+    let mut values = Vec::with_capacity(replicates);
+    let mut idx = vec![0usize; n];
+    for _ in 0..replicates {
+        for v in idx.iter_mut() {
+            *v = rng.index(n);
+        }
+        if let Some(v) = statistic(&idx) {
+            if v.is_finite() {
+                values.push(v);
+            }
+        }
+    }
+    if values.len() < replicates / 2 {
+        return Err(StatsError::DidNotConverge { iterations: values.len() });
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let lo_idx = ((alpha / 2.0) * values.len() as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * values.len() as f64) as usize).min(values.len() - 1);
+    Ok(BootstrapCi { estimate, lo: values[lo_idx], hi: values[hi_idx], replicates: values.len() })
+}
+
+/// Bootstrap CI for the mean — the simplest useful instantiation and the
+/// reference case for tests.
+pub fn mean_ci(xs: &[f64], replicates: usize, alpha: f64, seed: u64) -> Result<BootstrapCi> {
+    crate::ensure_finite(xs)?;
+    bootstrap_ci(xs.len(), replicates, alpha, seed, |idx| {
+        Some(idx.iter().map(|&i| xs[i]).sum::<f64>() / idx.len() as f64)
+    })
+}
+
+/// Bootstrap CI for Spearman's ρ over paired observations.
+pub fn spearman_ci(
+    x: &[f64],
+    y: &[f64],
+    replicates: usize,
+    alpha: f64,
+    seed: u64,
+) -> Result<BootstrapCi> {
+    crate::ensure_same_len(x, y)?;
+    bootstrap_ci(x.len(), replicates, alpha, seed, |idx| {
+        let xs: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
+        let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+        crate::corr::spearman(&xs, &ys).ok().map(|s| s.rho)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_covers_the_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let true_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let ci = mean_ci(&xs, 500, 0.05, 42).unwrap();
+        assert!((ci.estimate - true_mean).abs() < 1e-12);
+        assert!(ci.lo <= true_mean && true_mean <= ci.hi);
+        assert!(ci.hi - ci.lo < 2.0, "CI too wide: [{}, {}]", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..3000).map(|i| (i % 7) as f64).collect();
+        let ci_small = mean_ci(&small, 400, 0.05, 1).unwrap();
+        let ci_large = mean_ci(&large, 400, 0.05, 1).unwrap();
+        assert!(ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = mean_ci(&xs, 300, 0.05, 7).unwrap();
+        let b = mean_ci(&xs, 300, 0.05, 7).unwrap();
+        assert_eq!(a, b);
+        let c = mean_ci(&xs, 300, 0.05, 8).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi, "different seeds should differ");
+    }
+
+    #[test]
+    fn spearman_ci_brackets_strong_correlation() {
+        let x: Vec<f64> = (0..150).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + ((v * 7919.0) % 13.0)).collect();
+        let ci = spearman_ci(&x, &y, 400, 0.05, 3).unwrap();
+        assert!(ci.estimate > 0.9);
+        assert!(ci.lo > 0.8 && ci.hi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn rejects_tiny_samples() {
+        assert!(mean_ci(&[1.0], 100, 0.05, 1).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Correlation coefficients: Pearson, Spearman (with p-values), Kendall τ-b.
+
+use crate::dist::StudentsT;
+use crate::rank::average_ranks;
+use crate::{ensure_finite, ensure_same_len, Result, StatsError};
+
+/// Result of a Spearman rank-correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spearman {
+    /// The correlation coefficient ρ ∈ [-1, 1].
+    pub rho: f64,
+    /// Two-sided p-value from the t-approximation (exact only asymptotically).
+    pub p_value: f64,
+    /// Number of paired observations.
+    pub n: usize,
+}
+
+/// Pearson product-moment correlation of two equal-length samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    ensure_same_len(x, y)?;
+    ensure_finite(x)?;
+    ensure_finite(y)?;
+    let n = x.len();
+    if n < 2 {
+        return Err(StatsError::TooFewObservations { n, required: 2 });
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman's rank correlation: Pearson correlation of the average ranks, with
+/// a two-sided p-value from `t = ρ √((n-2)/(1-ρ²))` on `n-2` degrees of freedom.
+///
+/// This is the tie-correct formulation (ranking first, then Pearson) rather
+/// than the no-ties shortcut `1 - 6Σd²/(n(n²-1))`.
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<Spearman> {
+    ensure_same_len(x, y)?;
+    let n = x.len();
+    if n < 3 {
+        return Err(StatsError::TooFewObservations { n, required: 3 });
+    }
+    let rx = average_ranks(x)?;
+    let ry = average_ranks(y)?;
+    let rho = pearson(&rx, &ry)?;
+    let p_value = if rho.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = rho * ((n as f64 - 2.0) / (1.0 - rho * rho)).sqrt();
+        StudentsT::new(n as f64 - 2.0).two_sided_p(t)
+    };
+    Ok(Spearman { rho, p_value, n })
+}
+
+/// Kendall's τ-b rank correlation with tie correction, computed in
+/// O(n log n) using Knight's algorithm (merge-sort inversion counting).
+pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> Result<f64> {
+    ensure_same_len(x, y)?;
+    ensure_finite(x)?;
+    ensure_finite(y)?;
+    let n = x.len();
+    if n < 2 {
+        return Err(StatsError::TooFewObservations { n, required: 2 });
+    }
+    // Sort indices by x, breaking ties by y.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        x[a].partial_cmp(&x[b])
+            .expect("finite")
+            .then(y[a].partial_cmp(&y[b]).expect("finite"))
+    });
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+    let xs: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
+
+    // Joint ties (pairs tied in both x and y).
+    let mut t_xy: f64 = 0.0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && xs[j + 1] == xs[i] && ys[j + 1] == ys[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            t_xy += t * (t - 1.0) / 2.0;
+            i = j + 1;
+        }
+    }
+    // Ties in x.
+    let mut t_x: f64 = 0.0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && xs[j + 1] == xs[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            t_x += t * (t - 1.0) / 2.0;
+            i = j + 1;
+        }
+    }
+    // Discordant pairs = inversions of ys (after the x-major sort).
+    let mut buf = ys.clone();
+    let mut tmp = vec![0.0; n];
+    let discordant = merge_count(&mut buf, &mut tmp) as f64;
+    // Ties in y (count on the now-sorted buffer).
+    let mut t_y: f64 = 0.0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && buf[j + 1] == buf[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            t_y += t * (t - 1.0) / 2.0;
+            i = j + 1;
+        }
+    }
+    let n0 = n as f64 * (n as f64 - 1.0) / 2.0;
+    let denom = ((n0 - t_x) * (n0 - t_y)).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    // concordant - discordant = n0 - t_x - t_y + t_xy - 2*discordant
+    let num = n0 - t_x - t_y + t_xy - 2.0 * discordant;
+    Ok((num / denom).clamp(-1.0, 1.0))
+}
+
+/// Counts inversions in `a` (strictly decreasing pairs) while merge-sorting it.
+fn merge_count(a: &mut [f64], tmp: &mut [f64]) -> u64 {
+    let n = a.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = a.split_at_mut(mid);
+    let mut inv = merge_count(left, &mut tmp[..mid]) + merge_count(right, &mut tmp[mid..]);
+    // Merge, counting strict inversions (left value > right value).
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            tmp[k] = left[i];
+            i += 1;
+        } else {
+            tmp[k] = right[j];
+            j += 1;
+            inv += (left.len() - i) as u64;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        tmp[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        tmp[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    a.copy_from_slice(&tmp[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pearson_perfect() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        close(pearson(&x, &y).unwrap(), 1.0, 1e-12);
+        let ny: Vec<f64> = y.iter().map(|v| -v).collect();
+        close(pearson(&x, &ny).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_reference() {
+        // Anscombe's quartet I: r ≈ 0.81642.
+        let x = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
+        let y = [8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68];
+        close(pearson(&x, &y).unwrap(), 0.816_420_516_3, 1e-9);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(matches!(pearson(&[1.0], &[1.0]), Err(StatsError::TooFewObservations { .. })));
+        assert!(matches!(pearson(&[1.0, 2.0], &[1.0]), Err(StatsError::LengthMismatch { .. })));
+        assert!(matches!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance)));
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v * v + 7.0).collect(); // monotone transform
+        let s = spearman(&x, &y).unwrap();
+        close(s.rho, 1.0, 1e-12);
+        assert!(s.p_value < 1e-20);
+    }
+
+    #[test]
+    fn spearman_with_ties_reference() {
+        // Hand-computed: ranks of y are [1, 2.5, 2.5, 4, 5.5, 5.5];
+        // Pearson of ranks = 16.5 / sqrt(17.5 * 16.5) = 0.97100831...
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.0, 2.0, 2.0, 4.0, 5.0, 5.0];
+        let s = spearman(&x, &y).unwrap();
+        close(s.rho, 16.5 / (17.5f64 * 16.5).sqrt(), 1e-12);
+        // t = rho sqrt(4 / (1 - rho^2)) ~ 8.12, df = 4 -> p ~ 0.00125.
+        assert!(s.p_value > 0.0005 && s.p_value < 0.003);
+    }
+
+    #[test]
+    fn spearman_anticorrelated() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let s = spearman(&x, &y).unwrap();
+        close(s.rho, -1.0, 1e-12);
+    }
+
+    #[test]
+    fn spearman_p_value_scales_with_n() {
+        // Same weak correlation, more data -> smaller p.
+        let make = |n: usize| -> (Vec<f64>, Vec<f64>) {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64) + ((i * 7919) % 13) as f64 * 2.0).collect();
+            (x, y)
+        };
+        let (x1, y1) = make(12);
+        let (x2, y2) = make(120);
+        let s1 = spearman(&x1, &y1).unwrap();
+        let s2 = spearman(&x2, &y2).unwrap();
+        assert!(s2.p_value < s1.p_value);
+    }
+
+    #[test]
+    fn kendall_reference() {
+        // scipy.stats.kendalltau([1,2,3,4,5], [1,3,2,4,5]) -> 0.8
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 3.0, 2.0, 4.0, 5.0];
+        close(kendall_tau_b(&x, &y).unwrap(), 0.8, 1e-12);
+        // Perfect agreement and disagreement.
+        close(kendall_tau_b(&x, &x).unwrap(), 1.0, 1e-12);
+        let rev = [5.0, 4.0, 3.0, 2.0, 1.0];
+        close(kendall_tau_b(&x, &rev).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties_reference() {
+        // Hand-computed: c = 4, d = 0, one x-tied pair, one y-tied pair;
+        // tau_b = 4 / sqrt((6-1)(6-1)) = 0.8.
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        close(kendall_tau_b(&x, &y).unwrap(), 0.8, 1e-12);
+    }
+
+    #[test]
+    fn kendall_matches_naive_on_random_data() {
+        // O(n²) reference implementation.
+        fn naive(x: &[f64], y: &[f64]) -> f64 {
+            let n = x.len();
+            let (mut c, mut d, mut tx, mut ty) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for i in 0..n {
+                for j in i + 1..n {
+                    // NOTE: f64::signum(0.0) is 1.0, so compare explicitly.
+                    let sgn = |a: f64, b: f64| {
+                        if a == b {
+                            0.0
+                        } else if a > b {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    };
+                    let sx = sgn(x[i], x[j]);
+                    let sy = sgn(y[i], y[j]);
+                    if sx == 0.0 && sy == 0.0 {
+                        continue;
+                    } else if sx == 0.0 {
+                        tx += 1.0;
+                    } else if sy == 0.0 {
+                        ty += 1.0;
+                    } else if sx == sy {
+                        c += 1.0;
+                    } else {
+                        d += 1.0;
+                    }
+                }
+            }
+            (c - d) / ((c + d + tx) * (c + d + ty)).sqrt()
+        }
+        // Deterministic pseudo-random data with ties.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 17) as f64
+        };
+        let x: Vec<f64> = (0..200).map(|_| next()).collect();
+        let y: Vec<f64> = (0..200).map(|_| next()).collect();
+        close(kendall_tau_b(&x, &y).unwrap(), naive(&x, &y), 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Descriptive statistics.
+
+use crate::{ensure_finite, Result, StatsError};
+
+/// Arithmetic mean; errors on empty or non-finite input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    ensure_finite(xs)?;
+    if xs.is_empty() {
+        return Err(StatsError::TooFewObservations { n: 0, required: 1 });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (n-1 denominator).
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    ensure_finite(xs)?;
+    let n = xs.len();
+    if n < 2 {
+        return Err(StatsError::TooFewObservations { n, required: 2 });
+    }
+    let m = xs.iter().sum::<f64>() / n as f64;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n as f64 - 1.0))
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Linear-interpolated quantile `q ∈ \[0, 1\]` (type-7, the R/NumPy default).
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    ensure_finite(xs)?;
+    if xs.is_empty() {
+        return Err(StatsError::TooFewObservations { n: 0, required: 1 });
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let h = q * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        return Ok(sorted[lo]);
+    }
+    let frac = h - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Minimum and maximum of a non-empty sample.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64)> {
+    ensure_finite(xs)?;
+    if xs.is_empty() {
+        return Err(StatsError::TooFewObservations { n: 0, required: 1 });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+/// Geometric mean of strictly positive values.
+pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
+    ensure_finite(xs)?;
+    if xs.is_empty() {
+        return Err(StatsError::TooFewObservations { n: 0, required: 1 });
+    }
+    if xs.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::DegenerateDesign("geometric mean requires positive values"));
+    }
+    Ok((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: Σ(x-5)² = 32; 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_type7() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn min_max_works() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]).unwrap(), (-1.0, 7.0));
+    }
+
+    #[test]
+    fn geometric_mean_reference() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(min_max(&[]).is_err());
+    }
+}

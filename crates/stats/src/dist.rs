@@ -1,0 +1,220 @@
+//! Probability distributions used by the hypothesis tests.
+
+use crate::special::{erf, erfc, reg_inc_beta, reg_inc_gamma};
+
+/// The standard normal distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Cumulative distribution function Φ(x).
+    pub fn cdf(x: f64) -> f64 {
+        0.5 * erfc(-x / std::f64::consts::SQRT_2)
+    }
+
+    /// Two-sided tail probability `P(|Z| ≥ |z|)`.
+    pub fn two_sided_p(z: f64) -> f64 {
+        (erfc(z.abs() / std::f64::consts::SQRT_2)).min(1.0)
+    }
+
+    /// Probability density function φ(x).
+    pub fn pdf(x: f64) -> f64 {
+        (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+    }
+
+    /// Inverse CDF (quantile) via Acklam's rational approximation refined by
+    /// one Halley step; accurate to ~1e-12 over (0, 1).
+    pub fn inv_cdf(p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        // Acklam coefficients.
+        const A: [f64; 6] = [
+            -3.969_683_028_665_376e1,
+            2.209_460_984_245_205e2,
+            -2.759_285_104_469_687e2,
+            1.383_577_518_672_69e2,
+            -3.066_479_806_614_716e1,
+            2.506_628_277_459_239,
+        ];
+        const B: [f64; 5] = [
+            -5.447_609_879_822_406e1,
+            1.615_858_368_580_409e2,
+            -1.556_989_798_598_866e2,
+            6.680_131_188_771_972e1,
+            -1.328_068_155_288_572e1,
+        ];
+        const C: [f64; 6] = [
+            -7.784_894_002_430_293e-3,
+            -3.223_964_580_411_365e-1,
+            -2.400_758_277_161_838,
+            -2.549_732_539_343_734,
+            4.374_664_141_464_968,
+            2.938_163_982_698_783,
+        ];
+        const D: [f64; 4] = [
+            7.784_695_709_041_462e-3,
+            3.224_671_290_700_398e-1,
+            2.445_134_137_142_996,
+            3.754_408_661_907_416,
+        ];
+        const P_LOW: f64 = 0.024_25;
+        let x = if p < P_LOW {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - P_LOW {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        };
+        // One Halley refinement step.
+        let e = Self::cdf(x) - p;
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        x - u / (1.0 + x * u / 2.0)
+    }
+}
+
+/// Student's t distribution with `df` degrees of freedom.
+#[derive(Debug, Clone, Copy)]
+pub struct StudentsT {
+    /// Degrees of freedom (> 0).
+    pub df: f64,
+}
+
+impl StudentsT {
+    /// Creates the distribution; panics if `df ≤ 0`.
+    pub fn new(df: f64) -> Self {
+        assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+        StudentsT { df }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.df / (self.df + t * t);
+        let tail = 0.5 * reg_inc_beta(self.df / 2.0, 0.5, x);
+        if t > 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Two-sided p-value `P(|T| ≥ |t|)`.
+    pub fn two_sided_p(&self, t: f64) -> f64 {
+        let x = self.df / (self.df + t * t);
+        reg_inc_beta(self.df / 2.0, 0.5, x).min(1.0)
+    }
+}
+
+/// The χ² distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy)]
+pub struct ChiSquared {
+    /// Degrees of freedom (> 0).
+    pub df: f64,
+}
+
+impl ChiSquared {
+    /// Creates the distribution; panics if `df ≤ 0`.
+    pub fn new(df: f64) -> Self {
+        assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+        ChiSquared { df }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_inc_gamma(self.df / 2.0, x / 2.0)
+    }
+
+    /// Upper-tail probability `P(X ≥ x)`, used for likelihood-ratio tests.
+    pub fn sf(&self, x: f64) -> f64 {
+        (1.0 - self.cdf(x)).max(0.0)
+    }
+}
+
+/// Convenience re-export of `erf` for callers of the distribution module.
+pub fn erf_fn(x: f64) -> f64 {
+    erf(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn normal_cdf_reference() {
+        close(StandardNormal::cdf(0.0), 0.5, 1e-12);
+        close(StandardNormal::cdf(1.0), 0.841_344_746_068_543, 1e-10);
+        close(StandardNormal::cdf(-1.96), 0.024_997_895_148_220, 1e-9);
+        close(StandardNormal::cdf(3.0), 0.998_650_101_968_37, 1e-10);
+    }
+
+    #[test]
+    fn normal_two_sided() {
+        close(StandardNormal::two_sided_p(1.96), 0.05, 1e-3);
+        close(StandardNormal::two_sided_p(0.0), 1.0, 1e-12);
+        close(StandardNormal::two_sided_p(-2.575_8), 0.01, 1e-4);
+    }
+
+    #[test]
+    fn normal_inverse_roundtrip() {
+        for p in [0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999] {
+            let x = StandardNormal::inv_cdf(p);
+            close(StandardNormal::cdf(x), p, 1e-10);
+        }
+        close(StandardNormal::inv_cdf(0.975), 1.959_963_984_540_054, 1e-8);
+    }
+
+    #[test]
+    fn t_cdf_reference() {
+        // t distribution with df=1 is Cauchy: CDF(1) = 0.75.
+        let t1 = StudentsT::new(1.0);
+        close(t1.cdf(1.0), 0.75, 1e-10);
+        close(t1.cdf(0.0), 0.5, 1e-12);
+        // df=10, t=2.228 is the 97.5th percentile.
+        let t10 = StudentsT::new(10.0);
+        close(t10.cdf(2.228_138_851_986_273), 0.975, 1e-9);
+        close(t10.two_sided_p(2.228_138_851_986_273), 0.05, 1e-9);
+    }
+
+    #[test]
+    fn t_converges_to_normal() {
+        let t = StudentsT::new(1e6);
+        for x in [-2.0, -0.5, 0.0, 1.0, 2.5] {
+            close(t.cdf(x), StandardNormal::cdf(x), 1e-5);
+        }
+    }
+
+    #[test]
+    fn chi2_reference() {
+        // χ²(1): CDF(3.841) ≈ 0.95.
+        let c1 = ChiSquared::new(1.0);
+        close(c1.cdf(3.841_458_820_694_124), 0.95, 1e-9);
+        // χ²(2): CDF(x) = 1 - e^{-x/2}.
+        let c2 = ChiSquared::new(2.0);
+        for x in [0.5, 1.0, 3.0, 8.0] {
+            close(c2.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
+        }
+        assert_eq!(c2.cdf(-1.0), 0.0);
+        close(c2.sf(2.0), (-1.0f64).exp(), 1e-12);
+    }
+}

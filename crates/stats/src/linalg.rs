@@ -1,0 +1,280 @@
+//! Minimal dense linear algebra: just enough for IRLS logistic regression.
+//!
+//! Matrices are small (p × p where p is the number of regression predictors,
+//! ~23 for the paper's category model), so a simple row-major `Vec<f64>` with
+//! Cholesky factorization is both sufficient and cache-friendly.
+
+use crate::{Result, StatsError};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows; panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix { rows: r, cols: c, data: rows.concat() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product `Aᵀ·x`.
+    pub fn t_mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let xi = x[i];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * xi;
+            }
+        }
+        out
+    }
+
+    /// Computes `AᵀWA` where `W = diag(w)`; the IRLS normal-equation matrix.
+    pub fn xtwx(&self, w: &[f64]) -> Matrix {
+        assert_eq!(self.rows, w.len(), "dimension mismatch");
+        let p = self.cols;
+        let mut out = Matrix::zeros(p, p);
+        for i in 0..self.rows {
+            let row = &self.data[i * p..(i + 1) * p];
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            for a in 0..p {
+                let wa = wi * row[a];
+                if wa == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    out[(a, b)] += wa * row[b];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for a in 0..p {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        out
+    }
+
+    /// Computes `AᵀWz` where `W = diag(w)`; the IRLS normal-equation vector.
+    pub fn xtwz(&self, w: &[f64], z: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, w.len());
+        assert_eq!(self.rows, z.len());
+        let p = self.cols;
+        let mut out = vec![0.0; p];
+        for i in 0..self.rows {
+            let row = &self.data[i * p..(i + 1) * p];
+            let wz = w[i] * z[i];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * wz;
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Cholesky factorization `A = LLᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`; errors when `a` is not (numerically) positive definite.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        assert_eq!(a.rows, a.cols, "matrix must be square");
+        let n = a.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(StatsError::SingularMatrix);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows;
+        assert_eq!(b.len(), n);
+        // Forward substitution: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Computes `A⁻¹` by solving against the identity columns.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.l.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mat_vec_products() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(a.mat_vec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.t_mat_vec(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn xtwx_matches_manual() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, -1.0]]);
+        let w = [2.0, 3.0];
+        let m = x.xtwx(&w);
+        // XtWX = [[2+3, 4-3], [4-3, 8+3]] = [[5, 1], [1, 11]]
+        close(m[(0, 0)], 5.0);
+        close(m[(0, 1)], 1.0);
+        close(m[(1, 0)], 1.0);
+        close(m[(1, 1)], 11.0);
+        let z = [1.0, 2.0];
+        let v = x.xtwz(&w, &z);
+        // XtWz = [2*1 + 3*2, 2*2*1 + 3*(-1)*2] = [8, -2]
+        close(v[0], 8.0);
+        close(v[1], -2.0);
+    }
+
+    #[test]
+    fn cholesky_solve_known_system() {
+        // A = [[4, 2], [2, 3]], b = [6, 5] -> x = [1, 1].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&[6.0, 5.0]);
+        close(x[0], 1.0);
+        close(x[1], 1.0);
+    }
+
+    #[test]
+    fn cholesky_inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        // A · A⁻¹ = I.
+        for i in 0..3 {
+            let col: Vec<f64> = (0..3).map(|j| inv[(j, i)]).collect();
+            let prod = a.mat_vec(&col);
+            for (j, v) in prod.iter().enumerate() {
+                close(*v, if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(StatsError::SingularMatrix)));
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3.mat_vec(&[4.0, 5.0, 6.0]), vec![4.0, 5.0, 6.0]);
+    }
+}

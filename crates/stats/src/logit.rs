@@ -1,0 +1,331 @@
+//! Logistic regression via iteratively reweighted least squares (IRLS).
+//!
+//! Table 3 of the paper models top-list inclusion (a binary outcome) against a
+//! one-hot website-category predictor and reports odds ratios with Wald tests.
+//! This module provides exactly that: a Newton/IRLS fit of
+//! `logit P(y=1) = Xβ`, standard errors from the observed information matrix,
+//! and per-coefficient Wald z statistics and p-values.
+
+use crate::dist::StandardNormal;
+use crate::linalg::{Cholesky, Matrix};
+use crate::{Result, StatsError};
+
+/// One fitted coefficient.
+#[derive(Debug, Clone, Copy)]
+pub struct Coefficient {
+    /// Point estimate of β.
+    pub estimate: f64,
+    /// Standard error from the inverse Fisher information.
+    pub std_error: f64,
+    /// Wald statistic `β / se`.
+    pub z: f64,
+    /// Two-sided p-value of the Wald test.
+    pub p_value: f64,
+}
+
+impl Coefficient {
+    /// The odds ratio `exp(β)` — the effect size Table 3 reports.
+    pub fn odds_ratio(&self) -> f64 {
+        self.estimate.exp()
+    }
+
+    /// Wald confidence interval for the odds ratio at level `1 - alpha`.
+    pub fn odds_ratio_ci(&self, alpha: f64) -> (f64, f64) {
+        let zc = StandardNormal::inv_cdf(1.0 - alpha / 2.0);
+        (
+            (self.estimate - zc * self.std_error).exp(),
+            (self.estimate + zc * self.std_error).exp(),
+        )
+    }
+}
+
+/// A fitted logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogitFit {
+    /// Per-column coefficients (the first column is conventionally the intercept).
+    pub coefficients: Vec<Coefficient>,
+    /// Attained log-likelihood.
+    pub log_likelihood: f64,
+    /// Number of IRLS iterations performed.
+    pub iterations: usize,
+    /// Number of observations.
+    pub n: usize,
+    /// Whether any coefficient hit the divergence guard (quasi-separation);
+    /// such coefficients have unreliable standard errors.
+    pub separation_suspected: bool,
+}
+
+/// Fit configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LogitOptions {
+    /// Convergence tolerance on the max absolute coefficient change.
+    pub tol: f64,
+    /// Maximum IRLS iterations.
+    pub max_iter: usize,
+    /// Tiny ridge penalty added to the information matrix for stability.
+    pub ridge: f64,
+    /// Coefficient magnitude beyond which separation is suspected.
+    pub divergence_guard: f64,
+}
+
+impl Default for LogitOptions {
+    fn default() -> Self {
+        LogitOptions { tol: 1e-10, max_iter: 60, ridge: 1e-9, divergence_guard: 30.0 }
+    }
+}
+
+/// Numerically-stable logistic function.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Fits `logit P(y=1) = X·β` by IRLS.
+///
+/// `x` is the design matrix (include an intercept column of ones yourself, or
+/// use [`fit_with_intercept`]); `y` holds 0/1 outcomes.
+pub fn fit(x: &Matrix, y: &[f64], opts: LogitOptions) -> Result<LogitFit> {
+    let n = x.rows();
+    let p = x.cols();
+    if n != y.len() {
+        return Err(StatsError::LengthMismatch { left: n, right: y.len() });
+    }
+    if n < p + 1 {
+        return Err(StatsError::TooFewObservations { n, required: p + 1 });
+    }
+    if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+        return Err(StatsError::DegenerateDesign("outcomes must be 0 or 1"));
+    }
+    let ones = y.iter().filter(|&&v| v == 1.0).count();
+    if ones == 0 || ones == n {
+        return Err(StatsError::DegenerateDesign("outcomes are all one class"));
+    }
+
+    let mut beta = vec![0.0; p];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut w = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    while iterations < opts.max_iter {
+        iterations += 1;
+        let eta = x.mat_vec(&beta);
+        for i in 0..n {
+            let mu = sigmoid(eta[i]);
+            // Clamp weights away from zero so the working response stays finite.
+            let wi = (mu * (1.0 - mu)).max(1e-10);
+            w[i] = wi;
+            z[i] = eta[i] + (y[i] - mu) / wi;
+        }
+        let mut info = x.xtwx(&w);
+        for j in 0..p {
+            info[(j, j)] += opts.ridge;
+        }
+        let rhs = x.xtwz(&w, &z);
+        let ch = Cholesky::new(&info)?;
+        let new_beta = ch.solve(&rhs);
+        let delta = new_beta
+            .iter()
+            .zip(&beta)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        beta = new_beta;
+        if delta < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // A fit that stopped on max_iter with small-but-not-tiny steps is still
+        // usable when separation pushed a coefficient to the guard; flag it.
+        let diverged = beta.iter().any(|b| b.abs() > opts.divergence_guard);
+        if !diverged {
+            return Err(StatsError::DidNotConverge { iterations });
+        }
+    }
+
+    // Final information matrix at the optimum for standard errors.
+    let eta = x.mat_vec(&beta);
+    for i in 0..n {
+        let mu = sigmoid(eta[i]);
+        w[i] = (mu * (1.0 - mu)).max(1e-10);
+    }
+    let mut info = x.xtwx(&w);
+    for j in 0..p {
+        info[(j, j)] += opts.ridge;
+    }
+    let cov = Cholesky::new(&info)?.inverse();
+
+    let separation_suspected = beta.iter().any(|b| b.abs() > opts.divergence_guard);
+    let coefficients = beta
+        .iter()
+        .enumerate()
+        .map(|(j, &b)| {
+            let se = cov[(j, j)].max(0.0).sqrt();
+            let zstat = if se > 0.0 { b / se } else { f64::INFINITY };
+            Coefficient {
+                estimate: b,
+                std_error: se,
+                z: zstat,
+                p_value: StandardNormal::two_sided_p(zstat),
+            }
+        })
+        .collect();
+
+    let mut ll = 0.0;
+    for i in 0..n {
+        let mu = sigmoid(eta[i]).clamp(1e-12, 1.0 - 1e-12);
+        ll += y[i] * mu.ln() + (1.0 - y[i]) * (1.0 - mu).ln();
+    }
+
+    Ok(LogitFit { coefficients, log_likelihood: ll, iterations, n, separation_suspected })
+}
+
+/// Convenience: prepends an intercept column of ones to `predictors` and fits.
+///
+/// The returned coefficient 0 is the intercept; coefficient `j+1` corresponds
+/// to `predictors[j]`.
+pub fn fit_with_intercept(predictors: &[Vec<f64>], y: &[f64], opts: LogitOptions) -> Result<LogitFit> {
+    let n = y.len();
+    for col in predictors {
+        if col.len() != n {
+            return Err(StatsError::LengthMismatch { left: col.len(), right: n });
+        }
+    }
+    let p = predictors.len() + 1;
+    let mut x = Matrix::zeros(n, p);
+    for i in 0..n {
+        x[(i, 0)] = 1.0;
+        for (j, col) in predictors.iter().enumerate() {
+            x[(i, j + 1)] = col[i];
+        }
+    }
+    fit(&x, y, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a single binary-predictor dataset from a 2×2 contingency table.
+    fn from_table(n00: usize, n01: usize, n10: usize, n11: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // nXY: predictor = X, outcome = Y.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (x, y, n) in [(0.0, 0.0, n00), (0.0, 1.0, n01), (1.0, 0.0, n10), (1.0, 1.0, n11)] {
+            for _ in 0..n {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        (vec![xs], ys)
+    }
+
+    #[test]
+    fn recovers_odds_ratio_from_contingency_table() {
+        // OR = (n11·n00)/(n10·n01) = (30·60)/(20·40) = 2.25.
+        let (x, y) = from_table(60, 40, 20, 30);
+        let fit = fit_with_intercept(&x, &y, LogitOptions::default()).unwrap();
+        let or = fit.coefficients[1].odds_ratio();
+        assert!((or - 2.25).abs() < 1e-6, "odds ratio {or}");
+        // Intercept: log odds of outcome at x=0 -> ln(40/60).
+        assert!((fit.coefficients[0].estimate - (40.0f64 / 60.0).ln()).abs() < 1e-6);
+        assert!(!fit.separation_suspected);
+    }
+
+    #[test]
+    fn wald_se_matches_contingency_formula() {
+        // For a 2x2 table, se(log OR) = sqrt(1/a + 1/b + 1/c + 1/d).
+        let (x, y) = from_table(50, 35, 25, 40);
+        let fit = fit_with_intercept(&x, &y, LogitOptions::default()).unwrap();
+        let se_expected = (1.0f64 / 50.0 + 1.0 / 35.0 + 1.0 / 25.0 + 1.0 / 40.0).sqrt();
+        assert!((fit.coefficients[1].std_error - se_expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn null_effect_is_insignificant() {
+        // Balanced table: OR = 1, p should be large.
+        let (x, y) = from_table(50, 50, 50, 50);
+        let fit = fit_with_intercept(&x, &y, LogitOptions::default()).unwrap();
+        assert!(fit.coefficients[1].estimate.abs() < 1e-8);
+        assert!(fit.coefficients[1].p_value > 0.99);
+    }
+
+    #[test]
+    fn strong_effect_is_significant() {
+        let (x, y) = from_table(90, 10, 10, 90);
+        let fit = fit_with_intercept(&x, &y, LogitOptions::default()).unwrap();
+        assert!(fit.coefficients[1].p_value < 1e-6);
+        assert!(fit.coefficients[1].odds_ratio() > 50.0);
+    }
+
+    #[test]
+    fn two_predictor_recovery() {
+        // Simulate from known betas with a deterministic LCG and check recovery.
+        let mut state = 7u64;
+        let mut unif = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 20_000;
+        let beta = [-0.5, 1.2, -0.8];
+        let mut x1 = Vec::with_capacity(n);
+        let mut x2 = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = if unif() < 0.4 { 1.0 } else { 0.0 };
+            let b = unif() * 2.0 - 1.0;
+            let p = sigmoid(beta[0] + beta[1] * a + beta[2] * b);
+            y.push(if unif() < p { 1.0 } else { 0.0 });
+            x1.push(a);
+            x2.push(b);
+        }
+        let fit = fit_with_intercept(&[x1, x2], &y, LogitOptions::default()).unwrap();
+        for (j, b) in beta.iter().enumerate() {
+            let est = fit.coefficients[j].estimate;
+            assert!((est - b).abs() < 0.12, "coef {j}: {est} vs {b}");
+        }
+    }
+
+    #[test]
+    fn detects_degenerate_outcomes() {
+        let x = vec![vec![0.0, 1.0, 0.0, 1.0]];
+        assert!(matches!(
+            fit_with_intercept(&x, &[1.0, 1.0, 1.0, 1.0], LogitOptions::default()),
+            Err(StatsError::DegenerateDesign(_))
+        ));
+        assert!(matches!(
+            fit_with_intercept(&x, &[0.0, 1.0, 2.0, 1.0], LogitOptions::default()),
+            Err(StatsError::DegenerateDesign(_))
+        ));
+    }
+
+    #[test]
+    fn flags_complete_separation() {
+        // Predictor perfectly separates outcomes.
+        let (x, y) = from_table(50, 0, 0, 50);
+        let fit = fit_with_intercept(&x, &y, LogitOptions::default()).unwrap();
+        assert!(fit.separation_suspected);
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(800.0) <= 1.0 && sigmoid(800.0) > 0.999);
+        assert!(sigmoid(-800.0) >= 0.0 && sigmoid(-800.0) < 1e-10);
+    }
+
+    #[test]
+    fn odds_ratio_ci_contains_estimate() {
+        let (x, y) = from_table(60, 40, 20, 30);
+        let fit = fit_with_intercept(&x, &y, LogitOptions::default()).unwrap();
+        let c = &fit.coefficients[1];
+        let (lo, hi) = c.odds_ratio_ci(0.05);
+        assert!(lo < c.odds_ratio() && c.odds_ratio() < hi);
+        assert!(lo > 1.0, "effect should be significantly positive at 5%: lo={lo}");
+    }
+}

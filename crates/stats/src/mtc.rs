@@ -1,0 +1,88 @@
+//! Multiple-testing corrections.
+//!
+//! Table 3 of the paper reports logistic-regression odds ratios "statistically
+//! significant at p < 0.01 with Bonferroni correction of 22 (the number of
+//! website categories)". These helpers implement that correction plus the
+//! uniformly-more-powerful Holm step-down procedure as an extension.
+
+/// Bonferroni-adjusts raw p-values for `m` comparisons: `min(1, p·m)`.
+///
+/// `m` defaults to the number of p-values when callers pass the whole family.
+pub fn bonferroni(p_values: &[f64], m: usize) -> Vec<f64> {
+    let m = m.max(1) as f64;
+    p_values.iter().map(|&p| (p * m).min(1.0)).collect()
+}
+
+/// Tests each hypothesis at family-wise level `alpha` under Bonferroni with
+/// `m` comparisons, returning a significance flag per input.
+pub fn bonferroni_significant(p_values: &[f64], m: usize, alpha: f64) -> Vec<bool> {
+    let threshold = alpha / m.max(1) as f64;
+    p_values.iter().map(|&p| p < threshold).collect()
+}
+
+/// Holm's step-down adjustment (controls FWER, dominates Bonferroni).
+pub fn holm(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("finite p-values"));
+    let mut adjusted = vec![0.0; m];
+    let mut running_max: f64 = 0.0;
+    for (k, &i) in order.iter().enumerate() {
+        let factor = (m - k) as f64;
+        running_max = running_max.max((p_values[i] * factor).min(1.0));
+        adjusted[i] = running_max;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bonferroni_scales_and_caps() {
+        let adj = bonferroni(&[0.001, 0.01, 0.2], 22);
+        assert!((adj[0] - 0.022).abs() < 1e-12);
+        assert!((adj[1] - 0.22).abs() < 1e-12);
+        assert_eq!(adj[2], 1.0);
+    }
+
+    #[test]
+    fn bonferroni_significance_threshold() {
+        // Paper setting: alpha = 0.01, m = 22 -> threshold ≈ 0.000454.
+        let flags = bonferroni_significant(&[0.0001, 0.0005, 0.009], 22, 0.01);
+        assert_eq!(flags, vec![true, false, false]);
+    }
+
+    #[test]
+    fn holm_monotone_and_dominates() {
+        let p = [0.01, 0.04, 0.03, 0.005];
+        let h = holm(&p);
+        let b = bonferroni(&p, p.len());
+        for i in 0..p.len() {
+            assert!(h[i] <= b[i] + 1e-15, "holm should dominate bonferroni");
+            assert!(h[i] >= p[i]);
+        }
+        // Step-down monotonicity: adjusted order respects raw order.
+        assert!(h[3] <= h[0] && h[0] <= h[2] && h[2] <= h[1]);
+    }
+
+    #[test]
+    fn holm_known_example() {
+        // Classic example: p = [0.01, 0.02, 0.03], m=3.
+        // sorted: 0.01*3=0.03, 0.02*2=0.04, 0.03*1=0.03 -> cummax: 0.03, 0.04, 0.04
+        let h = holm(&[0.01, 0.02, 0.03]);
+        assert!((h[0] - 0.03).abs() < 1e-12);
+        assert!((h[1] - 0.04).abs() < 1e-12);
+        assert!((h[2] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_families() {
+        assert!(bonferroni(&[], 5).is_empty());
+        assert!(holm(&[]).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Rank transformation with average-rank tie handling.
+
+use crate::{ensure_finite, Result};
+
+/// Assigns 1-based ranks to `values`, giving tied values the average of the
+/// rank positions they span (the "fractional ranking" used by Spearman's ρ).
+///
+/// ```
+/// use topple_stats::rank::average_ranks;
+///
+/// let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Result<Vec<f64>> {
+    ensure_finite(values)?;
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        // Find the extent of the tie group.
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average of 1-based positions i+1 ..= j+1.
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    Ok(ranks)
+}
+
+/// Counts, for each tie group, the number of tied values `t`, returning the
+/// tie-correction terms `Σ t³ - t` used by tie-adjusted Spearman formulas.
+pub fn tie_correction(values: &[f64]) -> Result<f64> {
+    ensure_finite(values)?;
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        total += t * t * t - t;
+        i = j + 1;
+    }
+    Ok(total)
+}
+
+/// Ranks where the *smallest* value receives rank 1 and ties share the
+/// *minimum* rank of their group ("competition ranking", `1224` style).
+///
+/// This is how list publishers assign ranks after sorting by a score, and is
+/// used when reconstructing top lists from vantage counters.
+pub fn competition_ranks(values: &[f64]) -> Result<Vec<u32>> {
+    ensure_finite(values)?;
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    let mut ranks = vec![0u32; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        for &k in &idx[i..=j] {
+            ranks[k] = (i + 1) as u32;
+        }
+        i = j + 1;
+    }
+    Ok(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StatsError;
+
+    #[test]
+    fn no_ties() {
+        let r = average_ranks(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = average_ranks(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mixed_ties() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 2.0, 7.0]).unwrap();
+        assert_eq!(r, vec![1.0, 3.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Σ ranks = n(n+1)/2 regardless of ties.
+        let v = [4.0, 4.0, 1.0, 9.0, 9.0, 9.0, 2.0];
+        let r = average_ranks(&v).unwrap();
+        let n = v.len() as f64;
+        assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert_eq!(average_ranks(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+        assert_eq!(tie_correction(&[f64::INFINITY]), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn tie_correction_values() {
+        // One group of 3 ties: 3³-3 = 24; one group of 2: 2³-2 = 6.
+        assert_eq!(tie_correction(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]).unwrap(), 30.0);
+        assert_eq!(tie_correction(&[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn competition_rank_style() {
+        let r = competition_ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+        assert_eq!(r, vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(average_ranks(&[]).unwrap(), Vec::<f64>::new());
+        assert_eq!(competition_ranks(&[]).unwrap(), Vec::<u32>::new());
+        assert_eq!(tie_correction(&[]).unwrap(), 0.0);
+    }
+}

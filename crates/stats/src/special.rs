@@ -1,0 +1,256 @@
+//! Special functions: log-gamma, regularized incomplete beta and gamma, erf.
+//!
+//! Implementations follow the classical series/continued-fraction forms
+//! (Lanczos for `ln_gamma`, modified Lentz for the beta continued fraction),
+//! giving ~1e-13 relative accuracy over the parameter ranges exercised by the
+//! distributions in [`crate::dist`].
+
+/// Natural log of the gamma function for `x > 0` (Lanczos approximation, g=7).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Godfrey / Numerical Recipes style).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)` for `a > 0`, `x ≥ 0`.
+pub fn reg_inc_gamma(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation converges quickly here.
+        gamma_series(a, x)
+    } else {
+        // Continued fraction for the upper function, complemented.
+        1.0 - gamma_cont_frac(a, x)
+    }
+}
+
+/// Series expansion of P(a, x).
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued fraction for Q(a, x) = 1 - P(a, x), via modified Lentz.
+fn gamma_cont_frac(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`, `0 ≤ x ≤ 1`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0 && (0.0..=1.0).contains(&x));
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function, via the regularized incomplete gamma: `erf(x) = P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = reg_inc_gamma(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Complementary error function `1 - erf(x)` with better accuracy in the tail.
+pub fn erfc(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0 + erf(-x);
+    }
+    // For positive x, use the upper incomplete gamma directly.
+    if x * x < 1.5 {
+        1.0 - erf(x)
+    } else {
+        gamma_cont_frac(0.5, x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-12);
+        close(ln_gamma(11.0), 3_628_800f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12);
+        // Γ(3/2) = sqrt(π)/2
+        close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+    }
+
+    #[test]
+    fn inc_gamma_reference_values() {
+        // P(1, x) = 1 - e^{-x}
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            close(reg_inc_gamma(1.0, x), 1.0 - (-x).exp(), 1e-12);
+        }
+        // P(a, 0) = 0, P(a, inf) -> 1
+        assert_eq!(reg_inc_gamma(3.0, 0.0), 0.0);
+        close(reg_inc_gamma(3.0, 100.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_reference_values() {
+        // I_x(1, 1) = x
+        for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            close(reg_inc_beta(1.0, 1.0, x), x, 1e-12);
+        }
+        // I_x(2, 2) = x^2 (3 - 2x)
+        for x in [0.1, 0.3, 0.6, 0.9] {
+            close(reg_inc_beta(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-12);
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a)
+        close(reg_inc_beta(2.5, 3.5, 0.3), 1.0 - reg_inc_beta(3.5, 2.5, 0.7), 1e-12);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Values from Abramowitz & Stegun table 7.1.
+        close(erf(0.5), 0.520_499_877_8, 1e-9);
+        close(erf(1.0), 0.842_700_792_9, 1e-9);
+        close(erf(2.0), 0.995_322_265_0, 1e-9);
+        close(erf(-1.0), -0.842_700_792_9, 1e-9);
+        assert_eq!(erf(0.0), 0.0);
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(3) ≈ 2.209e-5; the complemented series would lose precision.
+        close(erfc(3.0), 2.209_049_699_858_544e-5, 1e-9);
+        close(erfc(1.0), 1.0 - 0.842_700_792_9, 1e-9);
+        close(erfc(-1.0), 1.0 + 0.842_700_792_9, 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Time-series helpers for the temporal-stability analysis (Figure 3).
+//!
+//! The paper observes that list/metric correlations are "somewhat periodic,
+//! with Jaccard indices best on weekdays and Spearman correlations best on
+//! weekends". These helpers quantify that: lag autocorrelation picks out the
+//! weekly cycle, and the weekday/weekend contrast measures its direction.
+
+use crate::{ensure_finite, Result, StatsError};
+
+/// Sample autocorrelation of `xs` at `lag`, normalized by the lag-0 variance.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
+    ensure_finite(xs)?;
+    let n = xs.len();
+    if n < lag + 2 {
+        return Err(StatsError::TooFewObservations { n, required: lag + 2 });
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let num: f64 = (0..n - lag).map(|i| (xs[i] - mean) * (xs[i + lag] - mean)).sum();
+    Ok(num / denom)
+}
+
+/// Detects the dominant period in `xs` by scanning lags `2..=max_lag` for the
+/// largest autocorrelation; returns `(lag, autocorrelation)`.
+pub fn dominant_period(xs: &[f64], max_lag: usize) -> Result<(usize, f64)> {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for lag in 2..=max_lag {
+        let ac = autocorrelation(xs, lag)?;
+        if ac > best.1 {
+            best = (lag, ac);
+        }
+    }
+    if best.0 == 0 {
+        return Err(StatsError::TooFewObservations { n: xs.len(), required: 4 });
+    }
+    Ok(best)
+}
+
+/// Summary of a weekday/weekend split of a daily series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeekdaySplit {
+    /// Mean over weekday samples.
+    pub weekday_mean: f64,
+    /// Mean over weekend samples.
+    pub weekend_mean: f64,
+}
+
+impl WeekdaySplit {
+    /// Positive when the series is higher on weekdays.
+    pub fn weekday_advantage(&self) -> f64 {
+        self.weekday_mean - self.weekend_mean
+    }
+}
+
+/// Splits a daily series by a weekday predicate (`is_weekend[i]` marks day `i`).
+pub fn weekday_split(xs: &[f64], is_weekend: &[bool]) -> Result<WeekdaySplit> {
+    ensure_finite(xs)?;
+    if xs.len() != is_weekend.len() {
+        return Err(StatsError::LengthMismatch { left: xs.len(), right: is_weekend.len() });
+    }
+    let (mut wd_sum, mut wd_n, mut we_sum, mut we_n) = (0.0, 0usize, 0.0, 0usize);
+    for (&x, &we) in xs.iter().zip(is_weekend) {
+        if we {
+            we_sum += x;
+            we_n += 1;
+        } else {
+            wd_sum += x;
+            wd_n += 1;
+        }
+    }
+    if wd_n == 0 || we_n == 0 {
+        return Err(StatsError::TooFewObservations { n: xs.len(), required: 2 });
+    }
+    Ok(WeekdaySplit { weekday_mean: wd_sum / wd_n as f64, weekend_mean: we_sum / we_n as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        // Period-7 square-ish wave over 28 days.
+        let xs: Vec<f64> = (0..28).map(|i| if i % 7 < 5 { 1.0 } else { 0.0 }).collect();
+        let ac7 = autocorrelation(&xs, 7).unwrap();
+        let ac3 = autocorrelation(&xs, 3).unwrap();
+        assert!(ac7 > 0.5, "lag-7 should dominate: {ac7}");
+        assert!(ac7 > ac3);
+        let (lag, _) = dominant_period(&xs, 10).unwrap();
+        assert_eq!(lag, 7);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((autocorrelation(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_series_has_zero_variance() {
+        let xs = [2.0; 10];
+        assert_eq!(autocorrelation(&xs, 1), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn weekday_split_directions() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0]; // Mon..Fri=1, Sat/Sun=0
+        let we = [false, false, false, false, false, true, true];
+        let split = weekday_split(&xs, &we).unwrap();
+        assert_eq!(split.weekday_mean, 1.0);
+        assert_eq!(split.weekend_mean, 0.0);
+        assert_eq!(split.weekday_advantage(), 1.0);
+    }
+
+    #[test]
+    fn weekday_split_needs_both_classes() {
+        assert!(weekday_split(&[1.0, 2.0], &[false, false]).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! The Chrome telemetry vantage: the data source behind CrUX and the paper's
+//! Section 6 platform/country analyses.
+//!
+//! Telemetry covers only Chrome users who opted into history sync and usage
+//! statistics. It is aggregated by *web origin*, excludes private (incognito)
+//! windows and non-public domains, and applies a minimum-unique-visitors
+//! privacy threshold before an origin may appear in any published list \[13\].
+//!
+//! Three client metrics are collected (Section 6.1): initiated page loads,
+//! completed page loads (First Contentful Paint, the public CrUX metric), and
+//! total time on site — broken down by client country and platform
+//! (Windows and Android, the representative desktop and mobile platforms).
+
+use std::collections::{HashMap, HashSet};
+
+use topple_sim::{Country, DayTraffic, Platform, SiteId, World};
+
+/// A web origin in telemetry: `(site, host index)`. The textual origin is
+/// recoverable via [`ChromeVantage::origin_text`].
+pub type OriginKey = (SiteId, u8);
+
+/// Client telemetry metrics (Section 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChromeMetric {
+    /// Page loads that began.
+    InitiatedLoads,
+    /// Page loads that reached First Contentful Paint — the CrUX metric.
+    CompletedLoads,
+    /// Total seconds spent on the origin.
+    TimeOnSite,
+}
+
+impl ChromeMetric {
+    /// All three metrics in stable order.
+    pub const ALL: [ChromeMetric; 3] =
+        [ChromeMetric::InitiatedLoads, ChromeMetric::CompletedLoads, ChromeMetric::TimeOnSite];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChromeMetric::InitiatedLoads => "initiated",
+            ChromeMetric::CompletedLoads => "completed",
+            ChromeMetric::TimeOnSite => "time-on-site",
+        }
+    }
+}
+
+/// Per-origin accumulated counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct OriginCell {
+    initiated: u64,
+    completed: u64,
+    dwell_secs: u64,
+    unique_clients: u32,
+}
+
+/// The platforms Chrome telemetry breaks out (Section 6.1).
+pub const TELEMETRY_PLATFORMS: [Platform; 2] = [Platform::Windows, Platform::Android];
+
+/// The Chrome telemetry vantage.
+#[derive(Debug)]
+pub struct ChromeVantage {
+    /// Monthly per-(country, platform) per-origin cells.
+    cells: HashMap<(Country, Platform, OriginKey), OriginCell>,
+    /// Global per-origin cells (all countries and platforms) — CrUX input.
+    global: HashMap<OriginKey, OriginCell>,
+    /// Scratch: distinct (country, platform, origin, client) quadruples.
+    seen_cp: HashSet<(Country, Platform, OriginKey, u32)>,
+    /// Scratch: distinct (origin, client) pairs.
+    seen_global: HashSet<(OriginKey, u32)>,
+    /// Opted-in population size (for reporting).
+    optin_clients: usize,
+    days: usize,
+}
+
+impl ChromeVantage {
+    /// Creates an empty vantage.
+    pub fn new(world: &World) -> Self {
+        ChromeVantage {
+            cells: HashMap::new(),
+            global: HashMap::new(),
+            seen_cp: HashSet::new(),
+            seen_global: HashSet::new(),
+            optin_clients: world.clients.iter().filter(|c| c.chrome_optin).count(),
+            days: 0,
+        }
+    }
+
+    /// Number of opted-in clients in the population.
+    pub fn optin_clients(&self) -> usize {
+        self.optin_clients
+    }
+
+    /// Number of ingested days.
+    pub fn day_count(&self) -> usize {
+        self.days
+    }
+
+    /// Ingests one day of traffic.
+    pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
+        for pl in &traffic.page_loads {
+            let client = &world.clients[pl.client.index()];
+            if !client.chrome_optin || pl.private_mode {
+                continue;
+            }
+            let site = &world.sites[pl.site.index()];
+            // Telemetry excludes non-public domains [13].
+            if !site.public_web {
+                continue;
+            }
+            let origin: OriginKey = (pl.site, pl.host_idx);
+
+            let global = self.global.entry(origin).or_default();
+            global.initiated += 1;
+            global.completed += u64::from(pl.completed);
+            global.dwell_secs += u64::from(pl.dwell_secs);
+            if self.seen_global.insert((origin, pl.client.0)) {
+                global.unique_clients += 1;
+            }
+
+            if TELEMETRY_PLATFORMS.contains(&client.platform) {
+                let key = (client.country, client.platform, origin);
+                let cell = self.cells.entry(key).or_default();
+                cell.initiated += 1;
+                cell.completed += u64::from(pl.completed);
+                cell.dwell_secs += u64::from(pl.dwell_secs);
+                if self.seen_cp.insert((client.country, client.platform, origin, pl.client.0)) {
+                    cell.unique_clients += 1;
+                }
+            }
+        }
+        self.days += 1;
+    }
+
+    /// The published per-(country, platform) rank-order list for one metric:
+    /// origins above the privacy threshold, sorted by descending score.
+    pub fn country_platform_list(
+        &self,
+        country: Country,
+        platform: Platform,
+        metric: ChromeMetric,
+        privacy_threshold: u32,
+    ) -> Vec<(OriginKey, f64)> {
+        let mut out: Vec<(OriginKey, f64)> = self
+            .cells
+            .iter()
+            .filter(|((c, p, _), cell)| {
+                *c == country && *p == platform && cell.unique_clients >= privacy_threshold
+            })
+            .map(|((_, _, o), cell)| (*o, Self::score(cell, metric)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The global origin list by completed page loads (the public CrUX
+    /// input), privacy-thresholded.
+    pub fn global_completed_list(&self, privacy_threshold: u32) -> Vec<(OriginKey, f64)> {
+        let mut out: Vec<(OriginKey, f64)> = self
+            .global
+            .iter()
+            .filter(|(_, cell)| cell.unique_clients >= privacy_threshold && cell.completed > 0)
+            .map(|(o, cell)| (*o, cell.completed as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn score(cell: &OriginCell, metric: ChromeMetric) -> f64 {
+        match metric {
+            ChromeMetric::InitiatedLoads => cell.initiated as f64,
+            ChromeMetric::CompletedLoads => cell.completed as f64,
+            ChromeMetric::TimeOnSite => cell.dwell_secs as f64,
+        }
+    }
+
+    /// Renders an origin key as its textual web origin.
+    pub fn origin_text(world: &World, origin: OriginKey) -> String {
+        world.sites[origin.0.index()].origin_of(origin.1 as usize).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::{Browser, WorldConfig};
+
+    fn setup() -> (World, ChromeVantage) {
+        let w = World::generate(WorldConfig::small(71)).unwrap();
+        let mut v = ChromeVantage::new(&w);
+        for d in 0..3 {
+            let t = w.simulate_day(d);
+            v.ingest_day(&w, &t);
+        }
+        (w, v)
+    }
+
+    #[test]
+    fn only_optin_chrome_users_counted() {
+        let (w, v) = setup();
+        // Sum of global initiated equals opted-in non-private public loads.
+        let mut expected = 0u64;
+        for d in 0..3 {
+            let t = w.simulate_day(d);
+            expected += t
+                .page_loads
+                .iter()
+                .filter(|pl| {
+                    let c = &w.clients[pl.client.index()];
+                    c.chrome_optin
+                        && c.browser == Browser::Chrome
+                        && !pl.private_mode
+                        && w.sites[pl.site.index()].public_web
+                })
+                .count() as u64;
+        }
+        let got: u64 = v.global.values().map(|c| c.initiated).sum();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn completed_bounded_by_initiated() {
+        let (_, v) = setup();
+        for cell in v.global.values() {
+            assert!(cell.completed <= cell.initiated);
+        }
+        for cell in v.cells.values() {
+            assert!(cell.completed <= cell.initiated);
+        }
+    }
+
+    #[test]
+    fn privacy_threshold_filters() {
+        let (_, v) = setup();
+        let loose = v.global_completed_list(1);
+        let strict = v.global_completed_list(5);
+        assert!(strict.len() <= loose.len());
+        for (o, _) in &strict {
+            assert!(v.global[o].unique_clients >= 5);
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted_descending() {
+        let (_, v) = setup();
+        let list = v.global_completed_list(1);
+        assert!(!list.is_empty());
+        for w in list.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let cp = v.country_platform_list(Country::UnitedStates, Platform::Windows, ChromeMetric::CompletedLoads, 1);
+        for w in cp.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn non_public_sites_excluded() {
+        let (w, v) = setup();
+        for (o, _) in v.global_completed_list(1) {
+            assert!(w.sites[o.0.index()].public_web);
+        }
+    }
+
+    #[test]
+    fn platform_breakdown_covers_only_telemetry_platforms() {
+        let (_, v) = setup();
+        for (c, p, _) in v.cells.keys() {
+            assert!(TELEMETRY_PLATFORMS.contains(p), "unexpected platform {p:?} for {c:?}");
+        }
+    }
+
+    #[test]
+    fn origin_text_is_a_valid_origin() {
+        let (w, v) = setup();
+        if let Some((o, _)) = v.global_completed_list(1).first() {
+            let text = ChromeVantage::origin_text(&w, *o);
+            assert!(text.starts_with("http://") || text.starts_with("https://"));
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The Cloudflare-style CDN vantage and its 21 popularity metrics.
+//!
+//! Section 3 of the paper derives popularity metrics from server-side request
+//! logs as *filter × aggregation* combinations: seven filters (all requests,
+//! HTML-only, 200-only, non-null referer, top-5 browsers, TLS handshakes, root
+//! page loads) by three aggregations (raw count, unique client IPs, unique
+//! (IP, User-Agent) tuples). This module reproduces all 21 and exposes both
+//! the full suite (Appendix Figure 8) and the paper's chosen seven (Figure 1).
+//!
+//! The vantage sees traffic **only for sites it proxies** (`site.cloudflare`),
+//! exactly like the real CDN: server-side logging is unaffected by private
+//! browsing, but blind to every non-customer site.
+
+use std::collections::HashMap;
+
+use topple_sim::{Browser, DayTraffic, World};
+
+use crate::metrics::{add_assign, scale, ScoreVec};
+
+/// Request-log filters (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CfFilter {
+    /// 1: all HTTP(S) requests.
+    AllRequests,
+    /// 1.1: requests for `text/html` resources.
+    Html,
+    /// 1.2: requests answered 200 OK.
+    Status200,
+    /// 1.3: requests carrying a non-null `Referer`.
+    Referer,
+    /// 1.4: requests from the five most popular browsers.
+    TopBrowsers,
+    /// 2: TLS handshakes.
+    Tls,
+    /// 3: root page loads (`GET /`).
+    RootPage,
+}
+
+impl CfFilter {
+    /// All seven filters in stable order.
+    pub const ALL: [CfFilter; 7] = [
+        CfFilter::AllRequests,
+        CfFilter::Html,
+        CfFilter::Status200,
+        CfFilter::Referer,
+        CfFilter::TopBrowsers,
+        CfFilter::Tls,
+        CfFilter::RootPage,
+    ];
+
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label used in heatmaps.
+    pub fn label(self) -> &'static str {
+        match self {
+            CfFilter::AllRequests => "all-req",
+            CfFilter::Html => "html",
+            CfFilter::Status200 => "200-only",
+            CfFilter::Referer => "referer",
+            CfFilter::TopBrowsers => "top5-brws",
+            CfFilter::Tls => "tls",
+            CfFilter::RootPage => "root-page",
+        }
+    }
+}
+
+/// Log aggregations (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CfAgg {
+    /// Raw event count.
+    Raw,
+    /// Unique client IPs per day.
+    UniqueIp,
+    /// Unique (client IP, User-Agent) tuples per day.
+    UniqueIpUa,
+}
+
+impl CfAgg {
+    /// All aggregations in stable order.
+    pub const ALL: [CfAgg; 3] = [CfAgg::Raw, CfAgg::UniqueIp, CfAgg::UniqueIpUa];
+
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label used in heatmaps.
+    pub fn label(self) -> &'static str {
+        match self {
+            CfAgg::Raw => "raw",
+            CfAgg::UniqueIp => "uniq-ip",
+            CfAgg::UniqueIpUa => "uniq-ip-ua",
+        }
+    }
+}
+
+/// One of the 21 filter × aggregation popularity metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CfMetric {
+    /// The filter.
+    pub filter: CfFilter,
+    /// The aggregation.
+    pub agg: CfAgg,
+}
+
+impl CfMetric {
+    /// Dense index in `0..21`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.filter.index() * CfAgg::ALL.len() + self.agg.index()
+    }
+
+    /// All 21 combinations (Appendix Figure 8).
+    pub fn full_suite() -> Vec<CfMetric> {
+        let mut v = Vec::with_capacity(21);
+        for f in CfFilter::ALL {
+            for a in CfAgg::ALL {
+                v.push(CfMetric { filter: f, agg: a });
+            }
+        }
+        v
+    }
+
+    /// The paper's seven chosen metrics (Section 3.3, Figure 1):
+    /// (1) all requests, (2) TLS handshakes, (3) root-page requests,
+    /// (4) top-5-browser requests, (5) unique IPs, (6) unique IPs on the
+    /// root page, (7) unique IPs from top-5 browsers.
+    pub fn final_seven() -> [CfMetric; 7] {
+        [
+            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::Tls, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::UniqueIp },
+            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::UniqueIp },
+            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::UniqueIp },
+        ]
+    }
+
+    /// The four *request-based* metrics among the final seven (Section 3.3).
+    pub fn request_based_four() -> [CfMetric; 4] {
+        [
+            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::Tls, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw },
+            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw },
+        ]
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> String {
+        format!("{}/{}", self.filter.label(), self.agg.label())
+    }
+}
+
+/// Number of metrics in the full suite.
+pub const METRIC_COUNT: usize = 21;
+
+/// Per-filter event contribution, in request counts.
+#[derive(Debug, Clone, Copy, Default)]
+struct FilterCounts {
+    counts: [u32; 7],
+}
+
+impl FilterCounts {
+    #[inline]
+    fn bits(&self) -> u8 {
+        let mut b = 0u8;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                b |= 1 << i;
+            }
+        }
+        b
+    }
+}
+
+/// All 21 metric scores for one day, indexed `[metric][site]`.
+#[derive(Debug, Clone)]
+pub struct CfDayMetrics {
+    /// Scores per metric per site.
+    pub scores: Vec<ScoreVec>,
+}
+
+impl CfDayMetrics {
+    /// Score vector of one metric.
+    pub fn metric(&self, m: CfMetric) -> &ScoreVec {
+        &self.scores[m.index()]
+    }
+}
+
+/// The CDN vantage, accumulating per-day metrics over the window.
+#[derive(Debug)]
+pub struct CdnVantage {
+    n_sites: usize,
+    days_ingested: usize,
+    /// Sum over days of each metric's daily score, `[metric][site]`.
+    monthly_sum: Vec<ScoreVec>,
+    /// Daily scores for the paper's seven final metrics, `[day][final_idx]`
+    /// (the evaluation averages daily comparisons; keeping all 21 per day
+    /// would be prohibitive at full scale).
+    daily_final: Vec<Vec<ScoreVec>>,
+    /// The full 21-metric snapshot of the first ingested day (Figure 8).
+    first_day: Option<CfDayMetrics>,
+}
+
+impl CdnVantage {
+    /// Creates an empty vantage for a world.
+    pub fn new(world: &World) -> Self {
+        CdnVantage {
+            n_sites: world.sites.len(),
+            days_ingested: 0,
+            monthly_sum: (0..METRIC_COUNT).map(|_| vec![0.0; world.sites.len()]).collect(),
+            daily_final: Vec::new(),
+            first_day: None,
+        }
+    }
+
+    /// Computes one day's 21 metrics from the request log without mutating
+    /// the vantage (used directly by the Figure 8 experiment).
+    pub fn observe_day(world: &World, traffic: &DayTraffic) -> CfDayMetrics {
+        let n = world.sites.len();
+        // Raw counters per site per filter.
+        let mut raw: Vec<FilterCounts> = vec![FilterCounts::default(); n];
+        // Unique aggregations: (site, ip) -> filter bits; (site, ip, ua) likewise.
+        let mut uniq_ip: HashMap<(u32, u32), u8> = HashMap::new();
+        let mut uniq_ip_ua: HashMap<(u32, u32, u8), u8> = HashMap::new();
+
+        let mut bump = |site: u32, ip: u32, ua: Browser, fc: FilterCounts| {
+            let r = &mut raw[site as usize];
+            for i in 0..7 {
+                r.counts[i] += fc.counts[i];
+            }
+            let bits = fc.bits();
+            if bits != 0 {
+                *uniq_ip.entry((site, ip)).or_default() |= bits;
+                *uniq_ip_ua.entry((site, ip, ua.index() as u8)).or_default() |= bits;
+            }
+        };
+
+        for pl in &traffic.page_loads {
+            let site = &world.sites[pl.site.index()];
+            if !site.cloudflare {
+                continue;
+            }
+            let client = &world.clients[pl.client.index()];
+            let total = pl.total_requests();
+            let mut fc = FilterCounts::default();
+            fc.counts[CfFilter::AllRequests.index()] = total;
+            fc.counts[CfFilter::Html.index()] = 1;
+            fc.counts[CfFilter::Status200.index()] = total - u32::from(pl.non200);
+            // Subresources always carry a Referer; the navigation does iff it
+            // was a link click.
+            fc.counts[CfFilter::Referer.index()] =
+                u32::from(pl.own_requests) + u32::from(pl.link_click);
+            fc.counts[CfFilter::TopBrowsers.index()] =
+                if client.browser.is_top5() { total } else { 0 };
+            fc.counts[CfFilter::Tls.index()] = u32::from(pl.tls_handshakes);
+            fc.counts[CfFilter::RootPage.index()] = u32::from(pl.is_root_path);
+            bump(pl.site.0, client.ip, client.browser, fc);
+        }
+
+        for tp in &traffic.third_party {
+            let site = &world.sites[tp.site.index()];
+            if !site.cloudflare {
+                continue;
+            }
+            let client = &world.clients[tp.client.index()];
+            let reqs = u32::from(tp.requests);
+            let mut fc = FilterCounts::default();
+            fc.counts[CfFilter::AllRequests.index()] = reqs;
+            // Third-party fetches are assets, not documents, and always carry
+            // a Referer; they never hit `GET /`.
+            fc.counts[CfFilter::Status200.index()] = reqs - u32::from(tp.non200);
+            fc.counts[CfFilter::Referer.index()] = reqs;
+            fc.counts[CfFilter::TopBrowsers.index()] =
+                if client.browser.is_top5() { reqs } else { 0 };
+            fc.counts[CfFilter::Tls.index()] = u32::from(tp.tls_handshakes);
+            bump(tp.site.0, client.ip, client.browser, fc);
+        }
+
+        // Fold into score vectors.
+        let mut scores: Vec<ScoreVec> = (0..METRIC_COUNT).map(|_| vec![0.0; n]).collect();
+        for (i, fc) in raw.iter().enumerate() {
+            for f in CfFilter::ALL {
+                scores[CfMetric { filter: f, agg: CfAgg::Raw }.index()][i] =
+                    f64::from(fc.counts[f.index()]);
+            }
+        }
+        for ((site, _ip), bits) in &uniq_ip {
+            for f in CfFilter::ALL {
+                if bits & (1 << f.index()) != 0 {
+                    scores[CfMetric { filter: f, agg: CfAgg::UniqueIp }.index()]
+                        [*site as usize] += 1.0;
+                }
+            }
+        }
+        for ((site, _ip, _ua), bits) in &uniq_ip_ua {
+            for f in CfFilter::ALL {
+                if bits & (1 << f.index()) != 0 {
+                    scores[CfMetric { filter: f, agg: CfAgg::UniqueIpUa }.index()]
+                        [*site as usize] += 1.0;
+                }
+            }
+        }
+        CfDayMetrics { scores }
+    }
+
+    /// Ingests one day of traffic.
+    pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
+        let day = Self::observe_day(world, traffic);
+        for m in 0..METRIC_COUNT {
+            add_assign(&mut self.monthly_sum[m], &day.scores[m]);
+        }
+        self.daily_final.push(
+            CfMetric::final_seven()
+                .iter()
+                .map(|m| day.scores[m.index()].clone())
+                .collect(),
+        );
+        if self.first_day.is_none() {
+            self.first_day = Some(day);
+        }
+        self.days_ingested += 1;
+    }
+
+    /// Number of days ingested so far.
+    pub fn days(&self) -> usize {
+        self.days_ingested
+    }
+
+    /// Number of sites in the underlying world.
+    pub fn site_count(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Monthly mean daily score for a metric.
+    pub fn monthly(&self, m: CfMetric) -> ScoreVec {
+        let mut v = self.monthly_sum[m.index()].clone();
+        if self.days_ingested > 0 {
+            scale(&mut v, self.days_ingested as f64);
+        }
+        v
+    }
+
+    /// Daily scores for one of the seven final metrics (index into
+    /// [`CfMetric::final_seven`]). All-requests is index 0 and root-page
+    /// index 2, the two page-load bookends.
+    pub fn daily_final(&self, final_idx: usize, day_index: usize) -> &ScoreVec {
+        &self.daily_final[day_index][final_idx]
+    }
+
+    /// Daily all-requests scores (Figure 3's reference metric).
+    pub fn daily_all_requests(&self, day_index: usize) -> &ScoreVec {
+        self.daily_final(0, day_index)
+    }
+
+    /// The full 21-metric snapshot of the first ingested day (Figure 8).
+    pub fn first_day(&self) -> Option<&CfDayMetrics> {
+        self.first_day.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::{WorldConfig, World};
+
+    fn world_and_day() -> (World, DayTraffic) {
+        let w = World::generate(WorldConfig::tiny(31)).unwrap();
+        let t = w.simulate_day(0);
+        (w, t)
+    }
+
+    #[test]
+    fn metric_indices_are_dense() {
+        let all = CfMetric::full_suite();
+        assert_eq!(all.len(), 21);
+        for (i, m) in all.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        assert_eq!(CfMetric::final_seven().len(), 7);
+    }
+
+    #[test]
+    fn non_customer_sites_are_invisible() {
+        let (w, t) = world_and_day();
+        let day = CdnVantage::observe_day(&w, &t);
+        for (i, site) in w.sites.iter().enumerate() {
+            if !site.cloudflare {
+                for m in CfMetric::full_suite() {
+                    assert_eq!(day.metric(m)[i], 0.0, "{} leaked into {:?}", site.domain, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_counts_are_ordered_subsets() {
+        let (w, t) = world_and_day();
+        let day = CdnVantage::observe_day(&w, &t);
+        let all = day.metric(CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw });
+        for f in [CfFilter::Html, CfFilter::Status200, CfFilter::Referer, CfFilter::TopBrowsers, CfFilter::RootPage] {
+            let sub = day.metric(CfMetric { filter: f, agg: CfAgg::Raw });
+            for i in 0..w.sites.len() {
+                assert!(
+                    sub[i] <= all[i],
+                    "filter {f:?} exceeds all-requests at site {i}: {} > {}",
+                    sub[i],
+                    all[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unique_ip_bounded_by_raw_and_ip_ua_at_least_ip() {
+        let (w, t) = world_and_day();
+        let day = CdnVantage::observe_day(&w, &t);
+        for f in CfFilter::ALL {
+            let raw = day.metric(CfMetric { filter: f, agg: CfAgg::Raw });
+            let ip = day.metric(CfMetric { filter: f, agg: CfAgg::UniqueIp });
+            let ipua = day.metric(CfMetric { filter: f, agg: CfAgg::UniqueIpUa });
+            for i in 0..w.sites.len() {
+                assert!(ip[i] <= raw[i].max(ip[i]), "uniq ip should not exceed raw requests");
+                if raw[i] > 0.0 && f != CfFilter::Tls {
+                    // Some requester must exist when requests were counted.
+                    assert!(ip[i] >= 1.0, "site {i} filter {f:?}");
+                }
+                assert!(ipua[i] >= ip[i], "ip-ua tuples can only exceed plain ips");
+            }
+        }
+    }
+
+    #[test]
+    fn https_only_tls() {
+        let (w, t) = world_and_day();
+        let day = CdnVantage::observe_day(&w, &t);
+        let tls = day.metric(CfMetric { filter: CfFilter::Tls, agg: CfAgg::Raw });
+        for (i, site) in w.sites.iter().enumerate() {
+            if !site.https {
+                assert_eq!(tls[i], 0.0, "plain-HTTP site {} counted TLS", site.domain);
+            }
+        }
+    }
+
+    #[test]
+    fn monthly_is_mean_of_days() {
+        let (w, _) = world_and_day();
+        let mut v = CdnVantage::new(&w);
+        let t0 = w.simulate_day(0);
+        let t1 = w.simulate_day(1);
+        v.ingest_day(&w, &t0);
+        v.ingest_day(&w, &t1);
+        let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+        let d0 = CdnVantage::observe_day(&w, &t0);
+        let d1 = CdnVantage::observe_day(&w, &t1);
+        let monthly = v.monthly(m);
+        for i in 0..w.sites.len() {
+            let want = (d0.metric(m)[i] + d1.metric(m)[i]) / 2.0;
+            assert!((monthly[i] - want).abs() < 1e-9);
+        }
+        assert_eq!(v.days(), 2);
+        assert!(v.first_day().is_some());
+    }
+
+    #[test]
+    fn automation_excluded_from_top_browsers() {
+        let (w, t) = world_and_day();
+        let day = CdnVantage::observe_day(&w, &t);
+        // Find a pageload from an automation client to a CF site.
+        let m_all = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+        let m_top = CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw };
+        let mut automation_traffic = 0.0;
+        for pl in &t.page_loads {
+            let c = &w.clients[pl.client.index()];
+            if c.browser == Browser::Automation && w.sites[pl.site.index()].cloudflare {
+                automation_traffic += f64::from(pl.total_requests());
+            }
+        }
+        if automation_traffic > 0.0 {
+            let total_all: f64 = day.scores[m_all.index()].iter().sum();
+            let total_top: f64 = day.scores[m_top.index()].iter().sum();
+            assert!(total_top < total_all, "top-browser filter must drop automation");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! DNS resolver vantages: the Umbrella-style enterprise resolver and the
+//! Chinese resolver whose logs feed Secrank.
+//!
+//! A resolver sees *queried names*, not websites: FQDNs (including `www.`,
+//! `m.`, and service hosts), background noise names (TLD probes, NTP pools,
+//! connectivity checks), and nothing at all for clients using other
+//! resolvers. Client-side stub caching means repeat visits within a day
+//! usually don't reach the resolver (`dns_fresh` on the traffic events).
+//!
+//! Umbrella's published ranking is computed from unique client IPs per name
+//! relative to all requests \[33\]; Secrank runs a voting algorithm over per-IP
+//! query volume and frequency (Xie et al.). Both constructions live in
+//! `topple-lists`; this module only collects what each resolver could log.
+
+use std::collections::HashMap;
+
+use topple_sim::{ClientId, DayTraffic, Resolver, SiteId, World};
+
+/// A name as seen in resolver logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueriedName {
+    /// An FQDN belonging to a website: `(site, host index)`.
+    Host(SiteId, u8),
+    /// A background/non-website name, indexed into `World::background_names`.
+    Background(u16),
+}
+
+/// Per-name counters for one day at one resolver.
+#[derive(Debug, Clone, Default)]
+pub struct NameDayStats {
+    /// Total queries that reached the resolver.
+    pub queries: u64,
+    /// Distinct client IPs that queried the name.
+    pub unique_ips: u32,
+}
+
+/// One day of logs at one resolver.
+#[derive(Debug, Default)]
+pub struct ResolverDay {
+    per_name: HashMap<QueriedName, NameDayStats>,
+    // Scratch: distinct (name, ip) pairs seen today.
+    seen_ip: std::collections::HashSet<(QueriedName, u32)>,
+}
+
+impl ResolverDay {
+    fn record(&mut self, name: QueriedName, ip: u32) {
+        let stats = self.per_name.entry(name).or_default();
+        stats.queries += 1;
+        if self.seen_ip.insert((name, ip)) {
+            stats.unique_ips += 1;
+        }
+    }
+
+    /// Iterates `(name, stats)` for the day.
+    pub fn names(&self) -> impl Iterator<Item = (&QueriedName, &NameDayStats)> {
+        self.per_name.iter()
+    }
+
+    /// Number of distinct names seen.
+    pub fn name_count(&self) -> usize {
+        self.per_name.len()
+    }
+
+    /// Total queries across all names.
+    pub fn total_queries(&self) -> u64 {
+        self.per_name.values().map(|s| s.queries).sum()
+    }
+}
+
+/// Per-(client IP, registrable domain) monthly cell for the voting algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VoteCell {
+    /// Total queries from this IP for this domain over the window.
+    pub queries: u32,
+    /// Bitmask of days on which the IP queried the domain.
+    pub day_mask: u32,
+}
+
+/// A DNS vantage accumulating daily logs for one resolver.
+#[derive(Debug)]
+pub struct DnsVantage {
+    resolver: Resolver,
+    days: Vec<ResolverDay>,
+    /// Domain-level (site) monthly voting data: `(ip, site) -> cell`.
+    /// Only maintained for the China resolver (Secrank's input).
+    votes: HashMap<(u32, SiteId), VoteCell>,
+    /// Multi-day negative/positive cache: `(client, name) -> expiry day`.
+    /// Records cached by OS stubs and CPE resolvers for their full TTL stop
+    /// repeat queries from reaching the resolver for days — the mechanism
+    /// that decouples DNS-derived rankings from fine-grained visit frequency
+    /// (Section 5.2: "caching, TTLs, and other DNS complexities prevent
+    /// capturing fine grained popularity").
+    ttl_cache: HashMap<(ClientId, QueriedName), u32>,
+}
+
+/// Deterministic TTL horizon in days (1..=7).
+///
+/// TTL is a property of the *zone*: operators publish anything from minutes
+/// to a week, and a long-TTL zone is revisited by every cache ~7× less often
+/// than a short-TTL one **regardless of its popularity**. This per-name
+/// multiplicative distortion is the dominant reason DNS-derived rankings
+/// preserve coarse membership but scramble fine-grained rank (Section 5.2).
+/// A small per-client offset models stub/CPE cache eviction differences.
+fn ttl_days(client: ClientId, name: QueriedName) -> u32 {
+    // Keyed per *zone* (site), not per FQDN: operators set one TTL policy
+    // for the whole zone, so every host of a site shares the distortion.
+    let zone = match name {
+        QueriedName::Host(site, _host) => {
+            u64::from(site.0).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        }
+        QueriedName::Background(i) => u64::from(i).wrapping_mul(0x94D0_49BB_1331_11EB),
+    };
+    // Zone TTL classes span minutes to weeks (roughly log-uniform); at the
+    // resolver's daily granularity that is 1..=15 days between re-queries.
+    let z = (zone ^ (zone >> 31)) % 15;
+    let c = (u64::from(client.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61) % 2;
+    1 + (z + c).min(15) as u32
+}
+
+impl DnsVantage {
+    /// Creates a vantage for the given resolver. Panics on [`Resolver::Isp`],
+    /// which publishes nothing.
+    pub fn new(resolver: Resolver) -> Self {
+        assert!(resolver != Resolver::Isp, "ISP resolvers publish no popularity data");
+        DnsVantage {
+            resolver,
+            days: Vec::new(),
+            votes: HashMap::new(),
+            ttl_cache: HashMap::new(),
+        }
+    }
+
+    /// Whether a fresh-today query actually reaches the resolver, given the
+    /// multi-day TTL cache; updates the cache when it does.
+    fn reaches_resolver(&mut self, client: ClientId, name: QueriedName, day: u32) -> bool {
+        let key = (client, name);
+        match self.ttl_cache.get(&key) {
+            Some(&expiry) if day < expiry => false,
+            _ => {
+                self.ttl_cache.insert(key, day + ttl_days(client, name));
+                true
+            }
+        }
+    }
+
+    /// Which resolver this vantage models.
+    pub fn resolver(&self) -> Resolver {
+        self.resolver
+    }
+
+    /// Ingests one day of traffic. Days must be ingested in order — the
+    /// multi-day TTL cache is stateful.
+    pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
+        assert_eq!(
+            traffic.day_index,
+            self.days.len(),
+            "resolver days must be ingested in order"
+        );
+        let mut day = ResolverDay::default();
+        let collect_votes = self.resolver == Resolver::ChinaVoting;
+        let day_bit = 1u32 << (traffic.day_index.min(31));
+        let day_no = traffic.day_index as u32;
+
+        for pl in &traffic.page_loads {
+            let client = &world.clients[pl.client.index()];
+            if client.resolver != self.resolver || !pl.dns_fresh {
+                continue;
+            }
+            // Stub-cache misses only; the multi-day TTL cache then decides
+            // whether the query escapes the client network at all.
+            let name = QueriedName::Host(pl.site, pl.host_idx);
+            if world.config.mechanisms.dns_ttl_distortion
+                && !self.reaches_resolver(pl.client, name, day_no)
+            {
+                continue;
+            }
+            day.record(name, client.ip);
+            if collect_votes {
+                let cell = self.votes.entry((client.ip, pl.site)).or_default();
+                cell.queries += 1;
+                cell.day_mask |= day_bit;
+            }
+        }
+        for tp in &traffic.third_party {
+            let client = &world.clients[tp.client.index()];
+            if client.resolver != self.resolver || !tp.dns_fresh {
+                continue;
+            }
+            let name = QueriedName::Host(tp.site, tp.host_idx);
+            if world.config.mechanisms.dns_ttl_distortion
+                && !self.reaches_resolver(tp.client, name, day_no)
+            {
+                continue;
+            }
+            day.record(name, client.ip);
+            if collect_votes {
+                let cell = self.votes.entry((client.ip, tp.site)).or_default();
+                cell.queries += 1;
+                cell.day_mask |= day_bit;
+            }
+        }
+        for bg in &traffic.background {
+            let client = &world.clients[bg.client.index()];
+            if client.resolver != self.resolver {
+                continue;
+            }
+            // Background names have short TTLs and bypass caching (they are
+            // queried by jobs, not browsers).
+            day.record(QueriedName::Background(bg.name_idx), client.ip);
+        }
+        day.seen_ip = Default::default(); // drop scratch before storing
+        self.days.push(day);
+    }
+
+    /// Number of ingested days.
+    pub fn day_count(&self) -> usize {
+        self.days.len()
+    }
+
+    /// One day's logs.
+    pub fn day(&self, day_index: usize) -> &ResolverDay {
+        &self.days[day_index]
+    }
+
+    /// Monthly voting cells (Secrank input). Empty for the Umbrella resolver.
+    pub fn votes(&self) -> &HashMap<(u32, SiteId), VoteCell> {
+        &self.votes
+    }
+
+    /// Renders a queried name to its textual FQDN.
+    pub fn name_text(world: &World, name: QueriedName) -> String {
+        match name {
+            QueriedName::Host(site, host_idx) => {
+                world.sites[site.index()].hosts[host_idx as usize].name.as_str().to_owned()
+            }
+            QueriedName::Background(i) => world.background_names[i as usize].as_str().to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::{Country, WorldConfig};
+
+    fn setup() -> (World, DayTraffic) {
+        let w = World::generate(WorldConfig::tiny(41)).unwrap();
+        let t = w.simulate_day(0);
+        (w, t)
+    }
+
+    #[test]
+    #[should_panic(expected = "publish no popularity data")]
+    fn isp_resolver_rejected() {
+        DnsVantage::new(Resolver::Isp);
+    }
+
+    #[test]
+    fn only_own_clients_are_logged() {
+        let (w, t) = setup();
+        let mut v = DnsVantage::new(Resolver::ChinaVoting);
+        v.ingest_day(&w, &t);
+        // Every vote must come from a Chinese client IP block.
+        let china_block = (Country::China.index() as u32 + 1) << 24;
+        for ((ip, _), _) in v.votes() {
+            assert_eq!(ip >> 24, china_block >> 24, "non-Chinese IP in China resolver logs");
+        }
+    }
+
+    #[test]
+    fn cache_misses_only() {
+        let (w, t) = setup();
+        let mut v = DnsVantage::new(Resolver::Umbrella);
+        v.ingest_day(&w, &t);
+        let total = v.day(0).total_queries();
+        // Raw page loads from Umbrella clients exceed resolver queries
+        // because repeat visits are served from the stub cache.
+        let umbrella_loads = t
+            .page_loads
+            .iter()
+            .filter(|p| w.clients[p.client.index()].resolver == Resolver::Umbrella)
+            .count() as u64;
+        let umbrella_bg = t
+            .background
+            .iter()
+            .filter(|b| w.clients[b.client.index()].resolver == Resolver::Umbrella)
+            .count() as u64;
+        assert!(total <= umbrella_loads + umbrella_bg + t.third_party.len() as u64);
+        assert!(total > 0, "Umbrella resolver saw nothing");
+    }
+
+    #[test]
+    fn background_names_present() {
+        let (w, t) = setup();
+        let mut v = DnsVantage::new(Resolver::Umbrella);
+        v.ingest_day(&w, &t);
+        let has_bg = v.day(0).names().any(|(n, _)| matches!(n, QueriedName::Background(_)));
+        assert!(has_bg, "background DNS noise should reach the resolver");
+    }
+
+    #[test]
+    fn unique_ips_bounded_by_queries() {
+        let (w, t) = setup();
+        let mut v = DnsVantage::new(Resolver::Umbrella);
+        v.ingest_day(&w, &t);
+        for (_, s) in v.day(0).names() {
+            assert!(u64::from(s.unique_ips) <= s.queries);
+            assert!(s.unique_ips >= 1);
+        }
+    }
+
+    #[test]
+    fn name_text_renders() {
+        let (w, t) = setup();
+        let mut v = DnsVantage::new(Resolver::Umbrella);
+        v.ingest_day(&w, &t);
+        for (n, _) in v.day(0).names().take(10) {
+            let text = DnsVantage::name_text(&w, *n);
+            assert!(!text.is_empty());
+            assert!(text.contains('.') || matches!(n, QueriedName::Background(_)));
+        }
+    }
+
+    #[test]
+    fn votes_accumulate_across_days() {
+        let (w, _) = setup();
+        let mut v = DnsVantage::new(Resolver::ChinaVoting);
+        v.ingest_day(&w, &w.simulate_day(0));
+        let after_one: u32 = v.votes().values().map(|c| c.day_mask.count_ones()).max().unwrap_or(0);
+        v.ingest_day(&w, &w.simulate_day(1));
+        let after_two: u32 = v.votes().values().map(|c| c.day_mask.count_ones()).max().unwrap_or(0);
+        assert!(after_two >= after_one);
+        assert!(after_two <= 2);
+        assert_eq!(v.day_count(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Observer vantage points over the simulated traffic stream.
+//!
+//! Each vantage sees only what its real-world counterpart could see:
+//!
+//! * [`cloudflare::CdnVantage`] — server-side request logs for the ~quarter of
+//!   sites the CDN proxies, folded into the paper's 21 filter × aggregation
+//!   popularity metrics (Section 3).
+//! * [`dns::DnsVantage`] — the two resolvers that publish popularity data: the
+//!   Umbrella-style enterprise resolver and the Chinese resolver feeding
+//!   Secrank. Counts queries and unique client IPs per *queried name*.
+//! * [`crawler::CrawlerVantage`] — a link-graph crawler counting referring
+//!   domains (Majestic's signal).
+//! * [`panel::PanelVantage`] — the browser-extension panel behind the
+//!   Alexa-style list (small, desktop-skewed, blind to private browsing).
+//! * [`chrome::ChromeVantage`] — opt-in browser telemetry: initiated loads,
+//!   completed loads, and time-on-site per (country, platform), plus the
+//!   origin-aggregated global view behind the public CrUX list.
+//!
+//! All vantages share the same shape: `ingest_day(&World, &DayTraffic)`
+//! incrementally, then finalize into ranked scores. None of them reads
+//! ground-truth site weights.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod cloudflare;
+pub mod crawler;
+pub mod dns;
+pub mod metrics;
+pub mod panel;
+
+pub use chrome::{ChromeMetric, ChromeVantage};
+pub use cloudflare::{CdnVantage, CfAgg, CfFilter, CfMetric};
+pub use crawler::CrawlerVantage;
+pub use dns::{DnsVantage, QueriedName};
+pub use metrics::{ranked_sites, ScoreVec};
+pub use panel::PanelVantage;

@@ -1,0 +1,176 @@
+//! The browser-extension measurement panel behind the Alexa-style ranking.
+//!
+//! The panel is small (a percent-ish of clients), skews desktop and
+//! non-China, and — critically — sees nothing from private browsing windows,
+//! where extensions are disabled by default \[15\]. Alexa's rank combines
+//! "average daily visitors and pageviews" \[3\], so the panel records both per
+//! site per day.
+
+use std::collections::{HashMap, HashSet};
+
+use topple_sim::{ClientId, DayTraffic, SiteId, World};
+
+/// One site's panel observation for one day.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PanelDayStats {
+    /// Page views by panelists.
+    pub pageviews: u32,
+    /// Distinct panelists who visited.
+    pub visitors: u32,
+}
+
+/// One day of panel data.
+#[derive(Debug, Default)]
+pub struct PanelDay {
+    per_site: HashMap<SiteId, PanelDayStats>,
+}
+
+impl PanelDay {
+    /// Iterates observed `(site, stats)`.
+    pub fn sites(&self) -> impl Iterator<Item = (&SiteId, &PanelDayStats)> {
+        self.per_site.iter()
+    }
+
+    /// Stats for one site, if observed.
+    pub fn get(&self, s: SiteId) -> Option<PanelDayStats> {
+        self.per_site.get(&s).copied()
+    }
+
+    /// Number of sites the panel saw that day.
+    pub fn site_count(&self) -> usize {
+        self.per_site.len()
+    }
+}
+
+/// The extension panel vantage.
+#[derive(Debug, Default)]
+pub struct PanelVantage {
+    days: Vec<PanelDay>,
+    panel_size: usize,
+}
+
+impl PanelVantage {
+    /// Creates an empty panel vantage.
+    pub fn new(world: &World) -> Self {
+        PanelVantage {
+            days: Vec::new(),
+            panel_size: world.clients.iter().filter(|c| c.alexa_panelist).count(),
+        }
+    }
+
+    /// Number of panelists in the population.
+    pub fn panel_size(&self) -> usize {
+        self.panel_size
+    }
+
+    /// Ingests one day of traffic.
+    pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
+        let mut day = PanelDay::default();
+        let mut visitors: HashSet<(SiteId, ClientId)> = HashSet::new();
+        for pl in &traffic.page_loads {
+            let client = &world.clients[pl.client.index()];
+            // Extensions are disabled in private windows: those loads vanish.
+            if !client.alexa_panelist || pl.private_mode {
+                continue;
+            }
+            let stats = day.per_site.entry(pl.site).or_default();
+            stats.pageviews += 1;
+            if visitors.insert((pl.site, pl.client)) {
+                stats.visitors += 1;
+            }
+        }
+        self.days.push(day);
+    }
+
+    /// Number of ingested days.
+    pub fn day_count(&self) -> usize {
+        self.days.len()
+    }
+
+    /// One day of panel data.
+    pub fn day(&self, day_index: usize) -> &PanelDay {
+        &self.days[day_index]
+    }
+
+    /// All ingested days.
+    pub fn all_days(&self) -> &[PanelDay] {
+        &self.days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::{Category, WorldConfig};
+
+    fn setup() -> (World, PanelVantage) {
+        let w = World::generate(WorldConfig::small(61)).unwrap();
+        let mut p = PanelVantage::new(&w);
+        let t = w.simulate_day(0);
+        p.ingest_day(&w, &t);
+        (w, p)
+    }
+
+    #[test]
+    fn panel_is_small() {
+        let (w, p) = setup();
+        assert!(p.panel_size() > 0);
+        assert!(p.panel_size() < w.clients.len() / 10);
+    }
+
+    #[test]
+    fn visitors_bounded_by_pageviews_and_panel() {
+        let (_, p) = setup();
+        for (_, s) in p.day(0).sites() {
+            assert!(s.visitors <= s.pageviews);
+            assert!(s.visitors as usize <= p.panel_size());
+            assert!(s.visitors >= 1);
+        }
+    }
+
+    #[test]
+    fn private_browsing_is_invisible() {
+        // Adult traffic is mostly private; the panel's adult share must be
+        // far below the true traffic share.
+        let w = World::generate(WorldConfig { n_clients: 3_000, ..WorldConfig::small(62) }).unwrap();
+        let t = w.simulate_day(0);
+        let mut p = PanelVantage::new(&w);
+        p.ingest_day(&w, &t);
+
+        let true_adult = t
+            .page_loads
+            .iter()
+            .filter(|pl| w.sites[pl.site.index()].category == Category::Adult)
+            .count() as f64
+            / t.page_loads.len() as f64;
+        let panel_total: u32 = p.day(0).sites().map(|(_, s)| s.pageviews).sum();
+        let panel_adult: u32 = p
+            .day(0)
+            .sites()
+            .filter(|(id, _)| w.sites[id.index()].category == Category::Adult)
+            .map(|(_, s)| s.pageviews)
+            .sum();
+        if panel_total > 200 && true_adult > 0.0 {
+            let panel_share = f64::from(panel_adult) / f64::from(panel_total);
+            assert!(
+                panel_share < true_adult * 0.7,
+                "panel adult share {panel_share:.4} vs true {true_adult:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_panelists_counted() {
+        let (w, p) = setup();
+        let t = w.simulate_day(0);
+        let panel_loads = t
+            .page_loads
+            .iter()
+            .filter(|pl| {
+                w.clients[pl.client.index()].alexa_panelist && !pl.private_mode
+            })
+            .count() as u32;
+        let counted: u32 = p.day(0).sites().map(|(_, s)| s.pageviews).sum();
+        assert_eq!(counted, panel_loads);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-vantage integration tests: the observers must tell a mutually
+//! consistent story about the same traffic.
+
+use topple_sim::{Resolver, World, WorldConfig};
+use topple_vantage::{
+    CdnVantage, CfAgg, CfFilter, CfMetric, ChromeVantage, CrawlerVantage, DnsVantage,
+    PanelVantage,
+};
+
+fn setup() -> (World, CdnVantage, ChromeVantage, DnsVantage, PanelVantage) {
+    let w = World::generate(WorldConfig::tiny(901)).unwrap();
+    let mut cdn = CdnVantage::new(&w);
+    let mut chrome = ChromeVantage::new(&w);
+    let mut dns = DnsVantage::new(Resolver::Umbrella);
+    let mut panel = PanelVantage::new(&w);
+    for d in 0..5 {
+        let t = w.simulate_day(d);
+        cdn.ingest_day(&w, &t);
+        chrome.ingest_day(&w, &t);
+        dns.ingest_day(&w, &t);
+        panel.ingest_day(&w, &t);
+    }
+    (w, cdn, chrome, dns, panel)
+}
+
+#[test]
+fn daily_final_accessors_are_consistent_with_monthly() {
+    let (w, cdn, ..) = setup();
+    let metrics = CfMetric::final_seven();
+    for (mi, &m) in metrics.iter().enumerate() {
+        let monthly = cdn.monthly(m);
+        for site in 0..w.sites.len() {
+            let mean_daily: f64 =
+                (0..cdn.days()).map(|d| cdn.daily_final(mi, d)[site]).sum::<f64>()
+                    / cdn.days() as f64;
+            assert!(
+                (monthly[site] - mean_daily).abs() < 1e-9,
+                "site {site} metric {mi}: monthly {} vs mean daily {mean_daily}",
+                monthly[site]
+            );
+        }
+    }
+}
+
+#[test]
+fn panel_sees_subset_of_cdn_traffic_story() {
+    // Sites the panel observed on Cloudflare must also have CDN traffic.
+    let (w, cdn, _, _, panel) = setup();
+    let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+    let monthly = cdn.monthly(m);
+    for d in 0..panel.day_count() {
+        for (site, _) in panel.day(d).sites() {
+            if w.sites[site.index()].cloudflare {
+                assert!(
+                    monthly[site.index()] > 0.0,
+                    "panel saw CF site {} but the CDN recorded nothing",
+                    w.sites[site.index()].domain
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_origins_belong_to_visited_public_sites() {
+    let (w, cdn, chrome, ..) = setup();
+    let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+    let monthly = cdn.monthly(m);
+    for (origin, _) in chrome.global_completed_list(1) {
+        let site = &w.sites[origin.0.index()];
+        assert!(site.public_web);
+        // Chrome-visible CF sites must also be CDN-visible.
+        if site.cloudflare {
+            assert!(monthly[origin.0.index()] > 0.0);
+        }
+    }
+}
+
+#[test]
+fn resolver_sees_no_more_names_than_exist() {
+    let (w, _, _, dns, _) = setup();
+    let max_names: usize =
+        w.sites.iter().map(|s| s.hosts.len()).sum::<usize>() + w.background_names.len();
+    for d in 0..dns.day_count() {
+        assert!(dns.day(d).name_count() <= max_names);
+    }
+}
+
+#[test]
+fn crawler_and_cdn_agree_on_popular_public_sites() {
+    // Among CF-served public sites, the crawler's best-linked overlap with
+    // the CDN's most-requested far above chance.
+    let (w, cdn, ..) = setup();
+    let crawl = CrawlerVantage::crawl(&w, 10, usize::MAX);
+    let refs = crawl.referring_domains();
+    let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+    let monthly = cdn.monthly(m);
+    let mut candidates: Vec<usize> = (0..w.sites.len())
+        .filter(|&i| w.sites[i].cloudflare && w.sites[i].public_web)
+        .collect();
+    let k = (candidates.len() / 5).max(5);
+    candidates.sort_by(|&a, &b| monthly[b].partial_cmp(&monthly[a]).unwrap());
+    let top_traffic: std::collections::HashSet<usize> =
+        candidates.iter().take(k).copied().collect();
+    candidates.sort_by(|&a, &b| refs[b].partial_cmp(&refs[a]).unwrap());
+    let top_linked: Vec<usize> = candidates.iter().take(k).copied().collect();
+    let hits = top_linked.iter().filter(|i| top_traffic.contains(i)).count();
+    // Chance overlap would be ~k * (k / candidates); require several times that.
+    let chance = k * k / candidates.len().max(1);
+    assert!(
+        hits > chance * 2,
+        "links and traffic should correlate: {hits} hits vs chance ~{chance}"
+    );
+}

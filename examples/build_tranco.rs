@@ -1,0 +1,82 @@
+//! Build a Tranco-style list from scratch and demonstrate why aggregation
+//! helps: daily lists churn, the Dowdall aggregate doesn't — but the aggregate
+//! inherits its inputs' biases (the paper's Section 6.4 caveat).
+//!
+//! ```sh
+//! cargo run --release --example build_tranco
+//! ```
+
+use std::collections::HashSet;
+
+use toppling::lists::{tranco, ListSource, RankedList};
+use toppling::core::Study;
+use toppling::sim::{Category, WorldConfig};
+
+fn head_set(list: &RankedList, k: usize) -> HashSet<String> {
+    list.top_names(k).map(str::to_owned).collect()
+}
+
+fn churn(a: &HashSet<String>, b: &HashSet<String>) -> usize {
+    a.symmetric_difference(b).count()
+}
+
+fn main() {
+    let study = Study::run(WorldConfig::small(23)).expect("valid config");
+    let k = 100;
+
+    // Day-over-day churn of the daily Alexa snapshots…
+    let mut daily_churn = Vec::new();
+    for w in study.alexa_daily.windows(2) {
+        daily_churn.push(churn(&head_set(&w[0], k), &head_set(&w[1], k)));
+    }
+    let avg_daily: f64 = daily_churn.iter().sum::<usize>() as f64 / daily_churn.len() as f64;
+    println!("avg day-over-day churn of the Alexa top {k}: {avg_daily:.1} domains");
+
+    // …versus two Tranco aggregates built over adjacent windows.
+    let days = study.alexa_daily.len();
+    let window_a: Vec<&RankedList> = study.alexa_daily[..days - 1].iter().collect();
+    let window_b: Vec<&RankedList> = study.alexa_daily[1..].iter().collect();
+    let tranco_a = tranco::build(&window_a, 10_000);
+    let tranco_b = tranco::build(&window_b, 10_000);
+    let agg_churn = churn(&head_set(&tranco_a, k), &head_set(&tranco_b, k));
+    println!("churn of the Dowdall aggregate when the window slides one day: {agg_churn} domains");
+    assert!(
+        (agg_churn as f64) <= avg_daily.max(1.0) * 1.5,
+        "aggregation should not amplify churn"
+    );
+
+    // But aggregation does not fix bias: count adult sites in each head.
+    let adult_share = |list: &RankedList| {
+        let hits = list
+            .top_names(500)
+            .filter(|n| {
+                n.parse::<toppling::psl::DomainName>()
+                    .ok()
+                    .and_then(|d| study.world.site_by_domain(&d))
+                    .map(|s| s.category == Category::Adult)
+                    .unwrap_or(false)
+            })
+            .count();
+        100.0 * hits as f64 / 500.0
+    };
+    println!("\nadult-site share of the top 500 (universe share: {:.1}%):", Category::Adult.universe_share() * 100.0);
+    println!("  Alexa (panel, no private windows): {:.1}%", adult_share(study.alexa_daily.last().unwrap()));
+    println!("  Tranco (aggregate of biased inputs): {:.1}%", adult_share(&study.tranco));
+    let crux_hits = study
+        .crux
+        .entries
+        .iter()
+        .take(500)
+        .filter(|e| {
+            e.name
+                .split_once("://")
+                .and_then(|(_, host)| host.parse::<toppling::psl::DomainName>().ok())
+                .and_then(|d| study.world.psl.registrable_domain(&d))
+                .and_then(|d| study.world.site_by_domain(&d).map(|s| s.category == Category::Adult))
+                .unwrap_or(false)
+        })
+        .count();
+    println!("  CrUX (telemetry): {:.1}%", 100.0 * crux_hits as f64 / 500.0);
+    println!("\n(Tranco smooths churn but inherits its inputs' category bias — Section 6.4.)");
+    let _ = ListSource::Tranco;
+}

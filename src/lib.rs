@@ -1,0 +1,30 @@
+//! # Toppling Top Lists — reproduction workspace facade
+//!
+//! This crate re-exports the whole workspace behind one dependency, mirroring
+//! the structure of the paper it reproduces:
+//!
+//! *Kimberly Ruth, Deepak Kumar, Brandon Wang, Luke Valenta, Zakir Durumeric.
+//! “Toppling Top Lists: Evaluating the Accuracy of Popular Website Lists.”
+//! ACM IMC 2022.*
+//!
+//! | Module | Source crate | Contents |
+//! |---|---|---|
+//! | [`psl`] | `topple-psl` | Domain names, origins, Public Suffix List engine |
+//! | [`stats`] | `topple-stats` | Correlation, set similarity, logistic regression |
+//! | [`sim`] | `topple-sim` | Synthetic web ecosystem and traffic generator |
+//! | [`vantage`] | `topple-vantage` | CDN / DNS / crawler / panel / telemetry observers |
+//! | [`lists`] | `topple-lists` | The seven top-list construction methodologies |
+//! | [`core`] | `topple-core` | The paper's evaluation framework and experiments |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour, and the
+//! `topple-experiments` binary for regenerating every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use topple_core as core;
+pub use topple_lists as lists;
+pub use topple_psl as psl;
+pub use topple_sim as sim;
+pub use topple_stats as stats;
+pub use topple_vantage as vantage;

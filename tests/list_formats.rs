@@ -1,0 +1,98 @@
+//! Cross-crate integration: list formats, normalization, and the Table 1/2
+//! pipeline on a shared study.
+
+use std::sync::OnceLock;
+
+use toppling::core::{coverage, psl_dev, Study};
+use toppling::lists::{normalize_ranked, ListSource, RankedList};
+use toppling::sim::WorldConfig;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(WorldConfig::small(808)).expect("study runs"))
+}
+
+#[test]
+fn every_list_serializes_and_reparses() {
+    let s = study();
+    for list in [&s.tranco, &s.trexa, &s.majestic, &s.secrank] {
+        let csv = list.to_csv();
+        let back = RankedList::from_csv(list.source, &csv).unwrap();
+        assert_eq!(&back, list);
+    }
+    for daily in [&s.alexa_daily, &s.umbrella_daily] {
+        let last = daily.last().unwrap();
+        let back = RankedList::from_csv(last.source, &last.to_csv()).unwrap();
+        assert_eq!(&back, last);
+    }
+    // CrUX serializes as origin,bucket lines.
+    let crux_csv = s.crux.to_csv();
+    assert!(crux_csv.lines().count() == s.crux.len());
+    for line in crux_csv.lines().take(10) {
+        let (origin, bucket) = line.rsplit_once(',').unwrap();
+        assert!(origin.contains("://"));
+        assert!(bucket.parse::<u32>().is_ok());
+    }
+}
+
+#[test]
+fn ranks_are_dense_and_unique_in_every_ranked_list() {
+    let s = study();
+    for list in [&s.tranco, &s.trexa, &s.majestic, &s.secrank] {
+        for (i, e) in list.entries.iter().enumerate() {
+            assert_eq!(e.rank, i as u32 + 1, "{:?} rank gap at {i}", list.source);
+        }
+        let names: std::collections::HashSet<&str> =
+            list.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names.len(), list.len(), "{:?} has duplicate names", list.source);
+    }
+}
+
+#[test]
+fn umbrella_is_fqdn_shaped_and_others_are_domain_shaped() {
+    let s = study();
+    let dev = |l: &RankedList| normalize_ranked(&s.world.psl, l).deviation_percent();
+    assert!(dev(s.umbrella_daily.last().unwrap()) > 40.0);
+    assert!(dev(&s.majestic) < 5.0);
+    assert!(dev(&s.secrank) < 5.0);
+    assert!(dev(&s.tranco) < 5.0);
+}
+
+#[test]
+fn coverage_and_deviation_tables_are_complete() {
+    let s = study();
+    let t1 = coverage::table1(s);
+    let t2 = psl_dev::table2(s);
+    assert_eq!(t1.len(), ListSource::ALL.len());
+    assert_eq!(t2.len(), ListSource::ALL.len());
+    let mags = s.magnitudes().len();
+    for row in &t1 {
+        assert_eq!(row.cells.len(), mags);
+    }
+    for row in &t2 {
+        assert_eq!(row.cells.len(), mags);
+    }
+    // Coverage at the full magnitude should hover near the configured CDN
+    // share for the broad lists.
+    let full = |src: ListSource| {
+        t1.iter().find(|r| r.source == src).unwrap().cells.last().unwrap().2
+    };
+    for src in [ListSource::Tranco, ListSource::Umbrella, ListSource::Crux] {
+        let pct = full(src);
+        assert!(
+            (10.0..=45.0).contains(&pct),
+            "{src} full-list CF coverage {pct:.1}% far from the ~25% CDN share"
+        );
+    }
+}
+
+#[test]
+fn normalized_lists_agree_with_raw_heads() {
+    // The #1 entry of each domain-shaped list survives normalization at #1.
+    let s = study();
+    for list in [&s.majestic, &s.secrank] {
+        let norm = normalize_ranked(&s.world.psl, list);
+        assert_eq!(norm.entries[0].0.as_str(), list.entries[0].name);
+        assert_eq!(norm.entries[0].1, 1);
+    }
+}
