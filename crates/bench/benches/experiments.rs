@@ -16,13 +16,17 @@ fn heat_k(study: &topple_core::Study) -> usize {
 fn bench_tables(c: &mut Criterion) {
     let s = small_study();
     let k = heat_k(s);
-    c.bench_function("table1_coverage", |b| b.iter(|| black_box(coverage::table1(s))));
+    c.bench_function("table1_coverage", |b| {
+        b.iter(|| black_box(coverage::table1(s)))
+    });
     c.bench_function("table2_psl", |b| b.iter(|| black_box(psl_dev::table2(s))));
     let mut g = c.benchmark_group("slow_tables");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
     g.warm_up_time(Duration::from_secs(2));
-    g.bench_function("table3_logit", |b| b.iter(|| black_box(category::table3(s, k))));
+    g.bench_function("table3_logit", |b| {
+        b.iter(|| black_box(category::table3(s, k)))
+    });
     g.finish();
 }
 
@@ -36,17 +40,27 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig1_intra_cf", |b| {
         b.iter(|| black_box(consistency::intra_cloudflare_final(s, k)))
     });
-    g.bench_function("fig2_list_eval", |b| b.iter(|| black_box(listeval::figure2(s, k))));
-    g.bench_function("fig3_temporal", |b| b.iter(|| black_box(temporal::figure3(s, k))));
-    g.bench_function("fig4_platform", |b| b.iter(|| black_box(bias::figure4(s, k))));
+    g.bench_function("fig2_list_eval", |b| {
+        b.iter(|| black_box(listeval::figure2(s, k)))
+    });
+    g.bench_function("fig3_temporal", |b| {
+        b.iter(|| black_box(temporal::figure3(s, k)))
+    });
+    g.bench_function("fig4_platform", |b| {
+        b.iter(|| black_box(bias::figure4(s, k)))
+    });
     g.bench_function("fig5_movement", |b| {
         b.iter(|| {
             black_box(movement::figure5(s, ListSource::Alexa));
             black_box(movement::figure5(s, ListSource::Crux));
         })
     });
-    g.bench_function("fig6_intra_chrome", |b| b.iter(|| black_box(consistency::intra_chrome(s, k))));
-    g.bench_function("fig7_country", |b| b.iter(|| black_box(bias::figure7(s, k))));
+    g.bench_function("fig6_intra_chrome", |b| {
+        b.iter(|| black_box(consistency::intra_chrome(s, k)))
+    });
+    g.bench_function("fig7_country", |b| {
+        b.iter(|| black_box(bias::figure7(s, k)))
+    });
     g.bench_function("fig8_full_suite", |b| {
         b.iter(|| black_box(consistency::intra_cloudflare_full(s, k)))
     });

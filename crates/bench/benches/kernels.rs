@@ -70,10 +70,14 @@ fn bench_psl(c: &mut Criterion) {
 
 fn bench_alias(c: &mut Criterion) {
     let weights: Vec<f64> = (1..=100_000).map(|i| 1.0 / i as f64).collect();
-    c.bench_function("alias/build_100k", |b| b.iter(|| AliasTable::new(black_box(&weights))));
+    c.bench_function("alias/build_100k", |b| {
+        b.iter(|| AliasTable::new(black_box(&weights)))
+    });
     let table = AliasTable::new(&weights);
     let mut rng = substream(7, Stream::Traffic, 0);
-    c.bench_function("alias/sample", |b| b.iter(|| black_box(table.sample(&mut rng))));
+    c.bench_function("alias/sample", |b| {
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
 }
 
 fn bench_logit(c: &mut Criterion) {
@@ -81,7 +85,10 @@ fn bench_logit(c: &mut Criterion) {
     let n = 10_000;
     let noise = noise_vector(n, 3);
     let flags = noise_vector(n, 4);
-    let predictor: Vec<f64> = flags.iter().map(|&v| f64::from(u8::from(v < 0.1))).collect();
+    let predictor: Vec<f64> = flags
+        .iter()
+        .map(|&v| f64::from(u8::from(v < 0.1)))
+        .collect();
     let y: Vec<f64> = predictor
         .iter()
         .zip(&noise)
@@ -89,11 +96,22 @@ fn bench_logit(c: &mut Criterion) {
         .collect();
     c.bench_function("logit/fit_10k_one_predictor", |b| {
         b.iter(|| {
-            fit_with_intercept(black_box(&[predictor.clone()]), black_box(&y), LogitOptions::default())
-                .unwrap()
+            fit_with_intercept(
+                black_box(&[predictor.clone()]),
+                black_box(&y),
+                LogitOptions::default(),
+            )
+            .unwrap()
         })
     });
 }
 
-criterion_group!(benches, bench_correlation, bench_jaccard, bench_psl, bench_alias, bench_logit);
+criterion_group!(
+    benches,
+    bench_correlation,
+    bench_jaccard,
+    bench_psl,
+    bench_alias,
+    bench_logit
+);
 criterion_main!(benches);

@@ -24,7 +24,9 @@ fn bench_world_generation(c: &mut Criterion) {
 
 fn bench_traffic(c: &mut Criterion) {
     let w = tiny_world();
-    c.bench_function("traffic/simulate_day_tiny", |b| b.iter(|| black_box(w.simulate_day(0))));
+    c.bench_function("traffic/simulate_day_tiny", |b| {
+        b.iter(|| black_box(w.simulate_day(0)))
+    });
 }
 
 fn bench_vantages(c: &mut Criterion) {
@@ -98,5 +100,11 @@ fn bench_lists(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_world_generation, bench_traffic, bench_vantages, bench_lists);
+criterion_group!(
+    benches,
+    bench_world_generation,
+    bench_traffic,
+    bench_vantages,
+    bench_lists
+);
 criterion_main!(benches);

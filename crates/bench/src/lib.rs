@@ -18,12 +18,14 @@ pub const BENCH_SEED: u64 = 0xB_EEF;
 /// A lazily-built small study shared by the per-figure benchmarks.
 pub fn small_study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
+    // topple-lint: allow(unwrap): bench fixture; a broken study must abort the benchmark run
     STUDY.get_or_init(|| Study::run(WorldConfig::small(BENCH_SEED)).expect("bench study"))
 }
 
 /// A lazily-built tiny world for simulation kernels.
 pub fn tiny_world() -> &'static World {
     static WORLD: OnceLock<World> = OnceLock::new();
+    // topple-lint: allow(unwrap): bench fixture; a broken world must abort the benchmark run
     WORLD.get_or_init(|| World::generate(WorldConfig::tiny(BENCH_SEED)).expect("bench world"))
 }
 
@@ -32,7 +34,9 @@ pub fn noise_vector(n: usize, salt: u64) -> Vec<f64> {
     let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ salt;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         })
         .collect()

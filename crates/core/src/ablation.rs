@@ -17,6 +17,7 @@ use topple_psl::DomainName;
 use topple_stats::sets::jaccard;
 use topple_vantage::CfMetric;
 
+use crate::error::CoreError;
 use crate::methodology::against_cloudflare;
 use crate::study::Study;
 
@@ -33,14 +34,18 @@ pub struct NormalizationAblation {
 
 /// Measures the effect of PSL normalization on the Figure 2 comparison at
 /// magnitude `k`, against the all-requests metric.
-pub fn normalization(study: &Study, k: usize) -> Vec<NormalizationAblation> {
+pub fn normalization(study: &Study, k: usize) -> Result<Vec<NormalizationAblation>, CoreError> {
     let metric = CfMetric::final_seven()[0];
     let cf_domains = study.cf_monthly_domains(metric);
-    ListSource::ALL
+    let alexa_month = study.alexa_daily.last().ok_or(CoreError::EmptyWindow)?;
+    let umbrella_month = study.umbrella_daily.last().ok_or(CoreError::EmptyWindow)?;
+    let rows = ListSource::ALL
         .iter()
         .map(|&source| {
             let norm = study.normalized(source);
-            let normalized = against_cloudflare(study, norm, &cf_domains, k).similarity.jaccard;
+            let normalized = against_cloudflare(study, norm, &cf_domains, k)
+                .similarity
+                .jaccard;
 
             // Raw variant: take the list's top-k published names verbatim
             // and skip the PSL grouping step. The cf_ray probe still works
@@ -48,17 +53,17 @@ pub fn normalization(study: &Study, k: usize) -> Vec<NormalizationAblation> {
             // processing), but the published strings — FQDNs, origins — are
             // intersected with Cloudflare's domain names as-is.
             let raw_names: Vec<String> = match source {
-                ListSource::Alexa => collect_raw(study.alexa_daily.last().expect("days"), k),
-                ListSource::Umbrella => {
-                    collect_raw(study.umbrella_daily.last().expect("days"), k)
-                }
+                ListSource::Alexa => collect_raw(alexa_month, k),
+                ListSource::Umbrella => collect_raw(umbrella_month, k),
                 ListSource::Majestic => collect_raw(&study.majestic, k),
                 ListSource::Secrank => collect_raw(&study.secrank, k),
                 ListSource::Tranco => collect_raw(&study.tranco, k),
                 ListSource::Trexa => collect_raw(&study.trexa, k),
-                ListSource::Crux => {
-                    study.crux.names_within(k as u32).map(str::to_owned).collect()
-                }
+                ListSource::Crux => study
+                    .crux
+                    .names_within(k as u32)
+                    .map(str::to_owned)
+                    .collect(),
             };
             let raw_cf: Vec<String> = raw_names
                 .into_iter()
@@ -73,13 +78,21 @@ pub fn normalization(study: &Study, k: usize) -> Vec<NormalizationAblation> {
                 })
                 .collect();
             let n = raw_cf.len();
-            let cf_set: HashSet<&str> =
-                cf_domains.iter().take(n).map(|d| d.as_str()).collect();
+            let cf_set: HashSet<&str> = cf_domains.iter().take(n).map(|d| d.as_str()).collect();
             let raw_set: HashSet<&str> = raw_cf.iter().map(String::as_str).collect();
-            let raw = if n == 0 { 0.0 } else { jaccard(&raw_set, &cf_set) };
-            NormalizationAblation { source, normalized, raw }
+            let raw = if n == 0 {
+                0.0
+            } else {
+                jaccard(&raw_set, &cf_set)
+            };
+            NormalizationAblation {
+                source,
+                normalized,
+                raw,
+            }
         })
-        .collect()
+        .collect();
+    Ok(rows)
 }
 
 fn collect_raw(list: &topple_lists::RankedList, k: usize) -> Vec<String> {
@@ -103,7 +116,9 @@ pub fn tranco_window(study: &Study, windows: &[usize], k: usize) -> Vec<(usize, 
             }
             let list = tranco::build(&inputs, study.world.sites.len());
             let norm = normalize_ranked(&study.world.psl, &list);
-            let ji = against_cloudflare(study, &norm, &cf_domains, k).similarity.jaccard;
+            let ji = against_cloudflare(study, &norm, &cf_domains, k)
+                .similarity
+                .jaccard;
             (w, ji)
         })
         .collect()
@@ -113,8 +128,7 @@ pub fn tranco_window(study: &Study, windows: &[usize], k: usize) -> Vec<(usize, 
 pub fn crux_threshold(study: &Study, thresholds: &[u32], k: usize) -> Vec<(u32, usize, f64)> {
     let metric = CfMetric::final_seven()[0];
     let cf_domains = study.cf_monthly_domains(metric);
-    let magnitudes: Vec<usize> =
-        study.magnitudes().iter().map(|&(_, m)| m).collect();
+    let magnitudes: Vec<usize> = study.magnitudes().iter().map(|&(_, m)| m).collect();
     thresholds
         .iter()
         .map(|&t| {
@@ -122,16 +136,23 @@ pub fn crux_threshold(study: &Study, thresholds: &[u32], k: usize) -> Vec<(u32, 
             let ranked = study.chrome.global_completed_list(t);
             let mut entries = Vec::new();
             for (pos, (origin, _)) in ranked.iter().enumerate() {
-                let Some(&bucket) = magnitudes.iter().find(|&&m| pos < m) else { break };
+                let Some(&bucket) = magnitudes.iter().find(|&&m| pos < m) else {
+                    break;
+                };
                 entries.push(topple_lists::BucketedEntry {
                     name: topple_vantage::ChromeVantage::origin_text(&study.world, *origin),
                     bucket: bucket as u32,
                 });
             }
-            let list = topple_lists::BucketedList { source: ListSource::Crux, entries };
+            let list = topple_lists::BucketedList {
+                source: ListSource::Crux,
+                entries,
+            };
             let len = list.len();
             let norm = topple_lists::normalize_bucketed(&study.world.psl, &list);
-            let ji = against_cloudflare(study, &norm, &cf_domains, k).similarity.jaccard;
+            let ji = against_cloudflare(study, &norm, &cf_domains, k)
+                .similarity
+                .jaccard;
             (t, len, ji)
         })
         .collect()
@@ -152,7 +173,7 @@ mod tests {
         // dramatically for Umbrella (FQDNs) and CrUX (origins).
         let s = study();
         let k = s.world.sites.len() / 10;
-        let rows = normalization(&s, k);
+        let rows = normalization(&s, k).unwrap();
         for row in &rows {
             assert!(
                 row.normalized >= row.raw - 0.05,
@@ -162,7 +183,10 @@ mod tests {
                 row.raw
             );
         }
-        let umbrella = rows.iter().find(|r| r.source == ListSource::Umbrella).unwrap();
+        let umbrella = rows
+            .iter()
+            .find(|r| r.source == ListSource::Umbrella)
+            .unwrap();
         assert!(
             umbrella.normalized > umbrella.raw + 0.05,
             "Umbrella must benefit materially: {:.3} vs {:.3}",
@@ -179,7 +203,10 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         let first = sweep.first().unwrap().1;
         let last = sweep.last().unwrap().1;
-        assert!(last >= first - 0.05, "28-day window ({last:.3}) vs 1-day ({first:.3})");
+        assert!(
+            last >= first - 0.05,
+            "28-day window ({last:.3}) vs 1-day ({first:.3})"
+        );
     }
 
     #[test]
@@ -188,7 +215,10 @@ mod tests {
         let k = s.world.sites.len() / 10;
         let sweep = crux_threshold(&s, &[1, 3, 10, 30], k);
         for pair in sweep.windows(2) {
-            assert!(pair[1].1 <= pair[0].1, "higher threshold must not grow the list");
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "higher threshold must not grow the list"
+            );
         }
         // At an absurd threshold the list collapses.
         let harsh = crux_threshold(&s, &[10_000], k);

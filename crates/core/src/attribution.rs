@@ -10,6 +10,7 @@ use topple_lists::ListSource;
 use topple_sim::{Mechanisms, WorldConfig};
 use topple_vantage::CfMetric;
 
+use crate::error::CoreError;
 use crate::listeval;
 use crate::study::Study;
 
@@ -26,9 +27,13 @@ pub struct AttributionRow {
     pub crux_ji: f64,
 }
 
-fn mean_ji(ev: &listeval::ListEvaluation, src: ListSource) -> f64 {
-    let i = ev.lists.iter().position(|&x| x == src).expect("list present");
-    ev.jaccard[i].iter().sum::<f64>() / ev.jaccard[i].len() as f64
+fn mean_ji(ev: &listeval::ListEvaluation, src: ListSource) -> Result<f64, CoreError> {
+    let i = ev
+        .lists
+        .iter()
+        .position(|&x| x == src)
+        .ok_or(CoreError::MissingList(src))?;
+    Ok(ev.jaccard[i].iter().sum::<f64>() / ev.jaccard[i].len() as f64)
 }
 
 /// Runs the attribution study: the baseline world plus one world per
@@ -36,37 +41,55 @@ fn mean_ji(ev: &listeval::ListEvaluation, src: ListSource) -> f64 {
 ///
 /// `base` supplies seed and scale; each scenario re-runs the full pipeline,
 /// so prefer small configurations.
-pub fn mechanism_attribution(base: WorldConfig) -> Vec<AttributionRow> {
+pub fn mechanism_attribution(base: WorldConfig) -> Result<Vec<AttributionRow>, CoreError> {
     let scenarios: [(&'static str, Mechanisms); 5] = [
         ("baseline (all mechanisms on)", Mechanisms::default()),
-        ("no Certify inflation", Mechanisms { certify: false, ..Mechanisms::default() }),
+        (
+            "no Certify inflation",
+            Mechanisms {
+                certify: false,
+                ..Mechanisms::default()
+            },
+        ),
         (
             "no private browsing",
-            Mechanisms { private_browsing: false, ..Mechanisms::default() },
+            Mechanisms {
+                private_browsing: false,
+                ..Mechanisms::default()
+            },
         ),
         (
             "no panel demographic aversion",
-            Mechanisms { panel_aversion: false, ..Mechanisms::default() },
+            Mechanisms {
+                panel_aversion: false,
+                ..Mechanisms::default()
+            },
         ),
         (
             "no DNS TTL distortion",
-            Mechanisms { dns_ttl_distortion: false, ..Mechanisms::default() },
+            Mechanisms {
+                dns_ttl_distortion: false,
+                ..Mechanisms::default()
+            },
         ),
     ];
     scenarios
         .into_iter()
         .map(|(scenario, mechanisms)| {
-            let config = WorldConfig { mechanisms, ..base.clone() };
-            let study = Study::run(config).expect("attribution world runs");
+            let config = WorldConfig {
+                mechanisms,
+                ..base.clone()
+            };
+            let study = Study::run(config)?;
             let mags = study.magnitudes();
             let k = mags[mags.len().saturating_sub(2)].1;
             let ev = listeval::figure2(&study, k);
-            AttributionRow {
+            Ok(AttributionRow {
                 scenario,
-                alexa_ji: mean_ji(&ev, ListSource::Alexa),
-                umbrella_ji: mean_ji(&ev, ListSource::Umbrella),
-                crux_ji: mean_ji(&ev, ListSource::Crux),
-            }
+                alexa_ji: mean_ji(&ev, ListSource::Alexa)?,
+                umbrella_ji: mean_ji(&ev, ListSource::Umbrella)?,
+                crux_ji: mean_ji(&ev, ListSource::Crux)?,
+            })
         })
         .collect()
 }
@@ -83,7 +106,7 @@ mod tests {
 
     #[test]
     fn disabling_mechanisms_improves_the_affected_list() {
-        let rows = mechanism_attribution(WorldConfig::tiny(701));
+        let rows = mechanism_attribution(WorldConfig::tiny(701)).unwrap();
         assert_eq!(rows.len(), 5);
         let baseline = &rows[0];
         let no_certify = &rows[1];
@@ -114,7 +137,10 @@ mod tests {
         use topple_sim::World;
         let a = World::generate(WorldConfig::tiny(702)).unwrap();
         let b = World::generate(WorldConfig {
-            mechanisms: Mechanisms { certify: false, ..Mechanisms::default() },
+            mechanisms: Mechanisms {
+                certify: false,
+                ..Mechanisms::default()
+            },
             ..WorldConfig::tiny(702)
         })
         .unwrap();

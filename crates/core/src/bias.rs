@@ -17,7 +17,10 @@ use crate::study::Study;
 
 /// Lists evaluated in the bias analyses (everything but CrUX).
 pub fn bias_lists() -> Vec<ListSource> {
-    ListSource::ALL.into_iter().filter(|&s| s != ListSource::Crux).collect()
+    ListSource::ALL
+        .into_iter()
+        .filter(|&s| s != ListSource::Crux)
+        .collect()
 }
 
 /// One cell of the platform/country bias analysis.
@@ -79,16 +82,26 @@ fn cell_similarity(
 fn average_cells(samples: &[(f64, f64)]) -> BiasCell {
     let n = samples.len() as f64;
     if samples.is_empty() {
-        return BiasCell { jaccard: f64::NAN, spearman: f64::NAN };
+        return BiasCell {
+            jaccard: f64::NAN,
+            spearman: f64::NAN,
+        };
     }
     let j = samples.iter().map(|s| s.0).sum::<f64>() / n;
-    let rhos: Vec<f64> = samples.iter().map(|s| s.1).filter(|v| !v.is_nan()).collect();
+    let rhos: Vec<f64> = samples
+        .iter()
+        .map(|s| s.1)
+        .filter(|v| !v.is_nan())
+        .collect();
     let r = if rhos.is_empty() {
         f64::NAN
     } else {
         rhos.iter().sum::<f64>() / rhos.len() as f64
     };
-    BiasCell { jaccard: j, spearman: r }
+    BiasCell {
+        jaccard: j,
+        spearman: r,
+    }
 }
 
 /// Computes Figure 4 (platform bias) using completed page loads at
@@ -102,15 +115,17 @@ pub fn figure4(study: &Study, k: usize) -> PlatformBias {
         for &p in &platforms {
             let samples: Vec<(f64, f64)> = Country::EVALUATED
                 .iter()
-                .filter_map(|&c| {
-                    cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k)
-                })
+                .filter_map(|&c| cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k))
                 .collect();
             row.push(average_cells(&samples));
         }
         cells.push(row);
     }
-    PlatformBias { lists, platforms, cells }
+    PlatformBias {
+        lists,
+        platforms,
+        cells,
+    }
 }
 
 /// Computes Figure 7 (country bias) using completed page loads at
@@ -124,15 +139,17 @@ pub fn figure7(study: &Study, k: usize) -> CountryBias {
         for &c in &countries {
             let samples: Vec<(f64, f64)> = [Platform::Windows, Platform::Android]
                 .iter()
-                .filter_map(|&p| {
-                    cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k)
-                })
+                .filter_map(|&p| cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k))
                 .collect();
             row.push(average_cells(&samples));
         }
         cells.push(row);
     }
-    CountryBias { lists, countries, cells }
+    CountryBias {
+        lists,
+        countries,
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -196,8 +213,16 @@ mod tests {
     fn secrank_matches_china_best() {
         let s = study();
         let f7 = figure7(&s, s.world.sites.len() / 10);
-        let li = f7.lists.iter().position(|&l| l == ListSource::Secrank).unwrap();
-        let ci = f7.countries.iter().position(|&c| c == Country::China).unwrap();
+        let li = f7
+            .lists
+            .iter()
+            .position(|&l| l == ListSource::Secrank)
+            .unwrap();
+        let ci = f7
+            .countries
+            .iter()
+            .position(|&c| c == Country::China)
+            .unwrap();
         let china = f7.cells[li][ci].jaccard;
         let others_max = f7.cells[li]
             .iter()

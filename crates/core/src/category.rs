@@ -14,6 +14,7 @@ use topple_sim::Category;
 use topple_stats::logit::{fit_with_intercept, LogitOptions};
 use topple_vantage::{CfAgg, CfFilter, CfMetric};
 
+use crate::error::CoreError;
 use crate::study::Study;
 
 /// Odds ratio of inclusion for one (list, category) pair.
@@ -41,22 +42,24 @@ pub struct CategoryColumn {
 
 /// Computes Table 3 at Cloudflare magnitude `k` (the paper uses the top
 /// 100K, i.e. the second-largest scaled magnitude, on a single day).
-pub fn table3(study: &Study, k: usize) -> Vec<CategoryColumn> {
+pub fn table3(study: &Study, k: usize) -> Result<Vec<CategoryColumn>, CoreError> {
     // Cloudflare's reference set: top-k domains by day-one all-HTTP-requests.
-    let day = study.cdn.first_day().expect("a day was ingested");
-    let scores = day.metric(CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw });
+    let day = study.cdn.first_day().ok_or(CoreError::EmptyWindow)?;
+    let scores = day.metric(CfMetric {
+        filter: CfFilter::AllRequests,
+        agg: CfAgg::Raw,
+    });
     let cf_top: Vec<usize> = topple_vantage::ranked_sites(scores)
         .into_iter()
         .take(k)
         .map(|(site, _)| site.index())
         .collect();
 
-    ListSource::ALL
+    let columns = ListSource::ALL
         .iter()
         .map(|&source| {
             let list = study.normalized(source);
-            let member: HashSet<&str> =
-                list.entries.iter().map(|(d, _)| d.as_str()).collect();
+            let member: HashSet<&str> = list.entries.iter().map(|(d, _)| d.as_str()).collect();
             // Outcome per CF-top domain: included in the list anywhere?
             let outcomes: Vec<f64> = cf_top
                 .iter()
@@ -65,25 +68,35 @@ pub fn table3(study: &Study, k: usize) -> Vec<CategoryColumn> {
                     f64::from(u8::from(member.contains(domain)))
                 })
                 .collect();
-            let categories: Vec<Category> =
-                cf_top.iter().map(|&i| study.world.sites[i].category).collect();
+            let categories: Vec<Category> = cf_top
+                .iter()
+                .map(|&i| study.world.sites[i].category)
+                .collect();
             let rows = Category::ALL
                 .iter()
                 .map(|&cat| one_category(&outcomes, &categories, cat))
                 .collect();
             CategoryColumn { source, rows }
         })
-        .collect()
+        .collect();
+    Ok(columns)
 }
 
 fn one_category(outcomes: &[f64], categories: &[Category], cat: Category) -> CategoryOdds {
-    let predictor: Vec<f64> =
-        categories.iter().map(|&c| f64::from(u8::from(c == cat))).collect();
+    let predictor: Vec<f64> = categories
+        .iter()
+        .map(|&c| f64::from(u8::from(c == cat)))
+        .collect();
     // Degenerate designs (category absent, or all outcomes one class within
     // reachable data) are reported as insignificant, like the paper's dashes.
-    let has_both_pred = predictor.iter().any(|&v| v == 1.0) && predictor.iter().any(|&v| v == 0.0);
+    let has_both_pred = predictor.contains(&1.0) && predictor.contains(&0.0);
     if !has_both_pred {
-        return CategoryOdds { category: cat, odds_ratio: f64::NAN, p_value: 1.0, significant: false };
+        return CategoryOdds {
+            category: cat,
+            odds_ratio: f64::NAN,
+            p_value: 1.0,
+            significant: false,
+        };
     }
     match fit_with_intercept(&[predictor], outcomes, LogitOptions::default()) {
         Ok(fit) => {
@@ -117,7 +130,7 @@ mod tests {
     #[test]
     fn all_lists_and_categories_present() {
         let s = study();
-        let t = table3(&s, s.world.sites.len() / 10);
+        let t = table3(&s, s.world.sites.len() / 10).unwrap();
         assert_eq!(t.len(), 7);
         for col in &t {
             assert_eq!(col.rows.len(), Category::COUNT);
@@ -127,7 +140,7 @@ mod tests {
     #[test]
     fn odds_ratios_are_positive_when_defined() {
         let s = study();
-        let t = table3(&s, s.world.sites.len() / 10);
+        let t = table3(&s, s.world.sites.len() / 10).unwrap();
         for col in &t {
             for row in &col.rows {
                 if row.odds_ratio.is_finite() {
@@ -144,7 +157,7 @@ mod tests {
         // show odds ratios below 1 (or be absent) for Alexa, while CrUX
         // should include them at materially better odds.
         let s = study();
-        let t = table3(&s, s.world.sites.len() / 10);
+        let t = table3(&s, s.world.sites.len() / 10).unwrap();
         let get = |src: ListSource, cat: Category| -> f64 {
             t.iter()
                 .find(|c| c.source == src)

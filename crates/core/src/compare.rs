@@ -21,8 +21,11 @@ pub fn jaccard_domains(a: &[&DomainName], b: &[&DomainName]) -> f64 {
 /// "operates on only their intersection"). Returns `None` when the
 /// intersection is too small (< 3) or degenerate.
 pub fn spearman_intersection(a: &[&DomainName], b: &[&DomainName]) -> Option<Spearman> {
-    let pos_a: HashMap<&str, f64> =
-        a.iter().enumerate().map(|(i, d)| (d.as_str(), i as f64 + 1.0)).collect();
+    let pos_a: HashMap<&str, f64> = a
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.as_str(), i as f64 + 1.0))
+        .collect();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for (i, d) in b.iter().enumerate() {
@@ -98,7 +101,9 @@ mod tests {
         // b shares only 4 of a's domains, in the same relative order, plus
         // noise entries that must not affect the result.
         let a = doms(&["a.com", "b.com", "c.com", "d.com"]);
-        let b = doms(&["x.com", "a.com", "y.com", "b.com", "c.com", "z.com", "d.com"]);
+        let b = doms(&[
+            "x.com", "a.com", "y.com", "b.com", "c.com", "z.com", "d.com",
+        ]);
         let s = spearman_intersection(&refs(&a), &refs(&b)).unwrap();
         assert!((s.rho - 1.0).abs() < 1e-12);
         assert_eq!(s.n, 4);

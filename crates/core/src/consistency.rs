@@ -9,9 +9,10 @@
 
 use topple_psl::DomainName;
 use topple_sim::{Country, Platform};
-use topple_vantage::{ChromeMetric, CfMetric, ScoreVec};
+use topple_vantage::{CfMetric, ChromeMetric, ScoreVec};
 
 use crate::compare::similarity;
+use crate::error::CoreError;
 use crate::study::Study;
 
 /// A labelled square similarity matrix.
@@ -46,7 +47,11 @@ impl ConsistencyMatrix {
 }
 
 /// Builds a consistency matrix from per-metric best-first domain rankings.
-pub fn matrix_from_rankings(labels: Vec<String>, rankings: &[Vec<DomainName>], k: usize) -> ConsistencyMatrix {
+pub fn matrix_from_rankings(
+    labels: Vec<String>,
+    rankings: &[Vec<DomainName>],
+    k: usize,
+) -> ConsistencyMatrix {
     let n = rankings.len();
     let mut jaccard = vec![vec![0.0; n]; n];
     let mut spearman = vec![vec![f64::NAN; n]; n];
@@ -64,21 +69,28 @@ pub fn matrix_from_rankings(labels: Vec<String>, rankings: &[Vec<DomainName>], k
             spearman[i][j] = sim.spearman.map(|s| s.rho).unwrap_or(f64::NAN);
         }
     }
-    ConsistencyMatrix { labels, jaccard, spearman, k }
+    ConsistencyMatrix {
+        labels,
+        jaccard,
+        spearman,
+        k,
+    }
 }
 
 /// Figure 1: the paper's seven Cloudflare metrics on month-averaged data.
 pub fn intra_cloudflare_final(study: &Study, k: usize) -> ConsistencyMatrix {
     let metrics = CfMetric::final_seven();
-    let rankings: Vec<Vec<DomainName>> =
-        metrics.iter().map(|&m| study.cf_monthly_domains(m)).collect();
+    let rankings: Vec<Vec<DomainName>> = metrics
+        .iter()
+        .map(|&m| study.cf_monthly_domains(m))
+        .collect();
     matrix_from_rankings(metrics.iter().map(|m| m.label()).collect(), &rankings, k)
 }
 
 /// Figure 8: all 21 filter-aggregation combinations on the first day.
-pub fn intra_cloudflare_full(study: &Study, k: usize) -> ConsistencyMatrix {
+pub fn intra_cloudflare_full(study: &Study, k: usize) -> Result<ConsistencyMatrix, CoreError> {
     let metrics = CfMetric::full_suite();
-    let day = study.cdn.first_day().expect("at least one day ingested");
+    let day = study.cdn.first_day().ok_or(CoreError::EmptyWindow)?;
     let rankings: Vec<Vec<DomainName>> = metrics
         .iter()
         .map(|&m| {
@@ -90,7 +102,11 @@ pub fn intra_cloudflare_full(study: &Study, k: usize) -> ConsistencyMatrix {
                 .collect()
         })
         .collect();
-    matrix_from_rankings(metrics.iter().map(|m| m.label()).collect(), &rankings, k)
+    Ok(matrix_from_rankings(
+        metrics.iter().map(|m| m.label()).collect(),
+        &rankings,
+        k,
+    ))
 }
 
 /// Figure 6: intra-Chrome consistency — pairwise similarity of the three
@@ -107,9 +123,7 @@ pub fn intra_chrome(study: &Study, k: usize) -> ConsistencyMatrix {
             // Per-cell rankings, normalized to domains.
             let rankings: Vec<Vec<DomainName>> = metrics
                 .iter()
-                .map(|&m| {
-                    chrome_cell_domains(study, country, platform, m, threshold)
-                })
+                .map(|&m| chrome_cell_domains(study, country, platform, m, threshold))
                 .collect();
             if rankings.iter().any(|r| r.len() < 10) {
                 continue; // cell too thin to compare
@@ -122,7 +136,11 @@ pub fn intra_chrome(study: &Study, k: usize) -> ConsistencyMatrix {
             for i in 0..n {
                 for j in 0..n {
                     jaccard_sum[i][j] += m.jaccard[i][j];
-                    spearman_sum[i][j] += if m.spearman[i][j].is_nan() { 0.0 } else { m.spearman[i][j] };
+                    spearman_sum[i][j] += if m.spearman[i][j].is_nan() {
+                        0.0
+                    } else {
+                        m.spearman[i][j]
+                    };
                 }
             }
             cells += 1.0;
@@ -150,7 +168,9 @@ pub fn chrome_cell_domains(
     metric: ChromeMetric,
     privacy_threshold: u32,
 ) -> Vec<DomainName> {
-    let list = study.chrome.country_platform_list(country, platform, metric, privacy_threshold);
+    let list = study
+        .chrome
+        .country_platform_list(country, platform, metric, privacy_threshold);
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for ((site, _host), _score) in list {
@@ -188,7 +208,7 @@ mod tests {
     #[test]
     fn full_suite_has_21_metrics() {
         let s = study();
-        let m = intra_cloudflare_full(&s, 40);
+        let m = intra_cloudflare_full(&s, 40).unwrap();
         assert_eq!(m.labels.len(), 21);
     }
 
@@ -196,7 +216,7 @@ mod tests {
     fn redundant_filters_correlate_strongly() {
         // Section 3.2: all-requests vs 200-only should be nearly identical.
         let s = Study::run(WorldConfig::small(222)).unwrap();
-        let m = intra_cloudflare_full(&s, 400);
+        let m = intra_cloudflare_full(&s, 400).unwrap();
         let idx_all = 0; // all-req/raw
         let idx_200 = CfMetric {
             filter: topple_vantage::CfFilter::Status200,
@@ -220,7 +240,10 @@ mod tests {
         // Index 0 = all-req/raw, index 2 = root-page/raw in final_seven order.
         let bookend_ji = m.jaccard[0][2];
         let (lo, hi) = m.jaccard_range();
-        assert!(bookend_ji <= (lo + hi) / 2.0, "bookends should sit low in the band");
+        assert!(
+            bookend_ji <= (lo + hi) / 2.0,
+            "bookends should sit low in the band"
+        );
     }
 
     #[test]
@@ -232,7 +255,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 if i != j && !m.spearman[i][j].is_nan() && m.spearman[i][j] != 0.0 {
-                    assert!(m.spearman[i][j] > 0.3, "chrome metrics should correlate: {}", m.spearman[i][j]);
+                    assert!(
+                        m.spearman[i][j] > 0.3,
+                        "chrome metrics should correlate: {}",
+                        m.spearman[i][j]
+                    );
                 }
             }
         }

@@ -28,7 +28,11 @@ pub fn table1(study: &Study) -> Vec<CoverageRow> {
                     let top = list.top_domains(k);
                     let total = top.len();
                     let cf = top.iter().filter(|d| study.world.is_cloudflare(d)).count();
-                    let pct = if total == 0 { 0.0 } else { 100.0 * cf as f64 / total as f64 };
+                    let pct = if total == 0 {
+                        0.0
+                    } else {
+                        100.0 * cf as f64 / total as f64
+                    };
                     (label, k, pct)
                 })
                 .collect();
@@ -63,6 +67,9 @@ mod tests {
             .iter()
             .filter(|r| r.cells.iter().any(|&(_, _, p)| p > 5.0))
             .count();
-        assert!(with_coverage >= 5, "only {with_coverage} lists saw CF sites");
+        assert!(
+            with_coverage >= 5,
+            "only {with_coverage} lists saw CF sites"
+        );
     }
 }

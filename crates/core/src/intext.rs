@@ -13,6 +13,7 @@
 use topple_vantage::{CfAgg, CfFilter, CfMetric};
 
 use crate::compare::similarity;
+use crate::error::CoreError;
 use crate::study::Study;
 
 /// One §3.2 redundancy pair with measured agreement.
@@ -36,39 +37,63 @@ pub struct RedundancyPair {
 
 /// Computes the Section 3.2 pairs on the first day's full metric suite at
 /// magnitude `k`.
-pub fn section_3_2(study: &Study, k: usize) -> Vec<RedundancyPair> {
-    let day = study.cdn.first_day().expect("a day was ingested");
+pub fn section_3_2(study: &Study, k: usize) -> Result<Vec<RedundancyPair>, CoreError> {
+    let day = study.cdn.first_day().ok_or(CoreError::EmptyWindow)?;
     let specs: [(&'static str, CfMetric, CfMetric, f64, f64); 4] = [
         (
             "non-200 filtering does not appreciably affect results",
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::Status200, agg: CfAgg::Raw },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::Status200,
+                agg: CfAgg::Raw,
+            },
             0.97,
             0.84,
         ),
         (
             "referer filter is similar to top-5 browsers",
-            CfMetric { filter: CfFilter::Referer, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw },
+            CfMetric {
+                filter: CfFilter::Referer,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::TopBrowsers,
+                agg: CfAgg::Raw,
+            },
             0.92,
             0.77,
         ),
         (
             "unique IP is nearly identical to unique (IP, UA)",
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::UniqueIp },
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::UniqueIpUa },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::UniqueIp,
+            },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::UniqueIpUa,
+            },
             0.99,
             0.95,
         ),
         (
             "the page-load bookends disagree most",
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::RootPage,
+                agg: CfAgg::Raw,
+            },
             0.41,
             0.28,
         ),
     ];
-    specs
+    let pairs = specs
         .into_iter()
         .map(|(claim, a, b, paper_rho, paper_ji)| {
             let ra = study.cf_ranked_domains(day.metric(a));
@@ -86,7 +111,8 @@ pub fn section_3_2(study: &Study, k: usize) -> Vec<RedundancyPair> {
                 ji: sim.jaccard,
             }
         })
-        .collect()
+        .collect();
+    Ok(pairs)
 }
 
 #[cfg(test)]
@@ -98,7 +124,7 @@ mod tests {
     fn redundancy_pairs_match_paper_shape() {
         let s = Study::run(WorldConfig::small(601)).unwrap();
         let k = s.world.sites.len() / 10;
-        let pairs = section_3_2(&s, k);
+        let pairs = section_3_2(&s, k).unwrap();
         assert_eq!(pairs.len(), 4);
         // Redundant pairs correlate strongly…
         assert!(pairs[0].rho > 0.9, "all vs 200: {}", pairs[0].rho);

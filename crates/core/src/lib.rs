@@ -33,6 +33,7 @@ pub mod category;
 pub mod compare;
 pub mod consistency;
 pub mod coverage;
+pub mod error;
 pub mod intext;
 pub mod listeval;
 pub mod manipulation;
@@ -44,5 +45,6 @@ pub mod study;
 pub mod temporal;
 
 pub use compare::{jaccard_domains, similarity, spearman_intersection, ListSimilarity};
+pub use error::CoreError;
 pub use methodology::{against_cloudflare, cf_subset, Evaluation};
 pub use study::Study;

@@ -12,6 +12,7 @@ use topple_psl::DomainName;
 use topple_stats::corr::spearman;
 use topple_vantage::CfMetric;
 
+use crate::error::CoreError;
 use crate::methodology::against_cloudflare;
 use crate::study::Study;
 
@@ -54,7 +55,7 @@ impl ListEvaluation {
             .enumerate()
             .map(|(i, &src)| (src, self.jaccard[i][metric_idx]))
             .collect();
-        order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        order.sort_by(|a, b| b.1.total_cmp(&a.1));
         order.into_iter().map(|(s, _)| s).collect()
     }
 
@@ -63,14 +64,14 @@ impl ListEvaluation {
     pub fn metric_agreement(&self) -> Vec<Vec<f64>> {
         let m = self.metrics.len();
         let mut out = vec![vec![1.0; m]; m];
-        for a in 0..m {
-            for b in 0..m {
+        for (a, row) in out.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
                 if a == b {
                     continue;
                 }
                 let xs: Vec<f64> = (0..self.lists.len()).map(|i| self.jaccard[i][a]).collect();
                 let ys: Vec<f64> = (0..self.lists.len()).map(|i| self.jaccard[i][b]).collect();
-                out[a][b] = spearman(&xs, &ys).map(|s| s.rho).unwrap_or(f64::NAN);
+                *cell = spearman(&xs, &ys).map(|s| s.rho).unwrap_or(f64::NAN);
             }
         }
         out
@@ -108,10 +109,18 @@ pub fn daily_ji_series(study: &Study, source: ListSource, metric_idx: usize, k: 
 
 /// Bootstrap 95% confidence interval on a list's window-mean Jaccard against
 /// the all-requests metric (resampling days).
-pub fn mean_ji_ci(study: &Study, source: ListSource, k: usize) -> topple_stats::bootstrap::BootstrapCi {
+pub fn mean_ji_ci(
+    study: &Study,
+    source: ListSource,
+    k: usize,
+) -> Result<topple_stats::bootstrap::BootstrapCi, CoreError> {
     let series = daily_ji_series(study, source, 0, k);
-    topple_stats::bootstrap::mean_ci(&series, 1_000, 0.05, study.world.config.seed)
-        .expect("window has >= 2 days")
+    Ok(topple_stats::bootstrap::mean_ci(
+        &series,
+        1_000,
+        0.05,
+        study.world.config.seed,
+    )?)
 }
 
 /// Evaluates every list against every final metric at magnitude `k`,
@@ -170,7 +179,13 @@ pub fn figure2(study: &Study, k: usize) -> ListEvaluation {
                 .collect()
         })
         .collect();
-    ListEvaluation { lists, metrics, jaccard, spearman: spearman_m, k }
+    ListEvaluation {
+        lists,
+        metrics,
+        jaccard,
+        spearman: spearman_m,
+        k,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +205,11 @@ mod tests {
             }
         }
         // CrUX row must be NaN in the Spearman heatmap.
-        let crux_i = ev.lists.iter().position(|&s| s == ListSource::Crux).unwrap();
+        let crux_i = ev
+            .lists
+            .iter()
+            .position(|&s| s == ListSource::Crux)
+            .unwrap();
         assert!(ev.spearman[crux_i].iter().all(|v| v.is_nan()));
     }
 
@@ -234,9 +253,18 @@ mod tests {
         for mi in 0..ev.metrics.len() {
             let order = ev.ordering_under_metric(mi);
             let crux_pos = order.iter().position(|&s| s == ListSource::Crux).unwrap();
-            let secrank_pos = order.iter().position(|&s| s == ListSource::Secrank).unwrap();
-            assert!(crux_pos <= 1, "CrUX should lead under metric {mi}: pos {crux_pos}");
-            assert!(secrank_pos >= 4, "Secrank should trail under metric {mi}: pos {secrank_pos}");
+            let secrank_pos = order
+                .iter()
+                .position(|&s| s == ListSource::Secrank)
+                .unwrap();
+            assert!(
+                crux_pos <= 1,
+                "CrUX should lead under metric {mi}: pos {crux_pos}"
+            );
+            assert!(
+                secrank_pos >= 4,
+                "Secrank should trail under metric {mi}: pos {secrank_pos}"
+            );
         }
     }
 }

@@ -48,11 +48,7 @@ pub fn inject(list: &RankedList, domain: &str, rank: u32) -> RankedList {
 /// snapshot (injecting [`ATTACKER_DOMAIN`] at `injected_rank`) for the first
 /// `days_controlled` days of the window, and the aggregate is rebuilt from
 /// otherwise-authentic inputs.
-pub fn tranco_capture(
-    study: &Study,
-    days_controlled: usize,
-    injected_rank: u32,
-) -> AttackOutcome {
+pub fn tranco_capture(study: &Study, days_controlled: usize, injected_rank: u32) -> AttackOutcome {
     let n_days = study.alexa_daily.len();
     let days_controlled = days_controlled.min(n_days);
     let forged: Vec<RankedList> = study
@@ -79,14 +75,24 @@ pub fn tranco_capture(
         inputs.push(&study.majestic);
     }
     let aggregated = tranco::build(&inputs, study.world.sites.len());
-    let attained_rank =
-        aggregated.entries.iter().find(|e| e.name == ATTACKER_DOMAIN).map(|e| e.rank);
-    AttackOutcome { days_controlled, injected_rank, attained_rank }
+    let attained_rank = aggregated
+        .entries
+        .iter()
+        .find(|e| e.name == ATTACKER_DOMAIN)
+        .map(|e| e.rank);
+    AttackOutcome {
+        days_controlled,
+        injected_rank,
+        attained_rank,
+    }
 }
 
 /// Sweeps attack durations and returns the attained Tranco rank per scenario.
 pub fn capture_sweep(study: &Study, durations: &[usize], injected_rank: u32) -> Vec<AttackOutcome> {
-    durations.iter().map(|&d| tranco_capture(study, d, injected_rank)).collect()
+    durations
+        .iter()
+        .map(|&d| tranco_capture(study, d, injected_rank))
+        .collect()
 }
 
 #[cfg(test)]
@@ -109,7 +115,11 @@ mod tests {
         assert_eq!(tail.entries.last().unwrap().name, "evil.example");
         // Injecting an already-present domain doesn't duplicate it.
         let again = inject(&forged, "evil.example", 1);
-        let count = again.entries.iter().filter(|e| e.name == "evil.example").count();
+        let count = again
+            .entries
+            .iter()
+            .filter(|e| e.name == "evil.example")
+            .count();
         assert_eq!(count, 1);
     }
 
@@ -144,6 +154,9 @@ mod tests {
         let n_days = s.alexa_daily.len();
         let outcome = tranco_capture(&s, n_days, 1);
         let attained = outcome.attained_rank.expect("charted");
-        assert!(attained <= 10, "full-window capture attained only rank {attained}");
+        assert!(
+            attained <= 10,
+            "full-window capture attained only rank {attained}"
+        );
     }
 }

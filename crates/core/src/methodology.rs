@@ -51,7 +51,11 @@ pub fn against_cloudflare(
         // Rank-magnitude lists (CrUX) cannot be rank-correlated (Section 4.4).
         sim.spearman = None;
     }
-    Evaluation { similarity: sim, cf_subset_size: n, magnitude: k }
+    Evaluation {
+        similarity: sim,
+        cf_subset_size: n,
+        magnitude: k,
+    }
 }
 
 #[cfg(test)]

@@ -52,8 +52,14 @@ fn bucket_of(position: usize, magnitudes: &[usize]) -> Option<usize> {
 
 /// Computes the bookend-agreed Cloudflare bucket per domain.
 fn cloudflare_buckets(study: &Study, magnitudes: &[usize]) -> HashMap<String, usize> {
-    let all = study.cf_monthly_domains(CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw });
-    let root = study.cf_monthly_domains(CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw });
+    let all = study.cf_monthly_domains(CfMetric {
+        filter: CfFilter::AllRequests,
+        agg: CfAgg::Raw,
+    });
+    let root = study.cf_monthly_domains(CfMetric {
+        filter: CfFilter::RootPage,
+        agg: CfAgg::Raw,
+    });
     let bucket_map = |ranking: &[DomainName]| -> HashMap<String, usize> {
         ranking
             .iter()
@@ -63,7 +69,9 @@ fn cloudflare_buckets(study: &Study, magnitudes: &[usize]) -> HashMap<String, us
     };
     let a = bucket_map(&all);
     let b = bucket_map(&root);
-    a.into_iter().filter(|(d, bucket)| b.get(d) == Some(bucket)).collect()
+    a.into_iter()
+        .filter(|(d, bucket)| b.get(d) == Some(bucket))
+        .collect()
 }
 
 /// Computes the movement report for one list.
@@ -85,7 +93,7 @@ pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
     // Overranking per list bucket: among bookend-measured domains the list
     // placed in bucket lb, how many did Cloudflare place deeper?
     let mut overranking = Vec::with_capacity(nb);
-    for lb in 0..nb {
+    for (lb, &magnitude) in magnitudes.iter().enumerate().take(nb) {
         let mut measured = 0usize;
         let mut over = 0usize;
         let mut over2 = 0usize;
@@ -104,9 +112,13 @@ pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
             }
         }
         overranking.push(BucketOverranking {
-            magnitude: magnitudes[lb],
+            magnitude,
             measured,
-            overranked: if measured > 0 { 100.0 * over as f64 / measured as f64 } else { 0.0 },
+            overranked: if measured > 0 {
+                100.0 * over as f64 / measured as f64
+            } else {
+                0.0
+            },
             overranked_two_plus: if measured > 0 {
                 100.0 * over2 as f64 / measured as f64
             } else {
@@ -115,15 +127,17 @@ pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
         });
     }
 
-    MovementReport { source, magnitudes, flows, overranking }
+    MovementReport {
+        source,
+        magnitudes,
+        flows,
+        overranking,
+    }
 }
 
 /// Bucket index per domain for a normalized list. For ordered lists the
 /// bucket comes from the position; CrUX buckets are already published.
-fn list_bucket_map<'a>(
-    list: &'a NormalizedList,
-    magnitudes: &[usize],
-) -> HashMap<&'a str, usize> {
+fn list_bucket_map<'a>(list: &'a NormalizedList, magnitudes: &[usize]) -> HashMap<&'a str, usize> {
     if list.ordered {
         list.entries
             .iter()
@@ -134,7 +148,10 @@ fn list_bucket_map<'a>(
         list.entries
             .iter()
             .filter_map(|(d, bucket)| {
-                magnitudes.iter().position(|&m| m == *bucket as usize).map(|b| (d.as_str(), b))
+                magnitudes
+                    .iter()
+                    .position(|&m| m == *bucket as usize)
+                    .map(|b| (d.as_str(), b))
             })
             .collect()
     }

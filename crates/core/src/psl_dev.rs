@@ -8,6 +8,7 @@
 
 use topple_lists::{normalize_bucketed, normalize_ranked, BucketedList, ListSource, RankedList};
 
+use crate::error::CoreError;
 use crate::study::Study;
 
 /// Deviation of one list at each magnitude.
@@ -30,29 +31,30 @@ fn ranked_deviation(study: &Study, list: &RankedList, k: usize) -> f64 {
 fn bucketed_deviation(study: &Study, list: &BucketedList, k: usize) -> f64 {
     let truncated = BucketedList {
         source: list.source,
-        entries: list.entries.iter().filter(|e| e.bucket as usize <= k).cloned().collect(),
+        entries: list
+            .entries
+            .iter()
+            .filter(|e| e.bucket as usize <= k)
+            .cloned()
+            .collect(),
     };
     normalize_bucketed(&study.world.psl, &truncated).deviation_percent()
 }
 
 /// Computes Table 2 for every list at the world's scaled magnitudes.
-pub fn table2(study: &Study) -> Vec<DeviationRow> {
+pub fn table2(study: &Study) -> Result<Vec<DeviationRow>, CoreError> {
     let magnitudes = study.magnitudes();
-    ListSource::ALL
+    let alexa_month = study.alexa_daily.last().ok_or(CoreError::EmptyWindow)?;
+    let umbrella_month = study.umbrella_daily.last().ok_or(CoreError::EmptyWindow)?;
+    let rows = ListSource::ALL
         .iter()
         .map(|&source| {
             let cells = magnitudes
                 .iter()
                 .map(|&(label, k)| {
                     let pct = match source {
-                        ListSource::Alexa => {
-                            ranked_deviation(study, study.alexa_daily.last().expect("nonempty"), k)
-                        }
-                        ListSource::Umbrella => ranked_deviation(
-                            study,
-                            study.umbrella_daily.last().expect("nonempty"),
-                            k,
-                        ),
+                        ListSource::Alexa => ranked_deviation(study, alexa_month, k),
+                        ListSource::Umbrella => ranked_deviation(study, umbrella_month, k),
                         ListSource::Majestic => ranked_deviation(study, &study.majestic, k),
                         ListSource::Secrank => ranked_deviation(study, &study.secrank, k),
                         ListSource::Tranco => ranked_deviation(study, &study.tranco, k),
@@ -64,7 +66,8 @@ pub fn table2(study: &Study) -> Vec<DeviationRow> {
                 .collect();
             DeviationRow { source, cells }
         })
-        .collect()
+        .collect();
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -75,7 +78,7 @@ mod tests {
     #[test]
     fn shape_matches_paper() {
         let s = Study::run(WorldConfig::small(241)).unwrap();
-        let rows = table2(&s);
+        let rows = table2(&s).unwrap();
         let get = |src: ListSource| -> f64 {
             rows.iter()
                 .find(|r| r.source == src)
@@ -86,18 +89,31 @@ mod tests {
                 .2
         };
         // Domain-aggregated lists deviate little…
-        for src in [ListSource::Alexa, ListSource::Majestic, ListSource::Secrank, ListSource::Trexa] {
+        for src in [
+            ListSource::Alexa,
+            ListSource::Majestic,
+            ListSource::Secrank,
+            ListSource::Trexa,
+        ] {
             assert!(get(src) < 20.0, "{src} deviates {:.1}%", get(src));
         }
         // …Umbrella (FQDNs) and CrUX (origins) deviate heavily.
-        assert!(get(ListSource::Umbrella) > 40.0, "Umbrella {:.1}%", get(ListSource::Umbrella));
-        assert!(get(ListSource::Crux) > 40.0, "CrUX {:.1}%", get(ListSource::Crux));
+        assert!(
+            get(ListSource::Umbrella) > 40.0,
+            "Umbrella {:.1}%",
+            get(ListSource::Umbrella)
+        );
+        assert!(
+            get(ListSource::Crux) > 40.0,
+            "CrUX {:.1}%",
+            get(ListSource::Crux)
+        );
     }
 
     #[test]
     fn values_are_percentages() {
         let s = Study::run(WorldConfig::tiny(242)).unwrap();
-        for row in table2(&s) {
+        for row in table2(&s).unwrap() {
             for (_, _, pct) in row.cells {
                 assert!((0.0..=100.0).contains(&pct));
             }

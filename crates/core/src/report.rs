@@ -4,7 +4,13 @@
 ///
 /// NaN cells print as `–` (the paper's "not statistically significant /
 /// not computable" marker).
-pub fn table(title: &str, cols: &[String], rows: &[String], values: &[Vec<f64>], precision: usize) -> String {
+pub fn table(
+    title: &str,
+    cols: &[String],
+    rows: &[String],
+    values: &[Vec<f64>],
+    precision: usize,
+) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');

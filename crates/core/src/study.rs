@@ -68,19 +68,31 @@ impl Study {
         let mut china_dns = DnsVantage::new(Resolver::ChinaVoting);
         let mut panel = PanelVantage::new(&world);
 
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(6);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(6);
         let mut day = 0usize;
         while day < n_days {
             let batch = (day..(day + workers).min(n_days)).collect::<Vec<_>>();
-            let traffics = crossbeam::thread::scope(|s| {
+            let traffics = std::thread::scope(|s| {
                 let world = &world;
                 let handles: Vec<_> = batch
                     .iter()
-                    .map(|&d| s.spawn(move |_| world.simulate_day(d)))
+                    .map(|&d| s.spawn(move || world.simulate_day(d)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("day simulation panicked")).collect::<Vec<_>>()
-            })
-            .expect("thread scope failed");
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(t) => t,
+                        // A worker panic is already fatal; re-raise it on the
+                        // orchestrating thread with context.
+                        #[allow(clippy::panic)]
+                        // topple-lint: allow(panic): propagating a child-thread panic, not originating one
+                        Err(_) => panic!("day simulation worker panicked"),
+                    })
+                    .collect::<Vec<_>>()
+            });
             for t in &traffics {
                 cdn.ingest_day(&world, t);
                 chrome.ingest_day(&world, t);
@@ -121,11 +133,17 @@ impl Study {
             tranco_inputs.push(&majestic);
         }
         let tranco = tranco::build(&tranco_inputs, list_len);
+        #[allow(clippy::expect_used)]
+        // topple-lint: allow(unwrap): WorldConfig::validate rejects an empty day window
         let alexa_month = alexa_daily.last().expect("window is non-empty");
         let trexa = trexa::build(&tranco, alexa_month, TREXA_ALEXA_WEIGHT, list_len);
 
-        let magnitudes: Vec<usize> =
-            world.config.rank_magnitudes().iter().map(|&(_, k)| k).collect();
+        let magnitudes: Vec<usize> = world
+            .config
+            .rank_magnitudes()
+            .iter()
+            .map(|&(_, k)| k)
+            .collect();
         let crux = crux::build(&world, &chrome, &magnitudes);
 
         // Month-representative normalized lists.
@@ -133,9 +151,15 @@ impl Study {
         normalized.insert(ListSource::Alexa, normalize_ranked(&world.psl, alexa_month));
         normalized.insert(
             ListSource::Umbrella,
-            normalize_ranked(&world.psl, &umbrella::build_monthly(&world, &umbrella_dns, list_len)),
+            normalize_ranked(
+                &world.psl,
+                &umbrella::build_monthly(&world, &umbrella_dns, list_len),
+            ),
         );
-        normalized.insert(ListSource::Majestic, normalize_ranked(&world.psl, &majestic));
+        normalized.insert(
+            ListSource::Majestic,
+            normalize_ranked(&world.psl, &majestic),
+        );
         normalized.insert(ListSource::Secrank, normalize_ranked(&world.psl, &secrank));
         normalized.insert(ListSource::Tranco, normalize_ranked(&world.psl, &tranco));
         normalized.insert(ListSource::Trexa, normalize_ranked(&world.psl, &trexa));
@@ -223,7 +247,10 @@ mod tests {
         let s = Study::run(WorldConfig::tiny(203)).unwrap();
         for m in CfMetric::final_seven() {
             for d in s.cf_monthly_domains(m).iter().take(50) {
-                assert!(s.world.is_cloudflare(d), "{d} in CF metric but not CF-served");
+                assert!(
+                    s.world.is_cloudflare(d),
+                    "{d} in CF metric but not CF-served"
+                );
             }
         }
     }

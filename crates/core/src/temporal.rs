@@ -40,8 +40,13 @@ impl TemporalSeries {
 /// Computes daily series for every list at magnitude `k`.
 pub fn figure3(study: &Study, k: usize) -> Vec<TemporalSeries> {
     let n_days = study.world.config.days.len();
-    let weekend: Vec<bool> =
-        study.world.config.days.iter().map(|d| d.weekday().is_weekend()).collect();
+    let weekend: Vec<bool> = study
+        .world
+        .config
+        .days
+        .iter()
+        .map(|d| d.weekday().is_weekend())
+        .collect();
 
     ListSource::ALL
         .iter()
@@ -51,11 +56,16 @@ pub fn figure3(study: &Study, k: usize) -> Vec<TemporalSeries> {
             for day in 0..n_days {
                 // The day's reference: CF all-HTTP-requests ranking.
                 let scores = study.cdn.daily_all_requests(day);
-                let cf_ranked: Vec<DomainName> =
-                    study.cf_ranked_domains(scores).into_iter().cloned().collect();
+                let cf_ranked: Vec<DomainName> = study
+                    .cf_ranked_domains(scores)
+                    .into_iter()
+                    .cloned()
+                    .collect();
                 // The day's list snapshot.
                 let norm = match source {
-                    ListSource::Alexa => normalize_ranked(&study.world.psl, &study.alexa_daily[day]),
+                    ListSource::Alexa => {
+                        normalize_ranked(&study.world.psl, &study.alexa_daily[day])
+                    }
                     ListSource::Umbrella => {
                         normalize_ranked(&study.world.psl, &study.umbrella_daily[day])
                     }
@@ -69,7 +79,12 @@ pub fn figure3(study: &Study, k: usize) -> Vec<TemporalSeries> {
                 jaccard.push(ev.similarity.jaccard);
                 spearman.push(ev.similarity.spearman.map(|s| s.rho).unwrap_or(f64::NAN));
             }
-            TemporalSeries { source, jaccard, spearman, weekend: weekend.clone() }
+            TemporalSeries {
+                source,
+                jaccard,
+                spearman,
+                weekend: weekend.clone(),
+            }
         })
         .collect()
 }
@@ -99,8 +114,14 @@ mod tests {
         let s = Study::run(WorldConfig::small(272)).unwrap();
         let k = s.world.sites.len() / 10;
         let series = figure3(&s, k);
-        let crux = series.iter().find(|t| t.source == ListSource::Crux).unwrap();
-        let secrank = series.iter().find(|t| t.source == ListSource::Secrank).unwrap();
+        let crux = series
+            .iter()
+            .find(|t| t.source == ListSource::Crux)
+            .unwrap();
+        let secrank = series
+            .iter()
+            .find(|t| t.source == ListSource::Secrank)
+            .unwrap();
         let days_crux_wins = crux
             .jaccard
             .iter()
@@ -116,8 +137,12 @@ mod tests {
 
     #[test]
     fn splits_computable_on_full_window() {
-        let s = Study::run(WorldConfig { n_sites: 800, n_clients: 500, ..WorldConfig::small(273) })
-            .unwrap();
+        let s = Study::run(WorldConfig {
+            n_sites: 800,
+            n_clients: 500,
+            ..WorldConfig::small(273)
+        })
+        .unwrap();
         let series = figure3(&s, 80);
         for ts in series {
             let split = ts.jaccard_split().unwrap();

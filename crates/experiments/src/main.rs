@@ -10,12 +10,23 @@
 //! EXPERIMENTS.md for paper-vs-measured).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use topple_core::Study;
+use topple_core::{CoreError, Study};
 use topple_lists::ListSource;
 use topple_sim::WorldConfig;
 
 mod render;
+
+/// Runs `f` and reports how long it took. The only wall-clock read in the
+/// workspace: timing here feeds operator progress output on stderr and never
+/// enters a result, so determinism is unaffected.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    // topple-lint: allow(wall-clock): operator progress reporting only; never part of results
+    let t0 = std::time::Instant::now();
+    let value = f();
+    (value, t0.elapsed())
+}
 
 fn usage() -> &'static str {
     "usage: topple-experiments [--scale tiny|small|medium|paper] [--seed N] \
@@ -77,23 +88,23 @@ fn main() -> ExitCode {
         config.days.len(),
         config.seed,
     );
-    let t0 = std::time::Instant::now();
-    let study = match Study::run(config) {
+    let (study, took) = timed(|| Study::run(config));
+    let study = match study {
         Ok(s) => s,
         Err(e) => {
             eprintln!("study failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("# study ready in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("# study ready in {:.1}s", took.as_secs_f64());
 
-    let run = |name: &str| -> bool {
+    let run = |name: &str| -> Result<bool, CoreError> {
         match name {
             "table1" => print!("{}", render::table1(&study)),
-            "table2" => print!("{}", render::table2(&study)),
-            "table3" => print!("{}", render::table3(&study)),
+            "table2" => print!("{}", render::table2(&study)?),
+            "table3" => print!("{}", render::table3(&study)?),
             "fig1" => print!("{}", render::fig1(&study)),
-            "fig2" => print!("{}", render::fig2(&study)),
+            "fig2" => print!("{}", render::fig2(&study)?),
             "fig3" => print!("{}", render::fig3(&study)),
             "fig4" => print!("{}", render::fig4(&study)),
             "fig5" => {
@@ -102,28 +113,47 @@ fn main() -> ExitCode {
             }
             "fig6" => print!("{}", render::fig6(&study)),
             "fig7" => print!("{}", render::fig7(&study)),
-            "fig8" => print!("{}", render::fig8(&study)),
-            "ablate" => print!("{}", render::ablations(&study)),
+            "fig8" => print!("{}", render::fig8(&study)?),
+            "ablate" => print!("{}", render::ablations(&study)?),
             "attack" => print!("{}", render::attack(&study)),
-            "intext" => print!("{}", render::intext_numbers(&study)),
-            "attribution" => print!("{}", render::attribution(&study)),
-            _ => return false,
+            "intext" => print!("{}", render::intext_numbers(&study)?),
+            "attribution" => print!("{}", render::attribution(&study)?),
+            _ => return Ok(false),
         }
-        true
+        Ok(true)
     };
 
     let ok = match what.as_str() {
         "all" => {
+            let mut all_ok = true;
             for name in [
-                "table1", "table2", "fig1", "fig8", "fig2", "fig3", "fig5", "fig6", "fig4",
-                "fig7", "table3",
+                "table1", "table2", "fig1", "fig8", "fig2", "fig3", "fig5", "fig6", "fig4", "fig7",
+                "table3",
             ] {
-                assert!(run(name));
-                println!();
+                match run(name) {
+                    Ok(true) => println!(),
+                    Ok(false) => {
+                        eprintln!("internal: `{name}` is not a known experiment");
+                        all_ok = false;
+                    }
+                    Err(e) => {
+                        eprintln!("{name} failed: {e}");
+                        all_ok = false;
+                    }
+                }
+            }
+            if !all_ok {
+                return ExitCode::FAILURE;
             }
             true
         }
-        other => run(other),
+        other => match run(other) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("{other} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     if !ok {
         eprintln!("unknown experiment `{what}`\n{}", usage());

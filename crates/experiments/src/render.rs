@@ -2,7 +2,11 @@
 
 use topple_core::report;
 use topple_core::study::Study;
-use topple_core::{ablation, bias, category, consistency, coverage, intext, listeval, manipulation, movement, psl_dev, temporal};
+use topple_core::CoreError;
+use topple_core::{
+    ablation, bias, category, consistency, coverage, intext, listeval, manipulation, movement,
+    psl_dev, temporal,
+};
 use topple_lists::ListSource;
 
 /// Magnitude used for heatmap-style figures: the scaled "100K" (second
@@ -24,10 +28,16 @@ fn cell_k(study: &Study) -> usize {
 /// Table 1 — Cloudflare coverage of top lists.
 pub fn table1(study: &Study) -> String {
     let rows = coverage::table1(study);
-    let cols: Vec<String> = rows[0].cells.iter().map(|&(l, k, _)| format!("{l}({k})")).collect();
+    let cols: Vec<String> = rows[0]
+        .cells
+        .iter()
+        .map(|&(l, k, _)| format!("{l}({k})"))
+        .collect();
     let names: Vec<String> = rows.iter().map(|r| r.source.name().to_owned()).collect();
-    let values: Vec<Vec<f64>> =
-        rows.iter().map(|r| r.cells.iter().map(|&(_, _, p)| p).collect()).collect();
+    let values: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| r.cells.iter().map(|&(_, _, p)| p).collect())
+        .collect();
     report::table(
         "Table 1: Cloudflare coverage of top lists (% of top-k served by the CDN)",
         &cols,
@@ -38,28 +48,39 @@ pub fn table1(study: &Study) -> String {
 }
 
 /// Table 2 — percent of domains deviating from the PSL.
-pub fn table2(study: &Study) -> String {
-    let rows = psl_dev::table2(study);
-    let cols: Vec<String> = rows[0].cells.iter().map(|&(l, k, _)| format!("{l}({k})")).collect();
+pub fn table2(study: &Study) -> Result<String, CoreError> {
+    let rows = psl_dev::table2(study)?;
+    let first = rows.first().ok_or(CoreError::EmptyWindow)?;
+    let cols: Vec<String> = first
+        .cells
+        .iter()
+        .map(|&(l, k, _)| format!("{l}({k})"))
+        .collect();
     let names: Vec<String> = rows.iter().map(|r| r.source.name().to_owned()).collect();
-    let values: Vec<Vec<f64>> =
-        rows.iter().map(|r| r.cells.iter().map(|&(_, _, p)| p).collect()).collect();
-    report::table(
+    let values: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| r.cells.iter().map(|&(_, _, p)| p).collect())
+        .collect();
+    Ok(report::table(
         "Table 2: % of list entries deviating from the Public Suffix List",
         &cols,
         &names,
         &values,
         2,
-    )
+    ))
 }
 
 /// Table 3 — odds of website inclusion by category.
-pub fn table3(study: &Study) -> String {
+pub fn table3(study: &Study) -> Result<String, CoreError> {
     let k = heat_k(study);
-    let cols = category::table3(study, k);
+    let cols = category::table3(study, k)?;
     let col_names: Vec<String> = cols.iter().map(|c| c.source.name().to_owned()).collect();
-    let row_names: Vec<String> =
-        cols[0].rows.iter().map(|r| r.category.name().to_owned()).collect();
+    let first = cols.first().ok_or(CoreError::EmptyWindow)?;
+    let row_names: Vec<String> = first
+        .rows
+        .iter()
+        .map(|r| r.category.name().to_owned())
+        .collect();
     // Transpose: rows = categories, columns = lists; insignificant -> NaN (–).
     let values: Vec<Vec<f64>> = (0..row_names.len())
         .map(|ri| {
@@ -75,7 +96,7 @@ pub fn table3(study: &Study) -> String {
                 .collect()
         })
         .collect();
-    report::table(
+    Ok(report::table(
         &format!(
             "Table 3: odds of inclusion by category (CF top {k}, day 1; \
              '–' = not significant at p<0.01 Bonferroni-corrected ×{})",
@@ -85,7 +106,7 @@ pub fn table3(study: &Study) -> String {
         &row_names,
         &values,
         2,
-    )
+    ))
 }
 
 fn consistency_block(title: &str, m: &consistency::ConsistencyMatrix) -> String {
@@ -115,9 +136,12 @@ pub fn fig1(study: &Study) -> String {
 }
 
 /// Figure 8 — all 21 filter-aggregation combinations, single day.
-pub fn fig8(study: &Study) -> String {
-    let m = consistency::intra_cloudflare_full(study, heat_k(study));
-    consistency_block("Figure 8: all 21 Cloudflare filter-aggregations (day 1)", &m)
+pub fn fig8(study: &Study) -> Result<String, CoreError> {
+    let m = consistency::intra_cloudflare_full(study, heat_k(study))?;
+    Ok(consistency_block(
+        "Figure 8: all 21 Cloudflare filter-aggregations (day 1)",
+        &m,
+    ))
 }
 
 /// Figure 6 — intra-Chrome metric consistency.
@@ -127,7 +151,7 @@ pub fn fig6(study: &Study) -> String {
 }
 
 /// Figure 2 — top lists against the seven Cloudflare metrics.
-pub fn fig2(study: &Study) -> String {
+pub fn fig2(study: &Study) -> Result<String, CoreError> {
     let k = heat_k(study);
     let ev = listeval::figure2(study, k);
     let metric_labels: Vec<String> = ev.metrics.iter().map(|m| m.label()).collect();
@@ -153,7 +177,7 @@ pub fn fig2(study: &Study) -> String {
     }
     out.push_str("\nBootstrap 95% CI on mean daily JI vs all-requests (resampling days):\n");
     for &src in &ev.lists {
-        let ci = listeval::mean_ji_ci(study, src, k);
+        let ci = listeval::mean_ji_ci(study, src, k)?;
         out.push_str(&format!(
             "  {:<9} {:.3} [{:.3}, {:.3}]\n",
             src.name(),
@@ -173,7 +197,7 @@ pub fn fig2(study: &Study) -> String {
         }
     }
     out.push_str(&format!("  minimum pairwise rho = {min_rho:.3}\n"));
-    out
+    Ok(out)
 }
 
 /// Figure 3 — daily similarity series.
@@ -198,7 +222,10 @@ pub fn fig3(study: &Study) -> String {
         &rho,
     ));
     out.push_str("\nList stability at the same depth (mean daily top-k retention / rank churn):\n");
-    for (name, days) in [("Alexa", &study.alexa_daily), ("Umbrella", &study.umbrella_daily)] {
+    for (name, days) in [
+        ("Alexa", &study.alexa_daily),
+        ("Umbrella", &study.umbrella_daily),
+    ] {
         let rep = topple_lists::stability(days, k);
         out.push_str(&format!(
             "  {:<9} retention {:.3}  rank churn {:.1}\n",
@@ -209,10 +236,15 @@ pub fn fig3(study: &Study) -> String {
     }
     out.push_str("\nPeriodicity (dominant lag of JI series) and weekday/weekend split:\n");
     for s in &series {
-        let period = s.jaccard_period().map(|(l, a)| format!("lag {l} (ac {a:.2})"));
-        let split = s
-            .jaccard_split()
-            .map(|sp| format!("weekday {:.3} vs weekend {:.3}", sp.weekday_mean, sp.weekend_mean));
+        let period = s
+            .jaccard_period()
+            .map(|(l, a)| format!("lag {l} (ac {a:.2})"));
+        let split = s.jaccard_split().map(|sp| {
+            format!(
+                "weekday {:.3} vs weekend {:.3}",
+                sp.weekday_mean, sp.weekend_mean
+            )
+        });
         out.push_str(&format!(
             "  {:<9} {}  {}\n",
             s.source.name(),
@@ -229,10 +261,16 @@ pub fn fig5(study: &Study, source: ListSource) -> String {
     let mut cols: Vec<String> = rep.magnitudes.iter().map(|m| format!("→{m}")).collect();
     cols.push("→absent".into());
     let rows: Vec<String> = rep.magnitudes.iter().map(|m| format!("CF {m}")).collect();
-    let values: Vec<Vec<f64>> =
-        rep.flows.iter().map(|r| r.iter().map(|&c| c as f64).collect()).collect();
+    let values: Vec<Vec<f64>> = rep
+        .flows
+        .iter()
+        .map(|r| r.iter().map(|&c| c as f64).collect())
+        .collect();
     let mut out = report::table(
-        &format!("Figure 5: rank-magnitude movement, Cloudflare → {}", source.name()),
+        &format!(
+            "Figure 5: rank-magnitude movement, Cloudflare → {}",
+            source.name()
+        ),
         &cols,
         &rows,
         &values,
@@ -258,10 +296,16 @@ pub fn fig4(study: &Study) -> String {
     let f = bias::figure4(study, k);
     let cols: Vec<String> = f.platforms.iter().map(|p| p.name().to_owned()).collect();
     let rows: Vec<String> = f.lists.iter().map(|l| l.name().to_owned()).collect();
-    let ji: Vec<Vec<f64>> =
-        f.cells.iter().map(|r| r.iter().map(|c| c.jaccard).collect()).collect();
-    let rho: Vec<Vec<f64>> =
-        f.cells.iter().map(|r| r.iter().map(|c| c.spearman).collect()).collect();
+    let ji: Vec<Vec<f64>> = f
+        .cells
+        .iter()
+        .map(|r| r.iter().map(|c| c.jaccard).collect())
+        .collect();
+    let rho: Vec<Vec<f64>> = f
+        .cells
+        .iter()
+        .map(|r| r.iter().map(|c| c.spearman).collect())
+        .collect();
     let mut out = report::table(
         &format!("Figure 4a: Jaccard vs Chrome by platform (top {k}, averaged over countries)"),
         &cols,
@@ -286,10 +330,16 @@ pub fn fig7(study: &Study) -> String {
     let f = bias::figure7(study, k);
     let cols: Vec<String> = f.countries.iter().map(|c| c.code().to_owned()).collect();
     let rows: Vec<String> = f.lists.iter().map(|l| l.name().to_owned()).collect();
-    let ji: Vec<Vec<f64>> =
-        f.cells.iter().map(|r| r.iter().map(|c| c.jaccard).collect()).collect();
-    let rho: Vec<Vec<f64>> =
-        f.cells.iter().map(|r| r.iter().map(|c| c.spearman).collect()).collect();
+    let ji: Vec<Vec<f64>> = f
+        .cells
+        .iter()
+        .map(|r| r.iter().map(|c| c.jaccard).collect())
+        .collect();
+    let rho: Vec<Vec<f64>> = f
+        .cells
+        .iter()
+        .map(|r| r.iter().map(|c| c.spearman).collect())
+        .collect();
     let mut out = report::table(
         &format!("Figure 7a: Jaccard vs Chrome by country (top {k}, averaged over platforms)"),
         &cols,
@@ -309,11 +359,13 @@ pub fn fig7(study: &Study) -> String {
 }
 
 /// Ablations of methodological choices (not a paper artifact; DESIGN.md §4).
-pub fn ablations(study: &Study) -> String {
+pub fn ablations(study: &Study) -> Result<String, CoreError> {
     let k = heat_k(study);
     let mut out = String::new();
-    out.push_str(&format!("Ablation A: PSL normalization on/off (JI vs all-requests, top {k})\n"));
-    for row in ablation::normalization(study, k) {
+    out.push_str(&format!(
+        "Ablation A: PSL normalization on/off (JI vs all-requests, top {k})\n"
+    ));
+    for row in ablation::normalization(study, k)? {
         out.push_str(&format!(
             "  {:<9} normalized {:.3}   raw names {:.3}\n",
             row.source.name(),
@@ -327,9 +379,11 @@ pub fn ablations(study: &Study) -> String {
     }
     out.push_str("\nAblation C: CrUX privacy threshold (threshold -> list size, JI)\n");
     for (t, len, ji) in ablation::crux_threshold(study, &[1, 2, 3, 5, 10, 25], k) {
-        out.push_str(&format!("  >={t:>3} unique clients: {len:>7} origins, JI {ji:.3}\n"));
+        out.push_str(&format!(
+            "  >={t:>3} unique clients: {len:>7} origins, JI {ji:.3}\n"
+        ));
     }
-    out
+    Ok(out)
 }
 
 /// Manipulation-resistance experiment (extension; paper §2 / Tranco \[18\]).
@@ -346,7 +400,9 @@ pub fn attack(study: &Study) -> String {
         out.push_str(&format!(
             "  {:>2} day(s) of control -> Tranco rank {}\n",
             o.days_controlled,
-            o.attained_rank.map(|r| r.to_string()).unwrap_or_else(|| "unlisted".into())
+            o.attained_rank
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unlisted".into())
         ));
     }
     out.push_str("(Aggregation forces sustained — therefore expensive — control.)\n");
@@ -354,10 +410,10 @@ pub fn attack(study: &Study) -> String {
 }
 
 /// Section 3.2's in-text redundancy numbers, paper vs measured.
-pub fn intext_numbers(study: &Study) -> String {
+pub fn intext_numbers(study: &Study) -> Result<String, CoreError> {
     let k = heat_k(study);
     let mut out = format!("Section 3.2 redundancy pairs (day 1, top {k}): paper vs measured\n");
-    for p in intext::section_3_2(study, k) {
+    for p in intext::section_3_2(study, k)? {
         out.push_str(&format!(
             "  {:<24} vs {:<24} rho {:.2} (paper {:.2})  JI {:.2} (paper {:.2})\n    — {}\n",
             p.a.label(),
@@ -369,24 +425,29 @@ pub fn intext_numbers(study: &Study) -> String {
             p.claim
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Mechanism attribution (extension; paper §7's open question). Runs its own
 /// small counterfactual worlds derived from the study's seed.
-pub fn attribution(study: &Study) -> String {
+pub fn attribution(study: &Study) -> Result<String, CoreError> {
     use topple_core::attribution::mechanism_attribution;
     let base = topple_sim::WorldConfig::small(study.world.config.seed);
     let mut out = String::from(
         "Mechanism attribution (small-scale counterfactual worlds; mean Figure-2 JI):\n",
     );
-    out.push_str(&format!("  {:<34} {:>7} {:>9} {:>7}\n", "scenario", "Alexa", "Umbrella", "CrUX"));
-    for row in mechanism_attribution(base) {
+    out.push_str(&format!(
+        "  {:<34} {:>7} {:>9} {:>7}\n",
+        "scenario", "Alexa", "Umbrella", "CrUX"
+    ));
+    for row in mechanism_attribution(base)? {
         out.push_str(&format!(
             "  {:<34} {:>7.3} {:>9.3} {:>7.3}\n",
             row.scenario, row.alexa_ji, row.umbrella_ji, row.crux_ji
         ));
     }
-    out.push_str("(The counterfactual the real study could not run: §7's 'why do these biases arise'.)\n");
-    out
+    out.push_str(
+        "(The counterfactual the real study could not run: §7's 'why do these biases arise'.)\n",
+    );
+    Ok(out)
 }

@@ -1,0 +1,197 @@
+//! `lint.toml` parsing: per-crate rule severities.
+//!
+//! The config format is a small TOML subset (tables, string values,
+//! comments) parsed by hand — the linter itself must build offline with zero
+//! dependencies:
+//!
+//! ```toml
+//! [default]
+//! unwrap = "deny"
+//! indexing = "warn"
+//!
+//! [crate.topple-stats]
+//! float-eq = "deny"
+//! indexing = "allow"
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How seriously a rule violation is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Not reported at all.
+    Allow,
+    /// Reported, does not fail the run.
+    Warn,
+    /// Reported and fails the run.
+    Deny,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name, as written in config and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A malformed configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Fallback severities by rule id.
+    pub default: BTreeMap<String, Severity>,
+    /// Per-crate overrides: crate name → rule id → severity.
+    pub per_crate: BTreeMap<String, BTreeMap<String, Severity>>,
+}
+
+impl Config {
+    /// The effective severity of `rule` inside `krate`, falling back to the
+    /// `[default]` table and then to the rule's built-in default.
+    pub fn severity(&self, krate: &str, rule: &str, builtin: Severity) -> Severity {
+        if let Some(s) = self.per_crate.get(krate).and_then(|t| t.get(rule)) {
+            return *s;
+        }
+        if let Some(s) = self.default.get(rule) {
+            return *s;
+        }
+        builtin
+    }
+
+    /// Parses the `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut section: Option<String> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw_line.find('#') {
+                Some(p) => &raw_line[..p],
+                None => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if name != "default" && !name.starts_with("crate.") {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!(
+                            "unknown section `[{name}]` (expected `[default]` or `[crate.<name>]`)"
+                        ),
+                    });
+                }
+                section = Some(name.to_owned());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let key = key.trim().to_owned();
+            let value = value.trim();
+            let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("value for `{key}` must be a quoted string"),
+                });
+            };
+            let Some(sev) = Severity::parse(value) else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!(
+                        "unknown severity `{value}` for `{key}` (expected allow|warn|deny)"
+                    ),
+                });
+            };
+            match section.as_deref() {
+                Some("default") => {
+                    config.default.insert(key, sev);
+                }
+                Some(s) => {
+                    let krate = s.trim_start_matches("crate.").to_owned();
+                    config.per_crate.entry(krate).or_default().insert(key, sev);
+                }
+                None => {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: "key outside any section".to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_overrides() {
+        let c = Config::parse(
+            "# comment\n[default]\nunwrap = \"deny\" # trailing\n\n[crate.topple-stats]\nunwrap = \"warn\"\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            c.severity("topple-core", "unwrap", Severity::Allow),
+            Severity::Deny
+        );
+        assert_eq!(
+            c.severity("topple-stats", "unwrap", Severity::Allow),
+            Severity::Warn
+        );
+        assert_eq!(
+            c.severity("topple-core", "other", Severity::Warn),
+            Severity::Warn
+        );
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(Config::parse("[weird]\n").is_err());
+        assert!(Config::parse("[default]\nunwrap deny\n").is_err());
+        assert!(Config::parse("[default]\nunwrap = deny\n").is_err());
+        assert!(Config::parse("[default]\nunwrap = \"fatal\"\n").is_err());
+        assert!(Config::parse("orphan = \"deny\"\n").is_err());
+    }
+}

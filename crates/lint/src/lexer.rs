@@ -1,0 +1,428 @@
+//! A lightweight source model for Rust files.
+//!
+//! The environment builds fully offline, so `topple-lint` cannot use `syn`;
+//! instead it lexes each file just far enough for its rules: comment and
+//! string contents are masked out (so tokens inside them are never matched),
+//! `#[cfg(test)]` module regions are identified by brace matching (so
+//! test-only code is exempt from library rules), and `topple-lint:` control
+//! comments are collected with their line numbers.
+
+/// One `// topple-lint: allow(rule): justification` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule identifier inside `allow(..)`.
+    pub rule: String,
+    /// The justification after the second colon (may be empty — that itself
+    /// is a violation).
+    pub justification: String,
+    /// Whether a rule consumed this directive.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// Code with comment and string interiors replaced by spaces; newlines
+    /// preserved, so offsets and line numbers match the original.
+    pub masked: String,
+    /// Raw text (for rendering diagnostics).
+    pub raw: String,
+    /// Byte offset of each line start in `masked`/`raw`.
+    pub line_starts: Vec<usize>,
+    /// For each line (1-based index into `line_starts`), whether it lies
+    /// inside a `#[cfg(test)]` region.
+    pub in_test_region: Vec<bool>,
+    /// All `topple-lint:` control comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl SourceModel {
+    /// Lexes a file.
+    pub fn parse(raw: &str) -> SourceModel {
+        let mut masked = String::with_capacity(raw.len());
+        let mut comments: Vec<(usize, String)> = Vec::new();
+
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let mut line = 1usize;
+        let n = bytes.len();
+
+        while i < n {
+            let c = bytes[i];
+            match c {
+                '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                    // Line comment: capture text, mask it out.
+                    let start = i;
+                    while i < n && bytes[i] != '\n' {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    comments.push((line, text));
+                    masked.extend(std::iter::repeat_n(' ', i - start));
+                }
+                '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                    // Block comment, possibly nested.
+                    let mut depth = 1usize;
+                    masked.push_str("  ");
+                    i += 2;
+                    while i < n && depth > 0 {
+                        if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                            depth += 1;
+                            masked.push_str("  ");
+                            i += 2;
+                        } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                            depth -= 1;
+                            masked.push_str("  ");
+                            i += 2;
+                        } else {
+                            if bytes[i] == '\n' {
+                                masked.push('\n');
+                                line += 1;
+                            } else {
+                                masked.push(' ');
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                '"' => {
+                    // String literal (the `r`/`b` prefix case is handled below).
+                    masked.push('"');
+                    i += 1;
+                    while i < n {
+                        match bytes[i] {
+                            '\\' if i + 1 < n => {
+                                masked.push_str("  ");
+                                if bytes[i + 1] == '\n' {
+                                    masked.pop();
+                                    masked.push('\n');
+                                    line += 1;
+                                }
+                                i += 2;
+                            }
+                            '"' => {
+                                masked.push('"');
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                masked.push('\n');
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => {
+                                masked.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                'r' | 'b' if Self::is_raw_string_start(&bytes, i) => {
+                    // Raw string r"..", r#".."#, br#".."# etc.
+                    let start = i;
+                    while i < n && (bytes[i] == 'r' || bytes[i] == 'b') {
+                        i += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while i < n && bytes[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    // Opening quote.
+                    i += 1;
+                    masked.extend(std::iter::repeat_n(' ', i - start));
+                    'raw: while i < n {
+                        if bytes[i] == '"' {
+                            let mut j = i + 1;
+                            let mut seen = 0usize;
+                            while j < n && bytes[j] == '#' && seen < hashes {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == hashes {
+                                masked.extend(std::iter::repeat_n(' ', j - i));
+                                i = j;
+                                break 'raw;
+                            }
+                        }
+                        if bytes[i] == '\n' {
+                            masked.push('\n');
+                            line += 1;
+                        } else {
+                            masked.push(' ');
+                        }
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime. A lifetime is `'` + ident with
+                    // no closing quote right after.
+                    if i + 2 < n && bytes[i + 1] == '\\' {
+                        // Escaped char literal '\n', '\u{..}' etc.
+                        masked.push('\'');
+                        i += 1;
+                        while i < n && bytes[i] != '\'' {
+                            masked.push(' ');
+                            i += 1;
+                        }
+                        if i < n {
+                            masked.push('\'');
+                            i += 1;
+                        }
+                    } else if i + 2 < n && bytes[i + 2] == '\'' {
+                        // Plain char literal 'x'.
+                        masked.push('\'');
+                        masked.push(' ');
+                        masked.push('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime: copy through.
+                        masked.push('\'');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    masked.push('\n');
+                    line += 1;
+                    i += 1;
+                }
+                _ => {
+                    masked.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                masked
+                    .char_indices()
+                    .filter(|&(_, c)| c == '\n')
+                    .map(|(p, _)| p + 1),
+            )
+            .collect();
+        let n_lines = line_starts.len();
+        let in_test_region = Self::test_regions(&masked, &line_starts, n_lines);
+        let allows = Self::parse_directives(&comments);
+
+        SourceModel {
+            masked,
+            raw: raw.to_owned(),
+            line_starts,
+            in_test_region,
+            allows,
+        }
+    }
+
+    fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+        // Preceded by an identifier char → part of a name like `for_test`.
+        if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+            return false;
+        }
+        let mut j = i;
+        while j < bytes.len() && (bytes[j] == 'r' || bytes[j] == 'b') && j - i < 2 {
+            j += 1;
+        }
+        if j == i || !bytes[i..j].contains(&'r') {
+            return false;
+        }
+        while j < bytes.len() && bytes[j] == '#' {
+            j += 1;
+        }
+        j < bytes.len() && bytes[j] == '"'
+    }
+
+    /// 1-based line number of a byte offset into `masked`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+
+    /// 1-based column of a byte offset.
+    pub fn column_of(&self, offset: usize) -> usize {
+        let line = self.line_of(offset);
+        offset - self.line_starts[line - 1] + 1
+    }
+
+    /// Whether a 1-based line is inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test_region.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The raw text of a 1-based line, trimmed.
+    pub fn raw_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(self.raw.len());
+        self.raw.get(start..end).unwrap_or("").trim_end()
+    }
+
+    /// Finds an allow directive for `rule` on `line` or the line above it.
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&AllowDirective> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    fn test_regions(masked: &str, line_starts: &[usize], n_lines: usize) -> Vec<bool> {
+        let mut flags = vec![false; n_lines];
+        let bytes = masked.as_bytes();
+        let mut search_from = 0usize;
+        while let Some(rel) = masked[search_from..].find("#[cfg(test)]") {
+            let attr_at = search_from + rel;
+            search_from = attr_at + 12;
+            // Find the opening brace of the annotated item (skipping further
+            // attributes and the item header).
+            let mut depth = 0i32;
+            let mut open = None;
+            for (off, &b) in bytes[attr_at..].iter().enumerate() {
+                match b {
+                    b'{' => {
+                        open = Some(attr_at + off);
+                        break;
+                    }
+                    b';' if depth == 0 => break, // e.g. `#[cfg(test)] use ..;`
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    _ => {}
+                }
+            }
+            let Some(open_at) = open else { continue };
+            // Brace-match to the region end.
+            let mut braces = 0i32;
+            let mut close_at = masked.len();
+            for (off, &b) in bytes[open_at..].iter().enumerate() {
+                match b {
+                    b'{' => braces += 1,
+                    b'}' => {
+                        braces -= 1;
+                        if braces == 0 {
+                            close_at = open_at + off;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let first = match line_starts.binary_search(&attr_at) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            let last = match line_starts.binary_search(&close_at) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            for line in first..=last.min(n_lines) {
+                flags[line - 1] = true;
+            }
+            search_from = close_at.min(masked.len());
+        }
+        flags
+    }
+
+    fn parse_directives(comments: &[(usize, String)]) -> Vec<AllowDirective> {
+        let mut out = Vec::new();
+        for (line, text) in comments {
+            // Only plain `// topple-lint: ...` comments are directives; doc
+            // comments merely *talking about* the syntax must not count.
+            let Some(inner) = text.strip_prefix("//") else {
+                continue;
+            };
+            if inner.starts_with('/') || inner.starts_with('!') {
+                continue;
+            }
+            let Some(body) = inner.trim().strip_prefix("topple-lint:") else {
+                continue;
+            };
+            let body = body.trim();
+            let Some(rest) = body.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_owned();
+            let justification = rest[close + 1..]
+                .trim()
+                .strip_prefix(':')
+                .map(|j| j.trim().to_owned())
+                .unwrap_or_default();
+            out.push(AllowDirective {
+                line: *line,
+                rule,
+                justification,
+                used: std::cell::Cell::new(false),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"HashMap.iter()\"; // HashMap::new()\nlet y = 1;";
+        let m = SourceModel::parse(src);
+        assert!(!m.masked.contains("HashMap"));
+        assert!(m.masked.contains("let y = 1;"));
+        assert_eq!(m.masked.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let p = r#\"panic!(\"no\")\"#; let c = '\\n'; let l: &'static str = \"x\";";
+        let m = SourceModel::parse(src);
+        assert!(!m.masked.contains("panic!"));
+        assert!(m.masked.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ let ok = 1;";
+        let m = SourceModel::parse(src);
+        assert!(!m.masked.contains("outer"));
+        assert!(m.masked.contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn finds_test_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let m = SourceModel::parse(src);
+        assert!(!m.is_test_line(1));
+        assert!(m.is_test_line(2));
+        assert!(m.is_test_line(4));
+        assert!(!m.is_test_line(6));
+    }
+
+    #[test]
+    fn parses_allow_directives() {
+        let src = "// topple-lint: allow(unwrap): infallible by construction\nx.unwrap();\n// topple-lint: allow(panic)\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.allows.len(), 2);
+        assert_eq!(m.allows[0].rule, "unwrap");
+        assert_eq!(m.allows[0].justification, "infallible by construction");
+        assert!(m.allow_for("unwrap", 2).is_some());
+        assert!(m.allow_for("unwrap", 4).is_none());
+        assert!(m.allows[1].justification.is_empty());
+    }
+
+    #[test]
+    fn line_and_column_mapping() {
+        let src = "abc\ndefgh\nij";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.line_of(0), 1);
+        assert_eq!(m.line_of(4), 2);
+        assert_eq!(m.column_of(6), 3);
+        assert_eq!(m.raw_line(2), "defgh");
+    }
+}

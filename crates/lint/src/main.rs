@@ -1,0 +1,121 @@
+//! `topple-lint` CLI.
+//!
+//! ```text
+//! cargo run -p topple-lint                       # text report on the workspace
+//! cargo run -p topple-lint -- --format json      # machine-readable report
+//! cargo run -p topple-lint -- --suggest          # include fix suggestions
+//! cargo run -p topple-lint -- --list-rules       # rule catalogue
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 deny-level findings, 2 usage or
+//! configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use topple_lint::{config::Severity, lint_workspace, load_config, report, rules};
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    suggest: bool,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: topple-lint [--root DIR] [--config FILE] [--format text|json] \
+    [--suggest] [--list-rules]";
+
+/// The workspace root: `--root`, else the manifest dir's grandparent when
+/// cargo provides it (crates/lint -> root), else the current directory.
+fn default_root() -> PathBuf {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let md = PathBuf::from(md);
+        if let Some(root) = md.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: default_root(),
+        config: None,
+        json: false,
+        suggest: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--config" => {
+                opts.config = Some(PathBuf::from(args.next().ok_or("--config needs a value")?));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                _ => return Err("--format must be `text` or `json`".into()),
+            },
+            "--suggest" => opts.suggest = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("topple-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in rules::RULES {
+            println!("{:<14} {:<6} {}", r.id, r.builtin.name(), r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = match load_config(&opts.root, opts.config.as_deref()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("topple-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&opts.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("topple-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if opts.json {
+        report::to_json(&report, opts.suggest)
+    } else {
+        report::to_text(&report, opts.suggest)
+    };
+    print!("{rendered}");
+
+    if report.findings.iter().any(|f| f.severity == Severity::Deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

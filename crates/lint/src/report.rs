@@ -1,0 +1,159 @@
+//! Report rendering: machine-readable JSON and human-readable text.
+//!
+//! The JSON emitter is hand-rolled (the linter builds with zero
+//! dependencies); the schema is versioned so CI consumers can pin it.
+
+use std::fmt::Write as _;
+
+use crate::{Finding, Report};
+
+/// Escapes a string for a JSON double-quoted literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_finding(f: &Finding, suggest: bool) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"crate\": \"{}\", \"file\": \"{}\", \"line\": {}, \"column\": {}, \
+         \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"",
+        json_escape(&f.krate),
+        json_escape(&f.file),
+        f.line,
+        f.column,
+        json_escape(f.rule),
+        f.severity.name(),
+        json_escape(&f.message),
+    );
+    if suggest {
+        let _ = write!(s, ", \"suggestion\": \"{}\"", json_escape(f.suggestion));
+    }
+    s.push('}');
+    s
+}
+
+/// Renders the whole report as a JSON document (trailing newline included).
+pub fn to_json(report: &Report, suggest: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"deny\": {}, \"warn\": {}}},",
+        report.deny_count(),
+        report.warn_count()
+    );
+    let body: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| json_finding(f, suggest))
+        .collect();
+    if body.is_empty() {
+        out.push_str("  \"findings\": []\n}\n");
+    } else {
+        out.push_str("  \"findings\": [\n");
+        out.push_str(&body.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Renders the report in compiler-style text.
+pub fn to_text(report: &Report, suggest: bool) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}[{}] {}",
+            f.file,
+            f.line,
+            f.column,
+            f.severity.name(),
+            f.rule,
+            f.message
+        );
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    | {}", f.snippet.trim());
+        }
+        if suggest {
+            let _ = writeln!(out, "    = fix: {}", f.suggestion);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "topple-lint: {} file(s) scanned, {} deny, {} warn",
+        report.files_scanned,
+        report.deny_count(),
+        report.warn_count()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Severity;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 2,
+            findings: vec![Finding {
+                krate: "topple-core".into(),
+                file: "crates/core/src/study.rs".into(),
+                rule: "unwrap",
+                severity: Severity::Deny,
+                line: 10,
+                column: 7,
+                message: "`.unwrap()` panics \"on\" the error path".into(),
+                suggestion: "use ?",
+                snippet: "x.unwrap();".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let j = to_json(&sample(), true);
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\\\"on\\\""));
+        assert!(j.contains("\"deny\": 1"));
+        assert!(j.contains("\"suggestion\": \"use ?\""));
+        // Balanced braces/brackets (cheap structural check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn text_has_compiler_style_locations() {
+        let t = to_text(&sample(), false);
+        assert!(t.contains("crates/core/src/study.rs:10:7: deny[unwrap]"));
+        assert!(!t.contains("fix:"));
+        assert!(to_text(&sample(), true).contains("fix: use ?"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let r = Report {
+            files_scanned: 0,
+            findings: vec![],
+        };
+        let j = to_json(&r, false);
+        assert!(j.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end checks of `topple-lint` against the fixture files under
+//! `tests/fixtures/`, asserted through the JSON report (the same surface CI
+//! consumes).
+
+use std::path::PathBuf;
+
+use topple_lint::config::Config;
+use topple_lint::{lint_file, report, Report};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints one fixture under a config and wraps it in a one-file report.
+fn run(name: &str, config: &Config) -> Report {
+    let findings =
+        lint_file(&fixture(name), "fixture-crate", config).expect("fixture must be readable");
+    Report {
+        files_scanned: 1,
+        findings,
+    }
+}
+
+/// Built-in defaults, with the allow-by-default `lossy-cast` raised to warn
+/// so the positive fixture exercises it too (the root `lint.toml` does the
+/// same for `topple-stats`).
+fn default_config() -> Config {
+    Config::parse("[default]\nlossy-cast = \"warn\"\n").expect("config is valid")
+}
+
+#[test]
+fn positive_fixture_trips_every_headline_rule() {
+    let report = run("positive.rs", &default_config());
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    for expected in [
+        "hash-iter",
+        "unwrap",
+        "wall-clock",
+        "float-eq",
+        "lossy-cast",
+    ] {
+        assert!(
+            rules.contains(&expected),
+            "missing {expected}; got {rules:?}"
+        );
+    }
+    assert!(
+        report.deny_count() > 0,
+        "headline rules must deny by default"
+    );
+
+    // The JSON report carries machine-readable locations for each finding.
+    let json = report::to_json(&report, false);
+    assert!(
+        json.contains("\"version\": 1"),
+        "report must be versioned:\n{json}"
+    );
+    assert!(json.contains("\"rule\": \"hash-iter\""));
+    let unwrap_line = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "unwrap")
+        .map(|f| f.line)
+        .expect("unwrap finding present");
+    assert!(json.contains(&format!("\"line\": {unwrap_line}")));
+}
+
+#[test]
+fn allow_directives_suppress_justified_sites() {
+    let report = run("allowed.rs", &default_config());
+    // The justified hash-iter and unwrap sites are silent.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "hash-iter" || f.rule == "unwrap"),
+        "justified sites must be suppressed; got {:?}",
+        report.findings
+    );
+    // The stale directive (suppressing nothing) is itself reported.
+    assert!(
+        report.findings.iter().any(|f| f.rule == "allow-unused"),
+        "stale allow directive must be flagged; got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let report = run("clean.rs", &default_config());
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture flagged: {:?}",
+        report.findings
+    );
+    let json = report::to_json(&report, false);
+    assert!(
+        json.contains("\"findings\": []"),
+        "JSON must carry an empty findings array:\n{json}"
+    );
+}
+
+#[test]
+fn config_can_silence_and_escalate_rules() {
+    let relaxed = Config::parse("[default]\nunwrap = \"allow\"\nhash-iter = \"allow\"\n")
+        .expect("valid config");
+    let report = run("positive.rs", &relaxed);
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.rule == "unwrap" || f.rule == "hash-iter"));
+
+    let strict =
+        Config::parse("[crate.fixture-crate]\nlossy-cast = \"deny\"\n").expect("valid config");
+    let report = run("positive.rs", &strict);
+    let cast = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "lossy-cast")
+        .expect("lossy-cast reported");
+    assert_eq!(cast.severity, topple_lint::config::Severity::Deny);
+}

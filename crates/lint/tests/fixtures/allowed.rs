@@ -1,0 +1,19 @@
+//! Fixture: the same shapes as `positive.rs`, each justified with an
+//! allow directive. Never compiled — consumed by `tests/fixtures.rs`.
+
+use std::collections::HashMap;
+
+pub fn summed(m: &HashMap<String, u32>) -> u64 {
+    // topple-lint: allow(hash-iter): folded into an order-insensitive sum
+    m.values().map(|&v| u64::from(v)).sum()
+}
+
+pub fn parses_constant() -> u32 {
+    // topple-lint: allow(unwrap): literal is a valid u32
+    "7".parse().unwrap()
+}
+
+pub fn stale_directive() -> u32 {
+    // topple-lint: allow(panic): nothing below can panic any more
+    7
+}

@@ -1,0 +1,16 @@
+//! Fixture: idiomatic code that every rule should pass untouched.
+//! Never compiled — consumed by `tests/fixtures.rs`.
+
+use std::collections::BTreeMap;
+
+pub fn ordered(m: &BTreeMap<String, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+pub fn fallible(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+pub fn close_enough(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

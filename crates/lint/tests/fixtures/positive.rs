@@ -1,0 +1,24 @@
+//! Fixture: one violation of each headline rule, no suppressions.
+//! Never compiled — consumed by `tests/fixtures.rs` through `lint_file`.
+
+use std::collections::HashMap;
+
+pub fn order_dependent(m: &HashMap<String, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+pub fn panics_on_err(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+pub fn reads_wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn exact_float(a: f64, b: f64) -> bool {
+    a == b
+}
+
+pub fn truncates(x: f64) -> u32 {
+    x as u32
+}

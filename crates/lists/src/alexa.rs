@@ -7,7 +7,7 @@
 //! scores each site by the geometric mean of its average daily visitors and
 //! average daily pageviews.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use topple_sim::{SiteId, World};
 use topple_vantage::PanelVantage;
@@ -25,13 +25,16 @@ pub fn build_daily(
     window: usize,
     max_len: usize,
 ) -> RankedList {
-    assert!(day_index < panel.day_count(), "day {day_index} not ingested");
+    assert!(
+        day_index < panel.day_count(),
+        "day {day_index} not ingested"
+    );
     let start = (day_index + 1).saturating_sub(window);
     let days = &panel.all_days()[start..=day_index];
     let n_days = days.len() as f64;
 
-    let mut pv: HashMap<SiteId, f64> = HashMap::new();
-    let mut uv: HashMap<SiteId, f64> = HashMap::new();
+    let mut pv: BTreeMap<SiteId, f64> = BTreeMap::new();
+    let mut uv: BTreeMap<SiteId, f64> = BTreeMap::new();
     for day in days {
         for (site, stats) in day.sites() {
             *pv.entry(*site).or_default() += f64::from(stats.pageviews);
@@ -50,9 +53,11 @@ pub fn build_daily(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
-            .then_with(|| world.sites[a.0.index()].domain.cmp(&world.sites[b.0.index()].domain))
+        b.1.total_cmp(&a.1).then_with(|| {
+            world.sites[a.0.index()]
+                .domain
+                .cmp(&world.sites[b.0.index()].domain)
+        })
     });
     scored.truncate(max_len);
 
@@ -107,7 +112,8 @@ mod tests {
         let short_b = top_set(&build_daily(&w, &p, 4, 1, 1_000));
         let long_a = top_set(&build_daily(&w, &p, 3, 5, 1_000));
         let long_b = top_set(&build_daily(&w, &p, 4, 5, 1_000));
-        let churn = |a: &std::collections::HashSet<String>, b: &std::collections::HashSet<String>| {
+        let churn = |a: &std::collections::HashSet<String>,
+                     b: &std::collections::HashSet<String>| {
             a.symmetric_difference(b).count()
         };
         assert!(

@@ -17,7 +17,10 @@ use crate::model::{BucketedEntry, BucketedList, ListSource};
 /// 1M}); origins ranked beyond the largest magnitude are not published.
 pub fn build(world: &World, chrome: &ChromeVantage, magnitudes: &[usize]) -> BucketedList {
     assert!(!magnitudes.is_empty(), "need at least one magnitude");
-    assert!(magnitudes.windows(2).all(|w| w[0] < w[1]), "magnitudes must ascend");
+    assert!(
+        magnitudes.windows(2).all(|w| w[0] < w[1]),
+        "magnitudes must ascend"
+    );
     let ranked = chrome.global_completed_list(world.config.crux_privacy_threshold);
     let mut entries = Vec::new();
     for (pos, (origin, _score)) in ranked.iter().enumerate() {
@@ -29,7 +32,10 @@ pub fn build(world: &World, chrome: &ChromeVantage, magnitudes: &[usize]) -> Buc
             bucket: bucket as u32,
         });
     }
-    BucketedList { source: ListSource::Crux, entries }
+    BucketedList {
+        source: ListSource::Crux,
+        entries,
+    }
 }
 
 #[cfg(test)]

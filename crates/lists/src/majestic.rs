@@ -22,15 +22,17 @@ pub fn build(world: &World, crawl: &CrawlerVantage, max_len: usize) -> RankedLis
         .map(|(i, &r)| (i, r, backlinks[i]))
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
+        b.1.total_cmp(&a.1)
             .then(b.2.cmp(&a.2))
             .then_with(|| world.sites[a.0].domain.cmp(&world.sites[b.0].domain))
     });
     scored.truncate(max_len);
     RankedList::from_sorted_names(
         ListSource::Majestic,
-        scored.into_iter().map(|(i, _, _)| world.sites[i].domain.as_str().to_owned()).collect(),
+        scored
+            .into_iter()
+            .map(|(i, _, _)| world.sites[i].domain.as_str().to_owned())
+            .collect(),
     )
 }
 

@@ -83,7 +83,10 @@ impl RankedList {
         let entries = names
             .into_iter()
             .enumerate()
-            .map(|(i, name)| RankedEntry { rank: i as u32 + 1, name })
+            .map(|(i, name)| RankedEntry {
+                rank: i as u32 + 1,
+                name,
+            })
             .collect();
         RankedList { source, entries }
     }
@@ -133,7 +136,10 @@ impl RankedList {
                     return Err(ListParseError::OutOfOrder { line: i + 1 });
                 }
             }
-            entries.push(RankedEntry { rank, name: name.trim().to_owned() });
+            entries.push(RankedEntry {
+                rank,
+                name: name.trim().to_owned(),
+            });
         }
         Ok(RankedList { source, entries })
     }
@@ -172,7 +178,10 @@ impl BucketedList {
 
     /// All names whose bucket is at most `k`.
     pub fn names_within(&self, k: u32) -> impl Iterator<Item = &str> {
-        self.entries.iter().filter(move |e| e.bucket <= k).map(|e| e.name.as_str())
+        self.entries
+            .iter()
+            .filter(move |e| e.bucket <= k)
+            .map(|e| e.name.as_str())
     }
 
     /// Serializes as `origin,bucket` CSV (the CrUX BigQuery export shape).
@@ -287,7 +296,10 @@ mod tests {
             ListSource::Tranco,
             (0..10).map(|i| format!("s{i}.com")).collect(),
         );
-        assert_eq!(l.top_names(3).collect::<Vec<_>>(), vec!["s0.com", "s1.com", "s2.com"]);
+        assert_eq!(
+            l.top_names(3).collect::<Vec<_>>(),
+            vec!["s0.com", "s1.com", "s2.com"]
+        );
         assert_eq!(l.top_names(99).count(), 10);
     }
 
@@ -296,9 +308,18 @@ mod tests {
         let l = BucketedList {
             source: ListSource::Crux,
             entries: vec![
-                BucketedEntry { name: "https://a.com".into(), bucket: 100 },
-                BucketedEntry { name: "https://b.com".into(), bucket: 1000 },
-                BucketedEntry { name: "https://c.com".into(), bucket: 10000 },
+                BucketedEntry {
+                    name: "https://a.com".into(),
+                    bucket: 100,
+                },
+                BucketedEntry {
+                    name: "https://b.com".into(),
+                    bucket: 1000,
+                },
+                BucketedEntry {
+                    name: "https://c.com".into(),
+                    bucket: 10000,
+                },
             ],
         };
         assert_eq!(l.names_within(1000).count(), 2);

@@ -8,7 +8,7 @@
 //! The fraction of entries whose raw name differs from their registrable
 //! domain is the "deviation" reported in Table 2.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use topple_psl::{DomainName, PublicSuffixList};
 
@@ -70,7 +70,10 @@ impl NormalizedList {
     pub fn to_ranked_list(&self) -> RankedList {
         RankedList::from_sorted_names(
             self.source,
-            self.entries.iter().map(|(d, _)| d.as_str().to_owned()).collect(),
+            self.entries
+                .iter()
+                .map(|(d, _)| d.as_str().to_owned())
+                .collect(),
         )
     }
 
@@ -99,7 +102,7 @@ fn normalize_entries<'a>(
     psl: &PublicSuffixList,
     raw: impl Iterator<Item = (&'a str, u32)>,
 ) -> (Vec<(DomainName, u32)>, usize, usize) {
-    let mut best: HashMap<DomainName, u32> = HashMap::new();
+    let mut best: BTreeMap<DomainName, u32> = BTreeMap::new();
     let mut raw_len = 0usize;
     let mut deviating = 0usize;
     for (name, value) in raw {
@@ -126,7 +129,9 @@ fn normalize_entries<'a>(
         if deviates {
             deviating += 1;
         }
-        best.entry(key).and_modify(|v| *v = (*v).min(value)).or_insert(value);
+        best.entry(key)
+            .and_modify(|v| *v = (*v).min(value))
+            .or_insert(value);
     }
     let mut entries: Vec<(DomainName, u32)> = best.into_iter().collect();
     entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
@@ -137,14 +142,28 @@ fn normalize_entries<'a>(
 pub fn normalize_ranked(psl: &PublicSuffixList, list: &RankedList) -> NormalizedList {
     let (entries, raw_len, deviating) =
         normalize_entries(psl, list.entries.iter().map(|e| (e.name.as_str(), e.rank)));
-    NormalizedList { source: list.source, entries, ordered: true, raw_len, deviating }
+    NormalizedList {
+        source: list.source,
+        entries,
+        ordered: true,
+        raw_len,
+        deviating,
+    }
 }
 
 /// Normalizes a bucketed list.
 pub fn normalize_bucketed(psl: &PublicSuffixList, list: &BucketedList) -> NormalizedList {
-    let (entries, raw_len, deviating) =
-        normalize_entries(psl, list.entries.iter().map(|e| (e.name.as_str(), e.bucket)));
-    NormalizedList { source: list.source, entries, ordered: false, raw_len, deviating }
+    let (entries, raw_len, deviating) = normalize_entries(
+        psl,
+        list.entries.iter().map(|e| (e.name.as_str(), e.bucket)),
+    );
+    NormalizedList {
+        source: list.source,
+        entries,
+        ordered: false,
+        raw_len,
+        deviating,
+    }
 }
 
 /// Normalizes either format.
@@ -173,7 +192,12 @@ mod tests {
 
     #[test]
     fn groups_by_registrable_domain_with_min_rank() {
-        let l = ranked(&["cdn.example.com", "example.com", "www.example.com", "other.net"]);
+        let l = ranked(&[
+            "cdn.example.com",
+            "example.com",
+            "www.example.com",
+            "other.net",
+        ]);
         let n = normalize_ranked(&psl(), &l);
         assert_eq!(n.len(), 2);
         assert_eq!(n.entries[0].0.as_str(), "example.com");
@@ -198,9 +222,18 @@ mod tests {
         let b = BucketedList {
             source: ListSource::Crux,
             entries: vec![
-                BucketedEntry { name: "https://example.com".into(), bucket: 100 },
-                BucketedEntry { name: "https://www.example.com".into(), bucket: 1000 },
-                BucketedEntry { name: "https://shop.other.co.uk".into(), bucket: 1000 },
+                BucketedEntry {
+                    name: "https://example.com".into(),
+                    bucket: 100,
+                },
+                BucketedEntry {
+                    name: "https://www.example.com".into(),
+                    bucket: 1000,
+                },
+                BucketedEntry {
+                    name: "https://shop.other.co.uk".into(),
+                    bucket: 1000,
+                },
             ],
         };
         let n = normalize_bucketed(&psl(), &b);
@@ -231,8 +264,14 @@ mod tests {
         let b = BucketedList {
             source: ListSource::Crux,
             entries: vec![
-                BucketedEntry { name: "https://a.com".into(), bucket: 10 },
-                BucketedEntry { name: "https://b.com".into(), bucket: 100 },
+                BucketedEntry {
+                    name: "https://a.com".into(),
+                    bucket: 10,
+                },
+                BucketedEntry {
+                    name: "https://b.com".into(),
+                    bucket: 100,
+                },
             ],
         };
         let nb = normalize_bucketed(&psl(), &b);

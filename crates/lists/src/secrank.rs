@@ -15,7 +15,7 @@
 //! The vantage is a Chinese resolver, so the list inherits a strong
 //! geographic skew — exactly the paper's finding.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use topple_sim::{SiteId, World};
 use topple_vantage::DnsVantage;
@@ -25,16 +25,21 @@ use crate::model::{ListSource, RankedList};
 /// Builds the Secrank-style list from the China resolver's monthly votes.
 ///
 /// `window_days` is the number of ingested days (for frequency weighting).
-pub fn build(world: &World, resolver: &DnsVantage, window_days: usize, max_len: usize) -> RankedList {
+pub fn build(
+    world: &World,
+    resolver: &DnsVantage,
+    window_days: usize,
+    max_len: usize,
+) -> RankedList {
     let votes = resolver.votes();
     // Pass 1: per-IP totals for trust computation.
-    let mut ip_domains: HashMap<u32, u32> = HashMap::new();
-    let mut ip_queries: HashMap<u32, u64> = HashMap::new();
+    let mut ip_domains: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut ip_queries: BTreeMap<u32, u64> = BTreeMap::new();
     for ((ip, _site), cell) in votes {
         *ip_domains.entry(*ip).or_default() += 1;
         *ip_queries.entry(*ip).or_default() += u64::from(cell.queries);
     }
-    let trust: HashMap<u32, f64> = ip_domains
+    let trust: BTreeMap<u32, f64> = ip_domains
         .iter()
         .map(|(ip, &d)| {
             let q = ip_queries[ip] as f64;
@@ -47,10 +52,9 @@ pub fn build(world: &World, resolver: &DnsVantage, window_days: usize, max_len: 
     // order varies per instance, so an unsorted fold would make the list
     // nondeterministic in the last ulp (and therefore in tie ordering).
     let window = window_days.max(1) as f64;
-    let mut ordered: Vec<(&(u32, SiteId), &topple_vantage::dns::VoteCell)> =
-        votes.iter().collect();
+    let mut ordered: Vec<(&(u32, SiteId), &topple_vantage::dns::VoteCell)> = votes.iter().collect();
     ordered.sort_by_key(|(k, _)| **k);
-    let mut scores: HashMap<SiteId, f64> = HashMap::new();
+    let mut scores: BTreeMap<SiteId, f64> = BTreeMap::new();
     for ((ip, site), cell) in ordered {
         let days_active = f64::from(cell.day_mask.count_ones());
         let vote = (f64::from(cell.queries)).sqrt() * (days_active / window);
@@ -59,9 +63,11 @@ pub fn build(world: &World, resolver: &DnsVantage, window_days: usize, max_len: 
 
     let mut scored: Vec<(SiteId, f64)> = scores.into_iter().collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
-            .then_with(|| world.sites[a.0.index()].domain.cmp(&world.sites[b.0.index()].domain))
+        b.1.total_cmp(&a.1).then_with(|| {
+            world.sites[a.0.index()]
+                .domain
+                .cmp(&world.sites[b.0.index()].domain)
+        })
     });
     scored.truncate(max_len);
     RankedList::from_sorted_names(

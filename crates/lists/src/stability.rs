@@ -49,10 +49,18 @@ pub fn stability(days: &[RankedList], k: usize) -> StabilityReport {
     let mut daily_retention = Vec::new();
     let mut daily_rank_churn = Vec::new();
     for pair in days.windows(2) {
-        let prev: HashMap<&str, u32> =
-            pair[0].entries.iter().take(k).map(|e| (e.name.as_str(), e.rank)).collect();
-        let cur: Vec<(&str, u32)> =
-            pair[1].entries.iter().take(k).map(|e| (e.name.as_str(), e.rank)).collect();
+        let prev: HashMap<&str, u32> = pair[0]
+            .entries
+            .iter()
+            .take(k)
+            .map(|e| (e.name.as_str(), e.rank))
+            .collect();
+        let cur: Vec<(&str, u32)> = pair[1]
+            .entries
+            .iter()
+            .take(k)
+            .map(|e| (e.name.as_str(), e.rank))
+            .collect();
         let denom = prev.len().max(cur.len()).max(1);
         let mut kept = 0usize;
         let mut churn_sum = 0.0;
@@ -63,9 +71,17 @@ pub fn stability(days: &[RankedList], k: usize) -> StabilityReport {
             }
         }
         daily_retention.push(kept as f64 / denom as f64);
-        daily_rank_churn.push(if kept > 0 { churn_sum / kept as f64 } else { f64::NAN });
+        daily_rank_churn.push(if kept > 0 {
+            churn_sum / kept as f64
+        } else {
+            f64::NAN
+        });
     }
-    StabilityReport { k, daily_retention, daily_rank_churn }
+    StabilityReport {
+        k,
+        daily_retention,
+        daily_rank_churn,
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +90,10 @@ mod tests {
     use crate::model::ListSource;
 
     fn list(names: &[&str]) -> RankedList {
-        RankedList::from_sorted_names(ListSource::Alexa, names.iter().map(|s| s.to_string()).collect())
+        RankedList::from_sorted_names(
+            ListSource::Alexa,
+            names.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     #[test]

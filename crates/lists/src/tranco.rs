@@ -7,7 +7,7 @@
 //! paper shows — it inherits and averages its inputs' biases rather than
 //! fixing them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::model::{ListSource, RankedList};
 
@@ -17,14 +17,14 @@ use crate::model::{ListSource, RankedList};
 /// providers. Names are aggregated exactly as published (no normalization —
 /// real Tranco contains Umbrella's FQDN entries verbatim).
 pub fn build(inputs: &[&RankedList], max_len: usize) -> RankedList {
-    let mut scores: HashMap<&str, f64> = HashMap::new();
+    let mut scores: BTreeMap<&str, f64> = BTreeMap::new();
     for list in inputs {
         for e in &list.entries {
             *scores.entry(e.name.as_str()).or_default() += 1.0 / f64::from(e.rank);
         }
     }
     let mut scored: Vec<(&str, f64)> = scores.into_iter().collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
     scored.truncate(max_len);
     RankedList::from_sorted_names(
         ListSource::Tranco,
@@ -37,7 +37,10 @@ mod tests {
     use super::*;
 
     fn list(names: &[&str]) -> RankedList {
-        RankedList::from_sorted_names(ListSource::Alexa, names.iter().map(|s| s.to_string()).collect())
+        RankedList::from_sorted_names(
+            ListSource::Alexa,
+            names.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     #[test]
@@ -61,7 +64,11 @@ mod tests {
         let l3 = mk(&["f9.com", "y.com", "f10.com", "f11.com", "x.com"]);
         let t = build(&[&l1, &l2, &l3], 100);
         let rank_of = |t: &RankedList, n: &str| {
-            t.entries.iter().find(|e| e.name == n).map(|e| e.rank).unwrap()
+            t.entries
+                .iter()
+                .find(|e| e.name == n)
+                .map(|e| e.rank)
+                .unwrap()
         };
         assert!(rank_of(&t, "x.com") < rank_of(&t, "y.com"));
     }
@@ -74,7 +81,10 @@ mod tests {
         let mut days: Vec<&RankedList> = vec![&base; 9];
         days.push(&churned);
         let t = build(&days, 10);
-        assert_eq!(t.top_names(5).collect::<Vec<_>>(), vec!["a.com", "b.com", "c.com", "d.com", "e.com"]);
+        assert_eq!(
+            t.top_names(5).collect::<Vec<_>>(),
+            vec!["a.com", "b.com", "c.com", "d.com", "e.com"]
+        );
     }
 
     #[test]

@@ -13,7 +13,12 @@ use crate::model::{ListSource, RankedList};
 /// Interleaves `tranco` and `alexa` with `alexa_weight` Alexa picks per
 /// Tranco pick (the reference construction weights toward Alexa; 2 is used
 /// throughout this workspace).
-pub fn build(tranco: &RankedList, alexa: &RankedList, alexa_weight: usize, max_len: usize) -> RankedList {
+pub fn build(
+    tranco: &RankedList,
+    alexa: &RankedList,
+    alexa_weight: usize,
+    max_len: usize,
+) -> RankedList {
     assert!(alexa_weight >= 1, "alexa_weight must be at least 1");
     let mut names: Vec<String> = Vec::new();
     let mut seen: HashSet<&str> = HashSet::new();
@@ -63,7 +68,10 @@ mod tests {
         let alexa = list(ListSource::Alexa, &["a1", "a2", "a3", "a4"]);
         let tranco = list(ListSource::Tranco, &["t1", "t2"]);
         let t = build(&tranco, &alexa, 2, 100);
-        assert_eq!(t.top_names(6).collect::<Vec<_>>(), vec!["a1", "a2", "t1", "a3", "a4", "t2"]);
+        assert_eq!(
+            t.top_names(6).collect::<Vec<_>>(),
+            vec!["a1", "a2", "t1", "a3", "a4", "t2"]
+        );
     }
 
     #[test]

@@ -31,10 +31,10 @@ pub fn build_daily(
     window: usize,
     max_len: usize,
 ) -> RankedList {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let start = (day_index + 1).saturating_sub(window.max(1));
-    let mut ips: HashMap<topple_vantage::QueriedName, u64> = HashMap::new();
-    let mut queries: HashMap<topple_vantage::QueriedName, u64> = HashMap::new();
+    let mut ips: BTreeMap<topple_vantage::QueriedName, u64> = BTreeMap::new();
+    let mut queries: BTreeMap<topple_vantage::QueriedName, u64> = BTreeMap::new();
     let mut total_q = 0u64;
     for d in start..=day_index {
         let day = resolver.day(d);
@@ -56,9 +56,12 @@ pub fn build_daily(
         })
         .collect();
     // Descending score; ALPHABETICAL tie-breaking.
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     scored.truncate(max_len);
-    RankedList::from_sorted_names(ListSource::Umbrella, scored.into_iter().map(|(n, _)| n).collect())
+    RankedList::from_sorted_names(
+        ListSource::Umbrella,
+        scored.into_iter().map(|(n, _)| n).collect(),
+    )
 }
 
 /// Builds a month-representative Umbrella-style list: names ranked by their
@@ -69,9 +72,9 @@ pub fn build_daily(
 /// divides each zone's counts by an arbitrary factor (see the DNS vantage),
 /// and residual integer ties break alphabetically.
 pub fn build_monthly(world: &World, resolver: &DnsVantage, max_len: usize) -> RankedList {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let days = resolver.day_count().max(1) as f64;
-    let mut sums: HashMap<topple_vantage::QueriedName, f64> = HashMap::new();
+    let mut sums: BTreeMap<topple_vantage::QueriedName, f64> = BTreeMap::new();
     for d in 0..resolver.day_count() {
         for (name, stats) in resolver.day(d).names() {
             *sums.entry(*name).or_default() += f64::from(stats.unique_ips);
@@ -81,9 +84,12 @@ pub fn build_monthly(world: &World, resolver: &DnsVantage, max_len: usize) -> Ra
         .into_iter()
         .map(|(name, score)| (DnsVantage::name_text(world, name), score / days))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     scored.truncate(max_len);
-    RankedList::from_sorted_names(ListSource::Umbrella, scored.into_iter().map(|(n, _)| n).collect())
+    RankedList::from_sorted_names(
+        ListSource::Umbrella,
+        scored.into_iter().map(|(n, _)| n).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -131,9 +137,9 @@ mod tests {
         // should appear near the head of the list — far above their (zero)
         // browsing popularity.
         let head: Vec<&str> = l.top_names(100).collect();
-        let has_infra = head.iter().any(|n| {
-            w.background_names.iter().any(|b| b.as_str() == *n)
-        });
+        let has_infra = head
+            .iter()
+            .any(|n| w.background_names.iter().any(|b| b.as_str() == *n));
         assert!(has_infra, "expected background names in the top 100");
     }
 

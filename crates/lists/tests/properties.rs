@@ -7,8 +7,11 @@ use topple_psl::PublicSuffixList;
 
 /// Strategy: a ranked list of unique plausible names (domains + FQDNs).
 fn name_list() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::btree_set("[a-z]{1,6}(\\.[a-z]{1,6}){0,2}\\.(com|net|org|co\\.uk)", 1..40)
-        .prop_map(|set| set.into_iter().collect())
+    proptest::collection::btree_set(
+        "[a-z]{1,6}(\\.[a-z]{1,6}){0,2}\\.(com|net|org|co\\.uk)",
+        1..40,
+    )
+    .prop_map(|set| set.into_iter().collect())
 }
 
 proptest! {

@@ -116,7 +116,9 @@ impl PublicSuffixList {
     ///
     /// Parsing the embedded text cannot fail; the unit tests below and the
     /// crate's property tests guard that invariant.
+    #[allow(clippy::expect_used)]
     pub fn builtin() -> PublicSuffixList {
+        // topple-lint: allow(unwrap): embedded constant text, validity pinned by unit and property tests
         PublicSuffixList::parse(BUILTIN_PSL_TEXT).expect("embedded PSL text is valid")
     }
 }
@@ -126,7 +128,8 @@ mod tests {
     use crate::{DomainName, PublicSuffixList};
 
     fn reg(l: &PublicSuffixList, s: &str) -> Option<String> {
-        l.registrable_domain(&s.parse::<DomainName>().unwrap()).map(|d| d.as_str().to_owned())
+        l.registrable_domain(&s.parse::<DomainName>().unwrap())
+            .map(|d| d.as_str().to_owned())
     }
 
     #[test]
@@ -138,7 +141,10 @@ mod tests {
     #[test]
     fn country_suffixes() {
         let l = PublicSuffixList::builtin();
-        assert_eq!(reg(&l, "shop.example.com.br"), Some("example.com.br".into()));
+        assert_eq!(
+            reg(&l, "shop.example.com.br"),
+            Some("example.com.br".into())
+        );
         assert_eq!(reg(&l, "www.example.co.jp"), Some("example.co.jp".into()));
         assert_eq!(reg(&l, "example.de"), Some("example.de".into()));
         assert_eq!(reg(&l, "m.example.co.za"), Some("example.co.za".into()));
@@ -159,6 +165,9 @@ mod tests {
         assert_eq!(reg(&l, "www.ck"), Some("www.ck".into()));
         assert_eq!(reg(&l, "shop.foo.ck"), Some("shop.foo.ck".into()));
         assert_eq!(reg(&l, "city.kawasaki.jp"), Some("city.kawasaki.jp".into()));
-        assert_eq!(reg(&l, "x.other.kawasaki.jp"), Some("x.other.kawasaki.jp".into()));
+        assert_eq!(
+            reg(&l, "x.other.kawasaki.jp"),
+            Some("x.other.kawasaki.jp".into())
+        );
     }
 }

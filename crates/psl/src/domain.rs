@@ -52,10 +52,14 @@ impl DomainName {
                 return Err(DomainError::EmptyLabel);
             }
             if label.len() > Self::MAX_LABEL_LEN {
-                return Err(DomainError::LabelTooLong { label: label.to_owned() });
+                return Err(DomainError::LabelTooLong {
+                    label: label.to_owned(),
+                });
             }
             if label.starts_with('-') || label.ends_with('-') {
-                return Err(DomainError::HyphenEdge { label: label.to_owned() });
+                return Err(DomainError::HyphenEdge {
+                    label: label.to_owned(),
+                });
             }
             for ch in label.chars() {
                 if !(ch.is_ascii_alphanumeric() || ch == '-' || ch == '_') {
@@ -93,7 +97,9 @@ impl DomainName {
     /// `www.example.com` → `example.com`.
     pub fn parent(&self) -> Option<DomainName> {
         let idx = self.name.find('.')?;
-        Some(DomainName { name: self.name[idx + 1..].to_owned() })
+        Some(DomainName {
+            name: self.name[idx + 1..].to_owned(),
+        })
     }
 
     /// Returns the suffix of `self` formed by its rightmost `n` labels, if `self`
@@ -110,10 +116,14 @@ impl DomainName {
         }
         let mut rest = self.name.as_str();
         for _ in 0..total - n {
-            let idx = rest.find('.').expect("label arithmetic is consistent");
+            // label_count() counts dots, so each strip must find one; fall
+            // back to None rather than panicking if that invariant breaks.
+            let idx = rest.find('.')?;
             rest = &rest[idx + 1..];
         }
-        Some(DomainName { name: rest.to_owned() })
+        Some(DomainName {
+            name: rest.to_owned(),
+        })
     }
 
     /// Whether `self` equals `other` or is a subdomain of it.
@@ -140,7 +150,9 @@ impl DomainName {
     /// Intended for internal fast paths (e.g. PSL rule storage); panics in debug
     /// builds when the invariant is violated.
     pub(crate) fn from_normalized(name: String) -> DomainName {
-        debug_assert!(DomainName::new(&name).map(|d| d.name == name).unwrap_or(false));
+        debug_assert!(DomainName::new(&name)
+            .map(|d| d.name == name)
+            .unwrap_or(false));
         DomainName { name }
     }
 }
@@ -203,8 +215,14 @@ mod tests {
 
     #[test]
     fn rejects_hyphen_edges() {
-        assert!(matches!(DomainName::new("-a.com"), Err(DomainError::HyphenEdge { .. })));
-        assert!(matches!(DomainName::new("a-.com"), Err(DomainError::HyphenEdge { .. })));
+        assert!(matches!(
+            DomainName::new("-a.com"),
+            Err(DomainError::HyphenEdge { .. })
+        ));
+        assert!(matches!(
+            DomainName::new("a-.com"),
+            Err(DomainError::HyphenEdge { .. })
+        ));
         assert!(DomainName::new("a-b.com").is_ok());
     }
 
@@ -218,7 +236,10 @@ mod tests {
         let ok_label = "a".repeat(63);
         assert!(DomainName::new(&format!("{ok_label}.com")).is_ok());
         let long_name = format!("{}.{}.{}.{}.com", ok_label, ok_label, ok_label, ok_label);
-        assert!(matches!(DomainName::new(&long_name), Err(DomainError::NameTooLong { .. })));
+        assert!(matches!(
+            DomainName::new(&long_name),
+            Err(DomainError::NameTooLong { .. })
+        ));
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl fmt::Display for DomainError {
         match self {
             DomainError::Empty => write!(f, "domain name is empty"),
             DomainError::NameTooLong { len } => {
-                write!(f, "domain name is {len} bytes, exceeding the 253-byte limit")
+                write!(
+                    f,
+                    "domain name is {len} bytes, exceeding the 253-byte limit"
+                )
             }
             DomainError::LabelTooLong { label } => {
                 write!(f, "label `{label}` exceeds the 63-byte limit")
@@ -80,7 +83,10 @@ impl fmt::Display for OriginError {
         match self {
             OriginError::MissingScheme => write!(f, "origin is missing a `scheme://` prefix"),
             OriginError::UnsupportedScheme { scheme } => {
-                write!(f, "unsupported origin scheme `{scheme}` (expected http or https)")
+                write!(
+                    f,
+                    "unsupported origin scheme `{scheme}` (expected http or https)"
+                )
             }
             OriginError::InvalidHost(e) => write!(f, "invalid origin host: {e}"),
             OriginError::InvalidPort { port } => write!(f, "invalid origin port `{port}`"),

@@ -108,7 +108,9 @@ impl FromStr for Origin {
             "http" => Scheme::Http,
             "https" => Scheme::Https,
             other => {
-                return Err(OriginError::UnsupportedScheme { scheme: other.to_owned() });
+                return Err(OriginError::UnsupportedScheme {
+                    scheme: other.to_owned(),
+                });
             }
         };
         if rest.contains(['/', '?', '#']) {
@@ -163,7 +165,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert_eq!("example.com".parse::<Origin>(), Err(OriginError::MissingScheme));
+        assert_eq!(
+            "example.com".parse::<Origin>(),
+            Err(OriginError::MissingScheme)
+        );
         assert!(matches!(
             "ftp://example.com".parse::<Origin>(),
             Err(OriginError::UnsupportedScheme { .. })
@@ -180,7 +185,10 @@ mod tests {
             "https://example.com:banana".parse::<Origin>(),
             Err(OriginError::InvalidPort { .. })
         ));
-        assert!(matches!("https://ex ample.com".parse::<Origin>(), Err(OriginError::InvalidHost(_))));
+        assert!(matches!(
+            "https://ex ample.com".parse::<Origin>(),
+            Err(OriginError::InvalidHost(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!    if no rule matches, the implicit rule `*` prevails (the TLD is public).
 //! 4. The registrable domain is the public suffix plus one more label.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{DomainName, PslParseError};
@@ -63,7 +63,7 @@ impl fmt::Display for Rule {
 #[derive(Debug, Clone, Default)]
 pub struct PublicSuffixList {
     /// Rules keyed by their stripped suffix string.
-    by_suffix: HashMap<String, RuleEntry>,
+    by_suffix: BTreeMap<String, RuleEntry>,
 }
 
 /// Collapsed per-suffix rule flags (a suffix can carry a normal and a wildcard
@@ -115,9 +115,12 @@ impl PublicSuffixList {
         if stripped.contains('*') {
             return Err(PslParseError::MisplacedWildcard { line });
         }
-        let suffix =
-            DomainName::new(stripped).map_err(|source| PslParseError::InvalidRule { line, source })?;
-        let entry = self.by_suffix.entry(suffix.as_str().to_owned()).or_default();
+        let suffix = DomainName::new(stripped)
+            .map_err(|source| PslParseError::InvalidRule { line, source })?;
+        let entry = self
+            .by_suffix
+            .entry(suffix.as_str().to_owned())
+            .or_default();
         match kind {
             RuleKind::Normal => entry.normal = true,
             RuleKind::Wildcard => entry.wildcard = true,
@@ -139,19 +142,28 @@ impl PublicSuffixList {
         self.by_suffix.is_empty()
     }
 
-    /// Iterates over all stored rules in unspecified order.
+    /// Iterates over all stored rules in suffix order.
     pub fn rules(&self) -> impl Iterator<Item = Rule> + '_ {
         self.by_suffix.iter().flat_map(|(suffix, entry)| {
             let suffix = DomainName::from_normalized(suffix.clone());
             let mut out = Vec::with_capacity(3);
             if entry.normal {
-                out.push(Rule { suffix: suffix.clone(), kind: RuleKind::Normal });
+                out.push(Rule {
+                    suffix: suffix.clone(),
+                    kind: RuleKind::Normal,
+                });
             }
             if entry.wildcard {
-                out.push(Rule { suffix: suffix.clone(), kind: RuleKind::Wildcard });
+                out.push(Rule {
+                    suffix: suffix.clone(),
+                    kind: RuleKind::Wildcard,
+                });
             }
             if entry.exception {
-                out.push(Rule { suffix, kind: RuleKind::Exception });
+                out.push(Rule {
+                    suffix,
+                    kind: RuleKind::Exception,
+                });
             }
             out
         })
@@ -242,7 +254,8 @@ mod tests {
     }
 
     fn reg(l: &PublicSuffixList, s: &str) -> Option<String> {
-        l.registrable_domain(&s.parse().unwrap()).map(|d| d.as_str().to_owned())
+        l.registrable_domain(&s.parse().unwrap())
+            .map(|d| d.as_str().to_owned())
     }
 
     #[test]
@@ -279,15 +292,24 @@ mod tests {
         assert_eq!(reg(&l, "www.ck"), Some("www.ck".into()));
         assert_eq!(reg(&l, "a.www.ck"), Some("www.ck".into()));
         assert_eq!(reg(&l, "city.kawasaki.jp"), Some("city.kawasaki.jp".into()));
-        assert_eq!(reg(&l, "sub.city.kawasaki.jp"), Some("city.kawasaki.jp".into()));
+        assert_eq!(
+            reg(&l, "sub.city.kawasaki.jp"),
+            Some("city.kawasaki.jp".into())
+        );
         assert_eq!(reg(&l, "example.kawasaki.jp"), None);
-        assert_eq!(reg(&l, "sub.example.kawasaki.jp"), Some("sub.example.kawasaki.jp".into()));
+        assert_eq!(
+            reg(&l, "sub.example.kawasaki.jp"),
+            Some("sub.example.kawasaki.jp".into())
+        );
     }
 
     #[test]
     fn private_suffixes() {
         let l = list();
-        assert_eq!(reg(&l, "myblog.blogspot.com"), Some("myblog.blogspot.com".into()));
+        assert_eq!(
+            reg(&l, "myblog.blogspot.com"),
+            Some("myblog.blogspot.com".into())
+        );
         assert_eq!(reg(&l, "blogspot.com"), None);
     }
 

@@ -18,7 +18,10 @@ fn check(psl: &PublicSuffixList, input: &str, expected: Option<&str>) {
             );
         }
         Err(_) => {
-            assert_eq!(expected, None, "{input:?} failed to parse but expected {expected:?}");
+            assert_eq!(
+                expected, None,
+                "{input:?} failed to parse but expected {expected:?}"
+            );
         }
     }
 }

@@ -78,12 +78,22 @@ impl WorldConfig {
 
     /// Small world for examples and integration tests (a few seconds).
     pub fn small(seed: u64) -> Self {
-        WorldConfig { seed, n_sites: 4_000, n_clients: 2_000, ..WorldConfig::base() }
+        WorldConfig {
+            seed,
+            n_sites: 4_000,
+            n_clients: 2_000,
+            ..WorldConfig::base()
+        }
     }
 
     /// Medium world: the default for benchmark runs.
     pub fn medium(seed: u64) -> Self {
-        WorldConfig { seed, n_sites: 20_000, n_clients: 8_000, ..WorldConfig::base() }
+        WorldConfig {
+            seed,
+            n_sites: 20_000,
+            n_clients: 8_000,
+            ..WorldConfig::base()
+        }
     }
 
     /// Full experiment scale used by `topple-experiments` (minutes).
@@ -122,10 +132,15 @@ impl WorldConfig {
     /// fewer than 10 sites.
     pub fn rank_magnitudes(&self) -> Vec<(&'static str, usize)> {
         let n = self.n_sites;
-        [("1K", n / 1000), ("10K", n / 100), ("100K", n / 10), ("1M", n)]
-            .into_iter()
-            .filter(|&(_, k)| k >= 10)
-            .collect()
+        [
+            ("1K", n / 1000),
+            ("10K", n / 100),
+            ("100K", n / 10),
+            ("1M", n),
+        ]
+        .into_iter()
+        .filter(|&(_, k)| k >= 10)
+        .collect()
     }
 
     /// Sanity-checks parameter ranges; called by `World::generate`.
@@ -177,7 +192,12 @@ mod tests {
         let cfg = WorldConfig::paper(1);
         assert_eq!(
             cfg.rank_magnitudes(),
-            vec![("1K", 100), ("10K", 1_000), ("100K", 10_000), ("1M", 100_000)]
+            vec![
+                ("1K", 100),
+                ("10K", 1_000),
+                ("100K", 10_000),
+                ("1M", 100_000)
+            ]
         );
         let tiny = WorldConfig::tiny(1);
         // 400 sites: 1K bucket would be 0 sites and 10K bucket 4; both skipped.

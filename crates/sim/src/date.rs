@@ -61,7 +61,10 @@ impl Date {
     pub fn new(year: i32, month: u8, day: u8) -> Self {
         assert!((1..=12).contains(&month), "month out of range: {month}");
         let d = Date { year, month, day };
-        assert!(day >= 1 && day <= d.days_in_month(), "day out of range: {day}");
+        assert!(
+            day >= 1 && day <= d.days_in_month(),
+            "day out of range: {day}"
+        );
         d
     }
 
@@ -82,6 +85,7 @@ impl Date {
                     28
                 }
             }
+            // topple-lint: allow(panic): Date constructors reject months outside 1..=12
             _ => unreachable!("month validated at construction"),
         }
     }
@@ -106,18 +110,30 @@ impl Date {
             4 => Weekday::Wed,
             5 => Weekday::Thu,
             6 => Weekday::Fri,
-            _ => unreachable!(),
+            // topple-lint: allow(panic): rem_euclid(7) yields exactly 0..=6
+            _ => unreachable!("rem_euclid(7) is in 0..=6"),
         }
     }
 
     /// The next calendar day.
     pub fn succ(self) -> Date {
         if self.day < self.days_in_month() {
-            Date { day: self.day + 1, ..self }
+            Date {
+                day: self.day + 1,
+                ..self
+            }
         } else if self.month < 12 {
-            Date { year: self.year, month: self.month + 1, day: 1 }
+            Date {
+                year: self.year,
+                month: self.month + 1,
+                day: 1,
+            }
         } else {
-            Date { year: self.year + 1, month: 1, day: 1 }
+            Date {
+                year: self.year + 1,
+                month: 1,
+                day: 1,
+            }
         }
     }
 

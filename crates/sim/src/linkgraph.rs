@@ -135,7 +135,9 @@ mod tests {
         let w = tiny_world();
         let g = &w.link_graph;
         assert_eq!(g.site_count(), w.sites.len());
-        let total: usize = (0..w.sites.len()).map(|i| g.out_links(SiteId(i as u32)).len()).sum();
+        let total: usize = (0..w.sites.len())
+            .map(|i| g.out_links(SiteId(i as u32)).len())
+            .sum();
         assert_eq!(total, g.edge_count());
     }
 

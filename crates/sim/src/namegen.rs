@@ -17,9 +17,9 @@ use crate::taxonomy::{Category, Country};
 const ADJECTIVES: &[&str] = &[
     "swift", "bright", "quiet", "brave", "lunar", "solar", "amber", "cobalt", "crimson", "emerald",
     "golden", "iron", "jade", "mellow", "noble", "onyx", "pearl", "rapid", "scarlet", "teal",
-    "urban", "vivid", "wild", "young", "zesty", "arc", "bold", "calm", "deep", "early",
-    "fresh", "grand", "happy", "ideal", "jolly", "keen", "lively", "magic", "nimble", "open",
-    "prime", "quick", "royal", "sunny", "tidy", "ultra", "vast", "warm", "alpha", "beta",
+    "urban", "vivid", "wild", "young", "zesty", "arc", "bold", "calm", "deep", "early", "fresh",
+    "grand", "happy", "ideal", "jolly", "keen", "lively", "magic", "nimble", "open", "prime",
+    "quick", "royal", "sunny", "tidy", "ultra", "vast", "warm", "alpha", "beta",
 ];
 
 const NOUNS: &[&str] = &[
@@ -27,15 +27,24 @@ const NOUNS: &[&str] = &[
     "engine", "falcon", "glacier", "hollow", "island", "jungle", "kernel", "lantern", "meadow",
     "nebula", "orchid", "prairie", "quartz", "ridge", "summit", "tiger", "umbrella", "valley",
     "willow", "xenon", "yarrow", "zephyr", "anchor", "beacon", "canyon", "dolphin", "ember",
-    "fjord", "grove", "harvest", "iris", "jasper", "knoll", "lagoon", "mosaic", "north",
-    "opal", "pixel", "quill", "raven", "spruce",
+    "fjord", "grove", "harvest", "iris", "jasper", "knoll", "lagoon", "mosaic", "north", "opal",
+    "pixel", "quill", "raven", "spruce",
 ];
 
 const CATEGORY_HINTS: &[(&str, &[&str])] = &[
-    ("news", &["daily", "times", "herald", "press", "wire", "report"]),
-    ("shop", &["store", "mart", "deals", "cart", "bazaar", "outlet"]),
+    (
+        "news",
+        &["daily", "times", "herald", "press", "wire", "report"],
+    ),
+    (
+        "shop",
+        &["store", "mart", "deals", "cart", "bazaar", "outlet"],
+    ),
     ("tech", &["labs", "cloud", "stack", "byte", "code", "data"]),
-    ("game", &["play", "arcade", "quest", "arena", "guild", "pixelgames"]),
+    (
+        "game",
+        &["play", "arcade", "quest", "arena", "guild", "pixelgames"],
+    ),
 ];
 
 /// Per-country TLD pools (suffixes must exist in the built-in PSL).
@@ -56,8 +65,9 @@ fn country_tlds(c: Country) -> &'static [&'static str] {
     }
 }
 
-const GENERIC_TLDS: &[&str] =
-    &["com", "net", "org", "io", "co", "info", "xyz", "online", "site", "app", "dev", "me"];
+const GENERIC_TLDS: &[&str] = &[
+    "com", "net", "org", "io", "co", "info", "xyz", "online", "site", "app", "dev", "me",
+];
 
 const PRIVATE_SUFFIXES: &[&str] = &["github.io", "blogspot.com", "pages.dev", "netlify.app"];
 
@@ -101,7 +111,10 @@ pub struct NameGenerator {
 impl NameGenerator {
     /// Creates an empty generator.
     pub fn new() -> Self {
-        NameGenerator { used: HashSet::new(), counter: 0 }
+        NameGenerator {
+            used: HashSet::new(),
+            counter: 0,
+        }
     }
 
     /// Number of names minted so far.
@@ -112,6 +125,7 @@ impl NameGenerator {
     /// Mints a unique registrable domain for a site of the given category and
     /// home country. `is_global` sites use generic TLDs; blogs sometimes land
     /// on private registry suffixes.
+    #[allow(clippy::expect_used)]
     pub fn mint(
         &mut self,
         rng: &mut SmallRng,
@@ -134,6 +148,7 @@ impl NameGenerator {
             base
         };
         self.used.insert(name.clone());
+        // topple-lint: allow(unwrap): labels come from fixed lowercase-ASCII word tables
         DomainName::new(&name).expect("generated names are valid by construction")
     }
 

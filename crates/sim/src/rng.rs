@@ -34,7 +34,9 @@ pub enum Stream {
 /// Uses SplitMix64 over the packed key, which is a standard way to turn
 /// correlated integer keys into independent seeds.
 pub fn substream(seed: u64, stream: Stream, index: u64) -> SmallRng {
-    let mut z = seed ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z = seed
+        ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     // Two SplitMix64 rounds.
     for _ in 0..2 {
         z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -134,7 +136,10 @@ mod tests {
         let mut rng = substream(9, Stream::Traffic, 1);
         let lambda = 4.5;
         let n = 100_000;
-        let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.05, "mean {mean}");
     }
 
@@ -143,7 +148,10 @@ mod tests {
         let mut rng = substream(9, Stream::Traffic, 2);
         let lambda = 120.0;
         let n = 50_000;
-        let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 1.0, "mean {mean}");
     }
 

@@ -161,10 +161,22 @@ mod tests {
             private_share: 0.03,
             root_nav_share: 0.5,
             hosts: vec![
-                SiteHost { name: domain.clone(), kind: HostKind::Apex },
-                SiteHost { name: domain.prepend("www").unwrap(), kind: HostKind::Www },
-                SiteHost { name: domain.prepend("m").unwrap(), kind: HostKind::Mobile },
-                SiteHost { name: domain.prepend("cdn").unwrap(), kind: HostKind::Service },
+                SiteHost {
+                    name: domain.clone(),
+                    kind: HostKind::Apex,
+                },
+                SiteHost {
+                    name: domain.prepend("www").unwrap(),
+                    kind: HostKind::Www,
+                },
+                SiteHost {
+                    name: domain.prepend("m").unwrap(),
+                    kind: HostKind::Mobile,
+                },
+                SiteHost {
+                    name: domain.prepend("cdn").unwrap(),
+                    kind: HostKind::Service,
+                },
             ],
             third_party: vec![],
             is_infrastructure: false,

@@ -181,7 +181,7 @@ impl Country {
 }
 
 /// Client platform (operating system).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Platform {
     /// Desktop Windows — the Chrome team's representative desktop platform.
@@ -198,8 +198,13 @@ pub enum Platform {
 
 impl Platform {
     /// All platforms in stable order.
-    pub const ALL: [Platform; 5] =
-        [Platform::Windows, Platform::Android, Platform::MacOs, Platform::Ios, Platform::Other];
+    pub const ALL: [Platform; 5] = [
+        Platform::Windows,
+        Platform::Android,
+        Platform::MacOs,
+        Platform::Ios,
+        Platform::Other,
+    ];
 
     /// Stable dense index.
     #[inline]

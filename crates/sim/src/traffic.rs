@@ -121,7 +121,10 @@ impl World {
         // Scratch: each client's sites visited so far today, for revisits.
         let mut today: Vec<u32> = Vec::with_capacity(64);
         for client in &self.clients {
-            let loads = poisson(&mut rng, f64::from(client.activity) * client.day_factor(weekend));
+            let loads = poisson(
+                &mut rng,
+                f64::from(client.activity) * client.day_factor(weekend),
+            );
             let mobile = client.platform.is_mobile();
             let table = self.nav_tables.get(client.country, mobile, weekend);
             today.clear();
@@ -142,9 +145,7 @@ impl World {
                 // panelists drop to a few percent of their population rate.
                 if client.alexa_panelist && self.config.mechanisms.panel_aversion {
                     for _ in 0..2 {
-                        if self.sites[site_idx].category.panel_averse()
-                            && chance(&mut rng, 0.9)
-                        {
+                        if self.sites[site_idx].category.panel_averse() && chance(&mut rng, 0.9) {
                             site_idx = table.sample(&mut rng) as usize;
                         } else {
                             break;
@@ -161,8 +162,11 @@ impl World {
                 } else {
                     0
                 };
-                let own_requests =
-                    if completed { poisson(&mut rng, site.subresource_mean).min(2000) as u16 } else { poisson(&mut rng, 1.0).min(10) as u16 };
+                let own_requests = if completed {
+                    poisson(&mut rng, site.subresource_mean).min(2000) as u16
+                } else {
+                    poisson(&mut rng, 1.0).min(10) as u16
+                };
                 let total = u32::from(own_requests) + 1;
                 let non200 = poisson(&mut rng, f64::from(total) * site.error_rate)
                     .min(u64::from(total)) as u16;
@@ -203,11 +207,10 @@ impl World {
                         if chance(&mut rng, f64::from(p)) {
                             let dep_site = &self.sites[dep.index()];
                             let requests = (1 + poisson(&mut rng, 2.0)) as u16;
-                            let non200 = poisson(
-                                &mut rng,
-                                f64::from(requests) * dep_site.error_rate,
-                            )
-                            .min(u64::from(requests)) as u16;
+                            let non200 =
+                                poisson(&mut rng, f64::from(requests) * dep_site.error_rate)
+                                    .min(u64::from(requests))
+                                    as u16;
                             let tls = if dep_site.https { 1 } else { 0 };
                             let fresh = stub_cache.insert(cache_key(client.id, dep));
                             third_party.push(ThirdPartyFetch {
@@ -230,11 +233,20 @@ impl World {
             let name_count = self.background_names.len() as u64;
             for _ in 0..n_bg {
                 let name_idx = (rng.random::<u64>() % name_count) as u16;
-                background.push(BackgroundQuery { client: client.id, name_idx });
+                background.push(BackgroundQuery {
+                    client: client.id,
+                    name_idx,
+                });
             }
         }
 
-        DayTraffic { day, day_index, page_loads, third_party, background }
+        DayTraffic {
+            day,
+            day_index,
+            page_loads,
+            third_party,
+            background,
+        }
     }
 
     /// Simulates every configured day sequentially, invoking `f` per day.
@@ -393,7 +405,11 @@ mod tests {
 
     #[test]
     fn private_mode_tracks_category() {
-        let w = World::generate(WorldConfig { n_clients: 800, ..WorldConfig::tiny(23) }).unwrap();
+        let w = World::generate(WorldConfig {
+            n_clients: 800,
+            ..WorldConfig::tiny(23)
+        })
+        .unwrap();
         let t = w.simulate_day(0);
         let (mut adult_priv, mut adult_all, mut biz_priv, mut biz_all) = (0u32, 0u32, 0u32, 0u32);
         for pl in &t.page_loads {

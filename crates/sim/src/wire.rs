@@ -67,11 +67,8 @@ impl std::error::Error for WireError {}
 
 /// Encodes a day of traffic into its wire form.
 pub fn encode_day(t: &DayTraffic) -> Bytes {
-    let cap = 18
-        + 4 * 3
-        + t.page_loads.len() * 19
-        + t.third_party.len() * 17
-        + t.background.len() * 7;
+    let cap =
+        18 + 4 * 3 + t.page_loads.len() * 19 + t.third_party.len() * 17 + t.background.len() * 7;
     let mut buf = BytesMut::with_capacity(cap);
     buf.put_slice(MAGIC);
     buf.put_u32_le(t.day_index as u32);
@@ -219,7 +216,13 @@ pub fn decode_day(mut buf: &[u8]) -> Result<DayTraffic, WireError> {
     if page_loads.len() != n_pl || third_party.len() != n_tp || background.len() != n_bg {
         return Err(WireError::CountMismatch);
     }
-    Ok(DayTraffic { day, day_index, page_loads, third_party, background })
+    Ok(DayTraffic {
+        day,
+        day_index,
+        page_loads,
+        third_party,
+        background,
+    })
 }
 
 #[cfg(test)]
@@ -229,7 +232,9 @@ mod tests {
     use crate::world::World;
 
     fn sample_day() -> DayTraffic {
-        World::generate(WorldConfig::tiny(404)).unwrap().simulate_day(2)
+        World::generate(WorldConfig::tiny(404))
+            .unwrap()
+            .simulate_day(2)
     }
 
     #[test]
@@ -292,7 +297,10 @@ mod tests {
         // Chop mid-record.
         let cut = encoded.len() - 3;
         let err = decode_day(&encoded[..cut]).unwrap_err();
-        assert!(matches!(err, WireError::Truncated | WireError::CountMismatch));
+        assert!(matches!(
+            err,
+            WireError::Truncated | WireError::CountMismatch
+        ));
     }
 
     #[test]
@@ -323,7 +331,8 @@ mod tests {
         let encoded = encode_day(&t);
         // Upper bound: 19 B per page load + 17 per third-party + 7 per
         // background + header.
-        let bound = 18 + 12 + t.page_loads.len() * 19 + t.third_party.len() * 17 + t.background.len() * 7;
+        let bound =
+            18 + 12 + t.page_loads.len() * 19 + t.third_party.len() * 17 + t.background.len() * 7;
         assert!(encoded.len() <= bound);
     }
 }

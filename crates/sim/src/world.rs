@@ -79,12 +79,23 @@ impl World {
         for s in &sites {
             domain_index.insert(s.domain.as_str().to_owned(), s.id);
         }
-        Ok(World { config, psl, sites, clients, link_graph, background_names, nav_tables, domain_index })
+        Ok(World {
+            config,
+            psl,
+            sites,
+            clients,
+            link_graph,
+            background_names,
+            nav_tables,
+            domain_index,
+        })
     }
 
     /// Looks up a site by registrable domain.
     pub fn site_by_domain(&self, domain: &DomainName) -> Option<&Site> {
-        self.domain_index.get(domain.as_str()).map(|id| &self.sites[id.index()])
+        self.domain_index
+            .get(domain.as_str())
+            .map(|id| &self.sites[id.index()])
     }
 
     /// Whether a registrable domain is served by the Cloudflare-style CDN.
@@ -93,7 +104,9 @@ impl World {
     /// header (Section 4.3): the check is made against the *domain*, exactly
     /// as the probe would observe it, without consulting popularity data.
     pub fn is_cloudflare(&self, domain: &DomainName) -> bool {
-        self.site_by_domain(domain).map(|s| s.cloudflare).unwrap_or(false)
+        self.site_by_domain(domain)
+            .map(|s| s.cloudflare)
+            .unwrap_or(false)
     }
 
     /// Ground-truth top-k site ids by true weight (for framework validation
@@ -103,8 +116,7 @@ impl World {
         ids.sort_by(|a, b| {
             self.sites[b.index()]
                 .weight
-                .partial_cmp(&self.sites[a.index()].weight)
-                .expect("weights are finite")
+                .total_cmp(&self.sites[a.index()].weight)
         });
         ids.truncate(k);
         ids
@@ -125,7 +137,7 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
 
     let base_weights = zipf_weights(n, config.zipf_exponent);
     let mut sites = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, &base_weight) in base_weights.iter().enumerate() {
         let category = Category::ALL[cat_table.sample(&mut rng) as usize];
         let home_country = Country::ALL[country_table.sample(&mut rng) as usize];
         // Strongly local ecosystems produce fewer globally-oriented sites.
@@ -133,7 +145,7 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
         let is_global = chance(&mut rng, global_rate);
         let domain = names.mint(&mut name_rng, category, home_country, is_global);
 
-        let weight = base_weights[i]
+        let weight = base_weight
             * category.popularity_damping()
             * log_normal(&mut rng, 0.0, config.popularity_noise);
         let country_mix = country_mix(home_country, is_global, &mut rng);
@@ -142,7 +154,14 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
         let mobile_affinity =
             (category.mobile_affinity() * log_normal(&mut rng, 0.0, 0.15)).clamp(0.3, 1.8);
 
-        let https = chance(&mut rng, if matches!(category, Category::Parked | Category::Abuse) { 0.55 } else { 0.93 });
+        let https = chance(
+            &mut rng,
+            if matches!(category, Category::Parked | Category::Abuse) {
+                0.55
+            } else {
+                0.93
+            },
+        );
 
         // CDN adoption: never the global top 10 (none of the web's top ten
         // sites use Cloudflare), mild category skew elsewhere.
@@ -153,7 +172,8 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
             Category::Finance => 0.7,
             _ => 1.0,
         };
-        let cloudflare = i >= 10 && chance(&mut rng, (config.cloudflare_share * cf_factor).min(0.9));
+        let cloudflare =
+            i >= 10 && chance(&mut rng, (config.cloudflare_share * cf_factor).min(0.9));
 
         let public_web = chance(&mut rng, category.public_web_rate());
         let completion_rate = match category {
@@ -171,7 +191,9 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
             0.0
         };
         let root_nav_share = match category {
-            Category::News | Category::Blog | Category::Community => 0.25 + 0.15 * rng.random::<f64>(),
+            Category::News | Category::Blog | Category::Community => {
+                0.25 + 0.15 * rng.random::<f64>()
+            }
             Category::Parked => 0.9,
             _ => 0.40 + 0.25 * rng.random::<f64>(),
         };
@@ -228,14 +250,14 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
     let have = sites.iter().filter(|s| s.is_infrastructure).count();
     if have < needed.max(3) {
         let mut added = have;
-        for i in 10..n {
+        for site in sites.iter_mut().skip(10) {
             if added >= needed.max(3) {
                 break;
             }
-            if matches!(sites[i].category, Category::Technology | Category::Business)
-                && !sites[i].is_infrastructure
+            if matches!(site.category, Category::Technology | Category::Business)
+                && !site.is_infrastructure
             {
-                sites[i].is_infrastructure = true;
+                site.is_infrastructure = true;
                 added += 1;
             }
         }
@@ -277,7 +299,10 @@ fn country_mix(home: Country, is_global: bool, rng: &mut SmallRng) -> [f64; Coun
 
 /// Builds the FQDN set of a site.
 fn build_hosts(domain: &DomainName, category: Category, rng: &mut SmallRng) -> Vec<SiteHost> {
-    let mut hosts = vec![SiteHost { name: domain.clone(), kind: HostKind::Apex }];
+    let mut hosts = vec![SiteHost {
+        name: domain.clone(),
+        kind: HostKind::Apex,
+    }];
     let push = |label: &str, kind: HostKind, hosts: &mut Vec<SiteHost>| {
         if let Ok(name) = domain.prepend(label) {
             hosts.push(SiteHost { name, kind });
@@ -289,7 +314,12 @@ fn build_hosts(domain: &DomainName, category: Category, rng: &mut SmallRng) -> V
     if chance(rng, 0.35) {
         push("m", HostKind::Mobile, &mut hosts);
     }
-    for (label, p) in [("cdn", 0.35), ("static", 0.25), ("api", 0.30), ("img", 0.15)] {
+    for (label, p) in [
+        ("cdn", 0.35),
+        ("static", 0.25),
+        ("api", 0.30),
+        ("img", 0.15),
+    ] {
         if chance(rng, p) {
             push(label, HostKind::Service, &mut hosts);
         }
@@ -302,17 +332,23 @@ fn build_hosts(domain: &DomainName, category: Category, rng: &mut SmallRng) -> V
 
 /// Wires third-party infrastructure dependencies into every non-infra site.
 fn wire_third_parties(config: &WorldConfig, sites: &mut [Site]) {
-    let infra: Vec<SiteId> = sites.iter().filter(|s| s.is_infrastructure).map(|s| s.id).collect();
+    let infra: Vec<SiteId> = sites
+        .iter()
+        .filter(|s| s.is_infrastructure)
+        .map(|s| s.id)
+        .collect();
     if infra.is_empty() {
         return;
     }
     let mut rng = substream(config.seed, Stream::ThirdParty, 0);
     // Popular infrastructure wins embeds (analytics-market concentration).
-    let infra_weights: Vec<f64> =
-        infra.iter().map(|id| sites[id.index()].weight.powf(0.6)).collect();
+    let infra_weights: Vec<f64> = infra
+        .iter()
+        .map(|id| sites[id.index()].weight.powf(0.6))
+        .collect();
     let table = AliasTable::new(&infra_weights);
-    for i in 0..sites.len() {
-        if sites[i].is_infrastructure || sites[i].category == Category::Parked {
+    for (i, site) in sites.iter_mut().enumerate() {
+        if site.is_infrastructure || site.category == Category::Parked {
             continue;
         }
         let deps = 1 + (rng.random::<f64>() * 4.0) as usize; // 1..=4
@@ -324,7 +360,7 @@ fn wire_third_parties(config: &WorldConfig, sites: &mut [Site]) {
                 chosen.push((dep, p));
             }
         }
-        sites[i].third_party = chosen;
+        site.third_party = chosen;
     }
 }
 
@@ -448,7 +484,11 @@ fn pick_browser(rng: &mut SmallRng, platform: Platform, country: Country) -> Bro
         }
         _ => {
             // Windows / Other desktop; China has a larger long-tail share.
-            let other = if country == Country::China { 0.22 } else { 0.08 };
+            let other = if country == Country::China {
+                0.22
+            } else {
+                0.08
+            };
             if r < other {
                 Browser::OtherBrowser
             } else if r < other + 0.58 {
@@ -462,14 +502,13 @@ fn pick_browser(rng: &mut SmallRng, platform: Platform, country: Country) -> Bro
     }
 }
 
-fn pick_resolver(
-    rng: &mut SmallRng,
-    country: Country,
-    enterprise: bool,
-    mobile: bool,
-) -> Resolver {
+fn pick_resolver(rng: &mut SmallRng, country: Country, enterprise: bool, mobile: bool) -> Resolver {
     if country == Country::China {
-        return if chance(rng, 0.72) { Resolver::ChinaVoting } else { Resolver::Isp };
+        return if chance(rng, 0.72) {
+            Resolver::ChinaVoting
+        } else {
+            Resolver::Isp
+        };
     }
     // Umbrella's base is managed desktop fleets behind shared egress NAT;
     // consumer desktops rarely and phones on mobile networks essentially
@@ -533,6 +572,7 @@ fn build_nav_tables(sites: &[Site]) -> NavTables {
 
 /// Non-website names queried by devices automatically (the noise floor of any
 /// DNS-derived top list: TLD probes, NTP pools, connectivity checks).
+#[allow(clippy::expect_used)]
 fn background_names() -> Vec<DomainName> {
     [
         "com",
@@ -549,6 +589,7 @@ fn background_names() -> Vec<DomainName> {
         "ocsp.certauthority.com",
     ]
     .iter()
+    // topple-lint: allow(unwrap): a fixed table of literal hostnames
     .map(|s| DomainName::new(s).expect("static names are valid"))
     .collect()
 }
@@ -585,7 +626,10 @@ mod tests {
             .zip(&b.sites)
             .filter(|(x, y)| x.domain == y.domain)
             .count();
-        assert!(same < a.sites.len() / 2, "worlds too similar: {same} shared domains");
+        assert!(
+            same < a.sites.len() / 2,
+            "worlds too similar: {same} shared domains"
+        );
     }
 
     #[test]
@@ -596,14 +640,20 @@ mod tests {
             assert!(seen.insert(s.domain.as_str().to_owned()));
             assert_eq!(w.site_by_domain(&s.domain).unwrap().id, s.id);
         }
-        assert!(w.site_by_domain(&DomainName::new("not-a-site.example").unwrap()).is_none());
+        assert!(w
+            .site_by_domain(&DomainName::new("not-a-site.example").unwrap())
+            .is_none());
     }
 
     #[test]
     fn top_ten_never_cloudflare() {
         let w = World::generate(WorldConfig::small(8)).unwrap();
         for s in &w.sites[..10] {
-            assert!(!s.cloudflare, "top-10 site {} must not be on Cloudflare", s.domain);
+            assert!(
+                !s.cloudflare,
+                "top-10 site {} must not be on Cloudflare",
+                s.domain
+            );
         }
         // But a meaningful share of the rest is.
         let share = w.sites.iter().filter(|s| s.cloudflare).count() as f64 / w.sites.len() as f64;
@@ -640,11 +690,25 @@ mod tests {
         let w = World::generate(WorldConfig::small(11)).unwrap();
         let chrome_optins = w.clients.iter().filter(|c| c.chrome_optin).count();
         let panelists = w.clients.iter().filter(|c| c.alexa_panelist).count();
-        let umbrella = w.clients.iter().filter(|c| c.resolver == Resolver::Umbrella).count();
-        let china = w.clients.iter().filter(|c| c.resolver == Resolver::ChinaVoting).count();
-        assert!(chrome_optins > w.clients.len() / 20, "too few Chrome opt-ins");
+        let umbrella = w
+            .clients
+            .iter()
+            .filter(|c| c.resolver == Resolver::Umbrella)
+            .count();
+        let china = w
+            .clients
+            .iter()
+            .filter(|c| c.resolver == Resolver::ChinaVoting)
+            .count();
+        assert!(
+            chrome_optins > w.clients.len() / 20,
+            "too few Chrome opt-ins"
+        );
         assert!(panelists > 3, "panel empty");
-        assert!((panelists as f64) < w.clients.len() as f64 * 0.08, "panel too big");
+        assert!(
+            (panelists as f64) < w.clients.len() as f64 * 0.08,
+            "panel too big"
+        );
         assert!(umbrella > 0 && china > 0);
         // Only Chrome users can opt into Chrome telemetry.
         for c in &w.clients {
@@ -660,9 +724,15 @@ mod tests {
     #[test]
     fn umbrella_user_base_is_us_enterprise_heavy() {
         let w = World::generate(WorldConfig::medium(12)).unwrap();
-        let umbrella: Vec<_> =
-            w.clients.iter().filter(|c| c.resolver == Resolver::Umbrella).collect();
-        let us = umbrella.iter().filter(|c| c.country == Country::UnitedStates).count();
+        let umbrella: Vec<_> = w
+            .clients
+            .iter()
+            .filter(|c| c.resolver == Resolver::Umbrella)
+            .collect();
+        let us = umbrella
+            .iter()
+            .filter(|c| c.country == Country::UnitedStates)
+            .count();
         assert!(
             us as f64 / umbrella.len() as f64 > 0.35,
             "US share of Umbrella base too low: {}/{}",
@@ -675,10 +745,17 @@ mod tests {
     fn enterprise_clients_share_ips() {
         let w = World::generate(WorldConfig::medium(13)).unwrap();
         use std::collections::HashSet;
-        let ent: Vec<u32> =
-            w.clients.iter().filter(|c| c.enterprise).map(|c| c.ip).collect();
+        let ent: Vec<u32> = w
+            .clients
+            .iter()
+            .filter(|c| c.enterprise)
+            .map(|c| c.ip)
+            .collect();
         let distinct: HashSet<u32> = ent.iter().copied().collect();
-        assert!(distinct.len() < ent.len(), "expected NAT sharing among enterprise clients");
+        assert!(
+            distinct.len() < ent.len(),
+            "expected NAT sharing among enterprise clients"
+        );
     }
 
     #[test]
@@ -696,6 +773,9 @@ mod tests {
         let infra = w.sites.iter().filter(|s| s.is_infrastructure).count();
         assert!(infra >= 3);
         let wired = w.sites.iter().filter(|s| !s.third_party.is_empty()).count();
-        assert!(wired > w.sites.len() / 2, "most sites should embed third parties");
+        assert!(
+            wired > w.sites.len() / 2,
+            "most sites should embed third parties"
+        );
     }
 }

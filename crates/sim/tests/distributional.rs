@@ -52,7 +52,11 @@ fn site_categories_match_universe_shares() {
 fn traffic_follows_zipf_shape() {
     // Regress log(visits) on log(base rank) over the head of the catalogue;
     // the slope should approximate -zipf_exponent.
-    let w = World::generate(WorldConfig { n_clients: 4_000, ..WorldConfig::small(7778) }).unwrap();
+    let w = World::generate(WorldConfig {
+        n_clients: 4_000,
+        ..WorldConfig::small(7778)
+    })
+    .unwrap();
     let mut visits = vec![0u32; w.sites.len()];
     for d in 0..7 {
         let t = w.simulate_day(d);
@@ -97,12 +101,18 @@ fn browser_platform_constraints_hold() {
     for c in &w.clients {
         match c.platform {
             Platform::Ios => assert!(
-                matches!(c.browser, Browser::Safari | Browser::Chrome | Browser::OtherBrowser),
+                matches!(
+                    c.browser,
+                    Browser::Safari | Browser::Chrome | Browser::OtherBrowser
+                ),
                 "implausible iOS browser {:?}",
                 c.browser
             ),
             Platform::Android => assert!(
-                !matches!(c.browser, Browser::Safari | Browser::Edge | Browser::Automation),
+                !matches!(
+                    c.browser,
+                    Browser::Safari | Browser::Edge | Browser::Automation
+                ),
                 "implausible Android browser {:?}",
                 c.browser
             ),
@@ -110,8 +120,16 @@ fn browser_platform_constraints_hold() {
         }
     }
     // Chrome is the plurality browser overall.
-    let chrome = w.clients.iter().filter(|c| c.browser == Browser::Chrome).count();
-    assert!(chrome * 3 > w.clients.len(), "Chrome share too low: {chrome}/{}", w.clients.len());
+    let chrome = w
+        .clients
+        .iter()
+        .filter(|c| c.browser == Browser::Chrome)
+        .count();
+    assert!(
+        chrome * 3 > w.clients.len(),
+        "Chrome share too low: {chrome}/{}",
+        w.clients.len()
+    );
 }
 
 #[test]
@@ -134,7 +152,11 @@ fn mobile_shares_track_country_parameters() {
 
 #[test]
 fn weekday_total_volume_is_periodic() {
-    let w = World::generate(WorldConfig { n_clients: 2_000, ..WorldConfig::small(7779) }).unwrap();
+    let w = World::generate(WorldConfig {
+        n_clients: 2_000,
+        ..WorldConfig::small(7779)
+    })
+    .unwrap();
     // Enterprise clients drop off on weekends; totals should dip.
     let days: Vec<f64> = (0..14)
         .map(|d| w.simulate_day(d).page_loads.len() as f64)
@@ -178,7 +200,10 @@ fn certify_boosts_exist_but_are_rare_and_never_grey() {
     );
     for s in &boosted {
         assert!(
-            !matches!(s.category, Category::Adult | Category::Abuse | Category::Parked),
+            !matches!(
+                s.category,
+                Category::Adult | Category::Abuse | Category::Parked
+            ),
             "{:?} site should not be certified",
             s.category
         );

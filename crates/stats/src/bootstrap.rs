@@ -19,7 +19,9 @@ pub struct BootstrapRng {
 impl BootstrapRng {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
-        BootstrapRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        BootstrapRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -35,7 +37,7 @@ impl BootstrapRng {
     /// Uniform index in `0..n`.
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
+        crate::cast::usize_from_u64(self.next_u64() % crate::cast::u64_from_usize(n))
     }
 }
 
@@ -88,12 +90,19 @@ where
         }
     }
     if values.len() < replicates / 2 {
-        return Err(StatsError::DidNotConverge { iterations: values.len() });
+        return Err(StatsError::DidNotConverge {
+            iterations: values.len(),
+        });
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let lo_idx = ((alpha / 2.0) * values.len() as f64) as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * values.len() as f64) as usize).min(values.len() - 1);
-    Ok(BootstrapCi { estimate, lo: values[lo_idx], hi: values[hi_idx], replicates: values.len() })
+    values.sort_by(|a, b| a.total_cmp(b));
+    let lo_idx = crate::cast::floor_index((alpha / 2.0) * values.len() as f64, values.len());
+    let hi_idx = crate::cast::floor_index((1.0 - alpha / 2.0) * values.len() as f64, values.len());
+    Ok(BootstrapCi {
+        estimate,
+        lo: values[lo_idx],
+        hi: values[hi_idx],
+        replicates: values.len(),
+    })
 }
 
 /// Bootstrap CI for the mean — the simplest useful instantiation and the
@@ -151,7 +160,10 @@ mod tests {
         let b = mean_ci(&xs, 300, 0.05, 7).unwrap();
         assert_eq!(a, b);
         let c = mean_ci(&xs, 300, 0.05, 8).unwrap();
-        assert!(a.lo != c.lo || a.hi != c.hi, "different seeds should differ");
+        assert!(
+            a.lo != c.lo || a.hi != c.hi,
+            "different seeds should differ"
+        );
     }
 
     #[test]

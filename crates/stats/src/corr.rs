@@ -36,7 +36,9 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    if sxx == 0.0 || syy == 0.0 {
+    // Sums of squares are non-negative, so `<= 0.0` is exactly the
+    // zero-variance case without an exact float equality.
+    if sxx <= 0.0 || syy <= 0.0 {
         return Err(StatsError::ZeroVariance);
     }
     Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
@@ -77,11 +79,7 @@ pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> Result<f64> {
     }
     // Sort indices by x, breaking ties by y.
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        x[a].partial_cmp(&x[b])
-            .expect("finite")
-            .then(y[a].partial_cmp(&y[b]).expect("finite"))
-    });
+    idx.sort_by(|&a, &b| x[a].total_cmp(&x[b]).then(y[a].total_cmp(&y[b])));
     let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
     let xs: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
 
@@ -133,7 +131,8 @@ pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> Result<f64> {
     }
     let n0 = n as f64 * (n as f64 - 1.0) / 2.0;
     let denom = ((n0 - t_x) * (n0 - t_y)).sqrt();
-    if denom == 0.0 {
+    // Both factors are non-negative tie-corrected pair counts.
+    if denom <= 0.0 {
         return Err(StatsError::ZeroVariance);
     }
     // concordant - discordant = n0 - t_x - t_y + t_xy - 2*discordant
@@ -159,7 +158,7 @@ fn merge_count(a: &mut [f64], tmp: &mut [f64]) -> u64 {
         } else {
             tmp[k] = right[j];
             j += 1;
-            inv += (left.len() - i) as u64;
+            inv += crate::cast::u64_from_usize(left.len() - i);
         }
         k += 1;
     }
@@ -198,15 +197,26 @@ mod tests {
     fn pearson_reference() {
         // Anscombe's quartet I: r ≈ 0.81642.
         let x = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
-        let y = [8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68];
+        let y = [
+            8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68,
+        ];
         close(pearson(&x, &y).unwrap(), 0.816_420_516_3, 1e-9);
     }
 
     #[test]
     fn pearson_errors() {
-        assert!(matches!(pearson(&[1.0], &[1.0]), Err(StatsError::TooFewObservations { .. })));
-        assert!(matches!(pearson(&[1.0, 2.0], &[1.0]), Err(StatsError::LengthMismatch { .. })));
-        assert!(matches!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance)));
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::TooFewObservations { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        ));
     }
 
     #[test]
@@ -243,7 +253,9 @@ mod tests {
         // Same weak correlation, more data -> smaller p.
         let make = |n: usize| -> (Vec<f64>, Vec<f64>) {
             let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            let y: Vec<f64> = (0..n).map(|i| (i as f64) + ((i * 7919) % 13) as f64 * 2.0).collect();
+            let y: Vec<f64> = (0..n)
+                .map(|i| (i as f64) + ((i * 7919) % 13) as f64 * 2.0)
+                .collect();
             (x, y)
         };
         let (x1, y1) = make(12);
@@ -312,7 +324,9 @@ mod tests {
         // Deterministic pseudo-random data with ties.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 17) as f64
         };
         let x: Vec<f64> = (0..200).map(|_| next()).collect();

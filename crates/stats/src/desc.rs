@@ -33,12 +33,16 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     if xs.is_empty() {
         return Err(StatsError::TooFewObservations { n: 0, required: 1 });
     }
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     let h = q * (sorted.len() as f64 - 1.0);
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
+    let lo = crate::cast::floor_index(h, sorted.len());
+    let hi = crate::cast::ceil_index(h, sorted.len());
+    // topple-lint: allow(float-eq): lo and hi are usize indices, not floats
     if lo == hi {
         return Ok(sorted[lo]);
     }
@@ -73,7 +77,9 @@ pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
         return Err(StatsError::TooFewObservations { n: 0, required: 1 });
     }
     if xs.iter().any(|&x| x <= 0.0) {
-        return Err(StatsError::DegenerateDesign("geometric mean requires positive values"));
+        return Err(StatsError::DegenerateDesign(
+            "geometric mean requires positive values",
+        ));
     }
     Ok((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }

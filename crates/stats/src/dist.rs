@@ -26,10 +26,12 @@ impl StandardNormal {
     /// one Halley step; accurate to ~1e-12 over (0, 1).
     pub fn inv_cdf(p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        if p == 0.0 {
+        // The assert bounds p to [0, 1], so the boundary checks reduce to
+        // inequalities rather than exact float equalities.
+        if p <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        if p == 1.0 {
+        if p >= 1.0 {
             return f64::INFINITY;
         }
         // Acklam coefficients.
@@ -100,7 +102,8 @@ impl StudentsT {
 
     /// Cumulative distribution function.
     pub fn cdf(&self, t: f64) -> f64 {
-        if t == 0.0 {
+        if t.abs() <= 0.0 {
+            // Exactly zero (covers -0.0): the symmetric midpoint.
             return 0.5;
         }
         let x = self.df / (self.df + t * t);

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod cast;
 pub mod corr;
 pub mod desc;
 pub mod dist;
@@ -120,6 +121,9 @@ pub(crate) fn ensure_same_len(x: &[f64], y: &[f64]) -> Result<()> {
     if x.len() == y.len() {
         Ok(())
     } else {
-        Err(StatsError::LengthMismatch { left: x.len(), right: y.len() })
+        Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        })
     }
 }

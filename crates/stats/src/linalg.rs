@@ -17,7 +17,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of order `n`.
@@ -34,7 +38,11 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
-        Matrix { rows: r, cols: c, data: rows.concat() }
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
     }
 
     /// Number of rows.
@@ -51,9 +59,9 @@ impl Matrix {
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -62,9 +70,8 @@ impl Matrix {
     pub fn t_mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, x.len(), "dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &xi) in x.iter().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let xi = x[i];
             for (o, a) in out.iter_mut().zip(row) {
                 *o += a * xi;
             }
@@ -77,15 +84,15 @@ impl Matrix {
         assert_eq!(self.rows, w.len(), "dimension mismatch");
         let p = self.cols;
         let mut out = Matrix::zeros(p, p);
-        for i in 0..self.rows {
+        for (i, &wi) in w.iter().enumerate() {
             let row = &self.data[i * p..(i + 1) * p];
-            let wi = w[i];
-            if wi == 0.0 {
+            // Skip-zero fast paths: exact IEEE zero contributes nothing.
+            if wi.abs() <= 0.0 {
                 continue;
             }
             for a in 0..p {
                 let wa = wi * row[a];
-                if wa == 0.0 {
+                if wa.abs() <= 0.0 {
                     continue;
                 }
                 for b in a..p {
@@ -172,8 +179,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -181,8 +188,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }

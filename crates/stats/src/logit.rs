@@ -70,7 +70,12 @@ pub struct LogitOptions {
 
 impl Default for LogitOptions {
     fn default() -> Self {
-        LogitOptions { tol: 1e-10, max_iter: 60, ridge: 1e-9, divergence_guard: 30.0 }
+        LogitOptions {
+            tol: 1e-10,
+            max_iter: 60,
+            ridge: 1e-9,
+            divergence_guard: 30.0,
+        }
     }
 }
 
@@ -93,14 +98,19 @@ pub fn fit(x: &Matrix, y: &[f64], opts: LogitOptions) -> Result<LogitFit> {
     let n = x.rows();
     let p = x.cols();
     if n != y.len() {
-        return Err(StatsError::LengthMismatch { left: n, right: y.len() });
+        return Err(StatsError::LengthMismatch {
+            left: n,
+            right: y.len(),
+        });
     }
     if n < p + 1 {
         return Err(StatsError::TooFewObservations { n, required: p + 1 });
     }
+    // topple-lint: allow(float-eq): outcome labels must be exactly the values 0.0 or 1.0
     if y.iter().any(|&v| v != 0.0 && v != 1.0) {
         return Err(StatsError::DegenerateDesign("outcomes must be 0 or 1"));
     }
+    // topple-lint: allow(float-eq): labels validated to be exact 0.0/1.0 above
     let ones = y.iter().filter(|&&v| v == 1.0).count();
     if ones == 0 || ones == n {
         return Err(StatsError::DegenerateDesign("outcomes are all one class"));
@@ -182,18 +192,31 @@ pub fn fit(x: &Matrix, y: &[f64], opts: LogitOptions) -> Result<LogitFit> {
         ll += y[i] * mu.ln() + (1.0 - y[i]) * (1.0 - mu).ln();
     }
 
-    Ok(LogitFit { coefficients, log_likelihood: ll, iterations, n, separation_suspected })
+    Ok(LogitFit {
+        coefficients,
+        log_likelihood: ll,
+        iterations,
+        n,
+        separation_suspected,
+    })
 }
 
 /// Convenience: prepends an intercept column of ones to `predictors` and fits.
 ///
 /// The returned coefficient 0 is the intercept; coefficient `j+1` corresponds
 /// to `predictors[j]`.
-pub fn fit_with_intercept(predictors: &[Vec<f64>], y: &[f64], opts: LogitOptions) -> Result<LogitFit> {
+pub fn fit_with_intercept(
+    predictors: &[Vec<f64>],
+    y: &[f64],
+    opts: LogitOptions,
+) -> Result<LogitFit> {
     let n = y.len();
     for col in predictors {
         if col.len() != n {
-            return Err(StatsError::LengthMismatch { left: col.len(), right: n });
+            return Err(StatsError::LengthMismatch {
+                left: col.len(),
+                right: n,
+            });
         }
     }
     let p = predictors.len() + 1;
@@ -216,7 +239,12 @@ mod tests {
         // nXY: predictor = X, outcome = Y.
         let mut xs = Vec::new();
         let mut ys = Vec::new();
-        for (x, y, n) in [(0.0, 0.0, n00), (0.0, 1.0, n01), (1.0, 0.0, n10), (1.0, 1.0, n11)] {
+        for (x, y, n) in [
+            (0.0, 0.0, n00),
+            (0.0, 1.0, n01),
+            (1.0, 0.0, n10),
+            (1.0, 1.0, n11),
+        ] {
             for _ in 0..n {
                 xs.push(x);
                 ys.push(y);
@@ -268,7 +296,9 @@ mod tests {
         // Simulate from known betas with a deterministic LCG and check recovery.
         let mut state = 7u64;
         let mut unif = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let n = 20_000;
@@ -326,6 +356,9 @@ mod tests {
         let c = &fit.coefficients[1];
         let (lo, hi) = c.odds_ratio_ci(0.05);
         assert!(lo < c.odds_ratio() && c.odds_ratio() < hi);
-        assert!(lo > 1.0, "effect should be significantly positive at 5%: lo={lo}");
+        assert!(
+            lo > 1.0,
+            "effect should be significantly positive at 5%: lo={lo}"
+        );
     }
 }

@@ -23,11 +23,11 @@ pub fn bonferroni_significant(p_values: &[f64], m: usize, alpha: f64) -> Vec<boo
 /// Holm's step-down adjustment (controls FWER, dominates Bonferroni).
 pub fn holm(p_values: &[f64]) -> Vec<f64> {
     let m = p_values.len();
-    if m == 0 {
+    if p_values.is_empty() {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("finite p-values"));
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
     let mut adjusted = vec![0.0; m];
     let mut running_max: f64 = 0.0;
     for (k, &i) in order.iter().enumerate() {

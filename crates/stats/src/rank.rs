@@ -15,7 +15,7 @@ pub fn average_ranks(values: &[f64]) -> Result<Vec<f64>> {
     ensure_finite(values)?;
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -39,7 +39,7 @@ pub fn average_ranks(values: &[f64]) -> Result<Vec<f64>> {
 pub fn tie_correction(values: &[f64]) -> Result<f64> {
     ensure_finite(values)?;
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut total = 0.0;
     let mut i = 0;
     while i < sorted.len() {
@@ -63,7 +63,7 @@ pub fn competition_ranks(values: &[f64]) -> Result<Vec<u32>> {
     ensure_finite(values)?;
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0u32; n];
     let mut i = 0;
     while i < n {
@@ -72,7 +72,7 @@ pub fn competition_ranks(values: &[f64]) -> Result<Vec<u32>> {
             j += 1;
         }
         for &k in &idx[i..=j] {
-            ranks[k] = (i + 1) as u32;
+            ranks[k] = crate::cast::u32_from_usize(i + 1);
         }
         i = j + 1;
     }
@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn tie_correction_values() {
         // One group of 3 ties: 3³-3 = 24; one group of 2: 2³-2 = 6.
-        assert_eq!(tie_correction(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]).unwrap(), 30.0);
+        assert_eq!(
+            tie_correction(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]).unwrap(),
+            30.0
+        );
         assert_eq!(tie_correction(&[1.0, 2.0, 3.0]).unwrap(), 0.0);
     }
 

@@ -29,7 +29,11 @@ pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
 /// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`.
 pub fn overlap_coefficient<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let inter = small.iter().filter(|v| large.contains(v)).count();
@@ -50,10 +54,17 @@ pub fn intersection_size<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> usize 
 /// itself reports Jaccard and Spearman only, so this lives here as an extension
 /// for ablation benchmarks.
 pub fn rank_biased_overlap<T: Eq + Hash + Clone>(a: &[T], b: &[T], p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p), "persistence must be in [0, 1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "persistence must be in [0, 1), got {p}"
+    );
     let depth = a.len().min(b.len());
     if depth == 0 {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let mut seen_a: HashSet<T> = HashSet::with_capacity(depth);
     let mut seen_b: HashSet<T> = HashSet::with_capacity(depth);
@@ -80,7 +91,7 @@ pub fn rank_biased_overlap<T: Eq + Hash + Clone>(a: &[T], b: &[T], p: f64) -> f6
     }
     // Extrapolate the final agreement level to infinite depth.
     let agreement_at_depth = overlap as f64 / depth as f64;
-    sum + agreement_at_depth * p.powi(depth as i32)
+    sum + agreement_at_depth * p.powi(crate::cast::i32_from_usize(depth))
 }
 
 #[cfg(test)]

@@ -12,14 +12,20 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
     ensure_finite(xs)?;
     let n = xs.len();
     if n < lag + 2 {
-        return Err(StatsError::TooFewObservations { n, required: lag + 2 });
+        return Err(StatsError::TooFewObservations {
+            n,
+            required: lag + 2,
+        });
     }
     let mean = xs.iter().sum::<f64>() / n as f64;
     let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
-    if denom == 0.0 {
+    // A sum of squares: zero exactly when the series is constant.
+    if denom <= 0.0 {
         return Err(StatsError::ZeroVariance);
     }
-    let num: f64 = (0..n - lag).map(|i| (xs[i] - mean) * (xs[i + lag] - mean)).sum();
+    let num: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
     Ok(num / denom)
 }
 
@@ -34,7 +40,10 @@ pub fn dominant_period(xs: &[f64], max_lag: usize) -> Result<(usize, f64)> {
         }
     }
     if best.0 == 0 {
-        return Err(StatsError::TooFewObservations { n: xs.len(), required: 4 });
+        return Err(StatsError::TooFewObservations {
+            n: xs.len(),
+            required: 4,
+        });
     }
     Ok(best)
 }
@@ -59,7 +68,10 @@ impl WeekdaySplit {
 pub fn weekday_split(xs: &[f64], is_weekend: &[bool]) -> Result<WeekdaySplit> {
     ensure_finite(xs)?;
     if xs.len() != is_weekend.len() {
-        return Err(StatsError::LengthMismatch { left: xs.len(), right: is_weekend.len() });
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: is_weekend.len(),
+        });
     }
     let (mut wd_sum, mut wd_n, mut we_sum, mut we_n) = (0.0, 0usize, 0.0, 0usize);
     for (&x, &we) in xs.iter().zip(is_weekend) {
@@ -72,9 +84,15 @@ pub fn weekday_split(xs: &[f64], is_weekend: &[bool]) -> Result<WeekdaySplit> {
         }
     }
     if wd_n == 0 || we_n == 0 {
-        return Err(StatsError::TooFewObservations { n: xs.len(), required: 2 });
+        return Err(StatsError::TooFewObservations {
+            n: xs.len(),
+            required: 2,
+        });
     }
-    Ok(WeekdaySplit { weekday_mean: wd_sum / wd_n as f64, weekend_mean: we_sum / we_n as f64 })
+    Ok(WeekdaySplit {
+        weekday_mean: wd_sum / wd_n as f64,
+        weekend_mean: we_sum / we_n as f64,
+    })
 }
 
 #[cfg(test)]

@@ -53,8 +53,8 @@ fn special_functions_match_references() {
     close(ln_gamma(0.1), 2.252_712_651_734_21, 1e-10);
     close(ln_gamma(2.5), 0.284_682_870_472_919, 1e-10);
     close(ln_gamma(10.3), 13.482_036_786_138_3, 1e-9); // Stirling-verified
-    // Pinned; cross-checked against the exact identities in the unit
-    // tests (P(1,x) = 1 - e^-x; chi-square and erf reference points).
+                                                       // Pinned; cross-checked against the exact identities in the unit
+                                                       // tests (P(1,x) = 1 - e^-x; chi-square and erf reference points).
     close(reg_inc_gamma(2.5, 3.0), 0.693_781_08, 1e-6);
     // scipy.special.betainc(2.0, 5.0, 0.3)
     close(reg_inc_beta(2.0, 5.0, 0.3), 0.579_825_3, 1e-6);
@@ -75,10 +75,16 @@ fn spearman_matches_scipy_on_fixed_data() {
 fn pearson_and_kendall_on_anscombe_ii() {
     // Anscombe's quartet II: same r ≈ 0.8162 despite the nonlinear shape.
     let x = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
-    let y = [9.14, 8.14, 8.74, 8.77, 9.26, 8.10, 6.13, 3.10, 9.13, 7.26, 4.74];
+    let y = [
+        9.14, 8.14, 8.74, 8.77, 9.26, 8.10, 6.13, 3.10, 9.13, 7.26, 4.74,
+    ];
     close(pearson(&x, &y).unwrap(), 0.816_236_5, 1e-6);
     // Kendall: scipy.stats.kendalltau -> 0.5636364
-    close(kendall_tau_b(&x, &y).unwrap(), 0.563_636_363_636_363_6, 1e-9);
+    close(
+        kendall_tau_b(&x, &y).unwrap(),
+        0.563_636_363_636_363_6,
+        1e-9,
+    );
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //! total time on site — broken down by client country and platform
 //! (Windows and Android, the representative desktop and mobile platforms).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use topple_sim::{Country, DayTraffic, Platform, SiteId, World};
 
@@ -32,8 +32,11 @@ pub enum ChromeMetric {
 
 impl ChromeMetric {
     /// All three metrics in stable order.
-    pub const ALL: [ChromeMetric; 3] =
-        [ChromeMetric::InitiatedLoads, ChromeMetric::CompletedLoads, ChromeMetric::TimeOnSite];
+    pub const ALL: [ChromeMetric; 3] = [
+        ChromeMetric::InitiatedLoads,
+        ChromeMetric::CompletedLoads,
+        ChromeMetric::TimeOnSite,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -61,9 +64,9 @@ pub const TELEMETRY_PLATFORMS: [Platform; 2] = [Platform::Windows, Platform::And
 #[derive(Debug)]
 pub struct ChromeVantage {
     /// Monthly per-(country, platform) per-origin cells.
-    cells: HashMap<(Country, Platform, OriginKey), OriginCell>,
+    cells: BTreeMap<(Country, Platform, OriginKey), OriginCell>,
     /// Global per-origin cells (all countries and platforms) — CrUX input.
-    global: HashMap<OriginKey, OriginCell>,
+    global: BTreeMap<OriginKey, OriginCell>,
     /// Scratch: distinct (country, platform, origin, client) quadruples.
     seen_cp: HashSet<(Country, Platform, OriginKey, u32)>,
     /// Scratch: distinct (origin, client) pairs.
@@ -77,8 +80,8 @@ impl ChromeVantage {
     /// Creates an empty vantage.
     pub fn new(world: &World) -> Self {
         ChromeVantage {
-            cells: HashMap::new(),
-            global: HashMap::new(),
+            cells: BTreeMap::new(),
+            global: BTreeMap::new(),
             seen_cp: HashSet::new(),
             seen_global: HashSet::new(),
             optin_clients: world.clients.iter().filter(|c| c.chrome_optin).count(),
@@ -124,7 +127,10 @@ impl ChromeVantage {
                 cell.initiated += 1;
                 cell.completed += u64::from(pl.completed);
                 cell.dwell_secs += u64::from(pl.dwell_secs);
-                if self.seen_cp.insert((client.country, client.platform, origin, pl.client.0)) {
+                if self
+                    .seen_cp
+                    .insert((client.country, client.platform, origin, pl.client.0))
+                {
                     cell.unique_clients += 1;
                 }
             }
@@ -150,7 +156,7 @@ impl ChromeVantage {
             .map(|((_, _, o), cell)| (*o, Self::score(cell, metric)))
             .filter(|&(_, s)| s > 0.0)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -163,7 +169,7 @@ impl ChromeVantage {
             .filter(|(_, cell)| cell.unique_clients >= privacy_threshold && cell.completed > 0)
             .map(|(o, cell)| (*o, cell.completed as f64))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -177,7 +183,9 @@ impl ChromeVantage {
 
     /// Renders an origin key as its textual web origin.
     pub fn origin_text(world: &World, origin: OriginKey) -> String {
-        world.sites[origin.0.index()].origin_of(origin.1 as usize).to_string()
+        world.sites[origin.0.index()]
+            .origin_of(origin.1 as usize)
+            .to_string()
     }
 }
 
@@ -249,7 +257,12 @@ mod tests {
         for w in list.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
-        let cp = v.country_platform_list(Country::UnitedStates, Platform::Windows, ChromeMetric::CompletedLoads, 1);
+        let cp = v.country_platform_list(
+            Country::UnitedStates,
+            Platform::Windows,
+            ChromeMetric::CompletedLoads,
+            1,
+        );
         for w in cp.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
@@ -267,7 +280,10 @@ mod tests {
     fn platform_breakdown_covers_only_telemetry_platforms() {
         let (_, v) = setup();
         for (c, p, _) in v.cells.keys() {
-            assert!(TELEMETRY_PLATFORMS.contains(p), "unexpected platform {p:?} for {c:?}");
+            assert!(
+                TELEMETRY_PLATFORMS.contains(p),
+                "unexpected platform {p:?} for {c:?}"
+            );
         }
     }
 

@@ -11,7 +11,7 @@
 //! exactly like the real CDN: server-side logging is unaffected by private
 //! browsing, but blind to every non-customer site.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use topple_sim::{Browser, DayTraffic, World};
 
@@ -134,23 +134,56 @@ impl CfMetric {
     /// root page, (7) unique IPs from top-5 browsers.
     pub fn final_seven() -> [CfMetric; 7] {
         [
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::Tls, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::UniqueIp },
-            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::UniqueIp },
-            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::UniqueIp },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::Tls,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::RootPage,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::TopBrowsers,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::UniqueIp,
+            },
+            CfMetric {
+                filter: CfFilter::RootPage,
+                agg: CfAgg::UniqueIp,
+            },
+            CfMetric {
+                filter: CfFilter::TopBrowsers,
+                agg: CfAgg::UniqueIp,
+            },
         ]
     }
 
     /// The four *request-based* metrics among the final seven (Section 3.3).
     pub fn request_based_four() -> [CfMetric; 4] {
         [
-            CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::Tls, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::RootPage, agg: CfAgg::Raw },
-            CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw },
+            CfMetric {
+                filter: CfFilter::AllRequests,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::Tls,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::RootPage,
+                agg: CfAgg::Raw,
+            },
+            CfMetric {
+                filter: CfFilter::TopBrowsers,
+                agg: CfAgg::Raw,
+            },
         ]
     }
 
@@ -217,7 +250,9 @@ impl CdnVantage {
         CdnVantage {
             n_sites: world.sites.len(),
             days_ingested: 0,
-            monthly_sum: (0..METRIC_COUNT).map(|_| vec![0.0; world.sites.len()]).collect(),
+            monthly_sum: (0..METRIC_COUNT)
+                .map(|_| vec![0.0; world.sites.len()])
+                .collect(),
             daily_final: Vec::new(),
             first_day: None,
         }
@@ -230,8 +265,8 @@ impl CdnVantage {
         // Raw counters per site per filter.
         let mut raw: Vec<FilterCounts> = vec![FilterCounts::default(); n];
         // Unique aggregations: (site, ip) -> filter bits; (site, ip, ua) likewise.
-        let mut uniq_ip: HashMap<(u32, u32), u8> = HashMap::new();
-        let mut uniq_ip_ua: HashMap<(u32, u32, u8), u8> = HashMap::new();
+        let mut uniq_ip: BTreeMap<(u32, u32), u8> = BTreeMap::new();
+        let mut uniq_ip_ua: BTreeMap<(u32, u32, u8), u8> = BTreeMap::new();
 
         let mut bump = |site: u32, ip: u32, ua: Browser, fc: FilterCounts| {
             let r = &mut raw[site as usize];
@@ -290,23 +325,32 @@ impl CdnVantage {
         let mut scores: Vec<ScoreVec> = (0..METRIC_COUNT).map(|_| vec![0.0; n]).collect();
         for (i, fc) in raw.iter().enumerate() {
             for f in CfFilter::ALL {
-                scores[CfMetric { filter: f, agg: CfAgg::Raw }.index()][i] =
-                    f64::from(fc.counts[f.index()]);
+                scores[CfMetric {
+                    filter: f,
+                    agg: CfAgg::Raw,
+                }
+                .index()][i] = f64::from(fc.counts[f.index()]);
             }
         }
         for ((site, _ip), bits) in &uniq_ip {
             for f in CfFilter::ALL {
                 if bits & (1 << f.index()) != 0 {
-                    scores[CfMetric { filter: f, agg: CfAgg::UniqueIp }.index()]
-                        [*site as usize] += 1.0;
+                    scores[CfMetric {
+                        filter: f,
+                        agg: CfAgg::UniqueIp,
+                    }
+                    .index()][*site as usize] += 1.0;
                 }
             }
         }
         for ((site, _ip, _ua), bits) in &uniq_ip_ua {
             for f in CfFilter::ALL {
                 if bits & (1 << f.index()) != 0 {
-                    scores[CfMetric { filter: f, agg: CfAgg::UniqueIpUa }.index()]
-                        [*site as usize] += 1.0;
+                    scores[CfMetric {
+                        filter: f,
+                        agg: CfAgg::UniqueIpUa,
+                    }
+                    .index()][*site as usize] += 1.0;
                 }
             }
         }
@@ -371,7 +415,7 @@ impl CdnVantage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use topple_sim::{WorldConfig, World};
+    use topple_sim::{World, WorldConfig};
 
     fn world_and_day() -> (World, DayTraffic) {
         let w = World::generate(WorldConfig::tiny(31)).unwrap();
@@ -406,9 +450,21 @@ mod tests {
     fn filter_counts_are_ordered_subsets() {
         let (w, t) = world_and_day();
         let day = CdnVantage::observe_day(&w, &t);
-        let all = day.metric(CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw });
-        for f in [CfFilter::Html, CfFilter::Status200, CfFilter::Referer, CfFilter::TopBrowsers, CfFilter::RootPage] {
-            let sub = day.metric(CfMetric { filter: f, agg: CfAgg::Raw });
+        let all = day.metric(CfMetric {
+            filter: CfFilter::AllRequests,
+            agg: CfAgg::Raw,
+        });
+        for f in [
+            CfFilter::Html,
+            CfFilter::Status200,
+            CfFilter::Referer,
+            CfFilter::TopBrowsers,
+            CfFilter::RootPage,
+        ] {
+            let sub = day.metric(CfMetric {
+                filter: f,
+                agg: CfAgg::Raw,
+            });
             for i in 0..w.sites.len() {
                 assert!(
                     sub[i] <= all[i],
@@ -425,11 +481,23 @@ mod tests {
         let (w, t) = world_and_day();
         let day = CdnVantage::observe_day(&w, &t);
         for f in CfFilter::ALL {
-            let raw = day.metric(CfMetric { filter: f, agg: CfAgg::Raw });
-            let ip = day.metric(CfMetric { filter: f, agg: CfAgg::UniqueIp });
-            let ipua = day.metric(CfMetric { filter: f, agg: CfAgg::UniqueIpUa });
+            let raw = day.metric(CfMetric {
+                filter: f,
+                agg: CfAgg::Raw,
+            });
+            let ip = day.metric(CfMetric {
+                filter: f,
+                agg: CfAgg::UniqueIp,
+            });
+            let ipua = day.metric(CfMetric {
+                filter: f,
+                agg: CfAgg::UniqueIpUa,
+            });
             for i in 0..w.sites.len() {
-                assert!(ip[i] <= raw[i].max(ip[i]), "uniq ip should not exceed raw requests");
+                assert!(
+                    ip[i] <= raw[i].max(ip[i]),
+                    "uniq ip should not exceed raw requests"
+                );
                 if raw[i] > 0.0 && f != CfFilter::Tls {
                     // Some requester must exist when requests were counted.
                     assert!(ip[i] >= 1.0, "site {i} filter {f:?}");
@@ -443,7 +511,10 @@ mod tests {
     fn https_only_tls() {
         let (w, t) = world_and_day();
         let day = CdnVantage::observe_day(&w, &t);
-        let tls = day.metric(CfMetric { filter: CfFilter::Tls, agg: CfAgg::Raw });
+        let tls = day.metric(CfMetric {
+            filter: CfFilter::Tls,
+            agg: CfAgg::Raw,
+        });
         for (i, site) in w.sites.iter().enumerate() {
             if !site.https {
                 assert_eq!(tls[i], 0.0, "plain-HTTP site {} counted TLS", site.domain);
@@ -459,7 +530,10 @@ mod tests {
         let t1 = w.simulate_day(1);
         v.ingest_day(&w, &t0);
         v.ingest_day(&w, &t1);
-        let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+        let m = CfMetric {
+            filter: CfFilter::AllRequests,
+            agg: CfAgg::Raw,
+        };
         let d0 = CdnVantage::observe_day(&w, &t0);
         let d1 = CdnVantage::observe_day(&w, &t1);
         let monthly = v.monthly(m);
@@ -476,8 +550,14 @@ mod tests {
         let (w, t) = world_and_day();
         let day = CdnVantage::observe_day(&w, &t);
         // Find a pageload from an automation client to a CF site.
-        let m_all = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
-        let m_top = CfMetric { filter: CfFilter::TopBrowsers, agg: CfAgg::Raw };
+        let m_all = CfMetric {
+            filter: CfFilter::AllRequests,
+            agg: CfAgg::Raw,
+        };
+        let m_top = CfMetric {
+            filter: CfFilter::TopBrowsers,
+            agg: CfAgg::Raw,
+        };
         let mut automation_traffic = 0.0;
         for pl in &t.page_loads {
             let c = &w.clients[pl.client.index()];
@@ -488,7 +568,10 @@ mod tests {
         if automation_traffic > 0.0 {
             let total_all: f64 = day.scores[m_all.index()].iter().sum();
             let total_top: f64 = day.scores[m_top.index()].iter().sum();
-            assert!(total_top < total_all, "top-browser filter must drop automation");
+            assert!(
+                total_top < total_all,
+                "top-browser filter must drop automation"
+            );
         }
     }
 }

@@ -70,12 +70,19 @@ impl CrawlerVantage {
             }
         }
 
-        CrawlerVantage { referring_domains, backlinks, crawled }
+        CrawlerVantage {
+            referring_domains,
+            backlinks,
+            crawled,
+        }
     }
 
     /// Distinct referring domains per site (Majestic's primary signal).
     pub fn referring_domains(&self) -> ScoreVec {
-        self.referring_domains.iter().map(|&v| f64::from(v)).collect()
+        self.referring_domains
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect()
     }
 
     /// Raw backlink pages per site (Majestic's tiebreaker).

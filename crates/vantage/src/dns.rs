@@ -105,9 +105,7 @@ fn ttl_days(client: ClientId, name: QueriedName) -> u32 {
     // Keyed per *zone* (site), not per FQDN: operators set one TTL policy
     // for the whole zone, so every host of a site shares the distortion.
     let zone = match name {
-        QueriedName::Host(site, _host) => {
-            u64::from(site.0).wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        }
+        QueriedName::Host(site, _host) => u64::from(site.0).wrapping_mul(0xBF58_476D_1CE4_E5B9),
         QueriedName::Background(i) => u64::from(i).wrapping_mul(0x94D0_49BB_1331_11EB),
     };
     // Zone TTL classes span minutes to weeks (roughly log-uniform); at the
@@ -121,7 +119,10 @@ impl DnsVantage {
     /// Creates a vantage for the given resolver. Panics on [`Resolver::Isp`],
     /// which publishes nothing.
     pub fn new(resolver: Resolver) -> Self {
-        assert!(resolver != Resolver::Isp, "ISP resolvers publish no popularity data");
+        assert!(
+            resolver != Resolver::Isp,
+            "ISP resolvers publish no popularity data"
+        );
         DnsVantage {
             resolver,
             days: Vec::new(),
@@ -230,9 +231,10 @@ impl DnsVantage {
     /// Renders a queried name to its textual FQDN.
     pub fn name_text(world: &World, name: QueriedName) -> String {
         match name {
-            QueriedName::Host(site, host_idx) => {
-                world.sites[site.index()].hosts[host_idx as usize].name.as_str().to_owned()
-            }
+            QueriedName::Host(site, host_idx) => world.sites[site.index()].hosts[host_idx as usize]
+                .name
+                .as_str()
+                .to_owned(),
             QueriedName::Background(i) => world.background_names[i as usize].as_str().to_owned(),
         }
     }
@@ -263,7 +265,11 @@ mod tests {
         // Every vote must come from a Chinese client IP block.
         let china_block = (Country::China.index() as u32 + 1) << 24;
         for ((ip, _), _) in v.votes() {
-            assert_eq!(ip >> 24, china_block >> 24, "non-Chinese IP in China resolver logs");
+            assert_eq!(
+                ip >> 24,
+                china_block >> 24,
+                "non-Chinese IP in China resolver logs"
+            );
         }
     }
 
@@ -294,7 +300,10 @@ mod tests {
         let (w, t) = setup();
         let mut v = DnsVantage::new(Resolver::Umbrella);
         v.ingest_day(&w, &t);
-        let has_bg = v.day(0).names().any(|(n, _)| matches!(n, QueriedName::Background(_)));
+        let has_bg = v
+            .day(0)
+            .names()
+            .any(|(n, _)| matches!(n, QueriedName::Background(_)));
         assert!(has_bg, "background DNS noise should reach the resolver");
     }
 
@@ -326,9 +335,19 @@ mod tests {
         let (w, _) = setup();
         let mut v = DnsVantage::new(Resolver::ChinaVoting);
         v.ingest_day(&w, &w.simulate_day(0));
-        let after_one: u32 = v.votes().values().map(|c| c.day_mask.count_ones()).max().unwrap_or(0);
+        let after_one: u32 = v
+            .votes()
+            .values()
+            .map(|c| c.day_mask.count_ones())
+            .max()
+            .unwrap_or(0);
         v.ingest_day(&w, &w.simulate_day(1));
-        let after_two: u32 = v.votes().values().map(|c| c.day_mask.count_ones()).max().unwrap_or(0);
+        let after_two: u32 = v
+            .votes()
+            .values()
+            .map(|c| c.day_mask.count_ones())
+            .max()
+            .unwrap_or(0);
         assert!(after_two >= after_one);
         assert!(after_two <= 2);
         assert_eq!(v.day_count(), 2);

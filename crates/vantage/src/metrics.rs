@@ -17,7 +17,7 @@ pub fn ranked_sites(scores: &ScoreVec) -> Vec<(SiteId, f64)> {
         .filter(|(_, &s)| s > 0.0)
         .map(|(i, &s)| (SiteId(i as u32), s))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
 

@@ -6,7 +6,7 @@
 //! "average daily visitors and pageviews" \[3\], so the panel records both per
 //! site per day.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use topple_sim::{ClientId, DayTraffic, SiteId, World};
 
@@ -22,7 +22,7 @@ pub struct PanelDayStats {
 /// One day of panel data.
 #[derive(Debug, Default)]
 pub struct PanelDay {
-    per_site: HashMap<SiteId, PanelDayStats>,
+    per_site: BTreeMap<SiteId, PanelDayStats>,
 }
 
 impl PanelDay {
@@ -132,7 +132,11 @@ mod tests {
     fn private_browsing_is_invisible() {
         // Adult traffic is mostly private; the panel's adult share must be
         // far below the true traffic share.
-        let w = World::generate(WorldConfig { n_clients: 3_000, ..WorldConfig::small(62) }).unwrap();
+        let w = World::generate(WorldConfig {
+            n_clients: 3_000,
+            ..WorldConfig::small(62)
+        })
+        .unwrap();
         let t = w.simulate_day(0);
         let mut p = PanelVantage::new(&w);
         p.ingest_day(&w, &t);
@@ -166,9 +170,7 @@ mod tests {
         let panel_loads = t
             .page_loads
             .iter()
-            .filter(|pl| {
-                w.clients[pl.client.index()].alexa_panelist && !pl.private_mode
-            })
+            .filter(|pl| w.clients[pl.client.index()].alexa_panelist && !pl.private_mode)
             .count() as u32;
         let counted: u32 = p.day(0).sites().map(|(_, s)| s.pageviews).sum();
         assert_eq!(counted, panel_loads);

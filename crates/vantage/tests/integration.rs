@@ -3,8 +3,7 @@
 
 use topple_sim::{Resolver, World, WorldConfig};
 use topple_vantage::{
-    CdnVantage, CfAgg, CfFilter, CfMetric, ChromeVantage, CrawlerVantage, DnsVantage,
-    PanelVantage,
+    CdnVantage, CfAgg, CfFilter, CfMetric, ChromeVantage, CrawlerVantage, DnsVantage, PanelVantage,
 };
 
 fn setup() -> (World, CdnVantage, ChromeVantage, DnsVantage, PanelVantage) {
@@ -30,9 +29,10 @@ fn daily_final_accessors_are_consistent_with_monthly() {
     for (mi, &m) in metrics.iter().enumerate() {
         let monthly = cdn.monthly(m);
         for site in 0..w.sites.len() {
-            let mean_daily: f64 =
-                (0..cdn.days()).map(|d| cdn.daily_final(mi, d)[site]).sum::<f64>()
-                    / cdn.days() as f64;
+            let mean_daily: f64 = (0..cdn.days())
+                .map(|d| cdn.daily_final(mi, d)[site])
+                .sum::<f64>()
+                / cdn.days() as f64;
             assert!(
                 (monthly[site] - mean_daily).abs() < 1e-9,
                 "site {site} metric {mi}: monthly {} vs mean daily {mean_daily}",
@@ -46,7 +46,10 @@ fn daily_final_accessors_are_consistent_with_monthly() {
 fn panel_sees_subset_of_cdn_traffic_story() {
     // Sites the panel observed on Cloudflare must also have CDN traffic.
     let (w, cdn, _, _, panel) = setup();
-    let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+    let m = CfMetric {
+        filter: CfFilter::AllRequests,
+        agg: CfAgg::Raw,
+    };
     let monthly = cdn.monthly(m);
     for d in 0..panel.day_count() {
         for (site, _) in panel.day(d).sites() {
@@ -64,7 +67,10 @@ fn panel_sees_subset_of_cdn_traffic_story() {
 #[test]
 fn chrome_origins_belong_to_visited_public_sites() {
     let (w, cdn, chrome, ..) = setup();
-    let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+    let m = CfMetric {
+        filter: CfFilter::AllRequests,
+        agg: CfAgg::Raw,
+    };
     let monthly = cdn.monthly(m);
     for (origin, _) in chrome.global_completed_list(1) {
         let site = &w.sites[origin.0.index()];
@@ -88,27 +94,33 @@ fn resolver_sees_no_more_names_than_exist() {
 
 #[test]
 fn crawler_and_cdn_agree_on_popular_public_sites() {
-    // Among CF-served public sites, the crawler's best-linked overlap with
-    // the CDN's most-requested far above chance.
+    // Among CF-served public sites, being well-linked and being
+    // well-requested must correlate far above chance. A rank correlation
+    // over *all* candidates is used rather than a top-k overlap count:
+    // at tiny scale the top-k cut is noisy enough to flap with the RNG
+    // stream, while the full-population correlation is stable.
     let (w, cdn, ..) = setup();
-    let crawl = CrawlerVantage::crawl(&w, 10, usize::MAX);
+    let crawl = CrawlerVantage::crawl(&w, 25, usize::MAX);
     let refs = crawl.referring_domains();
-    let m = CfMetric { filter: CfFilter::AllRequests, agg: CfAgg::Raw };
+    let m = CfMetric {
+        filter: CfFilter::AllRequests,
+        agg: CfAgg::Raw,
+    };
     let monthly = cdn.monthly(m);
-    let mut candidates: Vec<usize> = (0..w.sites.len())
+    let candidates: Vec<usize> = (0..w.sites.len())
         .filter(|&i| w.sites[i].cloudflare && w.sites[i].public_web)
         .collect();
-    let k = (candidates.len() / 5).max(5);
-    candidates.sort_by(|&a, &b| monthly[b].partial_cmp(&monthly[a]).unwrap());
-    let top_traffic: std::collections::HashSet<usize> =
-        candidates.iter().take(k).copied().collect();
-    candidates.sort_by(|&a, &b| refs[b].partial_cmp(&refs[a]).unwrap());
-    let top_linked: Vec<usize> = candidates.iter().take(k).copied().collect();
-    let hits = top_linked.iter().filter(|i| top_traffic.contains(i)).count();
-    // Chance overlap would be ~k * (k / candidates); require several times that.
-    let chance = k * k / candidates.len().max(1);
     assert!(
-        hits > chance * 2,
-        "links and traffic should correlate: {hits} hits vs chance ~{chance}"
+        candidates.len() >= 20,
+        "world too small for a meaningful test"
+    );
+    let xs: Vec<f64> = candidates.iter().map(|&i| f64::from(refs[i])).collect();
+    let ys: Vec<f64> = candidates.iter().map(|&i| monthly[i]).collect();
+    let s = topple_stats::corr::spearman(&xs, &ys).expect("correlation is defined");
+    assert!(
+        s.rho > 0.2 && s.p_value < 0.05,
+        "links and traffic should correlate: rho {} (p {})",
+        s.rho,
+        s.p_value
     );
 }

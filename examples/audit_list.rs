@@ -28,7 +28,10 @@ fn main() {
         for (i, name) in bogus.iter().enumerate() {
             tampered.entries.insert(
                 i,
-                toppling::lists::RankedEntry { rank: 0, name: (*name).to_owned() },
+                toppling::lists::RankedEntry {
+                    rank: 0,
+                    name: (*name).to_owned(),
+                },
             );
         }
         for (i, e) in tampered.entries.iter_mut().enumerate() {
@@ -36,7 +39,10 @@ fn main() {
         }
         let p = std::env::temp_dir().join("toppling-demo-list.csv");
         fs::write(&p, tampered.to_csv()).expect("write demo CSV");
-        println!("(no path given — wrote tampered demo list to {})\n", p.display());
+        println!(
+            "(no path given — wrote tampered demo list to {})\n",
+            p.display()
+        );
         p.to_string_lossy().into_owned()
     });
 

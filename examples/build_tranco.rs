@@ -8,8 +8,8 @@
 
 use std::collections::HashSet;
 
-use toppling::lists::{tranco, ListSource, RankedList};
 use toppling::core::Study;
+use toppling::lists::{tranco, ListSource, RankedList};
 use toppling::sim::{Category, WorldConfig};
 
 fn head_set(list: &RankedList, k: usize) -> HashSet<String> {
@@ -59,9 +59,18 @@ fn main() {
             .count();
         100.0 * hits as f64 / 500.0
     };
-    println!("\nadult-site share of the top 500 (universe share: {:.1}%):", Category::Adult.universe_share() * 100.0);
-    println!("  Alexa (panel, no private windows): {:.1}%", adult_share(study.alexa_daily.last().unwrap()));
-    println!("  Tranco (aggregate of biased inputs): {:.1}%", adult_share(&study.tranco));
+    println!(
+        "\nadult-site share of the top 500 (universe share: {:.1}%):",
+        Category::Adult.universe_share() * 100.0
+    );
+    println!(
+        "  Alexa (panel, no private windows): {:.1}%",
+        adult_share(study.alexa_daily.last().unwrap())
+    );
+    println!(
+        "  Tranco (aggregate of biased inputs): {:.1}%",
+        adult_share(&study.tranco)
+    );
     let crux_hits = study
         .crux
         .entries
@@ -72,11 +81,19 @@ fn main() {
                 .split_once("://")
                 .and_then(|(_, host)| host.parse::<toppling::psl::DomainName>().ok())
                 .and_then(|d| study.world.psl.registrable_domain(&d))
-                .and_then(|d| study.world.site_by_domain(&d).map(|s| s.category == Category::Adult))
+                .and_then(|d| {
+                    study
+                        .world
+                        .site_by_domain(&d)
+                        .map(|s| s.category == Category::Adult)
+                })
                 .unwrap_or(false)
         })
         .count();
-    println!("  CrUX (telemetry): {:.1}%", 100.0 * crux_hits as f64 / 500.0);
+    println!(
+        "  CrUX (telemetry): {:.1}%",
+        100.0 * crux_hits as f64 / 500.0
+    );
     println!("\n(Tranco smooths churn but inherits its inputs' category bias — Section 6.4.)");
     let _ = ListSource::Tranco;
 }

@@ -53,7 +53,11 @@ fn main() {
                 "  {:<3} {:<10} (JI {v:.3}){}",
                 country.code(),
                 f7.lists[li].name(),
-                if *country == Country::Japan { "  <- note how low Japan scores overall" } else { "" }
+                if *country == Country::Japan {
+                    "  <- note how low Japan scores overall"
+                } else {
+                    ""
+                }
             ),
             None => println!("  {:<3} (no usable telemetry cell)", country.code()),
         }

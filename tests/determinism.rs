@@ -1,0 +1,58 @@
+//! Determinism regression: two studies run from the same seed must produce
+//! byte-identical artifacts. This is the property `topple-lint`'s `hash-iter`
+//! rule exists to protect — a single unsorted `HashMap` iteration anywhere in
+//! the list-construction or analysis paths shows up here as a diff.
+
+use std::fmt::Write as _;
+
+use toppling::core::{consistency, listeval, Study};
+use toppling::lists::ListSource;
+use toppling::sim::WorldConfig;
+
+/// Serializes every artifact that historically depended on map iteration
+/// order: the normalized lists themselves (ranks included), the Figure 2
+/// similarity matrices, and the intra-Cloudflare consistency matrix.
+fn snapshot(seed: u64) -> String {
+    let s = Study::run(WorldConfig::tiny(seed)).expect("study runs");
+    let mags = s.magnitudes();
+    let k = mags[mags.len() - 2].1;
+
+    let mut out = String::new();
+    for &src in ListSource::ALL.iter() {
+        let list = s.normalized(src);
+        let _ = writeln!(out, "## {src:?} ({} entries)", list.entries.len());
+        for (domain, rank) in &list.entries {
+            let _ = writeln!(out, "{rank}\t{}", domain.as_str());
+        }
+    }
+    let ev = listeval::figure2(&s, k);
+    let _ = writeln!(out, "## figure2 jaccard {:?}", ev.jaccard);
+    let _ = writeln!(out, "## figure2 spearman {:?}", ev.spearman);
+    let m = consistency::intra_cloudflare_final(&s, k);
+    let _ = writeln!(out, "## fig1 jaccard {:?}", m.jaccard);
+    let _ = writeln!(out, "## fig1 spearman {:?}", m.spearman);
+    out
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let a = snapshot(4242);
+    let b = snapshot(4242);
+    if a != b {
+        // Point at the first diverging line rather than dumping megabytes.
+        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            assert_eq!(la, lb, "first divergence at snapshot line {}", i + 1);
+        }
+        panic!(
+            "snapshots differ in length: {} vs {} bytes",
+            a.len(),
+            b.len()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Guards against the snapshot accidentally serializing nothing seeded.
+    assert_ne!(snapshot(4242), snapshot(4243));
+}

@@ -29,7 +29,10 @@ fn crux_is_the_most_accurate_list_by_jaccard() {
         ev.jaccard[i].iter().sum::<f64>() / ev.jaccard[i].len() as f64
     };
     let crux = mean_ji(ListSource::Crux);
-    for other in ListSource::ALL.into_iter().filter(|&s| s != ListSource::Crux) {
+    for other in ListSource::ALL
+        .into_iter()
+        .filter(|&s| s != ListSource::Crux)
+    {
         assert!(
             crux > mean_ji(other),
             "CrUX ({crux:.3}) must beat {other} ({:.3})",
@@ -74,7 +77,10 @@ fn secrank_is_least_accurate() {
         ev.jaccard[i].iter().sum::<f64>() / ev.jaccard[i].len() as f64
     };
     let secrank = mean_ji(ListSource::Secrank);
-    for better in ListSource::ALL.into_iter().filter(|&s| s != ListSource::Secrank) {
+    for better in ListSource::ALL
+        .into_iter()
+        .filter(|&s| s != ListSource::Secrank)
+    {
         assert!(secrank <= mean_ji(better), "Secrank must trail {better}");
     }
 }
@@ -90,7 +96,10 @@ fn only_crux_reaches_the_intra_cloudflare_band() {
     let ev = listeval::figure2(s, k);
     let best_ji = |src: ListSource| {
         let i = ev.lists.iter().position(|&x| x == src).unwrap();
-        ev.jaccard[i].iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        ev.jaccard[i]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     };
     assert!(
         best_ji(ListSource::Crux) >= band_lo * 0.85,
@@ -123,7 +132,10 @@ fn aggregates_improve_on_inputs_but_never_reach_crux() {
     let crux = mean_ji(ListSource::Crux);
     for agg in [ListSource::Tranco, ListSource::Trexa] {
         let v = mean_ji(agg);
-        assert!(v >= worst_input, "{agg} ({v:.3}) must not trail its worst input");
+        assert!(
+            v >= worst_input,
+            "{agg} ({v:.3}) must not trail its worst input"
+        );
         assert!(
             v < crux - 0.03,
             "{agg} ({v:.3}) must stay clearly below CrUX ({crux:.3})"
@@ -163,21 +175,34 @@ fn umbrella_rank_order_collapses_in_the_tie_band() {
     }
     let head = &umb_cf[..band];
     let tail = &umb_cf[umb_cf.len() - band..];
-    let head_rho = spearman_intersection(head, &cf_refs).map(|r| r.rho).unwrap_or(0.0);
-    let tail_rho = spearman_intersection(tail, &cf_refs).map(|r| r.rho).unwrap_or(0.0);
+    let head_rho = spearman_intersection(head, &cf_refs)
+        .map(|r| r.rho)
+        .unwrap_or(0.0);
+    let tail_rho = spearman_intersection(tail, &cf_refs)
+        .map(|r| r.rho)
+        .unwrap_or(0.0);
     assert!(
         head_rho > tail_rho + 0.1,
         "head band rho ({head_rho:.3}) should clearly beat tail band rho ({tail_rho:.3})"
     );
-    assert!(tail_rho < 0.45, "tail band should carry little rank signal: {tail_rho:.3}");
+    assert!(
+        tail_rho < 0.45,
+        "tail band should carry little rank signal: {tail_rho:.3}"
+    );
 }
 
 #[test]
 fn table2_shape_holds() {
     let s = study();
-    let rows = psl_dev::table2(s);
+    let rows = psl_dev::table2(s).unwrap();
     let last = |src: ListSource| {
-        rows.iter().find(|r| r.source == src).unwrap().cells.last().unwrap().2
+        rows.iter()
+            .find(|r| r.source == src)
+            .unwrap()
+            .cells
+            .last()
+            .unwrap()
+            .2
     };
     assert!(last(ListSource::Umbrella) > 40.0);
     assert!(last(ListSource::Crux) > 40.0);

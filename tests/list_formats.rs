@@ -44,7 +44,12 @@ fn ranks_are_dense_and_unique_in_every_ranked_list() {
         }
         let names: std::collections::HashSet<&str> =
             list.entries.iter().map(|e| e.name.as_str()).collect();
-        assert_eq!(names.len(), list.len(), "{:?} has duplicate names", list.source);
+        assert_eq!(
+            names.len(),
+            list.len(),
+            "{:?} has duplicate names",
+            list.source
+        );
     }
 }
 
@@ -62,7 +67,7 @@ fn umbrella_is_fqdn_shaped_and_others_are_domain_shaped() {
 fn coverage_and_deviation_tables_are_complete() {
     let s = study();
     let t1 = coverage::table1(s);
-    let t2 = psl_dev::table2(s);
+    let t2 = psl_dev::table2(s).unwrap();
     assert_eq!(t1.len(), ListSource::ALL.len());
     assert_eq!(t2.len(), ListSource::ALL.len());
     let mags = s.magnitudes().len();
@@ -75,7 +80,13 @@ fn coverage_and_deviation_tables_are_complete() {
     // Coverage at the full magnitude should hover near the configured CDN
     // share for the broad lists.
     let full = |src: ListSource| {
-        t1.iter().find(|r| r.source == src).unwrap().cells.last().unwrap().2
+        t1.iter()
+            .find(|r| r.source == src)
+            .unwrap()
+            .cells
+            .last()
+            .unwrap()
+            .2
     };
     for src in [ListSource::Tranco, ListSource::Umbrella, ListSource::Crux] {
         let pct = full(src);

@@ -41,7 +41,10 @@ fn cdn_metrics_estimate_true_popularity() {
             .take(k)
             .map(|d| d.as_str().to_owned())
             .collect();
-        let hit = measured.iter().filter(|d| truth_set.contains(d.as_str())).count();
+        let hit = measured
+            .iter()
+            .filter(|d| truth_set.contains(d.as_str()))
+            .count();
         let recall = hit as f64 / k as f64;
         assert!(
             recall > 0.55,
@@ -95,7 +98,11 @@ fn chrome_telemetry_estimates_true_popularity() {
         .take(k)
         .map(|id| id.0)
         .collect();
-    let hit = measured_sites.iter().take(k).filter(|id| truth.contains(&id.0)).count();
+    let hit = measured_sites
+        .iter()
+        .take(k)
+        .filter(|id| truth.contains(&id.0))
+        .count();
     assert!(
         hit as f64 / k as f64 > 0.6,
         "Chrome telemetry should recall most of the true top: {hit}/{k}"
@@ -124,22 +131,27 @@ fn framework_prefers_a_knowably_better_list() {
     let scrambled = RankedList::from_sorted_names(ListSource::Alexa, scrambled_names);
 
     let cf = s.cf_monthly_domains(CfMetric::final_seven()[0]);
-    let ev_faithful =
-        against_cloudflare(s, &normalize_ranked(&s.world.psl, &faithful), &cf, k);
-    let ev_scrambled =
-        against_cloudflare(s, &normalize_ranked(&s.world.psl, &scrambled), &cf, k);
+    let ev_faithful = against_cloudflare(s, &normalize_ranked(&s.world.psl, &faithful), &cf, k);
+    let ev_scrambled = against_cloudflare(s, &normalize_ranked(&s.world.psl, &scrambled), &cf, k);
     assert!(
         ev_faithful.similarity.jaccard > ev_scrambled.similarity.jaccard,
         "faithful {:.3} vs scrambled {:.3}",
         ev_faithful.similarity.jaccard,
         ev_scrambled.similarity.jaccard
     );
-    let rho_f = ev_faithful.similarity.spearman.expect("faithful list intersects").rho;
+    let rho_f = ev_faithful
+        .similarity
+        .spearman
+        .expect("faithful list intersects")
+        .rho;
     // The scrambled list's head is the popularity tail: its Cloudflare
     // subset may not intersect the reference at all, which is itself the
     // correct "no agreement" verdict.
     let rho_s = ev_scrambled.similarity.spearman.map_or(-1.0, |s| s.rho);
-    assert!(rho_f > 0.5, "faithful list should rank-correlate: {rho_f:.3}");
+    assert!(
+        rho_f > 0.5,
+        "faithful list should rank-correlate: {rho_f:.3}"
+    );
     assert!(rho_f > rho_s, "faithful {rho_f:.3} vs scrambled {rho_s:.3}");
 }
 

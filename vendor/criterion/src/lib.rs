@@ -1,0 +1,208 @@
+//! Offline vendored stand-in for the [`criterion`] benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! API subset its benches use: `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple best-of-N wall-clock loop — good enough to
+//! compare orders of magnitude and to keep `cargo bench` compiling; it does
+//! not do criterion's statistical analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timer handle passed to the measured closure.
+pub struct Bencher {
+    samples: u64,
+    best: Duration,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            best: Duration::MAX,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Runs `f` repeatedly, recording the best per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.total += dt;
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    if b.best == Duration::MAX {
+        println!("bench {label:<40} (no samples)");
+    } else {
+        println!(
+            "bench {label:<40} best {:>12.3?}  mean {:>12.3?}  ({} samples)",
+            b.best,
+            b.total / u32::try_from(b.samples).unwrap_or(1).max(1),
+            b.samples,
+        );
+    }
+}
+
+/// Top-level harness object.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments, like the real harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Final-summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores time budgets.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("param", 5), &5, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

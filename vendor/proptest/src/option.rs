@@ -1,0 +1,26 @@
+//! The `Option` strategy combinator.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy yielding `None` one time in four and `Some(element)` otherwise.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { element }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.element.generate(rng))
+        }
+    }
+}

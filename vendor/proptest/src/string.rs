@@ -1,0 +1,363 @@
+//! Regex-shaped string strategies.
+//!
+//! Supports the pattern subset the workspace tests use: literals, `(..)`
+//! groups, `[a-z0-9-]` character classes (ranges and literals, no negation),
+//! alternation `a|b`, the repetitions `? * + {m} {m,n}`, the escapes
+//! `\. \\ \- \d`, and the class escape `\PC` ("any non-control character"),
+//! which draws from printable ASCII plus a few multi-byte code points to
+//! exercise non-ASCII handling.
+
+use std::fmt;
+
+use crate::{Strategy, TestRng};
+
+/// Unbounded repetitions (`*`, `+`) cap at this many copies.
+const UNBOUNDED_REPEAT_MAX: u32 = 8;
+
+/// Sample pool for `\PC` (printable, non-control).
+const PRINTABLE_EXTRAS: [char; 6] = ['é', 'ß', '中', '界', 'Ω', '🌐'];
+
+/// A malformed or unsupported pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, Error> {
+    Err(Error {
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One of the branches, uniformly.
+    Alt(Vec<Node>),
+    /// Branches in sequence.
+    Concat(Vec<Node>),
+    /// A fixed character.
+    Literal(char),
+    /// One char from the listed inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Any printable, non-control character.
+    AnyPrintable,
+    /// `node` repeated between `min` and `max` times.
+    Repeat { node: Box<Node>, min: u32, max: u32 },
+}
+
+impl Node {
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                branches[pick].generate(rng, out);
+            }
+            Node::Concat(parts) => {
+                for p in parts {
+                    p.generate(rng, out);
+                }
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if pick < span {
+                        // In-range by construction: pick < span keeps the
+                        // scalar within [lo, hi], which came from chars.
+                        if let Some(c) = char::from_u32(lo as u32 + pick as u32) {
+                            out.push(c);
+                        }
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::AnyPrintable => {
+                let pick = rng.below(95 + PRINTABLE_EXTRAS.len() as u64);
+                if pick < 95 {
+                    // Printable ASCII 0x20..=0x7E.
+                    if let Some(c) = char::from_u32(0x20 + pick as u32) {
+                        out.push(c);
+                    }
+                } else {
+                    out.push(PRINTABLE_EXTRAS[(pick - 95) as usize]);
+                }
+            }
+            Node::Repeat { node, min, max } => {
+                let n = rng.between(u64::from(*min), u64::from(*max));
+                for _ in 0..n {
+                    node.generate(rng, out);
+                }
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl Parser<'_> {
+    fn parse_alt(&mut self) -> Result<Node, Error> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap_or(Node::Concat(Vec::new())))
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, Error> {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            parts.push(self.parse_repeat(atom)?);
+        }
+        Ok(Node::Concat(parts))
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                match self.chars.next() {
+                    Some(')') => Ok(inner),
+                    _ => err("unclosed group"),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => Ok(Node::AnyPrintable),
+            Some(c @ ('?' | '*' | '+' | '{')) => err(format!("dangling repetition `{c}`")),
+            Some(c) => Ok(Node::Literal(c)),
+            None => err("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, Error> {
+        match self.chars.next() {
+            Some('d') => Ok(Node::Class(vec![('0', '9')])),
+            Some('w') => Ok(Node::Class(vec![
+                ('a', 'z'),
+                ('A', 'Z'),
+                ('0', '9'),
+                ('_', '_'),
+            ])),
+            Some('P') | Some('p') => {
+                // Unicode class escape; consume a one-letter name or `{Name}`.
+                match self.chars.next() {
+                    Some('{') => {
+                        for c in self.chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                        Ok(Node::AnyPrintable)
+                    }
+                    Some(_) => Ok(Node::AnyPrintable),
+                    None => err("truncated \\P escape"),
+                }
+            }
+            Some(c) => Ok(Node::Literal(c)),
+            None => err("trailing backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            return err("negated classes are not supported");
+        }
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => {
+                    if ranges.is_empty() {
+                        return err("empty character class");
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                Some('\\') => match self.chars.next() {
+                    Some(c) => c,
+                    None => return err("trailing backslash in class"),
+                },
+                Some(c) => c,
+                None => return err("unclosed character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(&']') | None => {
+                        // Trailing `-` is a literal.
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(&hi) => {
+                        self.chars.next();
+                        if hi < lo {
+                            return err(format!("inverted class range {lo}-{hi}"));
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn parse_repeat(&mut self, atom: Node) -> Result<Node, Error> {
+        let (min, max) = match self.chars.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_REPEAT_MAX),
+            Some('+') => (1, UNBOUNDED_REPEAT_MAX),
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => return err("unclosed repetition"),
+                    }
+                }
+                let parse_n = |s: &str| -> Result<u32, Error> {
+                    s.trim().parse().map_err(|_| Error {
+                        message: format!("bad repetition count `{s}`"),
+                    })
+                };
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = parse_n(lo)?;
+                        let hi = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_REPEAT_MAX
+                        } else {
+                            parse_n(hi)?
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = parse_n(&spec)?;
+                        (n, n)
+                    }
+                };
+                if max < min {
+                    return err(format!("inverted repetition {{{min},{max}}}"));
+                }
+                return Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min,
+                    max,
+                });
+            }
+            _ => return Ok(atom),
+        };
+        self.chars.next();
+        Ok(Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+}
+
+/// Strategy yielding strings matching a regex pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    root: Node,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.root.generate(rng, &mut out);
+        out
+    }
+}
+
+/// Compiles `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut p = Parser {
+        chars: pattern.chars().peekable(),
+    };
+    let root = p.parse_alt()?;
+    if p.chars.next().is_some() {
+        return err("unbalanced `)` in pattern");
+    }
+    Ok(RegexGeneratorStrategy { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    fn gen_n(pattern: &str, n: usize) -> Vec<String> {
+        let s = string_regex(pattern).expect("pattern compiles");
+        let mut rng = TestRng::for_test(pattern);
+        (0..n).map(|_| s.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn label_pattern_shapes() {
+        for s in gen_n("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", 200) {
+            assert!(!s.is_empty() && s.len() <= 12, "bad label {s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(!s.starts_with('-') && !s.ends_with('-'));
+        }
+    }
+
+    #[test]
+    fn alternation_and_escaped_dots() {
+        for s in gen_n(
+            "[a-z]{1,6}(\\.[a-z]{1,6}){0,2}\\.(com|net|org|co\\.uk)",
+            200,
+        ) {
+            let ok = [".com", ".net", ".org", ".co.uk"]
+                .iter()
+                .any(|t| s.ends_with(t));
+            assert!(ok, "bad tld in {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_never_emits_controls() {
+        for s in gen_n("\\PC{0,40}", 200) {
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(string_regex("[").is_err());
+        assert!(string_regex("(a").is_err());
+        assert!(string_regex("a)").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("*").is_err());
+    }
+}

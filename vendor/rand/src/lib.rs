@@ -1,0 +1,298 @@
+//! Offline vendored stand-in for the [`rand`] crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the *exact API subset it uses* instead of depending on
+//! crates.io. `SmallRng` is xoshiro256++ seeded through SplitMix64 — the same
+//! algorithm the real `rand` crate uses for `SmallRng` on 64-bit targets — so
+//! all streams are high-quality and fully deterministic for a given seed.
+//!
+//! Supported surface:
+//! - [`rngs::SmallRng`] via [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`]
+//! - [`Rng::random`] for `f64`, `f32`, the unsigned/signed integers, and `bool`
+//! - [`Rng::random_range`] over half-open and inclusive integer ranges
+//! - [`RngCore::next_u32`] / [`RngCore::next_u64`]
+
+/// Low-level generator interface: raw 32/64-bit output words.
+pub trait RngCore {
+    /// Next raw 32-bit output.
+    fn next_u32(&mut self) -> u32;
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a `u64` through SplitMix64
+    /// (identical to real `rand`'s `seed_from_u64`).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator's raw output
+/// (the `StandardUniform` distribution of real `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, u128 => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// Types samplable uniformly from a range (`random_range`).
+pub trait SampleUniform: Sized {
+    /// Draws a value in `[lo, hi)`. `hi > lo` is the caller's contract;
+    /// an empty range aborts with a descriptive panic, as real `rand` does.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range {lo}..{hi}");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Unbiased rejection sampling (Lemire-style threshold).
+                let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone || zone == 0 {
+                        return lo.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return Standard::sample(rng);
+                }
+                <$t>::sample_half_open(rng, lo, hi.wrapping_add(1))
+            }
+        }
+    )+};
+}
+
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard-uniform distribution of `T`.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// SplitMix64 step, used for seed expansion.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator: xoshiro256++.
+    ///
+    /// Matches the algorithm behind real `rand`'s 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // xoshiro forbids the all-zero state.
+            if s.iter().all(|&w| w == 0) {
+                s = [0xDEAD_BEEF_CAFE_F00D, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.random_range(0usize..10);
+            seen[v] = true;
+            let w = r.random_range(5u32..=6);
+            assert!((5..=6).contains(&w));
+            let z = r.random_range(-3i32..3);
+            assert!((-3..3).contains(&z));
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets hit");
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline vendored placeholder for `serde`.
+//!
+//! No workspace crate enables its `serde` feature by default, so nothing here
+//! is ever compiled into a real code path. The crate exists only so that
+//! offline dependency resolution succeeds. If a `serde` feature is turned on,
+//! the `cfg`-gated derives in the workspace will fail to compile against this
+//! stub — that is intentional: swap this path dependency for the real
+//! crates.io `serde` first.
