@@ -1,7 +1,19 @@
 //! Study orchestration: run the world once, feed every vantage, build every
 //! list, and cache what the experiments need.
+//!
+//! Day simulation *and* per-day vantage observation run on a worker pool
+//! (`WorldConfig::workers` / `TOPPLE_WORKERS`): each worker simulates a day
+//! and condenses it into mergeable [`DayShards`], and the orchestrating
+//! thread folds completed shards into the vantage accumulators in strict
+//! day order. The fold order — not the workers' completion order — is what
+//! reaches the accumulators, so results are byte-identical at any worker
+//! count (`tests/determinism.rs`), and the bounded channel keeps at most
+//! `O(workers)` days of shards in flight instead of buffering whole
+//! `DayTraffic` batches.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use topple_lists::{
     alexa, crux, majestic, normalize_bucketed, normalize_ranked, secrank, tranco, trexa, umbrella,
@@ -10,11 +22,130 @@ use topple_lists::{
 use topple_psl::DomainName;
 use topple_sim::{Resolver, World, WorldConfig, WorldError};
 use topple_vantage::{
-    CdnVantage, CfMetric, ChromeVantage, CrawlerVantage, DnsVantage, PanelVantage, ScoreVec,
+    CdnVantage, CfMetric, ChromeVantage, CrawlerVantage, DayShards, DnsVantage, PanelVantage,
+    ScoreVec,
 };
 
 /// How many Alexa picks per Tranco pick in the Trexa interleave.
 const TREXA_ALEXA_WEIGHT: usize = 2;
+
+/// The month-representative normalized list of every source, stored as one
+/// field per source so lookup is infallible by construction (no map, no
+/// missing-key panic path).
+struct NormalizedSet {
+    alexa: NormalizedList,
+    umbrella: NormalizedList,
+    majestic: NormalizedList,
+    secrank: NormalizedList,
+    tranco: NormalizedList,
+    trexa: NormalizedList,
+    crux: NormalizedList,
+}
+
+impl NormalizedSet {
+    fn get(&self, source: ListSource) -> &NormalizedList {
+        match source {
+            ListSource::Alexa => &self.alexa,
+            ListSource::Umbrella => &self.umbrella,
+            ListSource::Majestic => &self.majestic,
+            ListSource::Secrank => &self.secrank,
+            ListSource::Tranco => &self.tranco,
+            ListSource::Trexa => &self.trexa,
+            ListSource::Crux => &self.crux,
+        }
+    }
+}
+
+/// The five traffic-ingesting vantage accumulators a study folds shards
+/// into, bundled so the pipeline can pass them around as one unit.
+struct Accumulators {
+    cdn: CdnVantage,
+    chrome: ChromeVantage,
+    umbrella_dns: DnsVantage,
+    china_dns: DnsVantage,
+    panel: PanelVantage,
+}
+
+impl Accumulators {
+    fn new(world: &World) -> Self {
+        Accumulators {
+            cdn: CdnVantage::new(world),
+            chrome: ChromeVantage::new(world),
+            umbrella_dns: DnsVantage::new(Resolver::Umbrella),
+            china_dns: DnsVantage::new(Resolver::ChinaVoting),
+            panel: PanelVantage::new(world),
+        }
+    }
+
+    /// Folds one day's shards in. Must be called in ascending day order —
+    /// the vantages assert it.
+    fn fold(&mut self, world: &World, shards: DayShards) {
+        self.cdn.ingest_shard(shards.cdn);
+        self.chrome.ingest_shard(shards.chrome);
+        self.umbrella_dns.ingest_shard(world, shards.umbrella);
+        self.china_dns.ingest_shard(world, shards.china);
+        self.panel.ingest_shard(shards.panel);
+    }
+}
+
+/// Simulates and ingests every day of the window.
+///
+/// With one worker this runs inline with zero threading overhead. With more,
+/// a pool of workers pulls day indices from a shared counter, simulates each
+/// day, condenses it into [`DayShards`], and sends the result over a bounded
+/// channel; the orchestrating thread reorders arrivals and folds them in
+/// strict day order. The channel bound (2× workers) caps how far simulation
+/// can run ahead of ingestion, bounding memory to `O(workers)` days.
+fn run_days(world: &World, acc: &mut Accumulators, workers: usize) {
+    let n_days = world.config.days.len();
+    if workers <= 1 || n_days <= 1 {
+        for d in 0..n_days {
+            let traffic = world.simulate_day(d);
+            acc.fold(world, DayShards::observe(world, &traffic));
+        }
+        return;
+    }
+
+    let (tx, rx) = mpsc::sync_channel::<(usize, DayShards)>(workers * 2);
+    let next_day = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_days) {
+            let tx = tx.clone();
+            let next_day = &next_day;
+            s.spawn(move || loop {
+                let d = next_day.fetch_add(1, Ordering::Relaxed);
+                if d >= n_days {
+                    break;
+                }
+                let traffic = world.simulate_day(d);
+                let shards = DayShards::observe(world, &traffic);
+                // The receiver only disappears once every day has been
+                // folded (or the orchestrator is unwinding); either way the
+                // remaining work is moot.
+                if tx.send((d, shards)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // the fold loop's recv() must not wait on this clone
+
+        // Reorder out-of-completion-order arrivals and fold in day order.
+        let mut pending: BTreeMap<usize, DayShards> = BTreeMap::new();
+        let mut next_fold = 0usize;
+        while next_fold < n_days {
+            let Ok((d, shards)) = rx.recv() else {
+                // All workers exited early; a worker panic is about to be
+                // propagated by the scope itself.
+                break;
+            };
+            pending.insert(d, shards);
+            while let Some(shards) = pending.remove(&next_fold) {
+                acc.fold(world, shards);
+                next_fold += 1;
+            }
+        }
+    });
+}
 
 /// A fully-materialized study: the world, every vantage's accumulated view,
 /// and every top list.
@@ -48,60 +179,32 @@ pub struct Study {
     /// The CrUX bucketed list.
     pub crux: BucketedList,
     /// Month-representative normalized lists, one per source.
-    normalized: HashMap<ListSource, NormalizedList>,
+    normalized: NormalizedSet,
 }
 
 impl Study {
     /// Runs the full pipeline at the given configuration.
     ///
-    /// Day *traffic generation* is parallelized across worker threads (days
-    /// are RNG-independent); ingestion is sequential and ordered so that
-    /// vantages with day-indexed state stay consistent.
+    /// Day simulation *and* vantage observation run on
+    /// `config.effective_workers()` worker threads (days are
+    /// RNG-independent and shard construction is pure); the shards are then
+    /// folded into the accumulators in strict day order, so the worker
+    /// count never affects results.
     pub fn run(config: WorldConfig) -> Result<Study, WorldError> {
+        let workers = config.effective_workers();
         let world = World::generate(config)?;
         let n_days = world.config.days.len();
         let list_len = world.sites.len();
 
-        let mut cdn = CdnVantage::new(&world);
-        let mut chrome = ChromeVantage::new(&world);
-        let mut umbrella_dns = DnsVantage::new(Resolver::Umbrella);
-        let mut china_dns = DnsVantage::new(Resolver::ChinaVoting);
-        let mut panel = PanelVantage::new(&world);
-
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .min(6);
-        let mut day = 0usize;
-        while day < n_days {
-            let batch = (day..(day + workers).min(n_days)).collect::<Vec<_>>();
-            let traffics = std::thread::scope(|s| {
-                let world = &world;
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&d| s.spawn(move || world.simulate_day(d)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(t) => t,
-                        // A worker panic is already fatal; re-raise it on the
-                        // orchestrating thread with context.
-                        #[allow(clippy::panic)]
-                        // topple-lint: allow(panic): propagating a child-thread panic, not originating one
-                        Err(_) => panic!("day simulation worker panicked"),
-                    })
-                    .collect::<Vec<_>>()
-            });
-            for t in &traffics {
-                cdn.ingest_day(&world, t);
-                chrome.ingest_day(&world, t);
-                umbrella_dns.ingest_day(&world, t);
-                china_dns.ingest_day(&world, t);
-                panel.ingest_day(&world, t);
-            }
-            day += batch.len();
-        }
+        let mut acc = Accumulators::new(&world);
+        run_days(&world, &mut acc, workers);
+        let Accumulators {
+            cdn,
+            chrome,
+            umbrella_dns,
+            china_dns,
+            panel,
+        } = acc;
 
         // The crawl is time-independent within the window.
         let crawl = CrawlerVantage::crawl(&world, 25, usize::MAX);
@@ -146,24 +249,20 @@ impl Study {
             .collect();
         let crux = crux::build(&world, &chrome, &magnitudes);
 
-        // Month-representative normalized lists.
-        let mut normalized = HashMap::new();
-        normalized.insert(ListSource::Alexa, normalize_ranked(&world.psl, alexa_month));
-        normalized.insert(
-            ListSource::Umbrella,
-            normalize_ranked(
+        // Month-representative normalized lists, one per source — the struct
+        // makes "every source has one" a compile-time fact.
+        let normalized = NormalizedSet {
+            alexa: normalize_ranked(&world.psl, alexa_month),
+            umbrella: normalize_ranked(
                 &world.psl,
                 &umbrella::build_monthly(&world, &umbrella_dns, list_len),
             ),
-        );
-        normalized.insert(
-            ListSource::Majestic,
-            normalize_ranked(&world.psl, &majestic),
-        );
-        normalized.insert(ListSource::Secrank, normalize_ranked(&world.psl, &secrank));
-        normalized.insert(ListSource::Tranco, normalize_ranked(&world.psl, &tranco));
-        normalized.insert(ListSource::Trexa, normalize_ranked(&world.psl, &trexa));
-        normalized.insert(ListSource::Crux, normalize_bucketed(&world.psl, &crux));
+            majestic: normalize_ranked(&world.psl, &majestic),
+            secrank: normalize_ranked(&world.psl, &secrank),
+            tranco: normalize_ranked(&world.psl, &tranco),
+            trexa: normalize_ranked(&world.psl, &trexa),
+            crux: normalize_bucketed(&world.psl, &crux),
+        };
 
         Ok(Study {
             world,
@@ -184,9 +283,10 @@ impl Study {
         })
     }
 
-    /// The month-representative normalized list for a source.
+    /// The month-representative normalized list for a source. Infallible:
+    /// every source's list is a plain struct field, filled at construction.
     pub fn normalized(&self, source: ListSource) -> &NormalizedList {
-        &self.normalized[&source]
+        self.normalized.get(source)
     }
 
     /// The scaled rank magnitudes of this study's world.
@@ -240,6 +340,26 @@ mod tests {
         assert_eq!(a.crux.to_csv(), b.crux.to_csv());
         let m = CfMetric::final_seven()[0];
         assert_eq!(a.cf_monthly_domains(m), b.cf_monthly_domains(m));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let seq = Study::run(WorldConfig {
+            workers: Some(1),
+            ..WorldConfig::tiny(204)
+        })
+        .unwrap();
+        let par = Study::run(WorldConfig {
+            workers: Some(3),
+            ..WorldConfig::tiny(204)
+        })
+        .unwrap();
+        assert_eq!(seq.tranco, par.tranco);
+        assert_eq!(seq.secrank, par.secrank);
+        assert_eq!(seq.trexa, par.trexa);
+        assert_eq!(seq.crux.to_csv(), par.crux.to_csv());
+        let m = CfMetric::final_seven()[0];
+        assert_eq!(seq.cf_monthly_domains(m), par.cf_monthly_domains(m));
     }
 
     #[test]

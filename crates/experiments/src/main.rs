@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! topple-experiments [--scale tiny|small|medium|paper] [--seed N] <what>
+//! topple-experiments [--scale tiny|small|medium|paper] [--seed N] [--workers N] <what>
 //!   what: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 all
 //! ```
 //!
@@ -29,13 +29,14 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 fn usage() -> &'static str {
-    "usage: topple-experiments [--scale tiny|small|medium|paper] [--seed N] \
+    "usage: topple-experiments [--scale tiny|small|medium|paper] [--seed N] [--workers N] \
      <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablate|attack|intext|attribution|all>"
 }
 
 fn main() -> ExitCode {
     let mut scale = "medium".to_owned();
     let mut seed = 20220201u64;
+    let mut workers: Option<usize> = None;
     let mut what: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +52,13 @@ fn main() -> ExitCode {
                 Some(v) => seed = v,
                 None => {
                     eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = Some(v),
+                None => {
+                    eprintln!("--workers requires an integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -70,7 +78,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let config = match scale.as_str() {
+    let base = match scale.as_str() {
         "tiny" => WorldConfig::tiny(seed),
         "small" => WorldConfig::small(seed),
         "medium" => WorldConfig::medium(seed),
@@ -80,13 +88,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let config = WorldConfig { workers, ..base };
 
     eprintln!(
-        "# world: {} sites, {} clients, {} days, seed {} (scale {scale})",
+        "# world: {} sites, {} clients, {} days, seed {} (scale {scale}, {} workers)",
         config.n_sites,
         config.n_clients,
         config.days.len(),
         config.seed,
+        config.effective_workers(),
     );
     let (study, took) = timed(|| Study::run(config));
     let study = match study {

@@ -37,6 +37,12 @@ pub struct WorldConfig {
     pub infrastructure_share: f64,
     /// Bias-mechanism toggles for counterfactual worlds (all on by default).
     pub mechanisms: Mechanisms,
+    /// Worker threads for day simulation + shard construction. `None` defers
+    /// to the `TOPPLE_WORKERS` environment variable, then to the machine's
+    /// available parallelism. Results are worker-count-invariant by
+    /// construction (shard merges are associative and folded in day order);
+    /// `tests/determinism.rs` pins that byte-for-byte.
+    pub workers: Option<usize>,
 }
 
 /// Switches for the individual bias mechanisms, enabling counterfactual
@@ -122,7 +128,29 @@ impl WorldConfig {
             crux_privacy_threshold: 3,
             infrastructure_share: 0.004,
             mechanisms: Mechanisms::default(),
+            workers: None,
         }
+    }
+
+    /// The effective ingestion worker count: the explicit [`workers`] field
+    /// if set, else the `TOPPLE_WORKERS` environment variable, else the
+    /// machine's available parallelism — always at least 1. The knob only
+    /// affects wall-clock time, never results.
+    ///
+    /// [`workers`]: WorldConfig::workers
+    pub fn effective_workers(&self) -> usize {
+        self.workers
+            .or_else(|| {
+                std::env::var("TOPPLE_WORKERS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2)
+            })
+            .max(1)
     }
 
     /// The paper's rank magnitudes {1K, 10K, 100K, 1M} mapped onto this
@@ -202,6 +230,18 @@ mod tests {
         let tiny = WorldConfig::tiny(1);
         // 400 sites: 1K bucket would be 0 sites and 10K bucket 4; both skipped.
         assert_eq!(tiny.rank_magnitudes(), vec![("100K", 40), ("1M", 400)]);
+    }
+
+    #[test]
+    fn explicit_worker_count_wins_and_is_clamped() {
+        let mut cfg = WorldConfig::tiny(1);
+        cfg.workers = Some(5);
+        assert_eq!(cfg.effective_workers(), 5);
+        // Zero is nonsensical; clamp to the sequential path.
+        cfg.workers = Some(0);
+        assert_eq!(cfg.effective_workers(), 1);
+        cfg.workers = None;
+        assert!(cfg.effective_workers() >= 1);
     }
 
     #[test]

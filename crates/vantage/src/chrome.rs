@@ -11,7 +11,7 @@
 //! total time on site — broken down by client country and platform
 //! (Windows and Android, the representative desktop and mobile platforms).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use topple_sim::{Country, DayTraffic, Platform, SiteId, World};
 
@@ -60,6 +60,91 @@ struct OriginCell {
 /// The platforms Chrome telemetry breaks out (Section 6.1).
 pub const TELEMETRY_PLATFORMS: [Platform; 2] = [Platform::Windows, Platform::Android];
 
+/// Per-origin counters of a shard, carrying the exact client *set* (not just
+/// its size) so that unique-client counts merge losslessly across shards.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ShardCell {
+    initiated: u64,
+    completed: u64,
+    dwell_secs: u64,
+    clients: BTreeSet<u32>,
+}
+
+impl ShardCell {
+    fn merge(&mut self, other: ShardCell) {
+        self.initiated += other.initiated;
+        self.completed += other.completed;
+        self.dwell_secs += other.dwell_secs;
+        self.clients.extend(other.clients);
+    }
+}
+
+/// A mergeable observation of Chrome telemetry for a set of days.
+///
+/// Every field merges commutatively and exactly: counters are integer sums,
+/// unique clients are set unions, and covered days are a set union — so the
+/// merge is associative regardless of the order shards are combined in.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeShard {
+    day_indices: BTreeSet<usize>,
+    global: BTreeMap<OriginKey, ShardCell>,
+    cells: BTreeMap<(Country, Platform, OriginKey), ShardCell>,
+}
+
+impl ChromeShard {
+    /// Observes one day of traffic into a single-day shard. Pure: depends
+    /// only on `(world, traffic)`, never on ingestion order.
+    pub fn from_day(world: &World, traffic: &DayTraffic) -> Self {
+        let mut shard = ChromeShard::default();
+        shard.day_indices.insert(traffic.day_index);
+        for pl in &traffic.page_loads {
+            let client = &world.clients[pl.client.index()];
+            if !client.chrome_optin || pl.private_mode {
+                continue;
+            }
+            let site = &world.sites[pl.site.index()];
+            // Telemetry excludes non-public domains [13].
+            if !site.public_web {
+                continue;
+            }
+            let origin: OriginKey = (pl.site, pl.host_idx);
+
+            let global = shard.global.entry(origin).or_default();
+            global.initiated += 1;
+            global.completed += u64::from(pl.completed);
+            global.dwell_secs += u64::from(pl.dwell_secs);
+            global.clients.insert(pl.client.0);
+
+            if TELEMETRY_PLATFORMS.contains(&client.platform) {
+                let key = (client.country, client.platform, origin);
+                let cell = shard.cells.entry(key).or_default();
+                cell.initiated += 1;
+                cell.completed += u64::from(pl.completed);
+                cell.dwell_secs += u64::from(pl.dwell_secs);
+                cell.clients.insert(pl.client.0);
+            }
+        }
+        shard
+    }
+
+    /// Day indices covered by this shard, ascending.
+    pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.day_indices.iter().copied()
+    }
+}
+
+impl crate::Shard for ChromeShard {
+    fn merge(&mut self, other: Self) {
+        self.day_indices.extend(other.day_indices);
+        for (origin, cell) in other.global {
+            self.global.entry(origin).or_default().merge(cell);
+        }
+        for (key, cell) in other.cells {
+            self.cells.entry(key).or_default().merge(cell);
+        }
+    }
+}
+
 /// The Chrome telemetry vantage.
 #[derive(Debug)]
 pub struct ChromeVantage {
@@ -99,43 +184,41 @@ impl ChromeVantage {
         self.days
     }
 
-    /// Ingests one day of traffic.
+    /// Ingests one day of traffic. Equivalent to building a [`ChromeShard`]
+    /// for the day and ingesting it — that *is* the implementation, so the
+    /// sequential and sharded paths cannot drift apart.
     pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
-        for pl in &traffic.page_loads {
-            let client = &world.clients[pl.client.index()];
-            if !client.chrome_optin || pl.private_mode {
-                continue;
-            }
-            let site = &world.sites[pl.site.index()];
-            // Telemetry excludes non-public domains [13].
-            if !site.public_web {
-                continue;
-            }
-            let origin: OriginKey = (pl.site, pl.host_idx);
+        self.ingest_shard(ChromeShard::from_day(world, traffic));
+    }
 
+    /// Folds a (possibly multi-day) shard into the accumulators. Chrome
+    /// telemetry has no order-sensitive state, so shards may arrive in any
+    /// order; the persistent seen-client sets turn shard client sets into
+    /// monotone unique-client counts.
+    pub fn ingest_shard(&mut self, shard: ChromeShard) {
+        for (origin, cell) in shard.global {
             let global = self.global.entry(origin).or_default();
-            global.initiated += 1;
-            global.completed += u64::from(pl.completed);
-            global.dwell_secs += u64::from(pl.dwell_secs);
-            if self.seen_global.insert((origin, pl.client.0)) {
-                global.unique_clients += 1;
-            }
-
-            if TELEMETRY_PLATFORMS.contains(&client.platform) {
-                let key = (client.country, client.platform, origin);
-                let cell = self.cells.entry(key).or_default();
-                cell.initiated += 1;
-                cell.completed += u64::from(pl.completed);
-                cell.dwell_secs += u64::from(pl.dwell_secs);
-                if self
-                    .seen_cp
-                    .insert((client.country, client.platform, origin, pl.client.0))
-                {
-                    cell.unique_clients += 1;
+            global.initiated += cell.initiated;
+            global.completed += cell.completed;
+            global.dwell_secs += cell.dwell_secs;
+            for client in cell.clients {
+                if self.seen_global.insert((origin, client)) {
+                    global.unique_clients += 1;
                 }
             }
         }
-        self.days += 1;
+        for ((country, platform, origin), cell) in shard.cells {
+            let dst = self.cells.entry((country, platform, origin)).or_default();
+            dst.initiated += cell.initiated;
+            dst.completed += cell.completed;
+            dst.dwell_secs += cell.dwell_secs;
+            for client in cell.clients {
+                if self.seen_cp.insert((country, platform, origin, client)) {
+                    dst.unique_clients += 1;
+                }
+            }
+        }
+        self.days += shard.day_indices.len();
     }
 
     /// The published per-(country, platform) rank-order list for one metric:

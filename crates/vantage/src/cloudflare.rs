@@ -216,7 +216,7 @@ impl FilterCounts {
 }
 
 /// All 21 metric scores for one day, indexed `[metric][site]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CfDayMetrics {
     /// Scores per metric per site.
     pub scores: Vec<ScoreVec>,
@@ -226,6 +226,54 @@ impl CfDayMetrics {
     /// Score vector of one metric.
     pub fn metric(&self, m: CfMetric) -> &ScoreVec {
         &self.scores[m.index()]
+    }
+}
+
+/// A mergeable per-day observation of the CDN request log: the full
+/// 21-metric snapshot of each covered day, keyed by day index.
+///
+/// Shards form a commutative monoid under [`Shard::merge`]: the identity is
+/// the empty shard, merges over *distinct* days are a keyed union (no float
+/// arithmetic, hence exactly associative), and merging the same day twice
+/// sums its scores — the "observed the traffic twice" semantics shared by
+/// every shard type. All scores are integer-valued counts stored as `f64`,
+/// so even the degenerate same-day sum stays exact below 2^53.
+///
+/// [`Shard::merge`]: crate::Shard::merge
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CdnShard {
+    days: BTreeMap<usize, CfDayMetrics>,
+}
+
+impl CdnShard {
+    /// Observes one day of traffic into a single-day shard. Pure: depends
+    /// only on `(world, traffic)`, never on ingestion order.
+    pub fn from_day(world: &World, traffic: &DayTraffic) -> Self {
+        let mut days = BTreeMap::new();
+        days.insert(traffic.day_index, CdnVantage::observe_day(world, traffic));
+        CdnShard { days }
+    }
+
+    /// Day indices covered by this shard, ascending.
+    pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.days.keys().copied()
+    }
+}
+
+impl crate::Shard for CdnShard {
+    fn merge(&mut self, other: Self) {
+        for (day, metrics) in other.days {
+            match self.days.entry(day) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(metrics);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().scores.iter_mut().zip(&metrics.scores) {
+                        add_assign(dst, src);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -357,22 +405,41 @@ impl CdnVantage {
         CfDayMetrics { scores }
     }
 
-    /// Ingests one day of traffic.
+    /// Ingests one day of traffic. Equivalent to building a [`CdnShard`]
+    /// for the day and ingesting it — that *is* the implementation, so the
+    /// sequential and sharded paths cannot drift apart.
     pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
-        let day = Self::observe_day(world, traffic);
-        for m in 0..METRIC_COUNT {
-            add_assign(&mut self.monthly_sum[m], &day.scores[m]);
+        self.ingest_shard(CdnShard::from_day(world, traffic));
+    }
+
+    /// Folds a (possibly multi-day) shard into the accumulators, applying
+    /// its days in ascending day order. Days must arrive contiguously —
+    /// day `d` can only be ingested once days `0..d` have been.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard day is out of order with respect to what this
+    /// vantage has already ingested.
+    pub fn ingest_shard(&mut self, shard: CdnShard) {
+        for (day_index, day) in shard.days {
+            assert_eq!(
+                day_index, self.days_ingested,
+                "CDN days must be ingested in order"
+            );
+            for m in 0..METRIC_COUNT {
+                add_assign(&mut self.monthly_sum[m], &day.scores[m]);
+            }
+            self.daily_final.push(
+                CfMetric::final_seven()
+                    .iter()
+                    .map(|m| day.scores[m.index()].clone())
+                    .collect(),
+            );
+            if self.first_day.is_none() {
+                self.first_day = Some(day);
+            }
+            self.days_ingested += 1;
         }
-        self.daily_final.push(
-            CfMetric::final_seven()
-                .iter()
-                .map(|m| day.scores[m.index()].clone())
-                .collect(),
-        );
-        if self.first_day.is_none() {
-            self.first_day = Some(day);
-        }
-        self.days_ingested += 1;
     }
 
     /// Number of days ingested so far.

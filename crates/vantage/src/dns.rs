@@ -12,7 +12,7 @@
 //! query volume and frequency (Xie et al.). Both constructions live in
 //! `topple-lists`; this module only collects what each resolver could log.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use topple_sim::{ClientId, DayTraffic, Resolver, SiteId, World};
 
@@ -26,7 +26,7 @@ pub enum QueriedName {
 }
 
 /// Per-name counters for one day at one resolver.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NameDayStats {
     /// Total queries that reached the resolver.
     pub queries: u64,
@@ -43,9 +43,9 @@ pub struct ResolverDay {
 }
 
 impl ResolverDay {
-    fn record(&mut self, name: QueriedName, ip: u32) {
+    fn record(&mut self, name: QueriedName, ip: u32, queries: u64) {
         let stats = self.per_name.entry(name).or_default();
-        stats.queries += 1;
+        stats.queries += queries;
         if self.seen_ip.insert((name, ip)) {
             stats.unique_ips += 1;
         }
@@ -74,6 +74,121 @@ pub struct VoteCell {
     pub queries: u32,
     /// Bitmask of days on which the IP queried the domain.
     pub day_mask: u32,
+}
+
+/// One day's raw, *ungated* resolver-bound activity: what reached the
+/// client-side stub caches, before the multi-day TTL gate decides which
+/// queries escape to the resolver at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct DnsDayShard {
+    /// Fresh website-name lookups: `(client, name) -> (client ip, events)`.
+    /// The TTL gate is applied at fold time, because whether a day-`d` query
+    /// reaches the resolver depends on the days before it.
+    candidates: BTreeMap<(ClientId, QueriedName), (u32, u64)>,
+    /// Background names bypass the TTL gate entirely (queried by jobs, not
+    /// browsers), so their per-day stats are final at observation time.
+    background: BTreeMap<QueriedName, NameDayStats>,
+}
+
+impl DnsDayShard {
+    fn merge(&mut self, other: DnsDayShard) {
+        for (key, (ip, events)) in other.candidates {
+            let e = self.candidates.entry(key).or_insert((ip, 0));
+            e.1 += events;
+        }
+        for (name, stats) in other.background {
+            let e = self.background.entry(name).or_default();
+            e.queries += stats.queries;
+            e.unique_ips += stats.unique_ips;
+        }
+    }
+}
+
+/// A mergeable observation of one resolver's inbound queries for a set of
+/// days, keyed by day index.
+///
+/// The shard stores *pre-gate* candidates rather than final per-day logs:
+/// the multi-day TTL cache (see [`DnsVantage`]) makes day `d`'s resolver log
+/// depend on days `0..d`, so that sequential dependency is deferred to
+/// [`DnsVantage::ingest_shard`], which folds days in ascending order. The
+/// merge itself is a keyed union — exactly associative and commutative —
+/// which is what lets shards be built fully in parallel.
+///
+/// A shard is built *for one resolver* ([`DnsShard::from_day`] filters to
+/// that resolver's clients); feeding it to a vantage modeling a different
+/// resolver is a logic error the types do not prevent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DnsShard {
+    days: BTreeMap<usize, DnsDayShard>,
+}
+
+impl DnsShard {
+    /// Observes one day of traffic as seen by `resolver`'s clients. Pure:
+    /// depends only on `(world, traffic, resolver)`, never on order.
+    pub fn from_day(world: &World, traffic: &DayTraffic, resolver: Resolver) -> Self {
+        let mut day = DnsDayShard::default();
+        for pl in &traffic.page_loads {
+            let client = &world.clients[pl.client.index()];
+            if client.resolver != resolver || !pl.dns_fresh {
+                continue;
+            }
+            let name = QueriedName::Host(pl.site, pl.host_idx);
+            let e = day
+                .candidates
+                .entry((pl.client, name))
+                .or_insert((client.ip, 0));
+            e.1 += 1;
+        }
+        for tp in &traffic.third_party {
+            let client = &world.clients[tp.client.index()];
+            if client.resolver != resolver || !tp.dns_fresh {
+                continue;
+            }
+            let name = QueriedName::Host(tp.site, tp.host_idx);
+            let e = day
+                .candidates
+                .entry((tp.client, name))
+                .or_insert((client.ip, 0));
+            e.1 += 1;
+        }
+        let mut seen_bg: std::collections::HashSet<(QueriedName, u32)> =
+            std::collections::HashSet::new();
+        for bg in &traffic.background {
+            let client = &world.clients[bg.client.index()];
+            if client.resolver != resolver {
+                continue;
+            }
+            let name = QueriedName::Background(bg.name_idx);
+            let stats = day.background.entry(name).or_default();
+            stats.queries += 1;
+            if seen_bg.insert((name, client.ip)) {
+                stats.unique_ips += 1;
+            }
+        }
+        let mut days = BTreeMap::new();
+        days.insert(traffic.day_index, day);
+        DnsShard { days }
+    }
+
+    /// Day indices covered by this shard, ascending.
+    pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.days.keys().copied()
+    }
+}
+
+impl crate::Shard for DnsShard {
+    fn merge(&mut self, other: Self) {
+        for (day, dshard) in other.days {
+            match self.days.entry(day) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(dshard);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(dshard);
+                }
+            }
+        }
+    }
 }
 
 /// A DNS vantage accumulating daily logs for one resolver.
@@ -150,67 +265,74 @@ impl DnsVantage {
     }
 
     /// Ingests one day of traffic. Days must be ingested in order — the
-    /// multi-day TTL cache is stateful.
+    /// multi-day TTL cache is stateful. Equivalent to building a
+    /// [`DnsShard`] for the day and ingesting it — that *is* the
+    /// implementation, so the sequential and sharded paths cannot drift.
     pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
-        assert_eq!(
-            traffic.day_index,
-            self.days.len(),
-            "resolver days must be ingested in order"
-        );
-        let mut day = ResolverDay::default();
-        let collect_votes = self.resolver == Resolver::ChinaVoting;
-        let day_bit = 1u32 << (traffic.day_index.min(31));
-        let day_no = traffic.day_index as u32;
+        self.ingest_shard(world, DnsShard::from_day(world, traffic, self.resolver));
+    }
 
-        for pl in &traffic.page_loads {
-            let client = &world.clients[pl.client.index()];
-            if client.resolver != self.resolver || !pl.dns_fresh {
-                continue;
+    /// Folds a (possibly multi-day) shard into the resolver's state,
+    /// applying its days in ascending day order: this is where the multi-day
+    /// TTL gate runs, so the shard's pre-gate candidates become the day's
+    /// actual resolver log. Days must arrive contiguously.
+    ///
+    /// The shard must have been built (via [`DnsShard::from_day`]) for the
+    /// same resolver this vantage models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard day is out of order with respect to what this
+    /// vantage has already ingested.
+    pub fn ingest_shard(&mut self, world: &World, shard: DnsShard) {
+        let collect_votes = self.resolver == Resolver::ChinaVoting;
+        let gate = world.config.mechanisms.dns_ttl_distortion;
+        for (day_index, dshard) in shard.days {
+            assert_eq!(
+                day_index,
+                self.days.len(),
+                "resolver days must be ingested in order"
+            );
+            let day_bit = 1u32 << (day_index.min(31));
+            let day_no = day_index as u32;
+            let mut day = ResolverDay::default();
+
+            for ((client, name), (ip, events)) in dshard.candidates {
+                // With the TTL gate on, at most the first fresh lookup of the
+                // day escapes the client network; with it off, every fresh
+                // lookup reaches the resolver.
+                let reaching = if gate {
+                    if self.reaches_resolver(client, name, day_no) {
+                        1
+                    } else {
+                        0
+                    }
+                } else {
+                    events
+                };
+                if reaching == 0 {
+                    continue;
+                }
+                day.record(name, ip, reaching);
+                if collect_votes {
+                    if let QueriedName::Host(site, _) = name {
+                        let cell = self.votes.entry((ip, site)).or_default();
+                        cell.queries += reaching as u32;
+                        cell.day_mask |= day_bit;
+                    }
+                }
             }
-            // Stub-cache misses only; the multi-day TTL cache then decides
-            // whether the query escapes the client network at all.
-            let name = QueriedName::Host(pl.site, pl.host_idx);
-            if world.config.mechanisms.dns_ttl_distortion
-                && !self.reaches_resolver(pl.client, name, day_no)
-            {
-                continue;
+            for (name, stats) in dshard.background {
+                // Background names have short TTLs and bypass caching (they
+                // are queried by jobs, not browsers); their keys are disjoint
+                // from website names, so the stats transfer verbatim.
+                let e = day.per_name.entry(name).or_default();
+                e.queries += stats.queries;
+                e.unique_ips += stats.unique_ips;
             }
-            day.record(name, client.ip);
-            if collect_votes {
-                let cell = self.votes.entry((client.ip, pl.site)).or_default();
-                cell.queries += 1;
-                cell.day_mask |= day_bit;
-            }
+            day.seen_ip = Default::default(); // drop scratch before storing
+            self.days.push(day);
         }
-        for tp in &traffic.third_party {
-            let client = &world.clients[tp.client.index()];
-            if client.resolver != self.resolver || !tp.dns_fresh {
-                continue;
-            }
-            let name = QueriedName::Host(tp.site, tp.host_idx);
-            if world.config.mechanisms.dns_ttl_distortion
-                && !self.reaches_resolver(tp.client, name, day_no)
-            {
-                continue;
-            }
-            day.record(name, client.ip);
-            if collect_votes {
-                let cell = self.votes.entry((client.ip, tp.site)).or_default();
-                cell.queries += 1;
-                cell.day_mask |= day_bit;
-            }
-        }
-        for bg in &traffic.background {
-            let client = &world.clients[bg.client.index()];
-            if client.resolver != self.resolver {
-                continue;
-            }
-            // Background names have short TTLs and bypass caching (they are
-            // queried by jobs, not browsers).
-            day.record(QueriedName::Background(bg.name_idx), client.ip);
-        }
-        day.seen_ip = Default::default(); // drop scratch before storing
-        self.days.push(day);
     }
 
     /// Number of ingested days.

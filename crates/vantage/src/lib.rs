@@ -16,9 +16,14 @@
 //!   completed loads, and time-on-site per (country, platform), plus the
 //!   origin-aggregated global view behind the public CrUX list.
 //!
-//! All vantages share the same shape: `ingest_day(&World, &DayTraffic)`
-//! incrementally, then finalize into ranked scores. None of them reads
-//! ground-truth site weights.
+//! All vantages share the same shape: observe a day of traffic into a pure,
+//! mergeable per-day [`Shard`] ([`shard`] module), then fold shards into the
+//! vantage's accumulators in day order — `ingest_day(&World, &DayTraffic)`
+//! is the one-day convenience wrapper. Shard *construction* is
+//! order-independent and safe to parallelize; order-sensitive state (the DNS
+//! TTL gate, day-indexed storage) lives only in the sequential
+//! `ingest_shard` folds. None of the vantages reads ground-truth site
+//! weights.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +34,12 @@ pub mod crawler;
 pub mod dns;
 pub mod metrics;
 pub mod panel;
+pub mod shard;
 
-pub use chrome::{ChromeMetric, ChromeVantage};
-pub use cloudflare::{CdnVantage, CfAgg, CfFilter, CfMetric};
+pub use chrome::{ChromeMetric, ChromeShard, ChromeVantage, TELEMETRY_PLATFORMS};
+pub use cloudflare::{CdnShard, CdnVantage, CfAgg, CfFilter, CfMetric};
 pub use crawler::CrawlerVantage;
-pub use dns::{DnsVantage, QueriedName};
+pub use dns::{DnsShard, DnsVantage, QueriedName};
 pub use metrics::{ranked_sites, ScoreVec};
-pub use panel::PanelVantage;
+pub use panel::{PanelShard, PanelVantage};
+pub use shard::{DayShards, Shard};

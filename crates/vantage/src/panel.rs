@@ -10,6 +10,67 @@ use std::collections::{BTreeMap, HashSet};
 
 use topple_sim::{ClientId, DayTraffic, SiteId, World};
 
+/// A mergeable observation of panel activity for a set of days, keyed by
+/// day index.
+///
+/// Each day's stats are final at observation time (the panel has no
+/// cross-day state), so the merge is a keyed union over days — exactly
+/// associative and commutative. Merging the same day twice sums its stats
+/// ("observed the traffic twice"), like every other shard type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PanelShard {
+    days: BTreeMap<usize, PanelDay>,
+}
+
+impl PanelShard {
+    /// Observes one day of traffic into a single-day shard. Pure: depends
+    /// only on `(world, traffic)`, never on ingestion order.
+    pub fn from_day(world: &World, traffic: &DayTraffic) -> Self {
+        let mut day = PanelDay::default();
+        let mut visitors: HashSet<(SiteId, ClientId)> = HashSet::new();
+        for pl in &traffic.page_loads {
+            let client = &world.clients[pl.client.index()];
+            // Extensions are disabled in private windows: those loads vanish.
+            if !client.alexa_panelist || pl.private_mode {
+                continue;
+            }
+            let stats = day.per_site.entry(pl.site).or_default();
+            stats.pageviews += 1;
+            if visitors.insert((pl.site, pl.client)) {
+                stats.visitors += 1;
+            }
+        }
+        let mut days = BTreeMap::new();
+        days.insert(traffic.day_index, day);
+        PanelShard { days }
+    }
+
+    /// Day indices covered by this shard, ascending.
+    pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.days.keys().copied()
+    }
+}
+
+impl crate::Shard for PanelShard {
+    fn merge(&mut self, other: Self) {
+        for (day_index, day) in other.days {
+            match self.days.entry(day_index) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(day);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let dst = e.get_mut();
+                    for (site, stats) in day.per_site {
+                        let s = dst.per_site.entry(site).or_default();
+                        s.pageviews += stats.pageviews;
+                        s.visitors += stats.visitors;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// One site's panel observation for one day.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PanelDayStats {
@@ -20,7 +81,7 @@ pub struct PanelDayStats {
 }
 
 /// One day of panel data.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PanelDay {
     per_site: BTreeMap<SiteId, PanelDayStats>,
 }
@@ -63,23 +124,30 @@ impl PanelVantage {
         self.panel_size
     }
 
-    /// Ingests one day of traffic.
+    /// Ingests one day of traffic. Equivalent to building a [`PanelShard`]
+    /// for the day and ingesting it — that *is* the implementation, so the
+    /// sequential and sharded paths cannot drift apart.
     pub fn ingest_day(&mut self, world: &World, traffic: &DayTraffic) {
-        let mut day = PanelDay::default();
-        let mut visitors: HashSet<(SiteId, ClientId)> = HashSet::new();
-        for pl in &traffic.page_loads {
-            let client = &world.clients[pl.client.index()];
-            // Extensions are disabled in private windows: those loads vanish.
-            if !client.alexa_panelist || pl.private_mode {
-                continue;
-            }
-            let stats = day.per_site.entry(pl.site).or_default();
-            stats.pageviews += 1;
-            if visitors.insert((pl.site, pl.client)) {
-                stats.visitors += 1;
-            }
+        self.ingest_shard(PanelShard::from_day(world, traffic));
+    }
+
+    /// Folds a (possibly multi-day) shard into the day list, applying its
+    /// days in ascending day order. Days must arrive contiguously so the
+    /// day-indexed accessors stay meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard day is out of order with respect to what this
+    /// vantage has already ingested.
+    pub fn ingest_shard(&mut self, shard: PanelShard) {
+        for (day_index, day) in shard.days {
+            assert_eq!(
+                day_index,
+                self.days.len(),
+                "panel days must be ingested in order"
+            );
+            self.days.push(day);
         }
-        self.days.push(day);
     }
 
     /// Number of ingested days.

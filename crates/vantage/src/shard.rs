@@ -1,0 +1,116 @@
+//! The shard/merge algebra shared by every vantage.
+//!
+//! A *shard* is a pure, mergeable observation of one (or, after merging,
+//! several) days of traffic as one vantage would see it. Shards obey monoid
+//! laws — an identity element, associativity, and (for every shard type in
+//! this crate) commutativity — which is what makes it safe to *build* them
+//! on any number of worker threads in any completion order. Order-sensitive
+//! state (the DNS TTL gate, day-indexed accessors) lives entirely in the
+//! vantages' `ingest_shard` folds, which consume a shard's days in ascending
+//! day order.
+//!
+//! The laws are not aspirational: `tests/merge_laws.rs` at the workspace
+//! root asserts identity, associativity, commutativity, and
+//! shard-vs-sequential equivalence for every vantage over seeded worlds, and
+//! `tests/determinism.rs` pins that study results are byte-identical across
+//! worker counts.
+//!
+//! The crawler vantage has no shard type: it reads the static hyperlink
+//! graph, not the daily traffic stream, so there is nothing per-day to
+//! merge (see `DESIGN.md` §10).
+
+use topple_sim::{DayTraffic, Resolver, World};
+
+use crate::chrome::ChromeShard;
+use crate::cloudflare::CdnShard;
+use crate::dns::DnsShard;
+use crate::panel::PanelShard;
+
+/// A mergeable per-day observation: the monoid every vantage shard
+/// implements.
+///
+/// Implementations must keep `merge` associative — and every shard in this
+/// crate keeps it commutative too — with `Default::default()` as the
+/// identity element. `merge` performs no floating-point arithmetic on
+/// distinct days (keyed unions and integer sums only), so the laws hold
+/// *exactly*, not just up to rounding.
+pub trait Shard: Default {
+    /// Folds `other` into `self`. Distinct days union; identical days
+    /// combine as if their traffic had been observed twice.
+    fn merge(&mut self, other: Self);
+
+    /// The identity element: a shard that observed nothing.
+    fn identity() -> Self {
+        Self::default()
+    }
+}
+
+/// One day's observations for all five traffic-ingesting vantages of a
+/// study: the unit of work a pipeline worker produces.
+///
+/// `DnsShard` appears twice because the study runs two resolver vantages
+/// (Umbrella and the Chinese resolver behind Secrank) over the same traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DayShards {
+    /// CDN request-log metrics.
+    pub cdn: CdnShard,
+    /// Chrome telemetry.
+    pub chrome: ChromeShard,
+    /// The Umbrella-style enterprise resolver.
+    pub umbrella: DnsShard,
+    /// The Chinese resolver feeding Secrank.
+    pub china: DnsShard,
+    /// The browser-extension panel.
+    pub panel: PanelShard,
+}
+
+impl DayShards {
+    /// Observes one day of traffic from every vantage at once. Pure and
+    /// thread-safe: depends only on `(world, traffic)`, so workers can
+    /// build shards for different days concurrently and in any order.
+    pub fn observe(world: &World, traffic: &DayTraffic) -> Self {
+        DayShards {
+            cdn: CdnShard::from_day(world, traffic),
+            chrome: ChromeShard::from_day(world, traffic),
+            umbrella: DnsShard::from_day(world, traffic, Resolver::Umbrella),
+            china: DnsShard::from_day(world, traffic, Resolver::ChinaVoting),
+            panel: PanelShard::from_day(world, traffic),
+        }
+    }
+}
+
+impl Shard for DayShards {
+    fn merge(&mut self, other: Self) {
+        self.cdn.merge(other.cdn);
+        self.chrome.merge(other.chrome);
+        self.umbrella.merge(other.umbrella);
+        self.china.merge(other.china);
+        self.panel.merge(other.panel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topple_sim::WorldConfig;
+
+    #[test]
+    fn day_shards_observe_and_merge() {
+        let w = World::generate(WorldConfig::tiny(91)).unwrap();
+        let t0 = w.simulate_day(0);
+        let t1 = w.simulate_day(1);
+        let mut a = DayShards::observe(&w, &t0);
+        let b = DayShards::observe(&w, &t1);
+        assert_ne!(a, b);
+        a.merge(b.clone());
+        assert_eq!(a.cdn.day_indices().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(a.panel.day_indices().collect::<Vec<_>>(), vec![0, 1]);
+        // Identity on both sides.
+        let mut id_left = DayShards::identity();
+        id_left.merge(b.clone());
+        let mut id_right = b.clone();
+        id_right.merge(DayShards::identity());
+        assert_eq!(id_left, b);
+        assert_eq!(id_right, b);
+    }
+}

@@ -13,7 +13,17 @@ use toppling::sim::WorldConfig;
 /// order: the normalized lists themselves (ranks included), the Figure 2
 /// similarity matrices, and the intra-Cloudflare consistency matrix.
 fn snapshot(seed: u64) -> String {
-    let s = Study::run(WorldConfig::tiny(seed)).expect("study runs");
+    snapshot_with_workers(seed, None)
+}
+
+/// Like [`snapshot`], pinning the pipeline worker count. `None` defers to
+/// `TOPPLE_WORKERS` / machine parallelism, which is what CI varies.
+fn snapshot_with_workers(seed: u64, workers: Option<usize>) -> String {
+    let config = WorldConfig {
+        workers,
+        ..WorldConfig::tiny(seed)
+    };
+    let s = Study::run(config).expect("study runs");
     let mags = s.magnitudes();
     let k = mags[mags.len() - 2].1;
 
@@ -55,4 +65,30 @@ fn same_seed_runs_are_byte_identical() {
 fn different_seeds_differ() {
     // Guards against the snapshot accidentally serializing nothing seeded.
     assert_ne!(snapshot(4242), snapshot(4243));
+}
+
+#[test]
+fn worker_count_does_not_change_artifacts() {
+    // The shard/merge pipeline must be invisible in the output: the inline
+    // single-worker path and the threaded pool at several widths (including
+    // more workers than days) all reconstruct the same sequential fold.
+    let inline = snapshot_with_workers(4242, Some(1));
+    for workers in [2, 8] {
+        let pooled = snapshot_with_workers(4242, Some(workers));
+        if inline != pooled {
+            for (i, (la, lb)) in inline.lines().zip(pooled.lines()).enumerate() {
+                assert_eq!(
+                    la,
+                    lb,
+                    "workers={workers}: first divergence at snapshot line {}",
+                    i + 1
+                );
+            }
+            panic!(
+                "workers={workers}: snapshots differ in length: {} vs {} bytes",
+                inline.len(),
+                pooled.len()
+            );
+        }
+    }
 }
