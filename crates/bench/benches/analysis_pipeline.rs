@@ -1,0 +1,177 @@
+//! Benchmarks of the interned/columnar analysis stage against the legacy
+//! string-keyed path it replaced.
+//!
+//! Three questions, mirroring the tentpole's acceptance bar:
+//!
+//! 1. **String-set vs id-slice Jaccard** — one pairwise comparison at each
+//!    paper magnitude, plus the full 7×7 set-comparison grid at the 100K
+//!    magnitude (the bar: ids beat strings by >= 3x on the grid).
+//! 2. **Normalize once vs per day** — a cold `Normalizer` per evaluation
+//!    (what `temporal::figure3` used to do for every static list every day)
+//!    versus re-normalizing through a warm, memoized one.
+//! 3. **Consistency-matrix scaling** — `matrix_from_id_rankings` across
+//!    worker counts 1/2/4/8 (byte-identical output; see
+//!    `tests/determinism.rs`).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use topple_bench::small_study;
+use topple_core::consistency::matrix_from_id_rankings;
+use topple_core::{jaccard_domains, IdCut};
+use topple_lists::{DomainId, DomainTable, Normalizer};
+use topple_psl::DomainName;
+use topple_stats::sets::jaccard_sorted;
+
+/// Interns `n` synthetic registrable domains, returning the parsed names and
+/// their dense ids (id `i` == name `i`, as in a study's `DomainTable`).
+fn universe(n: usize) -> (Vec<DomainName>, Vec<DomainId>) {
+    let mut table = DomainTable::with_capacity(n);
+    let names: Vec<DomainName> = (0..n)
+        // topple-lint: allow(unwrap): bench fixture; synthetic names always parse
+        .map(|i| format!("site-{i}.example").parse().expect("valid name"))
+        .collect();
+    let ids: Vec<DomainId> = names.iter().map(|nm| table.intern(nm)).collect();
+    (names, ids)
+}
+
+/// Best-first ranking of `k` entries starting at `offset` into the universe —
+/// overlapping windows give the half-overlap structure real list cuts have.
+fn window<T: Clone>(items: &[T], offset: usize, k: usize) -> Vec<T> {
+    items[offset..offset + k].to_vec()
+}
+
+fn bench_jaccard_paths(c: &mut Criterion) {
+    let (names, ids) = universe(150_000);
+    let mut g = c.benchmark_group("jaccard_path");
+    g.sample_size(10);
+    for &k in &[1_000usize, 10_000, 100_000] {
+        let a_names: Vec<&DomainName> = names[..k].iter().collect();
+        let b_names: Vec<&DomainName> = names[k / 2..k / 2 + k].iter().collect();
+        g.bench_with_input(BenchmarkId::new("string", k), &k, |b, _| {
+            b.iter(|| jaccard_domains(black_box(&a_names), black_box(&b_names)))
+        });
+        let cut_a = IdCut::new(&window(&ids, 0, k));
+        let cut_b = IdCut::new(&window(&ids, k / 2, k));
+        g.bench_with_input(BenchmarkId::new("ids", k), &k, |b, _| {
+            b.iter(|| jaccard_sorted(black_box(cut_a.ids()), black_box(cut_b.ids())))
+        });
+    }
+    g.finish();
+}
+
+/// The figure-2-shaped workload: a 7-list × 7-metric grid of pairwise top-100K
+/// comparisons. The legacy path rebuilt two domain-string hash sets per cell;
+/// the interned path merge-walks prepared sorted id columns.
+fn bench_set_comparison_grid(c: &mut Criterion) {
+    const K: usize = 100_000;
+    let (names, ids) = universe(2 * K);
+    let list_offsets: Vec<usize> = (0..7).map(|i| i * 9_000).collect();
+    let metric_offsets: Vec<usize> = (0..7).map(|i| 30_000 + i * 7_000).collect();
+
+    let mut g = c.benchmark_group("set_comparison_grid");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+
+    let list_names: Vec<Vec<&DomainName>> = list_offsets
+        .iter()
+        .map(|&o| names[o..o + K].iter().collect())
+        .collect();
+    let metric_names: Vec<Vec<&DomainName>> = metric_offsets
+        .iter()
+        .map(|&o| names[o..o + K].iter().collect())
+        .collect();
+    g.bench_function("string_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in &list_names {
+                for m in &metric_names {
+                    acc += jaccard_domains(black_box(l), black_box(m));
+                }
+            }
+            acc
+        })
+    });
+
+    let list_cuts: Vec<IdCut> = list_offsets
+        .iter()
+        .map(|&o| IdCut::new(&window(&ids, o, K)))
+        .collect();
+    let metric_cuts: Vec<IdCut> = metric_offsets
+        .iter()
+        .map(|&o| IdCut::new(&window(&ids, o, K)))
+        .collect();
+    g.bench_function("ids_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in &list_cuts {
+                for m in &metric_cuts {
+                    acc += jaccard_sorted(black_box(l.ids()), black_box(m.ids()));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+/// Cold normalizer per evaluation (the old per-day cost for static lists in
+/// `temporal::figure3`) versus a warm memoized normalizer re-visiting the
+/// same entries.
+fn bench_normalize(c: &mut Criterion) {
+    let study = small_study();
+    let psl = &study.world.psl;
+    let list = &study.tranco;
+    let mut g = c.benchmark_group("normalize");
+    g.sample_size(10);
+    g.bench_function("per_day_cold", |b| {
+        b.iter(|| {
+            let mut norm = Normalizer::new(psl);
+            black_box(norm.ranked(black_box(list)).len())
+        })
+    });
+    let mut warm = Normalizer::new(psl);
+    warm.ranked(list); // populate the entry memo once
+    g.bench_function("memoized_warm", |b| {
+        b.iter(|| black_box(warm.ranked(black_box(list)).len()))
+    });
+    g.finish();
+}
+
+/// The 21-metric intra-CDN consistency matrix at top-10K, across worker
+/// counts.
+fn bench_matrix_workers(c: &mut Criterion) {
+    const K: usize = 10_000;
+    const METRICS: usize = 21;
+    let (_, ids) = universe(K + METRICS * 2_000);
+    let rankings: Vec<Vec<DomainId>> = (0..METRICS).map(|i| window(&ids, i * 2_000, K)).collect();
+    let labels: Vec<String> = (0..METRICS).map(|i| format!("metric-{i}")).collect();
+    let mut g = c.benchmark_group("consistency_matrix");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("21x10k", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(matrix_from_id_rankings(
+                        labels.clone(),
+                        black_box(&rankings),
+                        K,
+                        workers,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_jaccard_paths,
+    bench_set_comparison_grid,
+    bench_normalize,
+    bench_matrix_workers
+);
+criterion_main!(benches);

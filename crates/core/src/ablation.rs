@@ -78,7 +78,9 @@ pub fn normalization(study: &Study, k: usize) -> Result<Vec<NormalizationAblatio
                 })
                 .collect();
             let n = raw_cf.len();
+            // topple-lint: allow(string-set): ablation compares raw un-normalized names, which have no interned ids
             let cf_set: HashSet<&str> = cf_domains.iter().take(n).map(|d| d.as_str()).collect();
+            // topple-lint: allow(string-set): same raw-name path as above
             let raw_set: HashSet<&str> = raw_cf.iter().map(String::as_str).collect();
             let raw = if n == 0 {
                 0.0

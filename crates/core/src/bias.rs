@@ -7,12 +7,12 @@
 //! same data source (Section 6.2).
 
 use topple_lists::ListSource;
-use topple_psl::DomainName;
 use topple_sim::{Country, Platform};
 use topple_vantage::ChromeMetric;
 
-use crate::compare::similarity;
-use crate::consistency::chrome_cell_domains;
+use crate::compare::{similarity_ids, IdCut};
+use crate::consistency::chrome_cell_ids;
+use crate::parallel;
 use crate::study::Study;
 
 /// Lists evaluated in the bias analyses (everything but CrUX).
@@ -62,7 +62,7 @@ fn cell_similarity(
     metric: ChromeMetric,
     k: usize,
 ) -> Option<(f64, f64)> {
-    let chrome: Vec<DomainName> = chrome_cell_domains(
+    let chrome = chrome_cell_ids(
         study,
         country,
         platform,
@@ -72,10 +72,9 @@ fn cell_similarity(
     if chrome.len() < 5 {
         return None;
     }
-    let chrome_top: Vec<&DomainName> = chrome.iter().take(k).collect();
-    let norm = study.normalized(source);
-    let list_top = norm.top_domains(k);
-    let sim = similarity(&list_top, &chrome_top);
+    let chrome_top = IdCut::new(&chrome[..k.min(chrome.len())]);
+    let list_top = IdCut::new(study.index().monthly(source).top_ids(k));
+    let sim = similarity_ids(&list_top, &chrome_top);
     Some((sim.jaccard, sim.spearman.map(|s| s.rho).unwrap_or(f64::NAN)))
 }
 
@@ -105,22 +104,27 @@ fn average_cells(samples: &[(f64, f64)]) -> BiasCell {
 }
 
 /// Computes Figure 4 (platform bias) using completed page loads at
-/// magnitude `k`.
+/// magnitude `k`. List rows are independent and fan out over the study's
+/// worker pool (index-ordered fold, so worker count never shows in output).
 pub fn figure4(study: &Study, k: usize) -> PlatformBias {
     let lists = bias_lists();
     let platforms = vec![Platform::Windows, Platform::Android];
-    let mut cells = Vec::with_capacity(lists.len());
-    for &src in &lists {
-        let mut row = Vec::with_capacity(platforms.len());
-        for &p in &platforms {
-            let samples: Vec<(f64, f64)> = Country::EVALUATED
-                .iter()
-                .filter_map(|&c| cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k))
-                .collect();
-            row.push(average_cells(&samples));
-        }
-        cells.push(row);
-    }
+    let workers = study.world.config.effective_workers();
+    let cells = parallel::map_indexed(lists.len(), workers, |li| {
+        let src = lists[li];
+        platforms
+            .iter()
+            .map(|&p| {
+                let samples: Vec<(f64, f64)> = Country::EVALUATED
+                    .iter()
+                    .filter_map(|&c| {
+                        cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k)
+                    })
+                    .collect();
+                average_cells(&samples)
+            })
+            .collect()
+    });
     PlatformBias {
         lists,
         platforms,
@@ -129,22 +133,26 @@ pub fn figure4(study: &Study, k: usize) -> PlatformBias {
 }
 
 /// Computes Figure 7 (country bias) using completed page loads at
-/// magnitude `k`.
+/// magnitude `k`. List rows fan out like [`figure4`]'s.
 pub fn figure7(study: &Study, k: usize) -> CountryBias {
     let lists = bias_lists();
     let countries: Vec<Country> = Country::EVALUATED.to_vec();
-    let mut cells = Vec::with_capacity(lists.len());
-    for &src in &lists {
-        let mut row = Vec::with_capacity(countries.len());
-        for &c in &countries {
-            let samples: Vec<(f64, f64)> = [Platform::Windows, Platform::Android]
-                .iter()
-                .filter_map(|&p| cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k))
-                .collect();
-            row.push(average_cells(&samples));
-        }
-        cells.push(row);
-    }
+    let workers = study.world.config.effective_workers();
+    let cells = parallel::map_indexed(lists.len(), workers, |li| {
+        let src = lists[li];
+        countries
+            .iter()
+            .map(|&c| {
+                let samples: Vec<(f64, f64)> = [Platform::Windows, Platform::Android]
+                    .iter()
+                    .filter_map(|&p| {
+                        cell_similarity(study, src, c, p, ChromeMetric::CompletedLoads, k)
+                    })
+                    .collect();
+                average_cells(&samples)
+            })
+            .collect()
+    });
     CountryBias {
         lists,
         countries,

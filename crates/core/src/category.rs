@@ -7,8 +7,6 @@
 //! over the 22 categories and reported only when `p < 0.01` after correction
 //! (missing entries in the paper's table).
 
-use std::collections::HashSet;
-
 use topple_lists::ListSource;
 use topple_sim::Category;
 use topple_stats::logit::{fit_with_intercept, LogitOptions};
@@ -58,14 +56,19 @@ pub fn table3(study: &Study, k: usize) -> Result<Vec<CategoryColumn>, CoreError>
     let columns = ListSource::ALL
         .iter()
         .map(|&source| {
-            let list = study.normalized(source);
-            let member: HashSet<&str> = list.entries.iter().map(|(d, _)| d.as_str()).collect();
+            // Dense membership flag per interned domain id — one pass over
+            // the list's id column, then O(1) membership per CF-top site.
+            let cols = study.index().monthly(source);
+            let mut member = vec![false; study.index().table().len()];
+            for id in &cols.ids {
+                member[id.index()] = true;
+            }
             // Outcome per CF-top domain: included in the list anywhere?
             let outcomes: Vec<f64> = cf_top
                 .iter()
                 .map(|&i| {
-                    let domain = study.world.sites[i].domain.as_str();
-                    f64::from(u8::from(member.contains(domain)))
+                    let id = study.index().site_id(topple_sim::SiteId(i as u32));
+                    f64::from(u8::from(member[id.index()]))
                 })
                 .collect();
             let categories: Vec<Category> = cf_top

@@ -7,12 +7,14 @@
 //! Figure 6 runs the three Chrome metrics per (country, platform) and
 //! averages the cells.
 
+use topple_lists::DomainId;
 use topple_psl::DomainName;
 use topple_sim::{Country, Platform};
 use topple_vantage::{CfMetric, ChromeMetric, ScoreVec};
 
-use crate::compare::similarity;
+use crate::compare::{similarity, similarity_ids, IdCut};
 use crate::error::CoreError;
+use crate::parallel;
 use crate::study::Study;
 
 /// A labelled square similarity matrix.
@@ -47,6 +49,9 @@ impl ConsistencyMatrix {
 }
 
 /// Builds a consistency matrix from per-metric best-first domain rankings.
+///
+/// Reference string-path implementation, kept for ad-hoc name rankings and
+/// the equivalence tests; study analyses use [`matrix_from_id_rankings`].
 pub fn matrix_from_rankings(
     labels: Vec<String>,
     rankings: &[Vec<DomainName>],
@@ -77,35 +82,76 @@ pub fn matrix_from_rankings(
     }
 }
 
+/// Builds a consistency matrix from per-metric best-first *id* rankings,
+/// fanning rows out over `workers` threads.
+///
+/// Every cell is independent and the fold is row-index-ordered, so the
+/// matrix is byte-identical at any worker count (`tests/determinism.rs`).
+/// Each ranking's top-`k` cut is prepared once as an [`IdCut`]; cells are
+/// then hash-free merge-walks.
+pub fn matrix_from_id_rankings(
+    labels: Vec<String>,
+    rankings: &[Vec<DomainId>],
+    k: usize,
+    workers: usize,
+) -> ConsistencyMatrix {
+    let n = rankings.len();
+    let cuts: Vec<IdCut> = rankings
+        .iter()
+        .map(|r| IdCut::new(&r[..k.min(r.len())]))
+        .collect();
+    let rows = parallel::map_indexed(n, workers, |i| {
+        let mut jrow = vec![0.0; n];
+        let mut srow = vec![f64::NAN; n];
+        for j in 0..n {
+            if i == j {
+                jrow[j] = 1.0;
+                srow[j] = 1.0;
+                continue;
+            }
+            let sim = similarity_ids(&cuts[i], &cuts[j]);
+            jrow[j] = sim.jaccard;
+            srow[j] = sim.spearman.map(|s| s.rho).unwrap_or(f64::NAN);
+        }
+        (jrow, srow)
+    });
+    let (jaccard, spearman) = rows.into_iter().unzip();
+    ConsistencyMatrix {
+        labels,
+        jaccard,
+        spearman,
+        k,
+    }
+}
+
 /// Figure 1: the paper's seven Cloudflare metrics on month-averaged data.
 pub fn intra_cloudflare_final(study: &Study, k: usize) -> ConsistencyMatrix {
     let metrics = CfMetric::final_seven();
-    let rankings: Vec<Vec<DomainName>> = metrics
-        .iter()
-        .map(|&m| study.cf_monthly_domains(m))
-        .collect();
-    matrix_from_rankings(metrics.iter().map(|m| m.label()).collect(), &rankings, k)
+    let rankings: Vec<Vec<DomainId>> = metrics.iter().map(|&m| study.cf_monthly_ids(m)).collect();
+    matrix_from_id_rankings(
+        metrics.iter().map(|m| m.label()).collect(),
+        &rankings,
+        k,
+        study.world.config.effective_workers(),
+    )
 }
 
 /// Figure 8: all 21 filter-aggregation combinations on the first day.
 pub fn intra_cloudflare_full(study: &Study, k: usize) -> Result<ConsistencyMatrix, CoreError> {
     let metrics = CfMetric::full_suite();
     let day = study.cdn.first_day().ok_or(CoreError::EmptyWindow)?;
-    let rankings: Vec<Vec<DomainName>> = metrics
+    let rankings: Vec<Vec<DomainId>> = metrics
         .iter()
         .map(|&m| {
             let scores: &ScoreVec = day.metric(m);
-            study
-                .cf_ranked_domains(scores)
-                .into_iter()
-                .cloned()
-                .collect()
+            study.index().cf_ranked_ids(scores)
         })
         .collect();
-    Ok(matrix_from_rankings(
+    Ok(matrix_from_id_rankings(
         metrics.iter().map(|m| m.label()).collect(),
         &rankings,
         k,
+        study.world.config.effective_workers(),
     ))
 }
 
@@ -118,20 +164,22 @@ pub fn intra_chrome(study: &Study, k: usize) -> ConsistencyMatrix {
     let mut spearman_sum = vec![vec![0.0; n]; n];
     let mut cells = 0.0f64;
     let threshold = study.world.config.crux_privacy_threshold;
+    let workers = study.world.config.effective_workers();
     for country in Country::EVALUATED {
         for platform in [Platform::Windows, Platform::Android] {
             // Per-cell rankings, normalized to domains.
-            let rankings: Vec<Vec<DomainName>> = metrics
+            let rankings: Vec<Vec<DomainId>> = metrics
                 .iter()
-                .map(|&m| chrome_cell_domains(study, country, platform, m, threshold))
+                .map(|&m| chrome_cell_ids(study, country, platform, m, threshold))
                 .collect();
             if rankings.iter().any(|r| r.len() < 10) {
                 continue; // cell too thin to compare
             }
-            let m = matrix_from_rankings(
+            let m = matrix_from_id_rankings(
                 metrics.iter().map(|x| x.label().to_owned()).collect(),
                 &rankings,
                 k,
+                workers,
             );
             for i in 0..n {
                 for j in 0..n {
@@ -159,8 +207,35 @@ pub fn intra_chrome(study: &Study, k: usize) -> ConsistencyMatrix {
     }
 }
 
-/// Best-first domain ranking of one Chrome telemetry cell (origins collapsed
-/// to registrable domains, keeping each domain's best position).
+/// Best-first id ranking of one Chrome telemetry cell (origins collapsed to
+/// registrable domains, keeping each domain's best position).
+///
+/// Site domains are unique in the world, so deduplicating by site index is
+/// exactly the string path's "first appearance of the domain wins" — without
+/// building a string set per cell.
+pub fn chrome_cell_ids(
+    study: &Study,
+    country: Country,
+    platform: Platform,
+    metric: ChromeMetric,
+    privacy_threshold: u32,
+) -> Vec<DomainId> {
+    let list = study
+        .chrome
+        .country_platform_list(country, platform, metric, privacy_threshold);
+    let mut seen = vec![false; study.world.sites.len()];
+    let mut out = Vec::new();
+    for ((site, _host), _score) in list {
+        if !seen[site.index()] {
+            seen[site.index()] = true;
+            out.push(study.index().site_id(site));
+        }
+    }
+    out
+}
+
+/// [`chrome_cell_ids`] resolved back to domain names (the string-path form,
+/// used by the equivalence tests and ad-hoc reporting).
 pub fn chrome_cell_domains(
     study: &Study,
     country: Country,
@@ -168,18 +243,10 @@ pub fn chrome_cell_domains(
     metric: ChromeMetric,
     privacy_threshold: u32,
 ) -> Vec<DomainName> {
-    let list = study
-        .chrome
-        .country_platform_list(country, platform, metric, privacy_threshold);
-    let mut seen = std::collections::HashSet::new();
-    let mut out = Vec::new();
-    for ((site, _host), _score) in list {
-        let domain = &study.world.sites[site.index()].domain;
-        if seen.insert(domain.as_str().to_owned()) {
-            out.push(domain.clone());
-        }
-    }
-    out
+    chrome_cell_ids(study, country, platform, metric, privacy_threshold)
+        .into_iter()
+        .map(|id| study.index().table().name(id).clone())
+        .collect()
 }
 
 #[cfg(test)]

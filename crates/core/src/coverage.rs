@@ -16,18 +16,21 @@ pub struct CoverageRow {
 }
 
 /// Computes Table 1 for every list at the world's scaled magnitudes.
+///
+/// Runs entirely on the study index: each cell is two prefix lengths
+/// ([`crate::index::ListColumns::top_len`] and the precomputed CF-subset
+/// prefix) — no per-cell probing or set building.
 pub fn table1(study: &Study) -> Vec<CoverageRow> {
     let magnitudes = study.magnitudes();
     ListSource::ALL
         .iter()
         .map(|&source| {
-            let list = study.normalized(source);
+            let cols = study.index().monthly(source);
             let cells = magnitudes
                 .iter()
                 .map(|&(label, k)| {
-                    let top = list.top_domains(k);
-                    let total = top.len();
-                    let cf = top.iter().filter(|d| study.world.is_cloudflare(d)).count();
+                    let total = cols.top_len(k);
+                    let cf = cols.cf_subset_ids(k).len();
                     let pct = if total == 0 {
                         0.0
                     } else {

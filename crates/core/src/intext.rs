@@ -12,7 +12,7 @@
 
 use topple_vantage::{CfAgg, CfFilter, CfMetric};
 
-use crate::compare::similarity;
+use crate::compare::{similarity_ids, IdCut};
 use crate::error::CoreError;
 use crate::study::Study;
 
@@ -96,11 +96,11 @@ pub fn section_3_2(study: &Study, k: usize) -> Result<Vec<RedundancyPair>, CoreE
     let pairs = specs
         .into_iter()
         .map(|(claim, a, b, paper_rho, paper_ji)| {
-            let ra = study.cf_ranked_domains(day.metric(a));
-            let rb = study.cf_ranked_domains(day.metric(b));
-            let sa: Vec<_> = ra.into_iter().take(k).collect();
-            let sb: Vec<_> = rb.into_iter().take(k).collect();
-            let sim = similarity(&sa, &sb);
+            let ra = study.index().cf_ranked_ids(day.metric(a));
+            let rb = study.index().cf_ranked_ids(day.metric(b));
+            let sa = IdCut::new(&ra[..k.min(ra.len())]);
+            let sb = IdCut::new(&rb[..k.min(rb.len())]);
+            let sim = similarity_ids(&sa, &sb);
             RedundancyPair {
                 claim,
                 a,

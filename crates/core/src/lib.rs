@@ -34,17 +34,22 @@ pub mod compare;
 pub mod consistency;
 pub mod coverage;
 pub mod error;
+pub mod index;
 pub mod intext;
 pub mod listeval;
 pub mod manipulation;
 pub mod methodology;
 pub mod movement;
+pub mod parallel;
 pub mod psl_dev;
 pub mod report;
 pub mod study;
 pub mod temporal;
 
-pub use compare::{jaccard_domains, similarity, spearman_intersection, ListSimilarity};
+pub use compare::{
+    jaccard_domains, similarity, similarity_ids, spearman_intersection, IdCut, ListSimilarity,
+};
 pub use error::CoreError;
-pub use methodology::{against_cloudflare, cf_subset, Evaluation};
+pub use index::{ListColumns, StudyIndex};
+pub use methodology::{against_cloudflare, against_cloudflare_ids, cf_subset, Evaluation};
 pub use study::Study;

@@ -7,13 +7,13 @@
 //! checks the headline result: all request/requestor metrics rank the lists'
 //! accuracy identically (ρ = 1.0 between metric orderings).
 
-use topple_lists::{normalize_ranked, ListSource, NormalizedList};
-use topple_psl::DomainName;
+use topple_lists::{DomainId, ListSource};
 use topple_stats::corr::spearman;
 use topple_vantage::CfMetric;
 
 use crate::error::CoreError;
-use crate::methodology::against_cloudflare;
+use crate::methodology::against_cloudflare_ids;
+use crate::parallel;
 use crate::study::Study;
 
 /// The full Figure 2 result.
@@ -83,28 +83,14 @@ impl ListEvaluation {
 /// window-average and its bootstrap confidence interval are computed from.
 pub fn daily_ji_series(study: &Study, source: ListSource, metric_idx: usize, k: usize) -> Vec<f64> {
     let n_days = study.world.config.days.len();
-    let mut out = Vec::with_capacity(n_days);
-    for day in 0..n_days {
-        let cf: Vec<DomainName> = study
-            .cf_ranked_domains(study.cdn.daily_final(metric_idx, day))
-            .into_iter()
-            .cloned()
-            .collect();
-        let snapshot;
-        let norm: &NormalizedList = match source {
-            ListSource::Alexa => {
-                snapshot = normalize_ranked(&study.world.psl, &study.alexa_daily[day]);
-                &snapshot
-            }
-            ListSource::Umbrella => {
-                snapshot = normalize_ranked(&study.world.psl, &study.umbrella_daily[day]);
-                &snapshot
-            }
-            _ => study.normalized(source),
-        };
-        out.push(against_cloudflare(study, norm, &cf, k).similarity.jaccard);
-    }
-    out
+    let workers = study.world.config.effective_workers();
+    parallel::map_indexed(n_days, workers, |day| {
+        let cf = study
+            .index()
+            .cf_ranked_ids(study.cdn.daily_final(metric_idx, day));
+        let cols = study.index().daily(source, day);
+        against_cloudflare_ids(cols, &cf, k).similarity.jaccard
+    })
 }
 
 /// Bootstrap 95% confidence interval on a list's window-mean Jaccard against
@@ -125,40 +111,52 @@ pub fn mean_ji_ci(
 
 /// Evaluates every list against every final metric at magnitude `k`,
 /// averaging daily comparisons over the window (Section 4.1).
+///
+/// Days are independent (each reads the study's precomputed daily columns
+/// and builds its own grid of cells), so they fan out over the study's
+/// worker pool; the window average then folds the per-day grids **in day
+/// order**, which keeps every float sum in the sequential order and the
+/// result byte-identical at any worker count.
 pub fn figure2(study: &Study, k: usize) -> ListEvaluation {
     let metrics: Vec<CfMetric> = CfMetric::final_seven().to_vec();
     let lists: Vec<ListSource> = ListSource::ALL.to_vec();
     let n_days = study.world.config.days.len();
+    let workers = study.world.config.effective_workers();
     let mut ji_sum = vec![vec![0.0; metrics.len()]; lists.len()];
     let mut rho_sum = vec![vec![0.0; metrics.len()]; lists.len()];
     let mut rho_n = vec![vec![0usize; metrics.len()]; lists.len()];
 
-    for day in 0..n_days {
+    /// One day's cells: `[list][metric] -> (JI, rho)`.
+    type DayGrid = Vec<Vec<(f64, Option<f64>)>>;
+    // One grid per day, computed in parallel.
+    let day_grids: Vec<DayGrid> = parallel::map_indexed(n_days, workers, |day| {
         // The day's reference rankings, one per metric.
-        let cf_rankings: Vec<Vec<DomainName>> = (0..metrics.len())
-            .map(|mi| {
-                study
-                    .cf_ranked_domains(study.cdn.daily_final(mi, day))
-                    .into_iter()
-                    .cloned()
+        let cf_rankings: Vec<Vec<DomainId>> = (0..metrics.len())
+            .map(|mi| study.index().cf_ranked_ids(study.cdn.daily_final(mi, day)))
+            .collect();
+        lists
+            .iter()
+            .map(|&src| {
+                // Daily columns for the providers that publish daily, the
+                // static window columns for the rest.
+                let cols = study.index().daily(src, day);
+                cf_rankings
+                    .iter()
+                    .map(|cf| {
+                        let ev = against_cloudflare_ids(cols, cf, k);
+                        (ev.similarity.jaccard, ev.similarity.spearman.map(|s| s.rho))
+                    })
                     .collect()
             })
-            .collect();
-        // The day's list snapshots: daily for the providers that publish
-        // daily, the static window list for the rest.
-        let alexa_day = normalize_ranked(&study.world.psl, &study.alexa_daily[day]);
-        let umbrella_day = normalize_ranked(&study.world.psl, &study.umbrella_daily[day]);
-        for (li, &src) in lists.iter().enumerate() {
-            let norm: &NormalizedList = match src {
-                ListSource::Alexa => &alexa_day,
-                ListSource::Umbrella => &umbrella_day,
-                _ => study.normalized(src),
-            };
-            for (mi, _) in metrics.iter().enumerate() {
-                let ev = against_cloudflare(study, norm, &cf_rankings[mi], k);
-                ji_sum[li][mi] += ev.similarity.jaccard;
-                if let Some(s) = ev.similarity.spearman {
-                    rho_sum[li][mi] += s.rho;
+            .collect()
+    });
+
+    for grid in day_grids {
+        for (li, row) in grid.iter().enumerate() {
+            for (mi, &(ji, rho)) in row.iter().enumerate() {
+                ji_sum[li][mi] += ji;
+                if let Some(r) = rho {
+                    rho_sum[li][mi] += r;
                     rho_n[li][mi] += 1;
                 }
             }

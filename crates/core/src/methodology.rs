@@ -7,10 +7,11 @@
 //! Cloudflare-served, and compare that ranked subset against the top-`n`
 //! Cloudflare domains under the metric being evaluated.
 
-use topple_lists::NormalizedList;
+use topple_lists::{DomainId, NormalizedList};
 use topple_psl::DomainName;
 
-use crate::compare::{similarity, ListSimilarity};
+use crate::compare::{similarity, similarity_ids, IdCut, ListSimilarity};
+use crate::index::ListColumns;
 use crate::study::Study;
 
 /// Result of evaluating one list against one Cloudflare metric at one
@@ -47,6 +48,26 @@ pub fn against_cloudflare(
     let n = subset.len();
     let cf_top: Vec<&DomainName> = cf_ranked.iter().take(n).collect();
     let mut sim = similarity(&subset, &cf_top);
+    if !list.ordered {
+        // Rank-magnitude lists (CrUX) cannot be rank-correlated (Section 4.4).
+        sim.spearman = None;
+    }
+    Evaluation {
+        similarity: sim,
+        cf_subset_size: n,
+        magnitude: k,
+    }
+}
+
+/// Interned-columnar equivalent of [`against_cloudflare`]: the list's CF
+/// subset is a precomputed prefix view ([`ListColumns::cf_subset_ids`]) and
+/// the head-to-head runs over id cuts. Byte-identical to the string path
+/// (`tests/analysis_equivalence.rs`).
+pub fn against_cloudflare_ids(list: &ListColumns, cf_ranked: &[DomainId], k: usize) -> Evaluation {
+    let subset = list.cf_subset_ids(k);
+    let n = subset.len();
+    let cf_top = &cf_ranked[..n.min(cf_ranked.len())];
+    let mut sim = similarity_ids(&IdCut::new(subset), &IdCut::new(cf_top));
     if !list.ordered {
         // Rank-magnitude lists (CrUX) cannot be rank-correlated (Section 4.4).
         sim.spearman = None;

@@ -8,13 +8,15 @@
 //! the list put the domain into a more-popular (smaller) bucket than
 //! Cloudflare did.
 
-use std::collections::HashMap;
-
-use topple_lists::{ListSource, NormalizedList};
-use topple_psl::DomainName;
+use topple_lists::{DomainId, ListSource};
 use topple_vantage::{CfAgg, CfFilter, CfMetric};
 
+use crate::index::ListColumns;
 use crate::study::Study;
+
+/// Sentinel for "no bucket" in the dense per-id bucket maps (bucket counts
+/// are tiny — at most the number of magnitudes).
+const NO_BUCKET: u8 = u8::MAX;
 
 /// Rank-magnitude movement of one list against the Cloudflare bookends.
 #[derive(Debug, Clone)]
@@ -50,27 +52,30 @@ fn bucket_of(position: usize, magnitudes: &[usize]) -> Option<usize> {
     magnitudes.iter().position(|&m| position < m)
 }
 
-/// Computes the bookend-agreed Cloudflare bucket per domain.
-fn cloudflare_buckets(study: &Study, magnitudes: &[usize]) -> HashMap<String, usize> {
-    let all = study.cf_monthly_domains(CfMetric {
+/// Computes the bookend-agreed Cloudflare bucket per domain id, dense over
+/// the study's domain table (`NO_BUCKET` = unmeasured or bookend-disagreed).
+fn cloudflare_buckets(study: &Study, magnitudes: &[usize]) -> Vec<u8> {
+    let n = study.index().table().len();
+    let bucket_map = |ranking: &[DomainId]| -> Vec<u8> {
+        let mut m = vec![NO_BUCKET; n];
+        for (pos, id) in ranking.iter().enumerate() {
+            if let Some(b) = bucket_of(pos, magnitudes) {
+                m[id.index()] = b as u8;
+            }
+        }
+        m
+    };
+    let a = bucket_map(&study.cf_monthly_ids(CfMetric {
         filter: CfFilter::AllRequests,
         agg: CfAgg::Raw,
-    });
-    let root = study.cf_monthly_domains(CfMetric {
+    }));
+    let b = bucket_map(&study.cf_monthly_ids(CfMetric {
         filter: CfFilter::RootPage,
         agg: CfAgg::Raw,
-    });
-    let bucket_map = |ranking: &[DomainName]| -> HashMap<String, usize> {
-        ranking
-            .iter()
-            .enumerate()
-            .filter_map(|(pos, d)| bucket_of(pos, magnitudes).map(|b| (d.as_str().to_owned(), b)))
-            .collect()
-    };
-    let a = bucket_map(&all);
-    let b = bucket_map(&root);
-    a.into_iter()
-        .filter(|(d, bucket)| b.get(d) == Some(bucket))
+    }));
+    a.iter()
+        .zip(&b)
+        .map(|(&x, &y)| if x == y { x } else { NO_BUCKET })
         .collect()
 }
 
@@ -78,15 +83,18 @@ fn cloudflare_buckets(study: &Study, magnitudes: &[usize]) -> HashMap<String, us
 pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
     let magnitudes: Vec<usize> = study.magnitudes().iter().map(|&(_, k)| k).collect();
     let cf_buckets = cloudflare_buckets(study, &magnitudes);
-    let list = study.normalized(source);
-    let list_buckets = list_bucket_map(list, &magnitudes);
+    let cols = study.index().monthly(source);
+    let list_buckets = list_bucket_map(cols, &magnitudes, study.index().table().len());
 
     let nb = magnitudes.len();
     let mut flows = vec![vec![0usize; nb + 1]; nb];
-    for (domain, &cfb) in &cf_buckets {
-        match list_buckets.get(domain.as_str()) {
-            Some(&lb) => flows[cfb][lb] += 1,
-            None => flows[cfb][nb] += 1,
+    for (idx, &cfb) in cf_buckets.iter().enumerate() {
+        if cfb == NO_BUCKET {
+            continue;
+        }
+        match list_buckets[idx] {
+            NO_BUCKET => flows[cfb as usize][nb] += 1,
+            lb => flows[cfb as usize][lb as usize] += 1,
         }
     }
 
@@ -97,16 +105,18 @@ pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
         let mut measured = 0usize;
         let mut over = 0usize;
         let mut over2 = 0usize;
-        for (domain, &lbu) in &list_buckets {
-            if lbu != lb {
+        for (idx, &lbu) in list_buckets.iter().enumerate() {
+            // `NO_BUCKET` can never equal a real bucket index (nb ≤ 4).
+            if lbu as usize != lb {
                 continue;
             }
-            if let Some(&cfb) = cf_buckets.get(*domain) {
+            let cfb = cf_buckets[idx];
+            if cfb != NO_BUCKET {
                 measured += 1;
-                if cfb > lb {
+                if (cfb as usize) > lb {
                     over += 1;
                 }
-                if cfb >= lb + 2 {
+                if (cfb as usize) >= lb + 2 {
                     over2 += 1;
                 }
             }
@@ -135,26 +145,25 @@ pub fn figure5(study: &Study, source: ListSource) -> MovementReport {
     }
 }
 
-/// Bucket index per domain for a normalized list. For ordered lists the
+/// Bucket index per domain id for a list's columns, dense over the domain
+/// table (`NO_BUCKET` = past the largest magnitude). For ordered lists the
 /// bucket comes from the position; CrUX buckets are already published.
-fn list_bucket_map<'a>(list: &'a NormalizedList, magnitudes: &[usize]) -> HashMap<&'a str, usize> {
-    if list.ordered {
-        list.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(pos, (d, _))| bucket_of(pos, magnitudes).map(|b| (d.as_str(), b)))
-            .collect()
+fn list_bucket_map(cols: &ListColumns, magnitudes: &[usize], table_len: usize) -> Vec<u8> {
+    let mut m = vec![NO_BUCKET; table_len];
+    if cols.ordered {
+        for (pos, id) in cols.ids.iter().enumerate() {
+            if let Some(b) = bucket_of(pos, magnitudes) {
+                m[id.index()] = b as u8;
+            }
+        }
     } else {
-        list.entries
-            .iter()
-            .filter_map(|(d, bucket)| {
-                magnitudes
-                    .iter()
-                    .position(|&m| m == *bucket as usize)
-                    .map(|b| (d.as_str(), b))
-            })
-            .collect()
+        for (id, &bucket) in cols.ids.iter().zip(&cols.values) {
+            if let Some(b) = magnitudes.iter().position(|&x| x == bucket as usize) {
+                m[id.index()] = b as u8;
+            }
+        }
     }
+    m
 }
 
 #[cfg(test)]
@@ -181,7 +190,8 @@ mod tests {
             let total_flows: usize = rep.flows.iter().flatten().sum();
             let mags: Vec<usize> = s.magnitudes().iter().map(|&(_, k)| k).collect();
             let cf = cloudflare_buckets(&s, &mags);
-            assert_eq!(total_flows, cf.len());
+            let measured = cf.iter().filter(|&&b| b != NO_BUCKET).count();
+            assert_eq!(total_flows, measured);
             for b in &rep.overranking {
                 assert!((0.0..=100.0).contains(&b.overranked));
                 assert!(b.overranked_two_plus <= b.overranked + 1e-9);

@@ -1,0 +1,98 @@
+//! Deterministic fan-out for the analysis stage's embarrassingly parallel
+//! loops (per-day comparisons, matrix rows).
+//!
+//! Mirrors the ingestion pipeline's guarantee (`study::run_days`, DESIGN.md
+//! §10): workers pull indices from a shared counter and send results over a
+//! channel, but the output vector is assembled *by index*, so the caller sees
+//! exactly the sequential result regardless of completion order or worker
+//! count. Each cell is computed independently (no shared float accumulators),
+//! which is what makes the index-ordered fold byte-identical to `workers = 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Computes `f(0..n)` on `workers` threads, returning results in index order.
+///
+/// With `workers <= 1` (or a trivial `n`) this runs inline with zero
+/// threading overhead — that path *is* the reference semantics, and the
+/// pooled path reproduces it byte-for-byte because every `f(i)` is
+/// independent and the fold is by index, not by arrival.
+pub fn map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver only disappears if the orchestrator is
+                // unwinding; remaining work is moot either way.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // the collection loop's recv() must not wait on this clone
+
+        while let Ok((i, v)) = rx.recv() {
+            slots[i] = Some(v);
+        }
+    });
+    // Every index was sent exactly once unless a worker panicked, and a
+    // worker panic propagates out of the scope above before we get here.
+    #[allow(clippy::expect_used)]
+    slots
+        .into_iter()
+        // topple-lint: allow(unwrap): unreachable by construction — the scope re-raises worker panics
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_at_any_width() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                map_indexed(37, workers, |i| i * i),
+                expected,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn results_keep_index_order_not_completion_order() {
+        // Early indices sleep longest, so completion order is reversed; the
+        // output must still be index-ordered.
+        let out = map_indexed(6, 3, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((6 - i as u64) * 3));
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

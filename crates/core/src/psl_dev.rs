@@ -6,7 +6,7 @@
 //! the normalization step matters and why it can only *under*state those two
 //! lists' accuracy (Section 4.2).
 
-use topple_lists::{normalize_bucketed, normalize_ranked, BucketedList, ListSource, RankedList};
+use topple_lists::{BucketedList, ListSource, Normalizer, RankedList};
 
 use crate::error::CoreError;
 use crate::study::Study;
@@ -20,15 +20,15 @@ pub struct DeviationRow {
     pub cells: Vec<(&'static str, usize, f64)>,
 }
 
-fn ranked_deviation(study: &Study, list: &RankedList, k: usize) -> f64 {
+fn ranked_deviation(norm: &mut Normalizer<'_>, list: &RankedList, k: usize) -> f64 {
     let truncated = RankedList {
         source: list.source,
         entries: list.entries.iter().take(k).cloned().collect(),
     };
-    normalize_ranked(&study.world.psl, &truncated).deviation_percent()
+    norm.ranked(&truncated).deviation_percent()
 }
 
-fn bucketed_deviation(study: &Study, list: &BucketedList, k: usize) -> f64 {
+fn bucketed_deviation(norm: &mut Normalizer<'_>, list: &BucketedList, k: usize) -> f64 {
     let truncated = BucketedList {
         source: list.source,
         entries: list
@@ -38,14 +38,20 @@ fn bucketed_deviation(study: &Study, list: &BucketedList, k: usize) -> f64 {
             .cloned()
             .collect(),
     };
-    normalize_bucketed(&study.world.psl, &truncated).deviation_percent()
+    norm.bucketed(&truncated).deviation_percent()
 }
 
 /// Computes Table 2 for every list at the world's scaled magnitudes.
+///
+/// One [`Normalizer`] is shared across every (list, magnitude) cell, so each
+/// distinct raw entry is PSL-mapped exactly once even though the magnitudes
+/// re-cover the same list prefixes (the outcome per raw entry is memoized;
+/// the per-cell deviation arithmetic is unchanged).
 pub fn table2(study: &Study) -> Result<Vec<DeviationRow>, CoreError> {
     let magnitudes = study.magnitudes();
     let alexa_month = study.alexa_daily.last().ok_or(CoreError::EmptyWindow)?;
     let umbrella_month = study.umbrella_daily.last().ok_or(CoreError::EmptyWindow)?;
+    let mut norm = Normalizer::new(&study.world.psl);
     let rows = ListSource::ALL
         .iter()
         .map(|&source| {
@@ -53,13 +59,13 @@ pub fn table2(study: &Study) -> Result<Vec<DeviationRow>, CoreError> {
                 .iter()
                 .map(|&(label, k)| {
                     let pct = match source {
-                        ListSource::Alexa => ranked_deviation(study, alexa_month, k),
-                        ListSource::Umbrella => ranked_deviation(study, umbrella_month, k),
-                        ListSource::Majestic => ranked_deviation(study, &study.majestic, k),
-                        ListSource::Secrank => ranked_deviation(study, &study.secrank, k),
-                        ListSource::Tranco => ranked_deviation(study, &study.tranco, k),
-                        ListSource::Trexa => ranked_deviation(study, &study.trexa, k),
-                        ListSource::Crux => bucketed_deviation(study, &study.crux, k),
+                        ListSource::Alexa => ranked_deviation(&mut norm, alexa_month, k),
+                        ListSource::Umbrella => ranked_deviation(&mut norm, umbrella_month, k),
+                        ListSource::Majestic => ranked_deviation(&mut norm, &study.majestic, k),
+                        ListSource::Secrank => ranked_deviation(&mut norm, &study.secrank, k),
+                        ListSource::Tranco => ranked_deviation(&mut norm, &study.tranco, k),
+                        ListSource::Trexa => ranked_deviation(&mut norm, &study.trexa, k),
+                        ListSource::Crux => bucketed_deviation(&mut norm, &study.crux, k),
                     };
                     (label, k, pct)
                 })

@@ -16,8 +16,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use topple_lists::{
-    alexa, crux, majestic, normalize_bucketed, normalize_ranked, secrank, tranco, trexa, umbrella,
-    BucketedList, ListSource, NormalizedList, RankedList,
+    alexa, crux, majestic, secrank, tranco, trexa, umbrella, BucketedList, DomainId, DomainTable,
+    ListSource, NormalizedList, Normalizer, RankedList,
 };
 use topple_psl::DomainName;
 use topple_sim::{Resolver, World, WorldConfig, WorldError};
@@ -25,6 +25,8 @@ use topple_vantage::{
     CdnVantage, CfMetric, ChromeVantage, CrawlerVantage, DayShards, DnsVantage, PanelVantage,
     ScoreVec,
 };
+
+use crate::index::{ColumnsSet, ListColumns, StudyIndex};
 
 /// How many Alexa picks per Tranco pick in the Trexa interleave.
 const TREXA_ALEXA_WEIGHT: usize = 2;
@@ -180,6 +182,8 @@ pub struct Study {
     pub crux: BucketedList,
     /// Month-representative normalized lists, one per source.
     normalized: NormalizedSet,
+    /// The interned columnar analysis index (see [`crate::index`]).
+    index: StudyIndex,
 }
 
 impl Study {
@@ -221,13 +225,25 @@ impl Study {
         let majestic = majestic::build(&world, &crawl, list_len);
         let secrank = secrank::build(&world, &china_dns, n_days, list_len);
 
+        // Every normalization from here on shares one `Normalizer`: the
+        // world's site domains are interned first (so site `i` has domain id
+        // `i`), and the memoized PSL cache maps each distinct raw entry to
+        // its registrable domain exactly once for the whole study.
+        let mut table = DomainTable::with_capacity(world.sites.len());
+        let site_ids: Vec<DomainId> = world
+            .sites
+            .iter()
+            .map(|s| table.intern(&s.domain))
+            .collect();
+        let mut norm = Normalizer::with_table(&world.psl, table);
+
         // Tranco: Dowdall over every daily snapshot of its three inputs
         // (Majestic's list is stable, so each day contributes the same one).
         // Real Tranco aggregates at pay-level-domain granularity, so
         // Umbrella's FQDN entries are PSL-filtered first.
         let umbrella_domains: Vec<RankedList> = umbrella_daily
             .iter()
-            .map(|l| normalize_ranked(&world.psl, l).to_ranked_list())
+            .map(|l| norm.ranked(l).to_ranked_list())
             .collect();
         let mut tranco_inputs: Vec<&RankedList> = Vec::new();
         tranco_inputs.extend(alexa_daily.iter());
@@ -252,17 +268,51 @@ impl Study {
         // Month-representative normalized lists, one per source — the struct
         // makes "every source has one" a compile-time fact.
         let normalized = NormalizedSet {
-            alexa: normalize_ranked(&world.psl, alexa_month),
-            umbrella: normalize_ranked(
-                &world.psl,
-                &umbrella::build_monthly(&world, &umbrella_dns, list_len),
-            ),
-            majestic: normalize_ranked(&world.psl, &majestic),
-            secrank: normalize_ranked(&world.psl, &secrank),
-            tranco: normalize_ranked(&world.psl, &tranco),
-            trexa: normalize_ranked(&world.psl, &trexa),
-            crux: normalize_bucketed(&world.psl, &crux),
+            alexa: norm.ranked(alexa_month),
+            umbrella: norm.ranked(&umbrella::build_monthly(&world, &umbrella_dns, list_len)),
+            majestic: norm.ranked(&majestic),
+            secrank: norm.ranked(&secrank),
+            tranco: norm.ranked(&tranco),
+            trexa: norm.ranked(&trexa),
+            crux: norm.bucketed(&crux),
         };
+
+        // Daily snapshots, normalized once here — analyses only ever see the
+        // id columns, never a re-normalization inside a day loop. The
+        // `NormalizedList`s are transient; only the columns survive.
+        let alexa_daily_norm: Vec<NormalizedList> =
+            alexa_daily.iter().map(|l| norm.ranked(l)).collect();
+        let umbrella_daily_norm: Vec<NormalizedList> =
+            umbrella_daily.iter().map(|l| norm.ranked(l)).collect();
+
+        // Interning is complete: freeze the table and precompute the
+        // CDN-served flag per id (one `is_cloudflare` probe per distinct
+        // domain for the whole study).
+        let table = norm.into_table();
+        let is_cf: Vec<bool> = table
+            .names()
+            .iter()
+            .map(|n| world.is_cloudflare(n))
+            .collect();
+        let cf = |id: DomainId| is_cf[id.index()];
+        let monthly = ColumnsSet {
+            alexa: ListColumns::from_normalized(&normalized.alexa, cf),
+            umbrella: ListColumns::from_normalized(&normalized.umbrella, cf),
+            majestic: ListColumns::from_normalized(&normalized.majestic, cf),
+            secrank: ListColumns::from_normalized(&normalized.secrank, cf),
+            tranco: ListColumns::from_normalized(&normalized.tranco, cf),
+            trexa: ListColumns::from_normalized(&normalized.trexa, cf),
+            crux: ListColumns::from_normalized(&normalized.crux, cf),
+        };
+        let alexa_cols: Vec<ListColumns> = alexa_daily_norm
+            .iter()
+            .map(|nl| ListColumns::from_normalized(nl, cf))
+            .collect();
+        let umbrella_cols: Vec<ListColumns> = umbrella_daily_norm
+            .iter()
+            .map(|nl| ListColumns::from_normalized(nl, cf))
+            .collect();
+        let index = StudyIndex::new(table, site_ids, is_cf, monthly, alexa_cols, umbrella_cols);
 
         Ok(Study {
             world,
@@ -280,7 +330,14 @@ impl Study {
             trexa,
             crux,
             normalized,
+            index,
         })
+    }
+
+    /// The interned columnar analysis index (domain table, id columns,
+    /// CF-served flags).
+    pub fn index(&self) -> &StudyIndex {
+        &self.index
     }
 
     /// The month-representative normalized list for a source. Infallible:
@@ -309,6 +366,13 @@ impl Study {
             .into_iter()
             .map(|(site, _)| self.world.sites[site.index()].domain.clone())
             .collect()
+    }
+
+    /// Ranked Cloudflare domain ids for a monthly metric — the id-space form
+    /// of [`Self::cf_monthly_domains`], identically ordered.
+    pub fn cf_monthly_ids(&self, metric: CfMetric) -> Vec<DomainId> {
+        let scores = self.cdn.monthly(metric);
+        self.index.cf_ranked_ids(&scores)
     }
 }
 

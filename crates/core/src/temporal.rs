@@ -5,11 +5,11 @@
 //! slow-moving lists (Majestic, Secrank, Tranco, Trexa, CrUX) are fixed
 //! within the month, exactly as their real counterparts effectively are.
 
-use topple_lists::{normalize_bucketed, normalize_ranked, ListSource};
-use topple_psl::DomainName;
+use topple_lists::ListSource;
 use topple_stats::timeseries::{dominant_period, weekday_split, WeekdaySplit};
 
-use crate::methodology::against_cloudflare;
+use crate::methodology::against_cloudflare_ids;
+use crate::parallel;
 use crate::study::Study;
 
 /// Daily similarity series for one list.
@@ -38,8 +38,16 @@ impl TemporalSeries {
 }
 
 /// Computes daily series for every list at magnitude `k`.
+///
+/// Days fan out over the study's worker pool; each day ranks the reference
+/// metric **once** and compares every source's precomputed daily columns
+/// against it (the old shape re-normalized every static list — Majestic,
+/// Secrank, Tranco, Trexa, CrUX — for every single day). The per-source
+/// series is then a transpose of the per-day rows, index-ordered, so the
+/// output is byte-identical at any worker count.
 pub fn figure3(study: &Study, k: usize) -> Vec<TemporalSeries> {
     let n_days = study.world.config.days.len();
+    let workers = study.world.config.effective_workers();
     let weekend: Vec<bool> = study
         .world
         .config
@@ -48,43 +56,34 @@ pub fn figure3(study: &Study, k: usize) -> Vec<TemporalSeries> {
         .map(|d| d.weekday().is_weekend())
         .collect();
 
+    // One (JI, rho) row per day, one entry per source.
+    let day_rows: Vec<Vec<(f64, f64)>> = parallel::map_indexed(n_days, workers, |day| {
+        // The day's reference: CF all-HTTP-requests ranking, computed once
+        // and shared by all seven sources.
+        let cf_ranked = study
+            .index()
+            .cf_ranked_ids(study.cdn.daily_all_requests(day));
+        ListSource::ALL
+            .iter()
+            .map(|&source| {
+                let cols = study.index().daily(source, day);
+                let ev = against_cloudflare_ids(cols, &cf_ranked, k);
+                (
+                    ev.similarity.jaccard,
+                    ev.similarity.spearman.map(|s| s.rho).unwrap_or(f64::NAN),
+                )
+            })
+            .collect()
+    });
+
     ListSource::ALL
         .iter()
-        .map(|&source| {
-            let mut jaccard = Vec::with_capacity(n_days);
-            let mut spearman = Vec::with_capacity(n_days);
-            for day in 0..n_days {
-                // The day's reference: CF all-HTTP-requests ranking.
-                let scores = study.cdn.daily_all_requests(day);
-                let cf_ranked: Vec<DomainName> = study
-                    .cf_ranked_domains(scores)
-                    .into_iter()
-                    .cloned()
-                    .collect();
-                // The day's list snapshot.
-                let norm = match source {
-                    ListSource::Alexa => {
-                        normalize_ranked(&study.world.psl, &study.alexa_daily[day])
-                    }
-                    ListSource::Umbrella => {
-                        normalize_ranked(&study.world.psl, &study.umbrella_daily[day])
-                    }
-                    ListSource::Majestic => normalize_ranked(&study.world.psl, &study.majestic),
-                    ListSource::Secrank => normalize_ranked(&study.world.psl, &study.secrank),
-                    ListSource::Tranco => normalize_ranked(&study.world.psl, &study.tranco),
-                    ListSource::Trexa => normalize_ranked(&study.world.psl, &study.trexa),
-                    ListSource::Crux => normalize_bucketed(&study.world.psl, &study.crux),
-                };
-                let ev = against_cloudflare(study, &norm, &cf_ranked, k);
-                jaccard.push(ev.similarity.jaccard);
-                spearman.push(ev.similarity.spearman.map(|s| s.rho).unwrap_or(f64::NAN));
-            }
-            TemporalSeries {
-                source,
-                jaccard,
-                spearman,
-                weekend: weekend.clone(),
-            }
+        .enumerate()
+        .map(|(si, &source)| TemporalSeries {
+            source,
+            jaccard: day_rows.iter().map(|row| row[si].0).collect(),
+            spearman: day_rows.iter().map(|row| row[si].1).collect(),
+            weekend: weekend.clone(),
         })
         .collect()
 }

@@ -75,6 +75,11 @@ pub const RULES: &[RuleInfo] = &[
         builtin: Severity::Allow,
     },
     RuleInfo {
+        id: "string-set",
+        summary: "HashSet of domain strings in a result path (intern to dense ids instead)",
+        builtin: Severity::Deny,
+    },
+    RuleInfo {
         id: "allow-empty",
         summary: "topple-lint allow directive without a justification",
         builtin: Severity::Deny,
@@ -122,6 +127,9 @@ const SUGGEST_FLOAT_EQ: &str =
     "compare with an explicit epsilon ((a - b).abs() < EPS) or total_cmp for orderings";
 const SUGGEST_LOSSY_CAST: &str =
     "go through a checked-cast helper (e.g. topple_stats::cast) so truncation is a handled error";
+const SUGGEST_STRING_SET: &str = "intern the domains once (topple_lists::DomainTable) and \
+     compare sorted id slices (topple_stats::sets::jaccard_sorted / compare::IdCut); a string \
+     set re-hashes every entry on every comparison";
 const SUGGEST_ALLOW_EMPTY: &str =
     "write the justification: `// topple-lint: allow(rule): <why this is sound>`";
 const SUGGEST_ALLOW_UNUSED: &str = "delete the stale directive (or fix the rule id typo)";
@@ -190,6 +198,7 @@ pub fn check_file(model: &SourceModel) -> Vec<RawViolation> {
     check_indexing(model, &mut out);
     check_float_eq(model, &mut out);
     check_lossy_cast(model, &mut out);
+    check_string_set(model, &mut out);
     check_directives(model, &mut out);
     out.sort_by_key(|v| (v.line, v.column));
     out
@@ -609,6 +618,48 @@ fn check_lossy_cast(model: &SourceModel, out: &mut Vec<RawViolation>) {
     }
 }
 
+/// The performance cousin of `hash-iter`: a `HashSet` keyed by domain
+/// *strings* (`String` / `&str`). Every membership test re-hashes the whole
+/// string; the interned-id path (`DomainTable` + sorted-slice merge-walks)
+/// does the same comparison allocation- and hash-free. Token-textual: flags
+/// `HashSet<String, ..>` and `HashSet<&str>` / `HashSet<&'a str>` type
+/// mentions (declarations, annotations, turbofish).
+fn check_string_set(model: &SourceModel, out: &mut Vec<RawViolation>) {
+    for at in word_occurrences(&model.masked, "HashSet") {
+        let after = &model.masked[at + "HashSet".len()..];
+        let Some(args) = after.trim_start().strip_prefix('<') else {
+            continue;
+        };
+        let arg = args.trim_start();
+        let stringy = if let Some(rest) = arg.strip_prefix("String") {
+            // Word boundary: not `StringId` etc.
+            !rest.chars().next().map(is_ident).unwrap_or(false)
+        } else if let Some(rest) = arg.strip_prefix('&') {
+            // `&str` or `&'a str`.
+            let rest = rest.trim_start();
+            let rest = match rest.strip_prefix('\'') {
+                Some(lt) => lt.trim_start_matches(is_ident).trim_start(),
+                None => rest,
+            };
+            rest.strip_prefix("str")
+                .map(|r| !r.chars().next().map(is_ident).unwrap_or(false))
+                .unwrap_or(false)
+        } else {
+            false
+        };
+        if stringy {
+            push(
+                model,
+                out,
+                "string-set",
+                at,
+                "`HashSet` of domain strings re-hashes every entry per comparison".into(),
+                SUGGEST_STRING_SET,
+            );
+        }
+    }
+}
+
 // ---- directive hygiene ----------------------------------------------------
 
 fn check_directives(model: &SourceModel, out: &mut Vec<RawViolation>) {
@@ -724,6 +775,25 @@ mod tests {
         assert!(rules_hit("let n = x as usize;").contains(&"lossy-cast"));
         assert!(rules_hit("let n = score as u32;").contains(&"lossy-cast"));
         assert!(!rules_hit("let n = x as f64;").contains(&"lossy-cast"));
+    }
+
+    #[test]
+    fn detects_string_sets() {
+        assert!(rules_hit("let s: HashSet<String> = HashSet::new();").contains(&"string-set"));
+        assert!(rules_hit("let s: HashSet<&str> = names.iter().collect();").contains(&"string-set"));
+        assert!(
+            rules_hit("fn f<'a>(x: HashSet<&'a str>) {}").contains(&"string-set"),
+            "{:?}",
+            run("fn f<'a>(x: HashSet<&'a str>) {}")
+        );
+        assert!(rules_hit("let s = names.collect::<HashSet<String>>();").contains(&"string-set"));
+        // Id- or number-keyed sets are the fix, not a violation.
+        assert!(!rules_hit("let s: HashSet<u64> = HashSet::new();").contains(&"string-set"));
+        assert!(!rules_hit("let s: HashSet<DomainId> = HashSet::new();").contains(&"string-set"));
+        // Word boundary: a type merely starting with `String` is fine.
+        assert!(!rules_hit("let s: HashSet<StringId> = HashSet::new();").contains(&"string-set"));
+        let allowed = "// topple-lint: allow(string-set): reference path for equivalence tests\nlet s: HashSet<&str> = x.collect();\n";
+        assert!(run(allowed).is_empty(), "{:?}", run(allowed));
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn positive_fixture_trips_every_headline_rule() {
         "wall-clock",
         "float-eq",
         "lossy-cast",
+        "string-set",
     ] {
         assert!(
             rules.contains(&expected),

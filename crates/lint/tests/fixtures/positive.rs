@@ -22,3 +22,8 @@ pub fn exact_float(a: f64, b: f64) -> bool {
 pub fn truncates(x: f64) -> u32 {
     x as u32
 }
+
+pub fn string_set(names: &[String]) -> usize {
+    let set: std::collections::HashSet<&str> = names.iter().map(|s| s.as_str()).collect();
+    set.len()
+}

@@ -1,0 +1,140 @@
+//! Domain interning: dense integer IDs for a study's domain universe.
+//!
+//! The analysis stage (`topple-core`) compares the same few hundred thousand
+//! registrable domains against each other thousands of times — 7 lists × 7+
+//! CDN metrics × 4 magnitudes × 28 days, plus the 21-metric intra-CDN matrix.
+//! Hashing domain *strings* per comparison dominates that grid. A
+//! [`DomainTable`] maps every domain seen by a study (world site names plus
+//! every normalized list entry) to a dense [`DomainId`] exactly once;
+//! downstream set algebra then runs over sorted `u32` slices
+//! (`topple_stats::sets::jaccard_sorted`) with no hashing and no per-call
+//! allocation.
+//!
+//! IDs are assigned in insertion order, so a table built by a deterministic
+//! construction order is itself deterministic; nothing in this module iterates
+//! a hash map.
+
+use std::collections::HashMap;
+
+use topple_psl::DomainName;
+
+/// Dense identifier of a domain within one study's [`DomainTable`].
+///
+/// IDs are only meaningful relative to the table that issued them; they are
+/// assigned contiguously from 0 in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(u32);
+
+impl DomainId {
+    /// The raw dense index as `u32` (for columnar storage and merge-walks).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw dense index as `usize` (for indexing id-keyed columns).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional domain ↔ [`DomainId`] table ("interner").
+///
+/// Built once per study; the id → name direction is a dense `Vec`, the
+/// name → id direction a hash map that is only ever probed, never iterated.
+#[derive(Debug, Clone, Default)]
+pub struct DomainTable {
+    names: Vec<DomainName>,
+    index: HashMap<DomainName, DomainId>,
+}
+
+impl DomainTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty table sized for roughly `capacity` domains.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DomainTable {
+            names: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the id for `name`, interning it if unseen.
+    pub fn intern(&mut self, name: &DomainName) -> DomainId {
+        if let Some(&id) = self.index.get(name.as_str()) {
+            return id;
+        }
+        debug_assert!(
+            self.names.len() < u32::MAX as usize,
+            "domain universe overflow"
+        );
+        let id = DomainId(self.names.len() as u32);
+        self.names.push(name.clone());
+        self.index.insert(name.clone(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned domain.
+    pub fn id(&self, name: &str) -> Option<DomainId> {
+        self.index.get(name).copied()
+    }
+
+    /// The domain a given id was issued for.
+    ///
+    /// Panics (via slice indexing) when handed an id from a different table;
+    /// ids never outlive their table in this codebase.
+    pub fn name(&self, id: DomainId) -> &DomainName {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned domains (also the exclusive upper bound on raw ids).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned names in id order (index `i` holds the name of id `i`).
+    pub fn names(&self) -> &[DomainName] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("valid domain")
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t = DomainTable::new();
+        let a = t.intern(&name("a.com"));
+        let b = t.intern(&name("b.com"));
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        // Re-interning returns the original id.
+        assert_eq!(t.intern(&name("a.com")), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a).as_str(), "a.com");
+        assert_eq!(t.id("b.com"), Some(b));
+        assert_eq!(t.id("missing.com"), None);
+    }
+
+    #[test]
+    fn insertion_order_is_the_id_order() {
+        let mut t = DomainTable::new();
+        for s in ["z.com", "m.com", "a.com"] {
+            t.intern(&name(s));
+        }
+        let order: Vec<&str> = t.names().iter().map(|d| d.as_str()).collect();
+        assert_eq!(order, vec!["z.com", "m.com", "a.com"]);
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod alexa;
 pub mod crux;
+pub mod interner;
 pub mod majestic;
 pub mod model;
 pub mod normalize;
@@ -33,8 +34,9 @@ pub mod tranco;
 pub mod trexa;
 pub mod umbrella;
 
+pub use interner::{DomainId, DomainTable};
 pub use model::{
     BucketedEntry, BucketedList, ListParseError, ListSource, RankedEntry, RankedList, TopList,
 };
-pub use normalize::{normalize, normalize_bucketed, normalize_ranked, NormalizedList};
+pub use normalize::{normalize, normalize_bucketed, normalize_ranked, NormalizedList, Normalizer};
 pub use stability::{stability, StabilityReport};

@@ -7,11 +7,21 @@
 //!
 //! The fraction of entries whose raw name differs from their registrable
 //! domain is the "deviation" reported in Table 2.
+//!
+//! Normalization is the analysis stage's hottest string operation — a study
+//! normalizes the same raw names across 28 daily lists and many magnitude
+//! cuts — so the work-horse here is the stateful [`Normalizer`]: it memoizes
+//! the outcome of every distinct raw entry (via [`RegistrableCache`] for the
+//! PSL walk) and interns each resulting registrable domain into a shared
+//! [`DomainTable`], emitting a dense-ID column alongside the name column.
+//! The free functions ([`normalize_ranked`] and friends) remain as one-shot
+//! wrappers over a throwaway `Normalizer` and produce identical output.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use topple_psl::{DomainName, PublicSuffixList};
+use topple_psl::{DomainName, PublicSuffixList, RegistrableCache};
 
+use crate::interner::{DomainId, DomainTable};
 use crate::model::{BucketedList, ListSource, RankedList, TopList};
 
 /// A list normalized to registrable domains.
@@ -22,6 +32,11 @@ pub struct NormalizedList {
     /// `(domain, value)` sorted ascending by value. For rank-ordered sources
     /// the value is the min rank; for bucketed sources it is the min bucket.
     pub entries: Vec<(DomainName, u32)>,
+    /// Interned id of each entry, parallel to [`entries`](Self::entries)
+    /// (`ids[i]` is the id of `entries[i].0` in the producing
+    /// [`DomainTable`]). Because entries are value-sorted, every top-k cut is
+    /// a *prefix* of this column for ordered and bucketed lists alike.
+    pub ids: Vec<DomainId>,
     /// Whether `value` is an individual rank (true) or a bucket size (false).
     pub ordered: bool,
     /// Raw entries inspected.
@@ -44,14 +59,26 @@ impl NormalizedList {
     /// Domains within the top `k`: for ordered lists the first `k` by rank;
     /// for bucketed lists everything with bucket ≤ `k`.
     pub fn top_domains(&self, k: usize) -> Vec<&DomainName> {
+        self.entries[..self.top_len(k)]
+            .iter()
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Interned ids within the top `k` — the prefix view equivalent of
+    /// [`top_domains`](Self::top_domains), shared by every magnitude.
+    pub fn top_ids(&self, k: usize) -> &[DomainId] {
+        &self.ids[..self.top_len(k)]
+    }
+
+    /// Length of the top-`k` prefix. Entries are sorted ascending by value,
+    /// so for bucketed lists "bucket ≤ k" is also a prefix, found by binary
+    /// search.
+    pub fn top_len(&self, k: usize) -> usize {
         if self.ordered {
-            self.entries.iter().take(k).map(|(d, _)| d).collect()
+            k.min(self.entries.len())
         } else {
-            self.entries
-                .iter()
-                .filter(|(_, b)| *b as usize <= k)
-                .map(|(d, _)| d)
-                .collect()
+            self.entries.partition_point(|(_, b)| *b as usize <= k)
         }
     }
 
@@ -98,80 +125,193 @@ fn entry_host(raw: &str) -> Option<DomainName> {
     }
 }
 
-fn normalize_entries<'a>(
-    psl: &PublicSuffixList,
-    raw: impl Iterator<Item = (&'a str, u32)>,
-) -> (Vec<(DomainName, u32)>, usize, usize) {
-    let mut best: BTreeMap<DomainName, u32> = BTreeMap::new();
-    let mut raw_len = 0usize;
-    let mut deviating = 0usize;
-    for (name, value) in raw {
-        raw_len += 1;
-        let Some(host) = entry_host(name) else {
-            // Unparseable entries (rare; e.g. raw IPs) count as deviating and
-            // are dropped, as the paper's domain grouping would do.
-            deviating += 1;
-            continue;
-        };
-        // The grouping key: registrable domain, or the host itself when it is
-        // already a public suffix (e.g. the literal name `com` on Umbrella).
-        // An entry "deviates" when the listed host is not itself a
-        // registrable domain (subdomain FQDNs, bare public suffixes). An
-        // origin whose host IS the apex (https://example.com) does not
-        // deviate — the paper's Table 2 measures name-shape, not scheme.
-        let (key, deviates) = match psl.registrable_domain(&host) {
-            Some(reg) => {
-                let dev = reg != host;
-                (reg, dev)
-            }
-            None => (host, true),
-        };
-        if deviates {
-            deviating += 1;
+/// Memoized fate of one distinct raw entry string.
+#[derive(Debug, Clone, Copy)]
+enum EntryOutcome {
+    /// Grouped under the given interned registrable domain.
+    Kept { id: DomainId, deviates: bool },
+    /// Unparseable (e.g. raw IPs); counted as deviating and dropped, as the
+    /// paper's domain grouping would do.
+    Dropped,
+}
+
+/// Stateful, memoizing normalizer shared across a study's lists.
+///
+/// Each distinct raw entry string is parsed, PSL-walked, and interned exactly
+/// once; re-normalizing a list (or a later day's list sharing most entries)
+/// costs one hash lookup per entry. The accumulated [`DomainTable`] is the
+/// study's domain universe, recoverable via [`into_table`](Self::into_table).
+#[derive(Debug)]
+pub struct Normalizer<'a> {
+    psl: &'a PublicSuffixList,
+    cache: RegistrableCache,
+    table: DomainTable,
+    entry_memo: HashMap<String, EntryOutcome>,
+}
+
+impl<'a> Normalizer<'a> {
+    /// Creates a normalizer with an empty [`DomainTable`].
+    pub fn new(psl: &'a PublicSuffixList) -> Self {
+        Self::with_table(psl, DomainTable::new())
+    }
+
+    /// Creates a normalizer over a pre-seeded table (e.g. one already holding
+    /// the world's site domains, so site index == id; see `topple-core`).
+    pub fn with_table(psl: &'a PublicSuffixList, table: DomainTable) -> Self {
+        Normalizer {
+            psl,
+            cache: RegistrableCache::new(),
+            table,
+            entry_memo: HashMap::new(),
         }
-        best.entry(key)
-            .and_modify(|v| *v = (*v).min(value))
-            .or_insert(value);
     }
-    let mut entries: Vec<(DomainName, u32)> = best.into_iter().collect();
-    entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-    (entries, raw_len, deviating)
+
+    /// Interns a domain directly (used to seed the table before lists are
+    /// normalized, and to map non-list names into the same id space).
+    pub fn intern(&mut self, name: &DomainName) -> DomainId {
+        self.table.intern(name)
+    }
+
+    /// The table built so far.
+    pub fn table(&self) -> &DomainTable {
+        &self.table
+    }
+
+    /// Consumes the normalizer, yielding the accumulated table.
+    pub fn into_table(self) -> DomainTable {
+        self.table
+    }
+
+    /// The underlying PSL memo (hit/miss counters for diagnostics).
+    pub fn cache(&self) -> &RegistrableCache {
+        &self.cache
+    }
+
+    /// Normalizes a ranked list.
+    pub fn ranked(&mut self, list: &RankedList) -> NormalizedList {
+        let iter: Vec<(&str, u32)> = list
+            .entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.rank))
+            .collect();
+        let (entries, ids, raw_len, deviating) = self.normalize_entries(&iter);
+        NormalizedList {
+            source: list.source,
+            entries,
+            ids,
+            ordered: true,
+            raw_len,
+            deviating,
+        }
+    }
+
+    /// Normalizes a bucketed list.
+    pub fn bucketed(&mut self, list: &BucketedList) -> NormalizedList {
+        let iter: Vec<(&str, u32)> = list
+            .entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.bucket))
+            .collect();
+        let (entries, ids, raw_len, deviating) = self.normalize_entries(&iter);
+        NormalizedList {
+            source: list.source,
+            entries,
+            ids,
+            ordered: false,
+            raw_len,
+            deviating,
+        }
+    }
+
+    /// Normalizes either format.
+    pub fn normalize(&mut self, list: &TopList) -> NormalizedList {
+        match list {
+            TopList::Ranked(l) => self.ranked(l),
+            TopList::Bucketed(l) => self.bucketed(l),
+        }
+    }
+
+    fn entry_outcome(&mut self, raw: &str) -> EntryOutcome {
+        if let Some(&o) = self.entry_memo.get(raw) {
+            return o;
+        }
+        let outcome = match entry_host(raw) {
+            None => EntryOutcome::Dropped,
+            Some(host) => {
+                // The grouping key: registrable domain, or the host itself
+                // when it is already a public suffix (e.g. the literal name
+                // `com` on Umbrella). An entry "deviates" when the listed
+                // host is not itself a registrable domain (subdomain FQDNs,
+                // bare public suffixes). An origin whose host IS the apex
+                // (https://example.com) does not deviate — the paper's
+                // Table 2 measures name-shape, not scheme.
+                let (key, deviates) = match self.cache.registrable(self.psl, &host) {
+                    Some(reg) => (reg.clone(), *reg != host),
+                    None => (host, true),
+                };
+                EntryOutcome::Kept {
+                    id: self.table.intern(&key),
+                    deviates,
+                }
+            }
+        };
+        self.entry_memo.insert(raw.to_owned(), outcome);
+        outcome
+    }
+
+    fn normalize_entries(
+        &mut self,
+        raw: &[(&str, u32)],
+    ) -> (Vec<(DomainName, u32)>, Vec<DomainId>, usize, usize) {
+        // Group by id instead of by name: a BTreeMap over dense u32 ids keeps
+        // the integer comparisons cheap while staying iteration-deterministic.
+        let mut best: BTreeMap<DomainId, u32> = BTreeMap::new();
+        let raw_len = raw.len();
+        let mut deviating = 0usize;
+        for &(name, value) in raw {
+            match self.entry_outcome(name) {
+                EntryOutcome::Dropped => deviating += 1,
+                EntryOutcome::Kept { id, deviates } => {
+                    if deviates {
+                        deviating += 1;
+                    }
+                    best.entry(id)
+                        .and_modify(|v| *v = (*v).min(value))
+                        .or_insert(value);
+                }
+            }
+        }
+        let mut rows: Vec<(DomainId, u32)> = best.into_iter().collect();
+        // Same total order as the historical name-keyed path: ascending by
+        // value, ties broken by domain name. Names are unique, so this is a
+        // total order and the result is independent of grouping order.
+        rows.sort_by(|a, b| {
+            a.1.cmp(&b.1)
+                .then_with(|| self.table.name(a.0).cmp(self.table.name(b.0)))
+        });
+        let ids: Vec<DomainId> = rows.iter().map(|&(id, _)| id).collect();
+        let entries: Vec<(DomainName, u32)> = rows
+            .into_iter()
+            .map(|(id, v)| (self.table.name(id).clone(), v))
+            .collect();
+        (entries, ids, raw_len, deviating)
+    }
 }
 
-/// Normalizes a ranked list.
+/// Normalizes a ranked list (one-shot; see [`Normalizer`] for the shared,
+/// memoizing form).
 pub fn normalize_ranked(psl: &PublicSuffixList, list: &RankedList) -> NormalizedList {
-    let (entries, raw_len, deviating) =
-        normalize_entries(psl, list.entries.iter().map(|e| (e.name.as_str(), e.rank)));
-    NormalizedList {
-        source: list.source,
-        entries,
-        ordered: true,
-        raw_len,
-        deviating,
-    }
+    Normalizer::new(psl).ranked(list)
 }
 
-/// Normalizes a bucketed list.
+/// Normalizes a bucketed list (one-shot).
 pub fn normalize_bucketed(psl: &PublicSuffixList, list: &BucketedList) -> NormalizedList {
-    let (entries, raw_len, deviating) = normalize_entries(
-        psl,
-        list.entries.iter().map(|e| (e.name.as_str(), e.bucket)),
-    );
-    NormalizedList {
-        source: list.source,
-        entries,
-        ordered: false,
-        raw_len,
-        deviating,
-    }
+    Normalizer::new(psl).bucketed(list)
 }
 
-/// Normalizes either format.
+/// Normalizes either format (one-shot).
 pub fn normalize(psl: &PublicSuffixList, list: &TopList) -> NormalizedList {
-    match list {
-        TopList::Ranked(l) => normalize_ranked(psl, l),
-        TopList::Bucketed(l) => normalize_bucketed(psl, l),
-    }
+    Normalizer::new(psl).normalize(list)
 }
 
 #[cfg(test)]
@@ -261,6 +401,7 @@ mod tests {
         let l = ranked(&["a.com", "b.com", "c.com"]);
         let n = normalize_ranked(&psl(), &l);
         assert_eq!(n.top_domains(2).len(), 2);
+        assert_eq!(n.top_ids(2).len(), 2);
         let b = BucketedList {
             source: ListSource::Crux,
             entries: vec![
@@ -277,6 +418,8 @@ mod tests {
         let nb = normalize_bucketed(&psl(), &b);
         assert_eq!(nb.top_domains(10).len(), 1);
         assert_eq!(nb.top_domains(100).len(), 2);
+        assert_eq!(nb.top_ids(10).len(), 1);
+        assert_eq!(nb.top_ids(100).len(), 2);
     }
 
     #[test]
@@ -286,5 +429,57 @@ mod tests {
         assert_eq!(n.len(), 1);
         assert_eq!(n.raw_len, 2);
         assert_eq!(n.deviating, 1);
+    }
+
+    #[test]
+    fn ids_column_is_parallel_and_table_consistent() {
+        let psl = psl();
+        let mut norm = Normalizer::new(&psl);
+        let n = norm.ranked(&ranked(&["cdn.example.com", "other.net", "example.com"]));
+        assert_eq!(n.ids.len(), n.entries.len());
+        let table = norm.table();
+        for (i, (domain, _)) in n.entries.iter().enumerate() {
+            assert_eq!(table.name(n.ids[i]), domain);
+            assert_eq!(table.id(domain.as_str()), Some(n.ids[i]));
+        }
+    }
+
+    #[test]
+    fn shared_normalizer_matches_one_shot_output() {
+        let psl = psl();
+        let lists = [
+            ranked(&["cdn.example.com", "example.com", "com", "other.net"]),
+            // `https://example.com` is a distinct raw spelling of an
+            // already-seen host: it must hit the PSL memo, not re-walk.
+            ranked(&[
+                "example.com",
+                "other.net",
+                "https://example.com",
+                "third.org",
+            ]),
+        ];
+        let mut norm = Normalizer::new(&psl);
+        for l in &lists {
+            let shared = norm.ranked(l);
+            let oneshot = normalize_ranked(&psl, l);
+            assert_eq!(shared.entries, oneshot.entries);
+            assert_eq!(shared.raw_len, oneshot.raw_len);
+            assert_eq!(shared.deviating, oneshot.deviating);
+        }
+        // Repeated raw entries short-circuit in the entry memo and never
+        // reach the PSL cache: 8 raw entries, but only 5 distinct hosts were
+        // ever PSL-walked, and the origin respelling was a cache hit.
+        assert_eq!(norm.cache().misses(), 5);
+        assert_eq!(norm.cache().hits(), 1);
+    }
+
+    #[test]
+    fn preseeded_table_keeps_seed_ids() {
+        let psl = psl();
+        let mut table = DomainTable::new();
+        let seeded = table.intern(&"example.com".parse().expect("valid"));
+        let mut norm = Normalizer::with_table(&psl, table);
+        let n = norm.ranked(&ranked(&["www.example.com"]));
+        assert_eq!(n.ids, vec![seeded]);
     }
 }

@@ -21,6 +21,7 @@ pub fn build(
 ) -> RankedList {
     assert!(alexa_weight >= 1, "alexa_weight must be at least 1");
     let mut names: Vec<String> = Vec::new();
+    // topple-lint: allow(string-set): construction-time dedup; the study's DomainTable does not exist yet
     let mut seen: HashSet<&str> = HashSet::new();
     let mut ai = alexa.entries.iter();
     let mut ti = tranco.entries.iter();

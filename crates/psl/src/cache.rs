@@ -1,0 +1,135 @@
+//! Memoized registrable-domain extraction.
+//!
+//! The analysis stage normalizes the same raw names over and over: a
+//! month-long study sees each popular FQDN on most of its 28 days, and every
+//! magnitude cut re-reads the same list prefixes. [`PublicSuffixList::registrable_domain`]
+//! walks candidate suffixes and allocates a fresh [`DomainName`] per call, so
+//! repeating it per (list, day) pair is pure waste. [`RegistrableCache`] memoizes
+//! the host → registrable mapping so each *distinct* raw name pays the PSL walk
+//! exactly once per study.
+//!
+//! The cache is lookup-only (`HashMap` keyed by the raw host string, never
+//! iterated), so it cannot introduce iteration-order nondeterminism.
+
+use std::collections::HashMap;
+
+use crate::{DomainName, PublicSuffixList};
+
+/// Memo of `host → registrable_domain(host)` results.
+///
+/// `None` entries record hosts with no registrable domain (bare public
+/// suffixes, single-label names) so those also hit the memo on re-query.
+#[derive(Debug, Default, Clone)]
+pub struct RegistrableCache {
+    memo: HashMap<String, Option<DomainName>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RegistrableCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty cache sized for roughly `capacity` distinct hosts.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RegistrableCache {
+            memo: HashMap::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The registrable domain of `host` under `psl`, memoized.
+    ///
+    /// Equivalent to `psl.registrable_domain(host)`; the first query for a
+    /// given host performs the PSL walk, later queries are a single hash
+    /// lookup returning the cached result.
+    pub fn registrable(
+        &mut self,
+        psl: &PublicSuffixList,
+        host: &DomainName,
+    ) -> Option<&DomainName> {
+        if !self.memo.contains_key(host.as_str()) {
+            self.misses += 1;
+            self.memo
+                .insert(host.as_str().to_owned(), psl.registrable_domain(host));
+        } else {
+            self.hits += 1;
+        }
+        // The key was just inserted if absent; flatten to Option<&DomainName>.
+        self.memo.get(host.as_str()).and_then(|v| v.as_ref())
+    }
+
+    /// Number of distinct hosts memoized so far.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when no host has been queried yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Queries answered from the memo (no PSL walk).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Queries that performed the PSL walk (first sighting of a host).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("valid domain")
+    }
+
+    #[test]
+    fn matches_uncached_psl_and_counts_hits() {
+        let psl = PublicSuffixList::builtin();
+        let mut cache = RegistrableCache::new();
+        let hosts = [
+            "news.shard.example.co.uk",
+            "example.co.uk",
+            "a.b.example.com",
+        ];
+        for h in hosts {
+            let n = name(h);
+            let direct = psl.registrable_domain(&n);
+            let cached = cache.registrable(&psl, &n).cloned();
+            assert_eq!(direct, cached, "{h}");
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+        // Second pass: all hits, same answers.
+        for h in hosts {
+            let n = name(h);
+            assert_eq!(
+                psl.registrable_domain(&n),
+                cache.registrable(&psl, &n).cloned()
+            );
+        }
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn memoizes_negative_results() {
+        let psl = PublicSuffixList::builtin();
+        let mut cache = RegistrableCache::new();
+        // A bare public suffix has no registrable domain.
+        let suffix = name("co.uk");
+        assert!(psl.registrable_domain(&suffix).is_none());
+        assert!(cache.registrable(&psl, &suffix).is_none());
+        assert!(cache.registrable(&psl, &suffix).is_none());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 mod builtin;
+mod cache;
 mod domain;
 mod error;
 mod origin;
 mod rules;
 
 pub use builtin::BUILTIN_PSL_TEXT;
+pub use cache::RegistrableCache;
 pub use domain::DomainName;
 pub use error::{DomainError, OriginError, PslParseError};
 pub use origin::{Origin, Scheme};

@@ -37,11 +37,14 @@ pub struct WorldConfig {
     pub infrastructure_share: f64,
     /// Bias-mechanism toggles for counterfactual worlds (all on by default).
     pub mechanisms: Mechanisms,
-    /// Worker threads for day simulation + shard construction. `None` defers
-    /// to the `TOPPLE_WORKERS` environment variable, then to the machine's
+    /// Worker threads for day simulation + shard construction **and** for
+    /// the analysis-stage matrix fan-outs (consistency matrices, per-day
+    /// list evaluation, temporal series, bias grids). `None` defers to the
+    /// `TOPPLE_WORKERS` environment variable, then to the machine's
     /// available parallelism. Results are worker-count-invariant by
-    /// construction (shard merges are associative and folded in day order);
-    /// `tests/determinism.rs` pins that byte-for-byte.
+    /// construction (shard merges are associative and folded in day order;
+    /// analysis folds collect by index); `tests/determinism.rs` pins that
+    /// byte-for-byte.
     pub workers: Option<usize>,
 }
 
@@ -132,10 +135,11 @@ impl WorldConfig {
         }
     }
 
-    /// The effective ingestion worker count: the explicit [`workers`] field
-    /// if set, else the `TOPPLE_WORKERS` environment variable, else the
-    /// machine's available parallelism — always at least 1. The knob only
-    /// affects wall-clock time, never results.
+    /// The effective worker count for ingestion and analysis fan-outs: the
+    /// explicit [`workers`] field if set, else the `TOPPLE_WORKERS`
+    /// environment variable, else the machine's available parallelism —
+    /// always at least 1. The knob only affects wall-clock time, never
+    /// results.
     ///
     /// [`workers`]: WorldConfig::workers
     pub fn effective_workers(&self) -> usize {

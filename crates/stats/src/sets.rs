@@ -1,12 +1,22 @@
 //! Set-similarity measures for unordered list comparison.
+//!
+//! Two families live here: hash-set measures over arbitrary `Eq + Hash`
+//! elements, and allocation-free sorted-slice measures over dense `u32` ids
+//! ([`intersection_size_sorted`], [`jaccard_sorted`]) for the interned
+//! columnar analysis path. Both families share the same **empty-set
+//! convention**: the Jaccard index of two empty sets is defined as `1.0`
+//! (empty sets are identical; `0/0` would otherwise be NaN), while one empty
+//! and one non-empty set give `0.0`. `tests::empty_set_convention_is_shared`
+//! pins the two families to each other.
 
 use std::collections::HashSet;
 use std::hash::Hash;
 
 /// Jaccard index `|A ∩ B| / |A ∪ B|` of two sets.
 ///
-/// Returns 1.0 when both sets are empty (they are identical), matching the
-/// convention used when comparing empty list intersections.
+/// Returns 1.0 when both sets are empty (they are identical — the `0/0`
+/// case), matching the convention used when comparing empty list
+/// intersections; see the module docs.
 ///
 /// ```
 /// use std::collections::HashSet;
@@ -44,6 +54,48 @@ pub fn overlap_coefficient<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 
 pub fn intersection_size<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> usize {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     small.iter().filter(|v| large.contains(v)).count()
+}
+
+/// Size of the intersection of two strictly-ascending sorted slices, by
+/// merge-walk: no hashing, no allocation.
+///
+/// Callers must pass deduplicated ascending slices (as produced by sorting a
+/// set of interned domain ids); duplicates would be counted once per aligned
+/// pair.
+pub fn intersection_size_sorted(a: &[u32], b: &[u32]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a not sorted/dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b not sorted/dedup");
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Jaccard index of two strictly-ascending sorted slices (merge-walk
+/// counterpart of [`jaccard`]).
+///
+/// Keeps [`jaccard`]'s empty-set convention bit-for-bit: both slices empty →
+/// `1.0` (the `0/0` case), exactly one empty → `0.0`. The arithmetic is the
+/// same `inter as f64 / union as f64` expression, so results are
+/// byte-identical to the hash-set path for equal inputs.
+pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size_sorted(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
 }
 
 /// Rank-biased overlap (Webber et al. 2010) between two rankings, extrapolated
@@ -140,6 +192,55 @@ mod tests {
     fn intersection_sizes() {
         assert_eq!(intersection_size(&set(&[1, 2, 3]), &set(&[2, 3, 4])), 2);
         assert_eq!(intersection_size(&set(&[]), &set(&[1])), 0);
+    }
+
+    #[test]
+    fn sorted_intersection_matches_hash_path() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[], &[1, 2]),
+            (&[5], &[5]),
+            (&[1, 3, 5, 7, 9], &[2, 4, 6, 8]),
+            (&[1, 2, 3, 4], &[1, 2, 3, 4]),
+        ];
+        for &(a, b) in cases {
+            assert_eq!(
+                intersection_size_sorted(a, b),
+                intersection_size(&set(a), &set(b)),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_jaccard_is_byte_identical_to_hash_jaccard() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[], &[1]),
+            (&[1, 5, 9, 11], &[2, 5, 9]),
+            (&[7], &[7]),
+            (&[1, 2], &[3, 4]),
+        ];
+        for &(a, b) in cases {
+            let hashed = jaccard(&set(a), &set(b));
+            let sorted = jaccard_sorted(a, b);
+            assert_eq!(
+                hashed.to_bits(),
+                sorted.to_bits(),
+                "{a:?} vs {b:?}: {hashed} != {sorted}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_convention_is_shared() {
+        // 0/0 is *defined* as 1.0 (two empty sets are identical), in both the
+        // hash-set and the sorted-slice family; one-sided emptiness is 0.0.
+        assert_eq!(jaccard::<u32>(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(jaccard_sorted(&[], &[]), 1.0);
+        assert_eq!(jaccard(&set(&[]), &set(&[1])), 0.0);
+        assert_eq!(jaccard_sorted(&[], &[1]), 0.0);
+        assert_eq!(jaccard_sorted(&[1], &[]), 0.0);
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use chrome::{ChromeMetric, ChromeShard, ChromeVantage, TELEMETRY_PLATFORMS};
 pub use cloudflare::{CdnShard, CdnVantage, CfAgg, CfFilter, CfMetric};
 pub use crawler::CrawlerVantage;
 pub use dns::{DnsShard, DnsVantage, QueriedName};
-pub use metrics::{ranked_sites, ScoreVec};
+pub use metrics::{ranked_site_ids, ranked_sites, ScoreVec};
 pub use panel::{PanelShard, PanelVantage};
 pub use shard::{DayShards, Shard};

@@ -21,6 +21,14 @@ pub fn ranked_sites(scores: &ScoreVec) -> Vec<(SiteId, f64)> {
     out
 }
 
+/// Ranks sites by descending score like [`ranked_sites`], returning only the
+/// site ids — the form the interned analysis index consumes
+/// (`topple-core::index::StudyIndex::cf_ranked_ids`). Shares [`ranked_sites`]
+/// so both forms order identically by construction.
+pub fn ranked_site_ids(scores: &ScoreVec) -> Vec<SiteId> {
+    ranked_sites(scores).into_iter().map(|(id, _)| id).collect()
+}
+
 /// Adds `src` element-wise into `dst` (used for monthly accumulation).
 pub fn add_assign(dst: &mut ScoreVec, src: &ScoreVec) {
     debug_assert_eq!(dst.len(), src.len());

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use toppling::core::{consistency, listeval, Study};
+use toppling::core::{consistency, coverage, listeval, temporal, Study};
 use toppling::lists::ListSource;
 use toppling::sim::WorldConfig;
 
@@ -41,6 +41,20 @@ fn snapshot_with_workers(seed: u64, workers: Option<usize>) -> String {
     let m = consistency::intra_cloudflare_final(&s, k);
     let _ = writeln!(out, "## fig1 jaccard {:?}", m.jaccard);
     let _ = writeln!(out, "## fig1 spearman {:?}", m.spearman);
+    // The remaining parallel analysis surfaces: the day-fan-out temporal
+    // series, the columnar coverage table, and the Chrome cell matrix.
+    for series in temporal::figure3(&s, k) {
+        let _ = writeln!(
+            out,
+            "## fig3 {:?} ji {:?} rho {:?}",
+            series.source, series.jaccard, series.spearman
+        );
+    }
+    for row in coverage::table1(&s) {
+        let _ = writeln!(out, "## table1 {:?} {:?}", row.source, row.cells);
+    }
+    let chrome = consistency::intra_chrome(&s, k);
+    let _ = writeln!(out, "## chrome jaccard {:?}", chrome.jaccard);
     out
 }
 

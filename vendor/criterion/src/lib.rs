@@ -85,17 +85,28 @@ fn report(label: &str, b: &Bencher) {
 /// Top-level harness object.
 pub struct Criterion {
     sample_size: u64,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            smoke: false,
+        }
     }
 }
 
 impl Criterion {
-    /// Accepts (and ignores) CLI arguments, like the real harness.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads CLI arguments. Like the real harness, `--test` switches to smoke
+    /// mode: every benchmark runs exactly once so CI can verify the bench
+    /// targets execute without paying for measurement. Other arguments are
+    /// accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.sample_size = 1;
+            self.smoke = true;
+        }
         self
     }
 
@@ -112,6 +123,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_owned(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
             _parent: self,
         }
     }
@@ -124,13 +136,17 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
+    smoke: bool,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the per-benchmark sample count.
+    /// Sets the per-benchmark sample count (ignored in `--test` smoke mode,
+    /// which pins every benchmark to a single sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1) as u64;
+        if !self.smoke {
+            self.sample_size = n.max(1) as u64;
+        }
         self
     }
 
@@ -203,6 +219,18 @@ mod tests {
         g.bench_with_input(BenchmarkId::new("param", 5), &5, |b, &n| {
             b.iter(|| black_box(n * 2))
         });
+        g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_pins_sample_size_to_one() {
+        let mut c = Criterion {
+            sample_size: 1,
+            smoke: true,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(50);
+        assert_eq!(g.sample_size, 1, "smoke mode must ignore sample_size()");
         g.finish();
     }
 }
