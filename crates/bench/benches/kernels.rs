@@ -97,7 +97,7 @@ fn bench_logit(c: &mut Criterion) {
     c.bench_function("logit/fit_10k_one_predictor", |b| {
         b.iter(|| {
             fit_with_intercept(
-                black_box(&[predictor.clone()]),
+                black_box(std::slice::from_ref(&predictor)),
                 black_box(&y),
                 LogitOptions::default(),
             )

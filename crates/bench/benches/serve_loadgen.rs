@@ -1,0 +1,197 @@
+//! Closed-loop loopback load generator for the `topple-serve` daemon.
+//!
+//! Unlike the other targets this is not a criterion closure: the number
+//! being measured is the throughput of a multi-threaded server under
+//! concurrent clients, which criterion's single-threaded `iter` model
+//! cannot express. The harness is custom but honours the same `--test`
+//! smoke flag the vendored criterion uses, so `cargo bench -- --test`
+//! stays a cheap build-and-run check in CI.
+//!
+//! Protocol: a small-scale study is encoded into a snapshot, served by a
+//! 4-worker daemon on an ephemeral loopback port, and hammered by
+//! closed-loop keep-alive clients (each thread issues its next request
+//! only after fully reading the previous response). Reported per
+//! scenario: total requests, wall-clock, req/s, p50/p99 latency.
+//! Baselines live in EXPERIMENTS.md; the acceptance bar is >= 10k req/s
+//! on `/v1/rank` at this scale.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use topple_bench::small_study;
+use topple_serve::{encode_study, QuerySnapshot, Server, Snapshot};
+
+/// Closed-loop clients per scenario (each owns one keep-alive connection).
+const CLIENTS: usize = 8;
+/// Server worker threads.
+const WORKERS: usize = 4;
+/// Requests per client in a full measurement run.
+const FULL_REQUESTS: usize = 4_000;
+/// Requests per client under `--test` (build-and-run smoke only).
+const SMOKE_REQUESTS: usize = 5;
+
+/// Reads exactly one HTTP response (headers + `Content-Length` body) off a
+/// keep-alive stream; a single `read` may return a partial frame.
+fn read_one_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) {
+    scratch.clear();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(head_end) = find_head_end(scratch) {
+            let content_len = content_length(&scratch[..head_end]);
+            if scratch.len() >= head_end + 4 + content_len {
+                return;
+            }
+        }
+        // topple-lint: allow(unwrap): bench; a dead connection must abort the run
+        let n = stream.read(&mut buf).expect("server closed mid-response");
+        assert!(n > 0, "server closed mid-response");
+        scratch.extend_from_slice(&buf[..n]);
+    }
+}
+
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn content_length(head: &[u8]) -> usize {
+    let text = String::from_utf8_lossy(head);
+    text.lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Sorted-slice percentile (nearest-rank).
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
+}
+
+/// Runs one scenario: `CLIENTS` threads cycling through `paths` for
+/// `requests_per_client` requests each, against a fresh server.
+fn run_scenario(name: &str, snapshot: &[u8], paths: &[String], requests_per_client: usize) {
+    // topple-lint: allow(unwrap): bench; a broken snapshot must abort the run
+    let qs = QuerySnapshot::new(Snapshot::from_bytes(snapshot).expect("snapshot decodes"));
+    let server = Arc::new(Server::bind("127.0.0.1:0", qs, WORKERS).expect("binds loopback"));
+    let addr = server.local_addr().expect("bound addr");
+    let handle = server.handle();
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+
+    let begun = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connects");
+                    // One write_all per request and no Nagle buffering:
+                    // otherwise the kernel's delayed-ACK interaction adds
+                    // ~40ms to every request and the harness measures TCP
+                    // pathology instead of the server.
+                    stream.set_nodelay(true).expect("nodelay");
+                    let requests: Vec<Vec<u8>> = paths
+                        .iter()
+                        .map(|p| format!("GET {p} HTTP/1.1\r\n\r\n").into_bytes())
+                        .collect();
+                    let mut scratch = Vec::with_capacity(4096);
+                    let mut lat = Vec::with_capacity(requests_per_client);
+                    for i in 0..requests_per_client {
+                        // Stagger clients so they do not walk the path list
+                        // in lockstep.
+                        let request = &requests[(client * 7 + i) % requests.len()];
+                        let sent = Instant::now();
+                        stream.write_all(request).expect("writes");
+                        read_one_response(&mut stream, &mut scratch);
+                        lat.push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = begun.elapsed();
+
+    handle.store(true, Ordering::SeqCst);
+    let stats = runner
+        .join()
+        .expect("server thread")
+        .expect("graceful drain");
+    assert_eq!(stats.requests, (CLIENTS * requests_per_client) as u64);
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let rps = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve_loadgen/{name}: {total} reqs over {CLIENTS} clients in {:.2}s -> {rps:.0} req/s, \
+         p50={}us p99={}us",
+        elapsed.as_secs_f64(),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+    );
+}
+
+fn main() {
+    // `cargo bench -- --test` (CI smoke) pins the run to a handful of
+    // requests; any other criterion-style flags are ignored.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let requests = if smoke { SMOKE_REQUESTS } else { FULL_REQUESTS };
+
+    let study = small_study();
+    let bytes = encode_study(study, "small", &[]);
+    println!(
+        "serve_loadgen: snapshot {} bytes, {} domains, {WORKERS} workers, mode={}",
+        bytes.len(),
+        study.index().table().len(),
+        if smoke { "smoke" } else { "full" },
+    );
+
+    // Rank lookups: cycle the head of Tranco plus a guaranteed miss, the
+    // hot point-lookup path.
+    let mut rank_paths: Vec<String> = study
+        .tranco
+        .entries
+        .iter()
+        .take(256)
+        .map(|e| format!("/v1/rank/tranco/{}", e.name))
+        .collect();
+    rank_paths.push("/v1/rank/tranco/absent.example".to_owned());
+    run_scenario("rank", &bytes, &rank_paths, requests);
+
+    // Compare cells: a handful of (a, b, k) combinations so the sharded
+    // LRU serves most requests from cache, as a real dashboard would.
+    let mut compare_paths = Vec::new();
+    for (a, b) in [
+        ("tranco", "alexa"),
+        ("tranco", "umbrella"),
+        ("alexa", "majestic"),
+        ("secrank", "trexa"),
+        ("crux", "tranco"),
+    ] {
+        for k in [100usize, 1_000, 10_000] {
+            compare_paths.push(format!("/v1/compare?a={a}&b={b}&k={k}"));
+        }
+    }
+    run_scenario("compare", &bytes, &compare_paths, requests);
+
+    // Movement: the widest response body (per-source monthly + daily series).
+    let movement_paths: Vec<String> = study
+        .tranco
+        .entries
+        .iter()
+        .take(64)
+        .map(|e| format!("/v1/movement/{}", e.name))
+        .collect();
+    run_scenario("movement", &bytes, &movement_paths, requests);
+}

@@ -108,6 +108,14 @@ impl IdCut {
         &self.ids
     }
 
+    /// The 0-based rank of `id` within the cut's best-first ordering, or
+    /// `None` when the id is not in the cut. One binary search — this is the
+    /// point-lookup the query daemon serves `/v1/rank` from.
+    pub fn rank_of(&self, id: u32) -> Option<u32> {
+        let at = self.ids.binary_search(&id).ok()?;
+        self.pos.get(at).copied()
+    }
+
     /// Number of entries in the cut.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -259,6 +267,19 @@ mod tests {
                 (x, y) => panic!("spearman presence diverged for {a:?} vs {b:?}: {x:?} vs {y:?}"),
             }
         }
+    }
+
+    #[test]
+    fn rank_of_recovers_list_positions() {
+        use topple_lists::DomainTable;
+        let d = doms(&["z.com", "a.com", "m.com"]);
+        let mut table = DomainTable::new();
+        let ids: Vec<DomainId> = d.iter().map(|x| table.intern(x)).collect();
+        let cut = IdCut::new(&ids);
+        for (pos, id) in ids.iter().enumerate() {
+            assert_eq!(cut.rank_of(id.raw()), Some(pos as u32));
+        }
+        assert_eq!(cut.rank_of(999), None);
     }
 
     #[test]

@@ -37,6 +37,20 @@ pub struct ListColumns {
     cf_prefix: Vec<u32>,
 }
 
+impl Default for ListColumns {
+    /// An empty ordered list. `cf_prefix` still carries its leading 0 so the
+    /// prefix-view invariant (`len() + 1` entries) holds for the empty case.
+    fn default() -> Self {
+        ListColumns {
+            ids: Vec::new(),
+            values: Vec::new(),
+            ordered: true,
+            cf_ids: Vec::new(),
+            cf_prefix: vec![0],
+        }
+    }
+}
+
 impl ListColumns {
     /// Extracts the id columns from a normalized list, marking the
     /// Cloudflare-served entries via `is_cf`.
@@ -90,6 +104,55 @@ impl ListColumns {
     /// Whether the list has no entries.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// The full Cloudflare-served id column, in list order (snapshot export).
+    pub fn cf_ids(&self) -> &[DomainId] {
+        &self.cf_ids
+    }
+
+    /// The running Cloudflare prefix counts, length `len() + 1` (snapshot
+    /// export).
+    pub fn cf_prefix(&self) -> &[u32] {
+        &self.cf_prefix
+    }
+
+    /// Reassembles columns from their raw parts (snapshot import), checking
+    /// every structural invariant the prefix-view accessors rely on; a
+    /// corrupted or hand-built input fails closed instead of producing
+    /// out-of-bounds cuts later.
+    pub fn from_raw_parts(
+        ids: Vec<DomainId>,
+        values: Vec<u32>,
+        ordered: bool,
+        cf_ids: Vec<DomainId>,
+        cf_prefix: Vec<u32>,
+    ) -> Result<Self, &'static str> {
+        if values.len() != ids.len() {
+            return Err("values column length differs from ids column");
+        }
+        if cf_prefix.len() != ids.len() + 1 {
+            return Err("cf_prefix length must be ids length + 1");
+        }
+        if cf_prefix.first() != Some(&0) {
+            return Err("cf_prefix must start at 0");
+        }
+        if cf_prefix.windows(2).any(|w| w[1] < w[0] || w[1] - w[0] > 1) {
+            return Err("cf_prefix must grow by 0 or 1 per entry");
+        }
+        if cf_prefix.last().copied().unwrap_or(0) as usize != cf_ids.len() {
+            return Err("cf_prefix total differs from cf_ids length");
+        }
+        if values.windows(2).any(|w| w[1] < w[0]) {
+            return Err("values column must be sorted ascending");
+        }
+        Ok(ListColumns {
+            ids,
+            values,
+            ordered,
+            cf_ids,
+            cf_prefix,
+        })
     }
 }
 
@@ -157,9 +220,54 @@ impl StudyIndex {
         }
     }
 
+    /// Reassembles an index from snapshot-loaded columns. `monthly` is
+    /// consulted once per [`ListSource`]; daily snapshots exist only for the
+    /// two providers that publish them (everything else serves its monthly
+    /// columns from [`Self::daily`]).
+    pub fn from_columns(
+        table: DomainTable,
+        site_ids: Vec<DomainId>,
+        is_cf: Vec<bool>,
+        mut monthly: impl FnMut(ListSource) -> ListColumns,
+        alexa_daily: Vec<ListColumns>,
+        umbrella_daily: Vec<ListColumns>,
+    ) -> Self {
+        let monthly = ColumnsSet {
+            alexa: monthly(ListSource::Alexa),
+            umbrella: monthly(ListSource::Umbrella),
+            majestic: monthly(ListSource::Majestic),
+            secrank: monthly(ListSource::Secrank),
+            tranco: monthly(ListSource::Tranco),
+            trexa: monthly(ListSource::Trexa),
+            crux: monthly(ListSource::Crux),
+        };
+        StudyIndex::new(table, site_ids, is_cf, monthly, alexa_daily, umbrella_daily)
+    }
+
     /// The study's domain table (id ↔ name).
     pub fn table(&self) -> &DomainTable {
         &self.table
+    }
+
+    /// The site → domain-id column (snapshot export).
+    pub fn site_ids(&self) -> &[DomainId] {
+        &self.site_ids
+    }
+
+    /// The per-id Cloudflare-served flags, dense over the table (snapshot
+    /// export).
+    pub fn cf_flags(&self) -> &[bool] {
+        &self.is_cf
+    }
+
+    /// Daily Alexa columns, one per study day (snapshot export).
+    pub fn alexa_daily(&self) -> &[ListColumns] {
+        &self.alexa_daily
+    }
+
+    /// Daily Umbrella columns, one per study day (snapshot export).
+    pub fn umbrella_daily(&self) -> &[ListColumns] {
+        &self.umbrella_daily
     }
 
     /// The interned id of a site's domain.

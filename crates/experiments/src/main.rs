@@ -1,26 +1,60 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and fronts
+//! the snapshot store / query daemon.
 //!
 //! ```text
 //! topple-experiments [--scale tiny|small|medium|paper] [--seed N] [--workers N] <what>
-//!   what: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 all
+//!   what: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!         ablate attack intext attribution all
+//!
+//! topple-experiments snapshot write <path> [--scale ..] [--seed N] [--workers N]
+//!   Runs the study and persists its columnar index (plus rendered table1 /
+//!   fig1 artifacts) as a checksummed binary snapshot.
+//!
+//! topple-experiments serve <path> [--addr HOST:PORT] [--workers N]
+//!   Serves rank/compare/movement queries from a snapshot over HTTP/1.1;
+//!   prints `ready addr=.. snapshot=..` on stdout once bound, drains
+//!   gracefully on SIGINT/SIGTERM.
 //! ```
 //!
 //! Output is plain text: the same rows/series the paper reports, produced
 //! from the synthetic world (see DESIGN.md for the substitution rationale and
 //! EXPERIMENTS.md for paper-vs-measured).
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use topple_core::{CoreError, Study};
 use topple_lists::ListSource;
+use topple_serve::{QuerySnapshot, Server};
 use topple_sim::WorldConfig;
 
 mod render;
 
-/// Runs `f` and reports how long it took. The only wall-clock read in the
-/// workspace: timing here feeds operator progress output on stderr and never
-/// enters a result, so determinism is unaffected.
+/// Every experiment name the default mode accepts, in `all` order plus the
+/// standalone extras.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablate",
+    "attack",
+    "intext",
+    "attribution",
+    "all",
+];
+
+/// Runs `f` and reports how long it took. Timing here feeds operator
+/// progress output on stderr and never enters a result, so determinism is
+/// unaffected.
 fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     // topple-lint: allow(wall-clock): operator progress reporting only; never part of results
     let t0 = std::time::Instant::now();
@@ -28,87 +62,253 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, t0.elapsed())
 }
 
-fn usage() -> &'static str {
-    "usage: topple-experiments [--scale tiny|small|medium|paper] [--seed N] [--workers N] \
-     <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablate|attack|intext|attribution|all>"
+fn usage() -> String {
+    format!(
+        "usage:\n  topple-experiments [--scale tiny|small|medium|paper] [--seed N] [--workers N] <experiment>\n  \
+         topple-experiments snapshot write <path> [--scale ..] [--seed N] [--workers N]\n  \
+         topple-experiments serve <path> [--addr HOST:PORT] [--workers N]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    )
 }
 
-fn main() -> ExitCode {
-    let mut scale = "medium".to_owned();
-    let mut seed = 20220201u64;
-    let mut workers: Option<usize> = None;
-    let mut what: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scale" => match args.next() {
-                Some(v) => scale = v,
-                None => {
-                    eprintln!("{}", usage());
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => {
-                    eprintln!("--seed requires an integer");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => workers = Some(v),
-                None => {
-                    eprintln!("--workers requires an integer");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--help" | "-h" => {
-                println!("{}", usage());
-                return ExitCode::SUCCESS;
-            }
-            other if what.is_none() && !other.starts_with('-') => what = Some(other.to_owned()),
-            other => {
-                eprintln!("unknown argument `{other}`\n{}", usage());
-                return ExitCode::FAILURE;
-            }
+/// World-building flags shared by experiment mode and `snapshot write`.
+struct WorldFlags {
+    scale: String,
+    seed: u64,
+    workers: Option<usize>,
+}
+
+impl WorldFlags {
+    fn new() -> Self {
+        WorldFlags {
+            scale: "medium".to_owned(),
+            seed: 20220201,
+            workers: None,
         }
     }
-    let Some(what) = what else {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
-    };
 
-    let base = match scale.as_str() {
-        "tiny" => WorldConfig::tiny(seed),
-        "small" => WorldConfig::small(seed),
-        "medium" => WorldConfig::medium(seed),
-        "paper" => WorldConfig::paper(seed),
-        other => {
-            eprintln!("unknown scale `{other}`\n{}", usage());
-            return ExitCode::FAILURE;
+    /// Consumes one flag if it is a world flag; `Ok(false)` means "not
+    /// mine", `Err` is a malformed value.
+    fn consume(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--scale" => {
+                self.scale = args.next().ok_or("--scale requires a value")?;
+                Ok(true)
+            }
+            "--seed" => {
+                self.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+                Ok(true)
+            }
+            "--workers" => {
+                self.workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--workers requires an integer")?,
+                );
+                Ok(true)
+            }
+            _ => Ok(false),
         }
-    };
-    let config = WorldConfig { workers, ..base };
+    }
 
+    fn config(&self) -> Result<WorldConfig, String> {
+        let base = match self.scale.as_str() {
+            "tiny" => WorldConfig::tiny(self.seed),
+            "small" => WorldConfig::small(self.seed),
+            "medium" => WorldConfig::medium(self.seed),
+            "paper" => WorldConfig::paper(self.seed),
+            other => return Err(format!("unknown scale `{other}`")),
+        };
+        Ok(WorldConfig {
+            workers: self.workers,
+            ..base
+        })
+    }
+}
+
+/// Builds the world and runs the full study, with progress on stderr.
+fn run_study(flags: &WorldFlags) -> Result<Study, String> {
+    let config = flags.config()?;
     eprintln!(
-        "# world: {} sites, {} clients, {} days, seed {} (scale {scale}, {} workers)",
+        "# world: {} sites, {} clients, {} days, seed {} (scale {}, {} workers)",
         config.n_sites,
         config.n_clients,
         config.days.len(),
         config.seed,
+        flags.scale,
         config.effective_workers(),
     );
     let (study, took) = timed(|| Study::run(config));
-    let study = match study {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("study failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let study = study.map_err(|e| format!("study failed: {e}"))?;
     eprintln!("# study ready in {:.1}s", took.as_secs_f64());
+    Ok(study)
+}
 
-    let run = |name: &str| -> Result<bool, CoreError> {
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("snapshot") => snapshot_main(args),
+        Some("serve") => serve_main(args),
+        Some(first) => experiment_main(first, args),
+        None => {
+            eprintln!("{}", usage());
+            Ok(ExitCode::FAILURE)
+        }
+    }
+    .unwrap_or_else(|message| {
+        eprintln!("{message}\n{}", usage());
+        ExitCode::FAILURE
+    })
+}
+
+/// `snapshot write <path>`: run the study, persist it.
+fn snapshot_main(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    match args.next().as_deref() {
+        Some("write") => {}
+        Some(other) => return Err(format!("unknown snapshot subcommand `{other}`")),
+        None => return Err("snapshot requires a subcommand (write)".to_owned()),
+    }
+    let mut flags = WorldFlags::new();
+    let mut path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if flags.consume(&arg, &mut args)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("snapshot write requires an output path")?;
+    let study = run_study(&flags)?;
+    // Bake the headline rendered reports in alongside the index so a serving
+    // host needs nothing but the snapshot file.
+    let artifacts = vec![
+        ("table1".to_owned(), render::table1(&study)),
+        ("fig1".to_owned(), render::fig1(&study)),
+    ];
+    let (written, took) = timed(|| {
+        topple_serve::write_study(
+            &study,
+            &flags.scale,
+            &artifacts,
+            std::path::Path::new(&path),
+        )
+    });
+    let id = written.map_err(|e| format!("snapshot write failed: {e}"))?;
+    let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    eprintln!("# snapshot encoded in {:.2}s", took.as_secs_f64());
+    println!("wrote {path} snapshot={id} bytes={size}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `serve <path>`: load a snapshot and run the query daemon until signaled.
+fn serve_main(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:8643".to_owned();
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(8);
+    let mut path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr requires HOST:PORT")?,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--workers requires an integer")?
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("serve requires a snapshot path")?;
+    let (loaded, took) = timed(|| QuerySnapshot::load(std::path::Path::new(&path)));
+    let snapshot = loaded.map_err(|e| format!("cannot serve `{path}`: {e}"))?;
+    eprintln!(
+        "# snapshot loaded in {:.2}s: {} domains, scale {}",
+        took.as_secs_f64(),
+        snapshot.snapshot().index.table().len(),
+        snapshot.snapshot().identity.scale,
+    );
+
+    let server = Server::bind(&addr, snapshot, workers).map_err(|e| e.to_string())?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    // Bridge delivered signals to the server's shutdown flag.
+    topple_serve::signal::install_handlers();
+    let handle = server.handle();
+    std::thread::spawn(move || loop {
+        if topple_serve::signal::shutdown_requested() {
+            handle.store(true, std::sync::atomic::Ordering::SeqCst);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+
+    println!(
+        "ready addr={bound} snapshot={} workers={workers}",
+        server.snapshot().id()
+    );
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "# drained: {} connections, {} requests",
+                stats.connections, stats.requests
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Err(format!("serve failed: {e}")),
+    }
+}
+
+/// Default mode: regenerate tables/figures. The experiment name is validated
+/// *before* the study runs, so a typo fails in milliseconds, not minutes.
+fn experiment_main(
+    first: &str,
+    mut args: impl Iterator<Item = String>,
+) -> Result<ExitCode, String> {
+    let mut flags = WorldFlags::new();
+    let mut what: Option<String> = None;
+    let mut pending = Some(first.to_owned());
+    while let Some(arg) = pending.take().or_else(|| args.next()) {
+        if flags.consume(&arg, &mut args)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if what.is_none() && !other.starts_with('-') => what = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let what = what.ok_or("missing experiment name")?;
+    if !EXPERIMENTS.contains(&what.as_str()) {
+        return Err(format!("unknown experiment `{what}`"));
+    }
+    flags.config()?; // validate --scale before the expensive run too
+    let study = run_study(&flags)?;
+
+    let run = |name: &str| -> Result<(), CoreError> {
         match name {
             "table1" => print!("{}", render::table1(&study)),
             "table2" => print!("{}", render::table2(&study)?),
@@ -128,46 +328,31 @@ fn main() -> ExitCode {
             "attack" => print!("{}", render::attack(&study)),
             "intext" => print!("{}", render::intext_numbers(&study)?),
             "attribution" => print!("{}", render::attribution(&study)?),
-            _ => return Ok(false),
+            // Unreachable: `what` was validated against EXPERIMENTS above.
+            _ => {}
         }
-        Ok(true)
+        Ok(())
     };
 
-    let ok = match what.as_str() {
-        "all" => {
-            let mut all_ok = true;
-            for name in [
-                "table1", "table2", "fig1", "fig8", "fig2", "fig3", "fig5", "fig6", "fig4", "fig7",
-                "table3",
-            ] {
-                match run(name) {
-                    Ok(true) => println!(),
-                    Ok(false) => {
-                        eprintln!("internal: `{name}` is not a known experiment");
-                        all_ok = false;
-                    }
-                    Err(e) => {
-                        eprintln!("{name} failed: {e}");
-                        all_ok = false;
-                    }
+    if what == "all" {
+        let mut all_ok = true;
+        for name in [
+            "table1", "table2", "fig1", "fig8", "fig2", "fig3", "fig5", "fig6", "fig4", "fig7",
+            "table3",
+        ] {
+            match run(name) {
+                Ok(()) => println!(),
+                Err(e) => {
+                    eprintln!("{name} failed: {e}");
+                    all_ok = false;
                 }
             }
-            if !all_ok {
-                return ExitCode::FAILURE;
-            }
-            true
         }
-        other => match run(other) {
-            Ok(ok) => ok,
-            Err(e) => {
-                eprintln!("{other} failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
-    if !ok {
-        eprintln!("unknown experiment `{what}`\n{}", usage());
-        return ExitCode::FAILURE;
+        if !all_ok {
+            return Err("one or more experiments failed".to_owned());
+        }
+    } else if let Err(e) = run(&what) {
+        return Err(format!("{what} failed: {e}"));
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }

@@ -103,6 +103,39 @@ fn clean_fixture_is_silent() {
     );
 }
 
+/// The root `lint.toml` names the result-path crates explicitly for
+/// `wall-clock`; this mirrors those entries for the fixture crate.
+fn result_path_config() -> Config {
+    Config::parse("[crate.fixture-crate]\nwall-clock = \"deny\"\n").expect("config is valid")
+}
+
+#[test]
+fn bare_clock_reads_deny_in_result_path_crates() {
+    let report = run("wallclock_deny.rs", &result_path_config());
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "wall-clock")
+        .collect();
+    // One per read: Instant::now, SystemTime::now, and the fully-qualified
+    // std::time::Instant::now.
+    assert_eq!(hits.len(), 3, "got {:?}", report.findings);
+    assert!(hits
+        .iter()
+        .all(|f| f.severity == topple_lint::config::Severity::Deny));
+    assert!(report.deny_count() >= 3);
+}
+
+#[test]
+fn justified_clock_reads_are_silent_even_under_deny() {
+    let report = run("wallclock_allow.rs", &result_path_config());
+    assert!(
+        report.findings.is_empty(),
+        "justified timing-harness reads must be silent: {:?}",
+        report.findings
+    );
+}
+
 #[test]
 fn config_can_silence_and_escalate_rules() {
     let relaxed = Config::parse("[default]\nunwrap = \"allow\"\nhash-iter = \"allow\"\n")

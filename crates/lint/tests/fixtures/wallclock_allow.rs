@@ -1,0 +1,17 @@
+//! Negative fixture for the `wall-clock` rule: the same clock reads as
+//! `wallclock_deny.rs`, each carrying the justified directive a timing
+//! harness is expected to write. Must lint silent under every severity.
+
+use std::time::{Duration, Instant};
+
+pub fn measure_latency() -> Duration {
+    // topple-lint: allow(wall-clock): latency metric for operator output; never enters a result
+    let begun = Instant::now();
+    begun.elapsed()
+}
+
+pub fn deadline_check(limit: Duration) -> bool {
+    // topple-lint: allow(wall-clock): graceful-drain deadline; timing only, results unaffected
+    let begun = Instant::now();
+    begun.elapsed() > limit
+}

@@ -1,0 +1,20 @@
+//! Positive fixture for the `wall-clock` rule: bare clock reads like a
+//! result-path crate might compile, no justification anywhere. Every site
+//! below must be reported (deny in result-path crates).
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn timestamp_a_result() -> Duration {
+    // A wall-clock read flowing straight into a returned value: the exact
+    // hazard the rule exists for.
+    let begun = Instant::now();
+    begun.elapsed()
+}
+
+pub fn stamp_with_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn qualified_read() -> std::time::Instant {
+    std::time::Instant::now()
+}

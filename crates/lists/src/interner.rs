@@ -31,6 +31,14 @@ impl DomainId {
         self.0
     }
 
+    /// Reconstructs an id from a raw dense index — the snapshot-import
+    /// inverse of [`Self::raw`]. The caller is responsible for the value
+    /// having been issued by (and bounds-checked against) the table it will
+    /// be used with.
+    pub fn from_raw(raw: u32) -> DomainId {
+        DomainId(raw)
+    }
+
     /// The raw dense index as `usize` (for indexing id-keyed columns).
     pub fn index(self) -> usize {
         self.0 as usize
@@ -59,6 +67,18 @@ impl DomainTable {
             names: Vec::with_capacity(capacity),
             index: HashMap::with_capacity(capacity),
         }
+    }
+
+    /// Rebuilds a table from an id-ordered name column (index `i` becomes id
+    /// `i`), re-deriving the name → id map — the snapshot-load inverse of
+    /// [`Self::names`]. Duplicate names keep their first id, matching what
+    /// `intern` would have produced.
+    pub fn from_names(names: Vec<DomainName>) -> Self {
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            index.entry(name.clone()).or_insert(DomainId(i as u32));
+        }
+        DomainTable { names, index }
     }
 
     /// Returns the id for `name`, interning it if unseen.
@@ -126,6 +146,19 @@ mod tests {
         assert_eq!(t.name(a).as_str(), "a.com");
         assert_eq!(t.id("b.com"), Some(b));
         assert_eq!(t.id("missing.com"), None);
+    }
+
+    #[test]
+    fn from_names_inverts_names() {
+        let mut t = DomainTable::new();
+        for s in ["z.com", "m.com", "a.com"] {
+            t.intern(&name(s));
+        }
+        let rebuilt = DomainTable::from_names(t.names().to_vec());
+        assert_eq!(rebuilt.len(), t.len());
+        for (i, n) in t.names().iter().enumerate() {
+            assert_eq!(rebuilt.id(n.as_str()).map(|id| id.index()), Some(i));
+        }
     }
 
     #[test]

@@ -329,11 +329,8 @@ mod tests {
             PublicSuffixList::parse("a.*.b"),
             Err(PslParseError::MisplacedWildcard { line: 1 })
         ));
-        assert!(matches!(
-            PublicSuffixList::parse("bad domain"),
-            // whitespace splits the rule, so `bad` parses fine; force a bad char
-            Ok(_)
-        ));
+        // whitespace splits the rule, so `bad` parses fine; force a bad char
+        assert!(PublicSuffixList::parse("bad domain").is_ok());
         assert!(matches!(
             PublicSuffixList::parse("b%d"),
             Err(PslParseError::InvalidRule { line: 1, .. })

@@ -1,5 +1,9 @@
 //! Property-based tests for domain parsing and the PSL algorithm.
 
+// Test harness: aborting on a broken strategy is the correct failure mode
+// (clippy.toml's allow-*-in-tests covers `#[test]` fns but not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proptest::prelude::*;
 use topple_psl::{DomainName, Origin, PublicSuffixList};
 

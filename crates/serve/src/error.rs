@@ -1,0 +1,162 @@
+//! Typed errors for the snapshot store and the query daemon.
+//!
+//! Loading a snapshot consumes externally-shaped bytes, and running a server
+//! touches the network: both must fail closed with values, never panics — a
+//! truncated file or a dropped socket is an expected input here, not a bug.
+
+use std::fmt;
+use std::io;
+
+/// Anything that stops a snapshot from being written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic — it is some other
+    /// format entirely.
+    BadMagic {
+        /// The first four bytes found.
+        found: [u8; 4],
+    },
+    /// The file is a snapshot, but from an unknown format revision.
+    UnsupportedVersion {
+        /// The version the header declares.
+        found: u16,
+    },
+    /// The file ends before the structure it declares (truncated copy,
+    /// interrupted write).
+    Truncated {
+        /// Bytes the decoder needed.
+        need: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// The payload checksum does not match the header — bit rot or an
+    /// in-place edit.
+    ChecksumMismatch {
+        /// Checksum the header promises.
+        expected: u32,
+        /// Checksum of the bytes present.
+        found: u32,
+    },
+    /// The payload decodes but violates a structural invariant.
+    Malformed {
+        /// Which invariant failed.
+        context: &'static str,
+    },
+    /// Decoding finished but bytes remain — the declared length lies.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a topple snapshot (magic {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Truncated { need, have } => {
+                write!(f, "snapshot truncated: need {need} bytes, have {have}")
+            }
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:08x}, payload is {found:08x}"
+            ),
+            SnapshotError::Malformed { context } => write!(f, "snapshot malformed: {context}"),
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "snapshot has {extra} bytes past the declared payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Anything that stops the query daemon from binding or draining cleanly.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or configuring the listening socket failed.
+    Bind {
+        /// The address requested.
+        addr: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The listener's local address could not be determined.
+    Listener(io::Error),
+    /// Graceful drain exceeded its deadline with workers still busy.
+    DrainTimeout {
+        /// Workers that had not finished when the deadline passed.
+        stuck_workers: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "bind {addr}: {source}"),
+            ServeError::Listener(e) => write!(f, "listener: {e}"),
+            ServeError::DrainTimeout { stuck_workers } => {
+                write!(f, "drain deadline passed with {stuck_workers} workers busy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Listener(e) => Some(e),
+            ServeError::DrainTimeout { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_every_variant() {
+        let cases: Vec<SnapshotError> = vec![
+            SnapshotError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
+            SnapshotError::BadMagic { found: *b"ELF\x7f" },
+            SnapshotError::UnsupportedVersion { found: 9 },
+            SnapshotError::Truncated { need: 10, have: 3 },
+            SnapshotError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+            SnapshotError::Malformed {
+                context: "cf_prefix must start at 0",
+            },
+            SnapshotError::TrailingBytes { extra: 7 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(ServeError::DrainTimeout { stuck_workers: 2 }
+            .to_string()
+            .contains("2 workers"));
+    }
+}

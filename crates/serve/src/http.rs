@@ -1,0 +1,347 @@
+//! Minimal HTTP/1.1 request parsing, routing, and response writing.
+//!
+//! The daemon speaks just enough HTTP for its five GET endpoints: request
+//! line + headers (bounded in count and length), keep-alive by HTTP/1.1
+//! default, `Connection: close` honored both ways. Anything outside that
+//! envelope — an oversized line, a verb other than GET, an unroutable path —
+//! gets a correct error response, never a panic: the socket is the untrusted
+//! input here, exactly like snapshot bytes are for the store.
+
+use std::io::{self, BufRead, Write};
+
+use crate::lru::Lru;
+use crate::metrics::{Endpoint, Metrics};
+use crate::query::{parse_list, QuerySnapshot, Reply};
+
+/// Longest accepted request or header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers read before the request is rejected.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request, trimmed to what routing needs.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercase as sent.
+    pub method: String,
+    /// Path portion of the target (before `?`).
+    pub path: String,
+    /// Raw query string (after `?`, may be empty).
+    pub query: String,
+    /// Whether the client allows the connection to stay open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of query parameter `key`, unescaped as-is.
+    pub fn param<'a>(&'a self, key: &str) -> Option<&'a str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Reads one line (to CRLF or LF), bounded by [`MAX_LINE`]. `Ok(None)` means
+/// a clean EOF before any byte — the peer closed an idle keep-alive.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        let n = io::Read::read(reader, &mut byte)?;
+        if n == 0 {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ))
+            };
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text = String::from_utf8(line)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 line"))?;
+            return Ok(Some(text));
+        }
+        if line.len() >= MAX_LINE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request line too long",
+            ));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Parses one request from the stream. `Ok(None)` is a clean close.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v.to_owned()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_len = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let Some(line) = read_line(reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed in headers",
+            ));
+        };
+        if line.is_empty() {
+            // Bodies on GETs are tolerated but bounded: skip so the next
+            // request on the connection starts at the right byte.
+            if content_len > MAX_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "request body too large",
+                ));
+            }
+            let mut sink = vec![0u8; content_len];
+            io::Read::read_exact(reader, &mut sink)?;
+            let (path, query) = match target.split_once('?') {
+                Some((p, q)) => (p.to_owned(), q.to_owned()),
+                None => (target, String::new()),
+            };
+            return Ok(Some(Request {
+                method,
+                path,
+                query,
+                keep_alive,
+            }));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_len = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "too many headers",
+    ))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one JSON response, with `Connection: close` when this is the
+/// connection's last response.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+/// Routes one parsed request to its endpoint. Returns the reply plus the
+/// endpoint class for metrics.
+pub fn route(
+    snapshot: &QuerySnapshot,
+    metrics: &Metrics,
+    cache: &Lru,
+    request: &Request,
+) -> (Endpoint, Reply) {
+    if request.method != "GET" {
+        return (
+            Endpoint::Other,
+            Reply {
+                status: 405,
+                body: "{\"error\":\"only GET is served\"}".to_owned(),
+            },
+        );
+    }
+    let path = request.path.as_str();
+    if path == "/health" {
+        return (Endpoint::Health, snapshot.health());
+    }
+    if path == "/v1/metrics" {
+        return (
+            Endpoint::Metrics,
+            Reply {
+                status: 200,
+                body: metrics.render(snapshot.id()),
+            },
+        );
+    }
+    if let Some(rest) = path.strip_prefix("/v1/rank/") {
+        let Some((list, domain)) = rest.split_once('/') else {
+            return (
+                Endpoint::Rank,
+                Reply {
+                    status: 400,
+                    body: "{\"error\":\"expected /v1/rank/{list}/{domain}\"}".to_owned(),
+                },
+            );
+        };
+        return (Endpoint::Rank, snapshot.rank(list, domain));
+    }
+    if path == "/v1/compare" {
+        let (a, b, k) = (
+            request.param("a").unwrap_or(""),
+            request.param("b").unwrap_or(""),
+            request.param("k").unwrap_or(""),
+        );
+        // Cache only well-formed cells; errors are cheap to recompute.
+        if let (Some(sa), Some(sb), Ok(ki)) = (parse_list(a), parse_list(b), k.parse::<usize>()) {
+            if (1..=crate::query::MAX_K).contains(&ki) {
+                let key = QuerySnapshot::compare_key(sa, sb, ki);
+                if let Some(body) = cache.get(key) {
+                    metrics.record_cache_hit();
+                    return (Endpoint::Compare, Reply { status: 200, body });
+                }
+                let body = snapshot.compare_body(sa, sb, ki);
+                cache.insert(key, body.clone());
+                return (Endpoint::Compare, Reply { status: 200, body });
+            }
+        }
+        return (Endpoint::Compare, snapshot.compare(a, b, k));
+    }
+    if let Some(domain) = path.strip_prefix("/v1/movement/") {
+        return (Endpoint::Movement, snapshot.movement(domain));
+    }
+    if let Some(name) = path.strip_prefix("/v1/artifact/") {
+        return (Endpoint::Artifact, snapshot.artifact(name));
+    }
+    (
+        Endpoint::Other,
+        Reply {
+            status: 404,
+            body: "{\"error\":\"no such endpoint; see /health /v1/rank /v1/compare /v1/movement /v1/metrics\"}"
+                .to_owned(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{encode_study, Snapshot};
+    use topple_core::Study;
+    use topple_sim::WorldConfig;
+
+    fn query() -> QuerySnapshot {
+        let study = Study::run(WorldConfig::tiny(5)).expect("tiny study");
+        let bytes = encode_study(&study, "tiny", &[]);
+        QuerySnapshot::new(Snapshot::from_bytes(&bytes).expect("decodes"))
+    }
+
+    fn parse(raw: &str) -> Request {
+        read_request(&mut raw.as_bytes())
+            .expect("parses")
+            .expect("not eof")
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let r = parse("GET /v1/compare?a=alexa&b=tranco&k=100 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/compare");
+        assert_eq!(r.param("a"), Some("alexa"));
+        assert_eq!(r.param("k"), Some("100"));
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let r = parse("GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive);
+        let r = parse("GET /health HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_request(&mut "".as_bytes()).expect("ok").is_none());
+    }
+
+    #[test]
+    fn oversized_line_errors() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert!(read_request(&mut raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn routes_every_endpoint() {
+        let q = query();
+        let m = Metrics::new();
+        let c = Lru::new(8);
+        for (path, want) in [
+            ("/health", 200),
+            ("/v1/rank/tranco/a.com", 200),
+            ("/v1/compare?a=alexa&b=tranco&k=50", 200),
+            ("/v1/movement/a.com", 200),
+            ("/v1/metrics", 200),
+            ("/nope", 404),
+            ("/v1/rank/alexa", 400),
+        ] {
+            let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+            let (_, reply) = route(&q, &m, &c, &parse(&raw));
+            assert_eq!(reply.status, want, "{path}: {}", reply.body);
+        }
+        let (_, reply) = route(&q, &m, &c, &parse("POST /health HTTP/1.1\r\n\r\n"));
+        assert_eq!(reply.status, 405);
+    }
+
+    #[test]
+    fn compare_cache_hit_returns_identical_bytes() {
+        let q = query();
+        let m = Metrics::new();
+        let c = Lru::new(8);
+        let raw = "GET /v1/compare?a=alexa&b=umbrella&k=40 HTTP/1.1\r\n\r\n";
+        let (_, first) = route(&q, &m, &c, &parse(raw));
+        let (_, second) = route(&q, &m, &c, &parse(raw));
+        assert_eq!(first.body, second.body);
+    }
+
+    #[test]
+    fn response_carries_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"x\":1}", false).expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Snapshot store and HTTP query daemon over the columnar study index.
+//!
+//! A completed [`Study`](topple_core::Study) is expensive — minutes at paper
+//! scale — but the questions asked of it afterwards ("where does this domain
+//! rank on Tranco?", "how similar are Alexa and Umbrella at 10K?") are
+//! point-lookups over the already-built columnar index. This crate splits
+//! the two: [`snapshot`] persists a study's [`StudyIndex`], magnitudes, and
+//! rendered report artifacts into one versioned, CRC-checksummed binary file,
+//! and [`server`] serves rank/compare/movement queries from a loaded snapshot
+//! over plain HTTP/1.1 (std `TcpListener`, a bounded worker pool, no async
+//! runtime, no new dependencies).
+//!
+//! The determinism doctrine extends over the wire: for a given snapshot,
+//! every response body except `/v1/metrics` is byte-for-byte identical
+//! regardless of worker count, request interleaving, or process restarts.
+//! Workers share the snapshot as an immutable `Arc` — reads take no locks —
+//! and the compare cache is keyed purely by request parameters, so a cache
+//! hit returns the same bytes a miss would have computed.
+//!
+//! [`StudyIndex`]: topple_core::StudyIndex
+
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod query;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+
+pub use error::{ServeError, SnapshotError};
+pub use query::QuerySnapshot;
+pub use server::{DrainStats, Server};
+pub use snapshot::{encode_study, write_study, Snapshot, SnapshotIdentity};

@@ -1,0 +1,190 @@
+//! Request counters and latency histogram for `/v1/metrics`.
+//!
+//! This is the one deliberately nondeterministic surface of the daemon:
+//! counters reflect whatever traffic actually arrived, and latencies read
+//! the wall clock. Everything else the server emits is a pure function of
+//! the snapshot; the metrics endpoint is documented as exempt from the
+//! byte-identical guarantee and the wall-clock reads below carry lint
+//! directives saying so.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The routed endpoint classes we count separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /health`.
+    Health,
+    /// `GET /v1/rank/{list}/{domain}`.
+    Rank,
+    /// `GET /v1/compare`.
+    Compare,
+    /// `GET /v1/movement/{domain}`.
+    Movement,
+    /// `GET /v1/metrics`.
+    Metrics,
+    /// `GET /v1/artifact/{name}`.
+    Artifact,
+    /// Anything that did not route (404/405/400 before routing).
+    Other,
+}
+
+/// All endpoint classes in report order.
+const ENDPOINTS: [(Endpoint, &str); 7] = [
+    (Endpoint::Health, "health"),
+    (Endpoint::Rank, "rank"),
+    (Endpoint::Compare, "compare"),
+    (Endpoint::Movement, "movement"),
+    (Endpoint::Metrics, "metrics"),
+    (Endpoint::Artifact, "artifact"),
+    (Endpoint::Other, "other"),
+];
+
+fn endpoint_slot(e: Endpoint) -> usize {
+    match e {
+        Endpoint::Health => 0,
+        Endpoint::Rank => 1,
+        Endpoint::Compare => 2,
+        Endpoint::Movement => 3,
+        Endpoint::Metrics => 4,
+        Endpoint::Artifact => 5,
+        Endpoint::Other => 6,
+    }
+}
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// open-ended. Powers of four from 1µs to ~16ms.
+const BUCKET_BOUNDS_US: [u64; 8] = [1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
+
+/// Lock-free request metrics, shared by every worker.
+#[derive(Default)]
+pub struct Metrics {
+    by_endpoint: [AtomicU64; ENDPOINTS.len()],
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    latency_total_us: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Starts a latency measurement for one request.
+    pub fn start(&self) -> RequestTimer {
+        RequestTimer {
+            // topple-lint: allow(wall-clock): request latency metric; /v1/metrics is exempt from the byte-identical guarantee
+            begun: Instant::now(),
+        }
+    }
+
+    /// Records one routed request: endpoint class, response status, and the
+    /// timer started before routing.
+    pub fn record(&self, endpoint: Endpoint, status: u16, timer: RequestTimer) {
+        self.by_endpoint[endpoint_slot(endpoint)].fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let micros = timer.begun.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_total_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Notes a compare-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `/v1/metrics` JSON body.
+    pub fn render(&self, snapshot_id: &str) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"snapshot\":\"");
+        out.push_str(snapshot_id);
+        out.push_str("\",\"requests\":{");
+        for (i, &(e, name)) in ENDPOINTS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(
+                &self.by_endpoint[endpoint_slot(e)]
+                    .load(Ordering::Relaxed)
+                    .to_string(),
+            );
+        }
+        out.push_str("},\"status\":{\"2xx\":");
+        out.push_str(&self.status_2xx.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"4xx\":");
+        out.push_str(&self.status_4xx.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"5xx\":");
+        out.push_str(&self.status_5xx.load(Ordering::Relaxed).to_string());
+        out.push_str("},\"compare_cache_hits\":");
+        out.push_str(&self.cache_hits.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"latency_us\":{\"total\":");
+        out.push_str(&self.latency_total_us.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"buckets\":[");
+        for (i, bucket) in self.latency_buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&bucket.load(Ordering::Relaxed).to_string());
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+/// An in-flight request's start time (opaque; consumed by [`Metrics::record`]).
+pub struct RequestTimer {
+    begun: Instant,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let m = Metrics::new();
+        let t = m.start();
+        m.record(Endpoint::Rank, 200, t);
+        let t = m.start();
+        m.record(Endpoint::Other, 404, t);
+        m.record_cache_hit();
+        let body = m.render("tpls-v1-deadbeef-s1");
+        assert!(body.contains("\"rank\":1"));
+        assert!(body.contains("\"other\":1"));
+        assert!(body.contains("\"2xx\":1"));
+        assert!(body.contains("\"4xx\":1"));
+        assert!(body.contains("\"compare_cache_hits\":1"));
+        assert!(body.contains("tpls-v1-deadbeef-s1"));
+    }
+
+    #[test]
+    fn buckets_cover_all_latencies() {
+        let m = Metrics::new();
+        for _ in 0..50 {
+            let t = m.start();
+            m.record(Endpoint::Health, 200, t);
+        }
+        let total: u64 = m
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 50);
+    }
+}

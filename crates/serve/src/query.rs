@@ -1,0 +1,417 @@
+//! The query layer: a loaded snapshot plus the lookup structures and JSON
+//! renderers behind each endpoint.
+//!
+//! Everything here is a pure function of the snapshot bytes: response bodies
+//! are built with hand-rolled JSON in a fixed key order, floats are rendered
+//! through `Display` (shortest round-trip form), and all lookups run over
+//! sorted id columns ([`IdCut`] binary searches, merge-walk intersections).
+//! That is what makes the daemon's byte-identical guarantee hold across
+//! worker counts and restarts.
+
+use std::path::Path;
+
+use topple_core::compare::IdCut;
+use topple_core::ListColumns;
+use topple_lists::ListSource;
+use topple_psl::DomainName;
+use topple_stats::sets::jaccard_sorted;
+
+use crate::error::SnapshotError;
+use crate::snapshot::Snapshot;
+
+/// Largest accepted `k` for `/v1/compare` (the paper's largest magnitude).
+pub const MAX_K: usize = 1_000_000;
+
+/// A snapshot prepared for point queries: per-list [`IdCut`]s for O(log n)
+/// rank lookups, and the precomputed sorted id column of every monthly list.
+pub struct QuerySnapshot {
+    snapshot: Snapshot,
+    id: String,
+    /// One cut per monthly list, indexed like [`ListSource::ALL`].
+    monthly_cuts: Vec<IdCut>,
+    alexa_daily_cuts: Vec<IdCut>,
+    umbrella_daily_cuts: Vec<IdCut>,
+}
+
+/// The result of routing one request: status code plus JSON body.
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body (always an object).
+    pub body: String,
+}
+
+fn ok(body: String) -> Reply {
+    Reply { status: 200, body }
+}
+
+fn err(status: u16, message: &str) -> Reply {
+    Reply {
+        status,
+        body: format!("{{\"error\":\"{}\"}}", escape(message)),
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses the lowercase list name used in URLs.
+pub fn parse_list(name: &str) -> Option<ListSource> {
+    Some(match name {
+        "alexa" => ListSource::Alexa,
+        "umbrella" => ListSource::Umbrella,
+        "majestic" => ListSource::Majestic,
+        "secrank" => ListSource::Secrank,
+        "tranco" => ListSource::Tranco,
+        "trexa" => ListSource::Trexa,
+        "crux" => ListSource::Crux,
+        _ => return None,
+    })
+}
+
+/// The URL name of a list source (lowercase, stable).
+pub fn list_url_name(source: ListSource) -> &'static str {
+    match source {
+        ListSource::Alexa => "alexa",
+        ListSource::Umbrella => "umbrella",
+        ListSource::Majestic => "majestic",
+        ListSource::Secrank => "secrank",
+        ListSource::Tranco => "tranco",
+        ListSource::Trexa => "trexa",
+        ListSource::Crux => "crux",
+    }
+}
+
+fn all_index(source: ListSource) -> usize {
+    ListSource::ALL
+        .iter()
+        .position(|&s| s == source)
+        .unwrap_or(0)
+}
+
+/// Count of common elements between two sorted slices (one merge-walk).
+fn intersection_sorted(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+impl QuerySnapshot {
+    /// Prepares a decoded snapshot for serving.
+    pub fn new(snapshot: Snapshot) -> Self {
+        let id = snapshot.id();
+        let cut = |cols: &ListColumns| IdCut::new(&cols.ids);
+        let monthly_cuts = ListSource::ALL
+            .iter()
+            .map(|&s| cut(snapshot.index.monthly(s)))
+            .collect();
+        let alexa_daily_cuts = snapshot.index.alexa_daily().iter().map(cut).collect();
+        let umbrella_daily_cuts = snapshot.index.umbrella_daily().iter().map(cut).collect();
+        QuerySnapshot {
+            snapshot,
+            id,
+            monthly_cuts,
+            alexa_daily_cuts,
+            umbrella_daily_cuts,
+        }
+    }
+
+    /// Reads, validates, and prepares a snapshot file.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Ok(QuerySnapshot::new(Snapshot::read_from(path)?))
+    }
+
+    /// The snapshot's stable identity string.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// `GET /health`.
+    pub fn health(&self) -> Reply {
+        ok(format!(
+            "{{\"status\":\"ok\",\"snapshot\":\"{}\",\"scale\":\"{}\",\"domains\":{}}}",
+            self.id,
+            escape(&self.snapshot.identity.scale),
+            self.snapshot.index.table().len()
+        ))
+    }
+
+    /// The 0-based position of `domain` in a monthly list, if present.
+    fn monthly_pos(&self, source: ListSource, domain: &str) -> Option<u32> {
+        let id = self.snapshot.index.table().id(domain)?;
+        self.monthly_cuts.get(all_index(source))?.rank_of(id.raw())
+    }
+
+    /// `GET /v1/rank/{list}/{domain}`.
+    pub fn rank(&self, list: &str, domain: &str) -> Reply {
+        let Some(source) = parse_list(list) else {
+            return err(
+                404,
+                "unknown list; one of alexa umbrella majestic secrank tranco trexa crux",
+            );
+        };
+        if domain.parse::<DomainName>().is_err() {
+            return err(400, "invalid domain name");
+        }
+        let head = format!(
+            "{{\"snapshot\":\"{}\",\"list\":\"{}\",\"domain\":\"{}\"",
+            self.id,
+            list_url_name(source),
+            escape(domain)
+        );
+        match self.monthly_pos(source, domain) {
+            None => ok(format!("{head},\"present\":false}}")),
+            Some(pos) => {
+                let cols = self.snapshot.index.monthly(source);
+                if cols.ordered {
+                    ok(format!("{head},\"present\":true,\"rank\":{}}}", pos + 1))
+                } else {
+                    let bucket = cols.values.get(pos as usize).copied().unwrap_or(0);
+                    ok(format!("{head},\"present\":true,\"bucket\":{bucket}}}"))
+                }
+            }
+        }
+    }
+
+    /// The compare-cache key for `(a, b, k)` — parameters only, so a cache
+    /// hit is guaranteed to return the bytes a miss would compute.
+    pub fn compare_key(a: ListSource, b: ListSource, k: usize) -> u64 {
+        ((all_index(a) as u64) << 48) | ((all_index(b) as u64) << 40) | (k as u64)
+    }
+
+    /// `GET /v1/compare?a={list}&b={list}&k={magnitude}`.
+    pub fn compare(&self, a: &str, b: &str, k: &str) -> Reply {
+        let (Some(sa), Some(sb)) = (parse_list(a), parse_list(b)) else {
+            return err(
+                404,
+                "unknown list; one of alexa umbrella majestic secrank tranco trexa crux",
+            );
+        };
+        let Ok(k) = k.parse::<usize>() else {
+            return err(400, "k must be a positive integer");
+        };
+        if k == 0 || k > MAX_K {
+            return err(400, "k must be between 1 and 1000000");
+        }
+        ok(self.compare_body(sa, sb, k))
+    }
+
+    /// The compare response body (cache value) for parsed parameters.
+    pub fn compare_body(&self, a: ListSource, b: ListSource, k: usize) -> String {
+        let sorted_cut = |s: ListSource| {
+            let cols = self.snapshot.index.monthly(s);
+            let mut v: Vec<u32> = cols.top_ids(k).iter().map(|d| d.raw()).collect();
+            v.sort_unstable();
+            v
+        };
+        let ca = sorted_cut(a);
+        let cb = sorted_cut(b);
+        let inter = intersection_sorted(&ca, &cb);
+        let jac = jaccard_sorted(&ca, &cb);
+        format!(
+            "{{\"snapshot\":\"{}\",\"a\":\"{}\",\"b\":\"{}\",\"k\":{k},\
+             \"len_a\":{},\"len_b\":{},\"intersection\":{inter},\"jaccard\":{jac}}}",
+            self.id,
+            list_url_name(a),
+            list_url_name(b),
+            ca.len(),
+            cb.len(),
+        )
+    }
+
+    /// `GET /v1/movement/{domain}`: monthly rank on every list plus the
+    /// day-by-day rank trajectory on the two daily providers.
+    pub fn movement(&self, domain: &str) -> Reply {
+        if domain.parse::<DomainName>().is_err() {
+            return err(400, "invalid domain name");
+        }
+        let id = self.snapshot.index.table().id(domain).map(|d| d.raw());
+        let mut body = format!(
+            "{{\"snapshot\":\"{}\",\"domain\":\"{}\",\"present\":{},\"monthly\":{{",
+            self.id,
+            escape(domain),
+            id.is_some()
+        );
+        for (i, &source) in ListSource::ALL.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push('"');
+            body.push_str(list_url_name(source));
+            body.push_str("\":");
+            let entry = id.and_then(|raw| {
+                let pos = self.monthly_cuts.get(all_index(source))?.rank_of(raw)?;
+                let cols = self.snapshot.index.monthly(source);
+                if cols.ordered {
+                    Some(pos + 1)
+                } else {
+                    cols.values.get(pos as usize).copied()
+                }
+            });
+            match entry {
+                Some(v) => body.push_str(&v.to_string()),
+                None => body.push_str("null"),
+            }
+        }
+        body.push_str("},\"alexa_daily\":");
+        push_daily(&mut body, id, &self.alexa_daily_cuts);
+        body.push_str(",\"umbrella_daily\":");
+        push_daily(&mut body, id, &self.umbrella_daily_cuts);
+        body.push('}');
+        ok(body)
+    }
+
+    /// `GET /v1/artifact/{name}`: a rendered report stored in the snapshot.
+    pub fn artifact(&self, name: &str) -> Reply {
+        match self
+            .snapshot
+            .artifacts
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+        {
+            Some((n, text)) => ok(format!(
+                "{{\"snapshot\":\"{}\",\"name\":\"{}\",\"body\":\"{}\"}}",
+                self.id,
+                escape(n),
+                escape(text)
+            )),
+            None => err(404, "no such artifact"),
+        }
+    }
+}
+
+/// Renders a `[rank|null, ...]` array of one daily provider's trajectory.
+fn push_daily(body: &mut String, id: Option<u32>, cuts: &[IdCut]) {
+    body.push('[');
+    for (i, cut) in cuts.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        match id.and_then(|raw| cut.rank_of(raw)) {
+            Some(pos) => body.push_str(&(pos + 1).to_string()),
+            None => body.push_str("null"),
+        }
+    }
+    body.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::encode_study;
+    use topple_core::Study;
+    use topple_sim::WorldConfig;
+
+    fn tiny_query() -> QuerySnapshot {
+        let study = Study::run(WorldConfig::tiny(11)).expect("tiny study");
+        let bytes = encode_study(&study, "tiny", &[("report".into(), "body".into())]);
+        QuerySnapshot::new(Snapshot::from_bytes(&bytes).expect("decodes"))
+    }
+
+    #[test]
+    fn health_names_the_snapshot() {
+        let q = tiny_query();
+        let r = q.health();
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains(q.id()));
+        assert!(r.body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn rank_finds_a_listed_domain() {
+        let q = tiny_query();
+        let cols = q.snapshot().index.monthly(ListSource::Tranco);
+        let first = q.snapshot().index.table().name(cols.ids[0]).to_string();
+        let r = q.rank("tranco", &first);
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"rank\":1"), "{}", r.body);
+        // A valid but absent domain is present:false, not an error.
+        let r = q.rank("tranco", "never-listed-domain.example");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"present\":false"));
+        // Unknown list 404s, invalid domain 400s.
+        assert_eq!(q.rank("nolist", &first).status, 404);
+        assert_eq!(q.rank("tranco", "bad!!name").status, 400);
+    }
+
+    #[test]
+    fn crux_rank_reports_buckets() {
+        let q = tiny_query();
+        let cols = q.snapshot().index.monthly(ListSource::Crux);
+        if cols.is_empty() {
+            return;
+        }
+        let name = q.snapshot().index.table().name(cols.ids[0]).to_string();
+        let r = q.rank("crux", &name);
+        assert!(r.body.contains("\"bucket\":"), "{}", r.body);
+    }
+
+    #[test]
+    fn compare_is_symmetric_in_content() {
+        let q = tiny_query();
+        let r = q.compare("alexa", "tranco", "100");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"jaccard\":"));
+        assert_eq!(q.compare("alexa", "tranco", "0").status, 400);
+        assert_eq!(q.compare("alexa", "tranco", "x").status, 400);
+        assert_eq!(q.compare("alexa", "nolist", "10").status, 404);
+    }
+
+    #[test]
+    fn movement_covers_every_list_and_day() {
+        let q = tiny_query();
+        let cols = q.snapshot().index.monthly(ListSource::Alexa);
+        let name = q.snapshot().index.table().name(cols.ids[0]).to_string();
+        let r = q.movement(&name);
+        assert_eq!(r.status, 200);
+        for source in ListSource::ALL {
+            assert!(r.body.contains(&format!("\"{}\":", list_url_name(source))));
+        }
+        let days = q.snapshot().identity.n_days as usize;
+        let daily_part = r.body.split("alexa_daily").nth(1).expect("daily section");
+        assert!(daily_part.split(',').count() >= days);
+    }
+
+    #[test]
+    fn artifact_roundtrips() {
+        let q = tiny_query();
+        assert_eq!(q.artifact("report").status, 200);
+        assert_eq!(q.artifact("missing").status, 404);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,316 @@
+//! The daemon: a std-only HTTP/1.1 server with a bounded worker pool and
+//! graceful drain.
+//!
+//! Architecture: the calling thread accepts connections (non-blocking, so it
+//! can watch the shutdown flag) and feeds them into a bounded channel; a
+//! fixed pool of workers pulls connections and serves keep-alive request
+//! loops off the shared immutable [`QuerySnapshot`] — an `Arc`, so reads
+//! take no locks and the hot path allocates only the response string.
+//!
+//! Shutdown is cooperative: flip the [`Server::handle`] flag (the CLI wires
+//! it to SIGINT/SIGTERM via [`crate::signal`]), and the server stops
+//! accepting, closes the channel, lets workers finish their in-flight
+//! requests (socket timeouts bound how long a stalled client can hold a
+//! worker), and reports drain statistics — or a typed
+//! [`ServeError::DrainTimeout`] when the deadline passes with workers still
+//! busy.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::http::{read_request, route, write_response};
+use crate::lru::Lru;
+use crate::metrics::Metrics;
+use crate::query::QuerySnapshot;
+
+/// Per-socket read/write timeout: bounds how long a stalled client can hold
+/// a worker, which in turn bounds the drain tail.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// How long drain waits for busy workers before reporting them stuck.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+/// Compare-cache capacity (response bodies; a few hundred bytes each).
+const CACHE_CAPACITY: usize = 256;
+
+/// What a graceful drain accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests served over the server's lifetime.
+    pub requests: u64,
+}
+
+/// The query daemon, bound and ready to run.
+pub struct Server {
+    listener: TcpListener,
+    snapshot: Arc<QuerySnapshot>,
+    metrics: Arc<Metrics>,
+    cache: Arc<Lru>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a pool
+    /// of `workers` threads (clamped to at least 1).
+    pub fn bind(addr: &str, snapshot: QuerySnapshot, workers: usize) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+            addr: addr.to_owned(),
+            source,
+        })?;
+        Ok(Server {
+            listener,
+            snapshot: Arc::new(snapshot),
+            metrics: Arc::new(Metrics::new()),
+            cache: Arc::new(Lru::new(CACHE_CAPACITY)),
+            workers: workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        self.listener.local_addr().map_err(ServeError::Listener)
+    }
+
+    /// The shared shutdown flag: store `true` (from any thread or a signal
+    /// handler) and the accept loop begins a graceful drain.
+    pub fn handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The snapshot being served.
+    pub fn snapshot(&self) -> &QuerySnapshot {
+        &self.snapshot
+    }
+
+    /// Accepts and serves until the shutdown flag flips, then drains.
+    /// Blocks the calling thread for the server's whole life.
+    pub fn run(&self) -> Result<DrainStats, ServeError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(ServeError::Listener)?;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let connections = AtomicU64::new(0);
+        let requests = AtomicU64::new(0);
+        let busy = AtomicUsize::new(0);
+        let alive = AtomicUsize::new(self.workers);
+        let mut stuck_workers = 0usize;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = Arc::clone(&rx);
+                let snapshot = Arc::clone(&self.snapshot);
+                let metrics = Arc::clone(&self.metrics);
+                let cache = Arc::clone(&self.cache);
+                let shutdown = &self.shutdown;
+                let (busy, alive, requests) = (&busy, &alive, &requests);
+                scope.spawn(move || {
+                    loop {
+                        // Take the receiver lock only to pull the next
+                        // connection; serving happens lock-free.
+                        let next = {
+                            let guard = match rx.lock() {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        let Ok(stream) = next else {
+                            break; // channel closed and drained: shutdown
+                        };
+                        busy.fetch_add(1, Ordering::SeqCst);
+                        let served =
+                            serve_connection(stream, &snapshot, &metrics, &cache, shutdown);
+                        requests.fetch_add(served, Ordering::Relaxed);
+                        busy.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    alive.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+
+            // Accept loop: non-blocking so the shutdown flag is observed
+            // within one poll interval.
+            while !self.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                        let _ = stream.set_nodelay(true);
+                        connections.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            break; // all workers gone; nothing can serve
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => {
+                        // Transient accept failure (e.g. aborted handshake):
+                        // back off briefly and keep accepting.
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+
+            // Drain: close the channel (workers exit once it is empty) and
+            // wait for in-flight requests up to the deadline.
+            drop(tx);
+            // topple-lint: allow(wall-clock): graceful-drain deadline; timing only, results unaffected
+            let drain_begun = Instant::now();
+            while alive.load(Ordering::SeqCst) > 0 {
+                if drain_begun.elapsed() > DRAIN_DEADLINE {
+                    stuck_workers = busy.load(Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Falling out of the scope joins the workers; socket timeouts
+            // guarantee that join terminates even for the stuck ones.
+        });
+
+        if stuck_workers > 0 {
+            return Err(ServeError::DrainTimeout { stuck_workers });
+        }
+        Ok(DrainStats {
+            connections: connections.load(Ordering::Relaxed),
+            requests: requests.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Serves one connection's keep-alive loop; returns requests served.
+fn serve_connection(
+    stream: TcpStream,
+    snapshot: &QuerySnapshot,
+    metrics: &Metrics,
+    cache: &Lru,
+    shutdown: &AtomicBool,
+) -> u64 {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return 0,
+    });
+    let mut writer = stream;
+    let mut served = 0u64;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => break, // clean close
+            Err(_) => break,   // malformed, timed out, or reset: drop it
+        };
+        let timer = metrics.start();
+        let (endpoint, reply) = route(snapshot, metrics, cache, &request);
+        // Draining: finish this response, then close so the client re-resolves.
+        let keep = request.keep_alive && !shutdown.load(Ordering::SeqCst);
+        let wrote = write_response(&mut writer, reply.status, &reply.body, keep);
+        metrics.record(endpoint, reply.status, timer);
+        served += 1;
+        if wrote.is_err() || !keep {
+            break;
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{encode_study, Snapshot};
+    use std::io::{Read, Write};
+    use topple_core::Study;
+    use topple_sim::WorldConfig;
+
+    fn tiny_server(workers: usize) -> Server {
+        let study = Study::run(WorldConfig::tiny(3)).expect("tiny study");
+        let bytes = encode_study(&study, "tiny", &[]);
+        let qs = QuerySnapshot::new(Snapshot::from_bytes(&bytes).expect("decodes"));
+        Server::bind("127.0.0.1:0", qs, workers).expect("binds")
+    }
+
+    /// Accumulates exactly one response (headers + Content-Length body) off
+    /// a keep-alive connection; a single `read` may return a partial frame.
+    fn read_one_response(s: &mut TcpStream) -> String {
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 2048];
+        loop {
+            let text = String::from_utf8_lossy(&raw).into_owned();
+            if let Some(head_end) = text.find("\r\n\r\n") {
+                let content_len: usize = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("content-length");
+                if raw.len() >= head_end + 4 + content_len {
+                    return text;
+                }
+            }
+            let n = s.read(&mut buf).expect("reads");
+            assert!(n > 0, "connection closed mid-response");
+            raw.extend_from_slice(&buf[..n]);
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).expect("connects");
+        write!(s, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").expect("writes");
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("reads");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_and_drains_gracefully() {
+        let server = Arc::new(tiny_server(2));
+        let addr = server.local_addr().expect("addr");
+        let handle = server.handle();
+        let runner = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        let (status, body) = get(addr, "/health");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+        let (status, _) = get(addr, "/v1/metrics");
+        assert_eq!(status, 200);
+        handle.store(true, Ordering::SeqCst);
+        let stats = runner.join().expect("joins").expect("drains");
+        assert!(stats.connections >= 2);
+        assert!(stats.requests >= 2);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = Arc::new(tiny_server(1));
+        let addr = server.local_addr().expect("addr");
+        let handle = server.handle();
+        let runner = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        let mut s = TcpStream::connect(addr).expect("connects");
+        for _ in 0..3 {
+            write!(s, "GET /health HTTP/1.1\r\n\r\n").expect("writes");
+            let text = read_one_response(&mut s);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+            assert!(text.contains("keep-alive"), "{text}");
+        }
+        drop(s);
+        handle.store(true, Ordering::SeqCst);
+        let stats = runner.join().expect("joins").expect("drains");
+        assert_eq!(stats.requests, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! The daemon's determinism guarantee under fire: eight client threads
+//! hammering a multi-worker server over loopback must receive, for every
+//! request, bytes identical to what a single-worker server returns — and a
+//! restarted server (fresh process state, same snapshot bytes) must agree
+//! too.
+
+// Test harness: aborting on a broken fixture is the correct failure mode
+// (clippy.toml's allow-*-in-tests covers `#[test]` fns but not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use topple_core::Study;
+use topple_lists::ListSource;
+use topple_serve::snapshot::encode_study;
+use topple_serve::{QuerySnapshot, Server, Snapshot};
+use topple_sim::WorldConfig;
+
+const CLIENT_THREADS: usize = 8;
+const ROUNDS_PER_CLIENT: usize = 5;
+
+fn snapshot_bytes() -> Vec<u8> {
+    let study = Study::run(WorldConfig::tiny(777)).expect("tiny study");
+    encode_study(&study, "tiny", &[("note".to_owned(), "hi".to_owned())])
+}
+
+fn query_snapshot(bytes: &[u8]) -> QuerySnapshot {
+    QuerySnapshot::new(Snapshot::from_bytes(bytes).expect("decodes"))
+}
+
+/// The probe set: every deterministic endpoint, hit/miss/error paths alike.
+fn probe_paths(qs: &QuerySnapshot) -> Vec<String> {
+    let table = qs.snapshot().index.table();
+    let mut paths = vec![
+        "/health".to_owned(),
+        "/v1/rank/tranco/absent-domain.example".to_owned(),
+        "/v1/compare?a=alexa&b=tranco&k=40".to_owned(),
+        "/v1/compare?a=umbrella&b=majestic&k=100".to_owned(),
+        "/v1/compare?a=crux&b=trexa&k=400".to_owned(),
+        "/v1/artifact/note".to_owned(),
+        "/v1/artifact/missing".to_owned(),
+        "/no/such/route".to_owned(),
+    ];
+    for source in [ListSource::Tranco, ListSource::Alexa, ListSource::Crux] {
+        let cols = qs.snapshot().index.monthly(source);
+        for &id in cols.ids.iter().take(4) {
+            let name = table.name(id);
+            paths.push(format!(
+                "/v1/rank/{}/{}",
+                topple_serve::query::list_url_name(source),
+                name.as_str()
+            ));
+            paths.push(format!("/v1/movement/{}", name.as_str()));
+        }
+    }
+    paths
+}
+
+/// One request over its own connection; returns status line + body bytes.
+fn fetch(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connects");
+    write!(s, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").expect("writes");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("reads");
+    let status = raw.lines().next().unwrap_or("").to_owned();
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+    format!("{status}\n{body}")
+}
+
+/// Runs a server for the duration of `f`.
+fn with_server<T>(
+    qs: QuerySnapshot,
+    workers: usize,
+    f: impl FnOnce(std::net::SocketAddr) -> T,
+) -> T {
+    let server = Arc::new(Server::bind("127.0.0.1:0", qs, workers).expect("binds"));
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let out = f(addr);
+    handle.store(true, Ordering::SeqCst);
+    runner.join().expect("joins").expect("drains cleanly");
+    out
+}
+
+#[test]
+fn eight_threads_match_single_worker_byte_for_byte() {
+    let bytes = snapshot_bytes();
+    let reference_qs = query_snapshot(&bytes);
+    let paths = probe_paths(&reference_qs);
+
+    // Reference pass: one worker, sequential requests.
+    let reference: Vec<String> = with_server(reference_qs, 1, |addr| {
+        paths.iter().map(|p| fetch(addr, p)).collect()
+    });
+
+    // Restarted server (same bytes, fresh state), eight workers, eight
+    // client threads, each walking the probe set from a different offset so
+    // requests interleave differently every run.
+    let paths_arc = Arc::new(paths);
+    let reference_arc = Arc::new(reference);
+    with_server(query_snapshot(&bytes), 8, |addr| {
+        std::thread::scope(|scope| {
+            for t in 0..CLIENT_THREADS {
+                let paths = Arc::clone(&paths_arc);
+                let reference = Arc::clone(&reference_arc);
+                scope.spawn(move || {
+                    for round in 0..ROUNDS_PER_CLIENT {
+                        for i in 0..paths.len() {
+                            let at = (i + t * 3 + round) % paths.len();
+                            let got = fetch(addr, &paths[at]);
+                            assert_eq!(
+                                got, reference[at],
+                                "thread {t} round {round}: `{}` diverged",
+                                paths[at]
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn responses_survive_snapshot_rewrite() {
+    // Decode → re-encode → serve: the re-encoded snapshot is byte-identical,
+    // so its responses (which embed the CRC-derived id) must be too.
+    let bytes = snapshot_bytes();
+    let rewritten = Snapshot::from_bytes(&bytes).expect("decodes").to_bytes();
+    assert_eq!(bytes, rewritten);
+    let qs = query_snapshot(&bytes);
+    let paths = probe_paths(&qs);
+    let first: Vec<String> =
+        with_server(qs, 2, |addr| paths.iter().map(|p| fetch(addr, p)).collect());
+    let second: Vec<String> = with_server(query_snapshot(&rewritten), 4, |addr| {
+        paths.iter().map(|p| fetch(addr, p)).collect()
+    });
+    assert_eq!(first, second);
+}

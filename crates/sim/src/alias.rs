@@ -134,7 +134,7 @@ mod tests {
     fn heavily_skewed_distribution() {
         // A Zipf-like head/tail split: index 0 gets ~91% of the mass.
         let mut weights = vec![1000.0];
-        weights.extend(std::iter::repeat(1.0).take(99));
+        weights.extend(std::iter::repeat_n(1.0, 99));
         let table = AliasTable::new(&weights);
         let mut rng = substream(4, Stream::Traffic, 0);
         let n = 100_000;

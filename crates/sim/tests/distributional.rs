@@ -1,6 +1,10 @@
 //! Distributional checks on the generated world: the configured shares and
 //! shapes must actually materialize in the sampled population and traffic.
 
+// Test harness: aborting on a broken fixture is the correct failure mode
+// (clippy.toml's allow-*-in-tests covers `#[test]` fns but not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::collections::HashMap;
 
 use topple_sim::{Browser, Category, Country, Platform, World, WorldConfig};

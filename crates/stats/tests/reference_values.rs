@@ -112,7 +112,7 @@ fn logit_matches_r_glm_binomial() {
         ys.push(0.0);
     }
     let fit = fit_with_intercept(&[xs], &ys, LogitOptions::default()).unwrap();
-    close(fit.coefficients[0].estimate, -0.693_147_2, 1e-6);
+    close(fit.coefficients[0].estimate, -std::f64::consts::LN_2, 1e-6);
     close(fit.coefficients[1].estimate, 1.203_972_8, 1e-6);
     // Odds ratio = (25/15)/(20/40) = 10/3.
     close(fit.coefficients[1].odds_ratio(), 10.0 / 3.0, 1e-6);

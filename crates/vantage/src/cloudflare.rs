@@ -604,9 +604,9 @@ mod tests {
         let d0 = CdnVantage::observe_day(&w, &t0);
         let d1 = CdnVantage::observe_day(&w, &t1);
         let monthly = v.monthly(m);
-        for i in 0..w.sites.len() {
+        for (i, &got) in monthly.iter().enumerate().take(w.sites.len()) {
             let want = (d0.metric(m)[i] + d1.metric(m)[i]) / 2.0;
-            assert!((monthly[i] - want).abs() < 1e-9);
+            assert!((got - want).abs() < 1e-9);
         }
         assert_eq!(v.days(), 2);
         assert!(v.first_day().is_some());

@@ -386,7 +386,7 @@ mod tests {
         v.ingest_day(&w, &t);
         // Every vote must come from a Chinese client IP block.
         let china_block = (Country::China.index() as u32 + 1) << 24;
-        for ((ip, _), _) in v.votes() {
+        for (ip, _) in v.votes().keys() {
             assert_eq!(
                 ip >> 24,
                 china_block >> 24,

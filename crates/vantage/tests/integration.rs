@@ -1,6 +1,10 @@
 //! Cross-vantage integration tests: the observers must tell a mutually
 //! consistent story about the same traffic.
 
+// Test harness: aborting on a broken fixture is the correct failure mode
+// (clippy.toml's allow-*-in-tests covers `#[test]` fns but not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use topple_sim::{Resolver, World, WorldConfig};
 use topple_vantage::{
     CdnVantage, CfAgg, CfFilter, CfMetric, ChromeVantage, CrawlerVantage, DnsVantage, PanelVantage,
@@ -28,15 +32,14 @@ fn daily_final_accessors_are_consistent_with_monthly() {
     let metrics = CfMetric::final_seven();
     for (mi, &m) in metrics.iter().enumerate() {
         let monthly = cdn.monthly(m);
-        for site in 0..w.sites.len() {
+        for (site, &month_val) in monthly.iter().enumerate().take(w.sites.len()) {
             let mean_daily: f64 = (0..cdn.days())
                 .map(|d| cdn.daily_final(mi, d)[site])
                 .sum::<f64>()
                 / cdn.days() as f64;
             assert!(
-                (monthly[site] - mean_daily).abs() < 1e-9,
-                "site {site} metric {mi}: monthly {} vs mean daily {mean_daily}",
-                monthly[site]
+                (month_val - mean_daily).abs() < 1e-9,
+                "site {site} metric {mi}: monthly {month_val} vs mean daily {mean_daily}"
             );
         }
     }
@@ -114,7 +117,7 @@ fn crawler_and_cdn_agree_on_popular_public_sites() {
         candidates.len() >= 20,
         "world too small for a meaningful test"
     );
-    let xs: Vec<f64> = candidates.iter().map(|&i| f64::from(refs[i])).collect();
+    let xs: Vec<f64> = candidates.iter().map(|&i| refs[i]).collect();
     let ys: Vec<f64> = candidates.iter().map(|&i| monthly[i]).collect();
     let s = topple_stats::corr::spearman(&xs, &ys).expect("correlation is defined");
     assert!(

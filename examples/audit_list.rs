@@ -86,7 +86,7 @@ fn main() {
         if study.world.is_cloudflare(d) && !cf_set.contains(d.as_str()) {
             println!("  rank {rank:>4}: {d}");
             shown += 1;
-        } else if !study.world.site_by_domain(d).is_some() {
+        } else if study.world.site_by_domain(d).is_none() {
             println!("  rank {rank:>4}: {d}  (unknown domain)");
             shown += 1;
         }

@@ -1,0 +1,136 @@
+//! Serving a study: snapshot a run, boot the query daemon in-process, and
+//! hit every endpoint over loopback.
+//!
+//! ```sh
+//! cargo run --release --example serve_query
+//! ```
+//!
+//! With `--probe HOST:PORT` the example instead acts as a minimal HTTP
+//! client against an already-running daemon (`topple-experiments serve`),
+//! printing `/health` and one compare cell and exiting non-zero if either
+//! probe fails — this is the check CI's boot-smoke job runs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use toppling::core::Study;
+use toppling::serve::{encode_study, QuerySnapshot, Server, Snapshot};
+use toppling::sim::WorldConfig;
+
+/// One `Connection: close` GET against a live daemon; returns (status, body).
+fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {raw:?}"))?;
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+    Ok((status, body))
+}
+
+/// CI probe: /health must say ok, and a compare cell must come back 200.
+fn probe(addr: &str) -> Result<(), String> {
+    let (status, body) = get(addr, "/health")?;
+    if status != 200 || !body.contains("\"status\":\"ok\"") {
+        return Err(format!("/health -> {status}: {body}"));
+    }
+    println!("probe /health -> {body}");
+    let (status, body) = get(addr, "/v1/compare?a=tranco&b=alexa&k=1000")?;
+    if status != 200 || !body.contains("\"jaccard\":") {
+        return Err(format!("/v1/compare -> {status}: {body}"));
+    }
+    println!("probe /v1/compare -> {body}");
+    Ok(())
+}
+
+fn quickstart() -> Result<(), String> {
+    // 1. Run a study and freeze it into the versioned snapshot format.
+    //    (`topple-experiments snapshot write` does the same to a file.)
+    let study = Study::run(WorldConfig::tiny(42)).map_err(|e| e.to_string())?;
+    let artifacts = vec![("note".to_owned(), "built by serve_query".to_owned())];
+    let bytes = encode_study(&study, "tiny", &artifacts);
+    let snapshot = Snapshot::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!(
+        "snapshot {} ({} bytes, {} domains)",
+        snapshot.id(),
+        bytes.len(),
+        snapshot.index.table().len()
+    );
+
+    // 2. Boot the daemon on an ephemeral loopback port.
+    let server = Arc::new(
+        Server::bind("127.0.0.1:0", QuerySnapshot::new(snapshot), 2).map_err(|e| e.to_string())?,
+    );
+    let addr = server.local_addr().map_err(|e| e.to_string())?.to_string();
+    let handle = server.handle();
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    println!("serving on {addr}\n");
+
+    // 3. Hit every endpoint. Pick a domain guaranteed to be ranked: the
+    //    head of Tranco.
+    let head = study.tranco.entries[0].name.clone();
+    for path in [
+        "/health".to_owned(),
+        format!("/v1/rank/tranco/{head}"),
+        format!("/v1/rank/crux/{head}"),
+        "/v1/compare?a=tranco&b=umbrella&k=1000".to_owned(),
+        format!("/v1/movement/{head}"),
+        "/v1/artifact/note".to_owned(),
+        "/v1/metrics".to_owned(),
+    ] {
+        let (status, body) = get(&addr, &path)?;
+        let shown = if body.len() > 160 {
+            format!("{}...", &body[..160])
+        } else {
+            body
+        };
+        println!("GET {path}\n  {status} {shown}\n");
+    }
+
+    // 4. Graceful drain: flip the shutdown flag and collect the stats.
+    handle.store(true, Ordering::SeqCst);
+    let stats = runner
+        .join()
+        .map_err(|_| "server thread panicked".to_owned())?
+        .map_err(|e| e.to_string())?;
+    println!(
+        "drained: {} connections, {} requests",
+        stats.connections, stats.requests
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--probe") => match args.get(1) {
+            Some(addr) => probe(addr),
+            None => Err("usage: serve_query [--probe HOST:PORT]".to_owned()),
+        },
+        Some(other) => Err(format!(
+            "unknown argument `{other}`; usage: serve_query [--probe HOST:PORT]"
+        )),
+        None => quickstart(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("serve_query: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`vantage`] | `topple-vantage` | CDN / DNS / crawler / panel / telemetry observers |
 //! | [`lists`] | `topple-lists` | The seven top-list construction methodologies |
 //! | [`core`] | `topple-core` | The paper's evaluation framework and experiments |
+//! | [`serve`] | `topple-serve` | Study snapshot store and HTTP query daemon |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and the
 //! `topple-experiments` binary for regenerating every table and figure.
@@ -25,6 +26,7 @@
 pub use topple_core as core;
 pub use topple_lists as lists;
 pub use topple_psl as psl;
+pub use topple_serve as serve;
 pub use topple_sim as sim;
 pub use topple_stats as stats;
 pub use topple_vantage as vantage;
