@@ -1,15 +1,17 @@
 //! Study orchestration: run the world once, feed every vantage, build every
 //! list, and cache what the experiments need.
 //!
-//! Day simulation *and* per-day vantage observation run on a worker pool
-//! (`WorldConfig::workers` / `TOPPLE_WORKERS`): each worker simulates a day
-//! and condenses it into mergeable [`DayShards`], and the orchestrating
-//! thread folds completed shards into the vantage accumulators in strict
-//! day order. The fold order — not the workers' completion order — is what
+//! Day simulation *and* per-day vantage observation run fused on a worker
+//! pool (`WorldConfig::workers` / `TOPPLE_WORKERS`): each worker streams a
+//! day's events straight into all five vantage builders as the simulator
+//! generates them ([`topple_vantage::DayScratch`] — no materialized
+//! `DayTraffic`, per-day working state in pooled reusable scratch) and
+//! condenses it into mergeable [`DayShards`]; the orchestrating thread
+//! folds completed shards into the vantage accumulators in strict day
+//! order. The fold order — not the workers' completion order — is what
 //! reaches the accumulators, so results are byte-identical at any worker
 //! count (`tests/determinism.rs`), and the bounded channel keeps at most
-//! `O(workers)` days of shards in flight instead of buffering whole
-//! `DayTraffic` batches.
+//! `O(workers)` days of shards in flight.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,8 +24,8 @@ use topple_lists::{
 use topple_psl::DomainName;
 use topple_sim::{Resolver, World, WorldConfig, WorldError};
 use topple_vantage::{
-    CdnVantage, CfMetric, ChromeVantage, CrawlerVantage, DayShards, DnsVantage, PanelVantage,
-    ScoreVec,
+    CdnVantage, CfMetric, ChromeVantage, CrawlerVantage, DayScratch, DayShards, DnsVantage,
+    PanelVantage, ScoreVec, ScratchPool,
 };
 
 use crate::index::{ColumnsSet, ListColumns, StudyIndex};
@@ -90,37 +92,46 @@ impl Accumulators {
     }
 }
 
-/// Simulates and ingests every day of the window.
+/// Simulates and ingests every day of the window through the fused
+/// streaming pipeline ([`DayScratch::observe_day`]): each day's traffic is
+/// observed by all five vantages as it is generated, with no materialized
+/// `DayTraffic` and all per-day working state in reusable scratch.
 ///
-/// With one worker this runs inline with zero threading overhead. With more,
-/// a pool of workers pulls day indices from a shared counter, simulates each
-/// day, condenses it into [`DayShards`], and sends the result over a bounded
-/// channel; the orchestrating thread reorders arrivals and folds them in
-/// strict day order. The channel bound (2× workers) caps how far simulation
-/// can run ahead of ingestion, bounding memory to `O(workers)` days.
+/// With one worker this runs inline with zero threading overhead, reusing a
+/// single [`DayScratch`] across the window. With more, a pool of workers
+/// pulls day indices from a shared counter, checks a `DayScratch` out of a
+/// shared [`ScratchPool`] (so warmed-up capacity is reused across days
+/// regardless of which worker lands on them), condenses the day into
+/// mergeable [`DayShards`], and sends the result over a bounded channel;
+/// the orchestrating thread reorders arrivals and folds them in strict day
+/// order. The channel bound (2× workers) caps how far simulation can run
+/// ahead of ingestion, bounding memory to `O(workers)` days.
 fn run_days(world: &World, acc: &mut Accumulators, workers: usize) {
     let n_days = world.config.days.len();
     if workers <= 1 || n_days <= 1 {
+        let mut scratch = DayScratch::new(world);
         for d in 0..n_days {
-            let traffic = world.simulate_day(d);
-            acc.fold(world, DayShards::observe(world, &traffic));
+            acc.fold(world, scratch.observe_day(world, d));
         }
         return;
     }
 
     let (tx, rx) = mpsc::sync_channel::<(usize, DayShards)>(workers * 2);
     let next_day = AtomicUsize::new(0);
+    let pool = ScratchPool::new();
     std::thread::scope(|s| {
         for _ in 0..workers.min(n_days) {
             let tx = tx.clone();
             let next_day = &next_day;
+            let pool = &pool;
             s.spawn(move || loop {
                 let d = next_day.fetch_add(1, Ordering::Relaxed);
                 if d >= n_days {
                     break;
                 }
-                let traffic = world.simulate_day(d);
-                let shards = DayShards::observe(world, &traffic);
+                let mut scratch = pool.checkout_or(|| DayScratch::new(world));
+                let shards = scratch.observe_day(world, d);
+                pool.put_back(scratch);
                 // The receiver only disappears once every day has been
                 // folded (or the orchestrator is unwinding); either way the
                 // remaining work is moot.

@@ -34,6 +34,10 @@ pub struct SourceModel {
     /// For each line (1-based index into `line_starts`), whether it lies
     /// inside a `#[cfg(test)]` region.
     pub in_test_region: Vec<bool>,
+    /// For each line, whether it lies inside a
+    /// `// topple-lint: hot-path-begin` … `hot-path-end` region — a stretch
+    /// of per-event code where the `hot-alloc` rule denies heap allocation.
+    pub in_hot_path: Vec<bool>,
     /// All `topple-lint:` control comments.
     pub allows: Vec<AllowDirective>,
 }
@@ -205,6 +209,7 @@ impl SourceModel {
             .collect();
         let n_lines = line_starts.len();
         let in_test_region = Self::test_regions(&masked, &line_starts, n_lines);
+        let in_hot_path = Self::hot_regions(&comments, n_lines);
         let allows = Self::parse_directives(&comments);
 
         SourceModel {
@@ -212,8 +217,48 @@ impl SourceModel {
             raw: raw.to_owned(),
             line_starts,
             in_test_region,
+            in_hot_path,
             allows,
         }
+    }
+
+    /// Marks lines between `// topple-lint: hot-path-begin` and
+    /// `// topple-lint: hot-path-end` markers (inclusive). Regions may not
+    /// nest; an unclosed `begin` extends to end of file, so a forgotten
+    /// `end` fails closed (more code checked, not less).
+    fn hot_regions(comments: &[(usize, String)], n_lines: usize) -> Vec<bool> {
+        let mut hot = vec![false; n_lines];
+        let mut begin: Option<usize> = None;
+        for (line, text) in comments {
+            let Some(inner) = text.strip_prefix("//") else {
+                continue;
+            };
+            if inner.starts_with('/') || inner.starts_with('!') {
+                continue;
+            }
+            let Some(body) = inner.trim().strip_prefix("topple-lint:") else {
+                continue;
+            };
+            match body.trim() {
+                "hot-path-begin" => begin = begin.or(Some(*line)),
+                "hot-path-end" => {
+                    if let Some(b) = begin.take() {
+                        for l in b..=*line {
+                            if let Some(slot) = hot.get_mut(l - 1) {
+                                *slot = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(b) = begin {
+            for slot in hot.iter_mut().skip(b - 1) {
+                *slot = true;
+            }
+        }
+        hot
     }
 
     fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
@@ -251,6 +296,11 @@ impl SourceModel {
     /// Whether a 1-based line is inside a `#[cfg(test)]` region.
     pub fn is_test_line(&self, line: usize) -> bool {
         self.in_test_region.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Whether a 1-based line lies inside a tagged hot-path region.
+    pub fn is_hot_line(&self, line: usize) -> bool {
+        self.in_hot_path.get(line - 1).copied().unwrap_or(false)
     }
 
     /// The raw text of a 1-based line, trimmed.

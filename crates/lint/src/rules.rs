@@ -80,6 +80,11 @@ pub const RULES: &[RuleInfo] = &[
         builtin: Severity::Deny,
     },
     RuleInfo {
+        id: "hot-alloc",
+        summary: "heap allocation inside a tagged per-event hot path (hot-path-begin/end region)",
+        builtin: Severity::Deny,
+    },
+    RuleInfo {
         id: "allow-empty",
         summary: "topple-lint allow directive without a justification",
         builtin: Severity::Deny,
@@ -130,6 +135,9 @@ const SUGGEST_LOSSY_CAST: &str =
 const SUGGEST_STRING_SET: &str = "intern the domains once (topple_lists::DomainTable) and \
      compare sorted id slices (topple_stats::sets::jaccard_sorted / compare::IdCut); a string \
      set re-hashes every entry on every comparison";
+const SUGGEST_HOT_ALLOC: &str = "hoist the allocation into reusable scratch (epoch-stamped \
+     tables, see topple_vantage::scratch) or out of the per-event loop; if the allocation is \
+     genuinely amortized, justify with `// topple-lint: allow(hot-alloc): <why>`";
 const SUGGEST_ALLOW_EMPTY: &str =
     "write the justification: `// topple-lint: allow(rule): <why this is sound>`";
 const SUGGEST_ALLOW_UNUSED: &str = "delete the stale directive (or fix the rule id typo)";
@@ -199,6 +207,7 @@ pub fn check_file(model: &SourceModel) -> Vec<RawViolation> {
     check_float_eq(model, &mut out);
     check_lossy_cast(model, &mut out);
     check_string_set(model, &mut out);
+    check_hot_alloc(model, &mut out);
     check_directives(model, &mut out);
     out.sort_by_key(|v| (v.line, v.column));
     out
@@ -661,6 +670,50 @@ fn check_string_set(model: &SourceModel, out: &mut Vec<RawViolation>) {
 }
 
 // ---- directive hygiene ----------------------------------------------------
+
+// ---- L4: hot-path allocation ----------------------------------------------
+
+/// Allocating constructors and adaptors that have no place in per-event
+/// code. Token-textual like everything else: the region markers carry the
+/// "this runs per event" knowledge the linter cannot infer.
+const HOT_ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new",
+    "VecDeque::new",
+    "vec![",
+    ".collect",
+    ".to_vec(",
+    "Box::new",
+    "String::new",
+    ".to_string(",
+    ".to_owned(",
+    "format!(",
+    "HashMap::new",
+    "HashSet::new",
+    "BTreeMap::new",
+    "BTreeSet::new",
+    "with_capacity(",
+];
+
+fn check_hot_alloc(model: &SourceModel, out: &mut Vec<RawViolation>) {
+    if !model.in_hot_path.iter().any(|&h| h) {
+        return;
+    }
+    for pat in HOT_ALLOC_PATTERNS {
+        for at in find_all(&model.masked, pat) {
+            if !model.is_hot_line(model.line_of(at)) {
+                continue;
+            }
+            push(
+                model,
+                out,
+                "hot-alloc",
+                at,
+                format!("`{}` allocates inside a tagged per-event hot path", pat),
+                SUGGEST_HOT_ALLOC,
+            );
+        }
+    }
+}
 
 fn check_directives(model: &SourceModel, out: &mut Vec<RawViolation>) {
     for d in &model.allows {

@@ -156,3 +156,54 @@ fn config_can_silence_and_escalate_rules() {
         .expect("lossy-cast reported");
     assert_eq!(cast.severity, topple_lint::config::Severity::Deny);
 }
+
+#[test]
+fn hot_alloc_denies_allocation_only_inside_tagged_region() {
+    let report = run("hot_alloc_deny.rs", &default_config());
+    let hits: Vec<&topple_lint::Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "hot-alloc")
+        .collect();
+    assert!(
+        hits.len() >= 4,
+        "expected Vec::new/.collect/format!/Box::new all flagged; got {:?}",
+        report.findings
+    );
+    assert!(report.deny_count() > 0, "hot-alloc must deny by default");
+
+    // The identical constructors outside the markers stay silent: every
+    // finding lies strictly between the begin and end marker lines.
+    let src = std::fs::read_to_string(fixture("hot_alloc_deny.rs")).expect("fixture readable");
+    let begin = src
+        .lines()
+        .position(|l| l.contains("hot-path-begin"))
+        .expect("begin marker")
+        + 1;
+    let end = src
+        .lines()
+        .position(|l| l.contains("hot-path-end"))
+        .expect("end marker")
+        + 1;
+    for f in &hits {
+        assert!(
+            f.line > begin && f.line < end,
+            "finding escaped the region: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn hot_alloc_allows_justified_amortized_growth() {
+    let report = run("hot_alloc_allow.rs", &default_config());
+    let relevant: Vec<&topple_lint::Finding> = report
+        .findings
+        .iter()
+        .filter(|f| matches!(f.rule, "hot-alloc" | "allow-unused" | "allow-empty"))
+        .collect();
+    assert!(
+        relevant.is_empty(),
+        "justified growth in a hot region must be silent (and the directive \
+         must count as used); got {relevant:?}"
+    );
+}

@@ -1,0 +1,31 @@
+//! Negative fixture for the `hot-alloc` rule: a per-event region whose only
+//! allocation is justified (amortized growth), plus allocation-free scratch
+//! use — the linter must stay silent, and the directive must count as used
+//! (no `allow-unused` either).
+
+pub struct Scratch {
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl Scratch {
+    pub fn accumulate(&mut self, events: &[u32]) -> u64 {
+        let mut seen = 0;
+        // topple-lint: hot-path-begin
+        for &e in events {
+            let slot = (e as usize) % self.stamps.len();
+            if self.stamps[slot] != self.epoch {
+                self.stamps[slot] = self.epoch;
+                seen += 1;
+            }
+            if seen as usize == self.stamps.len() {
+                // topple-lint: allow(hot-alloc): amortized doubling, hit at most log(n) times per day
+                let mut grown = Vec::with_capacity(self.stamps.len() * 2);
+                grown.extend_from_slice(&self.stamps);
+                self.stamps = grown;
+            }
+        }
+        // topple-lint: hot-path-end
+        seen
+    }
+}

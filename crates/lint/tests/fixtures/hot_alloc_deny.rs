@@ -1,0 +1,30 @@
+//! Positive fixture for the `hot-alloc` rule: allocating constructors and
+//! adaptors inside a tagged per-event region, no justification anywhere.
+//! Every site inside the region must be reported; identical code outside
+//! the region must stay silent.
+
+/// Outside any region: allocation is fine here.
+pub fn setup() -> Vec<u32> {
+    let mut warm = Vec::new();
+    warm.push(1);
+    warm
+}
+
+pub fn per_event_accumulate(events: &[u32]) -> usize {
+    let mut total = 0;
+    // topple-lint: hot-path-begin
+    for &e in events {
+        let scratch = Vec::new(); // flagged: fresh Vec per event
+        let doubled: Vec<u32> = events.iter().map(|&x| x + e).collect(); // flagged
+        let label = format!("event {e}"); // flagged
+        let boxed = Box::new(e); // flagged
+        total += scratch.len() + doubled.len() + label.len() + *boxed as usize;
+    }
+    // topple-lint: hot-path-end
+    total
+}
+
+/// After the region closed: silent again.
+pub fn teardown(n: usize) -> Vec<u8> {
+    vec![0; n]
+}

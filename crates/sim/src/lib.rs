@@ -13,10 +13,14 @@
 //!   audience mixes, FQDNs, CDN hosting, third-party wiring), [`Client`]s
 //!   (country, platform, browser, IP/NAT, resolver choice, panel and
 //!   telemetry membership), and the hyperlink [`LinkGraph`].
-//! * [`World::simulate_day`] produces a [`DayTraffic`] event stream — page
-//!   loads with their HTTP request expansion, third-party fetches, and
-//!   background DNS noise. Days derive independent RNG substreams from
-//!   `(seed, day)`, so simulation is reproducible and parallelizable.
+//! * [`World::simulate_day_into`] streams one day of traffic — page loads
+//!   with their HTTP request expansion, third-party fetches, and background
+//!   DNS noise — into an [`EventSink`], one event at a time, with all
+//!   per-day working state held in a reusable [`TrafficScratch`].
+//!   [`World::simulate_day`] materializes the same stream into a
+//!   [`DayTraffic`] for consumers that want whole-day buffers. Days derive
+//!   independent RNG substreams from `(seed, day)`, so simulation is
+//!   reproducible and parallelizable.
 //! * Observer crates (`topple-vantage`) fold these streams into the metrics
 //!   the paper derives from Cloudflare and Chrome; ground-truth weights stay
 //!   private to the generator.
@@ -65,5 +69,7 @@ pub use ids::{ClientId, SiteId};
 pub use linkgraph::LinkGraph;
 pub use site::{HostKind, Site, SiteHost};
 pub use taxonomy::{Browser, Category, Country, Platform};
-pub use traffic::{BackgroundQuery, DayTraffic, PageLoad, ThirdPartyFetch};
+pub use traffic::{
+    BackgroundQuery, CollectSink, DayTraffic, EventSink, PageLoad, ThirdPartyFetch, TrafficScratch,
+};
 pub use world::{World, WorldError};

@@ -121,18 +121,24 @@ impl Site {
 
     /// Index of a service host for third-party fetches (falls back to apex).
     pub fn service_host(&self, coin: f64) -> usize {
-        let services: Vec<usize> = self
+        // Runs once per third-party fetch on the fused ingestion hot path:
+        // pick the n-th service host by a second scan instead of collecting
+        // the candidate indices (`tests/ingest_alloc.rs` pins zero allocs).
+        let n = self
             .hosts
+            .iter()
+            .filter(|h| h.kind == HostKind::Service)
+            .count();
+        if n == 0 {
+            return 0;
+        }
+        let pick = (coin * n as f64) as usize % n;
+        self.hosts
             .iter()
             .enumerate()
             .filter(|(_, h)| h.kind == HostKind::Service)
-            .map(|(i, _)| i)
-            .collect();
-        if services.is_empty() {
-            0
-        } else {
-            services[(coin * services.len() as f64) as usize % services.len()]
-        }
+            .nth(pick)
+            .map_or(0, |(i, _)| i)
     }
 }
 

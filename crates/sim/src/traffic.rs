@@ -1,14 +1,19 @@
 //! The traffic engine: turns the world into per-day event streams.
 //!
-//! Each simulated day yields a [`DayTraffic`]: page loads (navigations with
-//! their same-site subresource expansion), third-party fetches to embedded
-//! infrastructure zones, and background DNS queries. Observer crates consume
-//! these streams; nothing downstream sees ground-truth weights.
+//! The primary interface is streaming: [`World::simulate_day_into`] pushes
+//! each event — page loads (navigations with their same-site subresource
+//! expansion), third-party fetches to embedded infrastructure zones, and
+//! background DNS queries — into an [`EventSink`] by reference as it is
+//! generated, so a full day never has to exist in memory at once. Observer
+//! crates consume these streams; nothing downstream sees ground-truth
+//! weights. [`World::simulate_day`] remains as a thin compatibility layer
+//! that collects the stream into a materialized [`DayTraffic`] (via
+//! [`CollectSink`]).
 //!
 //! Day simulation derives its RNG from `(seed, day index)`, so days are
-//! independent and can be generated in any order or in parallel.
-
-use std::collections::HashSet;
+//! independent and can be generated in any order or in parallel. The
+//! streaming and materialized paths draw from the same RNG stream in the
+//! same order, so they describe the *same* day.
 
 use rand::Rng;
 
@@ -99,42 +104,171 @@ pub struct DayTraffic {
     pub background: Vec<BackgroundQuery>,
 }
 
+/// A streaming consumer of one day's traffic.
+///
+/// [`World::simulate_day_into`] calls these hooks in generation order: each
+/// page load, then (for completed loads) its third-party expansion, with a
+/// client's background queries after its loads. Events arrive by reference
+/// and are dropped after the call — a sink that needs an event beyond the
+/// callback must copy the fields it cares about.
+///
+/// Per-day aggregations built on this interface must not depend on event
+/// *order* beyond what the materialized [`DayTraffic`] vectors guarantee:
+/// the streamed order interleaves page loads with their third-party fetches,
+/// whereas `DayTraffic` segregates the three streams. All shard builders in
+/// `topple-vantage` are order-independent (exact sets and commutative
+/// counters), which is what makes the two paths byte-identical.
+pub trait EventSink {
+    /// One user navigation with its same-site request expansion.
+    fn page_load(&mut self, pl: &PageLoad);
+    /// One batch of subresource requests to a third-party zone.
+    fn third_party(&mut self, tp: &ThirdPartyFetch);
+    /// One background (non-browsing) DNS query.
+    fn background(&mut self, bg: &BackgroundQuery);
+}
+
+/// Reusable per-worker state for [`World::simulate_day_into`].
+///
+/// Holds the per-day stub-resolver cache as a site-indexed table of
+/// generation stamps (instead of a freshly allocated hash set per day) and
+/// the per-client revisit list. After a warm-up day, simulating further days
+/// through the same scratch performs no heap allocation.
+#[derive(Debug)]
+pub struct TrafficScratch {
+    /// `stub_gen[site] == gen` ⇔ the current client already contacted
+    /// `site`'s zone today. `gen` is bumped once per (client, day), which
+    /// invalidates every stamp in O(1) without clearing the table.
+    stub_gen: Vec<u64>,
+    gen: u64,
+    /// The current client's sites visited so far today (revisit pool).
+    today: Vec<u32>,
+}
+
+impl TrafficScratch {
+    /// Creates scratch sized for `world`'s site universe.
+    pub fn for_world(world: &World) -> Self {
+        TrafficScratch {
+            stub_gen: vec![0; world.sites.len()],
+            gen: 0,
+            today: Vec::with_capacity(64),
+        }
+    }
+
+    /// Starts a fresh (client, day) scope: one bump invalidates all stamps.
+    fn next_client(&mut self) {
+        self.gen += 1; // u64 never wraps in any feasible run
+        self.today.clear();
+    }
+
+    /// Marks `site`'s zone as contacted by the current client; returns
+    /// whether this was the first contact (a stub-cache miss).
+    fn stub_fresh(&mut self, site: SiteId) -> bool {
+        let slot = &mut self.stub_gen[site.index()];
+        let fresh = *slot != self.gen;
+        *slot = self.gen;
+        fresh
+    }
+}
+
+/// An [`EventSink`] that materializes the stream into the three event
+/// vectors of a [`DayTraffic`] — the compatibility bridge from the streaming
+/// engine to consumers that want whole-day buffers.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Collected page loads, in generation order.
+    pub page_loads: Vec<PageLoad>,
+    /// Collected third-party fetches, in generation order.
+    pub third_party: Vec<ThirdPartyFetch>,
+    /// Collected background queries, in generation order.
+    pub background: Vec<BackgroundQuery>,
+}
+
+impl CollectSink {
+    /// Wraps the collected events into a [`DayTraffic`] for `day`.
+    pub fn into_day_traffic(self, day: Date, day_index: usize) -> DayTraffic {
+        DayTraffic {
+            day,
+            day_index,
+            page_loads: self.page_loads,
+            third_party: self.third_party,
+            background: self.background,
+        }
+    }
+}
+
+impl EventSink for CollectSink {
+    fn page_load(&mut self, pl: &PageLoad) {
+        self.page_loads.push(pl.clone());
+    }
+
+    fn third_party(&mut self, tp: &ThirdPartyFetch) {
+        self.third_party.push(tp.clone());
+    }
+
+    fn background(&mut self, bg: &BackgroundQuery) {
+        self.background.push(bg.clone());
+    }
+}
+
 impl World {
-    /// Simulates one day of the configured window. Deterministic in
+    /// Simulates one day of the configured window, collecting the event
+    /// stream into a materialized [`DayTraffic`]. Deterministic in
     /// `(config.seed, day_index)` and independent across days.
+    ///
+    /// This is a compatibility wrapper over [`World::simulate_day_into`]
+    /// with a [`CollectSink`]; the fused study pipeline streams instead.
     ///
     /// # Panics
     ///
     /// Panics if `day_index` is outside the configured window.
     pub fn simulate_day(&self, day_index: usize) -> DayTraffic {
         let day = self.config.days[day_index];
+        let mut sink = CollectSink::default();
+        let mut scratch = TrafficScratch::for_world(self);
+        self.simulate_day_into(day_index, &mut scratch, &mut sink);
+        sink.into_day_traffic(day, day_index)
+    }
+
+    /// Simulates one day of the configured window, pushing each event into
+    /// `sink` as it is generated — no per-day event buffers. Deterministic
+    /// in `(config.seed, day_index)`: it draws the same RNG stream in the
+    /// same order as [`World::simulate_day`], so for a given day both paths
+    /// emit the same events.
+    ///
+    /// `scratch` may be reused across days and worlds of the same site count
+    /// (see [`TrafficScratch`]); reuse is what makes the fused ingestion
+    /// path allocation-free per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day_index` is outside the configured window or `scratch`
+    /// was built for a smaller site universe.
+    pub fn simulate_day_into<S: EventSink>(
+        &self,
+        day_index: usize,
+        scratch: &mut TrafficScratch,
+        sink: &mut S,
+    ) {
+        let day = self.config.days[day_index];
         let weekend = day.weekday().is_weekend();
         let mut rng = substream(self.config.seed, Stream::Traffic, day_index as u64);
 
-        let mut page_loads = Vec::new();
-        let mut third_party = Vec::new();
-        let mut background = Vec::new();
-        // Per-day stub-resolver cache: (client, zone) pairs contacted today.
-        let mut stub_cache: HashSet<u64> = HashSet::new();
-        let cache_key = |c: ClientId, s: SiteId| (u64::from(c.0) << 32) | u64::from(s.0);
-
-        // Scratch: each client's sites visited so far today, for revisits.
-        let mut today: Vec<u32> = Vec::with_capacity(64);
+        // topple-lint: hot-path-begin
         for client in &self.clients {
+            scratch.next_client();
             let loads = poisson(
                 &mut rng,
                 f64::from(client.activity) * client.day_factor(weekend),
             );
             let mobile = client.platform.is_mobile();
             let table = self.nav_tables.get(client.country, mobile, weekend);
-            today.clear();
             for _ in 0..loads {
                 // Personal browsing is bursty: about a third of loads return
                 // to a site already visited today (mail, feeds, forums). This
                 // is what separates raw-count metrics from unique-visitor
                 // metrics on the server side.
-                let mut site_idx = if !today.is_empty() && chance(&mut rng, 0.35) {
-                    today[rng.random_range(0..today.len())] as usize
+                let mut site_idx = if !scratch.today.is_empty() && chance(&mut rng, 0.35) {
+                    scratch.today[rng.random_range(0..scratch.today.len())] as usize
                 } else {
                     table.sample(&mut rng) as usize
                 };
@@ -181,12 +315,12 @@ impl World {
                     crate::site::HostKind::Apex | crate::site::HostKind::Www
                 ) && chance(&mut rng, site.root_nav_share);
                 let link_click = chance(&mut rng, 0.72);
-                let dns_fresh = stub_cache.insert(cache_key(client.id, site.id));
-                if today.len() < 64 && !today.contains(&site.id.0) {
-                    today.push(site.id.0);
+                let dns_fresh = scratch.stub_fresh(site.id);
+                if scratch.today.len() < 64 && !scratch.today.contains(&site.id.0) {
+                    scratch.today.push(site.id.0);
                 }
 
-                page_loads.push(PageLoad {
+                sink.page_load(&PageLoad {
                     client: client.id,
                     site: site.id,
                     host_idx,
@@ -212,8 +346,8 @@ impl World {
                                     .min(u64::from(requests))
                                     as u16;
                             let tls = if dep_site.https { 1 } else { 0 };
-                            let fresh = stub_cache.insert(cache_key(client.id, dep));
-                            third_party.push(ThirdPartyFetch {
+                            let fresh = scratch.stub_fresh(dep);
+                            sink.third_party(&ThirdPartyFetch {
                                 client: client.id,
                                 site: dep,
                                 host_idx: dep_site.service_host(rng.random()) as u8,
@@ -233,20 +367,13 @@ impl World {
             let name_count = self.background_names.len() as u64;
             for _ in 0..n_bg {
                 let name_idx = (rng.random::<u64>() % name_count) as u16;
-                background.push(BackgroundQuery {
+                sink.background(&BackgroundQuery {
                     client: client.id,
                     name_idx,
                 });
             }
         }
-
-        DayTraffic {
-            day,
-            day_index,
-            page_loads,
-            third_party,
-            background,
-        }
+        // topple-lint: hot-path-end
     }
 
     /// Simulates every configured day sequentially, invoking `f` per day.
@@ -284,6 +411,40 @@ mod tests {
             assert_eq!(x.own_requests, y.own_requests);
         }
         assert_eq!(a.third_party.len(), b.third_party.len());
+    }
+
+    /// The streaming path with a reused scratch must emit exactly the events
+    /// the materialized path collects, in the per-stream order `DayTraffic`
+    /// exposes — including the `dns_fresh` bits, which are the part the
+    /// generation-stamped stub cache could plausibly get wrong.
+    #[test]
+    fn streamed_days_match_materialized_days() {
+        let w = world();
+        let mut scratch = TrafficScratch::for_world(&w);
+        for day_index in [0, 3, 1, 3] {
+            let mut sink = CollectSink::default();
+            w.simulate_day_into(day_index, &mut scratch, &mut sink);
+            let streamed = sink.into_day_traffic(w.config.days[day_index], day_index);
+            let collected = w.simulate_day(day_index);
+            assert_eq!(streamed.page_loads.len(), collected.page_loads.len());
+            for (a, b) in streamed.page_loads.iter().zip(&collected.page_loads) {
+                assert_eq!(
+                    (a.client, a.site, a.host_idx, a.dns_fresh, a.own_requests),
+                    (b.client, b.site, b.host_idx, b.dns_fresh, b.own_requests)
+                );
+            }
+            assert_eq!(streamed.third_party.len(), collected.third_party.len());
+            for (a, b) in streamed.third_party.iter().zip(&collected.third_party) {
+                assert_eq!(
+                    (a.client, a.site, a.dns_fresh, a.requests),
+                    (b.client, b.site, b.dns_fresh, b.requests)
+                );
+            }
+            assert_eq!(streamed.background.len(), collected.background.len());
+            for (a, b) in streamed.background.iter().zip(&collected.background) {
+                assert_eq!((a.client, a.name_idx), (b.client, b.name_idx));
+            }
+        }
     }
 
     #[test]
@@ -348,7 +509,7 @@ mod tests {
         // exactly one fresh upstream query across both streams.
         let w = world();
         let t = w.simulate_day(0);
-        use std::collections::HashMap;
+        use std::collections::{HashMap, HashSet};
         let mut fresh: HashMap<(ClientId, SiteId), u32> = HashMap::new();
         let mut contacted: HashSet<(ClientId, SiteId)> = HashSet::new();
         for pl in &t.page_loads {

@@ -13,7 +13,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use topple_sim::{Country, DayTraffic, Platform, SiteId, World};
+use topple_sim::{Country, DayTraffic, PageLoad, Platform, SiteId, World};
+
+use crate::scratch::ScratchMap;
 
 /// A web origin in telemetry: `(site, host index)`. The textual origin is
 /// recoverable via [`ChromeVantage::origin_text`].
@@ -72,9 +74,15 @@ struct ShardCell {
 
 impl ShardCell {
     fn merge(&mut self, other: ShardCell) {
-        self.initiated += other.initiated;
-        self.completed += other.completed;
-        self.dwell_secs += other.dwell_secs;
+        // Saturating: a fixed-width counter must clamp at its maximum
+        // rather than wrap when pathological shards (e.g. the same heavy
+        // day merged into itself many times) meet. Saturating addition is
+        // still associative and commutative — `min(a + b, MAX)` composed in
+        // any order yields `min(a + b + …, MAX)` — so the monoid laws the
+        // pipeline relies on survive; `tests/merge_laws.rs` pins both.
+        self.initiated = self.initiated.saturating_add(other.initiated);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.dwell_secs = self.dwell_secs.saturating_add(other.dwell_secs);
         self.clients.extend(other.clients);
     }
 }
@@ -94,43 +102,181 @@ pub struct ChromeShard {
 impl ChromeShard {
     /// Observes one day of traffic into a single-day shard. Pure: depends
     /// only on `(world, traffic)`, never on ingestion order.
+    ///
+    /// Implemented as a replay of the materialized traffic through a fresh
+    /// [`ChromeDayBuilder`] — the same accumulation the fused streaming
+    /// path uses, so the two cannot drift apart.
     pub fn from_day(world: &World, traffic: &DayTraffic) -> Self {
-        let mut shard = ChromeShard::default();
-        shard.day_indices.insert(traffic.day_index);
+        let mut b = ChromeDayBuilder::new();
+        b.begin();
         for pl in &traffic.page_loads {
-            let client = &world.clients[pl.client.index()];
-            if !client.chrome_optin || pl.private_mode {
-                continue;
-            }
-            let site = &world.sites[pl.site.index()];
-            // Telemetry excludes non-public domains [13].
-            if !site.public_web {
-                continue;
-            }
-            let origin: OriginKey = (pl.site, pl.host_idx);
-
-            let global = shard.global.entry(origin).or_default();
-            global.initiated += 1;
-            global.completed += u64::from(pl.completed);
-            global.dwell_secs += u64::from(pl.dwell_secs);
-            global.clients.insert(pl.client.0);
-
-            if TELEMETRY_PLATFORMS.contains(&client.platform) {
-                let key = (client.country, client.platform, origin);
-                let cell = shard.cells.entry(key).or_default();
-                cell.initiated += 1;
-                cell.completed += u64::from(pl.completed);
-                cell.dwell_secs += u64::from(pl.dwell_secs);
-                cell.clients.insert(pl.client.0);
-            }
+            b.page_load(world, pl);
         }
-        shard
+        b.finish_day(traffic.day_index)
     }
 
     /// Day indices covered by this shard, ascending.
     pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.day_indices.iter().copied()
     }
+}
+
+/// One telemetry cell under construction: counters plus the deduplicated
+/// client list (exact set semantics, order irrelevant).
+#[derive(Debug, Default)]
+struct CellScratch {
+    initiated: u64,
+    completed: u64,
+    dwell_secs: u64,
+    clients: Vec<u32>,
+}
+
+impl CellScratch {
+    /// Resets for reuse, keeping the client list's capacity.
+    fn reset(&mut self) {
+        self.initiated = 0;
+        self.completed = 0;
+        self.dwell_secs = 0;
+        self.clients.clear();
+    }
+
+    fn emit(&mut self) -> ShardCell {
+        ShardCell {
+            initiated: self.initiated,
+            completed: self.completed,
+            dwell_secs: self.dwell_secs,
+            clients: self.clients.iter().copied().collect(),
+        }
+    }
+}
+
+/// Reusable streaming builder of one day's Chrome telemetry shard.
+///
+/// Cells live in flat vectors addressed through epoch-stamped
+/// [`ScratchMap`] indices; per-cell client deduplication goes through a
+/// packed `(cell, client)` presence map instead of per-cell sets. Cell
+/// *allocation* order depends on event order, but the finish step emits
+/// cells into `BTreeMap`s keyed by origin, so the resulting shard is
+/// order-independent.
+#[derive(Debug, Default)]
+pub(crate) struct ChromeDayBuilder {
+    /// Packed origin key `(site << 8) | host` → index into `global_cells`.
+    global_idx: ScratchMap<u32>,
+    global_cells: Vec<(OriginKey, CellScratch)>,
+    global_live: usize,
+    /// Packed `(country, platform, origin)` → index into `cp_cells`.
+    cp_idx: ScratchMap<u32>,
+    cp_cells: Vec<((Country, Platform, OriginKey), CellScratch)>,
+    cp_live: usize,
+    /// Presence of `(tagged cell, client)` pairs; global cells are tagged
+    /// with the high bit clear, per-(country, platform) cells with it set.
+    client_seen: ScratchMap<()>,
+}
+
+/// Tag bit distinguishing per-(country, platform) cells from global cells
+/// in the shared `(cell, client)` presence map.
+const CP_TAG: u64 = 1 << 31;
+
+impl ChromeDayBuilder {
+    pub(crate) fn new() -> Self {
+        ChromeDayBuilder::default()
+    }
+
+    /// Starts a new day; previous per-day state is invalidated in O(1).
+    pub(crate) fn begin(&mut self) {
+        self.global_idx.begin_epoch();
+        self.cp_idx.begin_epoch();
+        self.client_seen.begin_epoch();
+        self.global_live = 0;
+        self.cp_live = 0;
+    }
+
+    // topple-lint: hot-path-begin
+    pub(crate) fn page_load(&mut self, world: &World, pl: &PageLoad) {
+        let client = &world.clients[pl.client.index()];
+        if !client.chrome_optin || pl.private_mode {
+            return;
+        }
+        let site = &world.sites[pl.site.index()];
+        // Telemetry excludes non-public domains [13].
+        if !site.public_web {
+            return;
+        }
+        let origin: OriginKey = (pl.site, pl.host_idx);
+        let origin_key = (u64::from(pl.site.0) << 8) | u64::from(pl.host_idx);
+
+        let (fresh, slot) = self.global_idx.entry(origin_key);
+        let gi = if fresh {
+            let gi = claim(&mut self.global_cells, &mut self.global_live, origin);
+            *slot = gi;
+            gi
+        } else {
+            *slot
+        };
+        let cell = &mut self.global_cells[gi as usize].1;
+        cell.initiated += 1;
+        cell.completed += u64::from(pl.completed);
+        cell.dwell_secs += u64::from(pl.dwell_secs);
+        let (new_client, ()) = self
+            .client_seen
+            .entry((u64::from(gi) << 32) | u64::from(pl.client.0));
+        if new_client {
+            cell.clients.push(pl.client.0);
+        }
+
+        if TELEMETRY_PLATFORMS.contains(&client.platform) {
+            let cp = (client.country, client.platform, origin);
+            let cp_key = ((client.country.index() as u64) << 48)
+                | ((client.platform.index() as u64) << 40)
+                | origin_key;
+            let (fresh, slot) = self.cp_idx.entry(cp_key);
+            let ci = if fresh {
+                let ci = claim(&mut self.cp_cells, &mut self.cp_live, cp);
+                *slot = ci;
+                ci
+            } else {
+                *slot
+            };
+            let cell = &mut self.cp_cells[ci as usize].1;
+            cell.initiated += 1;
+            cell.completed += u64::from(pl.completed);
+            cell.dwell_secs += u64::from(pl.dwell_secs);
+            let (new_client, ()) = self
+                .client_seen
+                .entry(((CP_TAG | u64::from(ci)) << 32) | u64::from(pl.client.0));
+            if new_client {
+                cell.clients.push(pl.client.0);
+            }
+        }
+    }
+    // topple-lint: hot-path-end
+
+    /// Drains the day's cells into a single-day shard.
+    pub(crate) fn finish_day(&mut self, day_index: usize) -> ChromeShard {
+        let mut shard = ChromeShard::default();
+        shard.day_indices.insert(day_index);
+        for (origin, cell) in self.global_cells.iter_mut().take(self.global_live) {
+            shard.global.insert(*origin, cell.emit());
+        }
+        for (key, cell) in self.cp_cells.iter_mut().take(self.cp_live) {
+            shard.cells.insert(*key, cell.emit());
+        }
+        shard
+    }
+}
+
+/// Claims the next cell slot in `cells`, reusing a previous day's
+/// allocation when one exists, and records its key.
+fn claim<K: Copy>(cells: &mut Vec<(K, CellScratch)>, live: &mut usize, key: K) -> u32 {
+    let idx = *live;
+    *live += 1;
+    if idx == cells.len() {
+        cells.push((key, CellScratch::default()));
+    } else {
+        cells[idx].0 = key;
+        cells[idx].1.reset();
+    }
+    idx as u32
 }
 
 impl crate::Shard for ChromeShard {

@@ -13,9 +13,10 @@
 
 use std::collections::BTreeMap;
 
-use topple_sim::{Browser, DayTraffic, World};
+use topple_sim::{Browser, DayTraffic, PageLoad, ThirdPartyFetch, World};
 
 use crate::metrics::{add_assign, scale, ScoreVec};
+use crate::scratch::{ScratchMap, ScratchTable};
 
 /// Request-log filters (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,6 +214,171 @@ impl FilterCounts {
         }
         b
     }
+
+    /// The per-filter contribution of a page load (`None` for non-customer
+    /// sites, which the CDN never sees).
+    fn of_page_load(world: &World, pl: &PageLoad) -> Option<(FilterCounts, Browser, u32)> {
+        let site = &world.sites[pl.site.index()];
+        if !site.cloudflare {
+            return None;
+        }
+        let client = &world.clients[pl.client.index()];
+        let total = pl.total_requests();
+        let mut fc = FilterCounts::default();
+        fc.counts[CfFilter::AllRequests.index()] = total;
+        fc.counts[CfFilter::Html.index()] = 1;
+        fc.counts[CfFilter::Status200.index()] = total - u32::from(pl.non200);
+        // Subresources always carry a Referer; the navigation does iff it
+        // was a link click.
+        fc.counts[CfFilter::Referer.index()] =
+            u32::from(pl.own_requests) + u32::from(pl.link_click);
+        fc.counts[CfFilter::TopBrowsers.index()] = if client.browser.is_top5() { total } else { 0 };
+        fc.counts[CfFilter::Tls.index()] = u32::from(pl.tls_handshakes);
+        fc.counts[CfFilter::RootPage.index()] = u32::from(pl.is_root_path);
+        Some((fc, client.browser, client.ip))
+    }
+
+    /// The per-filter contribution of a third-party fetch batch.
+    fn of_third_party(world: &World, tp: &ThirdPartyFetch) -> Option<(FilterCounts, Browser, u32)> {
+        let site = &world.sites[tp.site.index()];
+        if !site.cloudflare {
+            return None;
+        }
+        let client = &world.clients[tp.client.index()];
+        let reqs = u32::from(tp.requests);
+        let mut fc = FilterCounts::default();
+        fc.counts[CfFilter::AllRequests.index()] = reqs;
+        // Third-party fetches are assets, not documents, and always carry
+        // a Referer; they never hit `GET /`.
+        fc.counts[CfFilter::Status200.index()] = reqs - u32::from(tp.non200);
+        fc.counts[CfFilter::Referer.index()] = reqs;
+        fc.counts[CfFilter::TopBrowsers.index()] = if client.browser.is_top5() { reqs } else { 0 };
+        fc.counts[CfFilter::Tls.index()] = u32::from(tp.tls_handshakes);
+        Some((fc, client.browser, client.ip))
+    }
+}
+
+/// Per-(site, ip) uniqueness state: which filters have already counted this
+/// IP for the site, overall and per browser (User-Agent).
+#[derive(Debug, Clone, Copy, Default)]
+struct IpCell {
+    /// Filter bits counted toward unique-IP.
+    bits: u8,
+    /// Filter bits counted toward unique-(IP, UA), per browser.
+    ua_bits: [u8; 7],
+}
+
+/// Per-site accumulators for one day: raw request counts plus the two
+/// unique-aggregation counters, per filter.
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteCell {
+    raw: [u32; 7],
+    uniq_ip: [u32; 7],
+    uniq_ip_ua: [u32; 7],
+}
+
+/// Reusable streaming builder of one day's CDN metrics.
+///
+/// Replaces the `BTreeMap<(site, ip), bits>` / `BTreeMap<(site, ip, ua),
+/// bits>` uniqueness maps of the old materialized scan with an epoch-stamped
+/// [`ScratchMap`] keyed by the packed `(site << 32) | ip` and per-site dense
+/// counters: when an event sets a filter bit that the `(site, ip)` (or
+/// `(site, ip, ua)`) pair has not produced yet today, the site's unique
+/// counter for that filter increments — exactly the number of map entries
+/// whose value contains the bit, i.e. the same count the maps produced.
+/// Unique-IP tracking must key on the *IP*, not the client: enterprise
+/// clients share NAT egress IPs, and the CDN can only see addresses.
+#[derive(Debug)]
+pub(crate) struct CdnDayBuilder {
+    ip_cells: ScratchMap<IpCell>,
+    per_site: ScratchTable<SiteCell>,
+    /// Sites touched this day, for the finish scan (order irrelevant:
+    /// results land in site-indexed vectors).
+    touched: Vec<u32>,
+}
+
+impl CdnDayBuilder {
+    pub(crate) fn new(world: &World) -> Self {
+        CdnDayBuilder {
+            ip_cells: ScratchMap::new(),
+            per_site: ScratchTable::with_len(world.sites.len()),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a new day; previous per-day state is invalidated in O(1).
+    pub(crate) fn begin(&mut self) {
+        self.ip_cells.begin_epoch();
+        self.per_site.begin_epoch();
+        self.touched.clear();
+    }
+
+    // topple-lint: hot-path-begin
+    pub(crate) fn page_load(&mut self, world: &World, pl: &PageLoad) {
+        if let Some((fc, ua, ip)) = FilterCounts::of_page_load(world, pl) {
+            self.accumulate(pl.site.0, ip, ua, &fc);
+        }
+    }
+
+    pub(crate) fn third_party(&mut self, world: &World, tp: &ThirdPartyFetch) {
+        if let Some((fc, ua, ip)) = FilterCounts::of_third_party(world, tp) {
+            self.accumulate(tp.site.0, ip, ua, &fc);
+        }
+    }
+
+    fn accumulate(&mut self, site: u32, ip: u32, ua: Browser, fc: &FilterCounts) {
+        let (first, sc) = self.per_site.slot(site as usize);
+        if first {
+            self.touched.push(site);
+        }
+        for i in 0..7 {
+            sc.raw[i] += fc.counts[i];
+        }
+        let bits = fc.bits();
+        if bits != 0 {
+            let key = (u64::from(site) << 32) | u64::from(ip);
+            let (_, cell) = self.ip_cells.entry(key);
+            let ip_new = bits & !cell.bits;
+            cell.bits |= bits;
+            let ua_slot = &mut cell.ua_bits[ua.index()];
+            let ua_new = bits & !*ua_slot;
+            *ua_slot |= bits;
+            if ip_new != 0 || ua_new != 0 {
+                for f in 0..7 {
+                    sc.uniq_ip[f] += u32::from((ip_new >> f) & 1);
+                    sc.uniq_ip_ua[f] += u32::from((ua_new >> f) & 1);
+                }
+            }
+        }
+    }
+    // topple-lint: hot-path-end
+
+    /// Drains the day's accumulators into the 21 metric score vectors.
+    pub(crate) fn finish_day(&mut self, n_sites: usize) -> CfDayMetrics {
+        let mut scores: Vec<ScoreVec> = (0..METRIC_COUNT).map(|_| vec![0.0; n_sites]).collect();
+        for &site in &self.touched {
+            let sc = self.per_site.peek(site as usize);
+            for f in CfFilter::ALL {
+                let i = f.index();
+                scores[CfMetric {
+                    filter: f,
+                    agg: CfAgg::Raw,
+                }
+                .index()][site as usize] = f64::from(sc.raw[i]);
+                scores[CfMetric {
+                    filter: f,
+                    agg: CfAgg::UniqueIp,
+                }
+                .index()][site as usize] = f64::from(sc.uniq_ip[i]);
+                scores[CfMetric {
+                    filter: f,
+                    agg: CfAgg::UniqueIpUa,
+                }
+                .index()][site as usize] = f64::from(sc.uniq_ip_ua[i]);
+            }
+        }
+        CfDayMetrics { scores }
+    }
 }
 
 /// All 21 metric scores for one day, indexed `[metric][site]`.
@@ -243,6 +409,16 @@ impl CfDayMetrics {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CdnShard {
     days: BTreeMap<usize, CfDayMetrics>,
+}
+
+impl CdnDayBuilder {
+    /// Drains the day's accumulation into a single-day [`CdnShard`] (the
+    /// fused streaming path's counterpart to [`CdnShard::from_day`]).
+    pub(crate) fn finish_shard(&mut self, world: &World, day_index: usize) -> CdnShard {
+        let mut days = BTreeMap::new();
+        days.insert(day_index, self.finish_day(world.sites.len()));
+        CdnShard { days }
+    }
 }
 
 impl CdnShard {
@@ -308,101 +484,20 @@ impl CdnVantage {
 
     /// Computes one day's 21 metrics from the request log without mutating
     /// the vantage (used directly by the Figure 8 experiment).
+    ///
+    /// Implemented as a replay of the materialized traffic through a fresh
+    /// [`CdnDayBuilder`] — the same accumulation the fused streaming path
+    /// uses, so the two cannot drift apart.
     pub fn observe_day(world: &World, traffic: &DayTraffic) -> CfDayMetrics {
-        let n = world.sites.len();
-        // Raw counters per site per filter.
-        let mut raw: Vec<FilterCounts> = vec![FilterCounts::default(); n];
-        // Unique aggregations: (site, ip) -> filter bits; (site, ip, ua) likewise.
-        let mut uniq_ip: BTreeMap<(u32, u32), u8> = BTreeMap::new();
-        let mut uniq_ip_ua: BTreeMap<(u32, u32, u8), u8> = BTreeMap::new();
-
-        let mut bump = |site: u32, ip: u32, ua: Browser, fc: FilterCounts| {
-            let r = &mut raw[site as usize];
-            for i in 0..7 {
-                r.counts[i] += fc.counts[i];
-            }
-            let bits = fc.bits();
-            if bits != 0 {
-                *uniq_ip.entry((site, ip)).or_default() |= bits;
-                *uniq_ip_ua.entry((site, ip, ua.index() as u8)).or_default() |= bits;
-            }
-        };
-
+        let mut b = CdnDayBuilder::new(world);
+        b.begin();
         for pl in &traffic.page_loads {
-            let site = &world.sites[pl.site.index()];
-            if !site.cloudflare {
-                continue;
-            }
-            let client = &world.clients[pl.client.index()];
-            let total = pl.total_requests();
-            let mut fc = FilterCounts::default();
-            fc.counts[CfFilter::AllRequests.index()] = total;
-            fc.counts[CfFilter::Html.index()] = 1;
-            fc.counts[CfFilter::Status200.index()] = total - u32::from(pl.non200);
-            // Subresources always carry a Referer; the navigation does iff it
-            // was a link click.
-            fc.counts[CfFilter::Referer.index()] =
-                u32::from(pl.own_requests) + u32::from(pl.link_click);
-            fc.counts[CfFilter::TopBrowsers.index()] =
-                if client.browser.is_top5() { total } else { 0 };
-            fc.counts[CfFilter::Tls.index()] = u32::from(pl.tls_handshakes);
-            fc.counts[CfFilter::RootPage.index()] = u32::from(pl.is_root_path);
-            bump(pl.site.0, client.ip, client.browser, fc);
+            b.page_load(world, pl);
         }
-
         for tp in &traffic.third_party {
-            let site = &world.sites[tp.site.index()];
-            if !site.cloudflare {
-                continue;
-            }
-            let client = &world.clients[tp.client.index()];
-            let reqs = u32::from(tp.requests);
-            let mut fc = FilterCounts::default();
-            fc.counts[CfFilter::AllRequests.index()] = reqs;
-            // Third-party fetches are assets, not documents, and always carry
-            // a Referer; they never hit `GET /`.
-            fc.counts[CfFilter::Status200.index()] = reqs - u32::from(tp.non200);
-            fc.counts[CfFilter::Referer.index()] = reqs;
-            fc.counts[CfFilter::TopBrowsers.index()] =
-                if client.browser.is_top5() { reqs } else { 0 };
-            fc.counts[CfFilter::Tls.index()] = u32::from(tp.tls_handshakes);
-            bump(tp.site.0, client.ip, client.browser, fc);
+            b.third_party(world, tp);
         }
-
-        // Fold into score vectors.
-        let mut scores: Vec<ScoreVec> = (0..METRIC_COUNT).map(|_| vec![0.0; n]).collect();
-        for (i, fc) in raw.iter().enumerate() {
-            for f in CfFilter::ALL {
-                scores[CfMetric {
-                    filter: f,
-                    agg: CfAgg::Raw,
-                }
-                .index()][i] = f64::from(fc.counts[f.index()]);
-            }
-        }
-        for ((site, _ip), bits) in &uniq_ip {
-            for f in CfFilter::ALL {
-                if bits & (1 << f.index()) != 0 {
-                    scores[CfMetric {
-                        filter: f,
-                        agg: CfAgg::UniqueIp,
-                    }
-                    .index()][*site as usize] += 1.0;
-                }
-            }
-        }
-        for ((site, _ip, _ua), bits) in &uniq_ip_ua {
-            for f in CfFilter::ALL {
-                if bits & (1 << f.index()) != 0 {
-                    scores[CfMetric {
-                        filter: f,
-                        agg: CfAgg::UniqueIpUa,
-                    }
-                    .index()][*site as usize] += 1.0;
-                }
-            }
-        }
-        CfDayMetrics { scores }
+        b.finish_day(world.sites.len())
     }
 
     /// Ingests one day of traffic. Equivalent to building a [`CdnShard`]
@@ -610,6 +705,98 @@ mod tests {
         }
         assert_eq!(v.days(), 2);
         assert!(v.first_day().is_some());
+    }
+
+    /// The retired map-based implementation, kept as an executable spec:
+    /// the scratch-table builder must produce bit-identical metrics.
+    fn reference_observe_day(world: &World, traffic: &DayTraffic) -> CfDayMetrics {
+        let n = world.sites.len();
+        let mut raw: Vec<FilterCounts> = vec![FilterCounts::default(); n];
+        let mut uniq_ip: BTreeMap<(u32, u32), u8> = BTreeMap::new();
+        let mut uniq_ip_ua: BTreeMap<(u32, u32, u8), u8> = BTreeMap::new();
+        let mut bump = |site: u32, ip: u32, ua: Browser, fc: FilterCounts| {
+            let r = &mut raw[site as usize];
+            for i in 0..7 {
+                r.counts[i] += fc.counts[i];
+            }
+            let bits = fc.bits();
+            if bits != 0 {
+                *uniq_ip.entry((site, ip)).or_default() |= bits;
+                *uniq_ip_ua.entry((site, ip, ua.index() as u8)).or_default() |= bits;
+            }
+        };
+        for pl in &traffic.page_loads {
+            if let Some((fc, ua, ip)) = FilterCounts::of_page_load(world, pl) {
+                bump(pl.site.0, ip, ua, fc);
+            }
+        }
+        for tp in &traffic.third_party {
+            if let Some((fc, ua, ip)) = FilterCounts::of_third_party(world, tp) {
+                bump(tp.site.0, ip, ua, fc);
+            }
+        }
+        let mut scores: Vec<ScoreVec> = (0..METRIC_COUNT).map(|_| vec![0.0; n]).collect();
+        for (i, fc) in raw.iter().enumerate() {
+            for f in CfFilter::ALL {
+                scores[CfMetric {
+                    filter: f,
+                    agg: CfAgg::Raw,
+                }
+                .index()][i] = f64::from(fc.counts[f.index()]);
+            }
+        }
+        for ((site, _ip), bits) in &uniq_ip {
+            for f in CfFilter::ALL {
+                if bits & (1 << f.index()) != 0 {
+                    scores[CfMetric {
+                        filter: f,
+                        agg: CfAgg::UniqueIp,
+                    }
+                    .index()][*site as usize] += 1.0;
+                }
+            }
+        }
+        for ((site, _ip, _ua), bits) in &uniq_ip_ua {
+            for f in CfFilter::ALL {
+                if bits & (1 << f.index()) != 0 {
+                    scores[CfMetric {
+                        filter: f,
+                        agg: CfAgg::UniqueIpUa,
+                    }
+                    .index()][*site as usize] += 1.0;
+                }
+            }
+        }
+        CfDayMetrics { scores }
+    }
+
+    #[test]
+    fn builder_matches_map_based_reference() {
+        let w = World::generate(WorldConfig::tiny(33)).unwrap();
+        // Reuse one builder across days: epoch clearing must not leak
+        // anything from day to day.
+        let mut b = CdnDayBuilder::new(&w);
+        for d in 0..3 {
+            let t = w.simulate_day(d);
+            b.begin();
+            for pl in &t.page_loads {
+                b.page_load(&w, pl);
+            }
+            for tp in &t.third_party {
+                b.third_party(&w, tp);
+            }
+            let got = b.finish_day(w.sites.len());
+            let want = reference_observe_day(&w, &t);
+            for m in CfMetric::full_suite() {
+                for i in 0..w.sites.len() {
+                    assert_eq!(
+                        got.metric(m)[i].to_bits(),
+                        want.metric(m)[i].to_bits(),
+                        "day {d} metric {m:?} site {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use topple_sim::{ClientId, DayTraffic, Resolver, SiteId, World};
+use topple_sim::{
+    BackgroundQuery, ClientId, DayTraffic, PageLoad, Resolver, SiteId, ThirdPartyFetch, World,
+};
+
+use crate::scratch::{ScratchMap, ScratchTable};
 
 /// A name as seen in resolver logs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,14 +96,17 @@ struct DnsDayShard {
 
 impl DnsDayShard {
     fn merge(&mut self, other: DnsDayShard) {
+        // Counter merges saturate instead of wrapping: `min(a + b, MAX)` is
+        // associative and commutative, so the shard monoid laws survive
+        // even for adversarial same-day self-merges (`tests/merge_laws.rs`).
         for (key, (ip, events)) in other.candidates {
             let e = self.candidates.entry(key).or_insert((ip, 0));
-            e.1 += events;
+            e.1 = e.1.saturating_add(events);
         }
         for (name, stats) in other.background {
             let e = self.background.entry(name).or_default();
-            e.queries += stats.queries;
-            e.unique_ips += stats.unique_ips;
+            e.queries = e.queries.saturating_add(stats.queries);
+            e.unique_ips = e.unique_ips.saturating_add(stats.unique_ips);
         }
     }
 }
@@ -125,54 +132,132 @@ pub struct DnsShard {
 impl DnsShard {
     /// Observes one day of traffic as seen by `resolver`'s clients. Pure:
     /// depends only on `(world, traffic, resolver)`, never on order.
+    ///
+    /// Implemented as a replay of the materialized traffic through a fresh
+    /// [`DnsDayBuilder`] — the same accumulation the fused streaming path
+    /// uses, so the two cannot drift apart.
     pub fn from_day(world: &World, traffic: &DayTraffic, resolver: Resolver) -> Self {
-        let mut day = DnsDayShard::default();
+        let mut b = DnsDayBuilder::new(world, resolver);
+        b.begin();
         for pl in &traffic.page_loads {
-            let client = &world.clients[pl.client.index()];
-            if client.resolver != resolver || !pl.dns_fresh {
-                continue;
-            }
-            let name = QueriedName::Host(pl.site, pl.host_idx);
-            let e = day
-                .candidates
-                .entry((pl.client, name))
-                .or_insert((client.ip, 0));
-            e.1 += 1;
+            b.page_load(world, pl);
         }
         for tp in &traffic.third_party {
-            let client = &world.clients[tp.client.index()];
-            if client.resolver != resolver || !tp.dns_fresh {
-                continue;
-            }
-            let name = QueriedName::Host(tp.site, tp.host_idx);
-            let e = day
-                .candidates
-                .entry((tp.client, name))
-                .or_insert((client.ip, 0));
-            e.1 += 1;
+            b.third_party(world, tp);
         }
-        let mut seen_bg: std::collections::HashSet<(QueriedName, u32)> =
-            std::collections::HashSet::new();
         for bg in &traffic.background {
-            let client = &world.clients[bg.client.index()];
-            if client.resolver != resolver {
-                continue;
-            }
-            let name = QueriedName::Background(bg.name_idx);
-            let stats = day.background.entry(name).or_default();
-            stats.queries += 1;
-            if seen_bg.insert((name, client.ip)) {
-                stats.unique_ips += 1;
-            }
+            b.background(world, bg);
         }
-        let mut days = BTreeMap::new();
-        days.insert(traffic.day_index, day);
-        DnsShard { days }
+        b.finish_day(traffic.day_index)
     }
 
     /// Day indices covered by this shard, ascending.
     pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.days.keys().copied()
+    }
+}
+
+/// Reusable streaming builder of one resolver's single-day shard.
+///
+/// Website-name candidates append to a reusable vector instead of a
+/// `BTreeMap`: `dns_fresh` fires at most once per (client, zone) per day
+/// (the stub cache is shared across page loads and third-party fetches), so
+/// `(client, name)` keys cannot repeat within a day — the finish step still
+/// coalesces through a keyed map, so even hypothetical duplicates would
+/// merge exactly as the old map-based scan did. Background-name stats use a
+/// dense name-indexed [`ScratchTable`] with a packed `(name, ip)` presence
+/// map for unique-IP counting.
+#[derive(Debug)]
+pub(crate) struct DnsDayBuilder {
+    resolver: Resolver,
+    /// `((client, name), (client ip, events))` candidate rows, unsorted.
+    candidates: Vec<((ClientId, QueriedName), (u32, u64))>,
+    /// `name_idx → (queries, unique_ips)` for background names.
+    bg: ScratchTable<(u64, u32)>,
+    /// Background names touched this day (order irrelevant: results land in
+    /// a `BTreeMap`).
+    bg_touched: Vec<u16>,
+    /// Presence of packed `(name_idx << 32) | ip` pairs.
+    bg_ip_seen: ScratchMap<()>,
+}
+
+impl DnsDayBuilder {
+    pub(crate) fn new(world: &World, resolver: Resolver) -> Self {
+        DnsDayBuilder {
+            resolver,
+            candidates: Vec::new(),
+            bg: ScratchTable::with_len(world.background_names.len()),
+            bg_touched: Vec::new(),
+            bg_ip_seen: ScratchMap::new(),
+        }
+    }
+
+    /// Starts a new day; previous per-day state is invalidated in O(1).
+    pub(crate) fn begin(&mut self) {
+        self.candidates.clear();
+        self.bg.begin_epoch();
+        self.bg_touched.clear();
+        self.bg_ip_seen.begin_epoch();
+    }
+
+    // topple-lint: hot-path-begin
+    pub(crate) fn page_load(&mut self, world: &World, pl: &PageLoad) {
+        let client = &world.clients[pl.client.index()];
+        if client.resolver != self.resolver || !pl.dns_fresh {
+            return;
+        }
+        let name = QueriedName::Host(pl.site, pl.host_idx);
+        self.candidates.push(((pl.client, name), (client.ip, 1)));
+    }
+
+    pub(crate) fn third_party(&mut self, world: &World, tp: &ThirdPartyFetch) {
+        let client = &world.clients[tp.client.index()];
+        if client.resolver != self.resolver || !tp.dns_fresh {
+            return;
+        }
+        let name = QueriedName::Host(tp.site, tp.host_idx);
+        self.candidates.push(((tp.client, name), (client.ip, 1)));
+    }
+
+    pub(crate) fn background(&mut self, world: &World, bg: &BackgroundQuery) {
+        let client = &world.clients[bg.client.index()];
+        if client.resolver != self.resolver {
+            return;
+        }
+        let (first, stats) = self.bg.slot(bg.name_idx as usize);
+        if first {
+            self.bg_touched.push(bg.name_idx);
+        }
+        stats.0 += 1;
+        let (new_ip, ()) = self
+            .bg_ip_seen
+            .entry((u64::from(bg.name_idx) << 32) | u64::from(client.ip));
+        if new_ip {
+            stats.1 += 1;
+        }
+    }
+    // topple-lint: hot-path-end
+
+    /// Drains the day's rows into a single-day shard.
+    pub(crate) fn finish_day(&mut self, day_index: usize) -> DnsShard {
+        let mut day = DnsDayShard::default();
+        for &(key, (ip, events)) in &self.candidates {
+            let e = day.candidates.entry(key).or_insert((ip, 0));
+            e.1 += events;
+        }
+        for &i in &self.bg_touched {
+            let (queries, unique_ips) = self.bg.peek(i as usize);
+            day.background.insert(
+                QueriedName::Background(i),
+                NameDayStats {
+                    queries,
+                    unique_ips,
+                },
+            );
+        }
+        let mut days = BTreeMap::new();
+        days.insert(day_index, day);
+        DnsShard { days }
     }
 }
 

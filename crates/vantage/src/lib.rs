@@ -24,6 +24,14 @@
 //! TTL gate, day-indexed storage) lives only in the sequential
 //! `ingest_shard` folds. None of the vantages reads ground-truth site
 //! weights.
+//!
+//! Shard construction has two equivalent entry points: the materialized
+//! path (`Shard::from_day` over a `DayTraffic`) and the fused streaming
+//! path ([`fused::DayScratch::observe_day`]), which observes events from
+//! all five vantages as the simulator generates them, with per-day working
+//! state held in reusable epoch-stamped scratch ([`scratch`] module). The
+//! study pipeline uses the fused path; `from_day` replays through the same
+//! builders, so the two cannot drift apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,14 +40,18 @@ pub mod chrome;
 pub mod cloudflare;
 pub mod crawler;
 pub mod dns;
+pub mod fused;
 pub mod metrics;
 pub mod panel;
+pub mod scratch;
 pub mod shard;
 
 pub use chrome::{ChromeMetric, ChromeShard, ChromeVantage, TELEMETRY_PLATFORMS};
 pub use cloudflare::{CdnShard, CdnVantage, CfAgg, CfFilter, CfMetric};
 pub use crawler::CrawlerVantage;
 pub use dns::{DnsShard, DnsVantage, QueriedName};
+pub use fused::{DayScratch, FusedObserver};
 pub use metrics::{ranked_site_ids, ranked_sites, ScoreVec};
 pub use panel::{PanelShard, PanelVantage};
+pub use scratch::ScratchPool;
 pub use shard::{DayShards, Shard};

@@ -6,9 +6,11 @@
 //! "average daily visitors and pageviews" \[3\], so the panel records both per
 //! site per day.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
-use topple_sim::{ClientId, DayTraffic, SiteId, World};
+use topple_sim::{DayTraffic, PageLoad, SiteId, World};
+
+use crate::scratch::{ScratchMap, ScratchTable};
 
 /// A mergeable observation of panel activity for a set of days, keyed by
 /// day index.
@@ -25,29 +27,85 @@ pub struct PanelShard {
 impl PanelShard {
     /// Observes one day of traffic into a single-day shard. Pure: depends
     /// only on `(world, traffic)`, never on ingestion order.
+    ///
+    /// Implemented as a replay of the materialized traffic through a fresh
+    /// [`PanelDayBuilder`] — the same accumulation the fused streaming path
+    /// uses, so the two cannot drift apart.
     pub fn from_day(world: &World, traffic: &DayTraffic) -> Self {
-        let mut day = PanelDay::default();
-        let mut visitors: HashSet<(SiteId, ClientId)> = HashSet::new();
+        let mut b = PanelDayBuilder::new(world);
+        b.begin();
         for pl in &traffic.page_loads {
-            let client = &world.clients[pl.client.index()];
-            // Extensions are disabled in private windows: those loads vanish.
-            if !client.alexa_panelist || pl.private_mode {
-                continue;
-            }
-            let stats = day.per_site.entry(pl.site).or_default();
-            stats.pageviews += 1;
-            if visitors.insert((pl.site, pl.client)) {
-                stats.visitors += 1;
-            }
+            b.page_load(world, pl);
         }
-        let mut days = BTreeMap::new();
-        days.insert(traffic.day_index, day);
-        PanelShard { days }
+        b.finish_day(traffic.day_index)
     }
 
     /// Day indices covered by this shard, ascending.
     pub fn day_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.days.keys().copied()
+    }
+}
+
+/// Reusable streaming builder of one day's panel shard: a dense
+/// site-indexed stats table plus a packed `(site, client)` presence map for
+/// visitor deduplication, both epoch-cleared between days.
+#[derive(Debug)]
+pub(crate) struct PanelDayBuilder {
+    per_site: ScratchTable<PanelDayStats>,
+    /// Sites touched this day (order irrelevant: the finish step emits into
+    /// a `BTreeMap`).
+    touched: Vec<u32>,
+    /// Presence of packed `(site << 32) | client` pairs.
+    visitors: ScratchMap<()>,
+}
+
+impl PanelDayBuilder {
+    pub(crate) fn new(world: &World) -> Self {
+        PanelDayBuilder {
+            per_site: ScratchTable::with_len(world.sites.len()),
+            touched: Vec::new(),
+            visitors: ScratchMap::new(),
+        }
+    }
+
+    /// Starts a new day; previous per-day state is invalidated in O(1).
+    pub(crate) fn begin(&mut self) {
+        self.per_site.begin_epoch();
+        self.touched.clear();
+        self.visitors.begin_epoch();
+    }
+
+    // topple-lint: hot-path-begin
+    pub(crate) fn page_load(&mut self, world: &World, pl: &PageLoad) {
+        let client = &world.clients[pl.client.index()];
+        // Extensions are disabled in private windows: those loads vanish.
+        if !client.alexa_panelist || pl.private_mode {
+            return;
+        }
+        let (first, stats) = self.per_site.slot(pl.site.index());
+        if first {
+            self.touched.push(pl.site.0);
+        }
+        stats.pageviews += 1;
+        let (new_visitor, ()) = self
+            .visitors
+            .entry((u64::from(pl.site.0) << 32) | u64::from(pl.client.0));
+        if new_visitor {
+            stats.visitors += 1;
+        }
+    }
+    // topple-lint: hot-path-end
+
+    /// Drains the day's stats into a single-day shard.
+    pub(crate) fn finish_day(&mut self, day_index: usize) -> PanelShard {
+        let mut day = PanelDay::default();
+        for &site in &self.touched {
+            day.per_site
+                .insert(SiteId(site), self.per_site.peek(site as usize));
+        }
+        let mut days = BTreeMap::new();
+        days.insert(day_index, day);
+        PanelShard { days }
     }
 }
 
@@ -61,9 +119,13 @@ impl crate::Shard for PanelShard {
                 std::collections::btree_map::Entry::Occupied(mut e) => {
                     let dst = e.get_mut();
                     for (site, stats) in day.per_site {
+                        // Saturating rather than wrapping: `min(a + b, MAX)`
+                        // keeps the merge associative and commutative, so
+                        // the monoid laws hold even for adversarial
+                        // same-day self-merges (`tests/merge_laws.rs`).
                         let s = dst.per_site.entry(site).or_default();
-                        s.pageviews += stats.pageviews;
-                        s.visitors += stats.visitors;
+                        s.pageviews = s.pageviews.saturating_add(stats.pageviews);
+                        s.visitors = s.visitors.saturating_add(stats.visitors);
                     }
                 }
             }

@@ -1,0 +1,339 @@
+//! Epoch-stamped scratch structures for allocation-free per-day ingestion.
+//!
+//! The fused ingestion path (see [`crate::fused`]) accumulates one day of
+//! traffic at a time into dense working tables, then resets them for the
+//! next day. Resetting by reallocation (or even by `clear()`-and-rezero)
+//! would put an `O(capacity)` cost and fresh heap traffic on every day; the
+//! structures here instead stamp each slot with the *epoch* (day generation
+//! counter) that last wrote it. Bumping the epoch invalidates every slot in
+//! `O(1)`, and a slot whose stamp is stale reads as its `Default` value —
+//! indistinguishable from a freshly zeroed table. That equivalence is the
+//! **scratch-epoch invariant**, pinned by the property tests in
+//! `crates/vantage/tests/scratch_props.rs`.
+//!
+//! Epochs are `u64` and only ever incremented, so they cannot wrap within
+//! any feasible run (2^64 days), and no stamp laundering is needed.
+//!
+//! Three pieces:
+//!
+//! * [`ScratchTable`] — a dense index-addressed table (for site- or
+//!   name-indexed accumulators over the world's fixed universe).
+//! * [`ScratchMap`] — an open-addressed `u64`-keyed hash map (for sparse
+//!   composite keys like `(site, ip)` packed into 64 bits).
+//! * [`ScratchPool`] — a mutex-guarded free list the study worker pool
+//!   checks scratch states out of per day, so capacity built up on early
+//!   days is reused for the rest of the window.
+
+use std::sync::{Mutex, PoisonError};
+
+/// A dense, epoch-stamped table addressed by `usize` index.
+///
+/// `slot(i)` returns the value for `i` in the current epoch, resetting it to
+/// `V::default()` first if the slot was last written in an earlier epoch.
+/// [`ScratchTable::begin_epoch`] therefore "clears" the whole table in
+/// `O(1)` without touching memory.
+#[derive(Debug)]
+pub struct ScratchTable<V> {
+    stamps: Vec<u64>,
+    vals: Vec<V>,
+    epoch: u64,
+}
+
+impl<V: Default + Clone> ScratchTable<V> {
+    /// A table covering indices `0..len` (the universe size is fixed per
+    /// world, so the one allocation happens at construction).
+    pub fn with_len(len: usize) -> Self {
+        ScratchTable {
+            stamps: vec![0; len],
+            vals: vec![V::default(); len],
+            // Stamps start at 0, so the first epoch must be 1 — otherwise
+            // every slot would read as already claimed.
+            epoch: 1,
+        }
+    }
+
+    /// Starts a new epoch: every slot now reads as `V::default()`.
+    pub fn begin_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Mutable access to slot `i`, plus whether this is the slot's first
+    /// touch in the current epoch (after the reset to default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the constructed length.
+    pub fn slot(&mut self, i: usize) -> (bool, &mut V) {
+        let first = self.stamps[i] != self.epoch;
+        if first {
+            self.stamps[i] = self.epoch;
+            self.vals[i] = V::default();
+        }
+        (first, &mut self.vals[i])
+    }
+
+    /// Reads slot `i` without claiming it: the current-epoch value, or
+    /// `V::default()` if untouched this epoch.
+    pub fn peek(&self, i: usize) -> V {
+        if self.stamps[i] == self.epoch {
+            self.vals[i].clone()
+        } else {
+            V::default()
+        }
+    }
+
+    /// The constructed length.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the table covers no indices at all.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+}
+
+/// An open-addressed, linear-probed hash map from packed `u64` keys to `V`,
+/// with epoch-stamped slots.
+///
+/// Designed for the per-day uniqueness tracking in the fused ingestion path:
+/// `entry(key)` either finds the key's current-epoch slot or claims a stale
+/// one (resetting it to `V::default()`), reporting which happened. The table
+/// grows geometrically at 7/8 load — growth re-seats only current-epoch
+/// entries, and once a scratch has seen its heaviest day the capacity is
+/// final, making subsequent days allocation-free.
+///
+/// Iteration order is never exposed: consumers drain results through their
+/// own dense touch lists or sorts, keeping results independent of hash
+/// layout.
+#[derive(Debug)]
+pub struct ScratchMap<V> {
+    keys: Vec<u64>,
+    stamps: Vec<u64>,
+    vals: Vec<V>,
+    epoch: u64,
+    live: usize,
+}
+
+/// Initial capacity (slots) of a [`ScratchMap`]; always a power of two.
+const MAP_INITIAL_CAPACITY: usize = 64;
+
+/// Multiplicative hash (Fibonacci constant); the high bits index the table.
+#[inline]
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl<V: Default + Clone> ScratchMap<V> {
+    /// An empty map with the default initial capacity.
+    pub fn new() -> Self {
+        ScratchMap {
+            keys: vec![0; MAP_INITIAL_CAPACITY],
+            stamps: vec![0; MAP_INITIAL_CAPACITY],
+            vals: vec![V::default(); MAP_INITIAL_CAPACITY],
+            // Stamps start at 0, so the first epoch must be 1 — otherwise
+            // every slot would look live and probes could cycle forever.
+            epoch: 1,
+            live: 0,
+        }
+    }
+
+    /// Starts a new epoch: the map now reads as empty.
+    pub fn begin_epoch(&mut self) {
+        self.epoch += 1;
+        self.live = 0;
+    }
+
+    /// Number of distinct keys inserted in the current epoch.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no key has been inserted in the current epoch.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The value for `key` in the current epoch, if inserted.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mask = self.keys.len() - 1;
+        let mut i = (spread(key) >> 32) as usize & mask;
+        loop {
+            if self.stamps[i] != self.epoch {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(&self.vals[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Finds or inserts `key`'s slot for the current epoch. Returns whether
+    /// the key is new this epoch (value freshly reset to `V::default()`)
+    /// and the slot itself.
+    pub fn entry(&mut self, key: u64) -> (bool, &mut V) {
+        if (self.live + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (spread(key) >> 32) as usize & mask;
+        loop {
+            if self.stamps[i] != self.epoch {
+                self.keys[i] = key;
+                self.stamps[i] = self.epoch;
+                self.vals[i] = V::default();
+                self.live += 1;
+                return (true, &mut self.vals[i]);
+            }
+            if self.keys[i] == key {
+                return (false, &mut self.vals[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles capacity, re-seating only the current epoch's live entries.
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let mut keys = vec![0u64; new_cap];
+        let mut stamps = vec![0u64; new_cap];
+        let mut vals = vec![V::default(); new_cap];
+        let mask = new_cap - 1;
+        for old in 0..self.keys.len() {
+            if self.stamps[old] != self.epoch {
+                continue;
+            }
+            let key = self.keys[old];
+            let mut i = (spread(key) >> 32) as usize & mask;
+            while stamps[i] == self.epoch {
+                i = (i + 1) & mask;
+            }
+            keys[i] = key;
+            stamps[i] = self.epoch;
+            vals[i] = std::mem::take(&mut self.vals[old]);
+        }
+        self.keys = keys;
+        self.stamps = stamps;
+        self.vals = vals;
+    }
+}
+
+impl<V: Default + Clone> Default for ScratchMap<V> {
+    fn default() -> Self {
+        ScratchMap::new()
+    }
+}
+
+/// A mutex-guarded free list of reusable scratch states.
+///
+/// The study's worker pool checks a state out per day and returns it after
+/// the day's shards are built, so at most `workers` states ever exist and
+/// each one's warmed-up capacity serves many days. The pool imposes no
+/// ordering and the states carry no cross-day data (every checkout starts a
+/// fresh epoch), so pooling cannot affect results — only allocation counts.
+#[derive(Debug)]
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a pooled state, or builds one with `make` if none is free.
+    pub fn checkout_or(&self, make: impl FnOnce() -> T) -> T {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(make)
+    }
+
+    /// Returns a state to the pool for the next checkout.
+    pub fn put_back(&self, state: T) {
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(state);
+    }
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_epoch_reads_as_fresh() {
+        let mut t: ScratchTable<u32> = ScratchTable::with_len(8);
+        let (first, v) = t.slot(3);
+        assert!(first);
+        *v = 7;
+        assert_eq!(t.peek(3), 7);
+        let (first, v) = t.slot(3);
+        assert!(!first);
+        assert_eq!(*v, 7);
+        t.begin_epoch();
+        assert_eq!(t.peek(3), 0, "stale slot must read as default");
+        let (first, v) = t.slot(3);
+        assert!(first, "stale slot must be re-claimable");
+        assert_eq!(*v, 0);
+    }
+
+    #[test]
+    fn map_entry_tracks_freshness_across_epochs() {
+        let mut m: ScratchMap<u8> = ScratchMap::new();
+        let (fresh, v) = m.entry(42);
+        assert!(fresh);
+        *v = 9;
+        let (fresh, v) = m.entry(42);
+        assert!(!fresh);
+        assert_eq!(*v, 9);
+        assert_eq!(m.len(), 1);
+        m.begin_epoch();
+        assert!(m.get(42).is_none());
+        assert!(m.is_empty());
+        let (fresh, v) = m.entry(42);
+        assert!(fresh, "key from a past epoch must count as new");
+        assert_eq!(*v, 0);
+    }
+
+    #[test]
+    fn map_grows_past_load_factor_and_keeps_entries() {
+        let mut m: ScratchMap<u64> = ScratchMap::new();
+        for k in 0..1000u64 {
+            let key = k.wrapping_mul(0x1234_5678_9ABC_DEF1);
+            let (fresh, v) = m.entry(key);
+            assert!(fresh);
+            *v = k;
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            let key = k.wrapping_mul(0x1234_5678_9ABC_DEF1);
+            assert_eq!(m.get(key), Some(&k));
+        }
+    }
+
+    #[test]
+    fn pool_round_trips_states() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        let mut a = pool.checkout_or(|| Vec::with_capacity(16));
+        a.push(1);
+        let cap = a.capacity();
+        pool.put_back(a);
+        let b = pool.checkout_or(Vec::new);
+        assert_eq!(b.capacity(), cap, "pooled state must be the same buffer");
+        let c = pool.checkout_or(|| vec![9]);
+        assert_eq!(c, vec![9], "empty pool must fall back to the factory");
+    }
+}

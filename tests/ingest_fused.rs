@@ -1,0 +1,59 @@
+//! Fused-pipeline equivalence over a realistic window: the streaming
+//! `DayScratch` path (what `Study::run` uses, including pooled scratch
+//! shared by worker threads) must produce exactly the shards the
+//! materialized `DayShards::observe` path produces, for every day.
+//!
+//! `tests/merge_laws.rs` checks the same equality on tiny worlds;
+//! `tests/determinism.rs` pins the end-to-end byte-identity across worker
+//! counts. This suite covers the middle: the small preset's full window,
+//! with scratch checked in and out of a shared [`ScratchPool`] from
+//! multiple threads the way the study worker pool does.
+
+use toppling::sim::{World, WorldConfig};
+use toppling::vantage::{DayScratch, DayShards, ScratchPool};
+
+#[test]
+fn fused_window_matches_materialized_window() {
+    let world = World::generate(WorldConfig::small(7070)).unwrap();
+    let n_days = world.config.days.len();
+    let mut scratch = DayScratch::new(&world);
+    for d in 0..n_days {
+        let fused = scratch.observe_day(&world, d);
+        let traffic = world.simulate_day(d);
+        assert_eq!(fused, DayShards::observe(&world, &traffic), "day {d}");
+    }
+}
+
+#[test]
+fn pooled_scratch_across_threads_matches_materialized() {
+    let world = World::generate(WorldConfig::small(7071)).unwrap();
+    let n_days = world.config.days.len();
+    let pool = ScratchPool::new();
+
+    // Fewer workers than days, so scratch states are reused across days and
+    // handed between threads through the pool — the study's access pattern.
+    // Each spawned chunk carries its starting day index, so every result
+    // lands in the slot for the day it actually observed.
+    let mut fused: Vec<Option<DayShards>> = Vec::new();
+    fused.resize_with(n_days, || None);
+    std::thread::scope(|s| {
+        let chunk = n_days.div_ceil(3);
+        for (t, slice) in fused.chunks_mut(chunk).enumerate() {
+            let (pool, world) = (&pool, &world);
+            s.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let d = t * chunk + i;
+                    let mut scratch = pool.checkout_or(|| DayScratch::new(world));
+                    *slot = Some(scratch.observe_day(world, d));
+                    pool.put_back(scratch);
+                }
+            });
+        }
+    });
+
+    for (d, got) in fused.into_iter().enumerate() {
+        let traffic = world.simulate_day(d);
+        let want = DayShards::observe(&world, &traffic);
+        assert_eq!(got.expect("every day observed"), want, "day {d}");
+    }
+}
