@@ -64,7 +64,9 @@ impl SourceModel {
                     }
                     let text: String = bytes[start..i].iter().collect();
                     comments.push((line, text));
-                    masked.extend(std::iter::repeat_n(' ', i - start));
+                    for &m in &bytes[start..i] {
+                        Self::mask_char(&mut masked, m);
+                    }
                 }
                 '/' if i + 1 < n && bytes[i + 1] == '*' => {
                     // Block comment, possibly nested.
@@ -85,7 +87,7 @@ impl SourceModel {
                                 masked.push('\n');
                                 line += 1;
                             } else {
-                                masked.push(' ');
+                                Self::mask_char(&mut masked, bytes[i]);
                             }
                             i += 1;
                         }
@@ -98,11 +100,12 @@ impl SourceModel {
                     while i < n {
                         match bytes[i] {
                             '\\' if i + 1 < n => {
-                                masked.push_str("  ");
+                                masked.push(' ');
                                 if bytes[i + 1] == '\n' {
-                                    masked.pop();
                                     masked.push('\n');
                                     line += 1;
+                                } else {
+                                    Self::mask_char(&mut masked, bytes[i + 1]);
                                 }
                                 i += 2;
                             }
@@ -117,7 +120,7 @@ impl SourceModel {
                                 i += 1;
                             }
                             _ => {
-                                masked.push(' ');
+                                Self::mask_char(&mut masked, bytes[i]);
                                 i += 1;
                             }
                         }
@@ -155,7 +158,7 @@ impl SourceModel {
                             masked.push('\n');
                             line += 1;
                         } else {
-                            masked.push(' ');
+                            Self::mask_char(&mut masked, bytes[i]);
                         }
                         i += 1;
                     }
@@ -168,7 +171,7 @@ impl SourceModel {
                         masked.push('\'');
                         i += 1;
                         while i < n && bytes[i] != '\'' {
-                            masked.push(' ');
+                            Self::mask_char(&mut masked, bytes[i]);
                             i += 1;
                         }
                         if i < n {
@@ -178,7 +181,7 @@ impl SourceModel {
                     } else if i + 2 < n && bytes[i + 2] == '\'' {
                         // Plain char literal 'x'.
                         masked.push('\'');
-                        masked.push(' ');
+                        Self::mask_char(&mut masked, bytes[i + 1]);
                         masked.push('\'');
                         i += 3;
                     } else {
@@ -199,6 +202,7 @@ impl SourceModel {
             }
         }
 
+        debug_assert_eq!(masked.len(), raw.len(), "masking must preserve byte length");
         let line_starts: Vec<usize> = std::iter::once(0)
             .chain(
                 masked
@@ -259,6 +263,16 @@ impl SourceModel {
             }
         }
         hot
+    }
+
+    /// Masks one source character, preserving its UTF-8 byte length so every
+    /// byte offset after it stays aligned between `masked` and `raw`. A
+    /// single-space mask for a multibyte char would shift all later
+    /// `line_starts`, corrupting snippets and any span-based analysis.
+    fn mask_char(masked: &mut String, c: char) {
+        for _ in 0..c.len_utf8() {
+            masked.push(' ');
+        }
     }
 
     fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
@@ -464,6 +478,51 @@ mod tests {
         assert!(m.allow_for("unwrap", 2).is_some());
         assert!(m.allow_for("unwrap", 4).is_none());
         assert!(m.allows[1].justification.is_empty());
+    }
+
+    #[test]
+    fn multibyte_comment_keeps_offsets_aligned() {
+        // Regression: a non-ASCII char in a masked region used to shrink
+        // `masked` by (len_utf8 - 1) bytes, shifting every later offset.
+        let src = "// café note — review\nx.unwrap();\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.masked.len(), src.len());
+        assert_eq!(m.raw_line(2), "x.unwrap();");
+    }
+
+    #[test]
+    fn multibyte_raw_string_keeps_offsets_aligned() {
+        let src = "let s = r#\"→ arrow ← and π\"#;\nlet y = 2;\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.masked.len(), src.len());
+        assert!(!m.masked.contains("arrow"));
+        assert_eq!(m.raw_line(2), "let y = 2;");
+    }
+
+    #[test]
+    fn multibyte_char_and_string_literals_keep_offsets_aligned() {
+        let src = "let c = 'é'; let s = \"ümlaut\"; let e = \"a\\né\";\nlet z = 3;\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.masked.len(), src.len());
+        assert_eq!(m.raw_line(2), "let z = 3;");
+    }
+
+    #[test]
+    fn multibyte_block_comment_keeps_offsets_aligned() {
+        let src = "/* outer /* köttbullar */ ✓ */ let ok = 1;\nlet t = 4;\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.masked.len(), src.len());
+        assert!(m.masked.contains("let ok = 1;"));
+        assert_eq!(m.raw_line(2), "let t = 4;");
+    }
+
+    #[test]
+    fn raw_string_with_embedded_quotes_and_hashes() {
+        let src = "let p = r##\"quote \"#  inside\"##; x.unwrap();\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.masked.len(), src.len());
+        assert!(!m.masked.contains("inside"));
+        assert!(m.masked.contains("x.unwrap();"));
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! is token-textual rather than AST-based.
 
 pub mod config;
+pub mod epoch;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -116,6 +119,18 @@ fn read(path: &Path) -> Result<String, LintError> {
     })
 }
 
+/// One lexed workspace source file: the unit the symbol/call-graph pass
+/// works over (lexical rules see one file at a time; the epoch analysis
+/// needs all of them at once).
+pub struct LexedFile {
+    /// Package name the file belongs to.
+    pub krate: String,
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Masked + raw source with line tables.
+    pub model: SourceModel,
+}
+
 /// A crate to lint: its package name and the source files under it.
 struct CrateFiles {
     name: String,
@@ -213,15 +228,16 @@ fn workspace_crates(root: &Path) -> Result<Vec<CrateFiles>, LintError> {
     Ok(crates)
 }
 
-/// Lints one already-lexed file, resolving severities against the config.
-fn lint_model(
+/// Resolves raw violations against the config and appends surviving ones.
+fn resolve(
     model: &SourceModel,
     krate: &str,
     file: &str,
     config: &Config,
+    raws: Vec<rules::RawViolation>,
     findings: &mut Vec<Finding>,
 ) {
-    for v in rules::check_file(model) {
+    for v in raws {
         let builtin = rules::rule_info(v.rule)
             .map(|r| r.builtin)
             .unwrap_or(Severity::Warn);
@@ -243,6 +259,24 @@ fn lint_model(
     }
 }
 
+/// Lints one already-lexed file, resolving severities against the config.
+fn lint_model(
+    model: &SourceModel,
+    krate: &str,
+    file: &str,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    resolve(
+        model,
+        krate,
+        file,
+        config,
+        rules::check_file(model),
+        findings,
+    );
+}
+
 /// Lints a single file path (used by tests and `--file`).
 pub fn lint_file(path: &Path, krate: &str, config: &Config) -> Result<Vec<Finding>, LintError> {
     let text = read(path)?;
@@ -258,10 +292,10 @@ pub fn lint_file(path: &Path, krate: &str, config: &Config) -> Result<Vec<Findin
     Ok(findings)
 }
 
-/// Lints the whole workspace rooted at `root`.
-pub fn lint_workspace(root: &Path, config: &Config) -> Result<Report, LintError> {
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
+/// Lexes every workspace source file once, for both the per-file lexical
+/// rules and the cross-file symbol/call-graph pass.
+pub fn lex_workspace(root: &Path) -> Result<Vec<LexedFile>, LintError> {
+    let mut out = Vec::new();
     for krate in workspace_crates(root)? {
         for path in &krate.files {
             let rel = path
@@ -271,16 +305,52 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<Report, LintError>
                 .to_string()
                 .replace('\\', "/");
             let text = read(path)?;
-            let model = SourceModel::parse(&text);
-            lint_model(&model, &krate.name, &rel, config, &mut findings);
-            files_scanned += 1;
+            out.push(LexedFile {
+                krate: krate.name.clone(),
+                rel,
+                model: SourceModel::parse(&text),
+            });
         }
+    }
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`: per-file lexical rules, then
+/// the call-graph pass (`rng-leak`, `unordered-iteration`, and — when a
+/// `determinism.epoch.toml` manifest is checked in — `epoch-drift`).
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<Report, LintError> {
+    let files = lex_workspace(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        resolve(
+            &f.model,
+            &f.krate,
+            &f.rel,
+            config,
+            rules::check_lexical(&f.model),
+            &mut findings,
+        );
+    }
+    let analysis = epoch::analyze(&files);
+    let pinned = epoch::Manifest::load(root)?;
+    epoch::graph_findings(&files, &analysis, pinned.as_ref(), config, &mut findings);
+    // Directive audit last: the graph pass above may have consumed
+    // `rng-leak` / `unordered-iteration` allows.
+    for f in &files {
+        resolve(
+            &f.model,
+            &f.krate,
+            &f.rel,
+            config,
+            rules::check_directives_pass(&f.model),
+            &mut findings,
+        );
     }
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
     });
     Ok(Report {
-        files_scanned,
+        files_scanned: files.len(),
         findings,
     })
 }

@@ -5,15 +5,20 @@
 //! cargo run -p topple-lint -- --format json      # machine-readable report
 //! cargo run -p topple-lint -- --suggest          # include fix suggestions
 //! cargo run -p topple-lint -- --list-rules       # rule catalogue
+//! cargo run -p topple-lint -- epoch emit         # print the computed manifest
+//! cargo run -p topple-lint -- epoch emit --write # regenerate determinism.epoch.toml
+//! cargo run -p topple-lint -- epoch verify       # check sources against the manifest
 //! ```
 //!
-//! Exit codes: 0 clean (warnings allowed), 1 deny-level findings, 2 usage or
-//! configuration error.
+//! Exit codes: 0 clean (warnings allowed), 1 deny-level findings or epoch
+//! drift, 2 usage or configuration error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use topple_lint::{config::Severity, lint_workspace, load_config, report, rules};
+use topple_lint::{
+    config::Severity, epoch, lex_workspace, lint_workspace, load_config, report, rules,
+};
 
 struct Options {
     root: PathBuf,
@@ -21,10 +26,17 @@ struct Options {
     json: bool,
     suggest: bool,
     list_rules: bool,
+    epoch: Option<EpochAction>,
+}
+
+/// What `topple-lint epoch ...` was asked to do.
+enum EpochAction {
+    Emit { write: bool },
+    Verify,
 }
 
 const USAGE: &str = "usage: topple-lint [--root DIR] [--config FILE] [--format text|json] \
-    [--suggest] [--list-rules]";
+    [--suggest] [--list-rules] [epoch emit [--write] | epoch verify]";
 
 /// The workspace root: `--root`, else the manifest dir's grandparent when
 /// cargo provides it (crates/lint -> root), else the current directory.
@@ -47,10 +59,23 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         suggest: false,
         list_rules: false,
+        epoch: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "epoch" => {
+                // `--emit`/`--verify` flag spellings are accepted too.
+                opts.epoch = Some(match args.next().as_deref() {
+                    Some("emit" | "--emit") => EpochAction::Emit { write: false },
+                    Some("verify" | "--verify") => EpochAction::Verify,
+                    _ => return Err("epoch needs `emit` or `verify`".into()),
+                });
+            }
+            "--write" => match &mut opts.epoch {
+                Some(EpochAction::Emit { write }) => *write = true,
+                _ => return Err("--write only applies to `epoch emit`".into()),
+            },
             "--root" => {
                 opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
             }
@@ -86,9 +111,13 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for r in rules::RULES {
-            println!("{:<14} {:<6} {}", r.id, r.builtin.name(), r.summary);
+            println!("{:<20} {:<6} {}", r.id, r.builtin.name(), r.summary);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(action) = &opts.epoch {
+        return run_epoch(&opts.root, action);
     }
 
     let config = match load_config(&opts.root, opts.config.as_deref()) {
@@ -117,5 +146,84 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `topple-lint epoch emit|verify`: compute the determinism-epoch manifest
+/// from the sources and print, write, or compare it.
+fn run_epoch(root: &std::path::Path, action: &EpochAction) -> ExitCode {
+    let files = match lex_workspace(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("topple-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = epoch::analyze(&files);
+    if !analysis.roots_found {
+        eprintln!(
+            "topple-lint: no determinism roots found (expected World::simulate_day_into \
+             and/or Study::run)"
+        );
+        return ExitCode::from(2);
+    }
+    let computed = epoch::Manifest::from_analysis(&analysis);
+    match action {
+        EpochAction::Emit { write } => {
+            let rendered = computed.render();
+            if *write {
+                let path = root.join(epoch::MANIFEST_FILE);
+                if let Err(e) = std::fs::write(&path, &rendered) {
+                    eprintln!("topple-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "wrote {} ({} draw sites, epoch {})",
+                    path.display(),
+                    computed.sites.len(),
+                    computed.epoch
+                );
+            } else {
+                print!("{rendered}");
+            }
+            ExitCode::SUCCESS
+        }
+        EpochAction::Verify => {
+            let pinned = match epoch::Manifest::load(root) {
+                Ok(Some(m)) => m,
+                Ok(None) => {
+                    eprintln!(
+                        "topple-lint: {} not found; generate it with `topple-lint epoch emit --write`",
+                        epoch::MANIFEST_FILE
+                    );
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("topple-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let drift = epoch::drift(&computed, &pinned);
+            if drift.is_empty() {
+                println!(
+                    "epoch {} verified: {} draw sites match {}",
+                    pinned.epoch,
+                    pinned.sites.len(),
+                    epoch::MANIFEST_FILE
+                );
+                ExitCode::SUCCESS
+            } else {
+                for msg in &drift {
+                    eprintln!("epoch-drift: {msg}");
+                }
+                eprintln!(
+                    "topple-lint: determinism contract drifted ({} differences); if the change \
+                     is intentional bump DETERMINISM_EPOCH, re-run `topple-lint epoch emit \
+                     --write`, and re-pin tests/determinism.rs",
+                    drift.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
     }
 }

@@ -85,6 +85,22 @@ pub const RULES: &[RuleInfo] = &[
         builtin: Severity::Deny,
     },
     RuleInfo {
+        id: "rng-leak",
+        summary: "seeded RNG consumed outside the determinism-epoch call graph",
+        builtin: Severity::Deny,
+    },
+    RuleInfo {
+        id: "epoch-drift",
+        summary:
+            "reachable draw-site set differs from determinism.epoch.toml for the declared epoch",
+        builtin: Severity::Deny,
+    },
+    RuleInfo {
+        id: "unordered-iteration",
+        summary: "hash-container iteration collected and later consumed without sorting",
+        builtin: Severity::Warn,
+    },
+    RuleInfo {
         id: "allow-empty",
         summary: "topple-lint allow directive without a justification",
         builtin: Severity::Deny,
@@ -138,6 +154,15 @@ const SUGGEST_STRING_SET: &str = "intern the domains once (topple_lists::DomainT
 const SUGGEST_HOT_ALLOC: &str = "hoist the allocation into reusable scratch (epoch-stamped \
      tables, see topple_vantage::scratch) or out of the per-event loop; if the allocation is \
      genuinely amortized, justify with `// topple-lint: allow(hot-alloc): <why>`";
+pub(crate) const SUGGEST_RNG_LEAK: &str = "route the function through the declared roots \
+     (World::simulate_day_into / Study::run) so its draws join the epoch manifest, drop the RNG \
+     parameter, or justify with `// topple-lint: allow(rng-leak): <why>`";
+pub(crate) const SUGGEST_EPOCH_DRIFT: &str = "the draw sequence changed: bump DETERMINISM_EPOCH \
+     in crates/sim, regenerate the manifest with `topple-lint epoch emit --write`, and re-pin the \
+     byte snapshot in tests/determinism.rs";
+pub(crate) const SUGGEST_UNORDERED: &str = "sort the collected values before consuming them \
+     (`v.sort()` / `v.sort_unstable()`), switch to a BTree container, or justify with \
+     `// topple-lint: allow(unordered-iteration): <why order cannot leak>`";
 const SUGGEST_ALLOW_EMPTY: &str =
     "write the justification: `// topple-lint: allow(rule): <why this is sound>`";
 const SUGGEST_ALLOW_UNUSED: &str = "delete the stale directive (or fix the rule id typo)";
@@ -145,6 +170,20 @@ const SUGGEST_ALLOW_UNUSED: &str = "delete the stale directive (or fix the rule 
 /// Integer types a cast to which is potentially truncating.
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Hash-container methods that iterate in arbitrary order (shared with the
+/// cross-statement `unordered-iteration` analysis in `epoch`).
+pub(crate) const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
 ];
 
 /// Chain tails that consume an iterator order-insensitively; iteration feeding
@@ -167,7 +206,7 @@ fn is_ident(c: char) -> bool {
 }
 
 /// Byte offsets of `needle` in `hay` with identifier boundaries on both ends.
-fn word_occurrences(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn word_occurrences(hay: &str, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0usize;
     while let Some(rel) = hay[from..].find(needle) {
@@ -197,6 +236,16 @@ fn find_all(hay: &str, needle: &str) -> Vec<usize> {
 
 /// Runs every rule over one lexed file.
 pub fn check_file(model: &SourceModel) -> Vec<RawViolation> {
+    let mut out = check_lexical(model);
+    check_directives(model, &mut out);
+    out.sort_by_key(|v| (v.line, v.column));
+    out
+}
+
+/// Runs the per-line lexical rules only — no directive audit. The workspace
+/// driver uses this so the call-graph pass can consume allow directives
+/// before [`check_directives_pass`] decides which ones are stale.
+pub fn check_lexical(model: &SourceModel) -> Vec<RawViolation> {
     let mut out = Vec::new();
     check_hash_iter(model, &mut out);
     check_wall_clock(model, &mut out);
@@ -208,8 +257,15 @@ pub fn check_file(model: &SourceModel) -> Vec<RawViolation> {
     check_lossy_cast(model, &mut out);
     check_string_set(model, &mut out);
     check_hot_alloc(model, &mut out);
-    check_directives(model, &mut out);
     out.sort_by_key(|v| (v.line, v.column));
+    out
+}
+
+/// Audits allow directives (`allow-empty`, `allow-unused`) — run last, after
+/// every rule that could mark a directive used.
+pub fn check_directives_pass(model: &SourceModel) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    check_directives(model, &mut out);
     out
 }
 
@@ -244,7 +300,7 @@ fn push(
 
 /// Names bound to a `HashMap`/`HashSet` anywhere in the file: `let` bindings,
 /// struct fields and fn parameters (`name: HashMap<..>`).
-fn hash_container_names(masked: &str) -> BTreeSet<String> {
+pub(crate) fn hash_container_names(masked: &str) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for ty in ["HashMap", "HashSet"] {
         for at in word_occurrences(masked, ty) {
@@ -302,17 +358,6 @@ fn hash_container_names(masked: &str) -> BTreeSet<String> {
 }
 
 fn check_hash_iter(model: &SourceModel, out: &mut Vec<RawViolation>) {
-    const ITER_METHODS: &[&str] = &[
-        ".iter()",
-        ".iter_mut()",
-        ".keys()",
-        ".values()",
-        ".values_mut()",
-        ".into_iter()",
-        ".into_keys()",
-        ".into_values()",
-        ".drain(",
-    ];
     let masked = &model.masked;
     for name in hash_container_names(masked) {
         for at in word_occurrences(masked, &name) {

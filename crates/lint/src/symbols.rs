@@ -1,0 +1,399 @@
+//! Per-crate symbol tables: a lightweight item parser over the lexer.
+//!
+//! The lexer gives every file a byte-aligned masked view; this module walks
+//! that view once per file and extracts the two item kinds the call-graph
+//! analysis needs: `impl` blocks (to qualify methods) and `fn` items (name,
+//! parameter list, body span). It is deliberately not a full parser — no
+//! types, no expressions — just enough structure for name-based call
+//! resolution and the RNG taint pass in [`crate::epoch`].
+
+use crate::LexedFile;
+
+/// One function item found in a workspace source file.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into the lexed-file list this symbol came from.
+    pub file: usize,
+    /// Package name (e.g. `topple-sim`).
+    pub krate: String,
+    /// Fully qualified name: `krate::module::Owner::name` (owner omitted for
+    /// free functions). Stable across line moves — manifest identity.
+    pub qname: String,
+    /// Simple function name.
+    pub name: String,
+    /// `impl` type the function is a method of, if any.
+    pub owner: Option<String>,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Byte span of the parameter list interior in `masked` (between parens).
+    pub sig_span: (usize, usize),
+    /// Byte span of the body in `masked`, including the outer braces.
+    pub body_span: (usize, usize),
+    /// Whether the declaration lies in a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// Keywords that look like call heads but never are.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// The module path of a workspace-relative file: `crates/sim/src/traffic.rs`
+/// → `traffic`, `src/lib.rs` → `lib`, nested dirs join with `::`.
+fn module_path(rel: &str) -> String {
+    let tail = rel
+        .rsplit_once("src/")
+        .map(|(_, t)| t)
+        .unwrap_or(rel)
+        .trim_end_matches(".rs");
+    tail.replace('/', "::")
+}
+
+/// Matches forward from an opening delimiter to its closing partner,
+/// returning the byte offset one past the close (or `None` if unbalanced).
+fn match_delim(bytes: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < bytes.len() {
+        if bytes[i] == open {
+            depth += 1;
+        } else if bytes[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips a generics list `<...>` starting at `at` (which must point at `<`),
+/// returning the offset one past the matching `>`. Tolerates `->` and
+/// comparison-free item headers (the only place this is called).
+fn skip_generics(bytes: &[u8], at: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut i = at;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                // `->` inside generics default types cannot occur in an item
+                // header before the parameter list; plain `>` closes.
+                if i > 0 && bytes[i - 1] == b'-' {
+                    i += 1;
+                    continue;
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// An `impl` block: the type it implements on and its body span.
+struct ImplBlock {
+    owner: String,
+    span: (usize, usize),
+}
+
+/// Extracts the implemented-on type name from an impl header (the text
+/// between `impl` and the opening brace): the path after a top-level `for`
+/// if present, else the first path after the generics.
+fn impl_owner(header: &str) -> Option<String> {
+    // Split off a top-level ` for ` (angle-depth 0) if present.
+    let bytes = header.as_bytes();
+    let mut depth = 0isize;
+    let mut tail = header;
+    let mut i = 0usize;
+    while i + 5 <= bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => depth -= 1,
+            b'f' if depth == 0
+                && header[i..].starts_with("for")
+                && (i == 0 || !is_ident(bytes[i - 1]))
+                && !is_ident(*bytes.get(i + 3).unwrap_or(&b' ')) =>
+            {
+                tail = &header[i + 3..];
+                // Keep scanning: the last top-level `for` wins (there is
+                // only ever one in valid Rust).
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // The owner is the last segment of the leading path of `tail`.
+    let tail = tail.trim_start().trim_start_matches('&').trim_start();
+    let mut owner = None;
+    let mut seg = String::new();
+    for c in tail.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            seg.push(c);
+        } else if c == ':' {
+            if !seg.is_empty() {
+                owner = Some(std::mem::take(&mut seg));
+            }
+        } else {
+            break;
+        }
+    }
+    if !seg.is_empty() {
+        owner = Some(seg);
+    }
+    owner.filter(|o| !o.is_empty())
+}
+
+/// Finds every `impl` block in a masked file.
+fn impl_blocks(masked: &str) -> Vec<ImplBlock> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for at in crate::rules::word_occurrences(masked, "impl") {
+        let mut i = at + 4;
+        // Optional generics directly after the keyword.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'<' {
+            let Some(next) = skip_generics(bytes, i) else {
+                continue;
+            };
+            i = next;
+        }
+        // Header runs to the opening brace (tracking nothing: braces cannot
+        // appear in an impl header).
+        let Some(rel) = masked[i..].find('{') else {
+            continue;
+        };
+        let open = i + rel;
+        let Some(owner) = impl_owner(&masked[i..open]) else {
+            continue;
+        };
+        let Some(end) = match_delim(bytes, open, b'{', b'}') else {
+            continue;
+        };
+        out.push(ImplBlock {
+            owner,
+            span: (open, end),
+        });
+    }
+    out
+}
+
+/// Scans every lexed file and builds the workspace function table, in
+/// deterministic (file, offset) order.
+pub fn scan(files: &[LexedFile]) -> Vec<FnSym> {
+    let mut out = Vec::new();
+    for (file_idx, f) in files.iter().enumerate() {
+        let masked = &f.model.masked;
+        let bytes = masked.as_bytes();
+        let impls = impl_blocks(masked);
+        let module = module_path(&f.rel);
+        for at in crate::rules::word_occurrences(masked, "fn") {
+            let mut i = at + 2;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            // `fn(` is a function-pointer type, not an item.
+            let name_start = i;
+            while i < bytes.len() && is_ident(bytes[i]) {
+                i += 1;
+            }
+            if i == name_start {
+                continue;
+            }
+            let name = masked[name_start..i].to_owned();
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'<' {
+                let Some(next) = skip_generics(bytes, i) else {
+                    continue;
+                };
+                i = next;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+            }
+            if i >= bytes.len() || bytes[i] != b'(' {
+                continue;
+            }
+            let Some(params_end) = match_delim(bytes, i, b'(', b')') else {
+                continue;
+            };
+            let sig_span = (i + 1, params_end - 1);
+            // Scan to the body open brace or a terminating `;` (trait
+            // signature / extern decl) at bracket depth 0.
+            let mut j = params_end;
+            let mut depth = 0isize;
+            let mut open = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'(' | b'[' | b'<' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    // `->` is a return arrow, not a closing angle bracket.
+                    b'>' if bytes[j - 1] != b'-' => depth -= 1,
+                    b'{' => {
+                        open = Some(j);
+                        break;
+                    }
+                    b';' if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open_at) = open else {
+                continue;
+            };
+            let Some(body_end) = match_delim(bytes, open_at, b'{', b'}') else {
+                continue;
+            };
+            let owner = impls
+                .iter()
+                .filter(|b| b.span.0 < at && at < b.span.1)
+                .min_by_key(|b| b.span.1 - b.span.0)
+                .map(|b| b.owner.clone());
+            let line = f.model.line_of(at);
+            let qname = match &owner {
+                Some(o) => format!("{}::{}::{}::{}", f.krate, module, o, name),
+                None => format!("{}::{}::{}", f.krate, module, name),
+            };
+            out.push(FnSym {
+                file: file_idx,
+                krate: f.krate.clone(),
+                qname,
+                name,
+                owner,
+                line,
+                sig_span,
+                body_span: (open_at, body_end),
+                is_test: f.model.is_test_line(line),
+            });
+        }
+    }
+    out
+}
+
+/// The byte ranges of `fns[idx]`'s body that belong to it directly — its
+/// full body minus any nested `fn` items' bodies (so a nested helper's
+/// calls are not attributed to its parent).
+pub fn own_body_ranges(fns: &[FnSym], idx: usize) -> Vec<(usize, usize)> {
+    let me = &fns[idx];
+    let mut children: Vec<(usize, usize)> = fns
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| {
+            *i != idx
+                && c.file == me.file
+                && c.body_span.0 > me.body_span.0
+                && c.body_span.1 < me.body_span.1
+        })
+        .map(|(_, c)| c.body_span)
+        .collect();
+    children.sort_unstable();
+    let mut out = Vec::new();
+    let mut cursor = me.body_span.0;
+    for (s, e) in children {
+        if s > cursor {
+            out.push((cursor, s));
+        }
+        cursor = cursor.max(e);
+    }
+    if cursor < me.body_span.1 {
+        out.push((cursor, me.body_span.1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceModel;
+
+    fn lex(src: &str) -> Vec<LexedFile> {
+        vec![LexedFile {
+            krate: "test-crate".into(),
+            rel: "crates/x/src/m.rs".into(),
+            model: SourceModel::parse(src),
+        }]
+    }
+
+    #[test]
+    fn finds_free_and_method_fns() {
+        let files = lex(
+            "pub fn free(a: u32) -> u32 { a }\n\
+             struct W;\n\
+             impl W {\n    pub fn m<S: Clone>(&self, rng: &mut SmallRng) -> u8 { 0 }\n}\n\
+             impl std::fmt::Display for W {\n    fn fmt(&self, f: &mut F) -> R { todo()\n    }\n}\n",
+        );
+        let fns = scan(&files);
+        let names: Vec<_> = fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "test-crate::m::free",
+                "test-crate::m::W::m",
+                "test-crate::m::W::fmt"
+            ],
+            "{fns:#?}"
+        );
+        assert_eq!(fns[1].owner.as_deref(), Some("W"));
+        let sig = &files[0].model.masked[fns[1].sig_span.0..fns[1].sig_span.1];
+        assert!(sig.contains("SmallRng"));
+    }
+
+    #[test]
+    fn trait_signatures_and_fn_pointers_are_skipped() {
+        let files = lex(
+            "trait T { fn sig(&self); fn with_default(&self) -> u8 { 0 } }\n\
+             type F = fn(u32) -> u32;\nfn real() {}\n",
+        );
+        let names: Vec<_> = scan(&files).into_iter().map(|f| f.name).collect();
+        assert_eq!(names, ["with_default", "real"]);
+    }
+
+    #[test]
+    fn return_types_with_brackets_do_not_confuse_body_search() {
+        let files = lex(
+            "fn f(n: usize) -> [f64; 4] { [0.0; 4] }\nfn g() -> Vec<(u32, u32)> { Vec::new() }\n",
+        );
+        let fns = scan(&files);
+        assert_eq!(fns.len(), 2);
+        let body0 = &files[0].model.masked[fns[0].body_span.0..fns[0].body_span.1];
+        assert_eq!(body0, "{ [0.0; 4] }");
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_subtracted() {
+        let files = lex("fn outer() { fn inner() { draw(); } other(); }\n");
+        let fns = scan(&files);
+        assert_eq!(fns.len(), 2);
+        let outer = fns.iter().position(|f| f.name == "outer").expect("outer");
+        let ranges = own_body_ranges(&fns, outer);
+        let text: String = ranges
+            .iter()
+            .map(|&(s, e)| &files[0].model.masked[s..e])
+            .collect();
+        assert!(text.contains("other()"));
+        assert!(!text.contains("draw()"));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let files = lex("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n");
+        let fns = scan(&files);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test, "{fns:#?}");
+    }
+}

@@ -103,6 +103,36 @@ fn clean_fixture_is_silent() {
     );
 }
 
+#[test]
+fn lexer_edges_neither_fabricate_nor_hide_findings() {
+    let report = run("lexer_edge.rs", &default_config());
+    // Nothing inside the raw string or the nested block comment may match.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| matches!(f.rule, "hash-iter" | "wall-clock" | "panic")),
+        "masked content fabricated findings: {:?}",
+        report.findings
+    );
+    // The genuine unwrap after the multibyte comment must still be found,
+    // on the right line with the right snippet (both depend on byte-aligned
+    // masking).
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "unwrap")
+        .expect("real unwrap after multibyte text must be reported");
+    assert_eq!(hit.snippet, "x.unwrap()");
+    let src = std::fs::read_to_string(fixture("lexer_edge.rs")).expect("fixture readable");
+    let expect_line = src
+        .lines()
+        .position(|l| l.contains("x.unwrap()"))
+        .expect("unwrap line present")
+        + 1;
+    assert_eq!(hit.line, expect_line, "line number drifted: {hit:?}");
+}
+
 /// The root `lint.toml` names the result-path crates explicitly for
 /// `wall-clock`; this mirrors those entries for the fixture crate.
 fn result_path_config() -> Config {

@@ -1,0 +1,56 @@
+//! Known-bad fixture: trips all three call-graph rules.
+//!
+//! 1. `side_channel` consumes RNG but is unreachable from the roots
+//!    (`rng-leak`).
+//! 2. `simulate_day_into` issues an extra `uniform` draw the pinned manifest
+//!    does not list (`epoch-drift`).
+//! 3. `Study::run` renders a hash-collected vector without sorting it
+//!    (`unordered-iteration`).
+
+pub const DETERMINISM_EPOCH: u32 = 1;
+
+pub fn substream(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn chance(rng: &mut SmallRng, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+pub struct World;
+
+impl World {
+    pub fn simulate_day_into(&self, seed: u64) -> u64 {
+        let mut rng = substream(seed);
+        let mut total = 0;
+        if chance(&mut rng, 0.5) {
+            total += rng.random_range(0..4);
+        }
+        // The drift: a draw the manifest has never heard of.
+        total += rng.random::<u64>();
+        total
+    }
+}
+
+pub struct Study;
+
+impl Study {
+    pub fn run(world: &World) -> u64 {
+        let days = world.simulate_day_into(7);
+        let index: HashMap<u64, u64> = build_index(days);
+        // Unsorted hash-order collection consumed directly.
+        let picked: Vec<u64> = index.keys().copied().collect();
+        picked.first().copied().unwrap_or(days)
+    }
+}
+
+fn build_index(days: u64) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(days, days);
+    m
+}
+
+// Never called from the roots: its draws bypass the epoch contract.
+pub fn side_channel(rng: &mut SmallRng) -> f64 {
+    rng.random()
+}

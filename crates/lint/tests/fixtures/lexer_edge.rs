@@ -1,0 +1,15 @@
+//! Lexer edge cases: raw strings, nested block comments, and multibyte text
+//! must neither fabricate matches from masked-out content nor hide (or
+//! mislocate) real findings that follow them.
+
+/* nested /* HashMap::new().iter() */ std::time::Instant::now() */
+
+pub fn masked_content_is_not_matched() -> &'static str {
+    // Raw-string body full of rule-shaped text; all of it is masked.
+    r##"map.iter().collect::<Vec<_>>() .unwrap() panic!("no") "# inner"##
+}
+
+// A multibyte comment — é π ✓ — once desynced every later byte offset…
+pub fn real_finding_after_multibyte_comment(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

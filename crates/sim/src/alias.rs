@@ -7,6 +7,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+use topple_stats::cast;
 
 /// A prebuilt alias table over `0..n` with probabilities proportional to the
 /// construction weights.
@@ -34,30 +35,30 @@ impl AliasTable {
         assert!(total > 0.0, "weights must not all be zero");
         let scale = n as f64 / total;
         let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
-        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut alias: Vec<u32> = (0..cast::u32_from_usize(n)).collect();
         // Partition indices into under- and over-full buckets.
         let mut small: Vec<u32> = Vec::new();
         let mut large: Vec<u32> = Vec::new();
         for (i, &p) in prob.iter().enumerate() {
             if p < 1.0 {
-                small.push(i as u32);
+                small.push(cast::u32_from_usize(i));
             } else {
-                large.push(i as u32);
+                large.push(cast::u32_from_usize(i));
             }
         }
         while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
             small.pop();
-            alias[s as usize] = l;
+            alias[cast::usize_from_u32(s)] = l;
             // Donate mass from l to fill s up to 1.
-            prob[l as usize] -= 1.0 - prob[s as usize];
-            if prob[l as usize] < 1.0 {
+            prob[cast::usize_from_u32(l)] -= 1.0 - prob[cast::usize_from_u32(s)];
+            if prob[cast::usize_from_u32(l)] < 1.0 {
                 large.pop();
                 small.push(l);
             }
         }
         // Leftovers are within floating-point noise of 1.
         for &i in small.iter().chain(large.iter()) {
-            prob[i as usize] = 1.0;
+            prob[cast::usize_from_u32(i)] = 1.0;
         }
         AliasTable { prob, alias }
     }
@@ -78,7 +79,7 @@ impl AliasTable {
         let n = self.prob.len();
         let i = rng.random_range(0..n);
         if rng.random::<f64>() < self.prob[i] {
-            i as u32
+            cast::u32_from_usize(i)
         } else {
             self.alias[i]
         }
@@ -128,6 +129,64 @@ mod tests {
         let mut rng = substream(3, Stream::Traffic, 0);
         assert_eq!(table.sample(&mut rng), 0);
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_are_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_weights_are_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weights_are_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn non_finite_weights_are_rejected() {
+        let _ = AliasTable::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn single_tiny_weight_normalizes_to_certainty() {
+        // One subnormal entry: normalization divides by the total, so even a
+        // weight at the floating-point floor must sample with probability 1.
+        let table = AliasTable::new(&[f64::MIN_POSITIVE]);
+        let mut rng = substream(5, Stream::Traffic, 0);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_head_and_tail_weights_never_sample() {
+        // Zeros at both boundaries of the table: the small/large worklists
+        // start and end on donated mass, covering the leftover-bucket path.
+        let weights = [0.0, 3.0, 0.0, 0.0, 1.0, 0.0];
+        let table = AliasTable::new(&weights);
+        assert_eq!(table.len(), weights.len());
+        let mut rng = substream(6, Stream::Traffic, 0);
+        let mut counts = [0u32; 6];
+        for _ in 0..40_000 {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if weights[i] == 0.0 {
+                assert_eq!(c, 0, "zero-weight index {i} was sampled");
+            } else {
+                assert!(c > 0, "positive-weight index {i} never sampled");
+            }
+        }
+        let head = f64::from(counts[1]) / 40_000.0;
+        assert!((head - 0.75).abs() < 0.02, "head share drifted: {head}");
     }
 
     #[test]

@@ -92,14 +92,14 @@ impl Date {
 
     /// Day of week via Zeller's congruence.
     pub fn weekday(self) -> Weekday {
-        let (mut y, mut m) = (self.year, self.month as i32);
+        let (mut y, mut m) = (self.year, i32::from(self.month));
         if m < 3 {
             m += 12;
             y -= 1;
         }
         let k = y % 100;
         let j = y / 100;
-        let q = self.day as i32;
+        let q = i32::from(self.day);
         // h: 0 = Saturday, 1 = Sunday, 2 = Monday, ...
         let h = (q + (13 * (m + 1)) / 5 + k + k / 4 + j / 4 + 5 * j).rem_euclid(7);
         match h {

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use topple_stats::cast;
+
 /// Identifier of a website in the world (dense, 0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u32);
@@ -10,7 +12,7 @@ impl SiteId {
     /// The id as an index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        cast::usize_from_u32(self.0)
     }
 }
 
@@ -28,7 +30,7 @@ impl ClientId {
     /// The id as an index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        cast::usize_from_u32(self.0)
     }
 }
 

@@ -11,6 +11,7 @@
 //! crawler vantage walks edge-by-edge.
 
 use rand::Rng;
+use topple_stats::cast;
 
 use crate::alias::AliasTable;
 use crate::ids::SiteId;
@@ -51,6 +52,7 @@ impl LinkGraph {
         let table = AliasTable::new(&weights);
 
         let mut offsets = Vec::with_capacity(n + 1);
+        // topple-lint: allow(lossy-cast): capacity hint only; truncation cannot affect contents
         let mut targets: Vec<u32> = Vec::with_capacity((n as f64 * mean_outlinks) as usize);
         offsets.push(0u32);
         for site in sites {
@@ -69,7 +71,7 @@ impl LinkGraph {
                     }
                 }
             }
-            offsets.push(targets.len() as u32);
+            offsets.push(cast::u32_from_usize(targets.len()));
         }
         let _ = rng.random::<u64>();
         LinkGraph { offsets, targets }
@@ -87,8 +89,8 @@ impl LinkGraph {
 
     /// Out-links of a site (with multiplicity — one entry per linking page).
     pub fn out_links(&self, s: SiteId) -> &[u32] {
-        let lo = self.offsets[s.index()] as usize;
-        let hi = self.offsets[s.index() + 1] as usize;
+        let lo = cast::usize_from_u32(self.offsets[s.index()]);
+        let hi = cast::usize_from_u32(self.offsets[s.index() + 1]);
         &self.targets[lo..hi]
     }
 
@@ -96,7 +98,7 @@ impl LinkGraph {
     pub fn in_degrees(&self) -> Vec<u32> {
         let mut deg = vec![0u32; self.site_count()];
         for &t in &self.targets {
-            deg[t as usize] += 1;
+            deg[cast::usize_from_u32(t)] += 1;
         }
         deg
     }
@@ -107,12 +109,14 @@ impl LinkGraph {
         let mut counts = vec![0u32; n];
         let mut seen: Vec<u32> = vec![u32::MAX; n]; // last source seen per target
         for s in 0..n {
-            let lo = self.offsets[s] as usize;
-            let hi = self.offsets[s + 1] as usize;
+            let lo = cast::usize_from_u32(self.offsets[s]);
+            let hi = cast::usize_from_u32(self.offsets[s + 1]);
+            let s32 = cast::u32_from_usize(s);
             for &t in &self.targets[lo..hi] {
-                if seen[t as usize] != s as u32 {
-                    seen[t as usize] = s as u32;
-                    counts[t as usize] += 1;
+                let ti = cast::usize_from_u32(t);
+                if seen[ti] != s32 {
+                    seen[ti] = s32;
+                    counts[ti] += 1;
                 }
             }
         }

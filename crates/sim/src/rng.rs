@@ -8,6 +8,16 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Version of the determinism contract: the set and order of RNG draws
+/// reachable from the result roots (`World::simulate_day_into`, `Study::run`).
+///
+/// Bump this whenever the draw sequence changes — adding, removing, or
+/// reordering any draw site listed in `determinism.epoch.toml` — then
+/// regenerate the manifest with `topple-lint epoch emit --write` and re-pin
+/// the snapshot digest in `tests/determinism.rs`. `topple-lint epoch verify`
+/// fails CI when sources and manifest disagree.
+pub const DETERMINISM_EPOCH: u32 = 1;
+
 /// Domain-separation tags for RNG substreams.
 ///
 /// Adding a new consumer of randomness means adding a tag here, keeping every
@@ -35,6 +45,7 @@ pub enum Stream {
 /// correlated integer keys into independent seeds.
 pub fn substream(seed: u64, stream: Stream, index: u64) -> SmallRng {
     let mut z = seed
+        // topple-lint: allow(lossy-cast): Stream is repr(u64); the cast reads its discriminant losslessly
         ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     // Two SplitMix64 rounds.
@@ -86,6 +97,7 @@ pub fn poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
     if x < 0.0 {
         0
     } else {
+        // topple-lint: allow(lossy-cast): x is non-negative (guarded above) and ~lambda in magnitude
         x as u64
     }
 }

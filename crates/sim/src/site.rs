@@ -1,6 +1,7 @@
 //! Websites: the ground-truth objects whose popularity the top lists estimate.
 
 use topple_psl::{DomainName, Origin, Scheme};
+use topple_stats::cast;
 
 use crate::ids::SiteId;
 use crate::taxonomy::{Category, Country};
@@ -132,7 +133,7 @@ impl Site {
         if n == 0 {
             return 0;
         }
-        let pick = (coin * n as f64) as usize % n;
+        let pick = cast::floor_index(coin * n as f64, n);
         self.hosts
             .iter()
             .enumerate()

@@ -68,6 +68,7 @@ impl Country {
     /// Stable dense index for array-keyed lookups.
     #[inline]
     pub fn index(self) -> usize {
+        // topple-lint: allow(lossy-cast): fieldless enum discriminant, dense and below COUNT
         self as usize
     }
 
@@ -209,6 +210,7 @@ impl Platform {
     /// Stable dense index.
     #[inline]
     pub fn index(self) -> usize {
+        // topple-lint: allow(lossy-cast): fieldless enum discriminant, dense and below COUNT
         self as usize
     }
 
@@ -268,6 +270,7 @@ impl Browser {
     /// Stable dense index.
     #[inline]
     pub fn index(self) -> usize {
+        // topple-lint: allow(lossy-cast): fieldless enum discriminant, dense and below COUNT
         self as usize
     }
 
@@ -380,6 +383,7 @@ impl Category {
     /// Stable dense index.
     #[inline]
     pub fn index(self) -> usize {
+        // topple-lint: allow(lossy-cast): fieldless enum discriminant, dense and below COUNT
         self as usize
     }
 

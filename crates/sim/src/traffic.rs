@@ -16,6 +16,7 @@
 //! same order, so they describe the *same* day.
 
 use rand::Rng;
+use topple_stats::cast;
 
 use crate::date::Date;
 use crate::ids::{ClientId, SiteId};
@@ -251,7 +252,11 @@ impl World {
     ) {
         let day = self.config.days[day_index];
         let weekend = day.weekday().is_weekend();
-        let mut rng = substream(self.config.seed, Stream::Traffic, day_index as u64);
+        let mut rng = substream(
+            self.config.seed,
+            Stream::Traffic,
+            cast::u64_from_usize(day_index),
+        );
 
         // topple-lint: hot-path-begin
         for client in &self.clients {
@@ -268,9 +273,9 @@ impl World {
                 // is what separates raw-count metrics from unique-visitor
                 // metrics on the server side.
                 let mut site_idx = if !scratch.today.is_empty() && chance(&mut rng, 0.35) {
-                    scratch.today[rng.random_range(0..scratch.today.len())] as usize
+                    cast::usize_from_u32(scratch.today[rng.random_range(0..scratch.today.len())])
                 } else {
-                    table.sample(&mut rng) as usize
+                    cast::usize_from_u32(table.sample(&mut rng))
                 };
                 // Panel selection bias: extension panelists under-visit
                 // sensitive categories. Rejection-resampling (up to twice,
@@ -280,7 +285,7 @@ impl World {
                 if client.alexa_panelist && self.config.mechanisms.panel_aversion {
                     for _ in 0..2 {
                         if self.sites[site_idx].category.panel_averse() && chance(&mut rng, 0.9) {
-                            site_idx = table.sample(&mut rng) as usize;
+                            site_idx = cast::usize_from_u32(table.sample(&mut rng));
                         } else {
                             break;
                         }
@@ -288,30 +293,31 @@ impl World {
                 }
                 let site = &self.sites[site_idx];
 
-                let host_idx = site.nav_host(mobile, rng.random()) as u8;
+                let host_idx = cast::u8_from_usize(site.nav_host(mobile, rng.random()));
                 let private_mode = chance(&mut rng, site.private_share);
                 let completed = chance(&mut rng, site.completion_rate);
                 let dwell_secs = if completed {
-                    log_normal(&mut rng, site.dwell_mu, 0.9).min(3600.0) as u16
+                    cast::u16_from_f64(log_normal(&mut rng, site.dwell_mu, 0.9).min(3600.0))
                 } else {
                     0
                 };
                 let own_requests = if completed {
-                    poisson(&mut rng, site.subresource_mean).min(2000) as u16
+                    cast::u16_from_u64(poisson(&mut rng, site.subresource_mean).min(2000))
                 } else {
-                    poisson(&mut rng, 1.0).min(10) as u16
+                    cast::u16_from_u64(poisson(&mut rng, 1.0).min(10))
                 };
                 let total = u32::from(own_requests) + 1;
-                let non200 = poisson(&mut rng, f64::from(total) * site.error_rate)
-                    .min(u64::from(total)) as u16;
+                let non200 = cast::u16_from_u64(
+                    poisson(&mut rng, f64::from(total) * site.error_rate).min(u64::from(total)),
+                );
                 // Connection reuse: roughly one handshake per 8 requests.
                 let tls_handshakes = if site.https {
-                    (1 + poisson(&mut rng, f64::from(own_requests) / 8.0)) as u16
+                    cast::u16_from_u64(1 + poisson(&mut rng, f64::from(own_requests) / 8.0))
                 } else {
                     0
                 };
                 let is_root_path = matches!(
-                    site.hosts[host_idx as usize].kind,
+                    site.hosts[usize::from(host_idx)].kind,
                     crate::site::HostKind::Apex | crate::site::HostKind::Www
                 ) && chance(&mut rng, site.root_nav_share);
                 let link_click = chance(&mut rng, 0.72);
@@ -340,17 +346,17 @@ impl World {
                     for &(dep, p) in &site.third_party {
                         if chance(&mut rng, f64::from(p)) {
                             let dep_site = &self.sites[dep.index()];
-                            let requests = (1 + poisson(&mut rng, 2.0)) as u16;
-                            let non200 =
+                            let requests = cast::u16_from_u64(1 + poisson(&mut rng, 2.0));
+                            let non200 = cast::u16_from_u64(
                                 poisson(&mut rng, f64::from(requests) * dep_site.error_rate)
-                                    .min(u64::from(requests))
-                                    as u16;
+                                    .min(u64::from(requests)),
+                            );
                             let tls = if dep_site.https { 1 } else { 0 };
                             let fresh = scratch.stub_fresh(dep);
                             sink.third_party(&ThirdPartyFetch {
                                 client: client.id,
                                 site: dep,
-                                host_idx: dep_site.service_host(rng.random()) as u8,
+                                host_idx: cast::u8_from_usize(dep_site.service_host(rng.random())),
                                 requests,
                                 non200,
                                 tls_handshakes: tls,
@@ -364,9 +370,9 @@ impl World {
 
             // Background DNS noise: a few automatic queries per device-day.
             let n_bg = poisson(&mut rng, 2.5);
-            let name_count = self.background_names.len() as u64;
+            let name_count = cast::u64_from_usize(self.background_names.len());
             for _ in 0..n_bg {
-                let name_idx = (rng.random::<u64>() % name_count) as u16;
+                let name_idx = cast::u16_from_u64(rng.random::<u64>() % name_count);
                 sink.background(&BackgroundQuery {
                     client: client.id,
                     name_idx,

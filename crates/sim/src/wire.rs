@@ -19,6 +19,7 @@
 //! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use topple_stats::cast;
 
 use crate::date::Date;
 use crate::ids::{ClientId, SiteId};
@@ -71,13 +72,13 @@ pub fn encode_day(t: &DayTraffic) -> Bytes {
         18 + 4 * 3 + t.page_loads.len() * 19 + t.third_party.len() * 17 + t.background.len() * 7;
     let mut buf = BytesMut::with_capacity(cap);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(t.day_index as u32);
+    buf.put_u32_le(cast::u32_from_usize(t.day_index));
     buf.put_i32_le(t.day.year);
     buf.put_u8(t.day.month);
     buf.put_u8(t.day.day);
-    buf.put_u32_le(t.page_loads.len() as u32);
-    buf.put_u32_le(t.third_party.len() as u32);
-    buf.put_u32_le(t.background.len() as u32);
+    buf.put_u32_le(cast::u32_from_usize(t.page_loads.len()));
+    buf.put_u32_le(cast::u32_from_usize(t.third_party.len()));
+    buf.put_u32_le(cast::u32_from_usize(t.background.len()));
 
     for pl in &t.page_loads {
         buf.put_u8(TAG_PAGE_LOAD);
@@ -137,7 +138,7 @@ pub fn decode_day(mut buf: &[u8]) -> Result<DayTraffic, WireError> {
         return Err(WireError::BadMagic);
     }
     buf.advance(4);
-    let day_index = buf.get_u32_le() as usize;
+    let day_index = cast::usize_from_u32(buf.get_u32_le());
     let year = buf.get_i32_le();
     let month = buf.get_u8();
     let day_of_month = buf.get_u8();
@@ -148,9 +149,9 @@ pub fn decode_day(mut buf: &[u8]) -> Result<DayTraffic, WireError> {
     if day_of_month > day.days_in_month() {
         return Err(WireError::BadDate);
     }
-    let n_pl = buf.get_u32_le() as usize;
-    let n_tp = buf.get_u32_le() as usize;
-    let n_bg = buf.get_u32_le() as usize;
+    let n_pl = cast::usize_from_u32(buf.get_u32_le());
+    let n_tp = cast::usize_from_u32(buf.get_u32_le());
+    let n_bg = cast::usize_from_u32(buf.get_u32_le());
 
     let mut page_loads = Vec::with_capacity(n_pl);
     let mut third_party = Vec::with_capacity(n_tp);

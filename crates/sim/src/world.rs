@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use topple_psl::{DomainName, PublicSuffixList};
+use topple_stats::cast;
 
 use crate::alias::AliasTable;
 use crate::client::{Client, Resolver};
@@ -138,8 +139,8 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
     let base_weights = zipf_weights(n, config.zipf_exponent);
     let mut sites = Vec::with_capacity(n);
     for (i, &base_weight) in base_weights.iter().enumerate() {
-        let category = Category::ALL[cat_table.sample(&mut rng) as usize];
-        let home_country = Country::ALL[country_table.sample(&mut rng) as usize];
+        let category = Category::ALL[cast::usize_from_u32(cat_table.sample(&mut rng))];
+        let home_country = Country::ALL[cast::usize_from_u32(country_table.sample(&mut rng))];
         // Strongly local ecosystems produce fewer globally-oriented sites.
         let global_rate = 0.30 * (1.0 - home_country.locality()).max(0.15) / 0.45;
         let is_global = chance(&mut rng, global_rate);
@@ -220,7 +221,7 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
         };
 
         sites.push(Site {
-            id: SiteId(i as u32),
+            id: SiteId(cast::u32_from_usize(i)),
             domain,
             category,
             home_country,
@@ -246,6 +247,7 @@ fn generate_sites(config: &WorldConfig) -> Vec<Site> {
 
     // Force a handful of infrastructure zones among popular technology sites
     // so that small worlds have them too.
+    // topple-lint: allow(lossy-cast): share is in [0, 1], so the product is bounded by n
     let needed = (config.infrastructure_share * n as f64).ceil() as usize;
     let have = sites.iter().filter(|s| s.is_infrastructure).count();
     if have < needed.max(3) {
@@ -351,10 +353,10 @@ fn wire_third_parties(config: &WorldConfig, sites: &mut [Site]) {
         if site.is_infrastructure || site.category == Category::Parked {
             continue;
         }
-        let deps = 1 + (rng.random::<f64>() * 4.0) as usize; // 1..=4
+        let deps = 1 + cast::floor_index(rng.random::<f64>() * 4.0, 4); // 1..=4
         let mut chosen: Vec<(SiteId, f32)> = Vec::with_capacity(deps);
         for _ in 0..deps {
-            let dep = infra[table.sample(&mut rng) as usize];
+            let dep = infra[cast::usize_from_u32(table.sample(&mut rng))];
             if dep.index() != i && !chosen.iter().any(|(d, _)| *d == dep) {
                 let p = 0.4 + 0.55 * rng.random::<f32>();
                 chosen.push((dep, p));
@@ -372,7 +374,7 @@ fn generate_clients(config: &WorldConfig) -> Vec<Client> {
 
     let mut clients = Vec::with_capacity(config.n_clients);
     for i in 0..config.n_clients {
-        let country = Country::ALL[country_table.sample(&mut rng) as usize];
+        let country = Country::ALL[cast::usize_from_u32(country_table.sample(&mut rng))];
         let mobile = chance(&mut rng, country.mobile_share());
         let platform = if mobile {
             if chance(&mut rng, ios_share(country)) {
@@ -392,7 +394,7 @@ fn generate_clients(config: &WorldConfig) -> Vec<Client> {
         let resolver = pick_resolver(&mut rng, country, enterprise, mobile);
         let activity = log_normal(&mut rng, config.mean_loads_per_day.ln() - 0.25, 0.7)
             .clamp(1.0, 400.0) as f32;
-        let ip = assign_ip(&mut rng, country, enterprise, i as u32);
+        let ip = assign_ip(&mut rng, country, enterprise, cast::u32_from_usize(i));
         let chrome_optin = browser == Browser::Chrome && chance(&mut rng, config.chrome_optin_rate);
         // The panel is desktop-only and strongly geographically skewed: the
         // partnered extensions are overwhelmingly installed in the US and
@@ -412,7 +414,7 @@ fn generate_clients(config: &WorldConfig) -> Vec<Client> {
         let alexa_panelist = browser != Browser::Automation && chance(&mut rng, panel_rate);
 
         clients.push(Client {
-            id: ClientId(i as u32),
+            id: ClientId(cast::u32_from_usize(i)),
             country,
             platform,
             browser,
@@ -532,7 +534,7 @@ fn pick_resolver(rng: &mut SmallRng, country: Country, enterprise: bool, mobile:
 /// Assigns a post-NAT IPv4 address: country-partitioned /8-style blocks;
 /// enterprise clients share egress IPs in pools of ~24.
 fn assign_ip(rng: &mut SmallRng, country: Country, enterprise: bool, client_idx: u32) -> u32 {
-    let block = (country.index() as u32 + 1) << 24;
+    let block = (cast::u32_from_usize(country.index()) + 1) << 24;
     if enterprise {
         let org: u32 = rng.random_range(0..1 + client_idx / 24);
         block | 0x0080_0000 | (org & 0x003F_FFFF)

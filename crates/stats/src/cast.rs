@@ -35,6 +35,49 @@ pub fn i32_from_usize(n: usize) -> i32 {
     i32::try_from(n).unwrap_or(i32::MAX)
 }
 
+/// `u32` → `usize`. Lossless on every supported platform (usize ≥ 32 bits),
+/// expressed as a saturating conversion so no platform assumption is silent.
+#[inline]
+pub fn usize_from_u32(x: u32) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
+/// `u32` → `i32`, saturating (calendar components and other small fields).
+#[inline]
+pub fn i32_from_u32(x: u32) -> i32 {
+    i32::try_from(x).unwrap_or(i32::MAX)
+}
+
+/// `u64` → `u16`, saturating. Callers bound the value structurally (a
+/// `.min(..)` cap or a modulus below 2^16); saturation pins the impossible
+/// tail instead of wrapping it.
+#[inline]
+pub fn u16_from_u64(x: u64) -> u16 {
+    u16::try_from(x).unwrap_or(u16::MAX)
+}
+
+/// `usize` → `u8`, saturating (per-site host indices and similar tiny
+/// cardinalities).
+#[inline]
+pub fn u8_from_usize(n: usize) -> u8 {
+    u8::try_from(n).unwrap_or(u8::MAX)
+}
+
+/// `f64` → `u16`, truncating toward zero and clamping to the type's range
+/// (NaN → 0). Matches Rust's saturating float-to-int `as` semantics, but
+/// spells the edge handling out.
+#[inline]
+pub fn u16_from_f64(x: f64) -> u16 {
+    if x.is_nan() || x <= 0.0 {
+        return 0;
+    }
+    if x >= f64::from(u16::MAX) {
+        return u16::MAX;
+    }
+    // topple-lint: allow(lossy-cast): range-checked above; truncation toward zero is the intent
+    x as u16
+}
+
 /// Floors a non-negative float to an index clamped into `0..len`.
 ///
 /// NaN and negative inputs clamp to 0; anything at or beyond `len - 1`
@@ -83,6 +126,17 @@ mod tests {
         assert_eq!(u32_from_usize(usize::MAX), u32::MAX);
         assert_eq!(i32_from_usize(3), 3);
         assert_eq!(i32_from_usize(usize::MAX), i32::MAX);
+        assert_eq!(usize_from_u32(u32::MAX), u32::MAX as usize);
+        assert_eq!(i32_from_u32(12), 12);
+        assert_eq!(i32_from_u32(u32::MAX), i32::MAX);
+        assert_eq!(u16_from_u64(3600), 3600);
+        assert_eq!(u16_from_u64(1 << 20), u16::MAX);
+        assert_eq!(u8_from_usize(3), 3);
+        assert_eq!(u8_from_usize(999), u8::MAX);
+        assert_eq!(u16_from_f64(3599.9), 3599);
+        assert_eq!(u16_from_f64(-1.0), 0);
+        assert_eq!(u16_from_f64(f64::NAN), 0);
+        assert_eq!(u16_from_f64(1e9), u16::MAX);
     }
 
     #[test]

@@ -325,6 +325,72 @@ mod tests {
     }
 
     #[test]
+    fn map_probes_past_bucket_collisions() {
+        // Keys 1, 60, 129 all spread into bucket 57 of the 64-slot initial
+        // table (verified against `spread` below), so the second and third
+        // inserts exercise the linear-probe path, not the happy path.
+        let colliding = [1u64, 60, 129];
+        let mask = MAP_INITIAL_CAPACITY - 1;
+        for &k in &colliding {
+            assert_eq!(
+                (spread(k) >> 32) as usize & mask,
+                (spread(colliding[0]) >> 32) as usize & mask,
+                "test premise: keys must share a bucket"
+            );
+        }
+        let mut m: ScratchMap<u64> = ScratchMap::new();
+        for &k in &colliding {
+            let (fresh, v) = m.entry(k);
+            assert!(fresh, "distinct colliding keys must each claim a slot");
+            *v = k * 10;
+        }
+        assert_eq!(m.len(), 3);
+        for &k in &colliding {
+            assert_eq!(m.get(k), Some(&(k * 10)), "probe chain must find {k}");
+            let (fresh, v) = m.entry(k);
+            assert!(!fresh, "re-entry must reuse the probed slot for {k}");
+            assert_eq!(*v, k * 10);
+        }
+        // A fourth key in a different bucket is unaffected by the chain.
+        assert!(m.get(2).is_none());
+    }
+
+    #[test]
+    fn map_probe_wraps_around_the_table_end() {
+        // Keys 69, 128, 187 all spread into the LAST slot (63) of the
+        // 64-slot initial table, so the probe sequence must wrap to slot 0
+        // via the index mask rather than run off the end.
+        let wrapping = [69u64, 128, 187];
+        let mask = MAP_INITIAL_CAPACITY - 1;
+        for &k in &wrapping {
+            assert_eq!(
+                (spread(k) >> 32) as usize & mask,
+                mask,
+                "test premise: keys must hash to the final slot"
+            );
+        }
+        let mut m: ScratchMap<u64> = ScratchMap::new();
+        for &k in &wrapping {
+            let (fresh, v) = m.entry(k);
+            assert!(fresh);
+            *v = k + 1;
+        }
+        for &k in &wrapping {
+            assert_eq!(m.get(k), Some(&(k + 1)), "wrapped probe must find {k}");
+        }
+        // Absent keys whose bucket sits inside the wrapped chain terminate
+        // (the chain stamps break the loop) instead of probing forever.
+        assert!(m.get(u64::MAX).is_none());
+        // Freshness survives the wrap across epochs too.
+        m.begin_epoch();
+        for &k in &wrapping {
+            assert!(m.get(k).is_none(), "{k} must expire with the epoch");
+        }
+        let (fresh, _) = m.entry(wrapping[2]);
+        assert!(fresh, "wrapped slot must be re-claimable next epoch");
+    }
+
+    #[test]
     fn pool_round_trips_states() {
         let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
         let mut a = pool.checkout_or(|| Vec::with_capacity(16));

@@ -58,6 +58,45 @@ fn snapshot_with_workers(seed: u64, workers: Option<usize>) -> String {
     out
 }
 
+/// FNV-1a over the snapshot text: a stable, dependency-free digest for
+/// pinning the byte-identity contract across releases.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-epoch pinned digests of `snapshot(4242)`. When the draw sequence
+/// changes intentionally: bump `DETERMINISM_EPOCH` in `crates/sim`, re-run
+/// `topple-lint epoch emit --write`, and add the new `(epoch, digest)` row
+/// here (printed by this test on mismatch). `topple-lint epoch verify` keeps
+/// sources and manifest honest; this pin keeps the *bytes* honest.
+const EPOCH_SNAPSHOTS: &[(u32, u64)] = &[(1, 0x7df2_7435_1dc0_93e3)];
+
+#[test]
+fn epoch_snapshot_digest_is_pinned() {
+    let epoch = toppling::sim::DETERMINISM_EPOCH;
+    let pinned = EPOCH_SNAPSHOTS
+        .iter()
+        .find(|(e, _)| *e == epoch)
+        .map(|(_, d)| *d)
+        .unwrap_or_else(|| {
+            panic!(
+                "DETERMINISM_EPOCH is {epoch} but EPOCH_SNAPSHOTS has no row for it; \
+                 run this test to get the digest and pin it"
+            )
+        });
+    let got = fnv1a(&snapshot(4242));
+    assert_eq!(
+        got, pinned,
+        "snapshot digest for epoch {epoch} is {got:#018x}, pinned {pinned:#018x}; \
+         an unbumped draw-sequence change slipped past `topple-lint epoch verify`"
+    );
+}
+
 #[test]
 fn same_seed_runs_are_byte_identical() {
     let a = snapshot(4242);
