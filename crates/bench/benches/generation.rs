@@ -1,0 +1,59 @@
+//! Traffic-generation floor: epoch-1 scalar draws versus the epoch-2
+//! batched struct-of-arrays generator.
+//!
+//! One sample is a full small-world window streamed into a no-op
+//! [`EventSink`], so nothing downstream of the generator is measured — this
+//! is the 66% of the fused day the epoch-2 restructuring targets. Both
+//! epochs run over the *same* generated world (generation is
+//! epoch-invariant) with warm scratch. The acceptance bar for the epoch-2
+//! PR is batched beating scalar by >= 1.3x (target 1.5x); the recorded A/B
+//! lives in `EXPERIMENTS.md`.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use topple_bench::BENCH_SEED;
+use topple_sim::{
+    BackgroundQuery, EventSink, PageLoad, ThirdPartyFetch, TrafficScratch, World, WorldConfig,
+};
+
+/// Observes events without accumulating: the cost floor of the generator.
+struct NullSink;
+
+impl EventSink for NullSink {
+    fn page_load(&mut self, _: &PageLoad) {}
+    fn third_party(&mut self, _: &ThirdPartyFetch) {}
+    fn background(&mut self, _: &BackgroundQuery) {}
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+
+    for epoch in [1u32, 2] {
+        // topple-lint: allow(unwrap): bench fixture; a broken world must abort the benchmark run
+        let w = World::generate(WorldConfig {
+            epoch: Some(epoch),
+            ..WorldConfig::small(BENCH_SEED)
+        })
+        .expect("bench world");
+        let n_days = w.config.days.len();
+        let mut scratch = TrafficScratch::for_world(&w);
+        let mut sink = NullSink;
+        // Warm the scratch so steady-state samples are allocation-free.
+        w.simulate_day_into(0, &mut scratch, &mut sink);
+
+        g.bench_function(&format!("window/epoch{epoch}"), |b| {
+            b.iter(|| {
+                for d in 0..n_days {
+                    w.simulate_day_into(black_box(d), &mut scratch, &mut sink);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -7,10 +7,22 @@
 //! or `substream(..)` binding) or issues a draw, walks the call graph from
 //! [`ROOTS`], and emits each reachable draw site with its ordered draw-kind
 //! signature. The result is compared against the checked-in
-//! `determinism.epoch.toml` manifest: any divergence is `epoch-drift`, RNG
+//! `determinism.epoch*.toml` manifests: any divergence is `epoch-drift`, RNG
 //! consumed outside the reachable set is `rng-leak`, and the same
 //! function-body machinery powers the cross-statement
 //! `unordered-iteration` check the per-line rules cannot express.
+//!
+//! # Multiple live epochs
+//!
+//! A workspace may keep several draw-sequence universes alive at once (a
+//! frozen reference generator next to its restructured successor). Epoch
+//! membership is declared by function-name suffix: `simulate_day_epoch1`
+//! belongs to epoch 1 only, `simulate_day_epoch2` to epoch 2 only, and
+//! unsuffixed functions to every epoch. Each epoch gets its own reachable
+//! set — computed by cutting the *other* epochs' suffixed functions out of
+//! the traversal — and its own manifest file (`determinism.epoch1.toml`,
+//! `determinism.epoch2.toml`; the suffix-free `determinism.epoch.toml` name
+//! is kept for single-epoch workspaces).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -20,8 +32,28 @@ use crate::graph::{self, CallSite};
 use crate::symbols::{self, FnSym};
 use crate::{rules, Finding, LexedFile, LintError};
 
-/// File name of the manifest at the workspace root.
+/// File name of the manifest at the workspace root (single-epoch form).
 pub const MANIFEST_FILE: &str = "determinism.epoch.toml";
+
+/// The manifest file name for one epoch of a workspace declaring `epochs`:
+/// the bare [`MANIFEST_FILE`] when only one epoch is live, else the
+/// per-epoch `determinism.epoch{N}.toml`.
+pub fn manifest_file(epochs: &[u32], epoch: u32) -> String {
+    if epochs.len() <= 1 {
+        MANIFEST_FILE.to_owned()
+    } else {
+        format!("determinism.epoch{epoch}.toml")
+    }
+}
+
+/// The epoch a function name claims membership of via an `_epoch{N}` suffix
+/// (`simulate_day_epoch2` → `Some(2)`); `None` for epoch-neutral names.
+fn epoch_suffix(name: &str) -> Option<u32> {
+    let (_, tail) = name.rsplit_once("_epoch")?;
+    (!tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| tail.parse().ok())
+        .flatten()
+}
 
 /// The result roots: every draw reachable from these is part of the epoch
 /// contract. `(owner, name)` pairs matched against the symbol table.
@@ -45,8 +77,14 @@ pub struct EpochAnalysis {
     pub fns: Vec<FnSym>,
     /// `draws[f]` — f's draw sites in source order.
     pub draws: Vec<Vec<Draw>>,
-    /// Indices of functions reachable from [`ROOTS`].
+    /// Indices of functions reachable from [`ROOTS`] under *any* epoch.
     pub reachable: BTreeSet<usize>,
+    /// Live epochs declared by `_epoch{N}` function suffixes, sorted;
+    /// `[epoch_const or 1]` when no suffixed functions exist.
+    pub epochs: Vec<u32>,
+    /// Per-epoch reachability: the [`ROOTS`] traversal with every *other*
+    /// epoch's suffixed functions cut out.
+    pub reachable_by_epoch: BTreeMap<u32, BTreeSet<usize>>,
     /// Whether at least one root function was found.
     pub roots_found: bool,
     /// Value of the `DETERMINISM_EPOCH` constant found in the sources.
@@ -143,6 +181,7 @@ fn classify(c: &CallSite, masked: &str, rngs: &BTreeSet<String>) -> Option<Strin
                     "random" => "uniform".to_owned(),
                     "random_range" => "range".to_owned(),
                     "random_bool" | "random_ratio" => "chance".to_owned(),
+                    "next_u64" | "next_u32" => "word".to_owned(),
                     other => other.to_owned(),
                 });
             }
@@ -163,11 +202,16 @@ fn classify(c: &CallSite, masked: &str, rngs: &BTreeSet<String>) -> Option<Strin
             let next = args[at + r.len()..].trim_start().chars().next();
             if next != Some('.') {
                 return Some(match c.name.as_str() {
-                    "normal" => "normal".to_owned(),
-                    "log_normal" => "log-normal".to_owned(),
-                    "poisson" => "poisson".to_owned(),
-                    "chance" => "chance".to_owned(),
+                    "normal" | "take_normal" => "normal".to_owned(),
+                    "log_normal" | "take_log_normal" => "log-normal".to_owned(),
+                    "poisson" | "take_poisson" => "poisson".to_owned(),
+                    "chance" | "take_chance" => "chance".to_owned(),
                     "sample" => "alias".to_owned(),
+                    // Batched (epoch-2) block samplers draw from the same
+                    // stream; canonicalize to the scalar kind vocabulary.
+                    "take_word" => "word".to_owned(),
+                    "take_f64" => "uniform".to_owned(),
+                    "take_index" => "range".to_owned(),
                     other => other.to_owned(),
                 });
             }
@@ -289,15 +333,56 @@ pub fn analyze(files: &[LexedFile]) -> EpochAnalysis {
         .map(|(i, _)| i)
         .collect();
     let roots_found = !roots.is_empty();
-    let reachable = graph::reachable(&g, &roots);
+    let epoch_const = find_epoch_const(files);
+    // Live epochs: the `_epoch{N}` suffix set over non-test functions, or
+    // the single declared/default epoch when nothing is suffixed.
+    let mut suffixes: BTreeSet<u32> = fns
+        .iter()
+        .filter(|f| !f.is_test)
+        .filter_map(|f| epoch_suffix(&f.name))
+        .collect();
+    if suffixes.is_empty() {
+        suffixes.insert(epoch_const.unwrap_or(1));
+    }
+    let epochs: Vec<u32> = suffixes.into_iter().collect();
+    let mut reachable_by_epoch = BTreeMap::new();
+    for &e in &epochs {
+        let excluded: BTreeSet<usize> = fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && epoch_suffix(&f.name).is_some_and(|s| s != e))
+            .map(|(i, _)| i)
+            .collect();
+        reachable_by_epoch.insert(e, graph::reachable_excluding(&g, &roots, &excluded));
+    }
+    let reachable = reachable_by_epoch
+        .values()
+        .flat_map(|s| s.iter().copied())
+        .collect();
     EpochAnalysis {
         fns,
         draws,
         reachable,
+        epochs,
+        reachable_by_epoch,
         roots_found,
-        epoch_const: find_epoch_const(files),
+        epoch_const,
         unordered,
     }
+}
+
+/// A contract-level inconsistency between the `DETERMINISM_EPOCH` constant
+/// and the epochs the sources declare: the constant (the *default* epoch)
+/// must be the newest live one.
+pub fn epoch_const_mismatch(a: &EpochAnalysis) -> Option<String> {
+    let newest = *a.epochs.last()?;
+    let konst = a.epoch_const?;
+    (konst != newest).then(|| {
+        format!(
+            "DETERMINISM_EPOCH is {konst} but the newest epoch-suffixed \
+             generator declares epoch {newest}"
+        )
+    })
 }
 
 /// The versioned draw-site contract: an epoch number plus each reachable
@@ -311,10 +396,14 @@ pub struct Manifest {
 }
 
 impl Manifest {
-    /// Builds the manifest the current sources imply.
-    pub fn from_analysis(a: &EpochAnalysis) -> Manifest {
+    /// Builds the manifest the current sources imply for one epoch, over
+    /// that epoch's reachable set (falling back to the any-epoch union for
+    /// an epoch the sources do not declare, so drift against a stale pinned
+    /// file still reports site-level differences).
+    pub fn from_analysis(a: &EpochAnalysis, epoch: u32) -> Manifest {
+        let reachable = a.reachable_by_epoch.get(&epoch).unwrap_or(&a.reachable);
         let mut sites = BTreeMap::new();
-        for &i in &a.reachable {
+        for &i in reachable {
             let f = &a.fns[i];
             if f.is_test || a.draws[i].is_empty() {
                 continue;
@@ -324,10 +413,7 @@ impl Manifest {
                 a.draws[i].iter().map(|d| d.kind.clone()).collect(),
             );
         }
-        Manifest {
-            epoch: a.epoch_const.unwrap_or(1),
-            sites,
-        }
+        Manifest { epoch, sites }
     }
 
     /// Renders the manifest in its checked-in TOML form.
@@ -428,9 +514,9 @@ impl Manifest {
         })
     }
 
-    /// Loads the manifest from the workspace root, if present.
-    pub fn load(root: &Path) -> Result<Option<Manifest>, LintError> {
-        let path = root.join(MANIFEST_FILE);
+    /// Loads the named manifest from the workspace root, if present.
+    pub fn load(root: &Path, file: &str) -> Result<Option<Manifest>, LintError> {
+        let path = root.join(file);
         if !path.is_file() {
             return Ok(None);
         }
@@ -445,12 +531,13 @@ impl Manifest {
 }
 
 /// Human-readable differences between the computed and pinned manifests.
-/// Empty means the contract holds.
-pub fn drift(computed: &Manifest, pinned: &Manifest) -> Vec<String> {
+/// Empty means the contract holds. `file` names the pinned manifest in
+/// messages.
+pub fn drift(computed: &Manifest, pinned: &Manifest, file: &str) -> Vec<String> {
     let mut out = Vec::new();
     if computed.epoch != pinned.epoch {
         out.push(format!(
-            "DETERMINISM_EPOCH is {} but {MANIFEST_FILE} declares epoch {}",
+            "sources imply epoch {} but {file} declares epoch {}",
             computed.epoch, pinned.epoch
         ));
     }
@@ -480,11 +567,13 @@ pub fn drift(computed: &Manifest, pinned: &Manifest) -> Vec<String> {
 }
 
 /// Appends the graph-rule findings (`rng-leak`, `epoch-drift`,
-/// `unordered-iteration`) for an analyzed workspace.
+/// `unordered-iteration`) for an analyzed workspace. `pinned` carries every
+/// checked-in manifest as `(file name, manifest)`; drift is computed per
+/// manifest against its own epoch's reachable set.
 pub fn graph_findings(
     files: &[LexedFile],
     analysis: &EpochAnalysis,
-    pinned: Option<&Manifest>,
+    pinned: &[(String, Manifest)],
     config: &Config,
     findings: &mut Vec<Finding>,
 ) {
@@ -554,45 +643,53 @@ pub fn graph_findings(
         );
     }
 
-    // epoch-drift: computed contract vs the pinned manifest.
-    if let Some(pinned) = pinned {
-        let computed = Manifest::from_analysis(analysis);
-        for msg in drift(&computed, pinned) {
-            // Anchor changed/added sites at their function; removed sites
-            // (and epoch mismatches) at the manifest itself.
-            let site = analysis
-                .fns
-                .iter()
-                .find(|f| msg.contains(&format!("`{}`", f.qname)));
-            let (krate, file, line, snippet) = match site {
-                Some(f) => (
-                    f.krate.clone(),
-                    files[f.file].rel.clone(),
-                    f.line,
-                    files[f.file].model.raw_line(f.line).trim().to_owned(),
-                ),
-                None => {
-                    let krate = msg
-                        .split('`')
-                        .nth(1)
-                        .and_then(|q| q.split("::").next())
-                        .unwrap_or("workspace")
-                        .to_owned();
-                    (krate, MANIFEST_FILE.to_owned(), 1, String::new())
-                }
-            };
-            push(
-                findings,
-                "epoch-drift",
-                &krate,
-                &file,
-                line,
-                1,
-                msg,
-                rules::SUGGEST_EPOCH_DRIFT,
-                snippet,
-            );
+    // epoch-drift: computed contract vs each pinned per-epoch manifest,
+    // plus the constant-vs-declared-epochs consistency check.
+    let mut drift_msgs: Vec<(String, String)> = Vec::new();
+    if let Some(msg) = epoch_const_mismatch(analysis) {
+        drift_msgs.push((manifest_file(&analysis.epochs, analysis.epochs[0]), msg));
+    }
+    for (manifest_name, pinned) in pinned {
+        let computed = Manifest::from_analysis(analysis, pinned.epoch);
+        for msg in drift(&computed, pinned, manifest_name) {
+            drift_msgs.push((manifest_name.clone(), msg));
         }
+    }
+    for (manifest_name, msg) in drift_msgs {
+        // Anchor changed/added sites at their function; removed sites
+        // (and epoch mismatches) at the manifest itself.
+        let site = analysis
+            .fns
+            .iter()
+            .find(|f| msg.contains(&format!("`{}`", f.qname)));
+        let (krate, file, line, snippet) = match site {
+            Some(f) => (
+                f.krate.clone(),
+                files[f.file].rel.clone(),
+                f.line,
+                files[f.file].model.raw_line(f.line).trim().to_owned(),
+            ),
+            None => {
+                let krate = msg
+                    .split('`')
+                    .nth(1)
+                    .and_then(|q| q.split("::").next())
+                    .unwrap_or("workspace")
+                    .to_owned();
+                (krate, manifest_name, 1, String::new())
+            }
+        };
+        push(
+            findings,
+            "epoch-drift",
+            &krate,
+            &file,
+            line,
+            1,
+            msg,
+            rules::SUGGEST_EPOCH_DRIFT,
+            snippet,
+        );
     }
 
     // unordered-iteration: cross-statement collect-then-consume.
@@ -658,7 +755,8 @@ fn stray(rng: &mut SmallRng) -> f64 { rng.random() }
         let a = analyze(&files);
         assert!(a.roots_found);
         assert_eq!(a.epoch_const, Some(3));
-        let m = Manifest::from_analysis(&a);
+        assert_eq!(a.epochs, [3], "no suffixed fns → the declared epoch");
+        let m = Manifest::from_analysis(&a, 3);
         assert_eq!(m.epoch, 3);
         let names: Vec<&str> = m.sites.keys().map(String::as_str).collect();
         assert_eq!(
@@ -689,10 +787,10 @@ fn stray(rng: &mut SmallRng) -> f64 { rng.random() }
     #[test]
     fn manifest_round_trips_and_diffs() {
         let files = lex(SIM);
-        let computed = Manifest::from_analysis(&analyze(&files));
+        let computed = Manifest::from_analysis(&analyze(&files), 3);
         let parsed = Manifest::parse(&computed.render()).expect("round trip");
         assert_eq!(parsed, computed);
-        assert!(drift(&computed, &parsed).is_empty());
+        assert!(drift(&computed, &parsed, MANIFEST_FILE).is_empty());
 
         let mut pinned = computed.clone();
         pinned
@@ -704,7 +802,7 @@ fn stray(rng: &mut SmallRng) -> f64 { rng.random() }
             .map(|d| d.push("uniform".into()));
         pinned.sites.remove("topple-sim::lib::substream");
         pinned.epoch = 2;
-        let msgs = drift(&computed, &pinned);
+        let msgs = drift(&computed, &pinned, MANIFEST_FILE);
         assert_eq!(msgs.len(), 4, "{msgs:#?}");
         assert!(msgs.iter().any(|m| m.contains("declares epoch 2")));
         assert!(msgs
@@ -737,7 +835,7 @@ fn pick(rng: &mut SmallRng) -> u32 { rng.random() }
 fn widen(x: u32) -> usize { x as usize }
 ";
         let files = lex(src);
-        let m = Manifest::from_analysis(&analyze(&files));
+        let m = Manifest::from_analysis(&analyze(&files), 1);
         assert_eq!(
             m.sites["topple-sim::lib::World::simulate_day_into"],
             ["uniform", "pick"],
@@ -746,6 +844,79 @@ fn widen(x: u32) -> usize { x as usize }
         assert!(!m.sites.contains_key("topple-sim::lib::nav_host"));
         // `widen` receives a drawn value, never the stream.
         assert!(!m.sites.contains_key("topple-sim::lib::widen"));
+    }
+
+    #[test]
+    fn suffixed_variants_split_the_contract_per_epoch() {
+        // A dispatcher root fanning out to per-epoch generator variants:
+        // each epoch's manifest must contain only its own variant (plus the
+        // shared helpers), and the batched draw names canonicalize.
+        let src = "\
+pub const DETERMINISM_EPOCH: u32 = 2;
+struct World;
+impl World {
+    pub fn simulate_day_into(&self, seed: u64) {
+        self.simulate_day_epoch1(seed);
+        self.simulate_day_epoch2(seed);
+    }
+    fn simulate_day_epoch1(&self, seed: u64) {
+        let mut rng = substream(seed);
+        let _ = rng.random::<f64>();
+    }
+    fn simulate_day_epoch2(&self, seed: u64) {
+        let mut rng = substream(seed);
+        let _ = block.take_poisson(&mut rng, 2.0);
+        let _ = block.take_index(&mut rng, 4);
+    }
+}
+struct Study;
+impl Study { pub fn run(w: &World) { w.simulate_day_into(7); } }
+pub fn substream(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }
+";
+        let files = lex(src);
+        let a = analyze(&files);
+        assert_eq!(a.epochs, [1, 2]);
+        assert!(epoch_const_mismatch(&a).is_none());
+        assert_eq!(manifest_file(&a.epochs, 1), "determinism.epoch1.toml");
+
+        let m1 = Manifest::from_analysis(&a, 1);
+        let m2 = Manifest::from_analysis(&a, 2);
+        assert!(m1
+            .sites
+            .contains_key("topple-sim::lib::World::simulate_day_epoch1"));
+        assert!(!m1
+            .sites
+            .contains_key("topple-sim::lib::World::simulate_day_epoch2"));
+        assert!(!m2
+            .sites
+            .contains_key("topple-sim::lib::World::simulate_day_epoch1"));
+        assert_eq!(
+            m2.sites["topple-sim::lib::World::simulate_day_epoch2"],
+            ["substream", "poisson", "range"],
+            "{m2:#?}"
+        );
+        // Shared helper appears in both epochs' contracts.
+        assert!(m1.sites.contains_key("topple-sim::lib::substream"));
+        assert!(m2.sites.contains_key("topple-sim::lib::substream"));
+    }
+
+    #[test]
+    fn epoch_const_must_match_the_newest_variant() {
+        let src = "\
+pub const DETERMINISM_EPOCH: u32 = 1;
+struct World;
+impl World {
+    pub fn simulate_day_into(&self, rng: &mut SmallRng) { self.simulate_day_epoch2(rng); }
+    fn simulate_day_epoch2(&self, rng: &mut SmallRng) { let _ = rng.random::<f64>(); }
+}
+struct Study;
+impl Study { pub fn run() {} }
+";
+        let files = lex(src);
+        let a = analyze(&files);
+        let msg = epoch_const_mismatch(&a).expect("constant lags the sources");
+        assert!(msg.contains("DETERMINISM_EPOCH is 1"), "{msg}");
+        assert!(msg.contains("epoch 2"), "{msg}");
     }
 
     #[test]

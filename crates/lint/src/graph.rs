@@ -203,11 +203,28 @@ pub fn build(files: &[LexedFile], fns: &[FnSym]) -> CallGraph {
 
 /// Indices of functions reachable from `roots` (inclusive).
 pub fn reachable(graph: &CallGraph, roots: &[usize]) -> BTreeSet<usize> {
-    let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
-    let mut stack: Vec<usize> = roots.to_vec();
+    reachable_excluding(graph, roots, &BTreeSet::new())
+}
+
+/// Indices of functions reachable from `roots` (inclusive) without
+/// traversing into `excluded` functions. The determinism-epoch analysis uses
+/// this to cut other epochs' `_epochN` generator variants out of one epoch's
+/// contract: a draw helper reachable *only* through an excluded variant
+/// belongs to that variant's epoch, not this one.
+pub fn reachable_excluding(
+    graph: &CallGraph,
+    roots: &[usize],
+    excluded: &BTreeSet<usize>,
+) -> BTreeSet<usize> {
+    let mut seen: BTreeSet<usize> = roots
+        .iter()
+        .copied()
+        .filter(|i| !excluded.contains(i))
+        .collect();
+    let mut stack: Vec<usize> = seen.iter().copied().collect();
     while let Some(f) = stack.pop() {
         for &c in &graph.edges[f] {
-            if seen.insert(c) {
+            if !excluded.contains(&c) && seen.insert(c) {
                 stack.push(c);
             }
         }
@@ -279,6 +296,23 @@ mod tests {
         let r = reachable(&g, &[a]);
         assert_eq!(r.len(), 3);
         assert!(!r.contains(&island));
+    }
+
+    #[test]
+    fn exclusion_cuts_exclusive_subtrees_but_keeps_shared_ones() {
+        // root → {v1, v2}; v1 → shared; v2 → {shared, only2}. Excluding v2
+        // must drop only2 but keep shared (still reachable through v1).
+        let files = lex("fn root() { v1(); v2(); }\nfn v1() { shared(); }\n\
+             fn v2() { shared(); only2(); }\nfn shared() {}\nfn only2() {}\n");
+        let fns = symbols::scan(&files);
+        let g = build(&files, &fns);
+        let idx = |n: &str| fns.iter().position(|f| f.name == n).expect("fn present");
+        let excluded: BTreeSet<usize> = [idx("v2")].into_iter().collect();
+        let r = reachable_excluding(&g, &[idx("root")], &excluded);
+        assert!(r.contains(&idx("v1")));
+        assert!(r.contains(&idx("shared")));
+        assert!(!r.contains(&idx("v2")));
+        assert!(!r.contains(&idx("only2")));
     }
 
     #[test]

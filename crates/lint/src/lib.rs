@@ -316,8 +316,8 @@ pub fn lex_workspace(root: &Path) -> Result<Vec<LexedFile>, LintError> {
 }
 
 /// Lints the whole workspace rooted at `root`: per-file lexical rules, then
-/// the call-graph pass (`rng-leak`, `unordered-iteration`, and — when a
-/// `determinism.epoch.toml` manifest is checked in — `epoch-drift`).
+/// the call-graph pass (`rng-leak`, `unordered-iteration`, and — when
+/// `determinism.epoch*.toml` manifests are checked in — `epoch-drift`).
 pub fn lint_workspace(root: &Path, config: &Config) -> Result<Report, LintError> {
     let files = lex_workspace(root)?;
     let mut findings = Vec::new();
@@ -332,8 +332,14 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<Report, LintError>
         );
     }
     let analysis = epoch::analyze(&files);
-    let pinned = epoch::Manifest::load(root)?;
-    epoch::graph_findings(&files, &analysis, pinned.as_ref(), config, &mut findings);
+    let mut pinned = Vec::new();
+    for &e in &analysis.epochs {
+        let name = epoch::manifest_file(&analysis.epochs, e);
+        if let Some(m) = epoch::Manifest::load(root, &name)? {
+            pinned.push((name, m));
+        }
+    }
+    epoch::graph_findings(&files, &analysis, &pinned, config, &mut findings);
     // Directive audit last: the graph pass above may have consumed
     // `rng-leak` / `unordered-iteration` allows.
     for f in &files {

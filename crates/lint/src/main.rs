@@ -167,62 +167,80 @@ fn run_epoch(root: &std::path::Path, action: &EpochAction) -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    let computed = epoch::Manifest::from_analysis(&analysis);
+    if let Some(msg) = epoch::epoch_const_mismatch(&analysis) {
+        eprintln!("topple-lint: {msg}");
+        return ExitCode::FAILURE;
+    }
     match action {
         EpochAction::Emit { write } => {
-            let rendered = computed.render();
-            if *write {
-                let path = root.join(epoch::MANIFEST_FILE);
-                if let Err(e) = std::fs::write(&path, &rendered) {
-                    eprintln!("topple-lint: {}: {e}", path.display());
-                    return ExitCode::from(2);
+            for &e in &analysis.epochs {
+                let computed = epoch::Manifest::from_analysis(&analysis, e);
+                let name = epoch::manifest_file(&analysis.epochs, e);
+                let rendered = computed.render();
+                if *write {
+                    let path = root.join(&name);
+                    if let Err(err) = std::fs::write(&path, &rendered) {
+                        eprintln!("topple-lint: {}: {err}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    println!(
+                        "wrote {} ({} draw sites, epoch {})",
+                        path.display(),
+                        computed.sites.len(),
+                        computed.epoch
+                    );
+                } else {
+                    if analysis.epochs.len() > 1 {
+                        println!("# ==== {name} ====");
+                    }
+                    print!("{rendered}");
                 }
-                println!(
-                    "wrote {} ({} draw sites, epoch {})",
-                    path.display(),
-                    computed.sites.len(),
-                    computed.epoch
-                );
-            } else {
-                print!("{rendered}");
             }
             ExitCode::SUCCESS
         }
         EpochAction::Verify => {
-            let pinned = match epoch::Manifest::load(root) {
-                Ok(Some(m)) => m,
-                Ok(None) => {
-                    eprintln!(
-                        "topple-lint: {} not found; generate it with `topple-lint epoch emit --write`",
-                        epoch::MANIFEST_FILE
+            let mut drift_total = 0usize;
+            for &e in &analysis.epochs {
+                let computed = epoch::Manifest::from_analysis(&analysis, e);
+                let name = epoch::manifest_file(&analysis.epochs, e);
+                let pinned = match epoch::Manifest::load(root, &name) {
+                    Ok(Some(m)) => m,
+                    Ok(None) => {
+                        eprintln!(
+                            "topple-lint: {name} not found; generate it with \
+                             `topple-lint epoch emit --write`"
+                        );
+                        return ExitCode::from(2);
+                    }
+                    Err(err) => {
+                        eprintln!("topple-lint: {err}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let drift = epoch::drift(&computed, &pinned, &name);
+                if drift.is_empty() {
+                    println!(
+                        "epoch {} verified: {} draw sites match {name}",
+                        pinned.epoch,
+                        pinned.sites.len()
                     );
-                    return ExitCode::from(2);
+                } else {
+                    for msg in &drift {
+                        eprintln!("epoch-drift: {msg}");
+                    }
+                    drift_total += drift.len();
                 }
-                Err(e) => {
-                    eprintln!("topple-lint: {e}");
-                    return ExitCode::from(2);
+            }
+            match drift_total {
+                0 => ExitCode::SUCCESS,
+                drift_total => {
+                    eprintln!(
+                        "topple-lint: determinism contract drifted ({drift_total} differences); \
+                         if the change is intentional bump DETERMINISM_EPOCH, re-run `topple-lint \
+                         epoch emit --write`, and re-pin tests/determinism.rs"
+                    );
+                    ExitCode::FAILURE
                 }
-            };
-            let drift = epoch::drift(&computed, &pinned);
-            if drift.is_empty() {
-                println!(
-                    "epoch {} verified: {} draw sites match {}",
-                    pinned.epoch,
-                    pinned.sites.len(),
-                    epoch::MANIFEST_FILE
-                );
-                ExitCode::SUCCESS
-            } else {
-                for msg in &drift {
-                    eprintln!("epoch-drift: {msg}");
-                }
-                eprintln!(
-                    "topple-lint: determinism contract drifted ({} differences); if the change \
-                     is intentional bump DETERMINISM_EPOCH, re-run `topple-lint epoch emit \
-                     --write`, and re-pin tests/determinism.rs",
-                    drift.len()
-                );
-                ExitCode::FAILURE
             }
         }
     }

@@ -98,12 +98,17 @@ fn emitted_manifest_round_trips_against_the_good_fixture() {
     let analysis = epoch::analyze(&files);
     assert!(analysis.roots_found, "fixture must define both roots");
     assert_eq!(analysis.epoch_const, Some(1));
+    assert_eq!(
+        analysis.epochs,
+        [1],
+        "single-epoch fixture declares exactly epoch 1"
+    );
 
-    let computed = epoch::Manifest::from_analysis(&analysis);
-    let pinned = epoch::Manifest::load(&root)
+    let computed = epoch::Manifest::from_analysis(&analysis, 1);
+    let pinned = epoch::Manifest::load(&root, epoch::MANIFEST_FILE)
         .expect("manifest parses")
         .expect("manifest present");
-    let drift = epoch::drift(&computed, &pinned);
+    let drift = epoch::drift(&computed, &pinned, epoch::MANIFEST_FILE);
     assert!(drift.is_empty(), "good fixture drifted: {drift:#?}");
 
     // The rendered form parses back to the same manifest (emit → verify).
@@ -115,11 +120,11 @@ fn emitted_manifest_round_trips_against_the_good_fixture() {
 fn drift_messages_name_every_difference_kind() {
     let root = fixture_root("epoch_bad");
     let files = lex_workspace(&root).expect("workspace lexes");
-    let computed = epoch::Manifest::from_analysis(&epoch::analyze(&files));
-    let pinned = epoch::Manifest::load(&root)
+    let computed = epoch::Manifest::from_analysis(&epoch::analyze(&files), 1);
+    let pinned = epoch::Manifest::load(&root, epoch::MANIFEST_FILE)
         .expect("manifest parses")
         .expect("manifest present");
-    let msgs = epoch::drift(&computed, &pinned);
+    let msgs = epoch::drift(&computed, &pinned, epoch::MANIFEST_FILE);
     assert_eq!(msgs.len(), 1, "exactly the changed site: {msgs:#?}");
     assert!(
         msgs[0].contains("draw sequence changed")

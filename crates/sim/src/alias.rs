@@ -84,6 +84,27 @@ impl AliasTable {
             self.alias[i]
         }
     }
+
+    /// Draws one index from two raw RNG words (the epoch-2 batched path).
+    ///
+    /// The bucket pick uses a branchless multiply-high instead of
+    /// [`sample`]'s Lemire rejection loop — a different but equally uniform
+    /// map from words to buckets, which is exactly the kind of draw-sequence
+    /// change the epoch bump legalizes. The acceptance coin reuses the
+    /// canonical word→f64 conversion.
+    ///
+    /// [`sample`]: AliasTable::sample
+    #[inline]
+    pub fn sample_words(&self, w1: u64, w2: u64) -> u32 {
+        let n = self.prob.len();
+        // topple-lint: allow(lossy-cast): mulhi of a word by n is always < n, which fits usize
+        let i = ((u128::from(w1) * n as u128) >> 64) as usize;
+        if crate::rng::unit_f64(w2) < self.prob[i] {
+            cast::u32_from_usize(i)
+        } else {
+            self.alias[i]
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +130,42 @@ mod tests {
                 (observed - expected).abs() < 0.005,
                 "index {i}: observed {observed}, expected {expected}"
             );
+        }
+    }
+
+    #[test]
+    fn word_sampling_matches_expected_frequencies() {
+        use rand::Rng;
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = substream(1, Stream::TrafficClient, 0);
+        let n = 400_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            let w1: u64 = rng.random();
+            let w2: u64 = rng.random();
+            counts[table.sample_words(w1, w2) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = f64::from(counts[i]) / f64::from(n);
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "index {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_sampling_never_emits_zero_weight_indices() {
+        use rand::Rng;
+        let weights = [0.0, 1.0, 0.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = substream(2, Stream::TrafficClient, 0);
+        for _ in 0..10_000 {
+            let s = table.sample_words(rng.random(), rng.random());
+            assert!(s == 1 || s == 3, "sampled zero-weight index {s}");
         }
     }
 

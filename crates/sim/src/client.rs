@@ -51,12 +51,21 @@ impl Client {
     /// Enterprise clients browse at work (weekday-heavy); consumers browse
     /// slightly more on weekends.
     pub fn day_factor(&self, weekend: bool) -> f64 {
-        match (self.enterprise, weekend) {
-            (true, false) => 1.20,
-            (true, true) => 0.45,
-            (false, false) => 0.95,
-            (false, true) => 1.12,
-        }
+        day_factor_for(self.enterprise, weekend)
+    }
+}
+
+/// Daily activity multiplier by `(enterprise, weekend)` — the shared
+/// constants behind [`Client::day_factor`], also used by the epoch-2
+/// generator, which reads the enterprise bit from the SoA flag byte instead
+/// of a `Client` record.
+#[inline]
+pub fn day_factor_for(enterprise: bool, weekend: bool) -> f64 {
+    match (enterprise, weekend) {
+        (true, false) => 1.20,
+        (true, true) => 0.45,
+        (false, false) => 0.95,
+        (false, true) => 1.12,
     }
 }
 

@@ -1,6 +1,7 @@
 //! World configuration and scale presets.
 
 use crate::date::Date;
+use crate::rng::{DETERMINISM_EPOCH, SUPPORTED_EPOCHS};
 
 /// Parameters of the synthetic web ecosystem.
 ///
@@ -46,6 +47,17 @@ pub struct WorldConfig {
     /// analysis folds collect by index); `tests/determinism.rs` pins that
     /// byte-for-byte.
     pub workers: Option<usize>,
+    /// Determinism epoch to generate under: which versioned RNG draw-sequence
+    /// contract the traffic engine follows (see `rng::DETERMINISM_EPOCH` for
+    /// the history). `None` defers to the `TOPPLE_EPOCH` environment
+    /// variable, then to the current [`DETERMINISM_EPOCH`]. Unlike
+    /// [`workers`], the epoch *does* select between byte-level output
+    /// universes — each epoch is individually reproducible and pinned, and
+    /// epochs are distributionally equivalent (`tests/epoch_equivalence.rs`),
+    /// but bytes differ across epochs.
+    ///
+    /// [`workers`]: WorldConfig::workers
+    pub epoch: Option<u32>,
 }
 
 /// Switches for the individual bias mechanisms, enabling counterfactual
@@ -132,7 +144,32 @@ impl WorldConfig {
             infrastructure_share: 0.004,
             mechanisms: Mechanisms::default(),
             workers: None,
+            epoch: None,
         }
+    }
+
+    /// The effective determinism epoch: the explicit [`epoch`] field if set,
+    /// else the `TOPPLE_EPOCH` environment variable, else the current
+    /// [`DETERMINISM_EPOCH`]. Validated against [`SUPPORTED_EPOCHS`] by
+    /// [`WorldConfig::validate`] (an unparsable environment value falls back
+    /// to the default rather than erroring, matching `TOPPLE_WORKERS`).
+    ///
+    /// The environment lookup is resolved once per process: `env::var`
+    /// allocates its `String` result, and the per-day generator dispatch
+    /// sits inside the allocation-free ingest window.
+    ///
+    /// [`epoch`]: WorldConfig::epoch
+    pub fn effective_epoch(&self) -> u32 {
+        static ENV_EPOCH: std::sync::OnceLock<Option<u32>> = std::sync::OnceLock::new();
+        self.epoch
+            .or_else(|| {
+                *ENV_EPOCH.get_or_init(|| {
+                    std::env::var("TOPPLE_EPOCH")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                })
+            })
+            .unwrap_or(DETERMINISM_EPOCH)
     }
 
     /// The effective worker count for ingestion and analysis fan-outs: the
@@ -199,6 +236,12 @@ impl WorldConfig {
         if self.zipf_exponent <= 0.0 || self.mean_loads_per_day <= 0.0 {
             return Err("zipf_exponent and mean_loads_per_day must be positive".into());
         }
+        let epoch = self.effective_epoch();
+        if !SUPPORTED_EPOCHS.contains(&epoch) {
+            return Err(format!(
+                "epoch {epoch} is not supported (supported: {SUPPORTED_EPOCHS:?})"
+            ));
+        }
         Ok(())
     }
 }
@@ -246,6 +289,24 @@ mod tests {
         assert_eq!(cfg.effective_workers(), 1);
         cfg.workers = None;
         assert!(cfg.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn explicit_epoch_wins_and_is_validated() {
+        let mut cfg = WorldConfig::tiny(1);
+        cfg.epoch = Some(1);
+        assert_eq!(cfg.effective_epoch(), 1);
+        assert!(cfg.validate().is_ok());
+        cfg.epoch = Some(DETERMINISM_EPOCH);
+        assert_eq!(cfg.effective_epoch(), DETERMINISM_EPOCH);
+        assert!(cfg.validate().is_ok());
+        cfg.epoch = Some(99);
+        let err = cfg.validate().expect_err("unsupported epoch must fail");
+        assert!(err.contains("epoch 99"), "{err}");
+        // Unset: defers to TOPPLE_EPOCH / the compiled-in default; either
+        // way the effective value must be a supported epoch.
+        cfg.epoch = None;
+        assert!(SUPPORTED_EPOCHS.contains(&cfg.effective_epoch()));
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod batch;
 pub mod client;
 pub mod config;
 pub mod date;
@@ -57,17 +58,19 @@ pub mod linkgraph;
 pub mod namegen;
 pub mod rng;
 pub mod site;
+pub mod soa;
 pub mod taxonomy;
 pub mod traffic;
 pub mod wire;
 pub mod world;
 
+pub use batch::UniformBlock;
 pub use client::{Client, Resolver};
 pub use config::{Mechanisms, WorldConfig};
 pub use date::{Date, Weekday};
 pub use ids::{ClientId, SiteId};
 pub use linkgraph::LinkGraph;
-pub use rng::DETERMINISM_EPOCH;
+pub use rng::{DETERMINISM_EPOCH, SUPPORTED_EPOCHS};
 pub use site::{HostKind, Site, SiteHost};
 pub use taxonomy::{Browser, Category, Country, Platform};
 pub use traffic::{

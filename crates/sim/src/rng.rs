@@ -8,15 +8,30 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Version of the determinism contract: the set and order of RNG draws
-/// reachable from the result roots (`World::simulate_day_into`, `Study::run`).
+/// Version of the *current* determinism contract: the set and order of RNG
+/// draws reachable from the result roots (`World::simulate_day_into`,
+/// `Study::run`) under the default epoch.
 ///
 /// Bump this whenever the draw sequence changes — adding, removing, or
-/// reordering any draw site listed in `determinism.epoch.toml` — then
-/// regenerate the manifest with `topple-lint epoch emit --write` and re-pin
-/// the snapshot digest in `tests/determinism.rs`. `topple-lint epoch verify`
-/// fails CI when sources and manifest disagree.
-pub const DETERMINISM_EPOCH: u32 = 1;
+/// reordering any draw site listed in the per-epoch `determinism.epoch*.toml`
+/// manifests — then regenerate the manifests with `topple-lint epoch emit
+/// --write` and re-pin the snapshot digests in `tests/determinism.rs`.
+/// `topple-lint epoch verify` fails CI when sources and manifests disagree.
+///
+/// Epoch history:
+/// - **1** — per-client interleaved scalar draws from one per-day substream
+///   (`Stream::Traffic`). Kept alive as the reference implementation;
+///   selected with `WorldConfig::epoch = Some(1)` or `TOPPLE_EPOCH=1`.
+/// - **2** — batched generation from per-`(day, client)` substreams
+///   (`Stream::TrafficClient`) through block-filled uniform buffers
+///   (`batch::UniformBlock`) and struct-of-arrays site/client tables
+///   (`soa`). Distributionally equivalent to epoch 1 (pinned by
+///   `tests/epoch_equivalence.rs`), not byte-identical to it.
+pub const DETERMINISM_EPOCH: u32 = 2;
+
+/// Every epoch the runtime can still generate. `DETERMINISM_EPOCH` is always
+/// the last entry; earlier entries are frozen reference implementations.
+pub const SUPPORTED_EPOCHS: &[u32] = &[1, 2];
 
 /// Domain-separation tags for RNG substreams.
 ///
@@ -37,6 +52,10 @@ pub enum Stream {
     Names = 5,
     /// Third-party dependency wiring.
     ThirdParty = 6,
+    /// Per-`(day, client)` traffic under epoch ≥ 2: the index packs
+    /// `day << 32 | client`, making every client's day order-independent of
+    /// every other client's.
+    TrafficClient = 7,
 }
 
 /// Derives an independent RNG for `(seed, stream, index)`.
@@ -58,12 +77,32 @@ pub fn substream(seed: u64, stream: Stream, index: u64) -> SmallRng {
     SmallRng::seed_from_u64(z)
 }
 
+/// Maps one raw RNG word onto `[0, 1)` exactly the way the vendored
+/// `rand::random::<f64>()` does (53 high bits → unit interval). Feeding a
+/// substream's words through this yields bit-identical values to drawing
+/// `f64`s from the same substream directly — the property the epoch-2
+/// block-filled buffers rely on (proptested in `batch`).
+#[inline]
+pub fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard-normal deviate from two unit uniforms via Box–Muller.
+///
+/// Pure transform shared by the scalar [`normal`] and the epoch-2 batched
+/// path: same inputs, same bits out.
+#[inline]
+pub fn normal_from_uniforms(u1: f64, u2: f64) -> f64 {
+    // Avoid ln(0) by flooring the uniform away from zero.
+    let u1 = u1.max(1e-300);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
 /// Standard-normal sample via Box–Muller.
 pub fn normal(rng: &mut SmallRng) -> f64 {
-    // Avoid ln(0) by flooring the uniform away from zero.
-    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u1: f64 = rng.random();
     let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    normal_from_uniforms(u1, u2)
 }
 
 /// Log-normal sample with the given log-space mean and standard deviation.
@@ -93,13 +132,47 @@ pub fn poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
             }
         }
     }
-    let x = lambda + lambda.sqrt() * normal(rng) + 0.5;
+    poisson_from_normal(lambda, normal(rng))
+}
+
+/// Large-`lambda` Poisson via the continuity-corrected normal approximation:
+/// the pure tail of [`poisson`], shared with the epoch-2 batched path.
+#[inline]
+pub fn poisson_from_normal(lambda: f64, z: f64) -> u64 {
+    let x = lambda + lambda.sqrt() * z + 0.5;
     if x < 0.0 {
         0
     } else {
         // topple-lint: allow(lossy-cast): x is non-negative (guarded above) and ~lambda in magnitude
         x as u64
     }
+}
+
+/// Small-`lambda` Poisson by CDF inversion of a single unit uniform.
+///
+/// This is the epoch-2 counterpart of [`poisson`]'s Knuth product loop: one
+/// uniform instead of `~lambda` of them, same distribution (the inverse-CDF
+/// of a discrete variable is exact). Only valid for `lambda < 30` — beyond
+/// that `exp(-lambda)` underflows toward the f64 floor and the epoch-2 path
+/// switches to [`poisson_from_normal`], exactly like the scalar sampler.
+#[inline]
+pub fn poisson_from_uniform(u: f64, lambda: f64) -> u64 {
+    debug_assert!((0.0..30.0).contains(&lambda));
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let mut p = (-lambda).exp();
+    let mut cdf = p;
+    let mut k = 0u64;
+    while u >= cdf {
+        k += 1;
+        if k > 10_000 {
+            return k; // numerical guard; unreachable for lambda < 30
+        }
+        p *= lambda / k as f64;
+        cdf += p;
+    }
+    k
 }
 
 /// Bernoulli trial.
@@ -182,6 +255,95 @@ mod tests {
         let median = samples[n / 2];
         // Median of log-normal = e^mu.
         assert!((median - 2.0f64.exp()).abs() < 0.2, "median {median}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_variance_and_floor() {
+        // The normal-approximation branch must keep the second moment, not
+        // just the mean, and its continuity correction must never produce a
+        // negative count even deep in the left tail.
+        let mut rng = substream(13, Stream::Traffic, 5);
+        let lambda = 250.0;
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| {
+                // topple-lint: allow(lossy-cast): counts ~lambda fit f64 exactly
+                poisson(&mut rng, lambda) as f64
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
+        assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+        assert!((var / lambda - 1.0).abs() < 0.05, "variance {var}");
+        assert_eq!(poisson_from_normal(1.0, -100.0), 0, "tail must clamp at 0");
+    }
+
+    #[test]
+    fn log_normal_sigma_zero_is_deterministic_exp_mu() {
+        // σ → 0 collapses the distribution to the point mass e^mu; the
+        // sampler must still consume its normal draw (the epoch contract
+        // fixes the draw sequence regardless of parameter values).
+        let mut rng = substream(14, Stream::Traffic, 6);
+        for _ in 0..1000 {
+            let x = log_normal(&mut rng, 3.0, 0.0);
+            assert!((x - 3.0f64.exp()).abs() < 1e-12, "got {x}");
+        }
+    }
+
+    #[test]
+    fn normal_tail_bounds() {
+        // Box–Muller over 53-bit uniforms is bounded: |z| <= sqrt(-2 ln u1)
+        // with u1 floored at 1e-300, so ~37.2 absolute worst case. Over 2e5
+        // draws the empirical max should sit in the (3.8, 7.5) band —
+        // reaching genuine tail values without ever exceeding what the
+        // uniform resolution allows.
+        let mut rng = substream(15, Stream::Traffic, 7);
+        let max_abs = (0..200_000)
+            .map(|_| normal(&mut rng).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_abs > 3.8, "tails never reached: max |z| = {max_abs}");
+        assert!(max_abs < 7.5, "implausible outlier: max |z| = {max_abs}");
+    }
+
+    #[test]
+    fn poisson_inversion_matches_product_method_moments() {
+        // Same distribution from one uniform (epoch 2) as from Knuth's
+        // product loop (epoch 1), checked on mean and variance.
+        let mut rng = substream(16, Stream::Traffic, 8);
+        let lambda = 6.5;
+        let n = 100_000;
+        let inv: Vec<f64> = (0..n)
+            .map(|_| {
+                // topple-lint: allow(lossy-cast): small counts fit f64 exactly
+                poisson_from_uniform(rng.random(), lambda) as f64
+            })
+            .collect();
+        let mean = inv.iter().sum::<f64>() / f64::from(n);
+        let var = inv.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var / lambda - 1.0).abs() < 0.05, "variance {var}");
+        assert_eq!(poisson_from_uniform(0.0, 5.0), 0, "u=0 is the CDF floor");
+        assert_eq!(poisson_from_uniform(0.5, 0.0), 0, "λ=0 degenerates to 0");
+    }
+
+    #[test]
+    fn unit_f64_matches_vendored_uniform_bits() {
+        // The word→f64 map must be bit-identical to random::<f64>() on the
+        // same substream; this is what lets the epoch-2 block buffer replay
+        // the scalar uniform stream exactly.
+        let mut words = substream(17, Stream::TrafficClient, 9);
+        let mut direct = substream(17, Stream::TrafficClient, 9);
+        for _ in 0..1000 {
+            let w: u64 = words.random();
+            let f: f64 = direct.random();
+            assert_eq!(unit_f64(w).to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn epoch_constants_are_consistent() {
+        assert_eq!(SUPPORTED_EPOCHS.last(), Some(&DETERMINISM_EPOCH));
+        assert!(SUPPORTED_EPOCHS.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

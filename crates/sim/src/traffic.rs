@@ -18,9 +18,14 @@
 use rand::Rng;
 use topple_stats::cast;
 
+use crate::batch::UniformBlock;
+use crate::client::day_factor_for;
 use crate::date::Date;
 use crate::ids::{ClientId, SiteId};
 use crate::rng::{chance, log_normal, poisson, substream, Stream};
+use crate::soa::{
+    CLIENT_ENTERPRISE, CLIENT_MOBILE, CLIENT_PANELIST, SITE_HTTPS, SITE_PANEL_AVERSE,
+};
 use crate::world::World;
 
 /// One user-initiated page load and its same-site request expansion.
@@ -143,15 +148,32 @@ pub struct TrafficScratch {
     gen: u64,
     /// The current client's sites visited so far today (revisit pool).
     today: Vec<u32>,
+    /// Epoch-2 block-filled uniform buffer (idle under epoch 1).
+    block: UniformBlock,
+    /// Epoch-2 per-client site selections (phase 1 output, phase 2 input;
+    /// idle under epoch 1). Pre-sized so pushes never reallocate.
+    picks: Vec<u32>,
 }
 
 impl TrafficScratch {
     /// Creates scratch sized for `world`'s site universe.
     pub fn for_world(world: &World) -> Self {
+        // Loads per (client, day) are Poisson with mean activity × day
+        // factor; size the pick buffer past the busiest client's mean by a
+        // wide margin so the hot path never grows it.
+        let max_activity = world
+            .clients
+            .iter()
+            .map(|c| c.activity)
+            .fold(0.0f32, f32::max);
+        // topple-lint: allow(lossy-cast): capacity sizing; activity is bounded (≤ a few thousand)
+        let picks_cap = ((max_activity * 1.5) as usize + 64).max(1024);
         TrafficScratch {
             stub_gen: vec![0; world.sites.len()],
             gen: 0,
             today: Vec::with_capacity(64),
+            block: UniformBlock::new(),
+            picks: Vec::with_capacity(picks_cap),
         }
     }
 
@@ -164,11 +186,18 @@ impl TrafficScratch {
     /// Marks `site`'s zone as contacted by the current client; returns
     /// whether this was the first contact (a stub-cache miss).
     fn stub_fresh(&mut self, site: SiteId) -> bool {
-        let slot = &mut self.stub_gen[site.index()];
-        let fresh = *slot != self.gen;
-        *slot = self.gen;
-        fresh
+        stub_fresh_at(&mut self.stub_gen, self.gen, site.index())
     }
+}
+
+/// The stamp update behind [`TrafficScratch::stub_fresh`], usable on the
+/// destructured scratch (the epoch-2 loop splits the scratch borrows).
+#[inline]
+fn stub_fresh_at(stub_gen: &mut [u64], generation: u64, site: usize) -> bool {
+    let slot = &mut stub_gen[site];
+    let fresh = *slot != generation;
+    *slot = generation;
+    fresh
 }
 
 /// An [`EventSink`] that materializes the stream into the three event
@@ -245,6 +274,27 @@ impl World {
     /// Panics if `day_index` is outside the configured window or `scratch`
     /// was built for a smaller site universe.
     pub fn simulate_day_into<S: EventSink>(
+        &self,
+        day_index: usize,
+        scratch: &mut TrafficScratch,
+        sink: &mut S,
+    ) {
+        // Pure dispatch — this function issues no draws itself, so each
+        // epoch's contract is exactly its implementation's reachable set.
+        // `World::generate` validated the effective epoch against
+        // `SUPPORTED_EPOCHS`; any epoch above 1 is the batched generator.
+        if self.config.effective_epoch() == 1 {
+            self.simulate_day_epoch1(day_index, scratch, sink);
+        } else {
+            self.simulate_day_epoch2(day_index, scratch, sink);
+        }
+    }
+
+    /// Epoch-1 traffic generation: per-client interleaved scalar draws from
+    /// one per-day substream (`Stream::Traffic`). Frozen as the reference
+    /// implementation — its output is pinned byte-for-byte by
+    /// `tests/determinism.rs` and must never change.
+    fn simulate_day_epoch1<S: EventSink>(
         &self,
         day_index: usize,
         scratch: &mut TrafficScratch,
@@ -377,6 +427,200 @@ impl World {
                     client: client.id,
                     name_idx,
                 });
+            }
+        }
+        // topple-lint: hot-path-end
+    }
+
+    /// Epoch-2 traffic generation: batched struct-of-arrays draws.
+    ///
+    /// Differences from epoch 1, all legalized by the epoch bump and proven
+    /// distributionally equivalent by `tests/epoch_equivalence.rs`:
+    ///
+    /// - **Per-client substreams.** Each `(day, client)` pair derives its own
+    ///   RNG (`Stream::TrafficClient`, index `day << 32 | client`), so one
+    ///   client's draw count never shifts another client's stream — the
+    ///   precondition for generating clients out of order or in parallel.
+    /// - **Block-filled uniforms.** Raw words are filled into the scratch
+    ///   [`UniformBlock`] slab-at-a-time and consumed by fixed-word-count
+    ///   samplers: single-uniform Poisson inversion below `λ = 30`,
+    ///   multiply-high alias and index picks, unconditional root-path coin.
+    /// - **SoA tables.** Per-load attributes come from `World::soa` dense
+    ///   arrays instead of the ~300-byte `Site` records; third-party
+    ///   dependency lists are walked in CSR layout.
+    ///
+    /// Event semantics (field invariants, stub-cache behavior, revisit pool,
+    /// emission order of page loads → third-party → background per client)
+    /// are identical to epoch 1.
+    fn simulate_day_epoch2<S: EventSink>(
+        &self,
+        day_index: usize,
+        scratch: &mut TrafficScratch,
+        sink: &mut S,
+    ) {
+        let day = self.config.days[day_index];
+        let weekend = day.weekday().is_weekend();
+        let seed = self.config.seed;
+        let sites = &self.soa.sites;
+        let clients = &self.soa.clients;
+        let panel_aversion = self.config.mechanisms.panel_aversion;
+        let name_count = cast::u64_from_usize(self.background_names.len());
+        let day_key = cast::u64_from_usize(day_index) << 32;
+        let TrafficScratch {
+            stub_gen,
+            gen,
+            today,
+            block,
+            picks,
+        } = scratch;
+
+        // topple-lint: hot-path-begin
+        for ci in 0..clients.len() {
+            *gen += 1; // u64 never wraps in any feasible run
+            let generation = *gen;
+            today.clear();
+            let client = clients.id[ci];
+            let cflags = clients.flags[ci];
+            let mobile = cflags & CLIENT_MOBILE != 0;
+            let panelist = cflags & CLIENT_PANELIST != 0;
+            let mut rng = substream(seed, Stream::TrafficClient, day_key | u64::from(client.0));
+            block.reset();
+
+            let lambda = f64::from(clients.activity[ci])
+                * day_factor_for(cflags & CLIENT_ENTERPRISE != 0, weekend);
+            let loads = block.take_poisson(&mut rng, lambda);
+            let table = self.nav_tables.get(clients.country[ci], mobile, weekend);
+
+            // Phase 1: batched site selection. Semantics mirror epoch 1: a
+            // ~third of loads revisit today's pool, the rest draw from the
+            // popularity alias table, and panelists rejection-resample
+            // sensitive categories (up to twice, 90% each).
+            picks.clear();
+            for _ in 0..loads {
+                let mut site_idx = if !today.is_empty() && block.take_chance(&mut rng, 0.35) {
+                    today[block.take_index(&mut rng, today.len())]
+                } else {
+                    table.sample_words(block.take_word(&mut rng), block.take_word(&mut rng))
+                };
+                if panelist && panel_aversion {
+                    for _ in 0..2 {
+                        let averse =
+                            sites.flags[cast::usize_from_u32(site_idx)] & SITE_PANEL_AVERSE != 0;
+                        if averse && block.take_chance(&mut rng, 0.9) {
+                            site_idx = table
+                                .sample_words(block.take_word(&mut rng), block.take_word(&mut rng));
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                picks.push(site_idx);
+                if today.len() < 64 && !today.contains(&site_idx) {
+                    today.push(site_idx);
+                }
+            }
+
+            // Phase 2: per-load detail and third-party expansion over the
+            // SoA attribute arrays.
+            for &pick in picks.iter() {
+                let s = cast::usize_from_u32(pick);
+                let host_idx = sites.nav_host(s, mobile, block.take_f64(&mut rng));
+                let private_mode = block.take_chance(&mut rng, f64::from(sites.private_share[s]));
+                let completed = block.take_chance(&mut rng, f64::from(sites.completion[s]));
+                let dwell_secs = if completed {
+                    cast::u16_from_f64(
+                        block
+                            .take_log_normal(&mut rng, f64::from(sites.dwell_mu[s]), 0.9)
+                            .min(3600.0),
+                    )
+                } else {
+                    0
+                };
+                let own_requests = if completed {
+                    cast::u16_from_u64(
+                        block
+                            .take_poisson(&mut rng, f64::from(sites.subres_mean[s]))
+                            .min(2000),
+                    )
+                } else {
+                    cast::u16_from_u64(block.take_poisson(&mut rng, 1.0).min(10))
+                };
+                let total = u32::from(own_requests) + 1;
+                let non200 = cast::u16_from_u64(
+                    block
+                        .take_poisson(&mut rng, f64::from(total) * f64::from(sites.error_rate[s]))
+                        .min(u64::from(total)),
+                );
+                // Connection reuse: roughly one handshake per 8 requests.
+                let https = sites.flags[s] & SITE_HTTPS != 0;
+                let tls_handshakes = if https {
+                    cast::u16_from_u64(
+                        1 + block.take_poisson(&mut rng, f64::from(own_requests) / 8.0),
+                    )
+                } else {
+                    0
+                };
+                // The root-path coin is drawn unconditionally (epoch 1
+                // short-circuits it behind the host-role test): one word per
+                // load regardless of host, same conditional distribution.
+                let is_root_path = sites.is_root_candidate(s, host_idx)
+                    && block.take_chance(&mut rng, f64::from(sites.root_nav_share[s]));
+                let link_click = block.take_chance(&mut rng, 0.72);
+                let dns_fresh = stub_fresh_at(stub_gen, generation, s);
+
+                sink.page_load(&PageLoad {
+                    client,
+                    site: SiteId(pick),
+                    host_idx,
+                    is_root_path,
+                    link_click,
+                    private_mode,
+                    completed,
+                    dwell_secs,
+                    own_requests,
+                    non200,
+                    tls_handshakes,
+                    dns_fresh,
+                });
+
+                // Third-party expansion (only completed loads execute
+                // embeds), walking the CSR dependency rows.
+                if completed {
+                    for j in sites.tp_range(s) {
+                        if block.take_chance(&mut rng, f64::from(sites.tp_prob[j])) {
+                            let dep = cast::usize_from_u32(sites.tp_zone[j]);
+                            let requests =
+                                cast::u16_from_u64(1 + block.take_poisson(&mut rng, 2.0));
+                            let non200 = cast::u16_from_u64(
+                                block
+                                    .take_poisson(
+                                        &mut rng,
+                                        f64::from(requests) * f64::from(sites.error_rate[dep]),
+                                    )
+                                    .min(u64::from(requests)),
+                            );
+                            let tls = u16::from(sites.flags[dep] & SITE_HTTPS != 0);
+                            let fresh = stub_fresh_at(stub_gen, generation, dep);
+                            sink.third_party(&ThirdPartyFetch {
+                                client,
+                                site: SiteId(sites.tp_zone[j]),
+                                host_idx: sites.service_host(dep, block.take_f64(&mut rng)),
+                                requests,
+                                non200,
+                                tls_handshakes: tls,
+                                dns_fresh: fresh,
+                                private_mode,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Background DNS noise: a few automatic queries per device-day.
+            let n_bg = block.take_poisson(&mut rng, 2.5);
+            for _ in 0..n_bg {
+                let name_idx = cast::u16_from_u64(block.take_word(&mut rng) % name_count);
+                sink.background(&BackgroundQuery { client, name_idx });
             }
         }
         // topple-lint: hot-path-end

@@ -15,6 +15,7 @@ use crate::linkgraph::LinkGraph;
 use crate::namegen::NameGenerator;
 use crate::rng::{chance, log_normal, substream, zipf_weights, Stream};
 use crate::site::{HostKind, Site, SiteHost};
+use crate::soa::SoaTables;
 use crate::taxonomy::{Browser, Category, Country, Platform};
 
 /// Error produced by world generation.
@@ -63,6 +64,10 @@ pub struct World {
     /// connectivity checks). These pollute DNS-derived lists.
     pub background_names: Vec<DomainName>,
     pub(crate) nav_tables: NavTables,
+    /// Struct-of-arrays projections of sites and clients for the epoch-2
+    /// generator. A pure function of the fields above — rebuilding it never
+    /// consumes RNG.
+    pub(crate) soa: SoaTables,
     domain_index: HashMap<String, SiteId>,
 }
 
@@ -76,6 +81,7 @@ impl World {
         let link_graph = LinkGraph::generate(config.seed, &sites, 10.0);
         let nav_tables = build_nav_tables(&sites);
         let background_names = background_names();
+        let soa = SoaTables::build(&sites, &clients);
         let mut domain_index = HashMap::with_capacity(sites.len());
         for s in &sites {
             domain_index.insert(s.domain.as_str().to_owned(), s.id);
@@ -88,6 +94,7 @@ impl World {
             link_graph,
             background_names,
             nav_tables,
+            soa,
             domain_index,
         })
     }

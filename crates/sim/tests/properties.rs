@@ -1,7 +1,9 @@
 //! Property-based tests over world generation and traffic invariants.
 
 use proptest::prelude::*;
-use topple_sim::{Date, World, WorldConfig};
+use rand::{Rng, RngCore};
+use topple_sim::rng::{normal_from_uniforms, poisson_from_normal, substream, Stream};
+use topple_sim::{Date, UniformBlock, World, WorldConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -23,8 +25,12 @@ proptest! {
     }
 
     #[test]
-    fn traffic_invariants_for_any_seed(seed in any::<u64>(), day in 0usize..7) {
-        let w = World::generate(WorldConfig::tiny(seed)).unwrap();
+    fn traffic_invariants_for_any_seed(seed in any::<u64>(), day in 0usize..7, epoch in 1u32..=2) {
+        let config = WorldConfig {
+            epoch: Some(epoch),
+            ..WorldConfig::tiny(seed)
+        };
+        let w = World::generate(config).unwrap();
         let t = w.simulate_day(day);
         for pl in &t.page_loads {
             prop_assert!(pl.site.index() < w.sites.len());
@@ -44,6 +50,89 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Epoch-2 contract: the batched block is a pure *re-buffering* of the
+    // scalar stream. Feeding the same substream through `UniformBlock` and
+    // through scalar `RngCore`/`Rng` calls must yield identical bytes.
+
+    #[test]
+    fn block_words_replay_the_scalar_stream(seed in any::<u64>(), index in any::<u64>(), n in 1usize..700) {
+        let mut scalar = substream(seed, Stream::TrafficClient, index);
+        let mut batched = substream(seed, Stream::TrafficClient, index);
+        let mut block = UniformBlock::new();
+        for _ in 0..n {
+            prop_assert_eq!(block.take_word(&mut batched), scalar.next_u64());
+        }
+    }
+
+    #[test]
+    fn block_f64_matches_vendored_uniform(seed in any::<u64>(), n in 1usize..300) {
+        let mut scalar = substream(seed, Stream::TrafficClient, 0);
+        let mut batched = substream(seed, Stream::TrafficClient, 0);
+        let mut block = UniformBlock::new();
+        for _ in 0..n {
+            let want: f64 = scalar.random();
+            prop_assert_eq!(block.take_f64(&mut batched).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_chance_matches_scalar_threshold(seed in any::<u64>(), p in 0.0f64..1.0) {
+        let mut scalar = substream(seed, Stream::TrafficClient, 1);
+        let mut batched = substream(seed, Stream::TrafficClient, 1);
+        let mut block = UniformBlock::new();
+        for _ in 0..64 {
+            let want = scalar.random::<f64>() < p;
+            prop_assert_eq!(block.take_chance(&mut batched, p), want);
+        }
+    }
+
+    #[test]
+    fn block_normal_is_box_muller_of_scalar_uniforms(seed in any::<u64>()) {
+        let mut scalar = substream(seed, Stream::TrafficClient, 2);
+        let mut batched = substream(seed, Stream::TrafficClient, 2);
+        let mut block = UniformBlock::new();
+        for _ in 0..64 {
+            let u1: f64 = scalar.random();
+            let u2: f64 = scalar.random();
+            let want = normal_from_uniforms(u1, u2);
+            prop_assert_eq!(block.take_normal(&mut batched).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_poisson_large_lambda_matches_scalar_normal(seed in any::<u64>(), lambda in 30.0f64..500.0) {
+        let mut scalar = substream(seed, Stream::TrafficClient, 3);
+        let mut batched = substream(seed, Stream::TrafficClient, 3);
+        let mut block = UniformBlock::new();
+        for _ in 0..32 {
+            let u1: f64 = scalar.random();
+            let u2: f64 = scalar.random();
+            let want = poisson_from_normal(lambda, normal_from_uniforms(u1, u2));
+            prop_assert_eq!(block.take_poisson(&mut batched, lambda), want);
+        }
+    }
+
+    #[test]
+    fn block_reset_discards_the_tail(seed in any::<u64>(), consumed in 0usize..128) {
+        // After a reset, the next take refills from the rng's *current*
+        // position — leftover buffered words never leak across clients.
+        let mut rng = substream(seed, Stream::TrafficClient, 4);
+        let mut block = UniformBlock::new();
+        for _ in 0..consumed {
+            let _ = block.take_word(&mut rng);
+        }
+        block.reset();
+        let mut fresh = substream(seed, Stream::TrafficClient, 4);
+        // Skip the words already pulled out of the shared stream: a full
+        // refill's worth if any were consumed.
+        if consumed > 0 {
+            for _ in 0..128 {
+                let _ = fresh.next_u64();
+            }
+        }
+        prop_assert_eq!(block.take_word(&mut rng), fresh.next_u64());
+    }
 
     #[test]
     fn calendar_roundtrips(year in 1900i32..2100, month in 1u8..=12, day in 1u8..=28) {
