@@ -1,54 +1,85 @@
-//! Closed-loop loopback load generator for the `topple-serve` daemon.
+//! Loopback load generator for the `topple-serve` daemon: closed-loop
+//! (sequential and pipelined) and open-loop modes.
 //!
 //! Unlike the other targets this is not a criterion closure: the number
-//! being measured is the throughput of a multi-threaded server under
+//! being measured is the throughput of a multi-shard reactor under
 //! concurrent clients, which criterion's single-threaded `iter` model
 //! cannot express. The harness is custom but honours the same `--test`
 //! smoke flag the vendored criterion uses, so `cargo bench -- --test`
 //! stays a cheap build-and-run check in CI.
 //!
-//! Protocol: a small-scale study is encoded into a snapshot, served by a
-//! 4-worker daemon on an ephemeral loopback port, and hammered by
-//! closed-loop keep-alive clients (each thread issues its next request
-//! only after fully reading the previous response). Reported per
-//! scenario: total requests, wall-clock, req/s, p50/p99 latency.
-//! Baselines live in EXPERIMENTS.md; the acceptance bar is >= 10k req/s
-//! on `/v1/rank` at this scale.
+//! Three load models (EXPERIMENTS.md discusses why all three matter):
+//!
+//! - **Closed-loop sequential**: each client issues its next request only
+//!   after fully reading the previous response — one request in flight per
+//!   connection. Comparable to every earlier baseline in EXPERIMENTS.md.
+//! - **Closed-loop pipelined**: each client keeps `PIPELINE_DEPTH`
+//!   requests in flight on one keep-alive connection; the reactor drains
+//!   them per read and coalesces the responses into one flush. This is the
+//!   throughput headline — it measures the server's per-request cost with
+//!   syscalls amortised over the batch.
+//! - **Open-loop**: requests depart on a fixed schedule regardless of
+//!   completions (arrivals don't slow down when the server does), and each
+//!   latency is measured from the request's *scheduled* departure time.
+//!   This is the honest tail-latency number: unlike closed-loop, it does
+//!   not let a slow server throttle its own load (coordinated omission).
+//!
+//! `--drain-smoke` runs the CI accounting check instead of the full study:
+//! clients pipeline a fixed request count, shutdown flips mid-load, and
+//! the drain's served-request total must equal `clients x requests`
+//! exactly — including requests that were pipelined but unanswered when
+//! the drain began — plus a conservative throughput floor.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use topple_bench::small_study;
 use topple_serve::{encode_study, QuerySnapshot, Server, Snapshot};
 
-/// Closed-loop clients per scenario (each owns one keep-alive connection).
+/// Clients per scenario (each owns one keep-alive connection).
 const CLIENTS: usize = 8;
-/// Server worker threads.
-const WORKERS: usize = 4;
-/// Requests per client in a full measurement run.
+/// Reactor shard threads.
+const SHARDS: usize = 4;
+/// Requests per client in a full closed-loop measurement run.
 const FULL_REQUESTS: usize = 4_000;
+/// Requests per client in a full *pipelined* run (cheap enough per request
+/// that a bigger count stabilises the number).
+const FULL_PIPELINED_REQUESTS: usize = 40_000;
 /// Requests per client under `--test` (build-and-run smoke only).
 const SMOKE_REQUESTS: usize = 5;
+/// In-flight requests per connection in pipelined mode. Sized so the
+/// aggregate in-flight count (CLIENTS x depth) keeps p99 under 1ms on one
+/// core while still amortising syscalls enough to clear the throughput
+/// target: queueing delay is roughly in-flight x per-request cost.
+const PIPELINE_DEPTH: usize = 16;
+/// Aggregate arrival rates (req/s) exercised by the open-loop study.
+const OPEN_LOOP_RATES: [u64; 3] = [20_000, 60_000, 120_000];
+/// Requests per client per open-loop rate (full mode).
+const OPEN_LOOP_REQUESTS: usize = 10_000;
+/// Throughput floor asserted by `--drain-smoke` (req/s, pipelined rank).
+const SMOKE_FLOOR_RPS: f64 = 10_000.0;
 
 /// Reads exactly one HTTP response (headers + `Content-Length` body) off a
-/// keep-alive stream; a single `read` may return a partial frame.
-fn read_one_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) {
-    scratch.clear();
-    let mut buf = [0u8; 4096];
+/// keep-alive stream, leaving any over-read (pipelined) bytes in `carry`.
+fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) {
+    let mut buf = [0u8; 16 * 1024];
     loop {
-        if let Some(head_end) = find_head_end(scratch) {
-            let content_len = content_length(&scratch[..head_end]);
-            if scratch.len() >= head_end + 4 + content_len {
+        if let Some(head_end) = find_head_end(carry) {
+            let content_len = content_length(&carry[..head_end]);
+            let frame_len = head_end + 4 + content_len;
+            if carry.len() >= frame_len {
+                carry.drain(..frame_len);
                 return;
             }
         }
         // topple-lint: allow(unwrap): bench; a dead connection must abort the run
         let n = stream.read(&mut buf).expect("server closed mid-response");
         assert!(n > 0, "server closed mid-response");
-        scratch.extend_from_slice(&buf[..n]);
+        carry.extend_from_slice(&buf[..n]);
     }
 }
 
@@ -73,104 +104,348 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
 }
 
-/// Runs one scenario: `CLIENTS` threads cycling through `paths` for
-/// `requests_per_client` requests each, against a fresh server.
-fn run_scenario(name: &str, snapshot: &[u8], paths: &[String], requests_per_client: usize) {
+/// Spawns a fresh server on an ephemeral loopback port, runs `f` against
+/// it, then drains and verifies exact request accounting.
+fn with_server<T>(
+    snapshot: &[u8],
+    expect_requests: Option<u64>,
+    f: impl FnOnce(std::net::SocketAddr) -> T,
+) -> T {
     // topple-lint: allow(unwrap): bench; a broken snapshot must abort the run
     let qs = QuerySnapshot::new(Snapshot::from_bytes(snapshot).expect("snapshot decodes"));
-    let server = Arc::new(Server::bind("127.0.0.1:0", qs, WORKERS).expect("binds loopback"));
+    let server = Arc::new(Server::bind("127.0.0.1:0", qs, SHARDS).expect("binds loopback"));
     let addr = server.local_addr().expect("bound addr");
     let handle = server.handle();
     let runner = {
         let server = Arc::clone(&server);
         std::thread::spawn(move || server.run())
     };
-
-    let begun = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..CLIENTS)
-            .map(|client| {
-                scope.spawn(move || {
-                    let mut stream = TcpStream::connect(addr).expect("connects");
-                    // One write_all per request and no Nagle buffering:
-                    // otherwise the kernel's delayed-ACK interaction adds
-                    // ~40ms to every request and the harness measures TCP
-                    // pathology instead of the server.
-                    stream.set_nodelay(true).expect("nodelay");
-                    let requests: Vec<Vec<u8>> = paths
-                        .iter()
-                        .map(|p| format!("GET {p} HTTP/1.1\r\n\r\n").into_bytes())
-                        .collect();
-                    let mut scratch = Vec::with_capacity(4096);
-                    let mut lat = Vec::with_capacity(requests_per_client);
-                    for i in 0..requests_per_client {
-                        // Stagger clients so they do not walk the path list
-                        // in lockstep.
-                        let request = &requests[(client * 7 + i) % requests.len()];
-                        let sent = Instant::now();
-                        stream.write_all(request).expect("writes");
-                        read_one_response(&mut stream, &mut scratch);
-                        lat.push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
-                    }
-                    lat
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("client thread"))
-            .collect()
-    });
-    let elapsed = begun.elapsed();
-
+    let out = f(addr);
     handle.store(true, Ordering::SeqCst);
     let stats = runner
         .join()
         .expect("server thread")
         .expect("graceful drain");
-    assert_eq!(stats.requests, (CLIENTS * requests_per_client) as u64);
+    if let Some(expected) = expect_requests {
+        assert_eq!(stats.requests, expected, "drain accounting drifted");
+    }
+    out
+}
 
+/// Prints one scenario's numbers and returns the req/s.
+fn report(name: &str, latencies: &mut [u64], elapsed: Duration) -> f64 {
     latencies.sort_unstable();
     let total = latencies.len();
     let rps = total as f64 / elapsed.as_secs_f64();
     println!(
         "serve_loadgen/{name}: {total} reqs over {CLIENTS} clients in {:.2}s -> {rps:.0} req/s, \
-         p50={}us p99={}us",
+         p50={}us p99={}us p999={}us",
         elapsed.as_secs_f64(),
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 99.0),
+        percentile(latencies, 50.0),
+        percentile(latencies, 99.0),
+        percentile(latencies, 99.9),
     );
+    rps
 }
 
-fn main() {
-    // `cargo bench -- --test` (CI smoke) pins the run to a handful of
-    // requests; any other criterion-style flags are ignored.
-    let smoke = std::env::args().any(|a| a == "--test");
-    let requests = if smoke { SMOKE_REQUESTS } else { FULL_REQUESTS };
+/// Prebuilds the wire bytes for each path.
+fn render_requests(paths: &[String]) -> Vec<Vec<u8>> {
+    paths
+        .iter()
+        .map(|p| format!("GET {p} HTTP/1.1\r\n\r\n").into_bytes())
+        .collect()
+}
 
-    let study = small_study();
-    let bytes = encode_study(study, "small", &[]);
-    println!(
-        "serve_loadgen: snapshot {} bytes, {} domains, {WORKERS} workers, mode={}",
-        bytes.len(),
-        study.index().table().len(),
-        if smoke { "smoke" } else { "full" },
+/// Closed-loop sequential: one request in flight per connection; latency is
+/// send-to-last-body-byte.
+fn run_closed_sequential(
+    name: &str,
+    snapshot: &[u8],
+    paths: &[String],
+    requests_per_client: usize,
+) {
+    let (mut latencies, elapsed) = with_server(
+        snapshot,
+        Some((CLIENTS * requests_per_client) as u64),
+        |addr| {
+            let begun = Instant::now();
+            let latencies: Vec<u64> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        scope.spawn(move || {
+                            let mut stream = TcpStream::connect(addr).expect("connects");
+                            // No Nagle buffering: otherwise the delayed-ACK
+                            // interaction adds ~40ms per request and the
+                            // harness measures TCP pathology, not the server.
+                            stream.set_nodelay(true).expect("nodelay");
+                            let requests = render_requests(paths);
+                            let mut carry = Vec::with_capacity(16 * 1024);
+                            let mut lat = Vec::with_capacity(requests_per_client);
+                            for i in 0..requests_per_client {
+                                // Stagger clients so they do not walk the
+                                // path list in lockstep.
+                                let request = &requests[(client * 7 + i) % requests.len()];
+                                let sent = Instant::now();
+                                stream.write_all(request).expect("writes");
+                                read_one_response(&mut stream, &mut carry);
+                                lat.push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("client thread"))
+                    .collect()
+            });
+            (latencies, begun.elapsed())
+        },
     );
+    report(name, &mut latencies, elapsed);
+}
 
-    // Rank lookups: cycle the head of Tranco plus a guaranteed miss, the
-    // hot point-lookup path.
-    let mut rank_paths: Vec<String> = study
+/// Closed-loop pipelined: keep `depth` requests in flight per connection;
+/// latency is send-to-last-body-byte per request.
+fn run_closed_pipelined(
+    name: &str,
+    snapshot: &[u8],
+    paths: &[String],
+    requests_per_client: usize,
+    depth: usize,
+) -> f64 {
+    let (mut latencies, elapsed) = with_server(
+        snapshot,
+        Some((CLIENTS * requests_per_client) as u64),
+        |addr| {
+            let begun = Instant::now();
+            let latencies: Vec<u64> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        scope.spawn(move || {
+                            let mut stream = TcpStream::connect(addr).expect("connects");
+                            stream.set_nodelay(true).expect("nodelay");
+                            let requests = render_requests(paths);
+                            let mut carry = Vec::with_capacity(64 * 1024);
+                            let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(depth);
+                            let mut lat = Vec::with_capacity(requests_per_client);
+                            for i in 0..requests_per_client {
+                                let request = &requests[(client * 7 + i) % requests.len()];
+                                if in_flight.len() == depth {
+                                    read_one_response(&mut stream, &mut carry);
+                                    let sent = in_flight.pop_front().expect("in-flight");
+                                    lat.push(
+                                        sent.elapsed().as_micros().min(u64::MAX as u128) as u64
+                                    );
+                                }
+                                in_flight.push_back(Instant::now());
+                                stream.write_all(request).expect("writes");
+                            }
+                            while let Some(sent) = in_flight.pop_front() {
+                                read_one_response(&mut stream, &mut carry);
+                                lat.push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("client thread"))
+                    .collect()
+            });
+            (latencies, begun.elapsed())
+        },
+    );
+    report(name, &mut latencies, elapsed)
+}
+
+/// Open-loop: requests depart on a fixed schedule (aggregate `rate` req/s
+/// split across clients); latency runs from the *scheduled* departure, so
+/// server-side queueing is charged to the server, not hidden by a stalled
+/// client (no coordinated omission).
+fn run_open_loop(
+    name: &str,
+    snapshot: &[u8],
+    paths: &[String],
+    rate: u64,
+    requests_per_client: usize,
+) {
+    let interval = Duration::from_nanos(1_000_000_000 * CLIENTS as u64 / rate);
+    let (mut latencies, elapsed) = with_server(
+        snapshot,
+        Some((CLIENTS * requests_per_client) as u64),
+        |addr| {
+            let begun = Instant::now();
+            let latencies: Vec<u64> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        scope.spawn(move || {
+                            let mut writer = TcpStream::connect(addr).expect("connects");
+                            writer.set_nodelay(true).expect("nodelay");
+                            let mut reader = writer.try_clone().expect("clones stream");
+                            let requests = render_requests(paths);
+                            // Deterministic schedule shared by writer and
+                            // reader: request i departs at base + i*interval.
+                            let base = Instant::now();
+                            let sender = scope.spawn(move || {
+                                for i in 0..requests_per_client {
+                                    let due = base + interval * i as u32;
+                                    let now = Instant::now();
+                                    if due > now {
+                                        std::thread::sleep(due - now);
+                                    }
+                                    let request = &requests[(client * 7 + i) % requests.len()];
+                                    writer.write_all(request).expect("writes");
+                                }
+                            });
+                            // Responses come back in order on one
+                            // connection, so the i-th response pairs with
+                            // the i-th scheduled departure.
+                            let mut carry = Vec::with_capacity(64 * 1024);
+                            let mut lat = Vec::with_capacity(requests_per_client);
+                            for i in 0..requests_per_client {
+                                read_one_response(&mut reader, &mut carry);
+                                let due = base + interval * i as u32;
+                                lat.push(
+                                    Instant::now()
+                                        .saturating_duration_since(due)
+                                        .as_micros()
+                                        .min(u64::MAX as u128)
+                                        as u64,
+                                );
+                            }
+                            sender.join().expect("sender thread");
+                            lat
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("client thread"))
+                    .collect()
+            });
+            (latencies, begun.elapsed())
+        },
+    );
+    report(name, &mut latencies, elapsed);
+}
+
+/// Builds the rank probe paths: the head of Tranco plus a guaranteed miss.
+fn rank_paths(study: &topple_core::Study) -> Vec<String> {
+    let mut paths: Vec<String> = study
         .tranco
         .entries
         .iter()
         .take(256)
         .map(|e| format!("/v1/rank/tranco/{}", e.name))
         .collect();
-    rank_paths.push("/v1/rank/tranco/absent.example".to_owned());
-    run_scenario("rank", &bytes, &rank_paths, requests);
+    paths.push("/v1/rank/tranco/absent.example".to_owned());
+    paths
+}
 
-    // Compare cells: a handful of (a, b, k) combinations so the sharded
-    // LRU serves most requests from cache, as a real dashboard would.
+/// CI drain check: pipeline a fixed request count per client, flip
+/// shutdown mid-load, and require exact served-request accounting plus a
+/// conservative pipelined-throughput floor.
+fn run_drain_smoke(snapshot: &[u8], paths: &[String]) {
+    const DRAIN_CLIENTS: usize = 4;
+    const DRAIN_DEPTH: usize = 64;
+
+    // Floor check first, on a healthy server.
+    let rps = run_closed_pipelined(
+        "smoke-pipelined-rank",
+        snapshot,
+        paths,
+        2_000,
+        PIPELINE_DEPTH,
+    );
+    assert!(
+        rps >= SMOKE_FLOOR_RPS,
+        "pipelined rank fell below the smoke floor: {rps:.0} < {SMOKE_FLOOR_RPS} req/s"
+    );
+
+    // Accounting check: every pipelined-but-unanswered request at drain
+    // start is served and counted exactly once.
+    // topple-lint: allow(unwrap): bench; a broken snapshot must abort the run
+    let qs = QuerySnapshot::new(Snapshot::from_bytes(snapshot).expect("snapshot decodes"));
+    let server = Arc::new(Server::bind("127.0.0.1:0", qs, SHARDS).expect("binds loopback"));
+    let addr = server.local_addr().expect("bound addr");
+    let handle = server.handle();
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+    let mut conns: Vec<TcpStream> = (0..DRAIN_CLIENTS)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("connects");
+            let burst = format!("GET {} HTTP/1.1\r\n\r\n", paths[0]).repeat(DRAIN_DEPTH);
+            s.write_all(burst.as_bytes()).expect("writes");
+            s
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    handle.store(true, Ordering::SeqCst);
+    let stats = runner
+        .join()
+        .expect("server thread")
+        .expect("graceful drain");
+    assert_eq!(
+        stats.requests,
+        (DRAIN_CLIENTS * DRAIN_DEPTH) as u64,
+        "drain accounting drifted"
+    );
+    for s in &mut conns {
+        let mut carry = Vec::new();
+        for _ in 0..DRAIN_DEPTH {
+            read_one_response(s, &mut carry);
+        }
+    }
+    println!(
+        "serve_loadgen/drain-smoke: {} pipelined requests all served and counted across drain",
+        DRAIN_CLIENTS * DRAIN_DEPTH
+    );
+}
+
+fn main() {
+    // `cargo bench -- --test` (CI smoke) pins the run to a handful of
+    // requests; `--drain-smoke` runs the accounting check; any other
+    // criterion-style flags are ignored.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let drain_smoke = std::env::args().any(|a| a == "--drain-smoke");
+
+    let study = small_study();
+    let bytes = encode_study(study, "small", &[]);
+    println!(
+        "serve_loadgen: snapshot {} bytes, {} domains, {SHARDS} shards, mode={}",
+        bytes.len(),
+        study.index().table().len(),
+        if drain_smoke {
+            "drain-smoke"
+        } else if smoke {
+            "smoke"
+        } else {
+            "full"
+        },
+    );
+
+    let ranks = rank_paths(study);
+    if drain_smoke {
+        run_drain_smoke(&bytes, &ranks);
+        return;
+    }
+
+    let requests = if smoke { SMOKE_REQUESTS } else { FULL_REQUESTS };
+    let pipelined_requests = if smoke {
+        SMOKE_REQUESTS
+    } else {
+        FULL_PIPELINED_REQUESTS
+    };
+
+    // Closed-loop sequential: comparable to every earlier baseline.
+    run_closed_sequential("rank", &bytes, &ranks, requests);
+
+    // Compare cells: a handful of (a, b, k) combinations so the LRU serves
+    // most requests from cache, as a real dashboard would.
     let mut compare_paths = Vec::new();
     for (a, b) in [
         ("tranco", "alexa"),
@@ -183,7 +458,7 @@ fn main() {
             compare_paths.push(format!("/v1/compare?a={a}&b={b}&k={k}"));
         }
     }
-    run_scenario("compare", &bytes, &compare_paths, requests);
+    run_closed_sequential("compare", &bytes, &compare_paths, requests);
 
     // Movement: the widest response body (per-source monthly + daily series).
     let movement_paths: Vec<String> = study
@@ -193,5 +468,34 @@ fn main() {
         .take(64)
         .map(|e| format!("/v1/movement/{}", e.name))
         .collect();
-    run_scenario("movement", &bytes, &movement_paths, requests);
+    run_closed_sequential("movement", &bytes, &movement_paths, requests);
+
+    // Closed-loop pipelined: the throughput headline.
+    run_closed_pipelined(
+        "rank-pipelined",
+        &bytes,
+        &ranks,
+        pipelined_requests,
+        PIPELINE_DEPTH,
+    );
+    run_closed_pipelined(
+        "movement-pipelined",
+        &bytes,
+        &movement_paths,
+        pipelined_requests,
+        PIPELINE_DEPTH,
+    );
+
+    // Open-loop: fixed arrival rates, latency from scheduled departure.
+    if !smoke {
+        for rate in OPEN_LOOP_RATES {
+            run_open_loop(
+                &format!("rank-open-{rate}rps"),
+                &bytes,
+                &ranks,
+                rate,
+                OPEN_LOOP_REQUESTS,
+            );
+        }
+    }
 }

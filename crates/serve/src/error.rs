@@ -103,10 +103,15 @@ pub enum ServeError {
     },
     /// The listener's local address could not be determined.
     Listener(io::Error),
-    /// Graceful drain exceeded its deadline with workers still busy.
+    /// The readiness event loop failed (epoll creation, registration, or
+    /// wait) — infrastructure, not a per-connection condition.
+    Reactor(io::Error),
+    /// Graceful drain exceeded its deadline with connections still holding
+    /// unflushed responses.
     DrainTimeout {
-        /// Workers that had not finished when the deadline passed.
-        stuck_workers: usize,
+        /// Connections whose buffered responses could not be written out
+        /// before the deadline passed.
+        stuck_connections: usize,
     },
 }
 
@@ -115,8 +120,12 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Bind { addr, source } => write!(f, "bind {addr}: {source}"),
             ServeError::Listener(e) => write!(f, "listener: {e}"),
-            ServeError::DrainTimeout { stuck_workers } => {
-                write!(f, "drain deadline passed with {stuck_workers} workers busy")
+            ServeError::Reactor(e) => write!(f, "event loop: {e}"),
+            ServeError::DrainTimeout { stuck_connections } => {
+                write!(
+                    f,
+                    "drain deadline passed with {stuck_connections} connections unflushed"
+                )
             }
         }
     }
@@ -127,6 +136,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Bind { source, .. } => Some(source),
             ServeError::Listener(e) => Some(e),
+            ServeError::Reactor(e) => Some(e),
             ServeError::DrainTimeout { .. } => None,
         }
     }
@@ -155,8 +165,13 @@ mod tests {
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
-        assert!(ServeError::DrainTimeout { stuck_workers: 2 }
+        assert!(ServeError::DrainTimeout {
+            stuck_connections: 2
+        }
+        .to_string()
+        .contains("2 connections"));
+        assert!(ServeError::Reactor(io::Error::other("epoll gone"))
             .to_string()
-            .contains("2 workers"));
+            .contains("event loop"));
     }
 }

@@ -1,39 +1,48 @@
-//! Minimal HTTP/1.1 request parsing, routing, and response writing.
+//! Minimal HTTP/1.1 parsing, routing, and response writing — incremental
+//! and allocation-free on the hot path.
 //!
-//! The daemon speaks just enough HTTP for its five GET endpoints: request
-//! line + headers (bounded in count and length), keep-alive by HTTP/1.1
-//! default, `Connection: close` honored both ways. Anything outside that
-//! envelope — an oversized line, a verb other than GET, an unroutable path —
-//! gets a correct error response, never a panic: the socket is the untrusted
-//! input here, exactly like snapshot bytes are for the store.
+//! The daemon speaks just enough HTTP for its GET endpoints: request line +
+//! headers (bounded in count and length), keep-alive by HTTP/1.1 default,
+//! `Connection: close` honored both ways, and full pipelining — a read
+//! buffer may hold any number of back-to-back requests, each parsed in place
+//! by [`parse_request`] without copying a byte. Anything outside that
+//! envelope — an oversized line, a malformed request line, too many headers —
+//! gets a `400` and a closed connection, never a panic: the socket is the
+//! untrusted input here, exactly like snapshot bytes are for the store.
+//!
+//! Responses are appended to the connection's reusable write buffer by
+//! [`write_response_into`]; header rendering formats integers into a stack
+//! array, so a warmed keep-alive connection serves hot requests with zero
+//! heap allocations (pinned by `crates/serve/tests/serve_alloc.rs`).
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
+use std::sync::Arc;
 
 use crate::lru::Lru;
 use crate::metrics::{Endpoint, Metrics};
-use crate::query::{parse_list, QuerySnapshot, Reply};
+use crate::query::{parse_list, QuerySnapshot, MAX_K};
 
 /// Longest accepted request or header line, bytes.
-const MAX_LINE: usize = 8 * 1024;
+pub const MAX_LINE: usize = 8 * 1024;
 /// Most headers read before the request is rejected.
-const MAX_HEADERS: usize = 64;
+pub const MAX_HEADERS: usize = 64;
 
-/// One parsed request, trimmed to what routing needs.
-#[derive(Debug)]
-pub struct Request {
+/// One parsed request, borrowing the connection's read buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRef<'a> {
     /// Request method, uppercase as sent.
-    pub method: String,
+    pub method: &'a str,
     /// Path portion of the target (before `?`).
-    pub path: String,
+    pub path: &'a str,
     /// Raw query string (after `?`, may be empty).
-    pub query: String,
+    pub query: &'a str,
     /// Whether the client allows the connection to stay open.
     pub keep_alive: bool,
 }
 
-impl Request {
+impl<'a> RequestRef<'a> {
     /// The first value of query parameter `key`, unescaped as-is.
-    pub fn param<'a>(&'a self, key: &str) -> Option<&'a str> {
+    pub fn param(&self, key: &str) -> Option<&'a str> {
         self.query.split('&').find_map(|pair| {
             let (k, v) = pair.split_once('=')?;
             (k == key).then_some(v)
@@ -41,87 +50,107 @@ impl Request {
     }
 }
 
-/// Reads one line (to CRLF or LF), bounded by [`MAX_LINE`]. `Ok(None)` means
-/// a clean EOF before any byte — the peer closed an idle keep-alive.
-fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
-    let mut line = Vec::with_capacity(128);
-    loop {
-        let mut byte = [0u8; 1];
-        let n = io::Read::read(reader, &mut byte)?;
-        if n == 0 {
-            return if line.is_empty() {
-                Ok(None)
-            } else {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-line",
-                ))
-            };
-        }
-        if byte[0] == b'\n' {
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            let text = String::from_utf8(line)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 line"))?;
-            return Ok(Some(text));
-        }
-        if line.len() >= MAX_LINE {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request line too long",
-            ));
-        }
-        line.push(byte[0]);
+/// The outcome of parsing the front of a read buffer.
+#[derive(Debug)]
+pub enum Parse<'a> {
+    /// One complete request; `.1` is the bytes it consumed (head + body).
+    Complete(RequestRef<'a>, usize),
+    /// No complete request yet — read more bytes and try again.
+    Partial,
+    /// The stream is unsalvageable; respond `400` with this message and
+    /// close. Fail-closed: an oversized or malformed frame never silently
+    /// desynchronizes the connection.
+    Bad(&'static str),
+}
+
+/// Finds the end of the line starting at `from` (the index of its `\n`),
+/// enforcing [`MAX_LINE`] on the line's length.
+fn find_line_end(buf: &[u8], from: usize) -> Result<Option<usize>, &'static str> {
+    // A valid line has content of at most MAX_LINE plus `\r\n`, so its `\n`
+    // sits within the first MAX_LINE + 2 bytes; more buffered bytes than
+    // that without a newline is fail-closed, even before the line ends.
+    let window = &buf[from..];
+    let searched = window.len().min(MAX_LINE + 2);
+    match window[..searched].iter().position(|&b| b == b'\n') {
+        Some(at) => Ok(Some(from + at)),
+        None if window.len() > MAX_LINE + 2 => Err("request line too long"),
+        None => Ok(None),
     }
 }
 
-/// Parses one request from the stream. `Ok(None)` is a clean close.
-pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
-    let Some(request_line) = read_line(reader)? else {
-        return Ok(None);
+/// The line's text with the terminating `\n` (and optional `\r`) stripped.
+fn line_text(buf: &[u8], start: usize, newline: usize) -> Result<&str, &'static str> {
+    let mut end = newline;
+    if end > start && buf[end - 1] == b'\r' {
+        end -= 1;
+    }
+    if end - start > MAX_LINE {
+        return Err("request line too long");
+    }
+    std::str::from_utf8(&buf[start..end]).map_err(|_| "non-UTF-8 line")
+}
+
+/// Parses one request from the front of `buf`, incrementally: a buffer
+/// holding half a request (split anywhere, even mid-line) is `Partial`, and
+/// re-parsing after more bytes arrive yields exactly what a single-shot
+/// parse of the whole stream would have (pinned by the byte-split proptest
+/// in `crates/serve/tests/http_framing.rs`).
+pub fn parse_request(buf: &[u8]) -> Parse<'_> {
+    // Request line.
+    let Some(line_end) = (match find_line_end(buf, 0) {
+        Ok(v) => v,
+        Err(m) => return Parse::Bad(m),
+    }) else {
+        return Parse::Partial;
+    };
+    let request_line = match line_text(buf, 0, line_end) {
+        Ok(t) => t,
+        Err(m) => return Parse::Bad(m),
     };
     let mut parts = request_line.split_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v.to_owned()),
-        _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "malformed request line",
-            ))
-        }
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Parse::Bad("malformed request line");
     };
+
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version == "HTTP/1.1";
     let mut content_len = 0usize;
+    let mut at = line_end + 1;
     for _ in 0..MAX_HEADERS {
-        let Some(line) = read_line(reader)? else {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed in headers",
-            ));
+        let Some(line_end) = (match find_line_end(buf, at) {
+            Ok(v) => v,
+            Err(m) => return Parse::Bad(m),
+        }) else {
+            return Parse::Partial;
         };
+        let line = match line_text(buf, at, line_end) {
+            Ok(t) => t,
+            Err(m) => return Parse::Bad(m),
+        };
+        at = line_end + 1;
         if line.is_empty() {
-            // Bodies on GETs are tolerated but bounded: skip so the next
-            // request on the connection starts at the right byte.
+            // End of headers. Bodies on GETs are tolerated but bounded:
+            // consume so the next pipelined request starts at the right byte.
             if content_len > MAX_LINE {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "request body too large",
-                ));
+                return Parse::Bad("request body too large");
             }
-            let mut sink = vec![0u8; content_len];
-            io::Read::read_exact(reader, &mut sink)?;
+            if buf.len() - at < content_len {
+                return Parse::Partial;
+            }
             let (path, query) = match target.split_once('?') {
-                Some((p, q)) => (p.to_owned(), q.to_owned()),
-                None => (target, String::new()),
+                Some((p, q)) => (p, q),
+                None => (target, ""),
             };
-            return Ok(Some(Request {
-                method,
-                path,
-                query,
-                keep_alive,
-            }));
+            return Parse::Complete(
+                RequestRef {
+                    method,
+                    path,
+                    query,
+                    keep_alive,
+                },
+                at + content_len,
+            );
         }
         if let Some((name, value)) = line.split_once(':') {
             let value = value.trim();
@@ -132,16 +161,14 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
                     keep_alive = true;
                 }
             } else if name.eq_ignore_ascii_case("content-length") {
-                content_len = value.parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+                let Ok(parsed) = value.parse::<usize>() else {
+                    return Parse::Bad("bad content-length");
+                };
+                content_len = parsed;
             }
         }
     }
-    Err(io::Error::new(
-        io::ErrorKind::InvalidData,
-        "too many headers",
-    ))
+    Parse::Bad("too many headers")
 }
 
 fn reason(status: u16) -> &'static str {
@@ -154,67 +181,167 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response, with `Connection: close` when this is the
-/// connection's last response.
+/// Appends `value`'s decimal digits to `out` without allocating.
+fn push_decimal(out: &mut Vec<u8>, value: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    let mut v = value;
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[at..]);
+}
+
+/// Appends one complete response (status line, headers, body) to `out`.
+/// Byte-for-byte the frame the original thread-pool daemon wrote; the only
+/// difference is that nothing here touches the heap — the caller's buffer
+/// absorbs the bytes and integer formatting uses a stack array.
+pub fn write_response_into(out: &mut Vec<u8>, status: u16, body: &[u8], keep_alive: bool) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_decimal(out, u64::from(status));
+    out.push(b' ');
+    out.extend_from_slice(reason(status).as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: application/json\r\nContent-Length: ");
+    push_decimal(out, body.len() as u64);
+    out.extend_from_slice(b"\r\nConnection: ");
+    out.extend_from_slice(if keep_alive {
+        b"keep-alive".as_slice()
+    } else {
+        b"close".as_slice()
+    });
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Appends a `{"error":"..."}` response for a static message. The message
+/// must need no JSON escaping (all call sites pass fixed ASCII text).
+pub fn write_error_into(out: &mut Vec<u8>, status: u16, message: &str, keep_alive: bool) {
+    const PREFIX: &[u8] = b"{\"error\":\"";
+    const SUFFIX: &[u8] = b"\"}";
+    debug_assert!(!message.bytes().any(|b| b == b'"' || b == b'\\'));
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_decimal(out, u64::from(status));
+    out.push(b' ');
+    out.extend_from_slice(reason(status).as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: application/json\r\nContent-Length: ");
+    push_decimal(out, (PREFIX.len() + message.len() + SUFFIX.len()) as u64);
+    out.extend_from_slice(b"\r\nConnection: ");
+    out.extend_from_slice(if keep_alive {
+        b"keep-alive".as_slice()
+    } else {
+        b"close".as_slice()
+    });
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(PREFIX);
+    out.extend_from_slice(message.as_bytes());
+    out.extend_from_slice(SUFFIX);
+}
+
+/// Writes one response to an [`io::Write`] — the convenience form for tests
+/// and probes; the server proper appends to connection buffers instead.
 pub fn write_response(
     writer: &mut impl Write,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status,
-        reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(body.as_bytes())?;
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response_into(&mut out, status, body.as_bytes(), keep_alive);
+    writer.write_all(&out)?;
     writer.flush()
 }
 
-/// Routes one parsed request to its endpoint. Returns the reply plus the
-/// endpoint class for metrics.
-pub fn route(
-    snapshot: &QuerySnapshot,
+/// A routed response body. Hot paths borrow pre-rendered bytes (or clone an
+/// `Arc`); only cold paths (cache misses, errors, unbounded inputs) build a
+/// fresh `String`.
+pub enum Body<'a> {
+    /// Borrowed from the snapshot's hot-response cache — a pure memcpy.
+    Cached(&'a [u8]),
+    /// A shared compare-cache body (`Arc` clone, no heap traffic).
+    Shared(Arc<str>),
+    /// Rendered for this request (cold path).
+    Owned(String),
+    /// A fixed error body.
+    Static(&'static str),
+}
+
+impl Body<'_> {
+    /// The body bytes, whatever the storage.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Cached(b) => b,
+            Body::Shared(s) => s.as_bytes(),
+            Body::Owned(s) => s.as_bytes(),
+            Body::Static(s) => s.as_bytes(),
+        }
+    }
+}
+
+/// One routed request: endpoint class (for metrics), status, body.
+pub struct Routed<'a> {
+    /// The endpoint class for metrics accounting.
+    pub endpoint: Endpoint,
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Body<'a>,
+}
+
+fn routed(endpoint: Endpoint, status: u16, body: Body<'_>) -> Routed<'_> {
+    Routed {
+        endpoint,
+        status,
+        body,
+    }
+}
+
+/// Routes one parsed request to its endpoint.
+///
+/// The hot endpoints (`/health`, `/v1/rank`, `/v1/movement` over top-K
+/// domains, warmed `/v1/compare` cells) resolve to borrowed or shared bytes
+/// without allocating; everything else falls back to the same pure renderers
+/// in [`crate::query`] the thread-pool daemon used, so bodies are identical
+/// either way.
+pub fn route<'a>(
+    snapshot: &'a QuerySnapshot,
     metrics: &Metrics,
     cache: &Lru,
-    request: &Request,
-) -> (Endpoint, Reply) {
+    request: &RequestRef<'_>,
+) -> Routed<'a> {
+    // topple-lint: hot-path-begin
     if request.method != "GET" {
-        return (
+        return routed(
             Endpoint::Other,
-            Reply {
-                status: 405,
-                body: "{\"error\":\"only GET is served\"}".to_owned(),
-            },
+            405,
+            Body::Static("{\"error\":\"only GET is served\"}"),
         );
     }
-    let path = request.path.as_str();
+    let path = request.path;
     if path == "/health" {
-        return (Endpoint::Health, snapshot.health());
-    }
-    if path == "/v1/metrics" {
-        return (
-            Endpoint::Metrics,
-            Reply {
-                status: 200,
-                body: metrics.render(snapshot.id()),
-            },
-        );
+        return routed(Endpoint::Health, 200, Body::Cached(snapshot.health_bytes()));
     }
     if let Some(rest) = path.strip_prefix("/v1/rank/") {
         let Some((list, domain)) = rest.split_once('/') else {
-            return (
+            return routed(
                 Endpoint::Rank,
-                Reply {
-                    status: 400,
-                    body: "{\"error\":\"expected /v1/rank/{list}/{domain}\"}".to_owned(),
-                },
+                400,
+                Body::Static("{\"error\":\"expected /v1/rank/{list}/{domain}\"}"),
             );
         };
-        return (Endpoint::Rank, snapshot.rank(list, domain));
+        if let Some(source) = parse_list(list) {
+            if let Some(body) = snapshot.hot_rank(source, domain) {
+                metrics.record_hot(true);
+                return routed(Endpoint::Rank, 200, Body::Cached(body));
+            }
+        }
+        metrics.record_hot(false);
+        let reply = snapshot.rank(list, domain);
+        return routed(Endpoint::Rank, reply.status, Body::Owned(reply.body));
     }
     if path == "/v1/compare" {
         let (a, b, k) = (
@@ -224,32 +351,47 @@ pub fn route(
         );
         // Cache only well-formed cells; errors are cheap to recompute.
         if let (Some(sa), Some(sb), Ok(ki)) = (parse_list(a), parse_list(b), k.parse::<usize>()) {
-            if (1..=crate::query::MAX_K).contains(&ki) {
+            if (1..=MAX_K).contains(&ki) {
                 let key = QuerySnapshot::compare_key(sa, sb, ki);
                 if let Some(body) = cache.get(key) {
                     metrics.record_cache_hit();
-                    return (Endpoint::Compare, Reply { status: 200, body });
+                    return routed(Endpoint::Compare, 200, Body::Shared(body));
                 }
-                let body = snapshot.compare_body(sa, sb, ki);
-                cache.insert(key, body.clone());
-                return (Endpoint::Compare, Reply { status: 200, body });
+                let body: Arc<str> = snapshot.compare_body(sa, sb, ki).into();
+                cache.insert(key, Arc::clone(&body));
+                return routed(Endpoint::Compare, 200, Body::Shared(body));
             }
         }
-        return (Endpoint::Compare, snapshot.compare(a, b, k));
+        let reply = snapshot.compare(a, b, k);
+        return routed(Endpoint::Compare, reply.status, Body::Owned(reply.body));
     }
     if let Some(domain) = path.strip_prefix("/v1/movement/") {
-        return (Endpoint::Movement, snapshot.movement(domain));
+        if let Some(body) = snapshot.hot_movement(domain) {
+            metrics.record_hot(true);
+            return routed(Endpoint::Movement, 200, Body::Cached(body));
+        }
+        metrics.record_hot(false);
+        let reply = snapshot.movement(domain);
+        return routed(Endpoint::Movement, reply.status, Body::Owned(reply.body));
+    }
+    // topple-lint: hot-path-end
+    if path == "/v1/metrics" {
+        return routed(
+            Endpoint::Metrics,
+            200,
+            Body::Owned(metrics.render(snapshot.id())),
+        );
     }
     if let Some(name) = path.strip_prefix("/v1/artifact/") {
-        return (Endpoint::Artifact, snapshot.artifact(name));
+        let reply = snapshot.artifact(name);
+        return routed(Endpoint::Artifact, reply.status, Body::Owned(reply.body));
     }
-    (
+    routed(
         Endpoint::Other,
-        Reply {
-            status: 404,
-            body: "{\"error\":\"no such endpoint; see /health /v1/rank /v1/compare /v1/movement /v1/metrics\"}"
-                .to_owned(),
-        },
+        404,
+        Body::Static(
+            "{\"error\":\"no such endpoint; see /health /v1/rank /v1/compare /v1/movement /v1/metrics\"}",
+        ),
     )
 }
 
@@ -266,39 +408,110 @@ mod tests {
         QuerySnapshot::new(Snapshot::from_bytes(&bytes).expect("decodes"))
     }
 
-    fn parse(raw: &str) -> Request {
-        read_request(&mut raw.as_bytes())
-            .expect("parses")
-            .expect("not eof")
+    fn parse(raw: &str) -> (RequestRef<'_>, usize) {
+        match parse_request(raw.as_bytes()) {
+            Parse::Complete(r, n) => (r, n),
+            other => panic!("expected complete parse, got {other:?}"),
+        }
     }
 
     #[test]
     fn parses_request_line_and_query() {
-        let r = parse("GET /v1/compare?a=alexa&b=tranco&k=100 HTTP/1.1\r\nHost: x\r\n\r\n");
+        let raw = "GET /v1/compare?a=alexa&b=tranco&k=100 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (r, consumed) = parse(raw);
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/v1/compare");
         assert_eq!(r.param("a"), Some("alexa"));
         assert_eq!(r.param("k"), Some("100"));
         assert!(r.keep_alive);
+        assert_eq!(consumed, raw.len());
     }
 
     #[test]
     fn connection_close_is_honored() {
-        let r = parse("GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let (r, _) = parse("GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(!r.keep_alive);
-        let r = parse("GET /health HTTP/1.0\r\n\r\n");
+        let (r, _) = parse("GET /health HTTP/1.0\r\n\r\n");
         assert!(!r.keep_alive);
+        let (r, _) = parse("GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive);
     }
 
     #[test]
-    fn clean_eof_is_none() {
-        assert!(read_request(&mut "".as_bytes()).expect("ok").is_none());
+    fn partial_until_blank_line() {
+        assert!(matches!(parse_request(b""), Parse::Partial));
+        assert!(matches!(parse_request(b"GET /heal"), Parse::Partial));
+        assert!(matches!(
+            parse_request(b"GET /health HTTP/1.1\r\n"),
+            Parse::Partial
+        ));
+        assert!(matches!(
+            parse_request(b"GET /health HTTP/1.1\r\nHost: x\r\n"),
+            Parse::Partial
+        ));
     }
 
     #[test]
-    fn oversized_line_errors() {
+    fn pipelined_requests_consume_exactly_one_frame() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let Parse::Complete(first, n) = parse_request(raw) else {
+            panic!("first frame");
+        };
+        assert_eq!(first.path, "/a");
+        let Parse::Complete(second, m) = parse_request(&raw[n..]) else {
+            panic!("second frame");
+        };
+        assert_eq!(second.path, "/b");
+        assert_eq!(n + m, raw.len());
+    }
+
+    #[test]
+    fn body_bytes_are_consumed_with_the_frame() {
+        let raw = b"GET /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /b HTTP/1.1\r\n\r\n";
+        let Parse::Complete(first, n) = parse_request(raw) else {
+            panic!("first frame");
+        };
+        assert_eq!(first.path, "/a");
+        assert_eq!(&raw[n..n + 5], b"GET /");
+        // A body split across reads is Partial until it arrives.
+        assert!(matches!(
+            parse_request(b"GET /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxy"),
+            Parse::Partial
+        ));
+    }
+
+    #[test]
+    fn oversized_line_is_bad_request() {
         let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
-        assert!(read_request(&mut raw.as_bytes()).is_err());
+        assert!(matches!(parse_request(raw.as_bytes()), Parse::Bad(_)));
+        // ... even before the newline ever arrives (fail-closed, not stuck).
+        let unterminated = vec![b'x'; MAX_LINE + 8];
+        assert!(matches!(parse_request(&unterminated), Parse::Bad(_)));
+    }
+
+    #[test]
+    fn malformed_inputs_are_bad_not_partial() {
+        assert!(matches!(parse_request(b"GET\r\n\r\n"), Parse::Bad(_)));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Parse::Bad(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET /\xff\xfe HTTP/1.1\r\n\r\n"),
+            Parse::Bad(_)
+        ));
+        let mut many = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS + 1 {
+            many.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        many.extend_from_slice(b"\r\n");
+        assert!(matches!(parse_request(&many), Parse::Bad(_)));
+        assert!(matches!(
+            parse_request(
+                format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_LINE + 1).as_bytes()
+            ),
+            Parse::Bad(_)
+        ));
     }
 
     #[test]
@@ -316,11 +529,12 @@ mod tests {
             ("/v1/rank/alexa", 400),
         ] {
             let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
-            let (_, reply) = route(&q, &m, &c, &parse(&raw));
-            assert_eq!(reply.status, want, "{path}: {}", reply.body);
+            let (req, _) = parse(&raw);
+            let r = route(&q, &m, &c, &req);
+            assert_eq!(r.status, want, "{path}");
         }
-        let (_, reply) = route(&q, &m, &c, &parse("POST /health HTTP/1.1\r\n\r\n"));
-        assert_eq!(reply.status, 405);
+        let (req, _) = parse("POST /health HTTP/1.1\r\n\r\n");
+        assert_eq!(route(&q, &m, &c, &req).status, 405);
     }
 
     #[test]
@@ -329,19 +543,43 @@ mod tests {
         let m = Metrics::new();
         let c = Lru::new(8);
         let raw = "GET /v1/compare?a=alexa&b=umbrella&k=40 HTTP/1.1\r\n\r\n";
-        let (_, first) = route(&q, &m, &c, &parse(raw));
-        let (_, second) = route(&q, &m, &c, &parse(raw));
-        assert_eq!(first.body, second.body);
+        let (req, _) = parse(raw);
+        let first = route(&q, &m, &c, &req).body.as_bytes().to_vec();
+        let second = route(&q, &m, &c, &req).body.as_bytes().to_vec();
+        assert_eq!(first, second);
     }
 
     #[test]
     fn response_carries_length_and_connection() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"x\":1}", false).expect("writes");
+        write_response_into(&mut out, 200, b"{\"x\":1}", false);
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn error_response_matches_rendered_form() {
+        let mut direct = Vec::new();
+        write_error_into(&mut direct, 400, "request line too long", true);
+        let mut via_body = Vec::new();
+        write_response_into(
+            &mut via_body,
+            400,
+            b"{\"error\":\"request line too long\"}",
+            true,
+        );
+        assert_eq!(direct, via_body);
+    }
+
+    #[test]
+    fn decimal_formatting_matches_display() {
+        for v in [0u64, 7, 10, 99, 100, 8_192, u64::from(u16::MAX), u64::MAX] {
+            let mut out = Vec::new();
+            push_decimal(&mut out, v);
+            assert_eq!(String::from_utf8(out).expect("utf8"), v.to_string());
+        }
     }
 }

@@ -7,8 +7,9 @@
 //! the two: [`snapshot`] persists a study's [`StudyIndex`], magnitudes, and
 //! rendered report artifacts into one versioned, CRC-checksummed binary file,
 //! and [`server`] serves rank/compare/movement queries from a loaded snapshot
-//! over plain HTTP/1.1 (std `TcpListener`, a bounded worker pool, no async
-//! runtime, no new dependencies).
+//! over plain HTTP/1.1 — a readiness-based event loop ([`reactor`]: a thin
+//! dependency-free epoll wrapper) with keep-alive pipelining and a
+//! pre-rendered hot-response cache; no async runtime, no new dependencies.
 //!
 //! The determinism doctrine extends over the wire: for a given snapshot,
 //! every response body except `/v1/metrics` is byte-for-byte identical
@@ -26,6 +27,7 @@ pub mod http;
 pub mod lru;
 pub mod metrics;
 pub mod query;
+pub mod reactor;
 pub mod server;
 pub mod signal;
 pub mod snapshot;

@@ -11,17 +11,19 @@
 //! moved to the front on hit; no hash map is ever iterated, so determinism
 //! is structural, not incidental.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Shards in the cache. A power of two so shard selection is a mask.
 const SHARDS: usize = 8;
 
 /// One shard: most-recently-used first.
 struct Shard {
-    entries: Vec<(u64, String)>,
+    entries: Vec<(u64, Arc<str>)>,
 }
 
-/// Sharded LRU from a `u64` key to a response body.
+/// Sharded LRU from a `u64` key to a shared response body. Values are
+/// `Arc<str>` so a hit hands back the cached bytes with a reference-count
+/// bump — no clone of the body, no heap allocation on the serve hot path.
 pub struct Lru {
     shards: Vec<Mutex<Shard>>,
     per_shard: usize,
@@ -56,20 +58,20 @@ impl Lru {
     }
 
     /// Looks `key` up, moving it to the front of its shard on a hit.
-    pub fn get(&self, key: u64) -> Option<String> {
+    pub fn get(&self, key: u64) -> Option<Arc<str>> {
         let mut shard = self.shard(key);
-        let at = shard.entries.iter().position(|&(k, _)| k == key)?;
+        let at = shard.entries.iter().position(|(k, _)| *k == key)?;
         let entry = shard.entries.remove(at);
-        let value = entry.1.clone();
+        let value = Arc::clone(&entry.1);
         shard.entries.insert(0, entry);
         Some(value)
     }
 
     /// Inserts at the front, evicting the least-recently-used entry when the
     /// shard is full. Racing inserts of the same key keep one copy.
-    pub fn insert(&self, key: u64, value: String) {
+    pub fn insert(&self, key: u64, value: Arc<str>) {
         let mut shard = self.shard(key);
-        if let Some(at) = shard.entries.iter().position(|&(k, _)| k == key) {
+        if let Some(at) = shard.entries.iter().position(|(k, _)| *k == key) {
             shard.entries.remove(at);
         }
         shard.entries.insert(0, (key, value));

@@ -56,7 +56,11 @@ fn endpoint_slot(e: Endpoint) -> usize {
 /// open-ended. Powers of four from 1µs to ~16ms.
 const BUCKET_BOUNDS_US: [u64; 8] = [1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
 
-/// Lock-free request metrics, shared by every worker.
+/// Upper bounds of the pipelined-responses-per-flush histogram buckets; the
+/// last bucket is open-ended. Powers of two from 1 to 64.
+const FLUSH_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Lock-free request metrics, shared by every reactor shard.
 #[derive(Default)]
 pub struct Metrics {
     by_endpoint: [AtomicU64; ENDPOINTS.len()],
@@ -66,6 +70,14 @@ pub struct Metrics {
     latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     latency_total_us: AtomicU64,
     cache_hits: AtomicU64,
+    // Event-loop counters (DESIGN.md §16): how the reactor earned its
+    // throughput, so the loadgen study can attribute wins.
+    epoll_wakeups: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_reused: AtomicU64,
+    flush_buckets: [AtomicU64; FLUSH_BOUNDS.len() + 1],
+    hot_hits: AtomicU64,
+    hot_misses: AtomicU64,
 }
 
 impl Metrics {
@@ -106,6 +118,42 @@ impl Metrics {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Notes one `epoll_wait` return that delivered at least one event.
+    pub fn record_wakeup(&self) {
+        self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes an accepted connection.
+    pub fn record_accept(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a connection reuse: the moment a connection serves its second
+    /// request (so `reused` counts keep-alive connections, once each).
+    pub fn record_reuse(&self) {
+        self.conns_reused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one write-buffer flush that coalesced `responses` pipelined
+    /// responses.
+    pub fn record_flush(&self, responses: u64) {
+        let bucket = FLUSH_BOUNDS
+            .iter()
+            .position(|&bound| responses <= bound)
+            .unwrap_or(FLUSH_BOUNDS.len());
+        self.flush_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a hot-response-cache lookup outcome on `/health`, `/v1/rank`,
+    /// or `/v1/movement`.
+    pub fn record_hot(&self, hit: bool) {
+        if hit {
+            self.hot_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hot_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Renders the `/v1/metrics` JSON body.
     pub fn render(&self, snapshot_id: &str) -> String {
         let mut out = String::with_capacity(512);
@@ -133,7 +181,24 @@ impl Metrics {
         out.push_str(&self.status_5xx.load(Ordering::Relaxed).to_string());
         out.push_str("},\"compare_cache_hits\":");
         out.push_str(&self.cache_hits.load(Ordering::Relaxed).to_string());
-        out.push_str(",\"latency_us\":{\"total\":");
+        out.push_str(",\"event_loop\":{\"epoll_wakeups\":");
+        out.push_str(&self.epoll_wakeups.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"accepted\":");
+        out.push_str(&self.conns_accepted.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"reused\":");
+        out.push_str(&self.conns_reused.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"pipelined_per_flush\":[");
+        for (i, bucket) in self.flush_buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&bucket.load(Ordering::Relaxed).to_string());
+        }
+        out.push_str("]},\"hot_cache\":{\"hits\":");
+        out.push_str(&self.hot_hits.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"misses\":");
+        out.push_str(&self.hot_misses.load(Ordering::Relaxed).to_string());
+        out.push_str("},\"latency_us\":{\"total\":");
         out.push_str(&self.latency_total_us.load(Ordering::Relaxed).to_string());
         out.push_str(",\"buckets\":[");
         for (i, bucket) in self.latency_buckets.iter().enumerate() {
@@ -164,13 +229,42 @@ mod tests {
         let t = m.start();
         m.record(Endpoint::Other, 404, t);
         m.record_cache_hit();
+        m.record_wakeup();
+        m.record_accept();
+        m.record_reuse();
+        m.record_flush(3);
+        m.record_hot(true);
+        m.record_hot(false);
         let body = m.render("tpls-v1-deadbeef-s1");
         assert!(body.contains("\"rank\":1"));
         assert!(body.contains("\"other\":1"));
         assert!(body.contains("\"2xx\":1"));
         assert!(body.contains("\"4xx\":1"));
         assert!(body.contains("\"compare_cache_hits\":1"));
+        assert!(body.contains("\"event_loop\":{\"epoll_wakeups\":1,\"accepted\":1,\"reused\":1"));
+        // 3 responses/flush lands in the `<=4` bucket (bounds 1,2,4,...).
+        assert!(body.contains("\"pipelined_per_flush\":[0,0,1,0,0,0,0,0]"));
+        assert!(body.contains("\"hot_cache\":{\"hits\":1,\"misses\":1}"));
         assert!(body.contains("tpls-v1-deadbeef-s1"));
+    }
+
+    #[test]
+    fn flush_histogram_covers_all_batch_sizes() {
+        let m = Metrics::new();
+        for n in [1u64, 2, 5, 64, 65, 10_000] {
+            m.record_flush(n);
+        }
+        let total: u64 = m
+            .flush_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 6);
+        // 65 and 10_000 both land in the open-ended last bucket.
+        assert_eq!(
+            m.flush_buckets[FLUSH_BOUNDS.len()].load(Ordering::Relaxed),
+            2
+        );
     }
 
     #[test]

@@ -22,8 +22,104 @@ use crate::snapshot::Snapshot;
 /// Largest accepted `k` for `/v1/compare` (the paper's largest magnitude).
 pub const MAX_K: usize = 1_000_000;
 
+/// Positions per monthly list whose `/v1/rank` (and `/v1/movement`) bodies
+/// are pre-rendered into the hot-response cache at snapshot load. Top-list
+/// traffic is head-heavy by the paper's own premise, so a small K covers
+/// nearly all of it; everything past K falls back to the identical cold
+/// renderers.
+pub const HOT_K: usize = 1_024;
+
+/// Pre-rendered response bodies for the hottest point lookups, built once
+/// at snapshot load (DESIGN.md §16).
+///
+/// All bodies live in one contiguous arena and are addressed by `(start,
+/// end)` ranges: serving a hot request is a binary search (or direct index)
+/// plus a memcpy into the connection's write buffer — zero formatting, zero
+/// heap allocation, the same discipline as the ingest window's scratch
+/// tables. Every body is produced by the *same* renderer the cold path
+/// calls, so the cache can change latency, never content.
+struct HotCache {
+    arena: Box<[u8]>,
+    /// `/health` body (snapshot-constant).
+    health: (u32, u32),
+    /// `rank[list][pos]` = body range for the domain at best-first position
+    /// `pos` of that monthly list, `pos < HOT_K`. Indexed like
+    /// [`ListSource::ALL`].
+    rank: Vec<Vec<(u32, u32)>>,
+    /// Sorted raw ids of the domains with a pre-rendered movement body
+    /// (the union of every monthly list's top-K), parallel to
+    /// `movement_ranges`.
+    movement_ids: Vec<u32>,
+    movement_ranges: Vec<(u32, u32)>,
+}
+
+impl HotCache {
+    fn empty() -> Self {
+        HotCache {
+            arena: Box::default(),
+            health: (0, 0),
+            rank: Vec::new(),
+            movement_ids: Vec::new(),
+            movement_ranges: Vec::new(),
+        }
+    }
+
+    /// Renders every hot body through `snapshot`'s public renderers.
+    /// `snapshot.hot` must still be empty (bodies must come from the real
+    /// formatting path, not the cache being built).
+    fn build(snapshot: &QuerySnapshot) -> Self {
+        let mut arena: Vec<u8> = Vec::new();
+        let push = |arena: &mut Vec<u8>, body: &str| -> (u32, u32) {
+            let start = arena.len() as u32;
+            arena.extend_from_slice(body.as_bytes());
+            (start, arena.len() as u32)
+        };
+
+        let health = push(&mut arena, &snapshot.health().body);
+
+        let table = snapshot.snapshot.index.table();
+        let mut rank = Vec::with_capacity(ListSource::ALL.len());
+        let mut movement_id_set: std::collections::BTreeSet<u32> =
+            std::collections::BTreeSet::new();
+        for &source in ListSource::ALL.iter() {
+            let cols = snapshot.snapshot.index.monthly(source);
+            let k = cols.ids.len().min(HOT_K);
+            let mut ranges = Vec::with_capacity(k);
+            for &id in cols.ids.iter().take(k) {
+                let name = table.name(id);
+                let body = snapshot.rank(list_url_name(source), name.as_str()).body;
+                ranges.push(push(&mut arena, &body));
+                movement_id_set.insert(id.raw());
+            }
+            rank.push(ranges);
+        }
+
+        let mut movement_ids = Vec::with_capacity(movement_id_set.len());
+        let mut movement_ranges = Vec::with_capacity(movement_id_set.len());
+        for raw in movement_id_set {
+            let name = table.name(topple_lists::DomainId::from_raw(raw));
+            let body = snapshot.movement(name.as_str()).body;
+            movement_ids.push(raw);
+            movement_ranges.push(push(&mut arena, &body));
+        }
+
+        HotCache {
+            arena: arena.into_boxed_slice(),
+            health,
+            rank,
+            movement_ids,
+            movement_ranges,
+        }
+    }
+
+    fn slice(&self, range: (u32, u32)) -> &[u8] {
+        &self.arena[range.0 as usize..range.1 as usize]
+    }
+}
+
 /// A snapshot prepared for point queries: per-list [`IdCut`]s for O(log n)
-/// rank lookups, and the precomputed sorted id column of every monthly list.
+/// rank lookups, the precomputed sorted id column of every monthly list,
+/// and the [`HotCache`] of pre-rendered top-K response bodies.
 pub struct QuerySnapshot {
     snapshot: Snapshot,
     id: String,
@@ -31,6 +127,7 @@ pub struct QuerySnapshot {
     monthly_cuts: Vec<IdCut>,
     alexa_daily_cuts: Vec<IdCut>,
     umbrella_daily_cuts: Vec<IdCut>,
+    hot: HotCache,
 }
 
 /// The result of routing one request: status code plus JSON body.
@@ -133,13 +230,19 @@ impl QuerySnapshot {
             .collect();
         let alexa_daily_cuts = snapshot.index.alexa_daily().iter().map(cut).collect();
         let umbrella_daily_cuts = snapshot.index.umbrella_daily().iter().map(cut).collect();
-        QuerySnapshot {
+        let mut qs = QuerySnapshot {
             snapshot,
             id,
             monthly_cuts,
             alexa_daily_cuts,
             umbrella_daily_cuts,
-        }
+            hot: HotCache::empty(),
+        };
+        // Two-phase: the cache renders through `qs`'s own (still cold)
+        // renderers, so every hot body is byte-identical to what a cache
+        // miss would produce.
+        qs.hot = HotCache::build(&qs);
+        qs
     }
 
     /// Reads, validates, and prepares a snapshot file.
@@ -155,6 +258,42 @@ impl QuerySnapshot {
     /// The underlying snapshot.
     pub fn snapshot(&self) -> &Snapshot {
         &self.snapshot
+    }
+
+    /// The pre-rendered `/health` body (snapshot-constant).
+    pub fn health_bytes(&self) -> &[u8] {
+        self.hot.slice(self.hot.health)
+    }
+
+    /// The pre-rendered `/v1/rank` body for `domain` on `source`, if the
+    /// domain sits in the list's top-[`HOT_K`]. Allocation-free: one hash
+    /// probe, one binary search, one slice.
+    ///
+    /// A `Some` here is byte-identical to [`Self::rank`]'s body for the same
+    /// inputs: an interned name round-trips through the table (the id it
+    /// resolves to names exactly this domain), so the body pre-rendered for
+    /// that position is the body this domain would render.
+    pub fn hot_rank(&self, source: ListSource, domain: &str) -> Option<&[u8]> {
+        // topple-lint: hot-path-begin
+        let id = self.snapshot.index.table().id(domain)?;
+        let pos = self
+            .monthly_cuts
+            .get(all_index(source))?
+            .rank_of(id.raw())?;
+        let range = *self.hot.rank.get(all_index(source))?.get(pos as usize)?;
+        Some(self.hot.slice(range))
+        // topple-lint: hot-path-end
+    }
+
+    /// The pre-rendered `/v1/movement` body for `domain`, if it is in any
+    /// monthly list's top-[`HOT_K`]. Allocation-free, same argument as
+    /// [`Self::hot_rank`].
+    pub fn hot_movement(&self, domain: &str) -> Option<&[u8]> {
+        // topple-lint: hot-path-begin
+        let id = self.snapshot.index.table().id(domain)?;
+        let at = self.hot.movement_ids.binary_search(&id.raw()).ok()?;
+        Some(self.hot.slice(self.hot.movement_ranges[at]))
+        // topple-lint: hot-path-end
     }
 
     /// `GET /health`.

@@ -1,0 +1,279 @@
+//! A thin, dependency-free `epoll` wrapper: the readiness core of the
+//! event-loop server.
+//!
+//! The daemon's worker model (DESIGN.md §16) is N shard threads, each owning
+//! one epoll instance and a slab of non-blocking connections. This module is
+//! the only place that talks to the kernel's readiness API, and it does so
+//! the same way [`crate::signal`] talks to `signal(2)`: direct `extern "C"`
+//! declarations against the platform's own symbols — no `libc` crate, no
+//! async runtime, just the four calls the loop needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `close`).
+//!
+//! Everything is sized for the hot path: [`EventBuffer`] is allocated once
+//! per shard and refilled in place by every [`Epoll::wait`], so a server
+//! parked on readiness performs zero heap allocations per wakeup.
+//!
+//! Linux-only by construction (epoll is a Linux API); the crate's CI and
+//! deployment targets are Linux. The `unsafe` here is confined to the FFI
+//! calls themselves and carries the crate-level `deny(unsafe_code)`
+//! carve-out, mirroring `signal.rs`.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel declares
+/// it `__attribute__((packed))` there and only there); natural layout on
+/// every other architecture.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    /// `epoll_create1(2)`.
+    fn epoll_create1(flags: i32) -> i32;
+    /// `epoll_ctl(2)`.
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    /// `epoll_wait(2)`.
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    /// `close(2)` — for the epoll fd itself on drop.
+    fn close(fd: i32) -> i32;
+}
+
+/// One readiness fact delivered by [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Readiness {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// Data can be read (or a peer hangup made the stream readable).
+    pub readable: bool,
+    /// The socket's send buffer has room again.
+    pub writable: bool,
+    /// Error or hangup: the connection is over, whatever else is set.
+    pub closed: bool,
+}
+
+/// A reusable `epoll_wait` output buffer; allocate once per shard.
+pub struct EventBuffer {
+    raw: Vec<EpollEvent>,
+    filled: usize,
+}
+
+impl EventBuffer {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventBuffer {
+            raw: vec![EpollEvent { events: 0, data: 0 }; capacity.clamp(1, i32::MAX as usize)],
+            filled: 0,
+        }
+    }
+
+    /// Readiness facts from the most recent [`Epoll::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Readiness> + '_ {
+        self.raw[..self.filled].iter().map(|e| {
+            let bits = e.events;
+            Readiness {
+                token: e.data,
+                readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                closed: bits & (EPOLLERR | EPOLLHUP) != 0,
+            }
+        })
+    }
+
+    /// Events delivered by the most recent wait.
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// True when the most recent wait timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+}
+
+/// One epoll instance: register descriptors with a token, wait for
+/// readiness.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a fresh (close-on-exec) epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers; a negative return is reported
+        // through errno, which `last_os_error` reads.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    /// Registers `fd` for edge-triggered read+write readiness under `token`.
+    ///
+    /// Edge-triggered is the contract the shard loop is written against:
+    /// after a wakeup it must read/accept/write until `WouldBlock`, and in
+    /// exchange never re-arms interest on the hot path.
+    pub fn register(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        let rc = unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for edge-triggered *read-only* readiness (the
+    /// listener: it is never written to).
+    pub fn register_read(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLET,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        let rc = unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Removes `fd` from the interest set. Dropping a registered socket
+    /// also removes it implicitly; this exists for the explicit paths.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: the event argument is ignored for DEL on any kernel this
+        // code runs on (it is only required to be non-null pre-2.6.9).
+        let rc = unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits up to `timeout_ms` (−1 blocks indefinitely) and fills `buf`.
+    /// Returns the number of descriptors with events; zero is a timeout.
+    /// Allocation-free: events land in `buf`'s fixed storage.
+    pub fn wait(&self, buf: &mut EventBuffer, timeout_ms: i32) -> io::Result<usize> {
+        buf.filled = 0;
+        // SAFETY: the buffer pointer is valid for `capacity` events for the
+        // duration of the call, and the kernel writes at most that many.
+        let rc = unsafe {
+            epoll_wait(
+                self.fd,
+                buf.raw.as_mut_ptr(),
+                buf.raw.len() as i32,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                // A signal landed mid-wait (SIGTERM starting a drain does
+                // exactly this); report an empty batch so the caller's loop
+                // re-checks its shutdown flag.
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        buf.filled = rc as usize;
+        Ok(buf.filled)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: closing an fd we exclusively own.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wait_times_out_empty() {
+        let ep = Epoll::new().expect("epoll");
+        let mut buf = EventBuffer::with_capacity(8);
+        let n = ep.wait(&mut buf, 0).expect("waits");
+        assert_eq!(n, 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn listener_readiness_fires_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let ep = Epoll::new().expect("epoll");
+        ep.register_read(listener.as_raw_fd(), 7).expect("register");
+        let mut buf = EventBuffer::with_capacity(8);
+        assert_eq!(ep.wait(&mut buf, 0).expect("waits"), 0, "idle at first");
+
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connects");
+        let n = ep.wait(&mut buf, 1_000).expect("waits");
+        assert_eq!(n, 1);
+        let ev = buf.iter().next().expect("one event");
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn edge_triggered_stream_reports_read_and_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connects");
+        let (server_side, _) = listener.accept().expect("accepts");
+        server_side.set_nonblocking(true).expect("nonblocking");
+
+        let ep = Epoll::new().expect("epoll");
+        ep.register(server_side.as_raw_fd(), 42).expect("register");
+        let mut buf = EventBuffer::with_capacity(8);
+
+        // Fresh socket: writable edge arrives immediately.
+        let n = ep.wait(&mut buf, 1_000).expect("waits");
+        assert!(n >= 1);
+        assert!(buf.iter().any(|e| e.token == 42 && e.writable));
+
+        // Bytes from the peer: readable edge.
+        client.write_all(b"ping").expect("writes");
+        let n = ep.wait(&mut buf, 1_000).expect("waits");
+        assert!(n >= 1);
+        assert!(buf.iter().any(|e| e.token == 42 && e.readable));
+
+        // Drain the bytes; no new edge without new bytes.
+        let mut sink = [0u8; 16];
+        let mut s = &server_side;
+        assert_eq!(Read::read(&mut s, &mut sink).expect("reads"), 4);
+        assert_eq!(ep.wait(&mut buf, 0).expect("waits"), 0);
+
+        ep.deregister(server_side.as_raw_fd()).expect("deregister");
+    }
+}

@@ -1,41 +1,76 @@
-//! The daemon: a std-only HTTP/1.1 server with a bounded worker pool and
-//! graceful drain.
+//! The daemon: a readiness-based HTTP/1.1 event loop with keep-alive
+//! pipelining and graceful drain.
 //!
-//! Architecture: the calling thread accepts connections (non-blocking, so it
-//! can watch the shutdown flag) and feeds them into a bounded channel; a
-//! fixed pool of workers pulls connections and serves keep-alive request
-//! loops off the shared immutable [`QuerySnapshot`] — an `Arc`, so reads
-//! take no locks and the hot path allocates only the response string.
+//! Architecture (DESIGN.md §16): [`Server::run`] spawns N shard threads.
+//! Each shard owns one [`Epoll`] instance and a slab of edge-triggered
+//! non-blocking connections; every shard also registers the shared listener,
+//! so whichever shard wakes first accepts — in a loop, until `EWOULDBLOCK`,
+//! which is what removes the old accept-poll latency (a burst of connections
+//! is drained the moment the backlog becomes readable, not one per poll
+//! tick). Accepted connections stay on the accepting shard for life.
+//!
+//! Per connection the shard runs a small state machine: read until
+//! `WouldBlock`, parse every complete pipelined request out of the read
+//! buffer in place ([`parse_request`]), append each response to the write
+//! buffer ([`write_response_into`]), then flush the whole batch with as few
+//! `write` calls as the socket accepts. Responses to N pipelined requests
+//! coalesce into one flush. The buffers are reused for the connection's
+//! lifetime, response bodies for hot endpoints come pre-rendered from the
+//! snapshot's [`HotCache`], and header formatting is heap-free — a warmed
+//! keep-alive connection serves requests with zero allocations (pinned by
+//! `tests/serve_alloc.rs`).
 //!
 //! Shutdown is cooperative: flip the [`Server::handle`] flag (the CLI wires
-//! it to SIGINT/SIGTERM via [`crate::signal`]), and the server stops
-//! accepting, closes the channel, lets workers finish their in-flight
-//! requests (socket timeouts bound how long a stalled client can hold a
-//! worker), and reports drain statistics — or a typed
-//! [`ServeError::DrainTimeout`] when the deadline passes with workers still
-//! busy.
+//! it to SIGINT/SIGTERM via [`crate::signal`]) and every shard stops
+//! accepting, then drains: requests already pipelined into a read buffer —
+//! even ones the client wrote but the server had not yet parsed — are
+//! served and counted, the final response on each connection carries
+//! `Connection: close`, and buffered bytes are flushed until written or the
+//! deadline passes ([`ServeError::DrainTimeout`] reports connections still
+//! unflushed).
+//!
+//! [`Epoll`]: crate::reactor::Epoll
+//! [`HotCache`]: crate::query::QuerySnapshot
+//! [`parse_request`]: crate::http::parse_request
+//! [`write_response_into`]: crate::http::write_response_into
 
-use std::io::BufReader;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
-use crate::http::{read_request, route, write_response};
+use crate::http::{parse_request, route, write_error_into, write_response_into, Parse};
 use crate::lru::Lru;
 use crate::metrics::Metrics;
 use crate::query::QuerySnapshot;
+use crate::reactor::{Epoll, EventBuffer, Readiness};
 
-/// Per-socket read/write timeout: bounds how long a stalled client can hold
-/// a worker, which in turn bounds the drain tail.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
-/// Accept-loop poll interval while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
-/// How long drain waits for busy workers before reporting them stuck.
+/// Upper bound on descriptors delivered per `epoll_wait`.
+const EVENT_CAPACITY: usize = 1_024;
+/// `epoll_wait` timeout: bounds how long a parked shard takes to notice the
+/// shutdown flag.
+const WAIT_TIMEOUT_MS: i32 = 20;
+/// Bytes read per `read` call on the stack before landing in the
+/// connection's buffer.
+const READ_CHUNK: usize = 16 * 1024;
+/// Stop parsing further pipelined requests once this many response bytes
+/// are buffered; flushing first bounds memory under deep pipelines.
+const WBUF_SOFT_LIMIT: usize = 256 * 1024;
+/// A connection whose unparsed input exceeds this is flooding without
+/// reading responses; fail it closed.
+const RBUF_LIMIT: usize = 2 * 1024 * 1024;
+/// How long drain retries flushing buffered responses before reporting the
+/// connection stuck.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// Compare-cache capacity (response bodies; a few hundred bytes each).
 const CACHE_CAPACITY: usize = 256;
+/// Slab capacity reserved per shard at startup.
+const SLAB_RESERVE: usize = 64;
+/// Token under which every shard registers the shared listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
 
 /// What a graceful drain accomplished.
 #[derive(Debug, Clone, Copy)]
@@ -52,14 +87,14 @@ pub struct Server {
     snapshot: Arc<QuerySnapshot>,
     metrics: Arc<Metrics>,
     cache: Arc<Lru>,
-    workers: usize,
+    shards: usize,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a pool
-    /// of `workers` threads (clamped to at least 1).
-    pub fn bind(addr: &str, snapshot: QuerySnapshot, workers: usize) -> Result<Server, ServeError> {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with `shards`
+    /// reactor threads (clamped to at least 1).
+    pub fn bind(addr: &str, snapshot: QuerySnapshot, shards: usize) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
             addr: addr.to_owned(),
             source,
@@ -69,7 +104,7 @@ impl Server {
             snapshot: Arc::new(snapshot),
             metrics: Arc::new(Metrics::new()),
             cache: Arc::new(Lru::new(CACHE_CAPACITY)),
-            workers: workers.max(1),
+            shards: shards.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -80,7 +115,7 @@ impl Server {
     }
 
     /// The shared shutdown flag: store `true` (from any thread or a signal
-    /// handler) and the accept loop begins a graceful drain.
+    /// handler) and every shard begins a graceful drain.
     pub fn handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
     }
@@ -90,171 +125,484 @@ impl Server {
         &self.snapshot
     }
 
-    /// Accepts and serves until the shutdown flag flips, then drains.
-    /// Blocks the calling thread for the server's whole life.
+    /// Runs the shard event loops until the shutdown flag flips, then
+    /// drains. Blocks the calling thread for the server's whole life.
     pub fn run(&self) -> Result<DrainStats, ServeError> {
         self.listener
             .set_nonblocking(true)
             .map_err(ServeError::Listener)?;
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.workers * 2);
-        let rx = Arc::new(Mutex::new(rx));
         let connections = AtomicU64::new(0);
         let requests = AtomicU64::new(0);
-        let busy = AtomicUsize::new(0);
-        let alive = AtomicUsize::new(self.workers);
-        let mut stuck_workers = 0usize;
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                let rx = Arc::clone(&rx);
-                let snapshot = Arc::clone(&self.snapshot);
-                let metrics = Arc::clone(&self.metrics);
-                let cache = Arc::clone(&self.cache);
-                let shutdown = &self.shutdown;
-                let (busy, alive, requests) = (&busy, &alive, &requests);
-                scope.spawn(move || {
-                    loop {
-                        // Take the receiver lock only to pull the next
-                        // connection; serving happens lock-free.
-                        let next = {
-                            let guard = match rx.lock() {
-                                Ok(g) => g,
-                                Err(poisoned) => poisoned.into_inner(),
-                            };
-                            guard.recv()
-                        };
-                        let Ok(stream) = next else {
-                            break; // channel closed and drained: shutdown
-                        };
-                        busy.fetch_add(1, Ordering::SeqCst);
-                        let served =
-                            serve_connection(stream, &snapshot, &metrics, &cache, shutdown);
-                        requests.fetch_add(served, Ordering::Relaxed);
-                        busy.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    alive.fetch_sub(1, Ordering::SeqCst);
-                });
-            }
-
-            // Accept loop: non-blocking so the shutdown flag is observed
-            // within one poll interval.
-            while !self.shutdown.load(Ordering::SeqCst) {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-                        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-                        let _ = stream.set_nodelay(true);
-                        connections.fetch_add(1, Ordering::Relaxed);
-                        if tx.send(stream).is_err() {
-                            break; // all workers gone; nothing can serve
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(_) => {
-                        // Transient accept failure (e.g. aborted handshake):
-                        // back off briefly and keep accepting.
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                }
-            }
-
-            // Drain: close the channel (workers exit once it is empty) and
-            // wait for in-flight requests up to the deadline.
-            drop(tx);
-            // topple-lint: allow(wall-clock): graceful-drain deadline; timing only, results unaffected
-            let drain_begun = Instant::now();
-            while alive.load(Ordering::SeqCst) > 0 {
-                if drain_begun.elapsed() > DRAIN_DEADLINE {
-                    stuck_workers = busy.load(Ordering::SeqCst);
-                    break;
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            // Falling out of the scope joins the workers; socket timeouts
-            // guarantee that join terminates even for the stuck ones.
+        let shard_results: Vec<Result<usize, ServeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards)
+                .map(|_| scope.spawn(|| self.shard_loop(&connections, &requests)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ServeError::Reactor(io::Error::other("shard panicked")))
+                    })
+                })
+                .collect()
         });
 
-        if stuck_workers > 0 {
-            return Err(ServeError::DrainTimeout { stuck_workers });
+        let mut stuck_connections = 0usize;
+        for result in shard_results {
+            stuck_connections += result?;
+        }
+        if stuck_connections > 0 {
+            return Err(ServeError::DrainTimeout { stuck_connections });
         }
         Ok(DrainStats {
             connections: connections.load(Ordering::Relaxed),
             requests: requests.load(Ordering::Relaxed),
         })
     }
+
+    /// One shard: an epoll instance, a connection slab, and the event loop.
+    /// Returns the number of connections left unflushed at drain deadline.
+    fn shard_loop(
+        &self,
+        connections: &AtomicU64,
+        requests: &AtomicU64,
+    ) -> Result<usize, ServeError> {
+        let epoll = Epoll::new().map_err(ServeError::Reactor)?;
+        epoll
+            .register_read(self.listener.as_raw_fd(), LISTENER_TOKEN)
+            .map_err(ServeError::Reactor)?;
+        let mut events = EventBuffer::with_capacity(EVENT_CAPACITY);
+        let mut shard = Shard {
+            server: self,
+            epoll,
+            slab: Vec::with_capacity(SLAB_RESERVE),
+            free: Vec::with_capacity(SLAB_RESERVE),
+            connections,
+            requests,
+        };
+
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let n = shard
+                .server
+                .wait(&shard.epoll, &mut events)
+                .map_err(ServeError::Reactor)?;
+            if n == 0 {
+                continue;
+            }
+            self.metrics.record_wakeup();
+            for ev in events.iter() {
+                shard.dispatch(ev);
+            }
+        }
+
+        Ok(shard.drain())
+    }
+
+    fn wait(&self, epoll: &Epoll, events: &mut EventBuffer) -> io::Result<usize> {
+        epoll.wait(events, WAIT_TIMEOUT_MS)
+    }
 }
 
-/// Serves one connection's keep-alive loop; returns requests served.
-fn serve_connection(
+/// One connection's state: the socket plus its reusable buffers.
+struct Conn {
     stream: TcpStream,
-    snapshot: &QuerySnapshot,
-    metrics: &Metrics,
-    cache: &Lru,
-    shutdown: &AtomicBool,
-) -> u64 {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return 0,
-    });
-    let mut writer = stream;
-    let mut served = 0u64;
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => break, // clean close
-            Err(_) => break,   // malformed, timed out, or reset: drop it
-        };
-        let timer = metrics.start();
-        let (endpoint, reply) = route(snapshot, metrics, cache, &request);
-        // Draining: finish this response, then close so the client re-resolves.
-        let keep = request.keep_alive && !shutdown.load(Ordering::SeqCst);
-        let wrote = write_response(&mut writer, reply.status, &reply.body, keep);
-        metrics.record(endpoint, reply.status, timer);
-        served += 1;
-        if wrote.is_err() || !keep {
-            break;
+    /// Bytes received but not yet parsed into requests.
+    rbuf: Vec<u8>,
+    /// Response bytes not yet written; `wpos` marks the written prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Close once `wbuf` is fully flushed (Connection: close, a 400, drain).
+    close_after_flush: bool,
+    /// The peer will send no more bytes (EOF observed).
+    peer_eof: bool,
+    /// Requests served on this connection (feeds the reuse metric).
+    served: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::with_capacity(4 * 1024),
+            wbuf: Vec::with_capacity(16 * 1024),
+            wpos: 0,
+            close_after_flush: false,
+            peer_eof: false,
+            served: 0,
         }
     }
-    served
+
+    fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// What a read pass learned about the connection.
+enum Fill {
+    /// Socket drained to `WouldBlock` (possibly after an EOF).
+    Drained,
+    /// Unrecoverable socket error (reset, torn connection): close it.
+    Broken,
+}
+
+/// Per-thread reactor state: the epoll instance plus the connection slab.
+struct Shard<'a> {
+    server: &'a Server,
+    epoll: Epoll,
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    connections: &'a AtomicU64,
+    requests: &'a AtomicU64,
+}
+
+impl Shard<'_> {
+    /// Routes one readiness event to its handler.
+    fn dispatch(&mut self, ev: Readiness) {
+        if ev.token == LISTENER_TOKEN {
+            self.accept_burst();
+            return;
+        }
+        let slot = ev.token as usize;
+        // Stale tokens (connection closed earlier in this batch) miss here.
+        let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if ev.closed {
+            self.close(slot);
+            return;
+        }
+        if ev.readable {
+            if let Fill::Broken = fill(conn) {
+                self.close(slot);
+                return;
+            }
+        }
+        self.pump(slot);
+    }
+
+    /// Accepts until the backlog is empty — never one-per-wakeup, so a
+    /// connection burst incurs no poll-interval queueing.
+    fn accept_burst(&mut self) {
+        loop {
+            match self.server.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // dead on arrival; drop it
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.connections.fetch_add(1, Ordering::Relaxed);
+                    self.server.metrics.record_accept();
+                    let fd = stream.as_raw_fd();
+                    let slot = match self.free.pop() {
+                        Some(s) => s,
+                        None => {
+                            self.slab.push(None);
+                            self.slab.len() - 1
+                        }
+                    };
+                    if self.epoll.register(fd, slot as u64).is_err() {
+                        self.free.push(slot);
+                        continue; // conn dropped; client sees a reset
+                    }
+                    self.slab[slot] = Some(Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failure (e.g. aborted handshake): the
+                // listener stays registered; the next readiness retries.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Parses and responds to buffered requests, flushing between batches,
+    /// until no further progress is possible; closes the connection when
+    /// its protocol life is over.
+    fn pump(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let responses = self.server.process_buffered(conn, self.requests);
+            let flushed_clean = match flush(conn) {
+                Ok(()) => !conn.has_pending_write(),
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            };
+            if conn.close_after_flush && flushed_clean {
+                self.close(slot);
+                return;
+            }
+            if conn.peer_eof && flushed_clean && !has_complete_request(&conn.rbuf) {
+                // Peer is done sending, everything owed is written: the
+                // keep-alive conversation is over.
+                self.close(slot);
+                return;
+            }
+            // Another round only if this one both produced responses and
+            // fully flushed them (i.e. the soft limit interrupted parsing).
+            if responses == 0 || !flushed_clean {
+                return;
+            }
+            if !has_complete_request(self.slab[slot].as_ref().map_or(&[][..], |c| &c.rbuf)) {
+                return;
+            }
+        }
+    }
+
+    /// Releases a connection: the socket drop closes the fd, which also
+    /// removes it from the epoll interest set.
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.slab.get_mut(slot).and_then(Option::take) {
+            drop(conn);
+            self.free.push(slot);
+        }
+    }
+
+    /// Graceful drain: serve every request already pipelined into a read
+    /// buffer (clients that wrote before the signal landed get all their
+    /// responses, the last marked `Connection: close`), then flush until
+    /// done or deadline. Returns connections still unflushed.
+    fn drain(&mut self) -> usize {
+        // topple-lint: allow(wall-clock): graceful-drain deadline; timing only, results unaffected
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        let mut stuck = 0usize;
+        for slot in 0..self.slab.len() {
+            let Some(conn) = self.slab[slot].as_mut() else {
+                continue;
+            };
+            // Pick up bytes that arrived since the last readiness event:
+            // they may hold complete, unserved pipelined requests.
+            let _ = fill(conn);
+            loop {
+                let responses = self.server.process_buffered(conn, self.requests);
+                flush_blocking(conn, deadline);
+                if responses == 0 || conn.has_pending_write() {
+                    break;
+                }
+            }
+            if conn.has_pending_write() {
+                stuck += 1;
+            }
+            self.slab[slot] = None;
+        }
+        stuck
+    }
+}
+
+impl Server {
+    /// Parses every complete request at the front of `conn.rbuf` (up to the
+    /// write-buffer soft limit), appends the responses to `conn.wbuf`, and
+    /// compacts the read buffer. Returns responses appended.
+    fn process_buffered(&self, conn: &mut Conn, requests: &AtomicU64) -> u64 {
+        // topple-lint: hot-path-begin
+        // Draining: serve everything already buffered, then close. The
+        // *last* buffered response carries `Connection: close`; earlier
+        // pipelined ones keep their requested semantics so the client reads
+        // a well-formed sequence.
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        let remaining = if draining {
+            count_complete_requests(&conn.rbuf)
+        } else {
+            0
+        };
+        let mut consumed = 0usize;
+        let mut responses = 0u64;
+        while !conn.close_after_flush {
+            match parse_request(&conn.rbuf[consumed..]) {
+                Parse::Complete(request, n) => {
+                    let timer = self.metrics.start();
+                    let last_of_drain = draining && responses + 1 >= remaining;
+                    let keep = request.keep_alive && !last_of_drain;
+                    let routed = route(&self.snapshot, &self.metrics, &self.cache, &request);
+                    write_response_into(
+                        &mut conn.wbuf,
+                        routed.status,
+                        routed.body.as_bytes(),
+                        keep,
+                    );
+                    self.metrics.record(routed.endpoint, routed.status, timer);
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    conn.served += 1;
+                    if conn.served == 2 {
+                        self.metrics.record_reuse();
+                    }
+                    responses += 1;
+                    consumed += n;
+                    if !keep {
+                        // Pipelined bytes after a `Connection: close` request
+                        // are a protocol error; discard them.
+                        consumed = conn.rbuf.len();
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                    if conn.wbuf.len() - conn.wpos >= WBUF_SOFT_LIMIT {
+                        break; // flush before parsing deeper
+                    }
+                }
+                Parse::Partial => {
+                    if conn.rbuf.len() - consumed > RBUF_LIMIT {
+                        let timer = self.metrics.start();
+                        write_error_into(&mut conn.wbuf, 400, "request too large", false);
+                        self.metrics
+                            .record(crate::metrics::Endpoint::Other, 400, timer);
+                        responses += 1;
+                        consumed = conn.rbuf.len();
+                        conn.close_after_flush = true;
+                    }
+                    break;
+                }
+                Parse::Bad(message) => {
+                    // Fail closed: one 400 naming the violation, then close.
+                    let timer = self.metrics.start();
+                    write_error_into(&mut conn.wbuf, 400, message, false);
+                    self.metrics
+                        .record(crate::metrics::Endpoint::Other, 400, timer);
+                    responses += 1;
+                    consumed = conn.rbuf.len();
+                    conn.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            let len = conn.rbuf.len();
+            conn.rbuf.copy_within(consumed.., 0);
+            conn.rbuf.truncate(len - consumed);
+        }
+        if responses > 0 {
+            self.metrics.record_flush(responses);
+        }
+        responses
+        // topple-lint: hot-path-end
+    }
+}
+
+/// Reads until `WouldBlock`/EOF, appending to the connection's read buffer.
+fn fill(conn: &mut Conn) -> Fill {
+    // topple-lint: hot-path-begin
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return Fill::Drained;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if conn.rbuf.len() > RBUF_LIMIT + READ_CHUNK {
+                    // Flooding past every processing bound: stop reading;
+                    // process_buffered fails the connection closed.
+                    return Fill::Drained;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Fill::Drained,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Fill::Broken,
+        }
+    }
+    // topple-lint: hot-path-end
+}
+
+/// Writes pending response bytes until done or `WouldBlock` (the next
+/// writable edge resumes). `Err` means the connection is broken.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    // topple-lint: hot-path-begin
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    Ok(())
+    // topple-lint: hot-path-end
+}
+
+/// Drain-time flush: retry `WouldBlock` with short sleeps until the bytes
+/// are out or the deadline passes.
+fn flush_blocking(conn: &mut Conn, deadline: Instant) {
+    loop {
+        match flush(conn) {
+            Ok(()) if !conn.has_pending_write() => return,
+            Ok(()) => {
+                // topple-lint: allow(wall-clock): graceful-drain deadline; timing only, results unaffected
+                if Instant::now() >= deadline {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Peer gone: nothing left to deliver.
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                return;
+            }
+        }
+    }
+}
+
+/// True when the buffer's front holds at least one complete request.
+fn has_complete_request(buf: &[u8]) -> bool {
+    matches!(parse_request(buf), Parse::Complete(..) | Parse::Bad(_))
+}
+
+/// How many complete requests sit back-to-back at the buffer's front.
+fn count_complete_requests(buf: &[u8]) -> u64 {
+    let mut at = 0usize;
+    let mut count = 0u64;
+    while let Parse::Complete(_, n) = parse_request(&buf[at..]) {
+        at += n;
+        count += 1;
+    }
+    count
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::snapshot::{encode_study, Snapshot};
-    use std::io::{Read, Write};
     use topple_core::Study;
     use topple_sim::WorldConfig;
 
-    fn tiny_server(workers: usize) -> Server {
+    fn tiny_server(shards: usize) -> Server {
         let study = Study::run(WorldConfig::tiny(3)).expect("tiny study");
         let bytes = encode_study(&study, "tiny", &[]);
         let qs = QuerySnapshot::new(Snapshot::from_bytes(&bytes).expect("decodes"));
-        Server::bind("127.0.0.1:0", qs, workers).expect("binds")
+        Server::bind("127.0.0.1:0", qs, shards).expect("binds")
     }
 
-    /// Accumulates exactly one response (headers + Content-Length body) off
-    /// a keep-alive connection; a single `read` may return a partial frame.
-    fn read_one_response(s: &mut TcpStream) -> String {
-        let mut raw = Vec::new();
+    /// Consumes exactly one response (headers + Content-Length body) off a
+    /// keep-alive connection. `carry` holds bytes read past the frame (a
+    /// pipelined server coalesces responses, so one `read` may return
+    /// several) and must be reused across calls on the same stream.
+    fn read_one_response(s: &mut TcpStream, carry: &mut Vec<u8>) -> String {
         let mut buf = [0u8; 2048];
         loop {
-            let text = String::from_utf8_lossy(&raw).into_owned();
+            let text = String::from_utf8_lossy(carry).into_owned();
             if let Some(head_end) = text.find("\r\n\r\n") {
                 let content_len: usize = text
                     .lines()
                     .find_map(|l| l.strip_prefix("Content-Length: "))
                     .and_then(|v| v.trim().parse().ok())
                     .expect("content-length");
-                if raw.len() >= head_end + 4 + content_len {
-                    return text;
+                let frame_len = head_end + 4 + content_len;
+                if carry.len() >= frame_len {
+                    let response = String::from_utf8_lossy(&carry[..frame_len]).into_owned();
+                    carry.drain(..frame_len);
+                    return response;
                 }
             }
             let n = s.read(&mut buf).expect("reads");
             assert!(n > 0, "connection closed mid-response");
-            raw.extend_from_slice(&buf[..n]);
+            carry.extend_from_slice(&buf[..n]);
         }
     }
 
@@ -302,9 +650,10 @@ mod tests {
             std::thread::spawn(move || server.run())
         };
         let mut s = TcpStream::connect(addr).expect("connects");
+        let mut carry = Vec::new();
         for _ in 0..3 {
             write!(s, "GET /health HTTP/1.1\r\n\r\n").expect("writes");
-            let text = read_one_response(&mut s);
+            let text = read_one_response(&mut s, &mut carry);
             assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
             assert!(text.contains("keep-alive"), "{text}");
         }
@@ -312,5 +661,53 @@ mod tests {
         handle.store(true, Ordering::SeqCst);
         let stats = runner.join().expect("joins").expect("drains");
         assert_eq!(stats.requests, 3);
+    }
+
+    #[test]
+    fn pipelined_requests_coalesce_into_ordered_responses() {
+        let server = Arc::new(tiny_server(1));
+        let addr = server.local_addr().expect("addr");
+        let handle = server.handle();
+        let runner = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        let mut s = TcpStream::connect(addr).expect("connects");
+        // Three requests in one write; responses must come back in order.
+        let burst = "GET /health HTTP/1.1\r\n\r\n\
+                     GET /nope HTTP/1.1\r\n\r\n\
+                     GET /health HTTP/1.1\r\n\r\n";
+        s.write_all(burst.as_bytes()).expect("writes");
+        let mut carry = Vec::new();
+        let first = read_one_response(&mut s, &mut carry);
+        let second = read_one_response(&mut s, &mut carry);
+        let third = read_one_response(&mut s, &mut carry);
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+        assert!(second.starts_with("HTTP/1.1 404 Not Found"), "{second}");
+        assert!(third.starts_with("HTTP/1.1 200 OK"), "{third}");
+        drop(s);
+        handle.store(true, Ordering::SeqCst);
+        let stats = runner.join().expect("joins").expect("drains");
+        assert_eq!(stats.requests, 3);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_with_400() {
+        let server = Arc::new(tiny_server(1));
+        let addr = server.local_addr().expect("addr");
+        let handle = server.handle();
+        let runner = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        let mut s = TcpStream::connect(addr).expect("connects");
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(32 * 1024));
+        s.write_all(long.as_bytes()).expect("writes");
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("reads");
+        assert!(raw.starts_with("HTTP/1.1 400 Bad Request"), "{raw}");
+        assert!(raw.contains("Connection: close"), "{raw}");
+        handle.store(true, Ordering::SeqCst);
+        runner.join().expect("joins").expect("drains");
     }
 }

@@ -1,0 +1,198 @@
+//! Framing properties of the incremental HTTP parser.
+//!
+//! The reactor feeds [`parse_request`] whatever byte prefixes the kernel
+//! happens to deliver, so the parser's one structural obligation is split
+//! independence: parsing a request stream incrementally — any number of
+//! requests, cut at any byte boundaries — must yield exactly the frames
+//! (method, path, query, keep-alive, consumed length) that parsing the
+//! whole stream at once yields, with `Partial` and only `Partial` in
+//! between. The proptest drives random streams through random splits; the
+//! deterministic cases pin the edges named in DESIGN.md §16: pipelined
+//! back-to-back requests in one buffer, request lines fragmented across
+//! reads, and oversized lines failing closed as 400 material.
+
+// Test harness: aborting on a broken fixture is the correct failure mode
+// (clippy.toml's allow-*-in-tests covers `#[test]` fns but not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use proptest::prelude::*;
+use topple_serve::http::{parse_request, Parse, MAX_LINE};
+
+/// A parsed frame, owned so results from different buffers can be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Frame {
+    method: String,
+    path: String,
+    query: String,
+    keep_alive: bool,
+    consumed: usize,
+}
+
+/// Drains every complete frame from the front of `buf`, stopping at
+/// `Partial`; panics on `Bad` (callers feed well-formed streams).
+fn drain_frames(buf: &mut Vec<u8>) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    loop {
+        match parse_request(buf) {
+            Parse::Complete(req, n) => {
+                frames.push(Frame {
+                    method: req.method.to_owned(),
+                    path: req.path.to_owned(),
+                    query: req.query.to_owned(),
+                    keep_alive: req.keep_alive,
+                    consumed: n,
+                });
+                buf.drain(..n);
+            }
+            Parse::Partial => return frames,
+            Parse::Bad(e) => panic!("well-formed stream parsed as Bad: {e}"),
+        }
+    }
+}
+
+/// Renders one well-formed request from generated parts.
+fn render_request(path: &str, query: &str, close: bool, lf_only: bool) -> String {
+    let eol = if lf_only { "\n" } else { "\r\n" };
+    let target = if query.is_empty() {
+        format!("/{path}")
+    } else {
+        format!("/{path}?{query}")
+    };
+    let connection = if close {
+        format!("Connection: close{eol}")
+    } else {
+        String::new()
+    };
+    format!("GET {target} HTTP/1.1{eol}Host: x{eol}{connection}{eol}")
+}
+
+/// Deterministically expands one seed into request parts (path, query,
+/// close, lf-only): an xorshift walk picking from URL-safe alphabets.
+fn request_parts(seed: u64) -> (String, String, bool, bool) {
+    const PATH_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/._-";
+    const QUERY_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789=&";
+    let mut rng = seed | 1;
+    let mut step = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let path: String = (0..step() % 25)
+        .map(|_| PATH_CHARS[step() as usize % PATH_CHARS.len()] as char)
+        .collect();
+    let query: String = (0..step() % 13)
+        .map(|_| QUERY_CHARS[step() as usize % QUERY_CHARS.len()] as char)
+        .collect();
+    (path, query, step() % 2 == 0, step() % 2 == 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any byte-split of a valid request stream parses identically to the
+    /// unsplit stream.
+    #[test]
+    fn byte_splits_parse_identically(
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let requests: Vec<(String, String, bool, bool)> =
+            seeds.iter().map(|&s| request_parts(s)).collect();
+        let stream: String = requests
+            .iter()
+            .map(|(p, q, close, lf)| render_request(p, q, *close, *lf))
+            .collect();
+        let bytes = stream.as_bytes();
+
+        // Ground truth: the whole stream in one buffer.
+        let mut whole = bytes.to_vec();
+        let expected = drain_frames(&mut whole);
+        prop_assert_eq!(expected.len(), requests.len());
+        prop_assert!(whole.is_empty(), "unconsumed tail: {:?}", whole);
+
+        // Incremental: deliver the same bytes in chunks cut at positions
+        // derived from the seed (an xorshift walk covers 1-byte dribbles
+        // through large chunks as the seed varies).
+        let mut incremental: Vec<Frame> = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut at = 0usize;
+        let mut rng = cut_seed | 1;
+        while at < bytes.len() {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let chunk = 1 + (rng as usize) % 19;
+            let end = (at + chunk).min(bytes.len());
+            buf.extend_from_slice(&bytes[at..end]);
+            at = end;
+            incremental.extend(drain_frames(&mut buf));
+        }
+        prop_assert!(buf.is_empty(), "unconsumed tail after final chunk: {:?}", buf);
+        prop_assert_eq!(incremental, expected);
+    }
+}
+
+#[test]
+fn pipelined_requests_in_one_buffer_frame_exactly() {
+    let mut buf =
+        b"GET /a HTTP/1.1\r\n\r\nGET /b?x=1 HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec();
+    let frames = drain_frames(&mut buf);
+    assert!(buf.is_empty());
+    assert_eq!(frames.len(), 2);
+    assert_eq!(
+        (frames[0].path.as_str(), frames[0].keep_alive),
+        ("/a", true)
+    );
+    assert_eq!(
+        (
+            frames[1].path.as_str(),
+            frames[1].query.as_str(),
+            frames[1].keep_alive
+        ),
+        ("/b", "x=1", false)
+    );
+}
+
+#[test]
+fn request_line_split_across_reads_stays_partial_until_complete() {
+    let full = b"GET /v1/rank/tranco/example.org HTTP/1.1\r\n\r\n";
+    for cut in 1..full.len() {
+        assert!(
+            matches!(parse_request(&full[..cut]), Parse::Partial),
+            "prefix of {cut} bytes should be Partial"
+        );
+    }
+    let Parse::Complete(req, n) = parse_request(full) else {
+        panic!("full request should be Complete");
+    };
+    assert_eq!(req.path, "/v1/rank/tranco/example.org");
+    assert_eq!(n, full.len());
+}
+
+#[test]
+fn oversized_request_line_fails_closed_not_partial() {
+    // No newline within the parser's window: this can never become a valid
+    // request, so waiting for more bytes would hang the connection open.
+    let flood = vec![b'a'; MAX_LINE + 3];
+    assert!(matches!(parse_request(&flood), Parse::Bad(_)));
+
+    // An oversized header line after a valid request line fails the same way.
+    let mut huge_header = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+    huge_header.extend(std::iter::repeat_n(b'x', MAX_LINE + 3));
+    assert!(matches!(parse_request(&huge_header), Parse::Bad(_)));
+}
+
+#[test]
+fn a_line_of_exactly_max_line_bytes_is_accepted() {
+    // "GET /xxx...x HTTP/1.1" padded to exactly MAX_LINE content bytes: the
+    // boundary the length check must not reject.
+    let fixed = "GET / HTTP/1.1";
+    let line = format!("GET /{} HTTP/1.1", "x".repeat(MAX_LINE - fixed.len()));
+    assert_eq!(line.len(), MAX_LINE);
+    let buf = format!("{line}\r\n\r\n");
+    let Parse::Complete(req, _) = parse_request(buf.as_bytes()) else {
+        panic!("MAX_LINE-byte request line should parse");
+    };
+    assert_eq!(req.path.len(), MAX_LINE - fixed.len() + 1);
+}

@@ -1,0 +1,182 @@
+//! Allocation audit for the serving hot path.
+//!
+//! The reactor's pitch (DESIGN.md §16) is that a warmed keep-alive
+//! connection is served with zero heap traffic: connection buffers are
+//! reused at their high-water capacity, hot responses come pre-rendered
+//! from the snapshot's arena, compare hits clone an `Arc<str>` refcount,
+//! and header formatting goes through stack buffers. This test pins that
+//! with a counting global allocator, the same way `tests/ingest_alloc.rs`
+//! pins the ingestion path: warm one pipelined keep-alive connection over
+//! every hot endpoint, then re-send the identical batch with the counter
+//! armed and require zero allocations — on the server side *and* in the
+//! measuring client, whose request bytes and read buffers are prebuilt.
+//!
+//! The file holds exactly one `#[test]`: the allocator counter is global,
+//! and a concurrently running test would pollute the measurement.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use topple_core::Study;
+use topple_lists::ListSource;
+use topple_serve::query::list_url_name;
+use topple_serve::snapshot::encode_study;
+use topple_serve::{QuerySnapshot, Server, Snapshot};
+use topple_sim::WorldConfig;
+
+/// Passes through to the system allocator, counting allocations (and
+/// reallocations — buffer growth is what warm reuse must avoid) while
+/// armed. The counter is process-global, so it sees the reactor shard
+/// thread too — exactly the point.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_keep_alive_connection_serves_without_allocating() {
+    let study = Study::run(WorldConfig::tiny(31337)).expect("tiny study");
+    let bytes = encode_study(&study, "tiny", &[]);
+    let qs = QuerySnapshot::new(Snapshot::from_bytes(&bytes).expect("decodes"));
+
+    // Build the pipelined batch before anything is measured: health, hot
+    // ranks and movements for in-list domains, and one compare cell (whose
+    // body lands in the LRU during warm-up, so the armed round is a pure
+    // cache hit).
+    let mut batch: Vec<u8> = Vec::new();
+    let mut expected_responses = 0usize;
+    let mut push = |path: &str, batch: &mut Vec<u8>| {
+        batch.extend_from_slice(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes());
+        expected_responses += 1;
+    };
+    push("/health", &mut batch);
+    push("/v1/compare?a=alexa&b=tranco&k=40", &mut batch);
+    {
+        let table = qs.snapshot().index.table();
+        for source in [ListSource::Tranco, ListSource::Alexa, ListSource::Umbrella] {
+            let cols = qs.snapshot().index.monthly(source);
+            for &id in cols.ids.iter().take(2) {
+                let name = table.name(id).as_str().to_owned();
+                push(
+                    &format!("/v1/rank/{}/{name}", list_url_name(source)),
+                    &mut batch,
+                );
+                push(&format!("/v1/movement/{name}"), &mut batch);
+            }
+        }
+    }
+
+    let server = Arc::new(Server::bind("127.0.0.1:0", qs, 1).expect("binds"));
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let runner = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run())
+    };
+
+    // Warm-up rounds on one keep-alive connection: connection buffers grow
+    // to the batch's working set, the compare body enters the LRU, and we
+    // learn the batch's exact response byte count (responses are
+    // byte-identical round to round, so the armed round reads the same
+    // total).
+    let mut conn = TcpStream::connect(addr).expect("connects");
+    let mut scratch = [0u8; 16 * 1024];
+    // Allocation-free reader for the armed round: fixed stack buffer,
+    // stop at the exact byte count the learning pass established.
+    let mut read_exactly = |conn: &mut TcpStream, total: usize| -> usize {
+        let mut got = 0usize;
+        while got < total {
+            let n = conn.read(&mut scratch).expect("reads");
+            assert!(n > 0, "connection closed mid-round");
+            got += n;
+        }
+        assert_eq!(got, total, "response stream length drifted");
+        got
+    };
+
+    // Learning pass: read whole frames (header + Content-Length body) until
+    // the batch's response count is reached, totalling the bytes.
+    let expected_total = {
+        let learn = |conn: &mut TcpStream| -> usize {
+            let mut carry: Vec<u8> = Vec::new();
+            let mut buf = [0u8; 16 * 1024];
+            let mut frames = 0usize;
+            let mut total = 0usize;
+            while frames < expected_responses {
+                if let Some(head_end) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = std::str::from_utf8(&carry[..head_end]).expect("ascii head");
+                    let content_len: usize = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("Content-Length: "))
+                        .and_then(|v| v.trim().parse().ok())
+                        .expect("content-length");
+                    let frame_len = head_end + 4 + content_len;
+                    if carry.len() >= frame_len {
+                        carry.drain(..frame_len);
+                        frames += 1;
+                        total += frame_len;
+                        continue;
+                    }
+                }
+                let n = conn.read(&mut buf).expect("reads");
+                assert!(n > 0, "connection closed mid-learning");
+                carry.extend_from_slice(&buf[..n]);
+            }
+            assert!(carry.is_empty(), "stray bytes after final frame");
+            total
+        };
+        conn.write_all(&batch).expect("writes warm round 1");
+        let first = learn(&mut conn);
+        conn.write_all(&batch).expect("writes warm round 2");
+        let second = learn(&mut conn);
+        assert_eq!(first, second, "responses not byte-stable across rounds");
+        first
+    };
+
+    // The measured round: identical batch, identical responses, armed
+    // counter. Nothing in this block may allocate — not the client (fixed
+    // buffers, prebuilt batch) and, the actual assertion, not the server.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    conn.write_all(&batch).expect("writes armed round");
+    let got = read_exactly(&mut conn, expected_total);
+    ARMED.store(false, Ordering::SeqCst);
+    assert_eq!(got, expected_total);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "warmed keep-alive serving allocated {allocs} times"
+    );
+
+    drop(conn);
+    handle.store(true, Ordering::SeqCst);
+    runner.join().expect("joins").expect("drains cleanly");
+}
